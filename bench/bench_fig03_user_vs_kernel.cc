@@ -1,0 +1,94 @@
+// Figure 3: user-level (ioctl soft-barrier) vs kernel-level scrubber under
+// different CFQ priorities, against a highly sequential foreground
+// workload with exponential think times.
+//
+// Paper results reproduced:
+//  - priorities have no effect on the user-level scrubber (soft barriers
+//    bypass prioritization);
+//  - the kernel scrubber at Default priority exploits think time and
+//    starves the workload;
+//  - the kernel scrubber at Idle priority protects the workload;
+//  - with a 16 ms inter-request delay the scrubber caps at ~64KB/16ms.
+#include <memory>
+
+#include "bench/common.h"
+
+namespace pscrub::bench {
+namespace {
+
+constexpr SimTime kRun = 120 * kSecond;
+
+struct Result {
+  double workload_mb_s = 0.0;
+  double scrub_mb_s = 0.0;
+};
+
+Result run_case(bool with_scrubber, core::IssuePath path,
+                block::IoPriority prio, SimTime delay) {
+  Simulator sim;
+  disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  disk::DiskModel d(sim, p, 1);
+  block::BlockLayer blk(sim, d, std::make_unique<block::CfqScheduler>());
+
+  workload::SyntheticConfig wcfg;  // 8MB chunks, 64K reads, 100ms thinks
+  workload::SequentialChunkWorkload w(sim, blk, wcfg, 42);
+  w.start();
+
+  std::unique_ptr<core::Scrubber> s;
+  if (with_scrubber) {
+    core::ScrubberConfig scfg;
+    scfg.path = path;
+    scfg.priority = prio;
+    scfg.inter_request_delay = delay;
+    s = std::make_unique<core::Scrubber>(
+        sim, blk, core::make_sequential(d.total_sectors(), 64 * 1024), scfg);
+    s->start();
+  }
+  sim.run_until(kRun);
+  Result r;
+  r.workload_mb_s = w.metrics().throughput_mb_s(kRun);
+  r.scrub_mb_s = s ? s->stats().throughput_mb_s(kRun) : 0.0;
+  return r;
+}
+
+void run() {
+  header("Figure 3: user- (U) vs kernel-level (K) scrubber (MB/s)");
+  struct Case {
+    const char* label;
+    bool scrub;
+    core::IssuePath path;
+    block::IoPriority prio;
+    SimTime delay;
+  };
+  const Case cases[] = {
+      {"None", false, core::IssuePath::kKernel, block::IoPriority::kIdle, 0},
+      {"Idle (U)", true, core::IssuePath::kUser, block::IoPriority::kIdle, 0},
+      {"Idle (K)", true, core::IssuePath::kKernel, block::IoPriority::kIdle,
+       0},
+      {"Default (U)", true, core::IssuePath::kUser,
+       block::IoPriority::kBestEffort, 0},
+      {"Default (K)", true, core::IssuePath::kKernel,
+       block::IoPriority::kBestEffort, 0},
+      {"Def. 16ms (U)", true, core::IssuePath::kUser,
+       block::IoPriority::kBestEffort, 16 * kMillisecond},
+      {"Def. 16ms (K)", true, core::IssuePath::kKernel,
+       block::IoPriority::kBestEffort, 16 * kMillisecond},
+  };
+
+  std::printf("%-16s %14s %14s\n", "scrubber", "workload MB/s",
+              "scrubber MB/s");
+  row_rule(46);
+  for (const Case& c : cases) {
+    const Result r = run_case(c.scrub, c.path, c.prio, c.delay);
+    std::printf("%-16s %14.2f %14.2f\n", c.label, r.workload_mb_s,
+                r.scrub_mb_s);
+  }
+  std::printf(
+      "\nReading: (U) rows identical across priorities; Default (K) starves\n"
+      "the workload; 16 ms delay caps scrubbing near 64KB/16ms ~ 3.9 MB/s.\n");
+}
+
+}  // namespace
+}  // namespace pscrub::bench
+
+int main() { pscrub::bench::run(); }

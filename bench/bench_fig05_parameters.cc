@@ -1,0 +1,71 @@
+// Figure 5: impact of the scrubbing parameters on isolated scrub
+// throughput.
+//  (a) request size 64K..16M at 128 regions: bigger is better; staggered
+//      tracks sequential.
+//  (b) number of regions 1..512 at 64 KB requests: throughput dips at 2
+//      regions (long seeks), rises with region count, and overtakes the
+//      sequential scrubber at >= ~128 regions (short seek + half rotation
+//      beats the full-rotation miss).
+#include <memory>
+
+#include "bench/common.h"
+
+namespace pscrub::bench {
+namespace {
+
+double scrub_throughput(const disk::DiskProfile& profile, bool staggered,
+                        std::int64_t request_bytes, int regions,
+                        SimTime run_for = 60 * kSecond) {
+  Simulator sim;
+  disk::DiskModel d(sim, profile, 1);
+  block::BlockLayer blk(sim, d, std::make_unique<block::NoopScheduler>());
+  core::ScrubberConfig cfg;
+  cfg.priority = block::IoPriority::kBestEffort;
+  auto strategy = staggered
+                      ? core::make_staggered(d.total_sectors(), request_bytes,
+                                             regions)
+                      : core::make_sequential(d.total_sectors(), request_bytes);
+  core::Scrubber s(sim, blk, std::move(strategy), cfg);
+  s.start();
+  sim.run_until(run_for);
+  return s.stats().throughput_mb_s(run_for);
+}
+
+void run() {
+  const disk::DiskProfile ultrastar = disk::hitachi_ultrastar_15k450();
+  const disk::DiskProfile fujitsu = disk::fujitsu_max3073rc();
+
+  header("Figure 5a: scrub throughput vs request size (MB/s, 128 regions)");
+  std::printf("%-8s %18s %18s %18s %18s\n", "size", "Ultrastar seq",
+              "Ultrastar stag", "Fujitsu seq", "Fujitsu stag");
+  row_rule(84);
+  for (std::int64_t size = 64 * 1024; size <= 16 * 1024 * 1024; size *= 2) {
+    std::printf("%-8s %18.1f %18.1f %18.1f %18.1f\n",
+                size_label(size).c_str(),
+                scrub_throughput(ultrastar, false, size, 0),
+                scrub_throughput(ultrastar, true, size, 128),
+                scrub_throughput(fujitsu, false, size, 0),
+                scrub_throughput(fujitsu, true, size, 128));
+  }
+
+  header("Figure 5b: staggered throughput vs number of regions (MB/s, 64K)");
+  const double seq_ultra = scrub_throughput(ultrastar, false, 64 * 1024, 0);
+  const double seq_fuj = scrub_throughput(fujitsu, false, 64 * 1024, 0);
+  std::printf("%-8s %18s %18s\n", "regions", "Ultrastar stag", "Fujitsu stag");
+  row_rule(48);
+  for (int regions : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}) {
+    std::printf("%-8d %18.1f %18.1f\n", regions,
+                scrub_throughput(ultrastar, true, 64 * 1024, regions),
+                scrub_throughput(fujitsu, true, 64 * 1024, regions));
+  }
+  std::printf("%-8s %18.1f %18.1f   <- sequential reference\n", "(seq)",
+              seq_ultra, seq_fuj);
+  std::printf(
+      "\nReading: staggered dips at few regions (stroke-length seeks), rises\n"
+      "with region count, and matches/overtakes sequential at >= 128.\n");
+}
+
+}  // namespace
+}  // namespace pscrub::bench
+
+int main() { pscrub::bench::run(); }

@@ -1,0 +1,93 @@
+// Figure 6: throughput of sequential and staggered scrubbing alongside the
+// two synthetic foreground workloads (64 KB scrub requests, 128 regions).
+//
+// Scheduling modes, as in the paper: back-to-back through CFQ's Idle
+// class, and Default-priority with fixed inter-request delays 0..256 ms.
+//
+// Paper results reproduced: CFQ gives the best combined throughput but
+// costs the workload ~20%; delays >= 16 ms restore the workload while
+// crippling the scrubber (64KB/(delay+service)); staggered == sequential
+// at 128 regions; the random workload's seeks lower scrub throughput.
+#include <memory>
+
+#include "bench/common.h"
+
+namespace pscrub::bench {
+namespace {
+
+constexpr SimTime kRun = 120 * kSecond;
+
+struct Result {
+  double workload_mb_s = 0.0;
+  double scrub_mb_s = 0.0;
+};
+
+template <typename Workload>
+Result run_case(bool with_scrubber, bool staggered, bool use_cfq_idle,
+                SimTime delay) {
+  Simulator sim;
+  disk::DiskModel d(sim, disk::hitachi_ultrastar_15k450(), 1);
+  block::BlockLayer blk(sim, d, std::make_unique<block::CfqScheduler>());
+
+  workload::SyntheticConfig wcfg;
+  Workload w(sim, blk, wcfg, 42);
+  w.start();
+
+  std::unique_ptr<core::Scrubber> s;
+  if (with_scrubber) {
+    core::ScrubberConfig scfg;
+    scfg.priority = use_cfq_idle ? block::IoPriority::kIdle
+                                 : block::IoPriority::kBestEffort;
+    scfg.inter_request_delay = delay;
+    auto strategy =
+        staggered ? core::make_staggered(d.total_sectors(), 64 * 1024, 128)
+                  : core::make_sequential(d.total_sectors(), 64 * 1024);
+    s = std::make_unique<core::Scrubber>(sim, blk, std::move(strategy), scfg);
+    s->start();
+  }
+  sim.run_until(kRun);
+  return {w.metrics().throughput_mb_s(kRun),
+          s ? s->stats().throughput_mb_s(kRun) : 0.0};
+}
+
+template <typename Workload>
+void run_workload(const char* title) {
+  header(title);
+  std::printf("%-10s %14s | %12s %12s | %12s %12s\n", "mode", "",
+              "seq scrub", "workload", "stag scrub", "workload");
+  row_rule(80);
+
+  auto print_case = [](const char* label, bool cfq, SimTime delay) {
+    const Result seq = run_case<Workload>(true, false, cfq, delay);
+    const Result stag = run_case<Workload>(true, true, cfq, delay);
+    std::printf("%-10s %14s | %12.1f %12.1f | %12.1f %12.1f\n", label, "",
+                seq.scrub_mb_s, seq.workload_mb_s, stag.scrub_mb_s,
+                stag.workload_mb_s);
+  };
+
+  const Result none = run_case<Workload>(false, false, false, 0);
+  std::printf("%-10s %14s | %12s %12.1f | %12s %12.1f\n", "None", "", "-",
+              none.workload_mb_s, "-", none.workload_mb_s);
+  print_case("CFQ", true, 0);
+  for (SimTime delay_ms : {0, 8, 16, 32, 64, 128, 256}) {
+    char label[16];
+    std::snprintf(label, sizeof(label), "%lldms",
+                  static_cast<long long>(delay_ms));
+    print_case(label, false, delay_ms * kMillisecond);
+  }
+}
+
+void run() {
+  run_workload<workload::SequentialChunkWorkload>(
+      "Figure 6a: sequential foreground workload (MB/s)");
+  run_workload<workload::RandomReadWorkload>(
+      "Figure 6b: random foreground workload (MB/s)");
+  std::printf(
+      "\nReading: delays >= 16ms restore the workload but cap scrubbing at\n"
+      "64KB/(delay+service); staggered == sequential at 128 regions.\n");
+}
+
+}  // namespace
+}  // namespace pscrub::bench
+
+int main() { pscrub::bench::run(); }

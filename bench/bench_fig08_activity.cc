@@ -1,0 +1,67 @@
+// Figure 8: request activity (requests per hour) over one week for four
+// representative disks from the HP Cello and MSR Cambridge collections.
+//
+// Paper result: all traces show repeating patterns, typically spikes at
+// 24-hour intervals (Cello: nightly backups; MSR: per-disk peak hours).
+#include <array>
+
+#include "bench/common.h"
+
+namespace pscrub::bench {
+namespace {
+
+std::vector<double> hourly_counts_for(const std::string& name) {
+  auto spec = trace::spec_by_name(name);
+  if (!spec) throw std::runtime_error("unknown trace " + name);
+  // Streaming: count per hour without materializing the trace; the full
+  // weekly volume is cheap to generate.
+  const double env = bench_scale();
+  if (env > 0.0) {
+    spec->target_requests =
+        static_cast<std::int64_t>(spec->target_requests * env);
+  }
+  trace::SyntheticGenerator gen(*spec);
+  std::vector<double> counts(
+      static_cast<std::size_t>(spec->duration / kHour) + 1, 0.0);
+  gen.generate([&](const trace::TraceRecord& r) {
+    counts[static_cast<std::size_t>(r.arrival / kHour)] += 1.0;
+  });
+  counts.resize(168);
+  return counts;
+}
+
+void run() {
+  header("Figure 8: request activity per hour over one week");
+  const std::array<const char*, 4> disks = {"MSRsrc11", "MSRusr1", "HPc6t5d1",
+                                            "HPc6t8d0"};
+  std::vector<std::vector<double>> counts;
+  for (const char* d : disks) counts.push_back(hourly_counts_for(d));
+
+  std::printf("%-6s", "hour");
+  for (const char* d : disks) std::printf(" %10s", d);
+  std::printf("\n");
+  row_rule(6 + 11 * 4);
+  for (std::size_t h = 0; h < 168; ++h) {
+    std::printf("%-6zu", h);
+    for (const auto& c : counts) std::printf(" %10.0f", c[h]);
+    std::printf("\n");
+  }
+
+  std::printf("\nPeak-to-mean ratio per disk (daily spike strength):\n");
+  for (std::size_t i = 0; i < disks.size(); ++i) {
+    double hi = 0;
+    double sum = 0;
+    for (double c : counts[i]) {
+      hi = std::max(hi, c);
+      sum += c;
+    }
+    std::printf("  %-10s %8.1fx\n", disks[i], hi / (sum / 168.0));
+  }
+  std::printf(
+      "\nReading: repeating daily spikes on every disk (24 h intervals).\n");
+}
+
+}  // namespace
+}  // namespace pscrub::bench
+
+int main() { pscrub::bench::run(); }

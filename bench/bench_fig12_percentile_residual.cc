@@ -1,0 +1,44 @@
+// Figure 12: the pessimistic version of Fig 11 -- the 1st percentile of
+// the idle time remaining after the disk has been idle for x seconds.
+//
+// Paper result: even the 1st percentile increases strongly with idle age,
+// i.e. waiting is a robust long-interval detector, not just on average.
+#include <array>
+
+#include "bench/common.h"
+
+namespace pscrub::bench {
+namespace {
+
+void run() {
+  header("Figure 12: 1st percentile of idle time remaining (s)");
+  const std::array<const char*, 4> disks = {"MSRsrc11", "MSRusr1", "HPc6t5d1",
+                                            "HPc6t8d0"};
+  std::vector<stats::ResidualLife> lives;
+  for (const char* d : disks) lives.emplace_back(idle_intervals_streamed(d));
+
+  std::printf("%-12s", "x (s)");
+  for (const char* d : disks) std::printf(" %11s", d);
+  std::printf("\n");
+  row_rule(12 + 12 * 4);
+  for (double x : {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0}) {
+    std::printf("%-12g", x);
+    for (const auto& l : lives) {
+      const double q = l.residual_quantile(x, 0.01);
+      if (l.survival(x) > 0) {
+        std::printf(" %11.4g", q);
+      } else {
+        std::printf(" %11s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nReading: increasing trends even at the 1st percentile -- in 99%% of\n"
+      "cases a long-idle disk stays idle substantially longer.\n");
+}
+
+}  // namespace
+}  // namespace pscrub::bench
+
+int main() { pscrub::bench::run(); }

@@ -1,0 +1,45 @@
+// Figure 13: fraction of the total idle time still usable if scrubbing
+// only starts after waiting x seconds into each idle interval.
+//
+// Paper result: a ~100 ms wait still leaves 60-90% of the total idle time
+// usable, while selecting under 10% of the intervals (few collisions).
+#include <array>
+
+#include "bench/common.h"
+
+namespace pscrub::bench {
+namespace {
+
+void run() {
+  header("Figure 13: fraction of idle time remaining after waiting x s");
+  const std::array<const char*, 6> disks = {"MSRsrc11",  "MSRusr1",
+                                            "HPc6t5d1",  "HPc6t8d0",
+                                            "TPCdisk66", "TPCdisk88"};
+  std::vector<stats::ResidualLife> lives;
+  for (const char* d : disks) lives.emplace_back(idle_intervals_streamed(d));
+
+  std::printf("%-12s", "wait x (s)");
+  for (const char* d : disks) std::printf(" %11s", d);
+  std::printf("\n");
+  row_rule(12 + 12 * 6);
+  for (double x : {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 1.0, 10.0}) {
+    std::printf("%-12g", x);
+    for (const auto& l : lives) std::printf(" %11.3f", l.usable_fraction(x));
+    std::printf("\n");
+  }
+
+  std::printf("\nAt a 100 ms wait: usable idle vs intervals selected:\n");
+  for (std::size_t i = 0; i < disks.size(); ++i) {
+    std::printf("  %-10s usable %5.1f%%   intervals selected %5.1f%%\n",
+                disks[i], 100.0 * lives[i].usable_fraction(0.1),
+                100.0 * lives[i].survival(0.1));
+  }
+  std::printf(
+      "\nReading: disk traces keep the bulk of idle time usable after a\n"
+      "100 ms wait; memoryless TPC-C loses essentially all of it.\n");
+}
+
+}  // namespace
+}  // namespace pscrub::bench
+
+int main() { pscrub::bench::run(); }

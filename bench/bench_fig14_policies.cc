@@ -1,0 +1,125 @@
+// Figure 14: comparison of the scheduling policies -- Oracle,
+// Auto-Regression, Waiting, Lossless Waiting, and AR+Waiting -- on two
+// disks: HPc6t8d0 (many short idle intervals, worst case) and MSRusr2
+// (representative).
+//
+// Each policy sweeps its parameter; every setting yields one point
+// (collision rate, fraction of idle time utilized).
+//
+// Paper results reproduced: Waiting clearly outperforms AR and the
+// combined policies; Lossless Waiting tracks the Oracle, showing Waiting's
+// only loss is the time spent waiting; pure AR is the worst.
+#include <algorithm>
+
+#include "bench/common.h"
+
+namespace pscrub::bench {
+namespace {
+
+core::PolicySimConfig sim_config(const std::vector<SimTime>& services) {
+  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  core::PolicySimConfig c;
+  c.scrub_service = core::make_scrub_service(p);
+  c.sizer = core::ScrubSizer::fixed(64 * 1024);
+  c.services = &services;
+  return c;
+}
+
+void print_point(const char* policy, const std::string& param,
+                 const core::PolicySimResult& r) {
+  std::printf("%-18s %12s %14.4f %14.3f\n", policy, param.c_str(),
+              r.collision_rate, r.idle_utilization);
+}
+
+std::string ms_label(SimTime t) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lldms",
+                static_cast<long long>(t / kMillisecond));
+  return buf;
+}
+
+void run_disk(const char* disk_name) {
+  header(std::string("Figure 14: policy comparison on ") + disk_name);
+  const trace::Trace t = scaled_trace(disk_name, 2'500'000);
+  std::printf("%zu requests replayed (thinned)\n\n", t.size());
+  const std::vector<SimTime> services = core::precompute_services(
+      t, core::make_foreground_service(disk::hitachi_ultrastar_15k450()));
+  std::printf("%-18s %12s %14s %14s\n", "policy", "param", "collision rate",
+              "idle utilized");
+  row_rule(62);
+
+  // The thinned traces stretch idle intervals (~6-40x vs the originals),
+  // so the sweep extends further than the paper's 16..2048 ms to span the
+  // same portion of the idle-length distribution.
+  const std::vector<SimTime> thresholds = {
+      16 * kMillisecond,   64 * kMillisecond,    256 * kMillisecond,
+      1024 * kMillisecond, 4096 * kMillisecond,  16384 * kMillisecond,
+      65536 * kMillisecond};
+
+  // Oracle: utilize exactly the intervals longer than L, from the start.
+  {
+    const auto idles = idle_intervals_for(disk_name, 2'500'000);
+    stats::ResidualLife life{idles};
+    for (double q : {0.5, 0.8, 0.9, 0.95, 0.98, 0.99, 0.995}) {
+      const double len_s =
+          stats::quantile_sorted(life.sorted(), q);
+      core::OraclePolicy oracle(from_seconds(len_s));
+      const auto r = core::run_policy_sim(t, oracle, sim_config(services));
+      char param[24];
+      std::snprintf(param, sizeof(param), "q%.3g", q);
+      print_point("Oracle", param, r);
+    }
+  }
+
+  for (SimTime th : thresholds) {
+    core::ArPolicy ar(th, /*window=*/4096, /*refit_every=*/1024,
+                      /*max_order=*/8);
+    const auto r = core::run_policy_sim(t, ar, sim_config(services));
+    print_point("Auto-Regression", ms_label(th), r);
+  }
+
+  for (SimTime th : thresholds) {
+    core::WaitingPolicy w(th);
+    const auto r = core::run_policy_sim(t, w, sim_config(services));
+    print_point("Waiting", ms_label(th), r);
+  }
+
+  for (SimTime th : thresholds) {
+    core::LosslessWaitingPolicy lw(th);
+    const auto r = core::run_policy_sim(t, lw, sim_config(services));
+    print_point("Lossless Waiting", ms_label(th), r);
+  }
+
+  // AR + Waiting: the AR threshold c is set at the 20/40/60/80th
+  // percentile of observed idle durations; the wait threshold sweeps.
+  {
+    const auto idles = idle_intervals_for(disk_name, 2'500'000);
+    stats::ResidualLife life{idles};
+    for (double q : {0.2, 0.4, 0.6, 0.8}) {
+      const SimTime c = from_seconds(stats::quantile_sorted(life.sorted(), q));
+      for (SimTime th : {64 * kMillisecond, 1024 * kMillisecond,
+                         16384 * kMillisecond}) {
+        core::ArWaitingPolicy arw(th, c);
+        const auto r = core::run_policy_sim(t, arw, sim_config(services));
+        char label[32];
+        std::snprintf(label, sizeof(label), "AR(%.0fth)+Wait",
+                      q * 100);
+        print_point(label, ms_label(th), r);
+      }
+    }
+  }
+}
+
+void run() {
+  run_disk("HPc6t8d0");
+  run_disk("MSRusr2");
+  std::printf(
+      "\nReading: at equal collision rate, Waiting utilizes the most idle\n"
+      "time of any realizable policy; Lossless Waiting tracks the Oracle;\n"
+      "pure AR is the weakest.\n");
+}
+
+}  // namespace
+}  // namespace pscrub::bench
+
+int main() { pscrub::bench::run(); }

@@ -1,0 +1,110 @@
+// Microbenchmarks (google-benchmark) for the hot paths that make the
+// experiment suite tractable: the event queue, the trace generator, idle
+// extraction, and the trace-driven policy simulator.
+#include <benchmark/benchmark.h>
+
+#include "pscrub.h"
+
+namespace pscrub {
+namespace {
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 1024; ++i) {
+      sim.after((i * 7919) % 100000, [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  trace::TraceSpec spec;
+  spec.name = "micro";
+  spec.seed = 7;
+  spec.duration = kHour;
+  spec.target_requests = state.range(0);
+  for (auto _ : state) {
+    trace::SyntheticGenerator gen(spec);
+    std::int64_t n = 0;
+    gen.generate([&](const trace::TraceRecord&) { ++n; });
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(100000);
+
+void BM_IdleExtraction(benchmark::State& state) {
+  trace::TraceSpec spec;
+  spec.name = "micro";
+  spec.seed = 7;
+  spec.duration = kHour;
+  spec.target_requests = 200000;
+  const trace::Trace t = trace::SyntheticGenerator(spec).generate_trace();
+  for (auto _ : state) {
+    const auto e = trace::extract_idle_intervals(t, kMillisecond);
+    benchmark::DoNotOptimize(e.idle_seconds.size());
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_IdleExtraction);
+
+void BM_PolicySimWaiting(benchmark::State& state) {
+  trace::TraceSpec spec;
+  spec.name = "micro";
+  spec.seed = 7;
+  spec.duration = kHour;
+  spec.target_requests = 200000;
+  const trace::Trace t = trace::SyntheticGenerator(spec).generate_trace();
+  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  for (auto _ : state) {
+    core::WaitingPolicy w(64 * kMillisecond);
+    core::PolicySimConfig c;
+    c.foreground_service = core::make_foreground_service(p);
+    c.scrub_service = core::make_scrub_service(p);
+    const auto r = core::run_policy_sim(t, w, c);
+    benchmark::DoNotOptimize(r.scrubbed_bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_PolicySimWaiting);
+
+void BM_DiskModelVerifyStream(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+    p.capacity_bytes = 4LL << 30;
+    disk::DiskModel d(sim, p, 1);
+    disk::Lbn lbn = 0;
+    for (int i = 0; i < 1000; ++i) {
+      d.submit({disk::CommandKind::kVerifyScsi, lbn, 128}, nullptr);
+      sim.run();
+      lbn += 128;
+    }
+    benchmark::DoNotOptimize(d.counters().verifies);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_DiskModelVerifyStream);
+
+void BM_ArFit(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> xs;
+  double x = 0.0;
+  for (int i = 0; i < 4096; ++i) {
+    x = 0.7 * x + rng.normal(0.0, 1.0);
+    xs.push_back(x + 10.0);
+  }
+  for (auto _ : state) {
+    const auto m = stats::fit_ar_aic(xs, 10);
+    benchmark::DoNotOptimize(m.order());
+  }
+}
+BENCHMARK(BM_ArFit);
+
+}  // namespace
+}  // namespace pscrub
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Ablation: Mean Latent Error Time of sequential vs staggered scrubbing.
+//
+// This reproduces the *motivation* the paper inherits from Oprea & Juels
+// [4]: LSEs arrive in spatially local bursts, and staggered probing (plus
+// scanning the area on first detection) detects a burst far sooner than a
+// sequential pass. The paper's own contribution is showing staggered costs
+// nothing in throughput (Figs 5-7); this bench closes the loop on why one
+// would want it at all.
+#include "bench/common.h"
+
+namespace pscrub::bench {
+namespace {
+
+// A 32 GB device keeps the ratio between error locality (hundreds of MB,
+// per Bairavasundaram et al.'s locality analysis) and region size
+// realistic without making the schedule table enormous: at R = 128 a
+// region is 256 MB, on the order of the burst span -- the regime where
+// staggered probing pays off (Oprea & Juels pick regions at the scale of
+// error locality).
+constexpr std::int64_t kTotalSectors = 62'500'000;  // ~32 GB
+constexpr SimTime kHorizon = 90 * kDay;
+
+void run() {
+  header("MLET ablation: sequential vs staggered scrubbing");
+
+  Rng rng(2024);
+  core::LseModelConfig lse;
+  lse.burst_interarrival_mean = 3 * kDay;
+  lse.isolated_fraction = 0.4;
+  lse.extra_errors_per_burst_mean = 7.0;
+  lse.burst_span_bytes = 256LL << 20;
+  const auto bursts =
+      core::generate_lse_bursts(lse, kTotalSectors, kHorizon, rng);
+  std::int64_t errors = 0;
+  for (const auto& b : bursts) errors += static_cast<std::int64_t>(b.sectors.size());
+  std::printf("injected %zu bursts / %lld errors over %.0f days\n",
+              bursts.size(), static_cast<long long>(errors),
+              to_seconds(kHorizon) / 86400.0);
+
+  core::MletConfig mc;
+  mc.request_service = disk::hitachi_ultrastar_15k450()
+                           .sequential_verify_service(512 * 1024);
+  mc.request_spacing = 2 * kSecond;  // a deliberately slow scrubber
+  constexpr std::int64_t kRequestSectors = 512 * 1024 / disk::kSectorBytes;
+
+  std::printf("\nWith scrub-on-detection (scan the area at first hit):\n");
+  std::printf("%-24s %12s %12s %12s\n", "strategy", "MLET (h)", "worst (h)",
+              "pass (h)");
+  row_rule(64);
+  {
+    core::SequentialStrategy seq(kTotalSectors, kRequestSectors);
+    const auto r = core::evaluate_mlet(seq, kTotalSectors, bursts, mc);
+    std::printf("%-24s %12.2f %12.2f %12.2f\n", "sequential", r.mlet_hours,
+                r.worst_hours, r.pass_hours);
+  }
+  for (int regions : {4, 16, 64, 128, 512}) {
+    core::StaggeredStrategy stag(kTotalSectors, kRequestSectors, regions);
+    const auto r = core::evaluate_mlet(stag, kTotalSectors, bursts, mc);
+    char label[32];
+    std::snprintf(label, sizeof(label), "staggered (R=%d)", regions);
+    std::printf("%-24s %12.2f %12.2f %12.2f\n", label, r.mlet_hours,
+                r.worst_hours, r.pass_hours);
+  }
+
+  std::printf("\nWithout the detection response (every error waits for its "
+              "own segment):\n");
+  std::printf("%-24s %12s\n", "strategy", "MLET (h)");
+  row_rule(38);
+  core::MletConfig plain = mc;
+  plain.scrub_on_detection = false;
+  {
+    core::SequentialStrategy seq(kTotalSectors, kRequestSectors);
+    const auto r = core::evaluate_mlet(seq, kTotalSectors, bursts, plain);
+    std::printf("%-24s %12.2f\n", "sequential", r.mlet_hours);
+  }
+  {
+    core::StaggeredStrategy stag(kTotalSectors, kRequestSectors, 128);
+    const auto r = core::evaluate_mlet(stag, kTotalSectors, bursts, plain);
+    std::printf("%-24s %12.2f\n", "staggered (R=128)", r.mlet_hours);
+  }
+
+  std::printf(
+      "\nReading: staggered + scan-on-detect cuts MLET well below\n"
+      "sequential; without the response, the schedules are equivalent --\n"
+      "matching the analysis of Oprea & Juels.\n");
+}
+
+}  // namespace
+}  // namespace pscrub::bench
+
+int main() { pscrub::bench::run(); }

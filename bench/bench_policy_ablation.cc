@@ -1,0 +1,150 @@
+// Ablations on the paper's scheduling design choices:
+//
+//  1. "No stopping criterion": prior background-scheduling work pairs a
+//     start rule with a stop rule; the paper argues decreasing hazard
+//     rates make stopping counterproductive. We sweep per-interval firing
+//     budgets against the unbounded Waiting policy.
+//  2. Predictor alternatives: AR(p) (the paper's choice among statistical
+//     models) vs ACD(1,1) (tried and rejected for fitting cost) vs a
+//     moving average -- quality at equal collision rate, and fitting cost.
+//  3. Scheduler substrate: CFQ vs the deadline scheduler for a scrubber
+//     that has no priority class to hide in.
+#include <memory>
+
+#include "bench/common.h"
+
+namespace pscrub::bench {
+namespace {
+
+constexpr const char* kDisk = "MSRusr2";
+
+void stopping_criterion(const trace::Trace& t,
+                        const std::vector<SimTime>& services) {
+  std::printf("\n(1) Stopping criterion ablation (Waiting start=64ms):\n");
+  std::printf("%-18s %14s %16s %12s\n", "budget/interval", "collision rate",
+              "idle utilized", "scrub MB/s");
+  row_rule(64);
+  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  auto run = [&](core::IdlePolicy& policy) {
+    core::PolicySimConfig c;
+    c.scrub_service = core::make_scrub_service(p);
+    c.services = &services;
+    return core::run_policy_sim(t, policy, c);
+  };
+  for (SimTime budget :
+       {100 * kMillisecond, 500 * kMillisecond, 2000 * kMillisecond,
+        8000 * kMillisecond}) {
+    core::DualThresholdPolicy policy(64 * kMillisecond, budget);
+    const auto r = run(policy);
+    std::printf("%-18s %14.4f %16.3f %12.2f\n",
+                (std::to_string(budget / kMillisecond) + "ms").c_str(),
+                r.collision_rate, r.idle_utilization, r.scrub_mb_s);
+  }
+  core::WaitingPolicy unlimited(64 * kMillisecond);
+  const auto r = run(unlimited);
+  std::printf("%-18s %14.4f %16.3f %12.2f   <- the paper's choice\n",
+              "unbounded", r.collision_rate, r.idle_utilization, r.scrub_mb_s);
+}
+
+void predictor_comparison(const trace::Trace& t,
+                          const std::vector<SimTime>& services) {
+  std::printf("\n(2) Predictor comparison (fire when prediction > c):\n");
+  std::printf("%-16s %10s %14s %16s\n", "predictor", "c", "collision rate",
+              "idle utilized");
+  row_rule(60);
+  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  auto run = [&](core::IdlePolicy& policy) {
+    core::PolicySimConfig c;
+    c.scrub_service = core::make_scrub_service(p);
+    c.services = &services;
+    return core::run_policy_sim(t, policy, c);
+  };
+  for (SimTime c : {256 * kMillisecond, 2048 * kMillisecond,
+                    16384 * kMillisecond}) {
+    const std::string label = std::to_string(c / kMillisecond) + "ms";
+    {
+      core::ArPolicy ar(c);
+      const auto r = run(ar);
+      std::printf("%-16s %10s %14.4f %16.3f\n", "AR(p)", label.c_str(),
+                  r.collision_rate, r.idle_utilization);
+    }
+    {
+      core::AcdPolicy acd(c);
+      const auto r = run(acd);
+      std::printf("%-16s %10s %14.4f %16.3f\n", "ACD(1,1)", label.c_str(),
+                  r.collision_rate, r.idle_utilization);
+    }
+    {
+      core::MovingAveragePolicy ma(c);
+      const auto r = run(ma);
+      std::printf("%-16s %10s %14.4f %16.3f\n", "moving avg", label.c_str(),
+                  r.collision_rate, r.idle_utilization);
+    }
+    {
+      core::WaitingPolicy w(c);
+      const auto r = run(w);
+      std::printf("%-16s %10s %14.4f %16.3f\n", "Waiting", label.c_str(),
+                  r.collision_rate, r.idle_utilization);
+    }
+  }
+  std::printf("(Waiting's parameter is a wait threshold, not a prediction\n"
+              " cutoff; shown at the same values for scale.)\n");
+}
+
+void scheduler_substrate() {
+  std::printf("\n(3) Scheduler substrate: back-to-back scrubber vs the\n"
+              "    sequential foreground workload (120 s):\n");
+  std::printf("%-12s %16s %16s\n", "scheduler", "workload MB/s",
+              "scrubber MB/s");
+  row_rule(46);
+  for (const char* which : {"cfq-idle", "cfq-be", "deadline", "noop"}) {
+    Simulator sim;
+    disk::DiskModel d(sim, disk::hitachi_ultrastar_15k450(), 1);
+    std::unique_ptr<block::IoScheduler> sched;
+    block::IoPriority prio = block::IoPriority::kBestEffort;
+    if (std::string(which) == "cfq-idle") {
+      sched = std::make_unique<block::CfqScheduler>();
+      prio = block::IoPriority::kIdle;
+    } else if (std::string(which) == "cfq-be") {
+      sched = std::make_unique<block::CfqScheduler>();
+    } else if (std::string(which) == "deadline") {
+      sched = std::make_unique<block::DeadlineScheduler>();
+    } else {
+      sched = std::make_unique<block::NoopScheduler>();
+    }
+    block::BlockLayer blk(sim, d, std::move(sched));
+    workload::SyntheticConfig wcfg;
+    workload::SequentialChunkWorkload fg(sim, blk, wcfg, 42);
+    fg.start();
+    core::ScrubberConfig scfg;
+    scfg.priority = prio;
+    core::Scrubber s(sim, blk,
+                     core::make_sequential(d.total_sectors(), 64 * 1024),
+                     scfg);
+    s.start();
+    constexpr SimTime kRun = 120 * kSecond;
+    sim.run_until(kRun);
+    std::printf("%-12s %16.2f %16.2f\n", which,
+                fg.metrics().throughput_mb_s(kRun),
+                s.stats().throughput_mb_s(kRun));
+  }
+  std::printf("Only CFQ's Idle class protects the foreground from a\n"
+              "back-to-back scrubber -- the paper's Sec III-B point.\n");
+}
+
+void run() {
+  header("Policy ablations (stopping criterion, predictors, schedulers)");
+  const trace::Trace t = scaled_trace(kDisk, 2'000'000);
+  std::printf("%zu requests of %s replayed (thinned)\n", t.size(), kDisk);
+  const std::vector<SimTime> services = core::precompute_services(
+      t, core::make_foreground_service(disk::hitachi_ultrastar_15k450()));
+
+  stopping_criterion(t, services);
+  predictor_comparison(t, services);
+  scheduler_substrate();
+}
+
+}  // namespace
+}  // namespace pscrub::bench
+
+int main() { pscrub::bench::run(); }

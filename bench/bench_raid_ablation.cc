@@ -1,0 +1,152 @@
+// Ablation: does scrubbing actually prevent data loss?
+//
+// The paper's opening motivation: LSEs are harmless while redundancy is
+// intact, but one discovered on a survivor during RAID reconstruction is
+// unrecoverable. We run a RAID-5 array under a light foreground workload
+// while LSE bursts accumulate, then fail a member and rebuild:
+//   - without scrubbing, the latent errors surface during the rebuild;
+//   - with a Waiting scrubber, they are found and repaired beforehand;
+//   - with a scrubber built on cache-answered ATA VERIFY (the Fig 1
+//     pathology), scrubbing runs at full speed and detects NOTHING.
+#include <memory>
+
+#include "bench/common.h"
+
+namespace pscrub::bench {
+namespace {
+
+constexpr SimTime kQuietPeriod = 2 * kHour;  // LSEs accrue, scrubber works
+
+disk::DiskProfile member_profile(bool sata) {
+  disk::DiskProfile p =
+      sata ? disk::wd_caviar() : disk::hitachi_ultrastar_15k450();
+  p.capacity_bytes = 1LL << 30;  // 1 GB members keep the sim fast
+  return p;
+}
+
+struct Outcome {
+  std::int64_t injected = 0;
+  std::int64_t detections = 0;
+  std::int64_t repaired = 0;
+  std::int64_t lost = 0;
+  double scrub_mb_s = 0.0;
+};
+
+enum class ScrubMode { kNone, kWaiting, kBrokenAtaVerify };
+
+Outcome run_case(ScrubMode mode, SimTime wait_threshold) {
+  Simulator sim;
+  raid::RaidConfig cfg;
+  cfg.data_disks = 4;
+  cfg.parity_disks = 1;
+  const bool sata = mode == ScrubMode::kBrokenAtaVerify;
+  raid::RaidArray array(sim, cfg, member_profile(sata), 2024);
+
+  // Light foreground: a random read every ~250 ms on average.
+  Rng rng(99);
+  std::function<void()> next_read = [&] {
+    const std::int64_t sectors = 128;
+    const std::int64_t lbn =
+        rng.uniform_int(0, array.array_sectors() - sectors - 1);
+    array.read(lbn, sectors, nullptr);
+    sim.after(from_seconds(rng.exponential(0.25)), next_read);
+  };
+  sim.after(0, next_read);
+
+  // LSE bursts: clusters of errors appear on random members over time.
+  Outcome out;
+  Rng lse_rng(7);
+  std::function<void()> next_burst = [&] {
+    if (sim.now() >= kQuietPeriod) return;  // errors accrue pre-failure only
+    const int disk_index = static_cast<int>(
+        lse_rng.uniform_int(0, array.total_disks() - 1));
+    auto& d = array.disk(disk_index);
+    const std::int64_t span = (16 << 20) / disk::kSectorBytes;
+    const std::int64_t base = lse_rng.uniform_int(0, d.total_sectors() - span);
+    const std::int64_t count = 1 + lse_rng.uniform_int(0, 7);
+    for (std::int64_t i = 0; i < count; ++i) {
+      d.inject_lse(base + lse_rng.uniform_int(0, span - 1));
+    }
+    out.injected += count;
+    sim.after(from_seconds(lse_rng.exponential(300.0)), next_burst);
+  };
+  sim.after(0, next_burst);
+
+  // The scrubber under test.
+  std::vector<std::unique_ptr<core::WaitingScrubber>> broken;
+  if (mode == ScrubMode::kWaiting) {
+    array.start_scrubbing(wait_threshold, 512 * 1024);
+  } else if (mode == ScrubMode::kBrokenAtaVerify) {
+    // Same policy, but the verify primitive is ATA VERIFY answered from
+    // the cache: it "scrubs" at electronics speed and sees no media.
+    for (int i = 0; i < array.total_disks(); ++i) {
+      broken.push_back(std::make_unique<core::WaitingScrubber>(
+          sim, array.block(i),
+          core::make_sequential(array.disk(i).total_sectors(), 512 * 1024),
+          wait_threshold, disk::CommandKind::kVerifyAta));
+      broken.back()->start();
+    }
+  }
+
+  sim.run_until(kQuietPeriod);
+  array.stop_scrubbing();
+  for (auto& s : broken) s->stop();
+
+  out.detections = array.stats().scrub_detections;
+  std::int64_t scrub_bytes = array.scrubbed_bytes();
+  for (auto& s : broken) scrub_bytes += s->stats().bytes;
+  out.scrub_mb_s = static_cast<double>(scrub_bytes) / 1e6 /
+                   to_seconds(kQuietPeriod) / array.total_disks();
+  for (int i = 0; i < array.total_disks(); ++i) {
+    out.repaired += array.disk(i).counters().lse_repaired;
+  }
+
+  // Disk 2 dies; rebuild and count what the survivors could not provide.
+  array.fail_disk(2);
+  raid::RebuildResult result;
+  array.rebuild(2, {}, [&](const raid::RebuildResult& r) { result = r; });
+  sim.run_until(kQuietPeriod + 2 * kHour);
+  out.lost = result.sectors_lost;
+  return out;
+}
+
+void run() {
+  header("RAID ablation: scrub policy vs data loss at rebuild (RAID-5, 4+1)");
+  std::printf("%-28s %9s %10s %9s %7s %16s\n", "scrub policy", "injected",
+              "detected", "repaired", "lost", "scrub MB/s/disk");
+  row_rule(86);
+
+  const Outcome none = run_case(ScrubMode::kNone, 0);
+  std::printf("%-28s %9lld %10lld %9lld %7lld %16s\n", "no scrubbing",
+              (long long)none.injected, (long long)none.detections,
+              (long long)none.repaired, (long long)none.lost, "-");
+
+  for (SimTime th : {50 * kMillisecond, 500 * kMillisecond}) {
+    const Outcome o = run_case(ScrubMode::kWaiting, th);
+    char label[64];
+    std::snprintf(label, sizeof(label), "Waiting(%lldms), SCSI VERIFY",
+                  (long long)(th / kMillisecond));
+    std::printf("%-28s %9lld %10lld %9lld %7lld %16.1f\n", label,
+                (long long)o.injected, (long long)o.detections,
+                (long long)o.repaired, (long long)o.lost, o.scrub_mb_s);
+  }
+
+  const Outcome broken = run_case(ScrubMode::kBrokenAtaVerify,
+                                  50 * kMillisecond);
+  std::printf("%-28s %9lld %10lld %9lld %7lld %16.1f\n",
+              "Waiting(50ms), ATA VERIFY", (long long)broken.injected,
+              (long long)broken.detections, (long long)broken.repaired,
+              (long long)broken.lost, broken.scrub_mb_s);
+
+  std::printf(
+      "\nReading: the SCSI-VERIFY scrubber repairs latent errors before the\n"
+      "failure and the rebuild loses (almost) nothing; without scrubbing the\n"
+      "survivors' LSEs become lost sectors; the cache-answered ATA VERIFY\n"
+      "scrubber reports huge scrub rates while protecting nothing (Fig 1's\n"
+      "pathology turned into a reliability statement).\n");
+}
+
+}  // namespace
+}  // namespace pscrub::bench
+
+int main() { pscrub::bench::run(); }

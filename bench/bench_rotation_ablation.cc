@@ -1,0 +1,59 @@
+// Ablation: the rotational-miss hypothesis of Sec IV-A.
+//
+// The paper validates its explanation for why staggered can beat
+// sequential scrubbing ("the sequential stream just-misses its next sector
+// and waits a full rotation; staggered pays a short seek plus half a
+// rotation") by adding small delays between scrub requests: delays smaller
+// than the rotational latency hurt ONLY the staggered scrubber, because
+// the sequential scrubber's delay is absorbed by the rotation it was going
+// to wait for anyway.
+#include <memory>
+
+#include "bench/common.h"
+
+namespace pscrub::bench {
+namespace {
+
+double throughput(bool staggered, SimTime delay) {
+  Simulator sim;
+  disk::DiskModel d(sim, disk::hitachi_ultrastar_15k450(), 1);
+  block::BlockLayer blk(sim, d, std::make_unique<block::NoopScheduler>());
+  core::ScrubberConfig cfg;
+  cfg.priority = block::IoPriority::kBestEffort;
+  cfg.inter_request_delay = delay;
+  auto strategy = staggered
+                      ? core::make_staggered(d.total_sectors(), 64 * 1024, 128)
+                      : core::make_sequential(d.total_sectors(), 64 * 1024);
+  core::Scrubber s(sim, blk, std::move(strategy), cfg);
+  s.start();
+  sim.run_until(60 * kSecond);
+  return s.stats().throughput_mb_s(60 * kSecond);
+}
+
+void run() {
+  header("Rotation ablation: sub-rotational delays between scrub requests");
+  const SimTime rotation = disk::hitachi_ultrastar_15k450().rotation_period();
+  std::printf("rotational latency: %s\n\n", format_duration(rotation).c_str());
+  std::printf("%-12s %16s %16s\n", "delay", "sequential MB/s",
+              "staggered MB/s");
+  row_rule(46);
+  const double seq0 = throughput(false, 0);
+  const double stag0 = throughput(true, 0);
+  for (SimTime delay : {SimTime{0}, kMillisecond / 2, kMillisecond,
+                        2 * kMillisecond, 3 * kMillisecond}) {
+    std::printf("%-12s %16.1f %16.1f\n", format_duration(delay).c_str(),
+                throughput(false, delay), throughput(true, delay));
+  }
+  std::printf("\nloss at 3 ms delay: sequential %.0f%%, staggered %.0f%%\n",
+              100.0 * (1.0 - throughput(false, 3 * kMillisecond) / seq0),
+              100.0 * (1.0 - throughput(true, 3 * kMillisecond) / stag0));
+  std::printf(
+      "\nReading: sub-rotational delays are absorbed by the sequential\n"
+      "scrubber's rotation wait but cost the staggered scrubber directly --\n"
+      "validating the Sec IV-A mechanism.\n");
+}
+
+}  // namespace
+}  // namespace pscrub::bench
+
+int main() { pscrub::bench::run(); }

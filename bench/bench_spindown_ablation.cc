@@ -1,0 +1,100 @@
+// Ablation: the paper's conclusion applied -- using the Waiting insight
+// for power management instead of scrubbing.
+//
+// Replay one hour of a catalog trace against the event-driven disk with a
+// SpinDownDaemon, sweeping the idleness threshold. Decreasing hazard
+// rates mean a threshold-selected idle interval tends to be long enough
+// to amortize the spin-up: energy drops steeply while added latency stays
+// bounded. The memoryless TPC-C counter-example gains nothing.
+#include <memory>
+
+#include "bench/common.h"
+
+namespace pscrub::bench {
+namespace {
+
+constexpr SimTime kWindow = 1 * kHour;
+
+trace::Trace window_of(const std::string& name, std::int64_t max_records) {
+  const trace::Trace full = scaled_trace(name, max_records);
+  trace::Trace out;
+  out.name = full.name;
+  out.duration = std::min(kWindow, full.duration);
+  for (const auto& r : full.records) {
+    if (r.arrival >= out.duration) break;
+    out.records.push_back(r);
+  }
+  return out;
+}
+
+struct Outcome {
+  double avg_watts = 0.0;
+  double standby_fraction = 0.0;
+  std::int64_t spinups = 0;
+  double mean_added_latency_ms = 0.0;
+};
+
+Outcome run_case(const trace::Trace& t, SimTime threshold) {
+  Simulator sim;
+  disk::DiskModel d(sim, disk::hitachi_ultrastar_15k450(), 1);
+  block::BlockLayer blk(sim, d, std::make_unique<block::CfqScheduler>());
+  workload::TraceReplayWorkload w(sim, blk, t);
+  w.start();
+
+  std::unique_ptr<core::SpinDownDaemon> daemon;
+  if (threshold > 0) {
+    daemon = std::make_unique<core::SpinDownDaemon>(sim, blk, threshold);
+    daemon->start();
+  }
+  const SimTime horizon = t.duration + kMinute;
+  sim.run_until(horizon);
+
+  Outcome out;
+  out.avg_watts = d.energy_joules() / to_seconds(sim.now());
+  out.spinups = d.spinups();
+  if (!t.records.empty()) {
+    out.mean_added_latency_ms =
+        to_milliseconds(d.spinup_wait()) /
+        static_cast<double>(t.records.size());
+  }
+  // Standby fraction inferred from the energy mix.
+  const auto& p = d.profile();
+  const double idle_like =
+      (out.avg_watts - p.standby_watts) / (p.idle_watts - p.standby_watts);
+  out.standby_fraction = std::max(0.0, 1.0 - idle_like);
+  return out;
+}
+
+void run_disk(const std::string& name, std::int64_t max_records) {
+  const trace::Trace t = window_of(name, max_records);
+  std::printf("\n%s (first hour, %zu requests):\n", name.c_str(), t.size());
+  std::printf("  %-12s %10s %12s %10s %18s\n", "threshold", "avg W",
+              "standby frac", "spinups", "added lat/req (ms)");
+  row_rule(70);
+  const Outcome base = run_case(t, 0);
+  std::printf("  %-12s %10.2f %12.2f %10lld %18.3f\n", "always-on",
+              base.avg_watts, 0.0, (long long)base.spinups, 0.0);
+  for (SimTime th : {2 * kSecond, 10 * kSecond, 60 * kSecond}) {
+    const Outcome o = run_case(t, th);
+    std::printf("  %-12s %10.2f %12.2f %10lld %18.3f\n",
+                (std::to_string(th / kSecond) + "s").c_str(), o.avg_watts,
+                o.standby_fraction, (long long)o.spinups,
+                o.mean_added_latency_ms);
+  }
+}
+
+void run() {
+  header("Spin-down ablation: Waiting-style idleness used for power");
+  run_disk("HPc6t5d1", 1'000'000);
+  run_disk("MSRusr1", 1'000'000);
+  run_disk("TPCdisk66", 600'000);
+  std::printf(
+      "\nReading: on heavy-tailed disk traces a 10-60 s threshold converts\n"
+      "most idle time to standby at a bounded latency cost; on memoryless\n"
+      "TPC-C there are no long intervals to harvest.\n");
+}
+
+}  // namespace
+}  // namespace pscrub::bench
+
+int main() { pscrub::bench::run(); }

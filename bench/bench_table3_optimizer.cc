@@ -1,0 +1,88 @@
+// Table III: the fixed-Waiting tuning procedure on four disk traces, for
+// mean-slowdown goals of 1, 2 and 4 ms, compared against CFQ (modelled as
+// its 10 ms idle-window gate with 64 KB requests).
+//
+// Paper results reproduced: the optimizer picks large requests (~1-4 MB)
+// with workload-specific thresholds and achieves tens of MB/s within
+// millisecond slowdown goals; CFQ's fixed 10 ms threshold and 64 KB
+// requests yield far less throughput and (on bursty traces) orders of
+// magnitude more slowdown.
+#include "bench/common.h"
+
+namespace pscrub::bench {
+namespace {
+
+void run_disk(const char* disk_name) {
+  const trace::Trace t = scaled_trace(disk_name, 4'500'000);
+  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  const std::vector<SimTime> services =
+      core::precompute_services(t, core::make_foreground_service(p));
+
+  core::OptimizerConfig oc;
+  oc.scrub_service = core::make_scrub_service(p);
+  oc.services = &services;
+  oc.binary_search_iters = 9;
+
+  std::printf("\n%s (%zu requests, thinned):\n", disk_name, t.size());
+  std::printf("  %-12s %14s %12s %12s %12s\n", "goal", "mean sldn (ms)",
+              "MB/s", "threshold", "req size");
+  row_rule(70);
+  for (double goal_ms : {1.0, 2.0, 4.0}) {
+    core::SlowdownGoal goal;
+    goal.mean = from_seconds(goal_ms * 1e-3);
+    const auto best = core::optimize(t, oc, goal);
+    std::printf("  %-12.1f %14.3f %12.2f %10lldms %12s\n", goal_ms,
+                best.achieved_mean_slowdown_ms, best.scrub_mb_s,
+                static_cast<long long>(best.threshold / kMillisecond),
+                size_label(best.request_bytes).c_str());
+  }
+
+  // CFQ reference: its Idle class fires after a fixed 10 ms of idleness,
+  // with 64 KB requests, and keeps firing until foreground work arrives.
+  {
+    core::WaitingPolicy cfq(10 * kMillisecond);
+    core::PolicySimConfig sc;
+    sc.scrub_service = core::make_scrub_service(p);
+    sc.services = &services;
+    sc.sizer = core::ScrubSizer::fixed(64 * 1024);
+    const auto r = core::run_policy_sim(t, cfq, sc);
+    std::printf("  %-12s %14.3f %12.2f %10s %12s\n", "CFQ",
+                r.mean_slowdown_ms, r.scrub_mb_s, "10ms", "64K");
+  }
+
+  // CFQ at the trace's FULL request volume: this is where the paper's
+  // orders-of-magnitude slowdowns come from -- dense bursts arriving
+  // while a 10 ms-threshold scrubber holds the disk cascade through the
+  // queue. (The optimizer rows above use the thinned trace for runtime.)
+  if (bench_scale() < 0.0) {
+    auto spec = trace::spec_by_name(disk_name);
+    trace::SyntheticGenerator gen(*spec);
+    const trace::Trace full = gen.generate_trace(1.0);
+    const std::vector<SimTime> full_services =
+        core::precompute_services(full, core::make_foreground_service(p));
+    core::WaitingPolicy cfq(10 * kMillisecond);
+    core::PolicySimConfig sc;
+    sc.scrub_service = core::make_scrub_service(p);
+    sc.services = &full_services;
+    sc.sizer = core::ScrubSizer::fixed(64 * 1024);
+    const auto r = core::run_policy_sim(full, cfq, sc);
+    std::printf("  %-12s %14.3f %12.2f %10s %12s   (full volume, %zu reqs)\n",
+                "CFQ", r.mean_slowdown_ms, r.scrub_mb_s, "10ms", "64K",
+                full.size());
+  }
+}
+
+void run() {
+  header("Table III: fixed Waiting optimizer vs CFQ");
+  for (const char* d : {"HPc6t8d0", "HPc6t5d1", "MSRsrc11", "MSRusr1"}) {
+    run_disk(d);
+  }
+  std::printf(
+      "\nReading: per-workload (size, threshold) tuning yields far more\n"
+      "throughput per ms of slowdown than CFQ's fixed 10ms/64K policy.\n");
+}
+
+}  // namespace
+}  // namespace pscrub::bench
+
+int main() { pscrub::bench::run(); }

@@ -1,0 +1,124 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench regenerates one table or figure of the paper and prints the
+// same rows/series the paper reports. Heavy SNIA-scale traces are thinned
+// via `scaled_trace` (statistical shape preserved, volume capped) so the
+// whole suite runs in minutes; set PSCRUB_BENCH_SCALE=1 to run full size.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pscrub.h"
+
+namespace pscrub::bench {
+
+inline double bench_scale() {
+  if (const char* env = std::getenv("PSCRUB_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0 && s <= 1.0) return s;
+  }
+  return -1.0;  // default: per-bench record caps
+}
+
+/// Generates a catalog trace thinned to at most `max_records` (unless
+/// PSCRUB_BENCH_SCALE overrides the policy).
+inline trace::Trace scaled_trace(const std::string& name,
+                                 std::int64_t max_records = 1'500'000) {
+  auto spec = trace::spec_by_name(name);
+  if (!spec) throw std::runtime_error("unknown trace: " + name);
+  double scale = 1.0;
+  const double env_scale = bench_scale();
+  if (env_scale > 0.0) {
+    scale = env_scale;
+  } else if (spec->target_requests > max_records) {
+    scale = static_cast<double>(max_records) /
+            static_cast<double>(spec->target_requests);
+  }
+  trace::SyntheticGenerator gen(*spec);
+  return gen.generate_trace(scale);
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void row_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Pretty request-size label (64K, 1M, ...).
+inline std::string size_label(std::int64_t bytes) {
+  char buf[32];
+  if (bytes >= (1 << 20) && bytes % (1 << 20) == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldM",
+                  static_cast<long long>(bytes >> 20));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldK",
+                  static_cast<long long>(bytes >> 10));
+  }
+  return buf;
+}
+
+/// Service model reflecting the system a trace was recorded on: the SNIA
+/// traces carry original completion timestamps, so idle intervals are
+/// defined against the *original* system's service times. Disk traces
+/// (Cello/MSR) ran on single disks (use the reference drive's model);
+/// TPC-C ran on a fast storage array (electronics + bus only).
+inline trace::ServiceModel recorded_service_model(
+    const trace::TraceSpec& spec) {
+  if (spec.collection == "MS TPC-C") {
+    const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+    return [p](const trace::TraceRecord& r) {
+      return from_seconds(0.3e-3) + p.bus_transfer(r.bytes());
+    };
+  }
+  return core::make_foreground_service(disk::hitachi_ultrastar_15k450());
+}
+
+/// Idle-interval durations (seconds) of a catalog trace under the
+/// recorded-system service model, extracted from the FULL request volume
+/// by streaming (no trace materialization) -- the shared input of the
+/// Figs 10-13 / Table II analyses.
+inline std::vector<double> idle_intervals_streamed(const std::string& name) {
+  auto spec = trace::spec_by_name(name);
+  if (!spec) throw std::runtime_error("unknown trace: " + name);
+  const trace::ServiceModel service = recorded_service_model(*spec);
+  trace::SyntheticGenerator gen(*spec);
+  std::vector<double> idles;
+  SimTime busy_until = 0;
+  gen.generate([&](const trace::TraceRecord& r) {
+    if (r.arrival > busy_until) {
+      idles.push_back(to_seconds(r.arrival - busy_until));
+    }
+    const SimTime start = std::max(r.arrival, busy_until);
+    busy_until = start + service(r);
+  });
+  return idles;
+}
+
+/// Idle intervals of the thinned trace used by the policy-simulation
+/// benches (thresholds chosen against the same thinned instance).
+inline std::vector<double> idle_intervals_for(const std::string& name,
+                                              std::int64_t max_records =
+                                                  1'500'000) {
+  const trace::Trace t = scaled_trace(name, max_records);
+  const trace::IdleExtraction e = trace::extract_idle_intervals(
+      t, core::make_foreground_service(disk::hitachi_ultrastar_15k450()));
+  return e.idle_seconds;
+}
+
+/// The standard request-size sweep of Figs 1/4/5a.
+inline std::vector<std::int64_t> size_sweep_1k_16m() {
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t s = 1024; s <= 16 * 1024 * 1024; s *= 2) {
+    sizes.push_back(s);
+  }
+  return sizes;
+}
+
+}  // namespace pscrub::bench

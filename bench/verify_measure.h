@@ -1,0 +1,31 @@
+// Event-driven measurement of back-to-back sequential VERIFY streams,
+// shared by the Fig 1 / Fig 4 benches.
+#pragma once
+
+#include "pscrub.h"
+
+namespace pscrub::bench {
+
+/// Mean response time (ms) of `n` back-to-back sequential VERIFYs of
+/// `bytes` each, measured on the event-driven disk model.
+inline double measure_sequential_verify(disk::DiskProfile profile,
+                                        disk::CommandKind kind,
+                                        std::int64_t bytes, int n = 64) {
+  Simulator sim;
+  disk::DiskModel d(sim, std::move(profile), 7);
+  const std::int64_t sectors = disk::sectors_from_bytes(bytes);
+  SimTime total = 0;
+  disk::Lbn lbn = 0;
+  for (int i = 0; i < n; ++i) {
+    if (lbn + sectors > d.total_sectors()) lbn = 0;
+    SimTime latency = 0;
+    d.submit({kind, lbn, sectors},
+             [&](const disk::DiskCommand&, SimTime l) { latency = l; });
+    sim.run();
+    total += latency;
+    lbn += sectors;
+  }
+  return to_milliseconds(total) / n;
+}
+
+}  // namespace pscrub::bench

@@ -1,0 +1,72 @@
+// MLET study: why staggered scrubbing exists.
+//
+// Injects latent-sector-error bursts into a simulated disk and measures
+// the Mean Latent Error Time of sequential scrubbing versus staggered
+// scrubbing with increasing region counts, at a configurable scrub pace.
+//
+//   ./mlet_study [pass_hours] [regions...]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "pscrub.h"
+
+using namespace pscrub;
+
+int main(int argc, char** argv) {
+  const double pass_hours = argc > 1 ? std::atof(argv[1]) : 24.0;
+  std::vector<int> region_counts;
+  for (int i = 2; i < argc; ++i) region_counts.push_back(std::atoi(argv[i]));
+  if (region_counts.empty()) region_counts = {4, 16, 64, 128};
+
+  // ~32 GB device: at R = 128 a region is 256 MB, matching the error
+  // bursts' spatial locality (the regime staggered scrubbing targets).
+  constexpr std::int64_t kTotalSectors = 62'500'000;
+  constexpr std::int64_t kRequestSectors = 1024;  // 512 KB verifies
+
+  // Pace the scrubber so one pass takes `pass_hours`.
+  const std::int64_t requests_per_pass =
+      (kTotalSectors + kRequestSectors - 1) / kRequestSectors;
+  core::MletConfig mc;
+  mc.request_service = from_seconds(pass_hours * 3600.0 /
+                                    static_cast<double>(requests_per_pass));
+  mc.request_spacing = 0;
+
+  // LSE model: bursts of errors with multi-MB spatial locality.
+  Rng rng(7);
+  core::LseModelConfig lse;
+  lse.burst_interarrival_mean = 3 * kDay;
+  lse.burst_span_bytes = 256LL << 20;
+  const auto bursts =
+      core::generate_lse_bursts(lse, kTotalSectors, 120 * kDay, rng);
+  std::int64_t errors = 0;
+  for (const auto& b : bursts) {
+    errors += static_cast<std::int64_t>(b.sectors.size());
+  }
+  std::printf("scrub pass: %.1f h; injected %zu bursts / %lld errors over "
+              "120 days\n\n",
+              pass_hours, bursts.size(), static_cast<long long>(errors));
+
+  std::printf("%-22s %12s %12s\n", "strategy", "MLET (h)", "worst (h)");
+  for (int i = 0; i < 48; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  core::SequentialStrategy seq(kTotalSectors, kRequestSectors);
+  const auto rs = core::evaluate_mlet(seq, kTotalSectors, bursts, mc);
+  std::printf("%-22s %12.2f %12.2f\n", "sequential", rs.mlet_hours,
+              rs.worst_hours);
+
+  for (int regions : region_counts) {
+    core::StaggeredStrategy stag(kTotalSectors, kRequestSectors, regions);
+    const auto r = core::evaluate_mlet(stag, kTotalSectors, bursts, mc);
+    std::printf("staggered (R=%-4d)     %12.2f %12.2f   (%.1fx better)\n",
+                regions, r.mlet_hours, r.worst_hours,
+                rs.mlet_hours / r.mlet_hours);
+  }
+
+  std::printf(
+      "\nStaggered probing detects a burst's first error quickly and the\n"
+      "detection response mops up the rest -- and per Figs 5-7 of the\n"
+      "paper, it costs nothing in scrub throughput at >=128 regions.\n");
+  return 0;
+}

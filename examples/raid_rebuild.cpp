@@ -1,0 +1,91 @@
+// RAID rebuild walkthrough: the scenario that motivates scrubbing.
+//
+// Builds a RAID-5 array, plants latent sector errors on a survivor,
+// optionally scrubs, then fails a member and rebuilds -- printing what was
+// lost. Run it twice to see the difference a scrubber makes:
+//
+//   ./raid_rebuild            # with scrubbing (default)
+//   ./raid_rebuild --no-scrub # without
+#include <cstdio>
+#include <cstring>
+
+#include "pscrub.h"
+
+using namespace pscrub;
+
+int main(int argc, char** argv) {
+  const bool scrub = !(argc > 1 && std::strcmp(argv[1], "--no-scrub") == 0);
+
+  Simulator sim;
+  raid::RaidConfig cfg;
+  cfg.data_disks = 4;
+  cfg.parity_disks = 1;
+  disk::DiskProfile member = disk::hitachi_ultrastar_15k450();
+  member.capacity_bytes = 2LL << 30;  // 2 GB members for a quick demo
+  raid::RaidArray array(sim, cfg, member, 42);
+
+  std::printf("RAID-5 array: %d+%d x %s (%.1f GB usable)\n",
+              cfg.data_disks, cfg.parity_disks, member.name.c_str(),
+              static_cast<double>(array.array_sectors()) *
+                  disk::kSectorBytes / 1e9);
+
+  // A burst of latent errors develops on disk 0 -- silent, as always.
+  Rng rng(7);
+  const std::int64_t span = (32 << 20) / disk::kSectorBytes;
+  const std::int64_t base =
+      rng.uniform_int(0, array.disk(0).total_sectors() - span);
+  for (int i = 0; i < 12; ++i) {
+    array.disk(0).inject_lse(base + rng.uniform_int(0, span - 1));
+  }
+  std::printf("injected a burst of %zu latent errors on disk 0 (silent)\n",
+              array.disk(0).lse_count());
+
+  if (scrub) {
+    array.start_scrubbing(/*wait_threshold=*/20 * kMillisecond,
+                          /*request_bytes=*/1 << 20);
+    std::printf("scrubbing all members (Waiting 20 ms, 1 MB verifies)...\n");
+  } else {
+    std::printf("scrubbing disabled.\n");
+  }
+
+  // Quiet period: the scrubber (if any) sweeps the members.
+  sim.run_until(3 * kMinute);
+  array.stop_scrubbing();
+  std::printf("after %s: %lld detections, %zu latent errors remain on "
+              "disk 0\n",
+              format_duration(sim.now()).c_str(),
+              static_cast<long long>(array.stats().scrub_detections),
+              array.disk(0).lse_count());
+
+  // Disaster: disk 2 fails. Rebuild onto a replacement.
+  std::printf("\ndisk 2 fails; rebuilding onto a replacement...\n");
+  array.fail_disk(2);
+  raid::RebuildResult result;
+  bool done = false;
+  array.rebuild(2, {}, [&](const raid::RebuildResult& r) {
+    result = r;
+    done = true;
+  });
+  sim.run();
+  if (!done) {
+    std::printf("rebuild did not complete (unexpected)\n");
+    return 1;
+  }
+
+  std::printf("rebuild finished in %s: %lld stripes restored\n",
+              format_duration(result.duration).c_str(),
+              static_cast<long long>(result.stripes_rebuilt));
+  if (result.sectors_lost == 0) {
+    std::printf("DATA INTACT: every sector reconstructed.\n");
+  } else {
+    std::printf("DATA LOSS: %lld sectors unrecoverable (latent errors on a\n"
+                "survivor met the failed disk's erasure).\n",
+                static_cast<long long>(result.sectors_lost));
+  }
+  if (scrub) {
+    std::printf("\nre-run with --no-scrub to watch those sectors vanish.\n");
+  } else {
+    std::printf("\nre-run without --no-scrub to watch scrubbing save them.\n");
+  }
+  return result.sectors_lost == 0 ? 0 : 2;
+}

@@ -1,0 +1,109 @@
+// Trace tool: generate, export, import and summarize catalog traces.
+//
+//   ./trace_tool list
+//   ./trace_tool export <disk_label> <out.csv> [scale]
+//   ./trace_tool summarize <in.csv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "pscrub.h"
+
+using namespace pscrub;
+
+namespace {
+
+int cmd_list() {
+  std::printf("%-12s %-16s %-18s %14s %10s\n", "label", "collection",
+              "description", "requests", "duration");
+  for (const trace::TraceSpec& s : trace::table1_specs()) {
+    std::printf("%-12s %-16s %-18s %14lld %10s\n", s.name.c_str(),
+                s.collection.c_str(), s.description.c_str(),
+                static_cast<long long>(s.target_requests),
+                format_duration(s.duration).c_str());
+  }
+  std::printf("\n(+ %zu secondary disks via the busiest-63 catalog; "
+              "MSRusr2 also available)\n",
+              trace::busiest63_specs().size() - 10);
+  return 0;
+}
+
+int cmd_export(const char* label, const char* path, double scale) {
+  auto spec = trace::spec_by_name(label);
+  if (!spec) {
+    std::fprintf(stderr, "unknown disk label: %s (try `trace_tool list`)\n",
+                 label);
+    return 1;
+  }
+  trace::SyntheticGenerator gen(*spec);
+  const trace::Trace t = gen.generate_trace(scale);
+  trace::write_csv_file(t, path);
+  std::printf("wrote %zu records of %s (scale %.3f) to %s\n", t.size(),
+              label, scale, path);
+  return 0;
+}
+
+int cmd_summarize(const char* path) {
+  const trace::Trace t = trace::read_csv_file(path);
+  std::printf("%s: %zu records over %s\n", path, t.size(),
+              format_duration(t.duration).c_str());
+  if (t.empty()) return 0;
+
+  std::int64_t reads = 0;
+  std::int64_t bytes = 0;
+  for (const auto& r : t.records) {
+    reads += r.is_write ? 0 : 1;
+    bytes += r.bytes();
+  }
+  std::printf("  reads: %.1f%%   volume: %.2f GB   mean request: %.1f KB\n",
+              100.0 * static_cast<double>(reads) /
+                  static_cast<double>(t.size()),
+              static_cast<double>(bytes) / 1e9,
+              static_cast<double>(bytes) / static_cast<double>(t.size()) /
+                  1024.0);
+
+  const stats::Summary gaps = stats::summarize(t.interarrival_seconds());
+  std::printf("  inter-arrival: mean %.4f s, CoV %.2f\n", gaps.mean,
+              gaps.cov);
+
+  const auto counts = t.hourly_counts();
+  if (counts.size() >= 48) {
+    const stats::PeriodResult period = stats::detect_period(counts);
+    if (period.period_hours > 1) {
+      std::printf("  periodicity: %zu h (ANOVA F=%.1f)\n",
+                  period.period_hours, period.f_statistic);
+    } else {
+      std::printf("  periodicity: none detected\n");
+    }
+  }
+
+  const auto idle = trace::extract_idle_intervals(
+      t, core::make_foreground_service(disk::hitachi_ultrastar_15k450()));
+  const stats::Summary is = stats::summarize(idle.idle_seconds);
+  stats::ResidualLife life(idle.idle_seconds);
+  std::printf("  idle intervals: %zu, mean %.4f s, CoV %.2f; "
+              "15%%-largest hold %.0f%% of idle time\n",
+              idle.idle_seconds.size(), is.mean, is.cov,
+              100.0 * life.tail_weight(0.15));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "list") == 0) return cmd_list();
+  if (argc >= 4 && std::strcmp(argv[1], "export") == 0) {
+    const double scale = argc >= 5 ? std::atof(argv[4]) : 0.01;
+    return cmd_export(argv[2], argv[3], scale);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "summarize") == 0) {
+    return cmd_summarize(argv[2]);
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s list\n"
+               "  %s export <disk_label> <out.csv> [scale=0.01]\n"
+               "  %s summarize <in.csv>\n",
+               argv[0], argv[0], argv[0]);
+  return 1;
+}

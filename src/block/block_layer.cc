@@ -1,0 +1,102 @@
+#include "block/block_layer.h"
+
+#include <cassert>
+#include <utility>
+
+namespace pscrub::block {
+
+BlockLayer::BlockLayer(Simulator& sim, disk::DiskModel& disk,
+                       std::unique_ptr<IoScheduler> scheduler)
+    : sim_(sim), disk_(disk), scheduler_(std::move(scheduler)) {}
+
+SimTime BlockLayer::disk_idle_for() const {
+  if (disk_busy()) return 0;
+  return sim_.now() - last_completion_;
+}
+
+SimTime BlockLayer::foreground_idle_for() const {
+  if (foreground_in_flight_) return 0;
+  return sim_.now() - last_foreground_activity_;
+}
+
+void BlockLayer::submit(BlockRequest request) {
+  request.submit_time = sim_.now();
+  request.id = next_id_++;
+  ++stats_.submitted;
+  if (request.priority != IoPriority::kIdle) {
+    last_foreground_activity_ = sim_.now();
+  }
+
+  // Collision accounting: a foreground request arriving while a background
+  // request occupies the disk is delayed by at least the background
+  // request's remaining service time.
+  if (!request.background && in_flight_ > 0 && in_flight_background_) {
+    ++stats_.collisions;
+    stats_.collision_delay_sum += in_flight_eta_ - sim_.now();
+  }
+  if (on_request_ && !request.background) on_request_(request);
+
+  scheduler_->add(std::move(request));
+  try_dispatch();
+}
+
+void BlockLayer::try_dispatch() {
+  if (in_flight_ > 0) return;  // one request at the drive at a time
+  if (scheduler_->empty()) return;
+
+  DispatchContext ctx;
+  ctx.now = sim_.now();
+  ctx.disk_idle_for = disk_idle_for();
+  ctx.foreground_idle_for = foreground_idle_for();
+  SimTime retry_after = 0;
+  std::optional<BlockRequest> next = scheduler_->select(ctx, &retry_after);
+  if (!next) {
+    if (retry_after > 0 && !retry_pending_) {
+      retry_pending_ = true;
+      retry_event_ = sim_.after(retry_after, [this] {
+        retry_pending_ = false;
+        try_dispatch();
+      });
+    }
+    return;
+  }
+  if (retry_pending_) {
+    sim_.cancel(retry_event_);
+    retry_pending_ = false;
+  }
+
+  ++in_flight_;
+  in_flight_background_ = next->background;
+  if (next->priority != IoPriority::kIdle) foreground_in_flight_ = true;
+
+  // The disk is free (in_flight_ was 0), so service starts immediately and
+  // the model can tell us the completion time right after submission.
+  auto request = std::make_shared<BlockRequest>(std::move(*next));
+  disk_.submit(request->cmd,
+               [this, request](const disk::DiskCommand&, SimTime) {
+                 const SimTime latency = sim_.now() - request->submit_time;
+                 --in_flight_;
+                 last_completion_ = sim_.now();
+                 if (request->priority != IoPriority::kIdle) {
+                   last_foreground_activity_ = sim_.now();
+                   foreground_in_flight_ = false;
+                 }
+                 ++stats_.completed;
+                 if (request->background) {
+                   ++stats_.background_completed;
+                   stats_.background_bytes += request->cmd.bytes();
+                 } else {
+                   ++stats_.foreground_completed;
+                   stats_.foreground_bytes += request->cmd.bytes();
+                   stats_.foreground_latency_sum += latency;
+                 }
+                 if (request->on_complete) {
+                   request->on_complete(*request, latency);
+                 }
+                 try_dispatch();
+                 if (on_idle_ && idle()) on_idle_();
+               });
+  in_flight_eta_ = disk_.busy_until();
+}
+
+}  // namespace pscrub::block

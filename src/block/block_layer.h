@@ -1,0 +1,91 @@
+// The block layer: binds an I/O scheduler to a disk and runs the dispatch
+// loop. Mirrors the role of the linux Generic Block Layer in the paper's
+// Fig 2 architecture.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "block/io_scheduler.h"
+#include "disk/disk_model.h"
+#include "sim/simulator.h"
+
+namespace pscrub::block {
+
+struct BlockLayerStats {
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  std::int64_t foreground_completed = 0;
+  std::int64_t background_completed = 0;
+  std::int64_t foreground_bytes = 0;
+  std::int64_t background_bytes = 0;
+  SimTime foreground_latency_sum = 0;
+  /// Foreground requests that arrived while a background request was in
+  /// service ("collisions", Sec V).
+  std::int64_t collisions = 0;
+  /// Total foreground delay attributable to in-service background requests
+  /// at arrival time (first-order slowdown).
+  SimTime collision_delay_sum = 0;
+};
+
+class BlockLayer {
+ public:
+  BlockLayer(Simulator& sim, disk::DiskModel& disk,
+             std::unique_ptr<IoScheduler> scheduler);
+
+  /// Queues a request with the scheduler and kicks the dispatch loop.
+  void submit(BlockRequest request);
+
+  const IoScheduler& scheduler() const { return *scheduler_; }
+  const BlockLayerStats& stats() const { return stats_; }
+  disk::DiskModel& disk() { return disk_; }
+
+  /// How long the disk has been continuously idle (0 while busy).
+  SimTime disk_idle_for() const;
+
+  /// How long since the last non-Idle-class submission or completion
+  /// (what CFQ's idle window measures).
+  SimTime foreground_idle_for() const;
+
+  /// Pending requests (queued in the scheduler; excludes in-service).
+  std::size_t queue_depth() const { return scheduler_->size(); }
+
+  bool disk_busy() const { return disk_.busy() || in_flight_ > 0; }
+
+  bool idle() const { return !disk_busy() && scheduler_->empty(); }
+
+  /// Registers a callback fired whenever the system transitions to idle
+  /// (a completion drains the last request). Used by idleness-gated
+  /// scrubbers.
+  void set_idle_observer(std::function<void()> fn) {
+    on_idle_ = std::move(fn);
+  }
+
+  /// Registers a callback fired at submission of every foreground
+  /// (non-background) request. Used by the adaptive tuner to record the
+  /// live workload.
+  void set_request_observer(std::function<void(const BlockRequest&)> fn) {
+    on_request_ = std::move(fn);
+  }
+
+ private:
+  void try_dispatch();
+
+  Simulator& sim_;
+  disk::DiskModel& disk_;
+  std::unique_ptr<IoScheduler> scheduler_;
+  BlockLayerStats stats_;
+  std::uint64_t next_id_ = 1;
+  SimTime last_completion_ = 0;
+  SimTime last_foreground_activity_ = 0;
+  bool foreground_in_flight_ = false;
+  int in_flight_ = 0;
+  bool in_flight_background_ = false;
+  SimTime in_flight_eta_ = 0;
+  EventId retry_event_ = 0;
+  bool retry_pending_ = false;
+  std::function<void()> on_idle_;
+  std::function<void(const BlockRequest&)> on_request_;
+};
+
+}  // namespace pscrub::block

@@ -1,0 +1,90 @@
+#include "block/cfq_scheduler.h"
+
+#include <utility>
+
+namespace pscrub::block {
+
+const char* to_string(IoPriority p) {
+  switch (p) {
+    case IoPriority::kRealtime: return "rt";
+    case IoPriority::kBestEffort: return "be";
+    case IoPriority::kIdle: return "idle";
+  }
+  return "?";
+}
+
+CfqScheduler::CfqScheduler(SimTime idle_window, std::int64_t max_merge_bytes,
+                           SimTime fifo_expire)
+    : idle_window_(idle_window),
+      fifo_expire_(fifo_expire),
+      classes_{Elevator(max_merge_bytes), Elevator(max_merge_bytes),
+               Elevator(max_merge_bytes)} {}
+
+void CfqScheduler::add(BlockRequest request) {
+  if (request.soft_barrier) {
+    // ioctl path: no sorting, no merging, no priority.
+    barriers_.push_back(std::move(request));
+    return;
+  }
+  classes_[index(request.priority)].add(std::move(request));
+}
+
+bool CfqScheduler::empty() const {
+  if (!barriers_.empty()) return false;
+  for (const auto& c : classes_) {
+    if (!c.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t CfqScheduler::size() const {
+  std::size_t n = barriers_.size();
+  for (const auto& c : classes_) n += c.size();
+  return n;
+}
+
+std::optional<BlockRequest> CfqScheduler::select(const DispatchContext& ctx,
+                                                 SimTime* retry_after) {
+  // Pick the highest non-empty class among RT and BE.
+  Elevator* sortable = nullptr;
+  if (!classes_[index(IoPriority::kRealtime)].empty()) {
+    sortable = &classes_[index(IoPriority::kRealtime)];
+  } else if (!classes_[index(IoPriority::kBestEffort)].empty()) {
+    sortable = &classes_[index(IoPriority::kBestEffort)];
+  }
+
+  // Soft barriers compete with sortable requests in arrival order: the
+  // kernel dispatches whichever has been waiting longest. This keeps a
+  // back-to-back user-level scrubber and a foreground workload roughly
+  // alternating (Fig 3).
+  if (!barriers_.empty()) {
+    const bool barrier_first =
+        sortable == nullptr ||
+        barriers_.front().submit_time <= sortable->oldest_arrival();
+    if (barrier_first) {
+      BlockRequest r = std::move(barriers_.front());
+      barriers_.pop_front();
+      return r;
+    }
+  }
+  if (sortable != nullptr) {
+    // Anti-starvation: serve a request that has waited past fifo_expire
+    // before continuing the scan (prevents an endless sequential stream --
+    // e.g. a back-to-back scrubber -- from starving far-away LBNs).
+    if (ctx.now - sortable->oldest_arrival() > fifo_expire_) {
+      return sortable->pop_oldest();
+    }
+    return sortable->pop();
+  }
+
+  // Only Idle-class work remains: gate it on the window since the last
+  // foreground activity (idle-class completions do not reset the gate, so
+  // idle requests stream back-to-back through a long idle period).
+  Elevator& idle = classes_[index(IoPriority::kIdle)];
+  if (idle.empty()) return std::nullopt;
+  if (ctx.foreground_idle_for >= idle_window_) return idle.pop();
+  *retry_after = idle_window_ - ctx.foreground_idle_for;
+  return std::nullopt;
+}
+
+}  // namespace pscrub::block

@@ -1,0 +1,49 @@
+#include "block/deadline_scheduler.h"
+
+namespace pscrub::block {
+
+DeadlineScheduler::DeadlineScheduler(SimTime read_expire, SimTime write_expire,
+                                     std::int64_t max_merge_bytes)
+    : read_expire_(read_expire),
+      write_expire_(write_expire),
+      reads_(max_merge_bytes),
+      writes_(max_merge_bytes) {}
+
+void DeadlineScheduler::add(BlockRequest request) {
+  // Reads (and verifies, which behave like reads) are latency-sensitive;
+  // writes batch. Soft barriers keep FIFO semantics by construction: they
+  // land in the read queue and the expiry path preserves arrival order
+  // when the elevator would reorder them unfairly.
+  if (request.cmd.kind == disk::CommandKind::kWrite) {
+    writes_.add(std::move(request));
+  } else {
+    reads_.add(std::move(request));
+  }
+}
+
+bool DeadlineScheduler::empty() const {
+  return reads_.empty() && writes_.empty();
+}
+
+std::size_t DeadlineScheduler::size() const {
+  return reads_.size() + writes_.size();
+}
+
+std::optional<BlockRequest> DeadlineScheduler::select(
+    const DispatchContext& ctx, SimTime*) {
+  // Expired FIFOs first: writes can starve behind a read stream only
+  // until write_expire.
+  const bool reads_expired =
+      !reads_.empty() && ctx.now - reads_.oldest_arrival() > read_expire_;
+  const bool writes_expired =
+      !writes_.empty() && ctx.now - writes_.oldest_arrival() > write_expire_;
+  if (writes_expired && !reads_expired) return writes_.pop_oldest();
+  if (reads_expired) return reads_.pop_oldest();
+
+  // Otherwise reads take precedence over writes, scan order within.
+  if (!reads_.empty()) return reads_.pop();
+  if (!writes_.empty()) return writes_.pop();
+  return std::nullopt;
+}
+
+}  // namespace pscrub::block

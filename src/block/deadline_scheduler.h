@@ -1,0 +1,39 @@
+// Deadline I/O scheduler: the kernel's other classic elevator.
+//
+// Requests are served in C-LOOK order from a sorted queue, but each also
+// sits in a FIFO with a deadline (reads 500 ms, writes 5 s by default in
+// linux); when the head of a FIFO expires, the scheduler jumps to it.
+// Deadline has no priority classes -- the paper's point that CFQ is the
+// only prioritizing scheduler -- so scrub requests compete head-on with
+// foreground traffic. Useful as a comparison baseline.
+#pragma once
+
+#include "block/elevator.h"
+#include "block/io_scheduler.h"
+
+namespace pscrub::block {
+
+class DeadlineScheduler final : public IoScheduler {
+ public:
+  static constexpr SimTime kDefaultReadExpire = 500 * kMillisecond;
+  static constexpr SimTime kDefaultWriteExpire = 5 * kSecond;
+
+  explicit DeadlineScheduler(SimTime read_expire = kDefaultReadExpire,
+                             SimTime write_expire = kDefaultWriteExpire,
+                             std::int64_t max_merge_bytes = 512 * 1024);
+
+  void add(BlockRequest request) override;
+  bool empty() const override;
+  std::size_t size() const override;
+  std::optional<BlockRequest> select(const DispatchContext& ctx,
+                                     SimTime* retry_after) override;
+  const char* name() const override { return "deadline"; }
+
+ private:
+  SimTime read_expire_;
+  SimTime write_expire_;
+  Elevator reads_;
+  Elevator writes_;
+};
+
+}  // namespace pscrub::block

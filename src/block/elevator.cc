@@ -1,0 +1,93 @@
+#include "block/elevator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace pscrub::block {
+
+bool Elevator::add(BlockRequest request) {
+  // Back-merge: find a queued request ending exactly where this one
+  // starts. upper_bound lands past every entry keyed at request.cmd.lbn;
+  // the predecessor is the candidate with the largest smaller LBN.
+  if (max_merge_sectors_ > 0 && !by_lbn_.empty()) {
+    auto it = by_lbn_.upper_bound(request.cmd.lbn);
+    if (it != by_lbn_.begin()) {
+      --it;
+      BlockRequest& prev = it->second.request;
+      const bool contiguous =
+          prev.cmd.lbn + prev.cmd.sectors == request.cmd.lbn;
+      const bool same_kind = prev.cmd.kind == request.cmd.kind &&
+                             prev.priority == request.priority &&
+                             prev.background == request.background;
+      if (contiguous && same_kind &&
+          prev.cmd.sectors + request.cmd.sectors <= max_merge_sectors_) {
+        prev.cmd.sectors += request.cmd.sectors;
+        // Both originals must observe completion: chain the callbacks.
+        if (request.on_complete) {
+          auto first = std::move(prev.on_complete);
+          auto second = std::move(request.on_complete);
+          auto merged_submit = request.submit_time;
+          prev.on_complete = [first = std::move(first),
+                              second = std::move(second), merged_submit](
+                                 const BlockRequest& r, SimTime latency) {
+            if (first) first(r, latency);
+            // The merged request waited less: adjust its latency.
+            const SimTime completion = r.submit_time + latency;
+            second(r, completion - merged_submit);
+          };
+        }
+        return true;
+      }
+    }
+  }
+  const std::uint64_t iid = next_internal_id_++;
+  fifo_.push_back(FifoEntry{request.submit_time, iid, request.cmd.lbn});
+  by_lbn_.emplace(request.cmd.lbn, Entry{std::move(request), iid});
+  return false;
+}
+
+void Elevator::clean_fifo_front() const {
+  while (!fifo_.empty()) {
+    auto it = dead_.find(fifo_.front().id);
+    if (it == dead_.end()) break;
+    dead_.erase(it);
+    fifo_.pop_front();
+  }
+}
+
+SimTime Elevator::oldest_arrival() const {
+  clean_fifo_front();
+  assert(!fifo_.empty());
+  return fifo_.front().submit;
+}
+
+BlockRequest Elevator::pop() {
+  assert(!by_lbn_.empty());
+  auto it = by_lbn_.lower_bound(scan_from_);
+  if (it == by_lbn_.end()) it = by_lbn_.begin();  // C-LOOK wrap
+  BlockRequest r = std::move(it->second.request);
+  dead_.insert(it->second.iid);
+  by_lbn_.erase(it);
+  scan_from_ = r.cmd.lbn + r.cmd.sectors;
+  return r;
+}
+
+BlockRequest Elevator::pop_oldest() {
+  clean_fifo_front();
+  assert(!fifo_.empty());
+  const FifoEntry front = fifo_.front();
+  fifo_.pop_front();
+  auto [lo, hi] = by_lbn_.equal_range(front.lbn);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second.iid == front.id) {
+      BlockRequest r = std::move(it->second.request);
+      by_lbn_.erase(it);
+      scan_from_ = r.cmd.lbn + r.cmd.sectors;
+      return r;
+    }
+  }
+  assert(false && "live FIFO head must exist in the LBN index");
+  return {};
+}
+
+}  // namespace pscrub::block

@@ -1,0 +1,80 @@
+// Sorted dispatch queue with back-merging: the "elevator" shared by the
+// sortable paths of the schedulers.
+//
+// Requests are kept in LBN order and served with a one-way scan (C-LOOK):
+// the next request is the first one at or above the last dispatched LBN,
+// wrapping to the lowest when the scan passes the end. Contiguous requests
+// of the same kind are back-merged up to a size cap, mirroring the kernel's
+// request merging.
+//
+// A lazy FIFO side-structure tracks arrival order so oldest_arrival() and
+// pop_oldest() (the fifo_expire anti-starvation path) stay O(log n)
+// amortized even with hundreds of thousands of queued requests -- a
+// saturated open-loop replay queues that many.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <unordered_set>
+
+#include "block/request.h"
+
+namespace pscrub::block {
+
+class Elevator {
+ public:
+  /// `max_merge_bytes` caps the size of a merged request (0 disables
+  /// merging).
+  explicit Elevator(std::int64_t max_merge_bytes = 512 * 1024)
+      : max_merge_sectors_(max_merge_bytes / disk::kSectorBytes) {}
+
+  /// Adds a request, back-merging it into an existing contiguous request
+  /// of the same kind when possible. Returns true if merged.
+  /// Precondition: requests arrive in nondecreasing submit_time (the
+  /// simulation clock only moves forward).
+  bool add(BlockRequest request);
+
+  bool empty() const { return by_lbn_.empty(); }
+  std::size_t size() const { return by_lbn_.size(); }
+
+  /// Arrival time of the oldest request (for FIFO fairness across queues).
+  /// Precondition: !empty().
+  SimTime oldest_arrival() const;
+
+  /// Pops the next request in C-LOOK order.
+  BlockRequest pop();
+
+  /// Pops the longest-waiting request regardless of scan position
+  /// (anti-starvation / fifo_expire path).
+  BlockRequest pop_oldest();
+
+ private:
+  struct FifoEntry {
+    SimTime submit;
+    std::uint64_t id;
+    disk::Lbn lbn;
+  };
+
+  /// Drops dead entries from the FIFO front.
+  void clean_fifo_front() const;
+
+  struct Entry {
+    BlockRequest request;
+    std::uint64_t iid;  // elevator-internal id linking to the FIFO
+  };
+
+  // Keyed by starting LBN; multimap because distinct requests can target
+  // the same LBN (e.g. repeated reads of a hot block while queued).
+  std::multimap<disk::Lbn, Entry> by_lbn_;
+  std::int64_t max_merge_sectors_;
+  disk::Lbn scan_from_ = 0;
+  // Arrival order; entries whose id landed in dead_ were popped via the
+  // scan path and are skipped lazily.
+  mutable std::deque<FifoEntry> fifo_;
+  mutable std::unordered_set<std::uint64_t> dead_;
+  std::uint64_t next_internal_id_ = 1;
+};
+
+}  // namespace pscrub::block

@@ -1,0 +1,45 @@
+// I/O scheduler interface.
+//
+// The BlockLayer pulls: whenever the disk is free it asks the scheduler for
+// the next request. A scheduler may decline to dispatch *now* but request a
+// re-poll later (CFQ's idle-window gate for the Idle class works this way).
+#pragma once
+
+#include <optional>
+
+#include "block/request.h"
+
+namespace pscrub::block {
+
+/// Context handed to the scheduler on each selection.
+struct DispatchContext {
+  SimTime now = 0;
+  /// How long the disk has been continuously idle (0 if it just completed).
+  SimTime disk_idle_for = 0;
+  /// How long since the last *foreground* (non-Idle-class) activity. This
+  /// is what CFQ's idle window gates on: once the window elapses, queued
+  /// Idle-class requests stream back-to-back until foreground work
+  /// reappears.
+  SimTime foreground_idle_for = 0;
+};
+
+class IoScheduler {
+ public:
+  virtual ~IoScheduler() = default;
+
+  virtual void add(BlockRequest request) = 0;
+
+  virtual bool empty() const = 0;
+  virtual std::size_t size() const = 0;
+
+  /// Returns the next request to dispatch, or nullopt if nothing is
+  /// eligible right now. When declining while non-empty, the scheduler must
+  /// set *retry_after to a relative delay after which selection should be
+  /// retried.
+  virtual std::optional<BlockRequest> select(const DispatchContext& ctx,
+                                             SimTime* retry_after) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace pscrub::block

@@ -1,0 +1,35 @@
+// NOOP scheduler: plain FIFO, no priorities, no idle gating.
+// Soft barriers need no special handling here -- FIFO already never
+// reorders. Useful as a baseline and for deterministic tests.
+#pragma once
+
+#include <deque>
+
+#include "block/io_scheduler.h"
+
+namespace pscrub::block {
+
+class NoopScheduler final : public IoScheduler {
+ public:
+  void add(BlockRequest request) override {
+    queue_.push_back(std::move(request));
+  }
+
+  bool empty() const override { return queue_.empty(); }
+  std::size_t size() const override { return queue_.size(); }
+
+  std::optional<BlockRequest> select(const DispatchContext&,
+                                     SimTime*) override {
+    if (queue_.empty()) return std::nullopt;
+    BlockRequest r = std::move(queue_.front());
+    queue_.pop_front();
+    return r;
+  }
+
+  const char* name() const override { return "noop"; }
+
+ private:
+  std::deque<BlockRequest> queue_;
+};
+
+}  // namespace pscrub::block

@@ -1,0 +1,48 @@
+// Block-layer request abstraction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "disk/command.h"
+#include "sim/time.h"
+
+namespace pscrub::block {
+
+/// CFQ scheduling classes (linux ioprio classes).
+enum class IoPriority : std::uint8_t {
+  kRealtime,
+  kBestEffort,  // the default class
+  kIdle,        // only served when the disk has been idle for a window
+};
+
+const char* to_string(IoPriority p);
+
+struct BlockRequest;
+
+/// Invoked at completion with the original request and its total response
+/// time (submission to block layer -> completion from disk).
+using RequestCompletionFn =
+    std::function<void(const BlockRequest&, SimTime latency)>;
+
+struct BlockRequest {
+  disk::DiskCommand cmd;
+  IoPriority priority = IoPriority::kBestEffort;
+
+  /// True for requests entering the kernel via the wild-card ioctl path
+  /// (user-level VERIFY): the kernel cannot sort, merge, or prioritize
+  /// them -- they are dispatched in arrival order regardless of `priority`
+  /// (Sec III-C of the paper).
+  bool soft_barrier = false;
+
+  /// Tag for attribution in metrics (foreground vs scrubber).
+  bool background = false;
+
+  RequestCompletionFn on_complete;
+
+  // Filled in by the block layer.
+  SimTime submit_time = 0;
+  std::uint64_t id = 0;
+};
+
+}  // namespace pscrub::block

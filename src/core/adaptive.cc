@@ -1,0 +1,94 @@
+#include "core/adaptive.h"
+
+#include <utility>
+
+namespace pscrub::core {
+
+AdaptiveScrubDaemon::AdaptiveScrubDaemon(Simulator& sim,
+                                         block::BlockLayer& blk,
+                                         WaitingScrubber& scrubber,
+                                         trace::ServiceModel foreground_service,
+                                         ScrubServiceFn scrub_service,
+                                         AdaptiveConfig config)
+    : sim_(sim),
+      blk_(blk),
+      scrubber_(scrubber),
+      foreground_service_(std::move(foreground_service)),
+      scrub_service_(std::move(scrub_service)),
+      config_(std::move(config)) {}
+
+void AdaptiveScrubDaemon::start() {
+  if (running_) return;
+  running_ = true;
+  blk_.set_request_observer(
+      [this](const block::BlockRequest& r) { on_request(r); });
+  schedule_next();
+}
+
+void AdaptiveScrubDaemon::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(timer_);
+  blk_.set_request_observer(nullptr);
+}
+
+void AdaptiveScrubDaemon::schedule_next() {
+  timer_ = sim_.after(config_.retune_every, [this] {
+    if (!running_) return;
+    retune();
+    schedule_next();
+  });
+}
+
+void AdaptiveScrubDaemon::on_request(const block::BlockRequest& request) {
+  trace::TraceRecord rec;
+  rec.arrival = sim_.now();
+  rec.lbn = request.cmd.lbn;
+  rec.sectors = static_cast<std::int32_t>(request.cmd.sectors);
+  rec.is_write = request.cmd.kind == disk::CommandKind::kWrite;
+  window_.push_back(rec);
+  if (window_.size() > 2 * config_.window_requests) {
+    window_.erase(window_.begin(),
+                  window_.end() -
+                      static_cast<std::ptrdiff_t>(config_.window_requests));
+  }
+}
+
+bool AdaptiveScrubDaemon::retune() {
+  if (window_.size() < config_.min_requests) return false;
+
+  // Snapshot the window as a trace, rebased to time zero.
+  trace::Trace t;
+  t.name = "adaptive-window";
+  const std::size_t take = std::min(window_.size(), config_.window_requests);
+  const SimTime base = window_[window_.size() - take].arrival;
+  t.records.reserve(take);
+  for (std::size_t i = window_.size() - take; i < window_.size(); ++i) {
+    trace::TraceRecord rec = window_[i];
+    rec.arrival -= base;
+    t.records.push_back(rec);
+  }
+  t.duration = t.records.back().arrival;
+
+  OptimizerConfig oc;
+  oc.foreground_service = foreground_service_;
+  oc.scrub_service = scrub_service_;
+  oc.candidate_sizes = config_.candidate_sizes;
+  oc.binary_search_iters = config_.binary_search_iters;
+  const std::vector<SimTime> services =
+      precompute_services(t, foreground_service_);
+  oc.services = &services;
+
+  const SizeThresholdChoice choice = optimize(t, oc, config_.goal);
+  if (choice.request_bytes == 0 || choice.scrub_mb_s <= 0.0) {
+    return false;  // goal infeasible on this window: leave settings alone
+  }
+  scrubber_.set_wait_threshold(choice.threshold);
+  scrubber_.set_request_bytes(choice.request_bytes);
+  ++stats_.retunes;
+  stats_.last_choice = choice;
+  stats_.last_retune_at = sim_.now();
+  return true;
+}
+
+}  // namespace pscrub::core

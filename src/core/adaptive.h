@@ -1,0 +1,85 @@
+// Online adaptive tuning (the paper's Sec V-D deployment suggestion):
+// "The simulations can be repeated to adapt the parameter values if the
+// workload changes substantially."
+//
+// AdaptiveScrubDaemon watches the live foreground request stream through
+// the block layer, keeps a rolling window of recent traffic, and
+// periodically re-runs the (size, threshold) optimizer on that window,
+// pushing the result into a running WaitingScrubber.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "block/block_layer.h"
+#include "core/optimizer.h"
+#include "core/scrubber.h"
+
+namespace pscrub::core {
+
+struct AdaptiveConfig {
+  /// Slowdown budget handed to the optimizer on each retune.
+  SlowdownGoal goal;
+  /// How often to re-run the optimizer.
+  SimTime retune_every = 10 * kMinute;
+  /// Rolling window size (requests). Tuning needs enough idle intervals
+  /// to estimate the tail; ~100k requests is plenty for the catalogs.
+  std::size_t window_requests = 100'000;
+  /// Minimum observed requests before the first retune.
+  std::size_t min_requests = 5'000;
+  /// Candidate sizes; empty = optimizer default grid. Keep it coarse:
+  /// retuning runs inside the simulation loop.
+  std::vector<std::int64_t> candidate_sizes = {
+      64 * 1024,        256 * 1024,        512 * 1024, 1024 * 1024,
+      2 * 1024 * 1024,  4 * 1024 * 1024,
+  };
+  int binary_search_iters = 8;
+};
+
+struct AdaptiveStats {
+  std::int64_t retunes = 0;
+  SizeThresholdChoice last_choice;
+  SimTime last_retune_at = 0;
+};
+
+class AdaptiveScrubDaemon {
+ public:
+  /// The daemon drives `scrubber` (which must outlive it) using traffic
+  /// observed on `blk`. `foreground_service` and `scrub_service` model the
+  /// drive for the optimizer's internal simulation.
+  AdaptiveScrubDaemon(Simulator& sim, block::BlockLayer& blk,
+                      WaitingScrubber& scrubber,
+                      trace::ServiceModel foreground_service,
+                      ScrubServiceFn scrub_service, AdaptiveConfig config);
+  ~AdaptiveScrubDaemon() { stop(); }
+  AdaptiveScrubDaemon(const AdaptiveScrubDaemon&) = delete;
+  AdaptiveScrubDaemon& operator=(const AdaptiveScrubDaemon&) = delete;
+
+  /// Begins observing and schedules periodic retunes. Replaces any
+  /// request observer previously registered on the block layer.
+  void start();
+  void stop();
+
+  const AdaptiveStats& stats() const { return stats_; }
+
+  /// Runs one retune immediately (also called by the periodic timer).
+  /// Returns false when there is not enough history yet.
+  bool retune();
+
+ private:
+  void on_request(const block::BlockRequest& request);
+  void schedule_next();
+
+  Simulator& sim_;
+  block::BlockLayer& blk_;
+  WaitingScrubber& scrubber_;
+  trace::ServiceModel foreground_service_;
+  ScrubServiceFn scrub_service_;
+  AdaptiveConfig config_;
+  AdaptiveStats stats_;
+  std::vector<trace::TraceRecord> window_;
+  bool running_ = false;
+  EventId timer_ = 0;
+};
+
+}  // namespace pscrub::core

@@ -1,0 +1,38 @@
+#include "core/cost_model.h"
+
+#include <memory>
+
+namespace pscrub::core {
+
+trace::ServiceModel make_foreground_service(const disk::DiskProfile& profile) {
+  auto last_end = std::make_shared<disk::Lbn>(-1);
+  const disk::DiskProfile p = profile;
+  return [p, last_end](const trace::TraceRecord& r) -> SimTime {
+    const bool sequential = r.lbn == *last_end;
+    *last_end = r.lbn + r.sectors;
+    if (sequential) {
+      // Streaming continuation: media transfer plus electronics; the head
+      // is already on (or near) the track.
+      return p.command_overhead + p.media_transfer(r.sectors) +
+             p.bus_transfer(r.bytes()) + p.completion_overhead;
+    }
+    return p.random_read_service(r.bytes());
+  };
+}
+
+ScrubServiceFn make_scrub_service(const disk::DiskProfile& profile) {
+  const disk::DiskProfile p = profile;
+  return [p](std::int64_t bytes) {
+    return p.sequential_verify_service(bytes);
+  };
+}
+
+ScrubServiceFn make_staggered_scrub_service(const disk::DiskProfile& profile,
+                                            int regions) {
+  const disk::DiskProfile p = profile;
+  return [p, regions](std::int64_t bytes) {
+    return p.staggered_verify_service(bytes, regions);
+  };
+}
+
+}  // namespace pscrub::core

@@ -1,0 +1,23 @@
+// Glue between disk profiles and the trace-driven policy simulator:
+// service-time models for foreground records and scrub requests.
+#pragma once
+
+#include "core/policy_sim.h"
+#include "disk/profile.h"
+#include "trace/idle.h"
+
+namespace pscrub::core {
+
+/// Foreground service model: sequential continuations are cheap (settled
+/// head, streaming), everything else pays an average seek plus rotation.
+/// Stateful (tracks the last accessed LBN); create one per simulation run.
+trace::ServiceModel make_foreground_service(const disk::DiskProfile& profile);
+
+/// Scrub (VERIFY) service model for back-to-back sequential scrubbing.
+ScrubServiceFn make_scrub_service(const disk::DiskProfile& profile);
+
+/// Scrub service model for a staggered scrubber with `regions` regions.
+ScrubServiceFn make_staggered_scrub_service(const disk::DiskProfile& profile,
+                                            int regions);
+
+}  // namespace pscrub::core

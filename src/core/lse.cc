@@ -1,0 +1,133 @@
+#include "core/lse.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pscrub::core {
+
+std::vector<LseBurst> generate_lse_bursts(const LseModelConfig& config,
+                                          std::int64_t total_sectors,
+                                          SimTime horizon, Rng& rng) {
+  std::vector<LseBurst> bursts;
+  const std::int64_t span_sectors =
+      std::max<std::int64_t>(1, config.burst_span_bytes / disk::kSectorBytes);
+  SimTime t = 0;
+  while (true) {
+    t += from_seconds(
+        rng.exponential(to_seconds(config.burst_interarrival_mean)));
+    if (t >= horizon) break;
+    LseBurst b;
+    b.occurred = t;
+    std::int64_t count = 1;
+    if (!rng.bernoulli(config.isolated_fraction)) {
+      // 1 + geometric(mean = extra_errors_per_burst_mean).
+      const double p = 1.0 / (config.extra_errors_per_burst_mean + 1.0);
+      while (!rng.bernoulli(p)) ++count;
+    }
+    const std::int64_t base =
+        rng.uniform_int(0, std::max<std::int64_t>(1, total_sectors - span_sectors));
+    for (std::int64_t i = 0; i < count; ++i) {
+      b.sectors.push_back(base + rng.uniform_int(0, span_sectors - 1));
+    }
+    std::sort(b.sectors.begin(), b.sectors.end());
+    b.sectors.erase(std::unique(b.sectors.begin(), b.sectors.end()),
+                    b.sectors.end());
+    bursts.push_back(std::move(b));
+  }
+  return bursts;
+}
+
+namespace {
+
+/// One pass of the strategy flattened into (lbn -> scrub offset) lookup.
+struct Schedule {
+  struct Entry {
+    disk::Lbn lbn;
+    std::int64_t sectors;
+    SimTime offset;  // start of this extent's verify within the pass
+  };
+  std::vector<Entry> by_lbn;
+  SimTime pass_duration = 0;
+
+  /// Scrub offset of the extent containing `sector`.
+  SimTime offset_of(disk::Lbn sector) const {
+    auto it = std::upper_bound(
+        by_lbn.begin(), by_lbn.end(), sector,
+        [](disk::Lbn s, const Entry& e) { return s < e.lbn; });
+    assert(it != by_lbn.begin());
+    --it;
+    assert(sector >= it->lbn && sector < it->lbn + it->sectors);
+    return it->offset;
+  }
+};
+
+Schedule build_schedule(ScrubStrategy& strategy, std::int64_t total_sectors,
+                        const MletConfig& config) {
+  strategy.reset();
+  Schedule sched;
+  const SimTime step = config.request_service + config.request_spacing;
+  std::int64_t covered = 0;
+  SimTime offset = 0;
+  while (covered < total_sectors) {
+    const ScrubExtent e = strategy.next();
+    sched.by_lbn.push_back({e.lbn, e.sectors, offset});
+    covered += e.sectors;
+    offset += step;
+  }
+  sched.pass_duration = offset;
+  std::sort(sched.by_lbn.begin(), sched.by_lbn.end(),
+            [](const Schedule::Entry& a, const Schedule::Entry& b) {
+              return a.lbn < b.lbn;
+            });
+  return sched;
+}
+
+}  // namespace
+
+MletResult evaluate_mlet(ScrubStrategy& strategy, std::int64_t total_sectors,
+                         const std::vector<LseBurst>& bursts,
+                         const MletConfig& config) {
+  const Schedule sched = build_schedule(strategy, total_sectors, config);
+  MletResult out;
+  out.pass_hours = to_seconds(sched.pass_duration) / 3600.0;
+
+  double delay_sum_hours = 0.0;
+  for (const LseBurst& b : bursts) {
+    const SimTime tau = b.occurred;
+    const SimTime phase = tau % sched.pass_duration;
+
+    if (config.scrub_on_detection) {
+      // The burst is detected when the first probe hits any of its
+      // sectors; the enclosing area is then scanned immediately.
+      SimTime min_delay = sched.pass_duration;
+      for (disk::Lbn s : b.sectors) {
+        const SimTime o = sched.offset_of(s);
+        SimTime d = o - phase;
+        if (d < 0) d += sched.pass_duration;
+        min_delay = std::min(min_delay, d);
+      }
+      const double hours = to_seconds(min_delay) / 3600.0;
+      delay_sum_hours += hours * static_cast<double>(b.sectors.size());
+      out.worst_hours = std::max(out.worst_hours, hours);
+      out.errors += static_cast<std::int64_t>(b.sectors.size());
+    } else {
+      // Each error waits for its own segment's scrub.
+      for (disk::Lbn s : b.sectors) {
+        const SimTime o = sched.offset_of(s);
+        SimTime d = o - phase;
+        if (d < 0) d += sched.pass_duration;
+        const double hours = to_seconds(d) / 3600.0;
+        delay_sum_hours += hours;
+        out.worst_hours = std::max(out.worst_hours, hours);
+        ++out.errors;
+      }
+    }
+  }
+  if (out.errors > 0) {
+    out.mlet_hours = delay_sum_hours / static_cast<double>(out.errors);
+  }
+  return out;
+}
+
+}  // namespace pscrub::core

@@ -1,0 +1,107 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pscrub::core {
+
+std::vector<std::int64_t> default_size_grid() {
+  // 64 KB-aligned, denser at the low end where Fig 4's service-time knee
+  // sits; matches the granularity of the paper's reported optima
+  // (768 KB, 1216 KB, 1280 KB, 1472 KB, 3072 KB ...).
+  constexpr std::int64_t kKb = 1024;
+  return {
+      64 * kKb,   128 * kKb,  192 * kKb,  256 * kKb,  384 * kKb,
+      512 * kKb,  640 * kKb,  768 * kKb,  896 * kKb,  1024 * kKb,
+      1216 * kKb, 1280 * kKb, 1472 * kKb, 1536 * kKb, 2048 * kKb,
+      2560 * kKb, 3072 * kKb, 3584 * kKb, 4096 * kKb,
+  };
+}
+
+namespace {
+
+PolicySimResult evaluate(const trace::Trace& trace,
+                         const OptimizerConfig& config,
+                         std::int64_t request_bytes, SimTime threshold) {
+  WaitingPolicy policy(threshold);
+  PolicySimConfig sim;
+  sim.foreground_service = config.foreground_service;
+  sim.scrub_service = config.scrub_service;
+  sim.services = config.services;
+  sim.sizer = ScrubSizer::fixed(request_bytes);
+  return run_policy_sim(trace, policy, sim);
+}
+
+}  // namespace
+
+SizeThresholdChoice tune_threshold_for_size(const trace::Trace& trace,
+                                            const OptimizerConfig& config,
+                                            std::int64_t request_bytes,
+                                            SimTime goal_mean) {
+  // Binary search in log-threshold space: mean slowdown is monotonically
+  // non-increasing in the threshold (larger thresholds capture fewer,
+  // longer intervals -> fewer collisions).
+  double lo = std::log(static_cast<double>(config.min_threshold));
+  double hi = std::log(static_cast<double>(config.max_threshold));
+  const double goal_ms = to_milliseconds(goal_mean);
+
+  SizeThresholdChoice best;
+  best.request_bytes = request_bytes;
+  best.threshold = config.max_threshold;
+
+  // Quick feasibility probe at the largest threshold.
+  {
+    const PolicySimResult r =
+        evaluate(trace, config, request_bytes, config.max_threshold);
+    if (r.mean_slowdown_ms > goal_ms) {
+      best.scrub_mb_s = 0.0;
+      best.achieved_mean_slowdown_ms = r.mean_slowdown_ms;
+      best.collision_rate = r.collision_rate;
+      return best;  // goal unreachable even with maximal waiting
+    }
+    best.scrub_mb_s = r.scrub_mb_s;
+    best.achieved_mean_slowdown_ms = r.mean_slowdown_ms;
+    best.collision_rate = r.collision_rate;
+  }
+
+  for (int i = 0; i < config.binary_search_iters; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    const auto threshold = static_cast<SimTime>(std::exp(mid));
+    const PolicySimResult r = evaluate(trace, config, request_bytes, threshold);
+    if (r.mean_slowdown_ms <= goal_ms) {
+      // Feasible: remember it and push toward smaller thresholds (more
+      // captured idle time, more throughput).
+      if (threshold < best.threshold) {
+        best.threshold = threshold;
+        best.scrub_mb_s = r.scrub_mb_s;
+        best.achieved_mean_slowdown_ms = r.mean_slowdown_ms;
+        best.collision_rate = r.collision_rate;
+      }
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return best;
+}
+
+SizeThresholdChoice optimize(const trace::Trace& trace,
+                             const OptimizerConfig& config,
+                             const SlowdownGoal& goal) {
+  const std::vector<std::int64_t> sizes =
+      config.candidate_sizes.empty() ? default_size_grid()
+                                     : config.candidate_sizes;
+  SizeThresholdChoice best;
+  for (std::int64_t size : sizes) {
+    // The maximum tolerable slowdown bounds the request size through its
+    // service time: a colliding foreground request waits at most one scrub
+    // request's full service.
+    if (config.scrub_service(size) > goal.max) continue;
+    const SizeThresholdChoice c =
+        tune_threshold_for_size(trace, config, size, goal.mean);
+    if (c.scrub_mb_s > best.scrub_mb_s) best = c;
+  }
+  return best;
+}
+
+}  // namespace pscrub::core

@@ -1,0 +1,63 @@
+// The paper's tuning procedure (Sec V-C/V-D): given an administrator's
+// average (and maximum) tolerable per-request slowdown, find the scrub
+// request size and Waiting threshold that maximize scrub throughput.
+//
+// For a fixed request size, mean slowdown decreases monotonically in the
+// wait threshold, so the optimal threshold is found by binary search; the
+// request size is then chosen by comparing the per-size maxima.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/policy_sim.h"
+
+namespace pscrub::core {
+
+struct SlowdownGoal {
+  /// Average tolerable slowdown per foreground request.
+  SimTime mean = 1 * kMillisecond;
+  /// Maximum tolerable slowdown: bounds the request size via its service
+  /// time (the paper used 50.4 ms, which caps requests at 4 MB).
+  SimTime max = from_seconds(50.4e-3);
+};
+
+struct SizeThresholdChoice {
+  std::int64_t request_bytes = 0;
+  SimTime threshold = 0;
+  double scrub_mb_s = 0.0;
+  double achieved_mean_slowdown_ms = 0.0;
+  double collision_rate = 0.0;
+};
+
+struct OptimizerConfig {
+  trace::ServiceModel foreground_service;
+  ScrubServiceFn scrub_service;
+  /// Optional precomputed per-record service times (see
+  /// core::precompute_services); strongly recommended -- the optimizer
+  /// runs hundreds of sweeps over the same trace.
+  const std::vector<SimTime>* services = nullptr;
+  /// Candidate request sizes; defaults to 64 KB..4 MB in 64 KB-aligned
+  /// steps (coarse-to-fine grid).
+  std::vector<std::int64_t> candidate_sizes;
+  SimTime min_threshold = 1 * kMillisecond;
+  SimTime max_threshold = 10 * kSecond;
+  int binary_search_iters = 14;
+};
+
+std::vector<std::int64_t> default_size_grid();
+
+/// Smallest Waiting threshold whose mean slowdown meets `goal_mean` for a
+/// fixed request size (binary search; returns max_threshold when even that
+/// fails to meet the goal).
+SizeThresholdChoice tune_threshold_for_size(const trace::Trace& trace,
+                                            const OptimizerConfig& config,
+                                            std::int64_t request_bytes,
+                                            SimTime goal_mean);
+
+/// Full optimization: best (size, threshold) for a slowdown goal.
+SizeThresholdChoice optimize(const trace::Trace& trace,
+                             const OptimizerConfig& config,
+                             const SlowdownGoal& goal);
+
+}  // namespace pscrub::core

@@ -1,0 +1,205 @@
+#include "core/policy_sim.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pscrub::core {
+
+namespace {
+
+/// Policy that never scrubs; used for baselines.
+class NeverPolicy final : public IdlePolicy {
+ public:
+  std::optional<SimTime> decide() override { return std::nullopt; }
+  void observe(SimTime) override {}
+  const char* name() const override { return "never"; }
+};
+
+}  // namespace
+
+PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
+                               const PolicySimConfig& config) {
+  PolicySimResult out;
+  out.foreground_requests = static_cast<std::int64_t>(trace.records.size());
+  if (config.keep_response_samples) {
+    out.response_seconds.reserve(trace.records.size());
+    out.baseline_response_seconds.reserve(trace.records.size());
+  }
+
+  SimTime busy = 0;       // with-scrub completion frontier
+  SimTime base_busy = 0;  // baseline (no scrub) frontier
+  ScrubSizer sizer = config.sizer;
+  assert(config.services == nullptr ||
+         config.services->size() == trace.records.size());
+
+  for (std::size_t rec_index = 0; rec_index < trace.records.size();
+       ++rec_index) {
+    const trace::TraceRecord& rec = trace.records[rec_index];
+    const SimTime arr = rec.arrival;
+    const SimTime svc = config.services != nullptr
+                            ? (*config.services)[rec_index]
+                            : config.foreground_service(rec);
+
+    // Baseline frontier.
+    const SimTime base_start = std::max(arr, base_busy);
+    base_busy = base_start + svc;
+    const SimTime base_resp = base_busy - arr;
+
+    // Idle interval before this arrival (with-scrub timeline).
+    bool collided_here = false;
+    if (arr > busy) {
+      const SimTime idle = arr - busy;
+      out.total_idle += idle;
+
+      std::optional<SimTime> wait = policy.clairvoyant()
+                                        ? policy.decide_clairvoyant(idle)
+                                        : policy.decide();
+      if (wait && *wait < idle) {
+        if (policy.lossless()) {
+          // Hypothetical accounting: the interval counts as fully used and
+          // ends in one collision, but the foreground timeline is not
+          // perturbed (these policies exist to bound real ones).
+          out.idle_utilized += idle;
+          ++out.collisions;
+          const SimTime fire_span = idle;
+          const SimTime one = config.scrub_service(sizer.next(0));
+          if (one > 0) {
+            const std::int64_t n = fire_span / one;
+            out.scrub_requests += n;
+            out.scrubbed_bytes += n * sizer.next(0);
+          }
+        } else {
+          // Fire from busy + wait until the arrival interrupts us, or the
+          // policy's per-interval budget (if any) runs out. A budgeted
+          // scrubber never issues a request that would overrun its budget,
+          // so only arrival-straddling requests collide.
+          const SimTime fire_start = busy + *wait;
+          const SimTime budget = policy.fire_budget();
+          const SimTime stop_at =
+              budget > 0 && fire_start + budget < arr ? fire_start + budget
+                                                      : arr;
+          SimTime t = fire_start;
+          sizer.reset();
+          while (t < stop_at) {
+            const std::int64_t bytes = sizer.next(t - fire_start);
+            const SimTime dur = config.scrub_service(bytes);
+            if (dur <= 0) break;
+            if (sizer.stable(t - fire_start)) {
+              // The size is fixed from here on: batch the remaining full
+              // requests in O(1) instead of iterating (an idle interval
+              // can hold thousands of 64 KB verifies).
+              const std::int64_t full = (stop_at - t) / dur;
+              out.scrub_requests += full;
+              out.scrubbed_bytes += full * bytes;
+              out.idle_utilized += full * dur;
+              t += full * dur;
+              if (t < stop_at && stop_at == arr) {
+                // One more request straddles the arrival: collision.
+                ++out.scrub_requests;
+                out.scrubbed_bytes += bytes;
+                out.idle_utilized += arr - t;
+                ++out.collisions;
+                collided_here = true;
+                busy = t + dur;
+              }
+              break;
+            }
+            const SimTime end = t + dur;
+            if (end > stop_at && stop_at < arr) break;  // budget exhausted
+            ++out.scrub_requests;
+            out.scrubbed_bytes += bytes;
+            out.idle_utilized += std::min(end, arr) - t;
+            if (end > arr) {
+              // Foreground arrived mid-request: collision. The request
+              // completes; the foreground waits for it.
+              ++out.collisions;
+              collided_here = true;
+              busy = end;
+              break;
+            }
+            sizer.advance();
+            t = end;
+          }
+          if (!collided_here) busy = arr;
+        }
+      } else {
+        busy = arr;
+      }
+      policy.observe(idle);
+    }
+    (void)collided_here;
+
+    // Serve the foreground request.
+    const SimTime start = std::max(arr, busy);
+    busy = start + svc;
+    const SimTime resp = busy - arr;
+    const SimTime slowdown = resp - base_resp;
+    out.slowdown_sum += slowdown;
+    out.slowdown_max = std::max(out.slowdown_max, slowdown);
+    if (config.keep_response_samples) {
+      out.response_seconds.push_back(to_seconds(resp));
+      out.baseline_response_seconds.push_back(to_seconds(base_resp));
+    }
+  }
+
+  // Trailing idle time after the last request, through the end of the
+  // observation window: available and exploitable without any collision.
+  const SimTime window_end = std::max(trace.duration, busy);
+  if (window_end > busy) {
+    const SimTime idle = window_end - busy;
+    out.total_idle += idle;
+    std::optional<SimTime> wait = policy.clairvoyant()
+                                      ? policy.decide_clairvoyant(idle)
+                                      : policy.decide();
+    if (wait && *wait < idle) {
+      const SimTime fire_span = policy.lossless() ? idle : idle - *wait;
+      sizer.reset();
+      const SimTime one = config.scrub_service(sizer.next(0));
+      if (one > 0) {
+        const std::int64_t n = fire_span / one;
+        out.scrub_requests += n;
+        out.scrubbed_bytes += n * sizer.next(0);
+        out.idle_utilized += policy.lossless() ? fire_span : n * one;
+      }
+    }
+  }
+
+  if (out.foreground_requests > 0) {
+    out.collision_rate = static_cast<double>(out.collisions) /
+                         static_cast<double>(out.foreground_requests);
+    out.mean_slowdown_ms = to_milliseconds(out.slowdown_sum) /
+                           static_cast<double>(out.foreground_requests);
+  }
+  if (out.total_idle > 0) {
+    out.idle_utilization = static_cast<double>(out.idle_utilized) /
+                           static_cast<double>(out.total_idle);
+  }
+  if (window_end > 0) {
+    out.scrub_mb_s = static_cast<double>(out.scrubbed_bytes) / 1e6 /
+                     to_seconds(window_end);
+  }
+  return out;
+}
+
+std::vector<SimTime> precompute_services(const trace::Trace& trace,
+                                         const trace::ServiceModel& model) {
+  std::vector<SimTime> out;
+  out.reserve(trace.records.size());
+  for (const trace::TraceRecord& rec : trace.records) {
+    out.push_back(model(rec));
+  }
+  return out;
+}
+
+PolicySimResult run_baseline(const trace::Trace& trace,
+                             const trace::ServiceModel& foreground_service,
+                             bool keep_response_samples) {
+  NeverPolicy never;
+  PolicySimConfig config;
+  config.foreground_service = foreground_service;
+  config.scrub_service = [](std::int64_t) { return SimTime{0}; };
+  config.keep_response_samples = keep_response_samples;
+  return run_policy_sim(trace, never, config);
+}
+
+}  // namespace pscrub::core

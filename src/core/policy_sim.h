@@ -1,0 +1,80 @@
+// Fast trace-driven policy simulator (Sec V's methodology).
+//
+// A single-server FCFS sweep over a foreground trace with scrub requests
+// injected per an IdlePolicy and a ScrubSizer. Runs millions of requests
+// per second, which is what makes the optimizer's parameter sweeps and the
+// Fig 14/15 curves tractable -- the paper likewise used simulation for
+// this part of the study.
+//
+// Definitions (matching the paper):
+//   collision  -- a foreground request arrives while a scrub request is in
+//                 service; it is delayed by the scrub request's remaining
+//                 time.
+//   slowdown   -- per-request response-time increase versus a no-scrubber
+//                 run of the same trace (queueing cascades included). The
+//                 reported mean averages over ALL foreground requests.
+//   idle utilization -- fraction of the trace's total idle time spent
+//                 actually servicing scrub requests.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/idle_policy.h"
+#include "core/scrub_sizer.h"
+#include "trace/idle.h"
+#include "trace/record.h"
+
+namespace pscrub::core {
+
+/// Service time of one scrub request of a given size.
+using ScrubServiceFn = std::function<SimTime(std::int64_t bytes)>;
+
+struct PolicySimConfig {
+  trace::ServiceModel foreground_service;
+  ScrubServiceFn scrub_service;
+  ScrubSizer sizer = ScrubSizer::fixed(64 * 1024);
+  /// Keep per-request response times (for CDF plots); costs memory.
+  bool keep_response_samples = false;
+  /// Optional: per-record service times precomputed once (see
+  /// precompute_services). When set, overrides `foreground_service` and
+  /// removes the per-record indirection from the hot loop -- essential for
+  /// the optimizer's hundreds of sweeps over one trace.
+  const std::vector<SimTime>* services = nullptr;
+};
+
+/// Evaluates `model` once per record; share the result across many
+/// run_policy_sim calls on the same trace.
+std::vector<SimTime> precompute_services(const trace::Trace& trace,
+                                         const trace::ServiceModel& model);
+
+struct PolicySimResult {
+  std::int64_t foreground_requests = 0;
+  std::int64_t collisions = 0;
+  double collision_rate = 0.0;
+
+  SimTime total_idle = 0;
+  SimTime idle_utilized = 0;
+  double idle_utilization = 0.0;
+
+  std::int64_t scrub_requests = 0;
+  std::int64_t scrubbed_bytes = 0;
+  double scrub_mb_s = 0.0;  // over the whole trace duration
+
+  SimTime slowdown_sum = 0;
+  SimTime slowdown_max = 0;
+  double mean_slowdown_ms = 0.0;
+
+  std::vector<double> response_seconds;           // with scrubber
+  std::vector<double> baseline_response_seconds;  // without scrubber
+};
+
+PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
+                               const PolicySimConfig& config);
+
+/// Baseline convenience: no scrubbing at all (policy that never fires).
+PolicySimResult run_baseline(const trace::Trace& trace,
+                             const trace::ServiceModel& foreground_service,
+                             bool keep_response_samples = false);
+
+}  // namespace pscrub::core

@@ -1,0 +1,122 @@
+// Scrub request sizing within an idle interval (Sec V-C).
+//
+// Fixed: one size, chosen per slowdown goal -- the paper's winner.
+// Exponential / Linear: grow the size while the interval stays collision-
+// free (motivated by decreasing hazard rates; shown NOT to pay off).
+// Swapping: start at the optimal size, switch to the maximum allowed size
+// after t' of firing (the paper found t'_opt = infinity, i.e. never swap).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace pscrub::core {
+
+class ScrubSizer {
+ public:
+  enum class Kind : std::uint8_t { kFixed, kExponential, kLinear, kSwapping };
+
+  static ScrubSizer fixed(std::int64_t bytes) {
+    ScrubSizer s;
+    s.kind_ = Kind::kFixed;
+    s.start_bytes_ = s.max_bytes_ = bytes;
+    return s;
+  }
+
+  /// Size multiplies by `a` after every collision-free request.
+  static ScrubSizer exponential(std::int64_t start_bytes, double a,
+                                std::int64_t max_bytes) {
+    ScrubSizer s;
+    s.kind_ = Kind::kExponential;
+    s.start_bytes_ = start_bytes;
+    s.factor_a_ = a;
+    s.max_bytes_ = max_bytes;
+    return s;
+  }
+
+  /// Size becomes size * a + b after every collision-free request.
+  static ScrubSizer linear(std::int64_t start_bytes, double a,
+                           std::int64_t add_b, std::int64_t max_bytes) {
+    ScrubSizer s;
+    s.kind_ = Kind::kLinear;
+    s.start_bytes_ = start_bytes;
+    s.factor_a_ = a;
+    s.add_b_ = add_b;
+    s.max_bytes_ = max_bytes;
+    return s;
+  }
+
+  /// Fires `start_bytes` until `swap_after` into the burst, then switches
+  /// to `max_bytes`.
+  static ScrubSizer swapping(std::int64_t start_bytes, std::int64_t max_bytes,
+                             SimTime swap_after) {
+    ScrubSizer s;
+    s.kind_ = Kind::kSwapping;
+    s.start_bytes_ = start_bytes;
+    s.max_bytes_ = max_bytes;
+    s.swap_after_ = swap_after;
+    return s;
+  }
+
+  Kind kind() const { return kind_; }
+
+  /// Resets at the start of each firing burst.
+  void reset() { current_ = start_bytes_; }
+
+  /// Size of the next request, given time already spent firing in this
+  /// burst. Call advance() after the request completes without collision.
+  std::int64_t next(SimTime fired_for) const {
+    if (kind_ == Kind::kSwapping) {
+      return fired_for >= swap_after_ ? max_bytes_ : start_bytes_;
+    }
+    return current_;
+  }
+
+  /// True when the size can no longer change within this burst (the
+  /// simulator then batch-computes the remaining requests in O(1)).
+  bool stable(SimTime fired_for) const {
+    switch (kind_) {
+      case Kind::kFixed:
+        return true;
+      case Kind::kExponential:
+      case Kind::kLinear:
+        return current_ >= max_bytes_;
+      case Kind::kSwapping:
+        return fired_for >= swap_after_;
+    }
+    return false;
+  }
+
+  void advance() {
+    switch (kind_) {
+      case Kind::kFixed:
+      case Kind::kSwapping:
+        break;
+      case Kind::kExponential:
+        current_ = std::min<std::int64_t>(
+            max_bytes_, static_cast<std::int64_t>(current_ * factor_a_));
+        break;
+      case Kind::kLinear:
+        current_ = std::min<std::int64_t>(
+            max_bytes_,
+            static_cast<std::int64_t>(current_ * factor_a_) + add_b_);
+        break;
+    }
+  }
+
+  std::int64_t start_bytes() const { return start_bytes_; }
+  std::int64_t max_bytes() const { return max_bytes_; }
+
+ private:
+  Kind kind_ = Kind::kFixed;
+  std::int64_t start_bytes_ = 64 * 1024;
+  std::int64_t max_bytes_ = 64 * 1024;
+  std::int64_t current_ = 64 * 1024;
+  double factor_a_ = 2.0;
+  std::int64_t add_b_ = 0;
+  SimTime swap_after_ = 0;
+};
+
+}  // namespace pscrub::core

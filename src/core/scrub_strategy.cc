@@ -1,0 +1,108 @@
+#include "core/scrub_strategy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pscrub::core {
+
+SequentialStrategy::SequentialStrategy(std::int64_t total_sectors,
+                                       std::int64_t request_sectors)
+    : total_sectors_(total_sectors), request_sectors_(request_sectors) {
+  assert(total_sectors_ > 0 && request_sectors_ > 0);
+}
+
+ScrubExtent SequentialStrategy::next() {
+  ScrubExtent e;
+  e.lbn = pos_;
+  e.sectors = std::min(request_sectors_, total_sectors_ - pos_);
+  pos_ += e.sectors;
+  if (pos_ >= total_sectors_) {
+    pos_ = 0;
+    ++passes_;
+  }
+  return e;
+}
+
+void SequentialStrategy::reset() {
+  pos_ = 0;
+  passes_ = 0;
+}
+
+void SequentialStrategy::set_request_sectors(std::int64_t sectors) {
+  assert(sectors > 0);
+  request_sectors_ = sectors;
+}
+
+StaggeredStrategy::StaggeredStrategy(std::int64_t total_sectors,
+                                     std::int64_t request_sectors, int regions)
+    : total_sectors_(total_sectors),
+      request_sectors_(request_sectors),
+      regions_(std::max(regions, 1)),
+      // Ceiling division: every sector belongs to some region, and the last
+      // region may be short (possibly empty for degenerate ratios).
+      region_sectors_((total_sectors + std::max(regions, 1) - 1) /
+                      std::max(regions, 1)) {
+  assert(total_sectors_ > 0 && request_sectors_ > 0);
+  assert(region_sectors_ >= request_sectors_ &&
+         "regions too small for the request size");
+}
+
+ScrubExtent StaggeredStrategy::next() {
+  // Rounds probe segment k of every region in turn. Short trailing regions
+  // run out of segments before full ones do; skip them within the round.
+  while (true) {
+    const disk::Lbn region_start =
+        static_cast<disk::Lbn>(region_index_) * region_sectors_;
+    const std::int64_t region_end =
+        std::min(region_start + region_sectors_, total_sectors_);
+    const disk::Lbn lbn = region_start + segment_offset_;
+
+    // Advance the cursor first so every exit path leaves consistent state.
+    ++region_index_;
+    if (region_index_ >= regions_) {
+      region_index_ = 0;
+      segment_offset_ += request_sectors_;
+      if (segment_offset_ >= region_sectors_) {
+        segment_offset_ = 0;
+        ++passes_;
+      }
+    }
+
+    if (lbn < region_end) {
+      ScrubExtent e;
+      e.lbn = lbn;
+      e.sectors = std::min(request_sectors_, region_end - lbn);
+      return e;
+    }
+    // This region has no segment in the current round (trailing remainder);
+    // continue with the next region. Region 0, offset 0 always yields, so
+    // the loop terminates.
+  }
+}
+
+void StaggeredStrategy::reset() {
+  region_index_ = 0;
+  segment_offset_ = 0;
+  passes_ = 0;
+}
+
+void StaggeredStrategy::set_request_sectors(std::int64_t sectors) {
+  assert(sectors > 0);
+  request_sectors_ = sectors;
+  if (segment_offset_ >= region_sectors_) segment_offset_ = 0;
+}
+
+std::unique_ptr<ScrubStrategy> make_sequential(std::int64_t total_sectors,
+                                               std::int64_t request_bytes) {
+  return std::make_unique<SequentialStrategy>(
+      total_sectors, disk::sectors_from_bytes(request_bytes));
+}
+
+std::unique_ptr<ScrubStrategy> make_staggered(std::int64_t total_sectors,
+                                              std::int64_t request_bytes,
+                                              int regions) {
+  return std::make_unique<StaggeredStrategy>(
+      total_sectors, disk::sectors_from_bytes(request_bytes), regions);
+}
+
+}  // namespace pscrub::core

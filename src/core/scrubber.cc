@@ -1,0 +1,116 @@
+#include "core/scrubber.h"
+
+#include <utility>
+
+namespace pscrub::core {
+
+Scrubber::Scrubber(Simulator& sim, block::BlockLayer& blk,
+                   std::unique_ptr<ScrubStrategy> strategy,
+                   ScrubberConfig config)
+    : sim_(sim),
+      blk_(blk),
+      strategy_(std::move(strategy)),
+      config_(config) {}
+
+void Scrubber::start() {
+  if (running_) return;
+  running_ = true;
+  issue();
+}
+
+void Scrubber::issue() {
+  if (!running_) return;
+  const ScrubExtent e = strategy_->next();
+
+  block::BlockRequest req;
+  req.cmd.kind = config_.verify_kind;
+  req.cmd.lbn = e.lbn;
+  req.cmd.sectors = e.sectors;
+  req.priority = config_.priority;
+  req.soft_barrier = config_.path == IssuePath::kUser;
+  req.background = true;
+  req.on_complete = [this](const block::BlockRequest& r, SimTime latency) {
+    ++stats_.requests;
+    stats_.bytes += r.cmd.bytes();
+    stats_.latency_sum += latency;
+    if (!running_) return;
+    if (config_.inter_request_delay > 0) {
+      sim_.after(config_.inter_request_delay, [this] { issue(); });
+    } else {
+      issue();
+    }
+  };
+  blk_.submit(std::move(req));
+}
+
+WaitingScrubber::WaitingScrubber(Simulator& sim, block::BlockLayer& blk,
+                                 std::unique_ptr<ScrubStrategy> strategy,
+                                 SimTime wait_threshold,
+                                 disk::CommandKind verify_kind)
+    : sim_(sim),
+      blk_(blk),
+      strategy_(std::move(strategy)),
+      wait_threshold_(wait_threshold),
+      verify_kind_(verify_kind) {}
+
+void WaitingScrubber::start() {
+  if (running_) return;
+  running_ = true;
+  blk_.set_idle_observer([this] { on_idle(); });
+  if (blk_.idle()) on_idle();
+}
+
+void WaitingScrubber::stop() {
+  running_ = false;
+  if (armed_) {
+    sim_.cancel(arm_event_);
+    armed_ = false;
+  }
+  blk_.set_idle_observer(nullptr);
+}
+
+void WaitingScrubber::on_idle() {
+  if (!running_ || armed_) return;
+  armed_ = true;
+  arm_event_ = sim_.after(wait_threshold_, [this] { check_fire(); });
+}
+
+void WaitingScrubber::check_fire() {
+  armed_ = false;
+  if (!running_ || !blk_.idle()) return;  // re-armed on the next idle edge
+  // Activity may have come and gone while the timer ran: fire only once a
+  // full threshold of *continuous* idleness has accumulated.
+  const SimTime idle_for = blk_.disk_idle_for();
+  if (idle_for < wait_threshold_) {
+    armed_ = true;
+    arm_event_ =
+        sim_.after(wait_threshold_ - idle_for, [this] { check_fire(); });
+    return;
+  }
+  fire();
+}
+
+void WaitingScrubber::fire() {
+  const ScrubExtent e = strategy_->next();
+  block::BlockRequest req;
+  req.cmd.kind = verify_kind_;
+  req.cmd.lbn = e.lbn;
+  req.cmd.sectors = e.sectors;
+  req.priority = block::IoPriority::kBestEffort;
+  req.background = true;
+  req.on_complete = [this](const block::BlockRequest& r, SimTime latency) {
+    ++stats_.requests;
+    stats_.bytes += r.cmd.bytes();
+    stats_.latency_sum += latency;
+    if (!running_) return;
+    // Decreasing hazard rates: keep firing until foreground work appears;
+    // no separate stopping criterion (Sec V-A).
+    if (blk_.queue_depth() == 0 && !blk_.disk_busy()) {
+      fire();
+    }
+    // Otherwise stand down; the idle observer re-arms us later.
+  };
+  blk_.submit(std::move(req));
+}
+
+}  // namespace pscrub::core

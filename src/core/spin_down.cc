@@ -1,0 +1,45 @@
+#include "core/spin_down.h"
+
+namespace pscrub::core {
+
+SpinDownDaemon::SpinDownDaemon(Simulator& sim, block::BlockLayer& blk,
+                               SimTime wait_threshold)
+    : sim_(sim), blk_(blk), wait_threshold_(wait_threshold) {}
+
+void SpinDownDaemon::start() {
+  if (running_) return;
+  running_ = true;
+  blk_.set_idle_observer([this] { on_idle(); });
+  if (blk_.idle()) on_idle();
+}
+
+void SpinDownDaemon::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (armed_) {
+    sim_.cancel(arm_event_);
+    armed_ = false;
+  }
+  blk_.set_idle_observer(nullptr);
+}
+
+void SpinDownDaemon::on_idle() {
+  if (!running_ || armed_) return;
+  armed_ = true;
+  arm_event_ = sim_.after(wait_threshold_, [this] { check(); });
+}
+
+void SpinDownDaemon::check() {
+  armed_ = false;
+  if (!running_ || !blk_.idle()) return;
+  // Spin down only after a full threshold of continuous idleness.
+  const SimTime idle_for = blk_.disk_idle_for();
+  if (idle_for < wait_threshold_) {
+    armed_ = true;
+    arm_event_ = sim_.after(wait_threshold_ - idle_for, [this] { check(); });
+    return;
+  }
+  if (blk_.disk().spin_down()) ++stats_.spin_downs;
+}
+
+}  // namespace pscrub::core

@@ -1,0 +1,54 @@
+// Idle-time power management: the paper's conclusion proposes applying
+// the Waiting insight beyond scrubbing -- "contributing to power savings
+// in data centers (e.g. by spinning disks down)".
+//
+// SpinDownDaemon is the Waiting policy with a different payload: once the
+// disk has been idle past the threshold, spin it down; the next command
+// pays the spin-up. The same statistics that make Waiting a good scrub
+// trigger (decreasing hazard rates, heavy-tailed idle) make it a good
+// spin-down trigger: long-idle disks stay idle long enough to amortize
+// the spin-up cost.
+#pragma once
+
+#include <cstdint>
+
+#include "block/block_layer.h"
+#include "sim/simulator.h"
+
+namespace pscrub::core {
+
+struct SpinDownStats {
+  std::int64_t spin_downs = 0;
+};
+
+class SpinDownDaemon {
+ public:
+  SpinDownDaemon(Simulator& sim, block::BlockLayer& blk,
+                 SimTime wait_threshold);
+  ~SpinDownDaemon() { stop(); }
+  SpinDownDaemon(const SpinDownDaemon&) = delete;
+  SpinDownDaemon& operator=(const SpinDownDaemon&) = delete;
+
+  /// Begins watching the block layer's idleness. Replaces any idle
+  /// observer previously registered there.
+  void start();
+  void stop();
+
+  const SpinDownStats& stats() const { return stats_; }
+  SimTime wait_threshold() const { return wait_threshold_; }
+  void set_wait_threshold(SimTime t) { wait_threshold_ = t; }
+
+ private:
+  void on_idle();
+  void check();
+
+  Simulator& sim_;
+  block::BlockLayer& blk_;
+  SimTime wait_threshold_;
+  SpinDownStats stats_;
+  bool running_ = false;
+  bool armed_ = false;
+  EventId arm_event_ = 0;
+};
+
+}  // namespace pscrub::core

@@ -1,0 +1,52 @@
+#include "disk/cache.h"
+
+#include <algorithm>
+
+namespace pscrub::disk {
+
+bool SegmentCache::lookup(Lbn lbn, std::int64_t sectors) {
+  for (auto it = segments_.begin(); it != segments_.end(); ++it) {
+    if (lbn >= it->lbn && lbn + sectors <= it->lbn + it->sectors) {
+      segments_.splice(segments_.begin(), segments_, it);  // touch
+      return true;
+    }
+  }
+  return false;
+}
+
+void SegmentCache::insert(Lbn lbn, std::int64_t sectors) {
+  if (sectors <= 0 || capacity_sectors_ <= 0) return;
+  Lbn lo = lbn;
+  Lbn hi = lbn + sectors;
+  // Absorb every overlapping or adjacent segment into [lo, hi).
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    const Lbn s_lo = it->lbn;
+    const Lbn s_hi = it->lbn + it->sectors;
+    if (s_hi >= lo && s_lo <= hi) {
+      lo = std::min(lo, s_lo);
+      hi = std::max(hi, s_hi);
+      used_sectors_ -= it->sectors;
+      it = segments_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  segments_.push_front(Segment{lo, hi - lo});
+  used_sectors_ += hi - lo;
+  while (used_sectors_ > capacity_sectors_ && !segments_.empty()) {
+    // Evict least recently used whole segments; if a single segment exceeds
+    // capacity, trim its tail instead of thrashing.
+    if (segments_.size() == 1) {
+      Segment& s = segments_.front();
+      const std::int64_t excess = used_sectors_ - capacity_sectors_;
+      s.sectors -= excess;
+      s.lbn += excess;  // keep the most recent (highest) part of the range
+      used_sectors_ = capacity_sectors_;
+      break;
+    }
+    used_sectors_ -= segments_.back().sectors;
+    segments_.pop_back();
+  }
+}
+
+}  // namespace pscrub::disk

@@ -1,0 +1,47 @@
+// Segmented on-disk read cache.
+//
+// Real drive caches keep a handful of variable-length segments of
+// recently-read (and read-ahead) data and recycle the least recently used
+// segment under pressure. We model exactly that: contiguous LBN ranges with
+// LRU eviction at segment granularity.
+#pragma once
+
+#include <cstdint>
+#include <list>
+
+#include "disk/command.h"
+
+namespace pscrub::disk {
+
+class SegmentCache {
+ public:
+  explicit SegmentCache(std::int64_t capacity_bytes)
+      : capacity_sectors_(capacity_bytes / kSectorBytes) {}
+
+  /// True iff [lbn, lbn+sectors) is fully contained in one cached segment.
+  /// A hit refreshes the segment's recency.
+  bool lookup(Lbn lbn, std::int64_t sectors);
+
+  /// Inserts [lbn, lbn+sectors), merging with overlapping or adjacent
+  /// segments, then evicts LRU segments until within capacity.
+  void insert(Lbn lbn, std::int64_t sectors);
+
+  /// Drops all contents (e.g. cache disabled at runtime).
+  void clear() { segments_.clear(); used_sectors_ = 0; }
+
+  std::int64_t used_bytes() const { return used_sectors_ * kSectorBytes; }
+  std::size_t segment_count() const { return segments_.size(); }
+
+ private:
+  struct Segment {
+    Lbn lbn;
+    std::int64_t sectors;
+  };
+
+  // Front = most recently used.
+  std::list<Segment> segments_;
+  std::int64_t capacity_sectors_;
+  std::int64_t used_sectors_ = 0;
+};
+
+}  // namespace pscrub::disk

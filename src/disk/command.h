@@ -1,0 +1,44 @@
+// Disk command abstraction shared by the block layer and the disk model.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace pscrub::disk {
+
+/// Logical block number, in 512-byte sectors.
+using Lbn = std::int64_t;
+
+inline constexpr std::int64_t kSectorBytes = 512;
+
+constexpr std::int64_t sectors_from_bytes(std::int64_t bytes) {
+  return (bytes + kSectorBytes - 1) / kSectorBytes;
+}
+
+enum class CommandKind : std::uint8_t {
+  kRead,
+  kWrite,
+  /// SCSI VERIFY: checks sectors against the medium. Transfers no data to
+  /// the host, never consults or populates the on-disk cache.
+  kVerifyScsi,
+  /// ATA VERIFY as actually implemented by the SATA drives the paper
+  /// measured (Fig 1): with the on-disk cache enabled the command is
+  /// answered from cache/electronics without touching the medium; with the
+  /// cache disabled it behaves like a media-bound verify.
+  kVerifyAta,
+};
+
+constexpr bool is_verify(CommandKind k) {
+  return k == CommandKind::kVerifyScsi || k == CommandKind::kVerifyAta;
+}
+
+struct DiskCommand {
+  CommandKind kind = CommandKind::kRead;
+  Lbn lbn = 0;
+  std::int64_t sectors = 0;
+
+  std::int64_t bytes() const { return sectors * kSectorBytes; }
+};
+
+}  // namespace pscrub::disk

@@ -1,0 +1,171 @@
+// Event-driven mechanical disk model.
+//
+// The model tracks head cylinder and derives rotational phase from the
+// simulation clock (the platter never stops), so back-to-back command
+// sequences experience the real positioning costs: a sequential VERIFY
+// stream just-misses its next sector during the command turnaround and
+// pays ~a full revolution (Sec IV-A of the paper), while jumps between
+// staggered regions pay a short seek plus half a revolution on average.
+//
+// The disk services one command at a time; commands submitted while busy
+// queue FIFO inside the drive (the block layer above decides ordering, so
+// the internal queue is typically depth 0-1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+
+#include "disk/cache.h"
+#include "disk/command.h"
+#include "disk/geometry.h"
+#include "disk/profile.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace pscrub::disk {
+
+/// Completion callback: invoked at completion time with the command's
+/// response time (completion - submission).
+using CompletionFn = std::function<void(const DiskCommand&, SimTime latency)>;
+
+struct DiskCounters {
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  std::int64_t verifies = 0;
+  std::int64_t read_bytes = 0;
+  std::int64_t write_bytes = 0;
+  std::int64_t verified_bytes = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t media_accesses = 0;
+  std::int64_t lse_detected = 0;  // latent errors hit by media accesses
+  std::int64_t lse_repaired = 0;  // cleared by rewrites
+  SimTime busy_time = 0;
+};
+
+class DiskModel {
+ public:
+  DiskModel(Simulator& sim, DiskProfile profile, std::uint64_t seed);
+
+  /// Submits a command. Completion is delivered through the simulator.
+  void submit(const DiskCommand& cmd, CompletionFn on_complete);
+
+  /// True while a command is in service (not merely queued).
+  bool busy() const { return busy_; }
+
+  /// Completion time of the in-service command (undefined when idle).
+  SimTime busy_until() const { return busy_until_; }
+
+  /// Queued-but-not-started commands inside the drive.
+  std::size_t queued() const { return queue_.size(); }
+
+  const DiskProfile& profile() const { return profile_; }
+  const Geometry& geometry() const { return geometry_; }
+  const DiskCounters& counters() const { return counters_; }
+
+  /// Toggles the on-disk cache at runtime (Fig 1's cache on/off sweep).
+  void set_cache_enabled(bool enabled);
+
+  std::int64_t total_sectors() const { return geometry_.total_sectors(); }
+
+  // ---- Latent sector error injection ------------------------------------
+  //
+  // LSEs are silent: an injected error costs nothing until a media access
+  // touches the sector. A READ of a bad sector pays an error-recovery
+  // penalty (the drive's retry loop) and reports the sector through the
+  // observer; a VERIFY detects it (that is a scrubber's whole purpose);
+  // a WRITE covering the sector repairs it (sector reallocation).
+
+  /// Marks a sector as a latent error. Idempotent.
+  void inject_lse(Lbn lbn);
+
+  /// Explicitly repairs a sector (e.g. after RAID reconstruction wrote it).
+  void repair_lse(Lbn lbn);
+
+  /// Drops every injected error without counting repairs (the drive was
+  /// physically replaced).
+  void clear_lses() { lse_.clear(); }
+
+  bool has_lse(Lbn lbn) const { return lse_.count(lbn) != 0; }
+  std::size_t lse_count() const { return lse_.size(); }
+
+  /// Observer invoked (at command completion time) once per bad sector a
+  /// media access touched. `is_read` distinguishes a foreground read
+  /// failure from a scrubber detection.
+  using LseObserver = std::function<void(Lbn lbn, bool is_read)>;
+  void set_lse_observer(LseObserver fn) { lse_observer_ = std::move(fn); }
+
+  /// Per-bad-sector error-recovery time added to a READ touching it.
+  void set_lse_read_penalty(SimTime penalty) { lse_read_penalty_ = penalty; }
+
+  // ---- Power management ---------------------------------------------------
+  //
+  // Three states: kActive while a command is in service, kIdle while
+  // spinning without work, kStandby after spin_down(). A command arriving
+  // in standby pays the spin-up time before service. Energy integrates
+  // continuously (query it at any simulation time).
+
+  enum class PowerState : std::uint8_t { kActive, kIdle, kStandby };
+
+  PowerState power_state() const;
+
+  /// Spins the platters down. Only meaningful while idle; a busy or
+  /// already-standby disk ignores the request (returns false).
+  bool spin_down();
+
+  /// Total energy consumed up to now, in joules.
+  double energy_joules() const;
+
+  /// Number of spin-ups triggered by commands arriving in standby.
+  std::int64_t spinups() const { return spinups_; }
+
+  /// Total command time spent waiting for spin-ups (latency cost of the
+  /// power policy).
+  SimTime spinup_wait() const { return spinup_wait_; }
+
+ private:
+  struct Pending {
+    DiskCommand cmd;
+    CompletionFn on_complete;
+    SimTime submitted;
+  };
+
+  void start(Pending p);
+  /// Computes service duration from the current mechanical state and
+  /// advances that state to the command's end position.
+  SimTime service(const DiskCommand& cmd);
+  /// Rotational phase (fraction of a revolution) at absolute time `t`.
+  double phase_at(SimTime t) const;
+
+  Simulator& sim_;
+  DiskProfile profile_;
+  Geometry geometry_;
+  SegmentCache cache_;
+  Rng rng_;
+
+  bool busy_ = false;
+  SimTime busy_until_ = 0;
+  std::int64_t head_cylinder_ = 0;
+  std::deque<Pending> queue_;
+  DiskCounters counters_;
+  std::set<Lbn> lse_;
+  LseObserver lse_observer_;
+  SimTime lse_read_penalty_ = 0;
+  /// Bad sectors touched by the command being started (filled by
+  /// service(), delivered to the observer at completion).
+  std::vector<Lbn> media_lse_hits_;
+
+  // Power accounting: energy is integrated lazily -- `energy_` is exact as
+  // of `energy_updated_at_` in state `power_`; accrue() rolls it forward.
+  void accrue_energy() const;
+  double state_watts(PowerState s) const;
+  mutable double energy_ = 0.0;
+  mutable SimTime energy_updated_at_ = 0;
+  PowerState power_ = PowerState::kIdle;
+  SimTime spinup_until_ = 0;  // while > now, the drive is spinning up
+  std::int64_t spinups_ = 0;
+  SimTime spinup_wait_ = 0;
+};
+
+}  // namespace pscrub::disk

@@ -1,0 +1,69 @@
+#include "disk/geometry.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pscrub::disk {
+
+Geometry::Geometry(std::int64_t capacity_bytes, std::int64_t outer_spt,
+                   std::int64_t inner_spt, int zones) {
+  assert(capacity_bytes > 0);
+  assert(outer_spt >= inner_spt && inner_spt > 0);
+  assert(zones >= 1);
+
+  const std::int64_t want_sectors = sectors_from_bytes(capacity_bytes);
+  // Average spt over the zone ramp; derive the cylinder count that covers
+  // the requested capacity, then distribute cylinders evenly across zones.
+  const double mean_spt = (static_cast<double>(outer_spt) + inner_spt) / 2.0;
+  std::int64_t cyl_total = static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(want_sectors) / mean_spt));
+  if (cyl_total < zones) cyl_total = zones;
+
+  Lbn lbn = 0;
+  std::int64_t cyl = 0;
+  for (int z = 0; z < zones; ++z) {
+    Zone zone;
+    zone.first_lbn = lbn;
+    zone.first_cyl = cyl;
+    zone.cylinders = cyl_total / zones + (z < cyl_total % zones ? 1 : 0);
+    // Linear interpolation outer -> inner across zones.
+    const double f = zones == 1 ? 0.0 : static_cast<double>(z) / (zones - 1);
+    zone.spt = outer_spt - static_cast<std::int64_t>(
+                               std::llround(f * (outer_spt - inner_spt)));
+    zones_.push_back(zone);
+    lbn += zone.cylinders * zone.spt;
+    cyl += zone.cylinders;
+  }
+  total_sectors_ = lbn;
+  total_cylinders_ = cyl;
+  assert(total_sectors_ >= want_sectors);
+}
+
+PhysicalPos Geometry::locate(Lbn lbn) const {
+  assert(lbn >= 0 && lbn < total_sectors_);
+  // Zones are few (<= ~16); a linear scan is cache-friendly and fast enough
+  // for the hot path (the compiler unrolls it well).
+  for (const Zone& z : zones_) {
+    const std::int64_t zone_sectors = z.cylinders * z.spt;
+    if (lbn < z.first_lbn + zone_sectors) {
+      const std::int64_t off = lbn - z.first_lbn;
+      PhysicalPos pos;
+      pos.cylinder = z.first_cyl + off / z.spt;
+      pos.spt = z.spt;
+      pos.angle = static_cast<double>(off % z.spt) / static_cast<double>(z.spt);
+      return pos;
+    }
+  }
+  assert(false && "unreachable: lbn within total_sectors_");
+  return {};
+}
+
+double Geometry::mean_sectors_per_track() const {
+  double weighted = 0.0;
+  for (const Zone& z : zones_) {
+    weighted += static_cast<double>(z.cylinders * z.spt) * z.spt;
+  }
+  return weighted / static_cast<double>(total_sectors_);
+}
+
+}  // namespace pscrub::disk

@@ -1,0 +1,69 @@
+// Zoned disk geometry: maps logical block numbers to physical position.
+//
+// Modern disks record more sectors on outer tracks (zoned bit recording).
+// We model a configurable number of zones whose sectors-per-track
+// interpolate linearly from `outer_spt` to `inner_spt`. Within a zone,
+// LBNs advance along a track, then to the next track of the cylinder
+// (same angular position: cylinder switch needs only a head switch), then
+// to the next cylinder.
+//
+// The model collapses platters/heads into "one track per cylinder" with the
+// full per-cylinder capacity; this preserves the two quantities every
+// experiment depends on — angular position of a sector and seek distance in
+// cylinders — while avoiding irrelevant head-count bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/command.h"
+
+namespace pscrub::disk {
+
+struct PhysicalPos {
+  std::int64_t cylinder = 0;
+  /// Angular position of the sector start, as a fraction of a revolution
+  /// in [0, 1).
+  double angle = 0.0;
+  /// Sectors per track at this cylinder.
+  std::int64_t spt = 0;
+};
+
+class Geometry {
+ public:
+  /// Builds a geometry covering at least `capacity_bytes`, with `zones`
+  /// zones interpolating from `outer_spt` (zone 0, LBN 0) to `inner_spt`.
+  Geometry(std::int64_t capacity_bytes, std::int64_t outer_spt,
+           std::int64_t inner_spt, int zones = 16);
+
+  std::int64_t total_sectors() const { return total_sectors_; }
+  std::int64_t total_bytes() const { return total_sectors_ * kSectorBytes; }
+  std::int64_t cylinders() const { return total_cylinders_; }
+
+  /// Maps an LBN to its physical position. Precondition: valid LBN.
+  PhysicalPos locate(Lbn lbn) const;
+
+  /// Sectors per track at the cylinder containing `lbn`.
+  std::int64_t sectors_per_track(Lbn lbn) const { return locate(lbn).spt; }
+
+  /// Average sectors per track across the whole disk (capacity-weighted).
+  double mean_sectors_per_track() const;
+
+  bool valid(Lbn lbn, std::int64_t sectors) const {
+    return lbn >= 0 && sectors > 0 && lbn + sectors <= total_sectors_;
+  }
+
+ private:
+  struct Zone {
+    Lbn first_lbn;            // first LBN of the zone
+    std::int64_t first_cyl;   // first cylinder of the zone
+    std::int64_t cylinders;   // cylinders in this zone
+    std::int64_t spt;         // sectors per track throughout the zone
+  };
+
+  std::vector<Zone> zones_;
+  std::int64_t total_sectors_ = 0;
+  std::int64_t total_cylinders_ = 0;
+};
+
+}  // namespace pscrub::disk

@@ -1,0 +1,133 @@
+// Drive model parameters ("profiles") and closed-form service estimates.
+//
+// One profile per drive model the paper measured. The numbers are
+// calibrated so that the closed-form estimates land near the paper's
+// figures (Figs 1, 4, 5); the event-driven DiskModel consumes the same
+// parameters, and a test asserts the two agree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "disk/command.h"
+#include "sim/time.h"
+
+namespace pscrub::disk {
+
+enum class Interface : std::uint8_t { kSata, kSas, kScsi };
+
+const char* to_string(Interface i);
+
+struct DiskProfile {
+  std::string name;
+  Interface interface = Interface::kSas;
+
+  std::int64_t capacity_bytes = 0;
+  int rpm = 15000;
+  std::int64_t outer_spt = 0;  // sectors per track, outermost zone
+  std::int64_t inner_spt = 0;  // sectors per track, innermost zone
+  int zones = 16;
+
+  // Seek curve anchors: t(d) = min + (max - min) * sqrt(d / d_max) for a
+  // d-cylinder sweep; single-track (d <= 1) costs `track_switch`.
+  SimTime min_seek = 0;
+  SimTime max_seek = 0;
+  SimTime track_switch = 0;
+
+  // Fixed electronics costs per command: host->disk command processing and
+  // completion propagation back to the host. Their sum is the "turnaround
+  // gap" during which the platter keeps spinning -- the mechanism behind
+  // the full-rotation miss of back-to-back sequential VERIFYs (Sec IV-A).
+  SimTime command_overhead = 0;
+  SimTime completion_overhead = 0;
+
+  // On-disk cache.
+  bool cache_enabled = true;
+  std::int64_t cache_bytes = 8LL << 20;
+  std::int64_t prefetch_bytes = 0;  // read-ahead inserted after a media read
+  SimTime cache_hit_overhead = 0;   // electronics cost of a full cache hit
+  double bus_mb_per_s = 300.0;      // host transfer rate (reads/writes only)
+
+  // ATA VERIFY-from-cache behaviour (Fig 1): with the cache enabled the
+  // command never touches the medium and costs base + size * per_byte.
+  SimTime ata_verify_cache_base = 0;
+  double ata_verify_cache_ns_per_byte = 0.0;
+
+  // Power model (for the idle-time spin-down application the paper's
+  // conclusion proposes). Typical 15k 3.5" enterprise figures.
+  double active_watts = 17.0;   // seeking / transferring
+  double idle_watts = 10.0;     // spinning, no command
+  double standby_watts = 2.0;   // spun down
+  SimTime spinup_time = 8 * kSecond;
+  double spinup_watts = 24.0;   // surge while spinning up
+
+  // Firmware trait: drives that re-acquire the track with an arbitrary
+  // rotational phase on each verify (observed on the Deskstar: ~P/2 mean
+  // latency) versus drives that deterministically just-miss the next
+  // sector (~P, observed on the Caviar).
+  bool verify_random_phase = false;
+
+  // ---- Derived quantities -------------------------------------------------
+
+  /// One platter revolution.
+  SimTime rotation_period() const {
+    return static_cast<SimTime>(60.0 * kSecond / rpm);
+  }
+
+  double mean_spt() const {
+    return (static_cast<double>(outer_spt) + inner_spt) / 2.0;
+  }
+
+  /// Seek time for a sweep of `cylinders` (of `total_cylinders`).
+  SimTime seek_time(std::int64_t cylinders, std::int64_t total_cylinders) const;
+
+  /// Media transfer time for `sectors` at average density, including track
+  /// switches.
+  SimTime media_transfer(std::int64_t sectors) const;
+
+  /// Host bus transfer time for `bytes` (zero for VERIFY).
+  SimTime bus_transfer(std::int64_t bytes) const;
+
+  // ---- Closed-form service estimates (used by the policy simulator) ------
+
+  /// Back-to-back sequential VERIFY of `bytes` via the given command kind.
+  /// Captures the turnaround-induced rotation miss.
+  SimTime sequential_verify_service(std::int64_t bytes,
+                                    CommandKind kind = CommandKind::kVerifyScsi) const;
+
+  /// Staggered VERIFY of `bytes` jumping between `regions` regions:
+  /// a 1/regions-stroke seek plus half a rotation on average.
+  SimTime staggered_verify_service(std::int64_t bytes, int regions) const;
+
+  /// Random read of `bytes` (average seek + half rotation + transfer).
+  SimTime random_read_service(std::int64_t bytes) const;
+
+  /// Synchronous sequential read of `bytes` with a cold cache
+  /// (rotation-bound, like sequential verify but with bus transfer).
+  SimTime sequential_read_service(std::int64_t bytes) const;
+
+  /// Raw media streaming rate in MB/s at average density (upper bound on
+  /// scrub throughput).
+  double media_rate_mb_s() const;
+};
+
+// ---- Catalog of the paper's drives ----------------------------------------
+
+/// Hitachi Ultrastar 15K450, 300 GB SAS, 15k RPM (the paper's main drive).
+DiskProfile hitachi_ultrastar_15k450();
+
+/// Fujitsu MAX3073RC, 73 GB SAS, 15k RPM.
+DiskProfile fujitsu_max3073rc();
+
+/// Fujitsu MAP3367NP, 36 GB parallel SCSI, 10k RPM.
+DiskProfile fujitsu_map3367np();
+
+/// Western Digital Caviar, 320 GB SATA, 7200 RPM. ATA VERIFY answered from
+/// cache when the cache is on; deterministic just-miss phase when off.
+DiskProfile wd_caviar();
+
+/// Hitachi Deskstar, 500 GB SATA, 7200 RPM. ATA VERIFY answered from cache
+/// when on; random rotational phase (mean half-rotation) when off.
+DiskProfile hitachi_deskstar();
+
+}  // namespace pscrub::disk

@@ -1,0 +1,54 @@
+// Umbrella header: the public API of the practical-scrubbing library.
+//
+// Layered bottom-up:
+//   sim       -- discrete-event engine, deterministic RNG
+//   disk      -- mechanical disk model + drive profiles
+//   block     -- request queue, NOOP/CFQ schedulers, soft barriers
+//   trace     -- SNIA-style traces, synthetic generator, catalog
+//   stats     -- ANOVA, AR(p)/AIC, autocorrelation, residual life
+//   workload  -- synthetic foreground workloads, trace replay
+//   core      -- scrubbers, idle policies, policy simulator, optimizer,
+//                LSE/MLET model (the paper's contribution)
+//   raid      -- striped array with rebuild and scrub-repair (the data-
+//                loss scenario that motivates scrubbing)
+#pragma once
+
+#include "block/block_layer.h"
+#include "block/cfq_scheduler.h"
+#include "block/deadline_scheduler.h"
+#include "block/noop_scheduler.h"
+#include "core/adaptive.h"
+#include "core/cost_model.h"
+#include "core/idle_policy.h"
+#include "core/lse.h"
+#include "core/optimizer.h"
+#include "core/policy_sim.h"
+#include "core/scrub_sizer.h"
+#include "core/scrub_strategy.h"
+#include "core/scrubber.h"
+#include "core/spin_down.h"
+#include "disk/cache.h"
+#include "disk/disk_model.h"
+#include "disk/geometry.h"
+#include "disk/profile.h"
+#include "raid/array.h"
+#include "raid/layout.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "stats/acd_model.h"
+#include "stats/anova.h"
+#include "stats/ar_model.h"
+#include "stats/autocorrelation.h"
+#include "stats/descriptive.h"
+#include "stats/ecdf.h"
+#include "stats/residual_life.h"
+#include "trace/catalog.h"
+#include "trace/idle.h"
+#include "trace/io.h"
+#include "trace/record.h"
+#include "trace/spec.h"
+#include "trace/synthetic.h"
+#include "workload/metrics.h"
+#include "workload/synthetic_workload.h"
+#include "workload/trace_replay.h"

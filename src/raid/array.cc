@@ -1,0 +1,322 @@
+#include "raid/array.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/scrub_strategy.h"
+
+namespace pscrub::raid {
+
+RaidArray::RaidArray(Simulator& sim, const RaidConfig& config,
+                     const disk::DiskProfile& profile, std::uint64_t seed)
+    : sim_(sim),
+      config_(config),
+      layout_(config, disk::Geometry(profile.capacity_bytes, profile.outer_spt,
+                                     profile.inner_spt, profile.zones)
+                          .total_sectors()),
+      failed_(static_cast<std::size_t>(layout_.total_disks()), false) {
+  const auto n = static_cast<std::size_t>(layout_.total_disks());
+  disks_.reserve(n);
+  blocks_.reserve(n);
+  scrubbers_.resize(n);
+  for (int i = 0; i < layout_.total_disks(); ++i) {
+    disks_.push_back(std::make_unique<disk::DiskModel>(
+        sim_, profile, seed + static_cast<std::uint64_t>(i) * 7919));
+    blocks_.push_back(std::make_unique<block::BlockLayer>(
+        sim_, *disks_.back(), std::make_unique<block::CfqScheduler>()));
+    // Foreground read failures surface immediately; scrub detections are
+    // routed to the repair path when scrubbing is active.
+    disks_.back()->set_lse_observer(
+        [this, i](disk::Lbn lbn, bool is_read) {
+          if (is_read) {
+            ++stats_.read_detections;
+          } else {
+            ++stats_.scrub_detections;
+            repair_sector(i, lbn);
+          }
+        });
+  }
+}
+
+void RaidArray::submit_joined(int disk_index, block::BlockRequest request,
+                              const std::shared_ptr<Join>& join) {
+  ++join->remaining;
+  request.on_complete = [join](const block::BlockRequest&, SimTime) {
+    if (--join->remaining == 0 && join->done) {
+      // Latency measured from array-level submission to last completion.
+      join->done(0);
+    }
+  };
+  block(disk_index).submit(std::move(request));
+}
+
+void RaidArray::submit_disk_read(int disk_index, disk::Lbn lbn,
+                                 std::int64_t sectors,
+                                 const std::shared_ptr<Join>& join) {
+  block::BlockRequest req;
+  req.cmd.kind = disk::CommandKind::kRead;
+  req.cmd.lbn = lbn;
+  req.cmd.sectors = sectors;
+  submit_joined(disk_index, std::move(req), join);
+}
+
+void RaidArray::submit_disk_write(int disk_index, disk::Lbn lbn,
+                                  std::int64_t sectors,
+                                  const std::shared_ptr<Join>& join) {
+  block::BlockRequest req;
+  req.cmd.kind = disk::CommandKind::kWrite;
+  req.cmd.lbn = lbn;
+  req.cmd.sectors = sectors;
+  submit_joined(disk_index, std::move(req), join);
+}
+
+void RaidArray::degraded_read(const RaidLayout::DataLocation& loc,
+                              std::int64_t sectors,
+                              const std::shared_ptr<Join>& join) {
+  ++stats_.degraded_reads;
+  const std::int64_t offset = loc.lbn % layout_.chunk_sectors();
+  for (const ChunkLocation& peer :
+       layout_.reconstruction_set(loc.stripe, loc.disk)) {
+    submit_disk_read(peer.disk, peer.lbn + offset, sectors, join);
+  }
+}
+
+void RaidArray::read(std::int64_t array_lbn, std::int64_t sectors,
+                     DoneFn done) {
+  assert(array_lbn >= 0 && array_lbn + sectors <= layout_.array_sectors());
+  ++stats_.reads;
+  auto join = std::make_shared<Join>();
+  join->submitted = sim_.now();
+  const SimTime submitted = sim_.now();
+  join->done = [done = std::move(done), submitted, this](SimTime) {
+    if (done) done(sim_.now() - submitted);
+  };
+  // Pin the join against completing while we are still splitting.
+  ++join->remaining;
+
+  std::int64_t remaining = sectors;
+  std::int64_t lbn = array_lbn;
+  while (remaining > 0) {
+    const RaidLayout::DataLocation loc = layout_.locate(lbn);
+    const std::int64_t chunk_left =
+        layout_.chunk_sectors() - loc.lbn % layout_.chunk_sectors();
+    const std::int64_t take = std::min(remaining, chunk_left);
+    // A member under rebuild serves the region already restored; only the
+    // yet-unrebuilt stripes reconstruct from peers.
+    const bool degraded = loc.disk == rebuilding_disk_
+                              ? loc.stripe >= rebuild_frontier_
+                              : is_failed(loc.disk);
+    if (degraded) {
+      degraded_read(loc, take, join);
+    } else {
+      submit_disk_read(loc.disk, loc.lbn, take, join);
+    }
+    lbn += take;
+    remaining -= take;
+  }
+  // Drop the pin.
+  if (--join->remaining == 0 && join->done) join->done(0);
+}
+
+void RaidArray::write(std::int64_t array_lbn, std::int64_t sectors,
+                      DoneFn done) {
+  assert(array_lbn >= 0 && array_lbn + sectors <= layout_.array_sectors());
+  ++stats_.writes;
+  auto join = std::make_shared<Join>();
+  join->submitted = sim_.now();
+  const SimTime submitted = sim_.now();
+  join->done = [done = std::move(done), submitted, this](SimTime) {
+    if (done) done(sim_.now() - submitted);
+  };
+  ++join->remaining;
+
+  std::int64_t remaining = sectors;
+  std::int64_t lbn = array_lbn;
+  while (remaining > 0) {
+    const RaidLayout::DataLocation loc = layout_.locate(lbn);
+    const std::int64_t chunk_left =
+        layout_.chunk_sectors() - loc.lbn % layout_.chunk_sectors();
+    const std::int64_t take = std::min(remaining, chunk_left);
+    const std::int64_t offset = loc.lbn % layout_.chunk_sectors();
+
+    // Read-modify-write: read old data + old parity, write new data +
+    // new parity. Failed members are skipped (their content is implied
+    // by the survivors).
+    if (!is_failed(loc.disk)) {
+      submit_disk_read(loc.disk, loc.lbn, take, join);
+      submit_disk_write(loc.disk, loc.lbn, take, join);
+    }
+    for (int j = 0; j < layout_.parity_disks(); ++j) {
+      const ChunkLocation par = layout_.parity_chunk(loc.stripe, j);
+      if (is_failed(par.disk)) continue;
+      submit_disk_read(par.disk, par.lbn + offset, take, join);
+      submit_disk_write(par.disk, par.lbn + offset, take, join);
+    }
+    lbn += take;
+    remaining -= take;
+  }
+  if (--join->remaining == 0 && join->done) join->done(0);
+}
+
+void RaidArray::fail_disk(int index) {
+  assert(index >= 0 && index < layout_.total_disks());
+  failed_[static_cast<std::size_t>(index)] = true;
+  if (scrubbers_[static_cast<std::size_t>(index)]) {
+    scrubbers_[static_cast<std::size_t>(index)]->stop();
+  }
+}
+
+std::int64_t RaidArray::count_lost_sectors(std::int64_t stripe,
+                                           int missing_disk) {
+  // Per sector column of the stripe: erasures = 1 (the missing disk) plus
+  // survivors whose copy of that column is a latent error. Recoverable
+  // iff erasures <= parity count.
+  std::int64_t lost = 0;
+  const std::int64_t base = stripe * layout_.chunk_sectors();
+  for (std::int64_t off = 0; off < layout_.chunk_sectors(); ++off) {
+    int erasures = 1;
+    for (int d = 0; d < layout_.total_disks(); ++d) {
+      if (d == missing_disk || is_failed(d)) continue;
+      if (disk(d).has_lse(base + off)) ++erasures;
+    }
+    if (erasures > layout_.parity_disks()) ++lost;
+  }
+  return lost;
+}
+
+void RaidArray::rebuild_stripe(
+    int index, std::int64_t stripe, const RebuildConfig& config,
+    std::shared_ptr<RebuildResult> result,
+    std::function<void(const RebuildResult&)> done, SimTime started) {
+  if (stripe >= layout_.stripes()) {
+    // Rebuild complete: the member is healthy again.
+    failed_[static_cast<std::size_t>(index)] = false;
+    rebuilding_disk_ = -1;
+    result->duration = sim_.now() - started;
+    if (done) done(*result);
+    return;
+  }
+
+  auto join = std::make_shared<Join>();
+  join->submitted = sim_.now();
+  join->done = [this, index, stripe, config, result, done,
+                started](SimTime) {
+    // Survivor reads done: account unrecoverable columns, then write the
+    // reconstructed chunk to the replacement.
+    const std::int64_t lost = count_lost_sectors(stripe, index);
+    result->sectors_lost += lost;
+    stats_.lost_sectors += lost;
+    stats_.reconstructed_sectors += layout_.chunk_sectors() - lost;
+
+    auto wjoin = std::make_shared<Join>();
+    wjoin->submitted = sim_.now();
+    wjoin->done = [this, index, stripe, config, result, done,
+                   started](SimTime) {
+      ++result->stripes_rebuilt;
+      rebuild_frontier_ = stripe + 1;
+      const SimTime delay = config.inter_stripe_delay;
+      sim_.after(delay, [this, index, stripe, config, result, done,
+                         started] {
+        rebuild_stripe(index, stripe + 1, config, result, done, started);
+      });
+    };
+    ++wjoin->remaining;
+    submit_disk_write(index, stripe * layout_.chunk_sectors(),
+                      layout_.chunk_sectors(), wjoin);
+    if (--wjoin->remaining == 0) wjoin->done(0);
+  };
+
+  ++join->remaining;
+  for (const ChunkLocation& peer : layout_.reconstruction_set(stripe, index)) {
+    submit_disk_read(peer.disk, peer.lbn, layout_.chunk_sectors(), join);
+  }
+  if (--join->remaining == 0) join->done(0);
+}
+
+void RaidArray::rebuild(int index, const RebuildConfig& config,
+                        std::function<void(const RebuildResult&)> done) {
+  assert(is_failed(index) && "rebuild target must be failed");
+  rebuilding_disk_ = index;
+  rebuild_frontier_ = 0;
+  // The replacement is a fresh drive: the departed member's latent errors
+  // left with its platters.
+  disk(index).clear_lses();
+  auto result = std::make_shared<RebuildResult>();
+  rebuild_stripe(index, 0, config, result, std::move(done), sim_.now());
+}
+
+double RaidArray::rebuild_progress() const {
+  if (rebuilding_disk_ < 0) return 1.0;
+  return static_cast<double>(rebuild_frontier_) /
+         static_cast<double>(layout_.stripes());
+}
+
+void RaidArray::repair_sector(int disk_index, disk::Lbn lbn) {
+  // Reconstruct one sector from its stripe peers, then rewrite it. The
+  // write clears the latent error in the disk model.
+  const std::int64_t stripe = lbn / layout_.chunk_sectors();
+  const std::int64_t offset = lbn % layout_.chunk_sectors();
+
+  // Loss check: can the peers actually reconstruct this sector?
+  int erasures = 1;
+  for (int d = 0; d < layout_.total_disks(); ++d) {
+    if (d == disk_index || is_failed(d)) continue;
+    if (disk(d).has_lse(stripe * layout_.chunk_sectors() + offset)) {
+      ++erasures;
+    }
+  }
+  for (int d = 0; d < layout_.total_disks(); ++d) {
+    if (d != disk_index && is_failed(d)) ++erasures;
+  }
+  if (erasures > layout_.parity_disks()) {
+    ++stats_.lost_sectors;
+    return;
+  }
+
+  auto join = std::make_shared<Join>();
+  join->submitted = sim_.now();
+  join->done = [this, disk_index, lbn](SimTime) {
+    auto wjoin = std::make_shared<Join>();
+    wjoin->submitted = sim_.now();
+    wjoin->done = [this](SimTime) { ++stats_.reconstructed_sectors; };
+    ++wjoin->remaining;
+    submit_disk_write(disk_index, lbn, 1, wjoin);
+    if (--wjoin->remaining == 0) wjoin->done(0);
+  };
+  ++join->remaining;
+  for (const ChunkLocation& peer :
+       layout_.reconstruction_set(stripe, disk_index)) {
+    submit_disk_read(peer.disk, peer.lbn + offset, 1, join);
+  }
+  if (--join->remaining == 0) join->done(0);
+}
+
+void RaidArray::start_scrubbing(SimTime wait_threshold,
+                                std::int64_t request_bytes) {
+  for (int i = 0; i < layout_.total_disks(); ++i) {
+    if (is_failed(i)) continue;
+    auto& slot = scrubbers_[static_cast<std::size_t>(i)];
+    if (slot) slot->stop();
+    slot = std::make_unique<core::WaitingScrubber>(
+        sim_, block(i),
+        core::make_sequential(disk(i).total_sectors(), request_bytes),
+        wait_threshold);
+    slot->start();
+  }
+}
+
+void RaidArray::stop_scrubbing() {
+  for (auto& s : scrubbers_) {
+    if (s) s->stop();
+  }
+}
+
+std::int64_t RaidArray::scrubbed_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& s : scrubbers_) {
+    if (s) total += s->stats().bytes;
+  }
+  return total;
+}
+
+}  // namespace pscrub::raid

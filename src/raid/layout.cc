@@ -1,0 +1,111 @@
+#include "raid/layout.h"
+
+#include <cassert>
+
+namespace pscrub::raid {
+
+RaidLayout::RaidLayout(const RaidConfig& config, std::int64_t disk_sectors)
+    : k_(config.data_disks),
+      p_(config.parity_disks),
+      n_(config.data_disks + config.parity_disks),
+      chunk_(config.chunk_sectors),
+      stripes_(disk_sectors / config.chunk_sectors) {
+  assert(k_ >= 2 && "need at least two data disks");
+  assert(p_ >= 1 && p_ <= 2 && "RAID-5 or RAID-6");
+  assert(chunk_ > 0);
+  assert(stripes_ > 0);
+}
+
+std::vector<int> RaidLayout::parity_disks_of(std::int64_t stripe) const {
+  std::vector<int> out;
+  out.reserve(p_);
+  const int base = static_cast<int>((n_ - 1) - (stripe % n_));
+  for (int j = 0; j < p_; ++j) {
+    out.push_back(((base - j) % n_ + n_) % n_);
+  }
+  return out;
+}
+
+std::vector<int> RaidLayout::data_disks_of(std::int64_t stripe) const {
+  const std::vector<int> parity = parity_disks_of(stripe);
+  std::vector<int> out;
+  out.reserve(k_);
+  for (int d = 0; d < n_; ++d) {
+    bool is_par = false;
+    for (int pd : parity) is_par |= pd == d;
+    if (!is_par) out.push_back(d);
+  }
+  return out;
+}
+
+RaidLayout::DataLocation RaidLayout::locate(std::int64_t array_lbn) const {
+  assert(array_lbn >= 0 && array_lbn < array_sectors());
+  const std::int64_t stripe = array_lbn / (k_ * chunk_);
+  const std::int64_t within = array_lbn % (k_ * chunk_);
+  const int chunk_index = static_cast<int>(within / chunk_);
+  const std::int64_t offset = within % chunk_;
+  const std::vector<int> data = data_disks_of(stripe);
+  DataLocation loc;
+  loc.disk = data[static_cast<std::size_t>(chunk_index)];
+  loc.lbn = stripe * chunk_ + offset;
+  loc.stripe = stripe;
+  return loc;
+}
+
+ChunkLocation RaidLayout::data_chunk(std::int64_t stripe, int index) const {
+  assert(index >= 0 && index < k_);
+  const std::vector<int> data = data_disks_of(stripe);
+  return {data[static_cast<std::size_t>(index)], stripe * chunk_};
+}
+
+ChunkLocation RaidLayout::parity_chunk(std::int64_t stripe, int index) const {
+  assert(index >= 0 && index < p_);
+  const std::vector<int> parity = parity_disks_of(stripe);
+  return {parity[static_cast<std::size_t>(index)], stripe * chunk_};
+}
+
+bool RaidLayout::is_parity(int disk, disk::Lbn lbn) const {
+  const std::int64_t stripe = lbn / chunk_;
+  for (int pd : parity_disks_of(stripe)) {
+    if (pd == disk) return true;
+  }
+  return false;
+}
+
+std::int64_t RaidLayout::array_lbn_at(int disk, disk::Lbn lbn) const {
+  const std::int64_t stripe = lbn / chunk_;
+  if (stripe >= stripes_) return -1;
+  if (is_parity(disk, lbn)) return -1;
+  const std::vector<int> data = data_disks_of(stripe);
+  int chunk_index = -1;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] == disk) {
+      chunk_index = static_cast<int>(i);
+      break;
+    }
+  }
+  assert(chunk_index >= 0);
+  const std::int64_t offset = lbn % chunk_;
+  return stripe * k_ * chunk_ + chunk_index * chunk_ + offset;
+}
+
+std::vector<ChunkLocation> RaidLayout::reconstruction_set(
+    std::int64_t stripe, int missing_disk) const {
+  // To rebuild one missing chunk we need k independent chunks of the
+  // stripe: prefer the surviving data chunks, topped up with parity.
+  std::vector<ChunkLocation> out;
+  out.reserve(static_cast<std::size_t>(k_));
+  for (int d : data_disks_of(stripe)) {
+    if (d == missing_disk) continue;
+    out.push_back({d, stripe * chunk_});
+  }
+  for (int d : parity_disks_of(stripe)) {
+    if (d == missing_disk) continue;
+    if (out.size() == static_cast<std::size_t>(k_)) break;
+    out.push_back({d, stripe * chunk_});
+  }
+  assert(out.size() == static_cast<std::size_t>(k_));
+  return out;
+}
+
+}  // namespace pscrub::raid

@@ -1,0 +1,90 @@
+// RAID stripe layout: pure, deterministic address math.
+//
+// Left-symmetric rotating parity generalized to p parity chunks per
+// stripe (p=1 -> RAID-5, p=2 -> RAID-6). The parity chunks of stripe s
+// occupy disks (n-1 - (s mod n) - j) mod n for j in [0, p); data chunks
+// fill the remaining disks in increasing disk order. Every chunk of
+// stripe s lives at disk LBN s * chunk_sectors.
+//
+// The simulator carries no user data, so parity here is positional
+// bookkeeping: the layout answers "which disks must be read to serve /
+// reconstruct this range" -- exactly what the rebuild and scrub-repair
+// paths need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/command.h"
+
+namespace pscrub::raid {
+
+struct RaidConfig {
+  int data_disks = 4;    // k
+  int parity_disks = 1;  // p: 1 = RAID-5, 2 = RAID-6
+  std::int64_t chunk_sectors = 128;  // 64 KB chunks
+};
+
+struct ChunkLocation {
+  int disk = 0;
+  disk::Lbn lbn = 0;  // start of the chunk on that disk
+
+  bool operator==(const ChunkLocation&) const = default;
+};
+
+class RaidLayout {
+ public:
+  RaidLayout(const RaidConfig& config, std::int64_t disk_sectors);
+
+  int total_disks() const { return n_; }
+  int data_disks() const { return k_; }
+  int parity_disks() const { return p_; }
+  std::int64_t chunk_sectors() const { return chunk_; }
+  std::int64_t stripes() const { return stripes_; }
+
+  /// Usable (data) capacity of the array, in sectors.
+  std::int64_t array_sectors() const { return stripes_ * k_ * chunk_; }
+
+  std::int64_t stripe_of_array_lbn(std::int64_t array_lbn) const {
+    return array_lbn / (k_ * chunk_);
+  }
+
+  /// Physical location of an array data sector.
+  struct DataLocation {
+    int disk;
+    disk::Lbn lbn;          // exact sector on the disk
+    std::int64_t stripe;
+  };
+  DataLocation locate(std::int64_t array_lbn) const;
+
+  /// Disks holding parity for a stripe, in rotation order.
+  std::vector<int> parity_disks_of(std::int64_t stripe) const;
+
+  /// Disks holding data for a stripe, in data-chunk order.
+  std::vector<int> data_disks_of(std::int64_t stripe) const;
+
+  /// Chunk location (disk, lbn) of data chunk `index` of a stripe.
+  ChunkLocation data_chunk(std::int64_t stripe, int index) const;
+  ChunkLocation parity_chunk(std::int64_t stripe, int index) const;
+
+  /// True if (disk, lbn) holds parity (vs data) in its stripe.
+  bool is_parity(int disk, disk::Lbn lbn) const;
+
+  /// Inverse map: array LBN stored at (disk, lbn), or -1 for parity.
+  std::int64_t array_lbn_at(int disk, disk::Lbn lbn) const;
+
+  /// Minimum set of chunk reads needed to reconstruct the chunk at
+  /// `loc` when its disk is unavailable: all other chunks of the stripe
+  /// minus (p - 1) spare parity chunks.
+  std::vector<ChunkLocation> reconstruction_set(std::int64_t stripe,
+                                                int missing_disk) const;
+
+ private:
+  int k_;
+  int p_;
+  int n_;
+  std::int64_t chunk_;
+  std::int64_t stripes_;
+};
+
+}  // namespace pscrub::raid

@@ -1,0 +1,52 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace pscrub {
+
+EventId EventQueue::schedule(SimTime at, EventFn fn) {
+  EventId id = fns_.size();
+  fns_.push_back(std::move(fn));
+  heap_.push(Entry{at, id});
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id >= fns_.size() || !fns_[id]) return false;
+  fns_[id] = nullptr;
+  cancelled_.insert(id);
+  return true;
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled_head();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  Entry e = heap_.top();
+  heap_.pop();
+  Fired fired{e.time, std::move(fns_[e.id])};
+  fns_[e.id] = nullptr;
+  return fired;
+}
+
+}  // namespace pscrub

@@ -1,0 +1,62 @@
+// Min-heap of timestamped events with stable FIFO ordering for ties.
+//
+// Events are arbitrary callbacks. Cancellation is supported through event
+// ids: a cancelled event stays in the heap but is skipped on pop, which
+// keeps cancellation O(1) and pop amortized O(log n).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pscrub {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` to fire at absolute time `at`. Returns a handle usable
+  /// with cancel(). Events at equal times fire in scheduling order.
+  EventId schedule(SimTime at, EventFn fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  bool empty() const;
+  std::size_t size() const { return heap_.size() - cancelled_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  SimTime next_time() const;
+
+  /// Pops and returns the earliest pending event. Precondition: !empty().
+  struct Fired {
+    SimTime time;
+    EventFn fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    // Heap is a max-heap by default; invert.
+    bool operator<(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return id > o.id;
+    }
+  };
+
+  void drop_cancelled_head() const;
+
+  mutable std::priority_queue<Entry> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::vector<EventFn> fns_;  // indexed by EventId
+};
+
+}  // namespace pscrub

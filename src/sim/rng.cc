@@ -1,0 +1,54 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace pscrub {
+
+namespace {
+// SplitMix64 finalizer; decorrelates sequential seeds.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng Rng::fork() { return Rng(mix(engine_())); }
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+double Rng::pareto(double scale, double alpha) {
+  // Inverse-CDF sampling; guard the u=0 corner which would yield infinity.
+  double u = uniform();
+  if (u <= 1e-18) u = 1e-18;
+  return scale / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+}  // namespace pscrub

@@ -1,0 +1,61 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+namespace pscrub {
+
+EventId Simulator::at(SimTime when, EventFn fn) {
+  return queue_.schedule(std::max(when, now_), std::move(fn));
+}
+
+EventId Simulator::after(SimTime delay, EventFn fn) {
+  return at(now_ + std::max<SimTime>(delay, 0), std::move(fn));
+}
+
+bool Simulator::step(SimTime until) {
+  if (queue_.empty() || queue_.next_time() > until) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  fired.fn();
+  return true;
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  std::size_t fired = 0;
+  while (step(until)) ++fired;
+  // Even if no event sits exactly at `until`, the caller observed the system
+  // up to that point; advance the clock so subsequent scheduling is relative
+  // to the end of the observation window.
+  now_ = std::max(now_, until);
+  return fired;
+}
+
+std::size_t Simulator::run() {
+  // Unlike run_until, the clock stays at the last fired event: "drain the
+  // queue" has no natural observation boundary to advance to.
+  std::size_t fired = 0;
+  while (step(std::numeric_limits<SimTime>::max())) ++fired;
+  return fired;
+}
+
+std::string format_duration(SimTime t) {
+  char buf[64];
+  double abs = static_cast<double>(t < 0 ? -t : t);
+  const char* sign = t < 0 ? "-" : "";
+  if (abs >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3f s", sign, abs / kSecond);
+  } else if (abs >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3f ms", sign, abs / kMillisecond);
+  } else if (abs >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3f us", sign, abs / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%lld ns", sign,
+                  static_cast<long long>(t));
+  }
+  return buf;
+}
+
+}  // namespace pscrub

@@ -1,0 +1,47 @@
+// The discrete-event simulation driver.
+//
+// A Simulator owns the clock and the event queue. Components hold a
+// Simulator& and schedule callbacks; the main loop pops events in time
+// order and advances the clock. Time never goes backwards: scheduling in
+// the past is clamped to `now()` (this arises naturally when a zero-latency
+// response is modelled).
+#pragma once
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace pscrub {
+
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (clamped to now()).
+  EventId at(SimTime when, EventFn fn);
+
+  /// Schedules `fn` after a relative delay (clamped to >= 0).
+  EventId after(SimTime delay, EventFn fn);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue drains or the clock passes `until`
+  /// (events at exactly `until` still fire). Returns the number of events
+  /// fired.
+  std::size_t run_until(SimTime until);
+
+  /// Runs until the queue drains.
+  std::size_t run();
+
+  /// Fires at most one event. Returns false if the queue is empty or the
+  /// next event is later than `until`.
+  bool step(SimTime until);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  SimTime now_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace pscrub

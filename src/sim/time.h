@@ -1,0 +1,44 @@
+// Simulation time: signed 64-bit nanoseconds since simulation start.
+//
+// All subsystems (disk model, block layer, trace records, policies) share
+// this single representation so durations and instants can be mixed freely
+// without unit conversions sprinkled through the code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pscrub {
+
+/// Instant or duration, in nanoseconds. Negative values are only meaningful
+/// for differences (e.g. "slack" computations); absolute event times are
+/// always >= 0.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+inline constexpr SimTime kMinute = 60 * kSecond;
+inline constexpr SimTime kHour = 60 * kMinute;
+inline constexpr SimTime kDay = 24 * kHour;
+inline constexpr SimTime kWeek = 7 * kDay;
+
+/// Converts a floating-point quantity of seconds to SimTime, rounding to the
+/// nearest nanosecond. Convenient when deriving times from rates.
+constexpr SimTime from_seconds(double seconds) {
+  return static_cast<SimTime>(seconds * static_cast<double>(kSecond) + 0.5);
+}
+
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+constexpr double to_milliseconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Human-readable rendering ("1.234 ms", "2.5 s") used by benches and logs.
+std::string format_duration(SimTime t);
+
+}  // namespace pscrub

@@ -1,0 +1,94 @@
+#include "stats/acd_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace pscrub::stats {
+
+double acd_log_likelihood(std::span<const double> xs, double omega,
+                          double alpha, double beta) {
+  if (xs.empty()) return 0.0;
+  const Summary s = summarize(xs);
+  double psi = s.mean > 0 ? s.mean : 1.0;  // initialize at the mean
+  double ll = 0.0;
+  for (double x : xs) {
+    if (psi < 1e-12) psi = 1e-12;
+    // Exponential QML: -log(psi) - x / psi.
+    ll += -std::log(psi) - x / psi;
+    psi = omega + alpha * x + beta * psi;
+  }
+  return ll;
+}
+
+double AcdModel::forecast(std::span<const double> history) const {
+  if (!fitted || history.empty()) return mean;
+  // Re-run the recursion over the (recent) history to get psi_{t+1}.
+  double psi = mean > 0 ? mean : 1.0;
+  for (double x : history) {
+    psi = omega + alpha * x + beta * psi;
+    if (psi < 1e-12) psi = 1e-12;
+  }
+  return psi;
+}
+
+double AcdModel::unconditional_mean() const {
+  const double denom = 1.0 - alpha - beta;
+  if (denom <= 1e-9) return mean;
+  return omega / denom;
+}
+
+AcdModel fit_acd(std::span<const double> xs, std::size_t max_iters,
+                 AcdFitStats* stats) {
+  AcdModel m;
+  const Summary s = summarize(xs);
+  m.mean = s.mean;
+  if (xs.size() < 32 || s.mean <= 0.0) return m;
+
+  // Coordinate grid refinement over (alpha, beta) with omega tied to the
+  // sample mean: omega = mean * (1 - alpha - beta). Each refinement pass
+  // halves the grid step around the incumbent.
+  double best_a = 0.1;
+  double best_b = 0.5;
+  double step = 0.2;
+  double best_ll = -1e300;
+  std::size_t evals = 0;
+  std::size_t iters = 0;
+
+  for (std::size_t pass = 0; pass < max_iters; ++pass) {
+    ++iters;
+    bool improved = false;
+    for (double a = std::max(0.0, best_a - 2 * step);
+         a <= std::min(0.98, best_a + 2 * step); a += step) {
+      for (double b = std::max(0.0, best_b - 2 * step);
+           b <= std::min(0.98, best_b + 2 * step); b += step) {
+        if (a + b >= 0.99) continue;  // stationarity
+        const double omega = s.mean * (1.0 - a - b);
+        const double ll = acd_log_likelihood(xs, omega, a, b);
+        ++evals;
+        if (ll > best_ll) {
+          best_ll = ll;
+          best_a = a;
+          best_b = b;
+          improved = true;
+        }
+      }
+    }
+    step /= 2.0;
+    if (!improved && step < 1e-3) break;
+  }
+
+  m.alpha = best_a;
+  m.beta = best_b;
+  m.omega = s.mean * (1.0 - best_a - best_b);
+  m.log_likelihood = best_ll;
+  m.fitted = true;
+  if (stats != nullptr) {
+    stats->iterations = iters;
+    stats->likelihood_evaluations = evals;
+  }
+  return m;
+}
+
+}  // namespace pscrub::stats

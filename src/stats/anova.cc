@@ -1,0 +1,145 @@
+#include "stats/anova.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace pscrub::stats {
+
+namespace {
+
+// Lentz's continued-fraction evaluation for the incomplete beta function.
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_beta =
+      std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  const double front =
+      std::exp(ln_beta + a * std::log(x) + b * std::log(1.0 - x));
+  // Use the symmetry relation for numerical stability.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double f_distribution_sf(double f, double d1, double d2) {
+  if (f <= 0.0) return 1.0;
+  // P(F > f) = I_{d2/(d2 + d1 f)}(d2/2, d1/2).
+  const double x = d2 / (d2 + d1 * f);
+  return incomplete_beta(d2 / 2.0, d1 / 2.0, x);
+}
+
+AnovaResult one_way_anova(std::span<const std::vector<double>> groups) {
+  AnovaResult r;
+  std::size_t k = 0;  // non-empty groups
+  std::size_t n = 0;
+  double grand_sum = 0.0;
+  for (const auto& g : groups) {
+    if (g.empty()) continue;
+    ++k;
+    n += g.size();
+    for (double x : g) grand_sum += x;
+  }
+  if (k < 2 || n <= k) return r;
+  const double grand_mean = grand_sum / static_cast<double>(n);
+
+  double ss_between = 0.0;
+  double ss_within = 0.0;
+  for (const auto& g : groups) {
+    if (g.empty()) continue;
+    double sum = 0.0;
+    for (double x : g) sum += x;
+    const double mean = sum / static_cast<double>(g.size());
+    ss_between +=
+        static_cast<double>(g.size()) * (mean - grand_mean) * (mean - grand_mean);
+    for (double x : g) ss_within += (x - mean) * (x - mean);
+  }
+  r.df_between = k - 1;
+  r.df_within = n - k;
+  const double ms_between = ss_between / static_cast<double>(r.df_between);
+  const double ms_within = ss_within / static_cast<double>(r.df_within);
+  if (ms_within <= 0.0) {
+    // Perfectly repeating signal: infinitely significant.
+    r.f_statistic = ss_between > 0.0 ? 1e30 : 0.0;
+    r.p_value = ss_between > 0.0 ? 0.0 : 1.0;
+    return r;
+  }
+  r.f_statistic = ms_between / ms_within;
+  r.p_value = f_distribution_sf(r.f_statistic,
+                                static_cast<double>(r.df_between),
+                                static_cast<double>(r.df_within));
+  return r;
+}
+
+PeriodResult detect_period(std::span<const double> hourly_counts,
+                           std::size_t max_period_hours, double significance) {
+  PeriodResult best;
+  const std::size_t n = hourly_counts.size();
+  // Bonferroni correction: we test up to (max_period_hours - 1) candidate
+  // periods, so an uncorrected per-test threshold would produce spurious
+  // detections on heavy-tailed aperiodic traffic.
+  const double corrected =
+      significance / static_cast<double>(max_period_hours > 1
+                                             ? max_period_hours - 1
+                                             : 1);
+  for (std::size_t period = 2; period <= max_period_hours; ++period) {
+    if (n < 2 * period) break;  // need at least two full cycles
+    std::vector<std::vector<double>> groups(period);
+    for (std::size_t i = 0; i < n; ++i) {
+      groups[i % period].push_back(hourly_counts[i]);
+    }
+    const AnovaResult r = one_way_anova(groups);
+    if (r.p_value < corrected) {
+      // Harmonics of the true period also score; prefer the smallest
+      // period whose significance is within a factor of the best seen, by
+      // scanning ascending and only replacing on a materially better p.
+      if (best.period_hours == 1 || r.p_value < best.p_value * 1e-3 ||
+          (r.p_value <= best.p_value && r.f_statistic > best.f_statistic)) {
+        best.period_hours = period;
+        best.f_statistic = r.f_statistic;
+        best.p_value = r.p_value;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace pscrub::stats

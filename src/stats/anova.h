@@ -1,0 +1,45 @@
+// One-way ANOVA periodicity detection (Sec V-A "Periodicity", Fig 9).
+//
+// The trace's hourly request counts are folded at each candidate period P:
+// hour i lands in group (i mod P). If the workload repeats every P hours,
+// the group means differ far more than chance -- a large F statistic. The
+// detected period is the candidate with the most significant F; if no
+// candidate is significant the paper reports a period of one hour
+// ("no periodicity identified").
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pscrub::stats {
+
+struct AnovaResult {
+  double f_statistic = 0.0;
+  double p_value = 1.0;
+  std::size_t df_between = 0;
+  std::size_t df_within = 0;
+};
+
+/// One-way ANOVA across `groups` (each a sample of observations).
+AnovaResult one_way_anova(std::span<const std::vector<double>> groups);
+
+struct PeriodResult {
+  /// Detected period in hours; 1 means no significant periodicity.
+  std::size_t period_hours = 1;
+  double f_statistic = 0.0;
+  double p_value = 1.0;
+};
+
+/// Scans candidate periods [2, max_period_hours] over hourly counts and
+/// returns the most significant one (smallest p, ties by larger F).
+PeriodResult detect_period(std::span<const double> hourly_counts,
+                           std::size_t max_period_hours = 36,
+                           double significance = 0.01);
+
+/// Regularized incomplete beta function I_x(a, b), exposed for tests.
+double incomplete_beta(double a, double b, double x);
+
+/// Upper tail probability of the F(d1, d2) distribution at `f`.
+double f_distribution_sf(double f, double d1, double d2);
+
+}  // namespace pscrub::stats

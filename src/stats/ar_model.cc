@@ -1,0 +1,116 @@
+#include "stats/ar_model.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace pscrub::stats {
+
+double ArModel::forecast(std::span<const double> history) const {
+  assert(history.size() >= coeffs.size());
+  double x = mu;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    x += coeffs[i] * (history[history.size() - 1 - i] - mu);
+  }
+  return x;
+}
+
+ArModel fit_ar(std::span<const double> xs, std::size_t p) {
+  ArModel m;
+  const std::size_t n = xs.size();
+  if (p == 0 || n <= p + 1) return m;
+
+  const Summary s = summarize(xs);
+  m.mu = s.mean;
+  if (s.variance <= 0.0) {
+    // Constant series: AR is degenerate; forecast is the mean.
+    m.noise_variance = 0.0;
+    m.aic = -1e30;
+    return m;
+  }
+
+  // Sample autocovariances r_0 .. r_p.
+  std::vector<double> r(p + 1, 0.0);
+  for (std::size_t lag = 0; lag <= p; ++lag) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      acc += (xs[i] - s.mean) * (xs[i + lag] - s.mean);
+    }
+    r[lag] = acc / static_cast<double>(n);
+  }
+
+  // Levinson-Durbin recursion.
+  std::vector<double> a(p + 1, 0.0);
+  std::vector<double> prev(p + 1, 0.0);
+  double e = r[0];
+  for (std::size_t k = 1; k <= p; ++k) {
+    double acc = r[k];
+    for (std::size_t j = 1; j < k; ++j) acc -= prev[j] * r[k - j];
+    const double kappa = e > 0.0 ? acc / e : 0.0;
+    a = prev;
+    a[k] = kappa;
+    for (std::size_t j = 1; j < k; ++j) a[j] = prev[j] - kappa * prev[k - j];
+    e *= (1.0 - kappa * kappa);
+    if (e < 1e-300) e = 1e-300;
+    prev = a;
+  }
+
+  m.coeffs.assign(a.begin() + 1, a.end());
+  m.noise_variance = e;
+  m.aic = static_cast<double>(n) * std::log(e) + 2.0 * static_cast<double>(p);
+  return m;
+}
+
+ArModel fit_ar_aic(std::span<const double> xs, std::size_t max_order) {
+  ArModel best;
+  bool have = false;
+  for (std::size_t p = 1; p <= max_order; ++p) {
+    if (xs.size() <= p + 1) break;
+    ArModel m = fit_ar(xs, p);
+    if (m.order() != p && m.noise_variance != 0.0) continue;
+    if (!have || m.aic < best.aic) {
+      best = std::move(m);
+      have = true;
+    }
+  }
+  return best;
+}
+
+OnlineArPredictor::OnlineArPredictor(std::size_t window,
+                                     std::size_t refit_every,
+                                     std::size_t max_order)
+    : window_(window), refit_every_(refit_every), max_order_(max_order) {}
+
+void OnlineArPredictor::observe(double x) {
+  history_.push_back(x);
+  running_sum_ += x;
+  ++total_;
+  ++since_fit_;
+  if (history_.size() > 2 * window_) {
+    history_.erase(history_.begin(),
+                   history_.end() - static_cast<std::ptrdiff_t>(window_));
+  }
+  const std::size_t min_fit = std::max<std::size_t>(4 * max_order_, 32);
+  if (history_.size() >= min_fit &&
+      (since_fit_ >= refit_every_ || model_.order() == 0)) {
+    const std::size_t take = std::min(history_.size(), window_);
+    std::span<const double> tail(history_.data() + history_.size() - take,
+                                 take);
+    ArModel m = fit_ar_aic(tail, max_order_);
+    if (m.order() > 0 || m.noise_variance == 0.0) {
+      model_ = std::move(m);
+      since_fit_ = 0;
+    }
+  }
+}
+
+double OnlineArPredictor::predict() const {
+  if (model_.order() > 0 && history_.size() >= model_.order()) {
+    const double f = model_.forecast(history_);
+    return f > 0.0 ? f : 0.0;
+  }
+  return total_ > 0 ? running_sum_ / static_cast<double>(total_) : 0.0;
+}
+
+}  // namespace pscrub::stats

@@ -1,0 +1,66 @@
+// Autoregressive AR(p) model over inter-arrival durations (Sec V-B.1).
+//
+// The paper regresses the next request inter-arrival interval on the p
+// previous ones:
+//   X_t = mu + sum_i a_i (X_{t-i} - mu) + eps_t
+// fitting with Yule-Walker (sample autocovariances solved by
+// Levinson-Durbin) and selecting p with Akaike's Information Criterion.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pscrub::stats {
+
+struct ArModel {
+  double mu = 0.0;
+  std::vector<double> coeffs;   // a_1 .. a_p
+  double noise_variance = 0.0;  // innovation variance sigma^2
+  double aic = 0.0;
+
+  std::size_t order() const { return coeffs.size(); }
+
+  /// One-step forecast given the most recent observations
+  /// (history.back() is X_{t-1}). Requires history.size() >= order().
+  double forecast(std::span<const double> history) const;
+};
+
+/// Fits AR(p) for a fixed order p via Yule-Walker. Requires
+/// xs.size() > p + 1.
+ArModel fit_ar(std::span<const double> xs, std::size_t p);
+
+/// Fits AR(p) for p in [1, max_order], returning the order minimizing
+/// AIC = n * ln(sigma^2) + 2p.
+ArModel fit_ar_aic(std::span<const double> xs, std::size_t max_order = 20);
+
+/// Online AR predictor: refits on a sliding window every `refit_every`
+/// observations, so millions of samples can be handled at I/O rates (the
+/// property that made AR(p) the only viable model family in the paper).
+class OnlineArPredictor {
+ public:
+  OnlineArPredictor(std::size_t window, std::size_t refit_every,
+                    std::size_t max_order = 10);
+
+  /// Feeds one observed duration.
+  void observe(double x);
+
+  /// Predicts the next duration; falls back to the running mean until
+  /// enough history accumulates.
+  double predict() const;
+
+  bool fitted() const { return model_.order() > 0; }
+  const ArModel& model() const { return model_; }
+
+ private:
+  std::size_t window_;
+  std::size_t refit_every_;
+  std::size_t max_order_;
+  std::size_t since_fit_ = 0;
+  std::vector<double> history_;  // ring-ish: trimmed to window on refit
+  double running_sum_ = 0.0;
+  std::size_t total_ = 0;
+  ArModel model_;
+};
+
+}  // namespace pscrub::stats

@@ -1,0 +1,94 @@
+#include "stats/autocorrelation.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "stats/descriptive.h"
+
+namespace pscrub::stats {
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  const std::size_t n = xs.size();
+  if (lag >= n || n < 2) return 0.0;
+  const Summary s = summarize(xs);
+  if (s.variance <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    acc += (xs[i] - s.mean) * (xs[i + lag] - s.mean);
+  }
+  return acc / (static_cast<double>(n) * s.variance);
+}
+
+std::vector<double> acf(std::span<const double> xs, std::size_t max_lag) {
+  std::vector<double> out;
+  out.reserve(max_lag + 1);
+  const std::size_t n = xs.size();
+  const Summary s = summarize(xs);
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    if (s.variance <= 0.0 || lag >= n) {
+      out.push_back(lag == 0 ? 1.0 : 0.0);
+      continue;
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      acc += (xs[i] - s.mean) * (xs[i + lag] - s.mean);
+    }
+    out.push_back(acc / (static_cast<double>(n) * s.variance));
+  }
+  return out;
+}
+
+bool strongly_autocorrelated(std::span<const double> xs, std::size_t max_lag,
+                             double required_fraction) {
+  if (xs.size() < 2 * max_lag) return false;
+  const double band = 1.96 / std::sqrt(static_cast<double>(xs.size()));
+  const std::vector<double> r = acf(xs, max_lag);
+  std::size_t significant = 0;
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    if (std::abs(r[lag]) > band) ++significant;
+  }
+  return static_cast<double>(significant) >=
+         required_fraction * static_cast<double>(max_lag);
+}
+
+double hurst_aggregated_variance(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 64) return 0.5;
+  // Aggregate at block sizes m = 1, 2, 4, ... while >= 8 blocks remain;
+  // regress log Var(X^(m)) on log m. Slope = 2H - 2.
+  std::vector<double> log_m;
+  std::vector<double> log_var;
+  for (std::size_t m = 1; n / m >= 8; m *= 2) {
+    const std::size_t blocks = n / m;
+    Accumulator acc;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < m; ++i) sum += xs[b * m + i];
+      acc.add(sum / static_cast<double>(m));
+    }
+    const Summary s = acc.summary();
+    if (s.variance <= 0.0) break;
+    log_m.push_back(std::log(static_cast<double>(m)));
+    log_var.push_back(std::log(s.variance));
+  }
+  if (log_m.size() < 3) return 0.5;
+  // Least-squares slope.
+  const double mx =
+      std::accumulate(log_m.begin(), log_m.end(), 0.0) / log_m.size();
+  const double my =
+      std::accumulate(log_var.begin(), log_var.end(), 0.0) / log_var.size();
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < log_m.size(); ++i) {
+    num += (log_m[i] - mx) * (log_var[i] - my);
+    den += (log_m[i] - mx) * (log_m[i] - mx);
+  }
+  if (den <= 0.0) return 0.5;
+  const double slope = num / den;
+  double h = 1.0 + slope / 2.0;
+  if (h < 0.0) h = 0.0;
+  if (h > 1.0) h = 1.0;
+  return h;
+}
+
+}  // namespace pscrub::stats

@@ -1,0 +1,30 @@
+// Autocorrelation analysis (Sec V-A "Autocorrelation").
+//
+// The paper checks whether recent idle-interval lengths predict future
+// ones, reporting that 44 of the busiest 63 disk traces exhibit strong
+// autocorrelation, and cites prior Hurst-parameter evidence (> 0.5).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pscrub::stats {
+
+/// Sample autocorrelation at `lag` (biased estimator, as standard).
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+/// ACF for lags 0..max_lag (acf[0] == 1).
+std::vector<double> acf(std::span<const double> xs, std::size_t max_lag);
+
+/// "Strong autocorrelation" criterion used by our Fig-9-adjacent analysis:
+/// a significant fraction of low-order lags exceed the ~95% white-noise
+/// band 1.96/sqrt(n).
+bool strongly_autocorrelated(std::span<const double> xs,
+                             std::size_t max_lag = 50,
+                             double required_fraction = 0.5);
+
+/// Hurst exponent estimate via aggregated-variance: Var(X^(m)) ~ m^(2H-2).
+/// Returns 0.5 for short or degenerate inputs.
+double hurst_aggregated_variance(std::span<const double> xs);
+
+}  // namespace pscrub::stats

@@ -1,0 +1,58 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pscrub::stats {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+Summary Accumulator::summary() const {
+  Summary s;
+  s.count = n_;
+  if (n_ == 0) return s;
+  s.mean = mean_;
+  s.variance = m2_ / static_cast<double>(n_);
+  s.stddev = std::sqrt(s.variance);
+  s.cov = s.mean != 0.0 ? s.stddev / s.mean : 0.0;
+  s.min = min_;
+  s.max = max_;
+  s.sum = sum_;
+  return s;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.summary();
+}
+
+double quantile_sorted(std::span<const double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p <= 0.0) return sorted.front();
+  if (p >= 1.0) return sorted.back();
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double quantile(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  return quantile_sorted(xs, p);
+}
+
+}  // namespace pscrub::stats

@@ -1,0 +1,47 @@
+// Descriptive statistics used throughout the trace analysis (Table II).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pscrub::stats {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // population variance (paper reports these)
+  double stddev = 0.0;
+  double cov = 0.0;  // coefficient of variation: stddev / mean
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// One-pass summary (Welford) of a sample.
+Summary summarize(std::span<const double> xs);
+
+/// Streaming accumulator for the same quantities.
+class Accumulator {
+ public:
+  void add(double x);
+  Summary summary() const;
+  std::size_t count() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact p-quantile (linear interpolation) of an unsorted sample.
+/// p in [0, 1].
+double quantile(std::vector<double> xs, double p);
+
+/// Quantile of an already ascending-sorted sample (no copy).
+double quantile_sorted(std::span<const double> sorted, double p);
+
+}  // namespace pscrub::stats

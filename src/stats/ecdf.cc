@@ -1,0 +1,40 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace pscrub::stats {
+
+Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double p) const {
+  return quantile_sorted(sorted_, p);
+}
+
+std::vector<Ecdf::Point> Ecdf::curve_logspace(double lo, double hi,
+                                              int points) const {
+  std::vector<Point> out;
+  if (sorted_.empty() || points < 2 || lo <= 0 || hi <= lo) return out;
+  const double llo = std::log10(lo);
+  const double lhi = std::log10(hi);
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double x =
+        std::pow(10.0, llo + (lhi - llo) * i / static_cast<double>(points - 1));
+    out.push_back({x, at(x)});
+  }
+  return out;
+}
+
+}  // namespace pscrub::stats

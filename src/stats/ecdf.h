@@ -1,0 +1,37 @@
+// Empirical cumulative distribution function.
+//
+// Used for the response-time CDFs of Fig 7 and for quantile queries over
+// idle-interval samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pscrub::stats {
+
+class Ecdf {
+ public:
+  explicit Ecdf(std::vector<double> samples);
+
+  /// P(X <= x).
+  double at(double x) const;
+
+  /// Inverse: smallest sample value q with at(q) >= p.
+  double quantile(double p) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+  /// Evaluates the CDF at `points` x-positions log-spaced over
+  /// [max(min_sample, lo), hi]; convenient for plotting Fig 7-style curves.
+  struct Point {
+    double x;
+    double p;
+  };
+  std::vector<Point> curve_logspace(double lo, double hi, int points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace pscrub::stats

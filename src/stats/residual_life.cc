@@ -1,0 +1,74 @@
+#include "stats/residual_life.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace pscrub::stats {
+
+ResidualLife::ResidualLife(std::vector<double> idle_durations)
+    : sorted_(std::move(idle_durations)) {
+  std::sort(sorted_.begin(), sorted_.end());
+  suffix_sum_.assign(sorted_.size() + 1, 0.0);
+  for (std::size_t i = sorted_.size(); i-- > 0;) {
+    suffix_sum_[i] = suffix_sum_[i + 1] + sorted_[i];
+  }
+  total_ = suffix_sum_.empty() ? 0.0 : suffix_sum_[0];
+}
+
+double ResidualLife::mean() const {
+  return sorted_.empty() ? 0.0 : total_ / static_cast<double>(sorted_.size());
+}
+
+std::size_t ResidualLife::first_above(double x) const {
+  return static_cast<std::size_t>(
+      std::upper_bound(sorted_.begin(), sorted_.end(), x) - sorted_.begin());
+}
+
+double ResidualLife::tail_weight(double frac_of_largest) const {
+  if (sorted_.empty() || total_ <= 0.0) return 0.0;
+  if (frac_of_largest <= 0.0) return 0.0;
+  if (frac_of_largest >= 1.0) return 1.0;
+  const auto k = static_cast<std::size_t>(
+      std::llround(frac_of_largest * static_cast<double>(sorted_.size())));
+  if (k == 0) return 0.0;
+  return suffix_sum_[sorted_.size() - k] / total_;
+}
+
+double ResidualLife::mean_residual(double x) const {
+  const std::size_t i = first_above(x);
+  const std::size_t n_above = sorted_.size() - i;
+  if (n_above == 0) return 0.0;
+  return suffix_sum_[i] / static_cast<double>(n_above) - x;
+}
+
+double ResidualLife::residual_quantile(double x, double p) const {
+  const std::size_t i = first_above(x);
+  if (i == sorted_.size()) return 0.0;
+  std::span<const double> above(sorted_.data() + i, sorted_.size() - i);
+  return quantile_sorted(above, p) - x;
+}
+
+double ResidualLife::usable_fraction(double x) const {
+  if (total_ <= 0.0) return 0.0;
+  const std::size_t i = first_above(x);
+  const std::size_t n_above = sorted_.size() - i;
+  const double usable = suffix_sum_[i] - x * static_cast<double>(n_above);
+  return usable / total_;
+}
+
+double ResidualLife::survival(double x) const {
+  if (sorted_.empty()) return 0.0;
+  return static_cast<double>(sorted_.size() - first_above(x)) /
+         static_cast<double>(sorted_.size());
+}
+
+double ResidualLife::hazard(double x, double dx) const {
+  const std::size_t at_risk = sorted_.size() - first_above(x);
+  if (at_risk == 0) return 0.0;
+  const std::size_t still = sorted_.size() - first_above(x + dx);
+  return static_cast<double>(at_risk - still) / static_cast<double>(at_risk);
+}
+
+}  // namespace pscrub::stats

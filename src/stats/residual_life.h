@@ -1,0 +1,66 @@
+// Idle-interval tail and residual-life analysis (Sec V-A, Figs 10-13).
+//
+// Given the sample of idle-interval durations of a trace, this class
+// answers the four questions the paper asks:
+//   Fig 10: what fraction of total idle time do the x% largest intervals
+//           hold? (tail weight)
+//   Fig 11: after being idle for x, how much longer is the system expected
+//           to stay idle? (mean residual life -- increasing iff hazard
+//           rates decrease)
+//   Fig 12: the pessimistic version: the 1st percentile of remaining idle
+//           time after x.
+//   Fig 13: if scrubbing only starts after waiting x, what fraction of the
+//           total idle time is still usable?
+//
+// All queries run on a sorted copy with suffix sums: O(log n) each.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace pscrub::stats {
+
+class ResidualLife {
+ public:
+  explicit ResidualLife(std::vector<double> idle_durations);
+
+  std::size_t count() const { return sorted_.size(); }
+  double total_idle() const { return total_; }
+  double mean() const;
+
+  /// Fig 10: fraction of total idle time contained in the `frac` largest
+  /// intervals (frac in [0,1]).
+  double tail_weight(double frac_of_largest) const;
+
+  /// Fig 11: E[X - x | X > x]. Returns 0 when no interval exceeds x.
+  double mean_residual(double x) const;
+
+  /// Fig 12: p-quantile of (X - x | X > x); p = 0.01 gives the paper's
+  /// "1st percentile of idle time remaining".
+  double residual_quantile(double x, double p) const;
+
+  /// Fig 13: sum over intervals longer than x of (X - x), divided by the
+  /// total idle time: the fraction still usable after waiting x.
+  double usable_fraction(double x) const;
+
+  /// Fraction of intervals longer than x (the paper's bound on how many
+  /// intervals a Waiting(t=x) policy fires in -- i.e. its collision
+  /// opportunities).
+  double survival(double x) const;
+
+  /// Empirical hazard proxy: probability that an interval ends within
+  /// (x, x + dx] given it reached x.
+  double hazard(double x, double dx) const;
+
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  /// Index of the first sorted element strictly greater than x.
+  std::size_t first_above(double x) const;
+
+  std::vector<double> sorted_;       // ascending
+  std::vector<double> suffix_sum_;   // suffix_sum_[i] = sum(sorted_[i..])
+  double total_ = 0.0;
+};
+
+}  // namespace pscrub::stats

@@ -1,0 +1,27 @@
+// Catalog of the SNIA traces the paper studies (Table I, Figs 8-9, 14).
+//
+// Each entry is a TraceSpec calibrated to the characteristics the paper
+// reports: Table I request counts and roles, Table II idle-interval means
+// and CoVs, HP Cello's nightly-backup spikes, MSR's varied peak hours, and
+// TPC-C's memoryless arrivals.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "trace/spec.h"
+
+namespace pscrub::trace {
+
+/// The ten disks of Table I.
+std::vector<TraceSpec> table1_specs();
+
+/// The busiest-63 set of Fig 9 (includes the Table I disks).
+std::vector<TraceSpec> busiest63_specs();
+
+/// Lookup by the paper's disk label (e.g. "MSRsrc11", "HPc6t8d0",
+/// "TPCdisk66", "MSRusr2").
+std::optional<TraceSpec> spec_by_name(std::string_view name);
+
+}  // namespace pscrub::trace

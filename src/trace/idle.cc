@@ -1,0 +1,33 @@
+#include "trace/idle.h"
+
+#include <algorithm>
+
+namespace pscrub::trace {
+
+IdleExtraction extract_idle_intervals(const Trace& trace,
+                                      const ServiceModel& service) {
+  IdleExtraction out;
+  SimTime busy_until = 0;
+  out.idle_seconds.reserve(trace.records.size() / 4);
+  for (const TraceRecord& r : trace.records) {
+    if (r.arrival > busy_until) {
+      const SimTime idle = r.arrival - busy_until;
+      out.idle_seconds.push_back(to_seconds(idle));
+      out.total_idle += idle;
+    }
+    const SimTime start = std::max(r.arrival, busy_until);
+    const SimTime svc = service(r);
+    busy_until = start + svc;
+    out.total_busy += svc;
+  }
+  out.end_of_activity = busy_until;
+  return out;
+}
+
+IdleExtraction extract_idle_intervals(const Trace& trace,
+                                      SimTime fixed_service) {
+  return extract_idle_intervals(
+      trace, [fixed_service](const TraceRecord&) { return fixed_service; });
+}
+
+}  // namespace pscrub::trace

@@ -1,0 +1,36 @@
+// Idle-interval extraction.
+//
+// An idle interval is the time between the completion of the last queued
+// foreground request and the next arrival (the quantity analyzed throughout
+// Sec V-A). Extraction sweeps the trace through a single-server FCFS queue
+// with a caller-supplied service-time model, so closely spaced requests in
+// a burst produce no idle time.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace pscrub::trace {
+
+/// Service time for one request (e.g. from a DiskProfile estimate).
+using ServiceModel = std::function<SimTime(const TraceRecord&)>;
+
+struct IdleExtraction {
+  /// Idle-interval durations, in seconds, in time order.
+  std::vector<double> idle_seconds;
+  SimTime total_idle = 0;
+  SimTime total_busy = 0;
+  /// Completion time of the last request.
+  SimTime end_of_activity = 0;
+};
+
+IdleExtraction extract_idle_intervals(const Trace& trace,
+                                      const ServiceModel& service);
+
+/// Convenience: constant service time per request.
+IdleExtraction extract_idle_intervals(const Trace& trace,
+                                      SimTime fixed_service);
+
+}  // namespace pscrub::trace

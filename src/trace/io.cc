@@ -1,0 +1,99 @@
+#include "trace/io.h"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace pscrub::trace {
+
+void write_csv(const Trace& trace, std::ostream& os) {
+  os << "arrival_ns,lbn,sectors,op\n";
+  for (const TraceRecord& r : trace.records) {
+    os << r.arrival << ',' << r.lbn << ',' << r.sectors << ','
+       << (r.is_write ? 'W' : 'R') << '\n';
+  }
+}
+
+void write_csv_file(const Trace& trace, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  write_csv(trace, os);
+}
+
+namespace {
+
+std::int64_t parse_int(std::string_view field, int line_no) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || ptr != field.data() + field.size()) {
+    throw std::runtime_error("bad integer field at line " +
+                             std::to_string(line_no));
+  }
+  return value;
+}
+
+}  // namespace
+
+Trace read_csv(std::istream& is, std::string name) {
+  Trace out;
+  out.name = std::move(name);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line_no == 1 && line.rfind("arrival_ns", 0) == 0) continue;  // header
+    std::string_view rest = line;
+    TraceRecord r;
+    for (int field = 0; field < 4; ++field) {
+      const std::size_t comma = rest.find(',');
+      const std::string_view tok =
+          comma == std::string_view::npos ? rest : rest.substr(0, comma);
+      if (tok.empty()) {
+        throw std::runtime_error("missing field at line " +
+                                 std::to_string(line_no));
+      }
+      switch (field) {
+        case 0: r.arrival = parse_int(tok, line_no); break;
+        case 1: r.lbn = parse_int(tok, line_no); break;
+        case 2:
+          r.sectors = static_cast<std::int32_t>(parse_int(tok, line_no));
+          break;
+        case 3:
+          if (tok == "R") {
+            r.is_write = false;
+          } else if (tok == "W") {
+            r.is_write = true;
+          } else {
+            throw std::runtime_error("bad op at line " +
+                                     std::to_string(line_no));
+          }
+          break;
+      }
+      if (comma == std::string_view::npos) {
+        if (field != 3) {
+          throw std::runtime_error("too few fields at line " +
+                                   std::to_string(line_no));
+        }
+        rest = {};
+      } else {
+        rest = rest.substr(comma + 1);
+      }
+    }
+    out.records.push_back(r);
+    if (r.arrival > out.duration) out.duration = r.arrival;
+  }
+  return out;
+}
+
+Trace read_csv_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return read_csv(is, path);
+}
+
+}  // namespace pscrub::trace

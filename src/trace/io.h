@@ -1,0 +1,24 @@
+// Trace serialization: a small CSV schema in the spirit of the SNIA
+// block-I/O repository formats, so traces can be exported, inspected and
+// re-imported.
+//
+// Schema (header line included):
+//   arrival_ns,lbn,sectors,op
+// with op one of R|W.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/record.h"
+
+namespace pscrub::trace {
+
+void write_csv(const Trace& trace, std::ostream& os);
+void write_csv_file(const Trace& trace, const std::string& path);
+
+/// Throws std::runtime_error on malformed input.
+Trace read_csv(std::istream& is, std::string name = "trace");
+Trace read_csv_file(const std::string& path);
+
+}  // namespace pscrub::trace

@@ -1,0 +1,26 @@
+#include "trace/record.h"
+
+namespace pscrub::trace {
+
+std::vector<double> Trace::hourly_counts() const {
+  const std::size_t hours =
+      static_cast<std::size_t>((duration + kHour - 1) / kHour);
+  std::vector<double> counts(hours, 0.0);
+  for (const TraceRecord& r : records) {
+    const auto h = static_cast<std::size_t>(r.arrival / kHour);
+    if (h < counts.size()) counts[h] += 1.0;
+  }
+  return counts;
+}
+
+std::vector<double> Trace::interarrival_seconds() const {
+  std::vector<double> gaps;
+  if (records.size() < 2) return gaps;
+  gaps.reserve(records.size() - 1);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    gaps.push_back(to_seconds(records[i].arrival - records[i - 1].arrival));
+  }
+  return gaps;
+}
+
+}  // namespace pscrub::trace

@@ -1,0 +1,39 @@
+// Block I/O trace records, SNIA-style (Table I of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "disk/command.h"
+#include "sim/time.h"
+
+namespace pscrub::trace {
+
+struct TraceRecord {
+  SimTime arrival = 0;       // ns since trace start
+  disk::Lbn lbn = 0;         // 512-byte sectors
+  std::int32_t sectors = 0;  // request length
+  bool is_write = false;
+
+  std::int64_t bytes() const {
+    return static_cast<std::int64_t>(sectors) * disk::kSectorBytes;
+  }
+};
+
+struct Trace {
+  std::string name;
+  SimTime duration = 0;  // observation window (>= last arrival)
+  std::vector<TraceRecord> records;
+
+  std::size_t size() const { return records.size(); }
+  bool empty() const { return records.empty(); }
+
+  /// Requests per hour over the observation window (Fig 8's series).
+  std::vector<double> hourly_counts() const;
+
+  /// Inter-arrival gaps in seconds (records.size() - 1 values).
+  std::vector<double> interarrival_seconds() const;
+};
+
+}  // namespace pscrub::trace

@@ -1,0 +1,66 @@
+#include "workload/synthetic_workload.h"
+
+namespace pscrub::workload {
+
+SequentialChunkWorkload::SequentialChunkWorkload(Simulator& sim,
+                                                 block::BlockLayer& blk,
+                                                 SyntheticConfig config,
+                                                 std::uint64_t seed)
+    : sim_(sim), blk_(blk), config_(config), rng_(seed) {}
+
+void SequentialChunkWorkload::start() { begin_chunk(); }
+
+void SequentialChunkWorkload::begin_chunk() {
+  const std::int64_t chunk_sectors =
+      config_.chunk_bytes / disk::kSectorBytes;
+  const std::int64_t total = blk_.disk().total_sectors();
+  chunk_pos_ = rng_.uniform_int(0, total - chunk_sectors - 1);
+  chunk_remaining_ = config_.chunk_bytes;
+  issue_next();
+}
+
+void SequentialChunkWorkload::issue_next() {
+  block::BlockRequest req;
+  req.cmd.kind = disk::CommandKind::kRead;
+  req.cmd.lbn = chunk_pos_;
+  req.cmd.sectors = config_.request_bytes / disk::kSectorBytes;
+  req.priority = config_.priority;
+  req.on_complete = [this](const block::BlockRequest& r, SimTime latency) {
+    metrics_.record(r.cmd.bytes(), latency);
+    chunk_pos_ += r.cmd.sectors;
+    chunk_remaining_ -= r.cmd.bytes();
+    if (chunk_remaining_ > 0) {
+      sim_.after(config_.submit_latency, [this] { issue_next(); });
+    } else {
+      const SimTime think =
+          from_seconds(rng_.exponential(to_seconds(config_.think_mean)));
+      sim_.after(think, [this] { begin_chunk(); });
+    }
+  };
+  blk_.submit(std::move(req));
+}
+
+RandomReadWorkload::RandomReadWorkload(Simulator& sim, block::BlockLayer& blk,
+                                       SyntheticConfig config,
+                                       std::uint64_t seed)
+    : sim_(sim), blk_(blk), config_(config), rng_(seed) {}
+
+void RandomReadWorkload::start() { issue(); }
+
+void RandomReadWorkload::issue() {
+  block::BlockRequest req;
+  req.cmd.kind = disk::CommandKind::kRead;
+  req.cmd.sectors = config_.request_bytes / disk::kSectorBytes;
+  req.cmd.lbn =
+      rng_.uniform_int(0, blk_.disk().total_sectors() - req.cmd.sectors - 1);
+  req.priority = config_.priority;
+  req.on_complete = [this](const block::BlockRequest& r, SimTime latency) {
+    metrics_.record(r.cmd.bytes(), latency);
+    const SimTime think =
+        from_seconds(rng_.exponential(to_seconds(config_.think_mean)));
+    sim_.after(think, [this] { issue(); });
+  };
+  blk_.submit(std::move(req));
+}
+
+}  // namespace pscrub::workload

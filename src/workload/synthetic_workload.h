@@ -1,0 +1,77 @@
+// The two synthetic foreground workloads of Sec IV-B.
+//
+// Sequential: pick a random sector, read the following 8 MB in 64 KB
+// requests back-to-back, then think (exponential) and repeat.
+// Random: read 64 KB at a uniformly random location, think, repeat.
+// Requests bypass the OS cache (they go straight to the block layer) and
+// are synchronous: one outstanding request per workload.
+#pragma once
+
+#include <cstdint>
+
+#include "block/block_layer.h"
+#include "sim/rng.h"
+#include "workload/metrics.h"
+
+namespace pscrub::workload {
+
+struct SyntheticConfig {
+  std::int64_t request_bytes = 64 * 1024;
+  /// Sequential mode: bytes read contiguously before the next think.
+  std::int64_t chunk_bytes = 8 * 1024 * 1024;
+  /// Mean of the exponential think time separating chunks (sequential) or
+  /// requests (random).
+  SimTime think_mean = 100 * kMillisecond;
+  /// Host-side turnaround between a completion and the next synchronous
+  /// submission (syscall + interrupt handling). Without it, back-to-back
+  /// synchronous streams monopolize the elevator in zero simulated time.
+  SimTime submit_latency = 300 * kMicrosecond;
+  block::IoPriority priority = block::IoPriority::kBestEffort;
+};
+
+class SequentialChunkWorkload {
+ public:
+  SequentialChunkWorkload(Simulator& sim, block::BlockLayer& blk,
+                          SyntheticConfig config, std::uint64_t seed);
+
+  /// Starts issuing requests at the current simulation time and keeps
+  /// going until the simulation stops pumping events.
+  void start();
+
+  const WorkloadMetrics& metrics() const { return metrics_; }
+  WorkloadMetrics& metrics() { return metrics_; }
+
+ private:
+  void begin_chunk();
+  void issue_next();
+
+  Simulator& sim_;
+  block::BlockLayer& blk_;
+  SyntheticConfig config_;
+  Rng rng_;
+  WorkloadMetrics metrics_;
+  disk::Lbn chunk_pos_ = 0;
+  std::int64_t chunk_remaining_ = 0;
+};
+
+class RandomReadWorkload {
+ public:
+  RandomReadWorkload(Simulator& sim, block::BlockLayer& blk,
+                     SyntheticConfig config, std::uint64_t seed);
+
+  void start();
+
+  const WorkloadMetrics& metrics() const { return metrics_; }
+  WorkloadMetrics& metrics() { return metrics_; }
+
+ private:
+  void issue();
+
+  Simulator& sim_;
+  block::BlockLayer& blk_;
+  SyntheticConfig config_;
+  Rng rng_;
+  WorkloadMetrics metrics_;
+};
+
+}  // namespace pscrub::workload

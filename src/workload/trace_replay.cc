@@ -1,0 +1,42 @@
+#include "workload/trace_replay.h"
+
+namespace pscrub::workload {
+
+TraceReplayWorkload::TraceReplayWorkload(Simulator& sim,
+                                         block::BlockLayer& blk,
+                                         const trace::Trace& trace,
+                                         block::IoPriority priority)
+    : sim_(sim), blk_(blk), trace_(trace), priority_(priority) {}
+
+void TraceReplayWorkload::start() { schedule_window(); }
+
+void TraceReplayWorkload::schedule_window() {
+  const std::size_t end =
+      std::min(next_to_schedule_ + kWindow, trace_.records.size());
+  for (; next_to_schedule_ < end; ++next_to_schedule_) {
+    const std::size_t index = next_to_schedule_;
+    sim_.at(trace_.records[index].arrival, [this, index] { issue(index); });
+  }
+  if (next_to_schedule_ < trace_.records.size()) {
+    // Refill the window when the last scheduled arrival fires.
+    const SimTime refill_at = trace_.records[next_to_schedule_ - 1].arrival;
+    sim_.at(refill_at, [this] { schedule_window(); });
+  }
+}
+
+void TraceReplayWorkload::issue(std::size_t index) {
+  const trace::TraceRecord& rec = trace_.records[index];
+  block::BlockRequest req;
+  req.cmd.kind =
+      rec.is_write ? disk::CommandKind::kWrite : disk::CommandKind::kRead;
+  req.cmd.lbn = rec.lbn;
+  req.cmd.sectors = rec.sectors;
+  req.priority = priority_;
+  req.on_complete = [this](const block::BlockRequest& r, SimTime latency) {
+    metrics_.record(r.cmd.bytes(), latency);
+    ++completed_;
+  };
+  blk_.submit(std::move(req));
+}
+
+}  // namespace pscrub::workload

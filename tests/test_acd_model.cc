@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+#include "stats/acd_model.h"
+#include "stats/ar_model.h"
+
+namespace pscrub::stats {
+namespace {
+
+// Simulates an ACD(1,1) process with exponential innovations.
+std::vector<double> acd_series(double omega, double alpha, double beta,
+                               std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  double psi = omega / (1.0 - alpha - beta);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = psi * rng.exponential(1.0);
+    xs.push_back(x);
+    psi = omega + alpha * x + beta * psi;
+  }
+  return xs;
+}
+
+TEST(AcdModel, LikelihoodPrefersTrueParameters) {
+  const auto xs = acd_series(0.2, 0.3, 0.5, 20000, 3);
+  const double at_truth = acd_log_likelihood(xs, 0.2, 0.3, 0.5);
+  const double at_iid = acd_log_likelihood(xs, 1.0, 0.0, 0.0);
+  EXPECT_GT(at_truth, at_iid);
+}
+
+TEST(AcdModel, FitRecoversPersistence) {
+  const auto xs = acd_series(0.2, 0.3, 0.5, 20000, 3);
+  const AcdModel m = fit_acd(xs);
+  ASSERT_TRUE(m.fitted);
+  // The persistence alpha + beta is the well-identified quantity.
+  EXPECT_NEAR(m.alpha + m.beta, 0.8, 0.12);
+  EXPECT_NEAR(m.unconditional_mean(), 1.0, 0.2);
+}
+
+TEST(AcdModel, IidDataFitsLowPersistence) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) xs.push_back(rng.exponential(2.0));
+  const AcdModel m = fit_acd(xs);
+  ASSERT_TRUE(m.fitted);
+  EXPECT_LT(m.alpha, 0.15) << "no duration clustering in iid data";
+}
+
+TEST(AcdModel, ForecastTracksClusters) {
+  const auto xs = acd_series(0.2, 0.35, 0.5, 20000, 7);
+  const AcdModel m = fit_acd(xs);
+  // After a run of long durations the forecast must exceed the forecast
+  // after a run of short ones.
+  std::vector<double> longs(32, 4.0);
+  std::vector<double> shorts(32, 0.1);
+  EXPECT_GT(m.forecast(longs), m.forecast(shorts));
+}
+
+TEST(AcdModel, TooLittleDataStaysUnfitted) {
+  std::vector<double> xs(10, 1.0);
+  const AcdModel m = fit_acd(xs);
+  EXPECT_FALSE(m.fitted);
+  EXPECT_DOUBLE_EQ(m.forecast(xs), 1.0) << "falls back to the mean";
+}
+
+TEST(AcdModel, FitCostExceedsArFitCost) {
+  // The paper's reason for rejecting ACD: one AR fit is a single
+  // Yule-Walker solve; the ACD MLE walks the likelihood surface, costing
+  // many full-data evaluations.
+  const auto xs = acd_series(0.2, 0.3, 0.5, 4096, 9);
+  AcdFitStats stats;
+  const AcdModel m = fit_acd(xs, 12, &stats);
+  ASSERT_TRUE(m.fitted);
+  EXPECT_GT(stats.likelihood_evaluations, 50u)
+      << "each evaluation is an O(n) pass: far more work than Yule-Walker";
+}
+
+}  // namespace
+}  // namespace pscrub::stats

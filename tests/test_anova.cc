@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+#include "stats/anova.h"
+
+namespace pscrub::stats {
+namespace {
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(1, 1) = x (uniform CDF).
+  EXPECT_NEAR(incomplete_beta(1, 1, 0.3), 0.3, 1e-10);
+  // I_x(2, 2) = x^2 (3 - 2x).
+  EXPECT_NEAR(incomplete_beta(2, 2, 0.5), 0.5, 1e-10);
+  EXPECT_NEAR(incomplete_beta(2, 2, 0.25), 0.25 * 0.25 * (3 - 0.5), 1e-10);
+  EXPECT_DOUBLE_EQ(incomplete_beta(3, 4, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(3, 4, 1.0), 1.0);
+}
+
+TEST(FDistribution, TailProbabilities) {
+  // F(1, 10): P(F > 4.96) ~ 0.05 (standard table value 4.965).
+  EXPECT_NEAR(f_distribution_sf(4.965, 1, 10), 0.05, 0.002);
+  // F(5, 20): P(F > 2.71) ~ 0.05.
+  EXPECT_NEAR(f_distribution_sf(2.71, 5, 20), 0.05, 0.003);
+  EXPECT_DOUBLE_EQ(f_distribution_sf(0.0, 3, 3), 1.0);
+}
+
+TEST(Anova, IdenticalGroupsNotSignificant) {
+  Rng rng(3);
+  std::vector<std::vector<double>> groups(4);
+  for (auto& g : groups) {
+    for (int i = 0; i < 50; ++i) g.push_back(rng.normal(10.0, 2.0));
+  }
+  const AnovaResult r = one_way_anova(groups);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(Anova, ShiftedGroupIsSignificant) {
+  Rng rng(3);
+  std::vector<std::vector<double>> groups(4);
+  for (std::size_t k = 0; k < groups.size(); ++k) {
+    const double mean = k == 0 ? 20.0 : 10.0;
+    for (int i = 0; i < 50; ++i) groups[k].push_back(rng.normal(mean, 2.0));
+  }
+  const AnovaResult r = one_way_anova(groups);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_GT(r.f_statistic, 10.0);
+}
+
+TEST(Anova, DegenerateInputs) {
+  std::vector<std::vector<double>> one_group{{1, 2, 3}};
+  EXPECT_DOUBLE_EQ(one_way_anova(one_group).p_value, 1.0);
+
+  std::vector<std::vector<double>> with_empty{{1, 2}, {}, {3, 4}};
+  const AnovaResult r = one_way_anova(with_empty);
+  EXPECT_EQ(r.df_between, 1u);  // empty group excluded
+}
+
+TEST(Anova, PerfectlyRepeatingSignal) {
+  // Zero within-group variance and non-zero between-group variance:
+  // infinitely significant.
+  std::vector<std::vector<double>> groups{{5, 5, 5}, {9, 9, 9}};
+  const AnovaResult r = one_way_anova(groups);
+  EXPECT_DOUBLE_EQ(r.p_value, 0.0);
+}
+
+std::vector<double> periodic_counts(int hours, int period, double spike,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> counts;
+  counts.reserve(hours);
+  for (int h = 0; h < hours; ++h) {
+    double base = 100.0 + rng.normal(0.0, 10.0);
+    if (h % period == 2) base += spike;
+    counts.push_back(base);
+  }
+  return counts;
+}
+
+TEST(PeriodDetection, Finds24HourPeriod) {
+  const auto counts = periodic_counts(7 * 24, 24, 400.0, 7);
+  const PeriodResult r = detect_period(counts);
+  EXPECT_EQ(r.period_hours, 24u);
+}
+
+TEST(PeriodDetection, Finds12HourPeriod) {
+  const auto counts = periodic_counts(7 * 24, 12, 400.0, 7);
+  const PeriodResult r = detect_period(counts);
+  EXPECT_EQ(r.period_hours, 12u);
+}
+
+TEST(PeriodDetection, NoiseYieldsNoPeriod) {
+  Rng rng(11);
+  std::vector<double> counts;
+  for (int h = 0; h < 7 * 24; ++h) counts.push_back(rng.normal(100.0, 10.0));
+  const PeriodResult r = detect_period(counts);
+  EXPECT_EQ(r.period_hours, 1u) << "period 1 means nothing detected";
+}
+
+TEST(PeriodDetection, PrefersFundamentalOverHarmonic) {
+  // A 12-hour signal also folds cleanly at 24 and 36 hours; the detector
+  // should still report 12.
+  const auto counts = periodic_counts(14 * 24, 12, 500.0, 17);
+  const PeriodResult r = detect_period(counts);
+  EXPECT_EQ(r.period_hours, 12u);
+}
+
+TEST(PeriodDetection, TooShortSeries) {
+  std::vector<double> counts(10, 5.0);
+  const PeriodResult r = detect_period(counts);
+  EXPECT_EQ(r.period_hours, 1u);
+}
+
+class PeriodSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PeriodSweepTest, RecoversInjectedPeriod) {
+  const int period = GetParam();
+  const auto counts =
+      periodic_counts(8 * 36, period, 600.0, 100 + period);
+  EXPECT_EQ(detect_period(counts).period_hours,
+            static_cast<std::size_t>(period));
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, PeriodSweepTest,
+                         ::testing::Values(6, 8, 12, 24, 36));
+
+}  // namespace
+}  // namespace pscrub::stats

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+#include "stats/autocorrelation.h"
+
+namespace pscrub::stats {
+namespace {
+
+std::vector<double> ar1(double phi, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  double x = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = phi * x + rng.normal(0.0, 1.0);
+    xs.push_back(x);
+  }
+  return xs;
+}
+
+TEST(Acf, LagZeroIsOne) {
+  const auto xs = ar1(0.5, 1000, 1);
+  EXPECT_DOUBLE_EQ(acf(xs, 5)[0], 1.0);
+}
+
+TEST(Acf, Ar1DecaysGeometrically) {
+  const auto xs = ar1(0.8, 50000, 2);
+  const auto r = acf(xs, 3);
+  EXPECT_NEAR(r[1], 0.8, 0.02);
+  EXPECT_NEAR(r[2], 0.64, 0.03);
+  EXPECT_NEAR(r[3], 0.512, 0.04);
+}
+
+TEST(Acf, WhiteNoiseNearZero) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  const auto r = acf(xs, 10);
+  for (std::size_t lag = 1; lag <= 10; ++lag) {
+    EXPECT_NEAR(r[lag], 0.0, 0.02);
+  }
+}
+
+TEST(Acf, ConstantSeriesZeroVariance) {
+  std::vector<double> xs(100, 3.0);
+  const auto r = acf(xs, 3);
+  EXPECT_DOUBLE_EQ(r[1], 0.0);
+}
+
+TEST(Autocorrelation, SingleLagMatchesAcf) {
+  const auto xs = ar1(0.6, 10000, 4);
+  EXPECT_NEAR(autocorrelation(xs, 1), acf(xs, 1)[1], 1e-12);
+}
+
+TEST(StrongAutocorrelation, DetectsAr1) {
+  EXPECT_TRUE(strongly_autocorrelated(ar1(0.9, 20000, 5)));
+}
+
+TEST(StrongAutocorrelation, RejectsWhiteNoise) {
+  Rng rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  EXPECT_FALSE(strongly_autocorrelated(xs));
+}
+
+TEST(StrongAutocorrelation, ShortSeriesRejected) {
+  EXPECT_FALSE(strongly_autocorrelated(ar1(0.9, 50, 7)));
+}
+
+TEST(Hurst, WhiteNoiseNearHalf) {
+  Rng rng(8);
+  std::vector<double> xs;
+  for (int i = 0; i < 65536; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  EXPECT_NEAR(hurst_aggregated_variance(xs), 0.5, 0.08);
+}
+
+TEST(Hurst, PersistentSeriesAboveHalf) {
+  // Strong positive autocorrelation pushes H above 0.5 (the paper cites
+  // Hurst > 0.5 as prior evidence of autocorrelated disk traffic).
+  EXPECT_GT(hurst_aggregated_variance(ar1(0.95, 65536, 9)), 0.6);
+}
+
+TEST(Hurst, ShortInputFallsBack) {
+  std::vector<double> xs(16, 1.0);
+  EXPECT_DOUBLE_EQ(hurst_aggregated_variance(xs), 0.5);
+}
+
+}  // namespace
+}  // namespace pscrub::stats

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "block/block_layer.h"
+#include "block/cfq_scheduler.h"
+#include "block/noop_scheduler.h"
+#include "disk/profile.h"
+
+namespace pscrub::block {
+namespace {
+
+disk::DiskProfile small_profile() {
+  disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  p.capacity_bytes = 1LL << 30;
+  return p;
+}
+
+struct Fixture {
+  Simulator sim;
+  disk::DiskModel disk;
+  BlockLayer blk;
+
+  explicit Fixture(std::unique_ptr<IoScheduler> sched =
+                       std::make_unique<NoopScheduler>())
+      : disk(sim, small_profile(), 1), blk(sim, disk, std::move(sched)) {}
+};
+
+BlockRequest read_at(disk::Lbn lbn, RequestCompletionFn fn = nullptr) {
+  BlockRequest r;
+  r.cmd.kind = disk::CommandKind::kRead;
+  r.cmd.lbn = lbn;
+  r.cmd.sectors = 128;
+  r.on_complete = std::move(fn);
+  return r;
+}
+
+TEST(BlockLayer, CompletesSubmittedRequest) {
+  Fixture f;
+  SimTime latency = -1;
+  f.blk.submit(read_at(0, [&](const BlockRequest&, SimTime l) { latency = l; }));
+  f.sim.run();
+  EXPECT_GT(latency, 0);
+  EXPECT_EQ(f.blk.stats().completed, 1);
+  EXPECT_EQ(f.blk.stats().foreground_completed, 1);
+}
+
+TEST(BlockLayer, QueueDrainsInOrderWithNoop) {
+  Fixture f;
+  std::vector<int> order;
+  f.blk.submit(read_at(1000, [&](const BlockRequest&, SimTime) {
+    order.push_back(1);
+  }));
+  f.blk.submit(read_at(0, [&](const BlockRequest&, SimTime) {
+    order.push_back(2);
+  }));
+  f.sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(BlockLayer, CollisionDetected) {
+  Fixture f;
+  // A background request occupies the disk; a foreground arrival during
+  // its service is a collision.
+  BlockRequest bg = read_at(0);
+  bg.background = true;
+  f.blk.submit(std::move(bg));
+  f.sim.after(100 * kMicrosecond, [&] {
+    f.blk.submit(read_at(100000));
+  });
+  f.sim.run();
+  EXPECT_EQ(f.blk.stats().collisions, 1);
+  EXPECT_GT(f.blk.stats().collision_delay_sum, 0);
+}
+
+TEST(BlockLayer, NoCollisionBetweenForegroundRequests) {
+  Fixture f;
+  f.blk.submit(read_at(0));
+  f.sim.after(100 * kMicrosecond, [&] { f.blk.submit(read_at(100000)); });
+  f.sim.run();
+  EXPECT_EQ(f.blk.stats().collisions, 0);
+}
+
+TEST(BlockLayer, IdleObserverFiresOnDrain) {
+  Fixture f;
+  int idle_events = 0;
+  f.blk.set_idle_observer([&] { ++idle_events; });
+  f.blk.submit(read_at(0));
+  f.blk.submit(read_at(1000));
+  f.sim.run();
+  EXPECT_EQ(idle_events, 1) << "only the final completion drains the system";
+}
+
+TEST(BlockLayer, DiskIdleForTracksLastCompletion) {
+  Fixture f;
+  f.blk.submit(read_at(0));
+  f.sim.run();
+  const SimTime completed_at = f.sim.now();
+  f.sim.after(5 * kMillisecond, [] {});
+  f.sim.run();
+  EXPECT_EQ(f.blk.disk_idle_for(), f.sim.now() - completed_at);
+}
+
+TEST(BlockLayer, CfqIdleRequestWaitsForWindow) {
+  Fixture f(std::make_unique<CfqScheduler>());
+  SimTime bg_done = -1;
+  BlockRequest bg = read_at(0, [&](const BlockRequest&, SimTime) {
+    bg_done = f.sim.now();
+  });
+  bg.background = true;
+  bg.priority = IoPriority::kIdle;
+  f.blk.submit(std::move(bg));
+  f.sim.run();
+  // Dispatch was deferred by the 10 ms idle window.
+  EXPECT_GE(bg_done, 10 * kMillisecond);
+}
+
+TEST(BlockLayer, CfqIdleYieldsToArrivingForeground) {
+  Fixture f(std::make_unique<CfqScheduler>());
+  std::vector<char> order;
+  BlockRequest bg = read_at(0, [&](const BlockRequest&, SimTime) {
+    order.push_back('b');
+  });
+  bg.background = true;
+  bg.priority = IoPriority::kIdle;
+  f.blk.submit(std::move(bg));
+  // Foreground arrives at 2 ms, well inside the idle window: it must be
+  // served first.
+  f.sim.after(2 * kMillisecond, [&] {
+    f.blk.submit(read_at(200000, [&](const BlockRequest&, SimTime) {
+      order.push_back('f');
+    }));
+  });
+  f.sim.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'f');
+  EXPECT_EQ(order[1], 'b');
+}
+
+TEST(BlockLayer, StatsSeparateForegroundAndBackground) {
+  Fixture f;
+  BlockRequest bg = read_at(0);
+  bg.background = true;
+  f.blk.submit(std::move(bg));
+  f.blk.submit(read_at(200000));
+  f.sim.run();
+  EXPECT_EQ(f.blk.stats().background_completed, 1);
+  EXPECT_EQ(f.blk.stats().foreground_completed, 1);
+  EXPECT_EQ(f.blk.stats().background_bytes, 128 * disk::kSectorBytes);
+  EXPECT_GT(f.blk.stats().foreground_latency_sum, 0);
+}
+
+TEST(BlockLayer, OneRequestAtDriveAtATime) {
+  Fixture f;
+  for (int i = 0; i < 5; ++i) {
+    f.blk.submit(read_at(i * 100000));
+  }
+  // With five submissions, at most one is in flight; the rest queue in the
+  // scheduler.
+  EXPECT_LE(f.blk.queue_depth(), 4u);
+  EXPECT_TRUE(f.blk.disk_busy());
+  f.sim.run();
+  EXPECT_EQ(f.blk.stats().completed, 5);
+  EXPECT_TRUE(f.blk.idle());
+}
+
+}  // namespace
+}  // namespace pscrub::block

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "disk/cache.h"
+
+namespace pscrub::disk {
+namespace {
+
+TEST(SegmentCache, MissOnEmpty) {
+  SegmentCache c(1 << 20);
+  EXPECT_FALSE(c.lookup(0, 8));
+}
+
+TEST(SegmentCache, HitAfterInsert) {
+  SegmentCache c(1 << 20);
+  c.insert(100, 64);
+  EXPECT_TRUE(c.lookup(100, 64));
+  EXPECT_TRUE(c.lookup(110, 10));  // sub-range hit
+  EXPECT_FALSE(c.lookup(90, 20));  // straddles the front edge
+  EXPECT_FALSE(c.lookup(150, 20)); // straddles the back edge
+}
+
+TEST(SegmentCache, AdjacentInsertsMerge) {
+  SegmentCache c(1 << 20);
+  c.insert(0, 64);
+  c.insert(64, 64);
+  EXPECT_EQ(c.segment_count(), 1u);
+  EXPECT_TRUE(c.lookup(0, 128));
+}
+
+TEST(SegmentCache, OverlappingInsertsMerge) {
+  SegmentCache c(1 << 20);
+  c.insert(0, 100);
+  c.insert(50, 100);
+  EXPECT_EQ(c.segment_count(), 1u);
+  EXPECT_TRUE(c.lookup(0, 150));
+  EXPECT_EQ(c.used_bytes(), 150 * kSectorBytes);
+}
+
+TEST(SegmentCache, DisjointSegmentsStaySeparate) {
+  SegmentCache c(1 << 20);
+  c.insert(0, 10);
+  c.insert(100, 10);
+  EXPECT_EQ(c.segment_count(), 2u);
+  EXPECT_FALSE(c.lookup(0, 110));
+}
+
+TEST(SegmentCache, LruEviction) {
+  // Capacity of 128 sectors; three 64-sector segments force eviction of
+  // the least recently used.
+  SegmentCache c(128 * kSectorBytes);
+  c.insert(0, 64);
+  c.insert(1000, 64);
+  EXPECT_TRUE(c.lookup(0, 64));  // touch segment A -> B becomes LRU
+  c.insert(2000, 64);
+  EXPECT_TRUE(c.lookup(0, 64));
+  EXPECT_FALSE(c.lookup(1000, 64));  // evicted
+  EXPECT_TRUE(c.lookup(2000, 64));
+}
+
+TEST(SegmentCache, OversizeSegmentTrimmedToTail) {
+  SegmentCache c(100 * kSectorBytes);
+  c.insert(0, 200);
+  EXPECT_EQ(c.used_bytes(), 100 * kSectorBytes);
+  // The most recent (highest) half of the range survives.
+  EXPECT_TRUE(c.lookup(100, 100));
+  EXPECT_FALSE(c.lookup(0, 100));
+}
+
+TEST(SegmentCache, ClearDropsEverything) {
+  SegmentCache c(1 << 20);
+  c.insert(0, 64);
+  c.clear();
+  EXPECT_FALSE(c.lookup(0, 64));
+  EXPECT_EQ(c.used_bytes(), 0);
+}
+
+TEST(SegmentCache, ZeroSectorInsertIgnored) {
+  SegmentCache c(1 << 20);
+  c.insert(0, 0);
+  EXPECT_EQ(c.segment_count(), 0u);
+}
+
+}  // namespace
+}  // namespace pscrub::disk

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/catalog.h"
+
+namespace pscrub::trace {
+namespace {
+
+TEST(Catalog, TableOneHasTenDisks) {
+  const auto specs = table1_specs();
+  ASSERT_EQ(specs.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& s : specs) names.insert(s.name);
+  EXPECT_TRUE(names.count("MSRsrc11"));
+  EXPECT_TRUE(names.count("MSRusr1"));
+  EXPECT_TRUE(names.count("MSRproj2"));
+  EXPECT_TRUE(names.count("MSRprn1"));
+  EXPECT_TRUE(names.count("HPc6t8d0"));
+  EXPECT_TRUE(names.count("HPc6t5d1"));
+  EXPECT_TRUE(names.count("HPc6t5d0"));
+  EXPECT_TRUE(names.count("HPc3t3d0"));
+  EXPECT_TRUE(names.count("TPCdisk66"));
+  EXPECT_TRUE(names.count("TPCdisk88"));
+}
+
+TEST(Catalog, TableOneRequestCountsMatchPaper) {
+  const auto specs = table1_specs();
+  for (const auto& s : specs) {
+    if (s.name == "MSRsrc11") EXPECT_EQ(s.target_requests, 45'746'222);
+    if (s.name == "HPc6t8d0") EXPECT_EQ(s.target_requests, 9'529'855);
+    if (s.name == "TPCdisk66") EXPECT_EQ(s.target_requests, 513'038);
+  }
+}
+
+TEST(Catalog, TpccIsMemorylessAndShort) {
+  const auto spec = spec_by_name("TPCdisk66");
+  ASSERT_TRUE(spec);
+  EXPECT_EQ(spec->model, ArrivalModel::kMemoryless);
+  EXPECT_LT(spec->duration, kHour);
+  EXPECT_EQ(spec->period, 0);
+}
+
+TEST(Catalog, DiskTracesAreWeekLongAndPeriodic) {
+  for (const char* name : {"MSRsrc11", "HPc6t8d0"}) {
+    const auto spec = spec_by_name(name);
+    ASSERT_TRUE(spec) << name;
+    EXPECT_EQ(spec->duration, kWeek);
+    EXPECT_EQ(spec->period, kDay);
+    EXPECT_FALSE(spec->spike_hours.empty());
+  }
+}
+
+TEST(Catalog, Usr2AvailableForFig14) {
+  const auto spec = spec_by_name("MSRusr2");
+  ASSERT_TRUE(spec);
+  EXPECT_GT(spec->target_requests, 1'000'000);
+}
+
+TEST(Catalog, UnknownNameIsNullopt) {
+  EXPECT_FALSE(spec_by_name("NOPEdisk0"));
+}
+
+TEST(Catalog, Busiest63Unique) {
+  const auto specs = busiest63_specs();
+  ASSERT_EQ(specs.size(), 63u);
+  std::set<std::string> names;
+  for (const auto& s : specs) names.insert(s.name);
+  EXPECT_EQ(names.size(), 63u);
+}
+
+TEST(Catalog, Busiest63FirstFiveAperiodic) {
+  const auto specs = busiest63_specs();
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(specs[i].period, 0) << specs[i].name;
+  }
+  // Table I disks embedded in the set keep their daily period.
+  for (const auto& s : specs) {
+    if (s.name == "MSRsrc11") EXPECT_EQ(s.period, kDay);
+  }
+}
+
+TEST(Catalog, SeedsAreStable) {
+  const auto a = spec_by_name("MSRsrc11");
+  const auto b = spec_by_name("MSRsrc11");
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->seed, b->seed);
+  const auto c = spec_by_name("MSRusr1");
+  ASSERT_TRUE(c);
+  EXPECT_NE(a->seed, c->seed);
+}
+
+}  // namespace
+}  // namespace pscrub::trace

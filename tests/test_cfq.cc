@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "block/cfq_scheduler.h"
+
+namespace pscrub::block {
+namespace {
+
+BlockRequest make(disk::Lbn lbn, IoPriority prio, SimTime submit = 0,
+                  bool barrier = false) {
+  BlockRequest r;
+  r.cmd.kind = disk::CommandKind::kRead;
+  r.cmd.lbn = lbn;
+  r.cmd.sectors = 8;
+  r.priority = prio;
+  r.submit_time = submit;
+  r.soft_barrier = barrier;
+  return r;
+}
+
+DispatchContext ctx(SimTime now, SimTime idle_for) {
+  DispatchContext c;
+  c.now = now;
+  c.disk_idle_for = idle_for;
+  c.foreground_idle_for = idle_for;  // no foreground in these unit tests
+  return c;
+}
+
+TEST(Cfq, RealtimePreemptsBestEffort) {
+  CfqScheduler cfq;
+  cfq.add(make(100, IoPriority::kBestEffort, 0));
+  cfq.add(make(200, IoPriority::kRealtime, 1));
+  SimTime retry = 0;
+  auto r = cfq.select(ctx(2, 0), &retry);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->cmd.lbn, 200);
+}
+
+TEST(Cfq, IdleClassGatedOnIdleWindow) {
+  CfqScheduler cfq;
+  cfq.add(make(100, IoPriority::kIdle, 0));
+  SimTime retry = 0;
+  // Disk idle for only 3 ms: declined, retry in 7 ms.
+  auto r = cfq.select(ctx(0, 3 * kMillisecond), &retry);
+  EXPECT_FALSE(r);
+  EXPECT_EQ(retry, 7 * kMillisecond);
+  // After the full window, it dispatches.
+  r = cfq.select(ctx(0, 10 * kMillisecond), &retry);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->cmd.lbn, 100);
+}
+
+TEST(Cfq, IdleClassNeverBeforeBestEffort) {
+  CfqScheduler cfq;
+  cfq.add(make(100, IoPriority::kIdle, 0));
+  cfq.add(make(200, IoPriority::kBestEffort, 5));
+  SimTime retry = 0;
+  auto r = cfq.select(ctx(10, kSecond), &retry);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->cmd.lbn, 200) << "BE must outrank Idle even after long idleness";
+}
+
+TEST(Cfq, CustomIdleWindow) {
+  CfqScheduler cfq(25 * kMillisecond);
+  cfq.add(make(100, IoPriority::kIdle, 0));
+  SimTime retry = 0;
+  EXPECT_FALSE(cfq.select(ctx(0, 24 * kMillisecond), &retry));
+  EXPECT_TRUE(cfq.select(ctx(0, 25 * kMillisecond), &retry));
+}
+
+TEST(Cfq, SoftBarrierIgnoresPriority) {
+  // A soft-barrier request marked Idle must NOT be gated on the idle
+  // window -- the ioctl path bypasses prioritization entirely (Fig 3).
+  CfqScheduler cfq;
+  cfq.add(make(100, IoPriority::kIdle, 0, /*barrier=*/true));
+  SimTime retry = 0;
+  auto r = cfq.select(ctx(1, 0), &retry);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->cmd.lbn, 100);
+}
+
+TEST(Cfq, SoftBarriersKeepFifoOrder) {
+  CfqScheduler cfq;
+  cfq.add(make(300, IoPriority::kBestEffort, 0, true));
+  cfq.add(make(100, IoPriority::kBestEffort, 1, true));
+  cfq.add(make(200, IoPriority::kBestEffort, 2, true));
+  SimTime retry = 0;
+  EXPECT_EQ(cfq.select(ctx(3, 0), &retry)->cmd.lbn, 300);
+  EXPECT_EQ(cfq.select(ctx(3, 0), &retry)->cmd.lbn, 100);
+  EXPECT_EQ(cfq.select(ctx(3, 0), &retry)->cmd.lbn, 200);
+}
+
+TEST(Cfq, BarrierAndSortableInterleaveByArrival) {
+  CfqScheduler cfq;
+  cfq.add(make(500, IoPriority::kBestEffort, 10, true));   // barrier, older
+  cfq.add(make(100, IoPriority::kBestEffort, 20, false));  // sortable, newer
+  SimTime retry = 0;
+  EXPECT_EQ(cfq.select(ctx(30, 0), &retry)->cmd.lbn, 500);
+  EXPECT_EQ(cfq.select(ctx(30, 0), &retry)->cmd.lbn, 100);
+}
+
+TEST(Cfq, SortableBeforeYoungerBarrier) {
+  CfqScheduler cfq;
+  cfq.add(make(100, IoPriority::kBestEffort, 10, false));
+  cfq.add(make(500, IoPriority::kBestEffort, 20, true));
+  SimTime retry = 0;
+  EXPECT_EQ(cfq.select(ctx(30, 0), &retry)->cmd.lbn, 100);
+  EXPECT_EQ(cfq.select(ctx(30, 0), &retry)->cmd.lbn, 500);
+}
+
+TEST(Cfq, SortsWithinClass) {
+  CfqScheduler cfq;
+  cfq.add(make(300, IoPriority::kBestEffort, 0));
+  cfq.add(make(100, IoPriority::kBestEffort, 1));
+  SimTime retry = 0;
+  EXPECT_EQ(cfq.select(ctx(2, 0), &retry)->cmd.lbn, 100);
+}
+
+TEST(Cfq, EmptyAndSizeAccounting) {
+  CfqScheduler cfq;
+  EXPECT_TRUE(cfq.empty());
+  cfq.add(make(1, IoPriority::kBestEffort, 0));
+  cfq.add(make(2, IoPriority::kIdle, 0));
+  cfq.add(make(3, IoPriority::kRealtime, 0, true));
+  EXPECT_EQ(cfq.size(), 3u);
+  EXPECT_FALSE(cfq.empty());
+}
+
+TEST(Cfq, FifoExpirePreventsScanStarvation) {
+  // A request stuck behind the C-LOOK scan position is dispatched once it
+  // ages past fifo_expire (125 ms), even though the scan would prefer the
+  // onrushing sequential stream.
+  CfqScheduler cfq;
+  SimTime retry = 0;
+  // Sequential stream at increasing LBNs; a stranded request at LBN 10.
+  cfq.add(make(1000, IoPriority::kBestEffort, 0));
+  EXPECT_EQ(cfq.select(ctx(0, 0), &retry)->cmd.lbn, 1000);  // scan at 1008
+  cfq.add(make(10, IoPriority::kBestEffort, 1));            // behind the scan
+  for (int i = 0; i < 5; ++i) {
+    const SimTime now = 2 + i;
+    cfq.add(make(1008 + i * 8, IoPriority::kBestEffort, now));
+    EXPECT_EQ(cfq.select(ctx(now, 0), &retry)->cmd.lbn, 1008 + i * 8)
+        << "young stranded request waits its turn";
+  }
+  // Past fifo_expire, the stranded request preempts the scan.
+  cfq.add(make(2000, IoPriority::kBestEffort, 200 * kMillisecond));
+  EXPECT_EQ(cfq.select(ctx(200 * kMillisecond, 0), &retry)->cmd.lbn, 10);
+  EXPECT_EQ(cfq.select(ctx(200 * kMillisecond, 0), &retry)->cmd.lbn, 2000);
+}
+
+TEST(Cfq, IdleClassDoesNotResetOwnGate) {
+  // After one Idle-class dispatch, further Idle requests must dispatch
+  // back-to-back (foreground_idle_for keeps growing).
+  CfqScheduler cfq;
+  SimTime retry = 0;
+  cfq.add(make(100, IoPriority::kIdle, 0));
+  cfq.add(make(200, IoPriority::kIdle, 0));
+  DispatchContext c;
+  c.now = 20 * kMillisecond;
+  c.disk_idle_for = 0;  // the previous idle verify just completed
+  c.foreground_idle_for = 20 * kMillisecond;
+  EXPECT_TRUE(cfq.select(c, &retry));
+  EXPECT_TRUE(cfq.select(c, &retry));
+}
+
+TEST(Cfq, SelectOnEmptyReturnsNullopt) {
+  CfqScheduler cfq;
+  SimTime retry = 0;
+  EXPECT_FALSE(cfq.select(ctx(0, kSecond), &retry));
+}
+
+}  // namespace
+}  // namespace pscrub::block

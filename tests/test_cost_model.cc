@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "disk/profile.h"
+
+namespace pscrub::core {
+namespace {
+
+const disk::DiskProfile& profile() {
+  static const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  return p;
+}
+
+trace::TraceRecord rec(disk::Lbn lbn, std::int32_t sectors = 128) {
+  trace::TraceRecord r;
+  r.lbn = lbn;
+  r.sectors = sectors;
+  return r;
+}
+
+TEST(CostModel, SequentialContinuationIsCheap) {
+  auto svc = make_foreground_service(profile());
+  const SimTime first = svc(rec(0));           // cold: random access
+  const SimTime second = svc(rec(128));        // continues at 128
+  EXPECT_LT(second, first / 2);
+}
+
+TEST(CostModel, JumpPaysSeekAgain) {
+  auto svc = make_foreground_service(profile());
+  svc(rec(0));
+  const SimTime seq = svc(rec(128));
+  const SimTime jump = svc(rec(10'000'000));
+  EXPECT_GT(jump, 3 * seq);
+}
+
+TEST(CostModel, StateIsPerInstance) {
+  auto a = make_foreground_service(profile());
+  auto b = make_foreground_service(profile());
+  a(rec(0));
+  // b has not seen lbn 0..128: its request at 128 is a random access.
+  const SimTime cold = b(rec(128));
+  const SimTime warm = a(rec(128));
+  EXPECT_GT(cold, warm);
+}
+
+TEST(CostModel, ScrubServiceMatchesProfileEstimate) {
+  auto scrub = make_scrub_service(profile());
+  for (std::int64_t bytes : {64 * 1024, 1 << 20, 4 << 20}) {
+    EXPECT_EQ(scrub(bytes), profile().sequential_verify_service(bytes));
+  }
+}
+
+TEST(CostModel, StaggeredServiceReflectsRegionCount) {
+  auto few = make_staggered_scrub_service(profile(), 2);
+  auto many = make_staggered_scrub_service(profile(), 512);
+  EXPECT_GT(few(64 * 1024), many(64 * 1024))
+      << "fewer regions mean longer jumps";
+}
+
+TEST(CostModel, ServiceMonotoneInSize) {
+  auto scrub = make_scrub_service(profile());
+  SimTime prev = 0;
+  for (std::int64_t bytes = 64 * 1024; bytes <= 16 * 1024 * 1024;
+       bytes *= 2) {
+    const SimTime t = scrub(bytes);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace pscrub::core

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "block/deadline_scheduler.h"
+
+namespace pscrub::block {
+namespace {
+
+BlockRequest make(disk::Lbn lbn, disk::CommandKind kind, SimTime submit) {
+  BlockRequest r;
+  r.cmd.kind = kind;
+  r.cmd.lbn = lbn;
+  r.cmd.sectors = 8;
+  r.submit_time = submit;
+  return r;
+}
+
+DispatchContext at(SimTime now) {
+  DispatchContext c;
+  c.now = now;
+  return c;
+}
+
+TEST(Deadline, ReadsBeforeWrites) {
+  DeadlineScheduler d;
+  SimTime retry = 0;
+  d.add(make(100, disk::CommandKind::kWrite, 0));
+  d.add(make(200, disk::CommandKind::kRead, 1));
+  EXPECT_EQ(d.select(at(2), &retry)->cmd.lbn, 200);
+  EXPECT_EQ(d.select(at(2), &retry)->cmd.lbn, 100);
+}
+
+TEST(Deadline, ScanOrderWithinReads) {
+  DeadlineScheduler d;
+  SimTime retry = 0;
+  d.add(make(300, disk::CommandKind::kRead, 0));
+  d.add(make(100, disk::CommandKind::kRead, 0));
+  EXPECT_EQ(d.select(at(1), &retry)->cmd.lbn, 100);
+  EXPECT_EQ(d.select(at(1), &retry)->cmd.lbn, 300);
+}
+
+TEST(Deadline, ExpiredWritePreemptsReads) {
+  DeadlineScheduler d;
+  SimTime retry = 0;
+  d.add(make(100, disk::CommandKind::kWrite, 0));
+  // 6 seconds later (write_expire = 5 s) a read arrives; the stale write
+  // still goes first.
+  d.add(make(200, disk::CommandKind::kRead, 6 * kSecond));
+  EXPECT_EQ(d.select(at(6 * kSecond), &retry)->cmd.lbn, 100);
+}
+
+TEST(Deadline, ExpiredReadJumpsScan) {
+  DeadlineScheduler d;
+  SimTime retry = 0;
+  d.add(make(500, disk::CommandKind::kRead, 0));
+  EXPECT_EQ(d.select(at(1), &retry)->cmd.lbn, 500);  // scan now at 508
+  d.add(make(100, disk::CommandKind::kRead, 2));     // behind the scan
+  d.add(make(600, disk::CommandKind::kRead, 700 * kMillisecond));
+  // The stranded LBN-100 read is >500 ms old: served before the scan's
+  // preferred LBN 600.
+  EXPECT_EQ(d.select(at(700 * kMillisecond), &retry)->cmd.lbn, 100);
+  EXPECT_EQ(d.select(at(700 * kMillisecond), &retry)->cmd.lbn, 600);
+}
+
+TEST(Deadline, VerifyTreatedAsRead) {
+  DeadlineScheduler d;
+  SimTime retry = 0;
+  d.add(make(100, disk::CommandKind::kVerifyScsi, 0));
+  d.add(make(200, disk::CommandKind::kWrite, 0));
+  EXPECT_EQ(d.select(at(1), &retry)->cmd.lbn, 100);
+}
+
+TEST(Deadline, SizeAndEmpty) {
+  DeadlineScheduler d;
+  EXPECT_TRUE(d.empty());
+  d.add(make(1, disk::CommandKind::kRead, 0));
+  d.add(make(2, disk::CommandKind::kWrite, 0));
+  EXPECT_EQ(d.size(), 2u);
+  SimTime retry = 0;
+  d.select(at(1), &retry);
+  d.select(at(1), &retry);
+  EXPECT_TRUE(d.empty());
+  EXPECT_FALSE(d.select(at(1), &retry));
+}
+
+}  // namespace
+}  // namespace pscrub::block

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+#include "stats/descriptive.h"
+
+namespace pscrub::stats {
+namespace {
+
+TEST(Descriptive, EmptySample) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Descriptive, SingleValue) {
+  const std::vector<double> xs{4.2};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.2);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 4.2);
+  EXPECT_DOUBLE_EQ(s.max, 4.2);
+}
+
+TEST(Descriptive, KnownMoments) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.variance, 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+  EXPECT_DOUBLE_EQ(s.cov, 0.4);
+  EXPECT_DOUBLE_EQ(s.sum, 40.0);
+}
+
+TEST(Descriptive, ExponentialSampleHasCovNearOne) {
+  Rng rng(5);
+  Accumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.exponential(3.0));
+  const Summary s = acc.summary();
+  EXPECT_NEAR(s.cov, 1.0, 0.02);
+  EXPECT_NEAR(s.mean, 3.0, 0.05);
+}
+
+TEST(Descriptive, HeavyTailHasLargeCov) {
+  // Lognormal sigma=2.5: theoretical CoV = sqrt(exp(sigma^2)-1) ~ 22.7,
+  // the regime Table II reports for the disk traces.
+  Rng rng(5);
+  Accumulator acc;
+  for (int i = 0; i < 2000000; ++i) acc.add(rng.lognormal(0.0, 2.5));
+  EXPECT_GT(acc.summary().cov, 5.0);
+}
+
+TEST(Descriptive, AccumulatorMatchesBatch) {
+  Rng rng(9);
+  std::vector<double> xs;
+  Accumulator acc;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5, 10);
+    xs.push_back(x);
+    acc.add(x);
+  }
+  const Summary a = summarize(xs);
+  const Summary b = acc.summary();
+  EXPECT_NEAR(a.mean, b.mean, 1e-12);
+  EXPECT_NEAR(a.variance, b.variance, 1e-9);
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+}
+
+TEST(Quantile, Median) {
+  EXPECT_DOUBLE_EQ(quantile({3, 1, 2}, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({4, 1, 2, 3}, 0.5), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  EXPECT_DOUBLE_EQ(quantile({5, 1, 3}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({5, 1, 3}, 1.0), 5.0);
+}
+
+TEST(Quantile, Interpolates) {
+  // Sorted: {10, 20, 30, 40}; p=0.25 -> position 0.75 -> 17.5.
+  EXPECT_DOUBLE_EQ(quantile({40, 10, 30, 20}, 0.25), 17.5);
+}
+
+TEST(Quantile, EmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(QuantileSorted, AgreesWithUnsorted) {
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform());
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(quantile(xs, p), quantile_sorted(sorted, p));
+  }
+}
+
+}  // namespace
+}  // namespace pscrub::stats

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "disk/disk_model.h"
+#include "disk/profile.h"
+#include "sim/simulator.h"
+
+namespace pscrub::disk {
+namespace {
+
+// A small, fast profile for unit tests: 1 GB, 15k RPM.
+DiskProfile test_profile() {
+  DiskProfile p = hitachi_ultrastar_15k450();
+  p.name = "test-disk";
+  p.capacity_bytes = 1LL << 30;
+  return p;
+}
+
+SimTime run_one(Simulator& sim, DiskModel& disk, const DiskCommand& cmd) {
+  SimTime latency = -1;
+  disk.submit(cmd, [&](const DiskCommand&, SimTime l) { latency = l; });
+  sim.run();
+  return latency;
+}
+
+TEST(DiskModel, ReadCompletesWithPositiveLatency) {
+  Simulator sim;
+  DiskModel disk(sim, test_profile(), 1);
+  const SimTime lat = run_one(sim, disk, {CommandKind::kRead, 0, 128});
+  EXPECT_GT(lat, 0);
+  EXPECT_LT(lat, 50 * kMillisecond);
+  EXPECT_EQ(disk.counters().reads, 1);
+}
+
+TEST(DiskModel, BusyWhileServing) {
+  Simulator sim;
+  DiskModel disk(sim, test_profile(), 1);
+  disk.submit({CommandKind::kRead, 0, 128}, nullptr);
+  EXPECT_TRUE(disk.busy());
+  EXPECT_GT(disk.busy_until(), sim.now());
+  sim.run();
+  EXPECT_FALSE(disk.busy());
+}
+
+TEST(DiskModel, QueuedCommandsServeFifo) {
+  Simulator sim;
+  DiskModel disk(sim, test_profile(), 1);
+  std::vector<int> order;
+  disk.submit({CommandKind::kRead, 0, 8},
+              [&](const DiskCommand&, SimTime) { order.push_back(1); });
+  disk.submit({CommandKind::kRead, 100000, 8},
+              [&](const DiskCommand&, SimTime) { order.push_back(2); });
+  disk.submit({CommandKind::kRead, 5000, 8},
+              [&](const DiskCommand&, SimTime) { order.push_back(3); });
+  EXPECT_EQ(disk.queued(), 2u);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DiskModel, SequentialReadHitsCacheWithPrefetch) {
+  Simulator sim;
+  DiskProfile p = test_profile();
+  p.prefetch_bytes = 1 << 20;  // 1 MB read-ahead
+  DiskModel disk(sim, p, 1);
+  const SimTime first = run_one(sim, disk, {CommandKind::kRead, 0, 128});
+  const SimTime second = run_one(sim, disk, {CommandKind::kRead, 128, 128});
+  EXPECT_EQ(disk.counters().cache_hits, 1);
+  EXPECT_LT(second, first / 2) << "prefetched read should be electronic";
+}
+
+TEST(DiskModel, NoPrefetchMeansNoHit) {
+  Simulator sim;
+  DiskProfile p = test_profile();
+  p.prefetch_bytes = 0;
+  DiskModel disk(sim, p, 1);
+  run_one(sim, disk, {CommandKind::kRead, 0, 128});
+  run_one(sim, disk, {CommandKind::kRead, 128, 128});
+  EXPECT_EQ(disk.counters().cache_hits, 0);
+}
+
+TEST(DiskModel, RereadSameRangeHitsCache) {
+  Simulator sim;
+  DiskModel disk(sim, test_profile(), 1);
+  run_one(sim, disk, {CommandKind::kRead, 0, 128});
+  run_one(sim, disk, {CommandKind::kRead, 0, 128});
+  EXPECT_EQ(disk.counters().cache_hits, 1);
+}
+
+TEST(DiskModel, ScsiVerifyNeverTouchesCache) {
+  Simulator sim;
+  DiskModel disk(sim, test_profile(), 1);
+  // Populate cache via a read, then verify the same range: must be a media
+  // access, and must not refresh/insert cache contents.
+  run_one(sim, disk, {CommandKind::kRead, 0, 128});
+  const std::int64_t media_before = disk.counters().media_accesses;
+  run_one(sim, disk, {CommandKind::kVerifyScsi, 0, 128});
+  EXPECT_EQ(disk.counters().media_accesses, media_before + 1);
+  EXPECT_EQ(disk.counters().verified_bytes, 128 * kSectorBytes);
+}
+
+TEST(DiskModel, AtaVerifyServedFromCacheWhenEnabled) {
+  // The Fig 1 pathology: with the on-disk cache enabled, ATA VERIFY is
+  // answered by the electronics in well under a millisecond.
+  Simulator sim;
+  DiskProfile p = wd_caviar();
+  p.capacity_bytes = 1LL << 30;
+  DiskModel disk(sim, p, 1);
+  const SimTime lat = run_one(sim, disk, {CommandKind::kVerifyAta, 0, 128});
+  EXPECT_LT(lat, 1 * kMillisecond);
+  EXPECT_EQ(disk.counters().media_accesses, 0);
+}
+
+TEST(DiskModel, AtaVerifyMediaBoundWhenCacheDisabled) {
+  Simulator sim;
+  DiskProfile p = wd_caviar();
+  p.capacity_bytes = 1LL << 30;
+  p.cache_enabled = false;
+  DiskModel disk(sim, p, 1);
+  const SimTime lat = run_one(sim, disk, {CommandKind::kVerifyAta, 0, 128});
+  // 7200 RPM: a media-bound verify includes a rotational wait.
+  EXPECT_GT(lat, 1 * kMillisecond);
+  EXPECT_EQ(disk.counters().media_accesses, 1);
+}
+
+TEST(DiskModel, SasVerifyUnaffectedByCacheToggle) {
+  // Fig 1's control: SCSI VERIFY behaves identically cache on/off.
+  Simulator sim_a;
+  Simulator sim_b;
+  DiskProfile p = test_profile();
+  DiskModel on(sim_a, p, 1);
+  p.cache_enabled = false;
+  DiskModel off(sim_b, p, 1);
+  const SimTime lat_on = run_one(sim_a, on, {CommandKind::kVerifyScsi, 0, 128});
+  const SimTime lat_off =
+      run_one(sim_b, off, {CommandKind::kVerifyScsi, 0, 128});
+  EXPECT_EQ(lat_on, lat_off);
+}
+
+TEST(DiskModel, BackToBackSequentialVerifyPaysRotation) {
+  // Sec IV-A's mechanism: after a sequential VERIFY completes, the next
+  // one just-misses its sector and waits ~a full revolution.
+  Simulator sim;
+  DiskProfile p = test_profile();
+  DiskModel disk(sim, p, 1);
+  const SimTime rot = p.rotation_period();
+  run_one(sim, disk, {CommandKind::kVerifyScsi, 0, 128});
+  const SimTime second =
+      run_one(sim, disk, {CommandKind::kVerifyScsi, 128, 128});
+  EXPECT_GT(second, rot / 2) << "should include a large rotational wait";
+}
+
+TEST(DiskModel, FarSeekCostsMoreThanNearSeek) {
+  Simulator sim;
+  DiskModel disk(sim, test_profile(), 1);
+  run_one(sim, disk, {CommandKind::kRead, 0, 8});
+  const SimTime near = run_one(sim, disk, {CommandKind::kRead, 4096, 8});
+  run_one(sim, disk, {CommandKind::kRead, 0, 8});
+  const SimTime far = run_one(
+      sim, disk, {CommandKind::kRead, disk.total_sectors() - 64, 8});
+  // Rotational position adds noise; compare against a comfortable margin.
+  EXPECT_GT(far + 2 * kMillisecond, near);
+}
+
+TEST(DiskModel, LargeTransferScalesWithSize) {
+  Simulator sim;
+  DiskModel disk(sim, test_profile(), 1);
+  const SimTime small =
+      run_one(sim, disk, {CommandKind::kVerifyScsi, 0, 128});           // 64K
+  const SimTime large =
+      run_one(sim, disk, {CommandKind::kVerifyScsi, 1 << 16, 32768});  // 16M
+  EXPECT_GT(large, small + 10 * kMillisecond);
+}
+
+TEST(DiskModel, BusyTimeAccumulates) {
+  Simulator sim;
+  DiskModel disk(sim, test_profile(), 1);
+  run_one(sim, disk, {CommandKind::kRead, 0, 128});
+  run_one(sim, disk, {CommandKind::kRead, 100000, 128});
+  EXPECT_GT(disk.counters().busy_time, 0);
+  EXPECT_LE(disk.counters().busy_time, sim.now());
+}
+
+TEST(DiskModel, SetCacheEnabledFlushes) {
+  Simulator sim;
+  DiskModel disk(sim, test_profile(), 1);
+  run_one(sim, disk, {CommandKind::kRead, 0, 128});
+  disk.set_cache_enabled(false);
+  disk.set_cache_enabled(true);
+  run_one(sim, disk, {CommandKind::kRead, 0, 128});
+  EXPECT_EQ(disk.counters().cache_hits, 0);
+}
+
+// ---- Analytic estimates vs the event-driven model ----
+
+TEST(DiskProfileEstimates, SequentialVerifyAgreesWithEventModel) {
+  Simulator sim;
+  DiskProfile p = test_profile();
+  DiskModel disk(sim, p, 1);
+  // Average many back-to-back sequential verifies.
+  constexpr int kN = 200;
+  SimTime total = 0;
+  Lbn lbn = 0;
+  for (int i = 0; i < kN; ++i) {
+    total += run_one(sim, disk, {CommandKind::kVerifyScsi, lbn, 128});
+    lbn += 128;
+  }
+  const double measured_ms = to_milliseconds(total) / kN;
+  const double estimate_ms =
+      to_milliseconds(p.sequential_verify_service(64 * 1024));
+  EXPECT_NEAR(measured_ms, estimate_ms, estimate_ms * 0.25);
+}
+
+TEST(DiskProfileEstimates, MediaRateBoundsThroughput) {
+  const DiskProfile p = hitachi_ultrastar_15k450();
+  // 16 MB requests should stream near (but below) the raw media rate.
+  const double mb = 16.0;
+  const double service_s =
+      to_seconds(p.sequential_verify_service(16 * 1024 * 1024));
+  const double throughput = mb / service_s;
+  EXPECT_LT(throughput, p.media_rate_mb_s());
+  EXPECT_GT(throughput, p.media_rate_mb_s() * 0.5);
+}
+
+TEST(DiskProfileEstimates, StaggeredBeatsSequentialWithManyRegions) {
+  // The Fig 5b crossover: with >= 128 regions the staggered service time
+  // drops below the sequential one (full rotation beats short seek + half
+  // rotation).
+  const DiskProfile p = hitachi_ultrastar_15k450();
+  const SimTime seq = p.sequential_verify_service(64 * 1024);
+  EXPECT_LT(p.staggered_verify_service(64 * 1024, 512), seq);
+  EXPECT_GT(p.staggered_verify_service(64 * 1024, 2), seq);
+}
+
+TEST(DiskProfileEstimates, SeekCurveMonotone) {
+  const DiskProfile p = hitachi_ultrastar_15k450();
+  SimTime prev = 0;
+  for (std::int64_t d : {0LL, 1LL, 10LL, 100LL, 1000LL, 10000LL, 50000LL}) {
+    const SimTime t = p.seek_time(d, 50000);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+  EXPECT_EQ(p.seek_time(0, 50000), 0);
+  EXPECT_LE(p.seek_time(50000, 50000), p.max_seek + p.min_seek);
+}
+
+// Fig 1 / Fig 4 shapes across all catalog drives.
+class ProfileParamTest : public ::testing::TestWithParam<DiskProfile> {};
+
+TEST_P(ProfileParamTest, VerifyServiceFlatBelow64K) {
+  const DiskProfile& p = GetParam();
+  const SimTime at_1k = p.sequential_verify_service(1024);
+  const SimTime at_64k = p.sequential_verify_service(64 * 1024);
+  // "For requests <= 64KB, response times remain almost constant."
+  EXPECT_LT(to_milliseconds(at_64k - at_1k), 0.6);
+}
+
+TEST_P(ProfileParamTest, VerifyServiceGrowsPast1M) {
+  const DiskProfile& p = GetParam();
+  EXPECT_GT(p.sequential_verify_service(16 * 1024 * 1024),
+            2 * p.sequential_verify_service(64 * 1024));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CatalogDrives, ProfileParamTest,
+    ::testing::Values(hitachi_ultrastar_15k450(), fujitsu_max3073rc(),
+                      fujitsu_map3367np()),
+    [](const ::testing::TestParamInfo<DiskProfile>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace pscrub::disk

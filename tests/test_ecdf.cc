@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "stats/ecdf.h"
+
+namespace pscrub::stats {
+namespace {
+
+TEST(Ecdf, StepFunction) {
+  Ecdf e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.at(100.0), 1.0);
+}
+
+TEST(Ecdf, HandlesDuplicates) {
+  Ecdf e({2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(e.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(e.at(1.9), 0.0);
+}
+
+TEST(Ecdf, QuantileInverse) {
+  Ecdf e({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 50.0);
+}
+
+TEST(Ecdf, CurveLogspaceMonotone) {
+  Ecdf e({0.001, 0.01, 0.02, 0.5, 1.0, 3.0});
+  const auto curve = e.curve_logspace(1e-4, 10.0, 50);
+  ASSERT_EQ(curve.size(), 50u);
+  double prev_x = 0.0;
+  double prev_p = -1.0;
+  for (const auto& pt : curve) {
+    EXPECT_GT(pt.x, prev_x);
+    EXPECT_GE(pt.p, prev_p);
+    prev_x = pt.x;
+    prev_p = pt.p;
+  }
+  EXPECT_DOUBLE_EQ(curve.back().p, 1.0);
+}
+
+TEST(Ecdf, CurveRejectsBadArgs) {
+  Ecdf e({1.0});
+  EXPECT_TRUE(e.curve_logspace(0.0, 1.0, 10).empty());
+  EXPECT_TRUE(e.curve_logspace(1.0, 0.5, 10).empty());
+  EXPECT_TRUE(e.curve_logspace(0.1, 1.0, 1).empty());
+}
+
+TEST(Ecdf, EmptySample) {
+  Ecdf e({});
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.0);
+  EXPECT_EQ(e.size(), 0u);
+}
+
+}  // namespace
+}  // namespace pscrub::stats

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "disk/geometry.h"
+
+namespace pscrub::disk {
+namespace {
+
+TEST(Geometry, CoversRequestedCapacity) {
+  const std::int64_t capacity = 10LL * 1000 * 1000 * 1000;  // 10 GB
+  Geometry g(capacity, 1500, 800);
+  EXPECT_GE(g.total_bytes(), capacity);
+  // Not wastefully larger: within one cylinder of slack per zone.
+  EXPECT_LT(g.total_bytes(), capacity + 17 * 1500 * kSectorBytes);
+}
+
+TEST(Geometry, LocateFirstAndLastSector) {
+  Geometry g(1LL << 30, 1000, 500, 4);
+  const PhysicalPos first = g.locate(0);
+  EXPECT_EQ(first.cylinder, 0);
+  EXPECT_DOUBLE_EQ(first.angle, 0.0);
+  EXPECT_EQ(first.spt, 1000);
+
+  const PhysicalPos last = g.locate(g.total_sectors() - 1);
+  EXPECT_EQ(last.cylinder, g.cylinders() - 1);
+  EXPECT_EQ(last.spt, 500);
+}
+
+TEST(Geometry, AngleAdvancesWithinTrack) {
+  Geometry g(1LL << 30, 1000, 500, 4);
+  const PhysicalPos a = g.locate(10);
+  const PhysicalPos b = g.locate(11);
+  EXPECT_EQ(a.cylinder, b.cylinder);
+  EXPECT_NEAR(b.angle - a.angle, 1.0 / 1000.0, 1e-12);
+}
+
+TEST(Geometry, TrackBoundaryResetsAngle) {
+  Geometry g(1LL << 30, 1000, 500, 4);
+  const PhysicalPos end_of_track = g.locate(999);
+  const PhysicalPos start_of_next = g.locate(1000);
+  EXPECT_EQ(start_of_next.cylinder, end_of_track.cylinder + 1);
+  EXPECT_DOUBLE_EQ(start_of_next.angle, 0.0);
+}
+
+TEST(Geometry, MonotoneCylinders) {
+  Geometry g(4LL << 30, 1200, 600, 8);
+  std::int64_t prev_cyl = -1;
+  for (Lbn lbn = 0; lbn < g.total_sectors(); lbn += 7919) {
+    const PhysicalPos p = g.locate(lbn);
+    EXPECT_GE(p.cylinder, prev_cyl);
+    prev_cyl = p.cylinder;
+  }
+}
+
+TEST(Geometry, ZonedDensityDecreasesInward) {
+  Geometry g(8LL << 30, 1600, 800, 16);
+  const std::int64_t outer = g.sectors_per_track(0);
+  const std::int64_t inner = g.sectors_per_track(g.total_sectors() - 1);
+  EXPECT_EQ(outer, 1600);
+  EXPECT_EQ(inner, 800);
+  EXPECT_GT(g.mean_sectors_per_track(), 800.0);
+  EXPECT_LT(g.mean_sectors_per_track(), 1600.0);
+}
+
+TEST(Geometry, SingleZoneUniform) {
+  Geometry g(1LL << 28, 1000, 1000, 1);
+  EXPECT_EQ(g.sectors_per_track(0), 1000);
+  EXPECT_EQ(g.sectors_per_track(g.total_sectors() - 1), 1000);
+  EXPECT_DOUBLE_EQ(g.mean_sectors_per_track(), 1000.0);
+}
+
+TEST(Geometry, ValidBounds) {
+  Geometry g(1LL << 28, 1000, 800, 4);
+  EXPECT_TRUE(g.valid(0, 1));
+  EXPECT_TRUE(g.valid(g.total_sectors() - 8, 8));
+  EXPECT_FALSE(g.valid(g.total_sectors() - 8, 9));
+  EXPECT_FALSE(g.valid(-1, 1));
+  EXPECT_FALSE(g.valid(0, 0));
+}
+
+// Property sweep: every LBN maps into a consistent, invertible-ish layout
+// (cylinder capacity accounted exactly).
+class GeometryParamTest
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, int>> {};
+
+TEST_P(GeometryParamTest, SectorsPartitionIntoTracksExactly) {
+  const auto [capacity, zones] = GetParam();
+  Geometry g(capacity, 1700, 900, zones);
+  // Walk zone edges: the first LBN of each cylinder has angle 0.
+  std::int64_t checked = 0;
+  for (Lbn lbn = 0; lbn < g.total_sectors() && checked < 2000;) {
+    const PhysicalPos p = g.locate(lbn);
+    EXPECT_DOUBLE_EQ(p.angle, 0.0) << "lbn " << lbn;
+    lbn += p.spt;  // jump one full track
+    ++checked;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Capacities, GeometryParamTest,
+    ::testing::Combine(::testing::Values(std::int64_t{1} << 28,
+                                         std::int64_t{1} << 30,
+                                         std::int64_t{3} << 30),
+                       ::testing::Values(1, 4, 16)));
+
+}  // namespace
+}  // namespace pscrub::disk

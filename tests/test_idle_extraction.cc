@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "trace/idle.h"
+
+namespace pscrub::trace {
+namespace {
+
+Trace make_trace(std::vector<SimTime> arrivals) {
+  Trace t;
+  for (SimTime a : arrivals) {
+    t.records.push_back({a, 0, 8, false});
+  }
+  t.duration = arrivals.empty() ? 0 : arrivals.back();
+  return t;
+}
+
+TEST(IdleExtraction, GapsMinusService) {
+  // Arrivals at 0, 10ms, 30ms with 2ms service each:
+  // idle = [2,10) = 8ms and [12,30) = 18ms.
+  const Trace t = make_trace({0, 10 * kMillisecond, 30 * kMillisecond});
+  const IdleExtraction e = extract_idle_intervals(t, 2 * kMillisecond);
+  ASSERT_EQ(e.idle_seconds.size(), 2u);
+  EXPECT_NEAR(e.idle_seconds[0], 0.008, 1e-12);
+  EXPECT_NEAR(e.idle_seconds[1], 0.018, 1e-12);
+  EXPECT_EQ(e.total_idle, 26 * kMillisecond);
+  EXPECT_EQ(e.total_busy, 6 * kMillisecond);
+}
+
+TEST(IdleExtraction, BurstProducesNoIdle) {
+  // Back-to-back arrivals inside a busy period yield no idle intervals.
+  const Trace t = make_trace({0, kMillisecond / 2, kMillisecond});
+  const IdleExtraction e = extract_idle_intervals(t, 2 * kMillisecond);
+  EXPECT_TRUE(e.idle_seconds.empty());
+}
+
+TEST(IdleExtraction, QueueingDelaysCascade) {
+  // Service 5ms, arrivals 0 and 1ms and 20ms: second queues behind first,
+  // idle interval starts at its completion (10ms), ends at 20ms.
+  const Trace t = make_trace({0, kMillisecond, 20 * kMillisecond});
+  const IdleExtraction e = extract_idle_intervals(t, 5 * kMillisecond);
+  ASSERT_EQ(e.idle_seconds.size(), 1u);
+  EXPECT_NEAR(e.idle_seconds[0], 0.010, 1e-12);
+}
+
+TEST(IdleExtraction, LeadingIdleCounted) {
+  const Trace t = make_trace({50 * kMillisecond});
+  const IdleExtraction e = extract_idle_intervals(t, kMillisecond);
+  ASSERT_EQ(e.idle_seconds.size(), 1u);
+  EXPECT_NEAR(e.idle_seconds[0], 0.050, 1e-12);
+}
+
+TEST(IdleExtraction, PerRecordServiceModel) {
+  const Trace t = make_trace({0, 10 * kMillisecond});
+  int calls = 0;
+  const IdleExtraction e =
+      extract_idle_intervals(t, [&](const TraceRecord&) {
+        ++calls;
+        return kMillisecond;
+      });
+  EXPECT_EQ(calls, 2);
+  ASSERT_EQ(e.idle_seconds.size(), 1u);
+  EXPECT_NEAR(e.idle_seconds[0], 0.009, 1e-12);
+}
+
+TEST(IdleExtraction, EmptyTrace) {
+  const Trace t = make_trace({});
+  const IdleExtraction e = extract_idle_intervals(t, kMillisecond);
+  EXPECT_TRUE(e.idle_seconds.empty());
+  EXPECT_EQ(e.total_busy, 0);
+}
+
+}  // namespace
+}  // namespace pscrub::trace

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "core/lse.h"
+
+namespace pscrub::core {
+namespace {
+
+constexpr std::int64_t kTotalSectors = 1 << 20;  // 512 MB disk
+
+TEST(LseGeneration, BurstsWithinHorizonAndBounds) {
+  Rng rng(3);
+  LseModelConfig cfg;
+  cfg.burst_interarrival_mean = kDay;
+  const auto bursts =
+      generate_lse_bursts(cfg, kTotalSectors, 30 * kDay, rng);
+  EXPECT_GT(bursts.size(), 10u);
+  for (const auto& b : bursts) {
+    EXPECT_LT(b.occurred, 30 * kDay);
+    EXPECT_FALSE(b.sectors.empty());
+    for (disk::Lbn s : b.sectors) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, kTotalSectors);
+    }
+  }
+}
+
+TEST(LseGeneration, IsolatedFractionRespected) {
+  Rng rng(5);
+  LseModelConfig cfg;
+  cfg.burst_interarrival_mean = kHour;
+  cfg.isolated_fraction = 1.0;
+  const auto bursts = generate_lse_bursts(cfg, kTotalSectors, 10 * kDay, rng);
+  for (const auto& b : bursts) EXPECT_EQ(b.sectors.size(), 1u);
+}
+
+TEST(LseGeneration, BurstsScatterWithinSpan) {
+  Rng rng(7);
+  LseModelConfig cfg;
+  cfg.burst_interarrival_mean = kHour;
+  cfg.isolated_fraction = 0.0;
+  cfg.extra_errors_per_burst_mean = 20.0;
+  cfg.burst_span_bytes = 1 << 20;  // 2048 sectors
+  const auto bursts = generate_lse_bursts(cfg, kTotalSectors, 5 * kDay, rng);
+  for (const auto& b : bursts) {
+    if (b.sectors.size() < 2) continue;
+    EXPECT_LE(b.sectors.back() - b.sectors.front(), 2048);
+  }
+}
+
+MletConfig fast_scrub() {
+  MletConfig c;
+  c.request_service = kMillisecond;
+  return c;
+}
+
+TEST(Mlet, SingleErrorDetectedWithinOnePass) {
+  SequentialStrategy seq(kTotalSectors, 4096);
+  std::vector<LseBurst> bursts{{kHour, {12345}}};
+  const MletResult r = evaluate_mlet(seq, kTotalSectors, bursts, fast_scrub());
+  EXPECT_EQ(r.errors, 1);
+  EXPECT_GT(r.mlet_hours, 0.0);
+  EXPECT_LE(r.mlet_hours, r.pass_hours);
+}
+
+TEST(Mlet, SequentialDetectionDelayMatchesPosition) {
+  // Scrubbing at 4096 sectors/ms: pass = 256 ms. An error at LBN 0
+  // occurring just after the pass starts (phase ~0) waits ~a full pass.
+  SequentialStrategy seq(kTotalSectors, 4096);
+  const SimTime pass = (kTotalSectors / 4096) * kMillisecond;
+  std::vector<LseBurst> bursts{{1, {0}}};  // occurred just past offset 0
+  const MletResult r = evaluate_mlet(seq, kTotalSectors, bursts, fast_scrub());
+  EXPECT_NEAR(r.mlet_hours, to_seconds(pass) / 3600.0, 1e-6);
+}
+
+TEST(Mlet, StaggeredBeatsSequentialOnBursts) {
+  // The paper's motivating claim: when the region size is on the order of
+  // the error-burst locality, a burst spans segments whose staggered
+  // scrub times spread across the whole pass, so the first probe hit
+  // comes quickly and scrub-on-detection mops up the rest.
+  Rng rng(11);
+  LseModelConfig cfg;
+  cfg.burst_interarrival_mean = 6 * kHour;
+  cfg.isolated_fraction = 0.2;
+  cfg.extra_errors_per_burst_mean = 10.0;
+  cfg.burst_span_bytes = 8 << 20;  // = region size at R = 64 below
+  const auto bursts = generate_lse_bursts(cfg, kTotalSectors, 60 * kDay, rng);
+
+  SequentialStrategy seq(kTotalSectors, 4096);
+  StaggeredStrategy stag(kTotalSectors, 4096, 64);
+  const MletResult rs = evaluate_mlet(seq, kTotalSectors, bursts, fast_scrub());
+  const MletResult rg =
+      evaluate_mlet(stag, kTotalSectors, bursts, fast_scrub());
+  EXPECT_LT(rg.mlet_hours, 0.75 * rs.mlet_hours);
+}
+
+TEST(Mlet, EquivalentForIsolatedErrorsWithoutResponse) {
+  // Without bursts or the scrub-on-detection response, both schedules give
+  // a uniformly distributed delay: means should be close.
+  Rng rng(13);
+  LseModelConfig cfg;
+  cfg.burst_interarrival_mean = kHour;
+  cfg.isolated_fraction = 1.0;
+  const auto bursts = generate_lse_bursts(cfg, kTotalSectors, 30 * kDay, rng);
+
+  MletConfig mc = fast_scrub();
+  mc.scrub_on_detection = false;
+  SequentialStrategy seq(kTotalSectors, 4096);
+  StaggeredStrategy stag(kTotalSectors, 4096, 16);
+  const MletResult rs = evaluate_mlet(seq, kTotalSectors, bursts, mc);
+  const MletResult rg = evaluate_mlet(stag, kTotalSectors, bursts, mc);
+  EXPECT_NEAR(rg.mlet_hours / rs.mlet_hours, 1.0, 0.25);
+}
+
+TEST(Mlet, SlowerScrubRateRaisesMlet) {
+  Rng rng(17);
+  LseModelConfig cfg;
+  cfg.burst_interarrival_mean = 3 * kHour;
+  const auto bursts = generate_lse_bursts(cfg, kTotalSectors, 30 * kDay, rng);
+  SequentialStrategy seq(kTotalSectors, 4096);
+
+  MletConfig fast = fast_scrub();
+  MletConfig slow = fast_scrub();
+  slow.request_spacing = 4 * kMillisecond;  // 5x slower pass
+  const MletResult rf = evaluate_mlet(seq, kTotalSectors, bursts, fast);
+  const MletResult rs = evaluate_mlet(seq, kTotalSectors, bursts, slow);
+  EXPECT_GT(rs.mlet_hours, 3.0 * rf.mlet_hours);
+  EXPECT_NEAR(rs.pass_hours, 5.0 * rf.pass_hours, 1e-9);
+}
+
+TEST(Mlet, WorstCaseBoundedByPass) {
+  Rng rng(19);
+  LseModelConfig cfg;
+  cfg.burst_interarrival_mean = kHour;
+  const auto bursts = generate_lse_bursts(cfg, kTotalSectors, 10 * kDay, rng);
+  SequentialStrategy seq(kTotalSectors, 4096);
+  const MletResult r = evaluate_mlet(seq, kTotalSectors, bursts, fast_scrub());
+  EXPECT_LE(r.worst_hours, r.pass_hours * 1.0001);
+}
+
+}  // namespace
+}  // namespace pscrub::core

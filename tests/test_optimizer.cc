@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/optimizer.h"
+#include "disk/profile.h"
+#include "trace/catalog.h"
+#include "trace/synthetic.h"
+
+namespace pscrub::core {
+namespace {
+
+trace::Trace bursty_trace() {
+  trace::TraceSpec s;
+  s.name = "opt-test";
+  s.seed = 11;
+  s.duration = 2 * kHour;
+  s.target_requests = 60'000;
+  s.burst_len_mean = 6.0;
+  s.idle_sigma = 2.2;
+  s.period = 0;
+  s.diurnal_swing = 1.0;
+  s.spike_hours.clear();
+  return trace::SyntheticGenerator(s).generate_trace();
+}
+
+OptimizerConfig make_config() {
+  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  OptimizerConfig c;
+  c.foreground_service = make_foreground_service(p);
+  c.scrub_service = make_scrub_service(p);
+  c.binary_search_iters = 10;
+  return c;
+}
+
+TEST(Optimizer, DefaultGridIs64KAligned) {
+  for (std::int64_t s : default_size_grid()) {
+    EXPECT_EQ(s % (64 * 1024), 0);
+    EXPECT_GE(s, 64 * 1024);
+    EXPECT_LE(s, 4 * 1024 * 1024);
+  }
+}
+
+TEST(Optimizer, ThresholdTuningMeetsGoal) {
+  const trace::Trace t = bursty_trace();
+  OptimizerConfig c = make_config();
+  const SimTime goal = 1 * kMillisecond;
+  const SizeThresholdChoice r =
+      tune_threshold_for_size(t, c, 512 * 1024, goal);
+  EXPECT_LE(r.achieved_mean_slowdown_ms, to_milliseconds(goal) * 1.0001);
+  EXPECT_GT(r.scrub_mb_s, 0.0);
+}
+
+TEST(Optimizer, LargerGoalAllowsSmallerThreshold) {
+  const trace::Trace t = bursty_trace();
+  OptimizerConfig c = make_config();
+  const SizeThresholdChoice tight =
+      tune_threshold_for_size(t, c, 512 * 1024, kMillisecond / 2);
+  const SizeThresholdChoice loose =
+      tune_threshold_for_size(t, c, 512 * 1024, 4 * kMillisecond);
+  EXPECT_LE(loose.threshold, tight.threshold);
+  EXPECT_GE(loose.scrub_mb_s, tight.scrub_mb_s * 0.99);
+}
+
+TEST(Optimizer, MaxSlowdownCapsRequestSize) {
+  const trace::Trace t = bursty_trace();
+  OptimizerConfig c = make_config();
+  SlowdownGoal goal;
+  goal.mean = 2 * kMillisecond;
+  // A very tight max slowdown admits only small requests.
+  goal.max = c.scrub_service(128 * 1024);
+  const SizeThresholdChoice r = optimize(t, c, goal);
+  EXPECT_LE(r.request_bytes, 128 * 1024);
+}
+
+TEST(Optimizer, OptimalBeatsExtremes) {
+  // The Fig 15 claim: the tuned (size, threshold) outperforms both naive
+  // 64 KB and the largest size at the same slowdown goal -- or at least
+  // matches the better of the two.
+  const trace::Trace t = bursty_trace();
+  OptimizerConfig c = make_config();
+  SlowdownGoal goal;
+  goal.mean = 1 * kMillisecond;
+
+  const SizeThresholdChoice best = optimize(t, c, goal);
+  const SizeThresholdChoice small =
+      tune_threshold_for_size(t, c, 64 * 1024, goal.mean);
+  const SizeThresholdChoice large =
+      tune_threshold_for_size(t, c, 4 * 1024 * 1024, goal.mean);
+  EXPECT_GE(best.scrub_mb_s, small.scrub_mb_s);
+  EXPECT_GE(best.scrub_mb_s, large.scrub_mb_s);
+  EXPECT_GT(best.scrub_mb_s, small.scrub_mb_s * 1.2)
+      << "64 KB requests should be clearly suboptimal";
+}
+
+TEST(Optimizer, InfeasibleGoalReportsZeroThroughput) {
+  // An absurdly tight goal on a trace with constant collisions.
+  trace::Trace t;
+  for (int i = 0; i < 2000; ++i) {
+    t.records.push_back({i * 6 * kMillisecond, i * 128, 128, false});
+  }
+  t.duration = 2000 * 6 * kMillisecond;
+  OptimizerConfig c = make_config();
+  // Foreground service 5 ms, gaps 6 ms: only 1 ms idle intervals; any
+  // scrubbing causes big slowdowns relative to a 1 ns goal.
+  c.foreground_service = [](const trace::TraceRecord&) {
+    return 5 * kMillisecond;
+  };
+  const SizeThresholdChoice r =
+      tune_threshold_for_size(t, c, 4 * 1024 * 1024, /*goal=*/0);
+  EXPECT_DOUBLE_EQ(r.scrub_mb_s, 0.0);
+}
+
+}  // namespace
+}  // namespace pscrub::core

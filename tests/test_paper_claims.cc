@@ -1,0 +1,213 @@
+// Regression guards for the paper's headline claims: small, fast versions
+// of the bench experiments whose *shapes* constitute the reproduction.
+// If a refactor breaks one of these, the repository no longer reproduces
+// the paper.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pscrub.h"
+
+namespace pscrub {
+namespace {
+
+// Claim (Fig 1 / Sec III-A): ATA VERIFY with the cache enabled is
+// electronic and size-insensitive; SCSI VERIFY is media-bound either way.
+TEST(PaperClaims, AtaVerifyCachePathology) {
+  const disk::DiskProfile sata = disk::wd_caviar();
+  const SimTime cached_small =
+      sata.sequential_verify_service(1024, disk::CommandKind::kVerifyAta);
+  const SimTime cached_large = sata.sequential_verify_service(
+      64 * 1024, disk::CommandKind::kVerifyAta);
+  EXPECT_LT(cached_large, kMillisecond);
+  EXPECT_LT(cached_large - cached_small, kMillisecond / 2);
+
+  disk::DiskProfile off = sata;
+  off.cache_enabled = false;
+  EXPECT_GT(off.sequential_verify_service(1024,
+                                          disk::CommandKind::kVerifyAta),
+            10 * cached_large);
+
+  const disk::DiskProfile sas = disk::hitachi_ultrastar_15k450();
+  disk::DiskProfile sas_off = sas;
+  sas_off.cache_enabled = false;
+  EXPECT_EQ(sas.sequential_verify_service(64 * 1024),
+            sas_off.sequential_verify_service(64 * 1024));
+}
+
+// Claim (Fig 4): VERIFY service times are flat below 64 KB.
+TEST(PaperClaims, VerifyServiceKneeAt64K) {
+  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  const double below =
+      to_milliseconds(p.sequential_verify_service(64 * 1024) -
+                      p.sequential_verify_service(1024));
+  const double above =
+      to_milliseconds(p.sequential_verify_service(4 * 1024 * 1024) -
+                      p.sequential_verify_service(64 * 1024));
+  EXPECT_LT(below, 0.5);
+  EXPECT_GT(above, 5.0);
+}
+
+// Claim (Fig 5b): staggered overtakes sequential at many regions and
+// loses at few.
+TEST(PaperClaims, StaggeredCrossover) {
+  for (const disk::DiskProfile& p :
+       {disk::hitachi_ultrastar_15k450(), disk::fujitsu_max3073rc()}) {
+    const SimTime seq = p.sequential_verify_service(64 * 1024);
+    EXPECT_GT(p.staggered_verify_service(64 * 1024, 2), seq) << p.name;
+    EXPECT_LE(p.staggered_verify_service(64 * 1024, 512), seq) << p.name;
+  }
+}
+
+// Claim (Sec V-A): the generated disk traces have heavy-tailed idle times
+// with decreasing hazard; TPC-C is near-memoryless.
+TEST(PaperClaims, IdleTimeRegimes) {
+  {
+    auto spec = trace::spec_by_name("HPc3t3d0");
+    ASSERT_TRUE(spec);
+    const trace::Trace t = trace::SyntheticGenerator(*spec).generate_trace(
+        300'000.0 / static_cast<double>(spec->target_requests));
+    const auto e = trace::extract_idle_intervals(
+        t, core::make_foreground_service(disk::hitachi_ultrastar_15k450()));
+    const stats::Summary s = stats::summarize(e.idle_seconds);
+    EXPECT_GT(s.cov, 3.0);
+    stats::ResidualLife life(e.idle_seconds);
+    EXPECT_GT(life.mean_residual(1.0), 1.5 * life.mean_residual(0.0));
+  }
+  {
+    auto spec = trace::spec_by_name("TPCdisk66");
+    ASSERT_TRUE(spec);
+    spec->target_requests = 200'000;
+    const trace::Trace t = trace::SyntheticGenerator(*spec).generate_trace();
+    const stats::Summary s = stats::summarize(t.interarrival_seconds());
+    EXPECT_LT(s.cov, 1.2);
+  }
+}
+
+// Claim (Fig 14): at a matched collision rate, Waiting utilizes more idle
+// time than AR.
+TEST(PaperClaims, WaitingDominatesAr) {
+  trace::TraceSpec spec;
+  spec.name = "claims";
+  spec.seed = 21;
+  spec.duration = 12 * kHour;
+  spec.target_requests = 150'000;
+  spec.burst_len_mean = 4.0;
+  spec.idle_sigma = 2.4;
+  spec.period = 0;
+  spec.diurnal_swing = 1.0;
+  spec.spike_hours.clear();
+  const trace::Trace t = trace::SyntheticGenerator(spec).generate_trace();
+
+  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  core::PolicySimConfig cfg;
+  cfg.foreground_service = core::make_foreground_service(p);
+  cfg.scrub_service = core::make_scrub_service(p);
+
+  // Sweep both policies; for each AR point find the Waiting point with
+  // collision rate <= AR's and compare utilization.
+  std::vector<core::PolicySimResult> waiting;
+  for (SimTime th = 16 * kMillisecond; th <= 16384 * kMillisecond; th *= 4) {
+    core::WaitingPolicy w(th);
+    waiting.push_back(core::run_policy_sim(t, w, cfg));
+  }
+  int comparisons = 0;
+  for (SimTime c = 256 * kMillisecond; c <= 16384 * kMillisecond; c *= 4) {
+    core::ArPolicy ar(c);
+    const auto ra = core::run_policy_sim(t, ar, cfg);
+    for (const auto& rw : waiting) {
+      if (rw.collision_rate <= ra.collision_rate) {
+        EXPECT_GE(rw.idle_utilization + 0.05, ra.idle_utilization)
+            << "Waiting@" << rw.collision_rate << " vs AR@"
+            << ra.collision_rate;
+        ++comparisons;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(comparisons, 0);
+}
+
+// Claim (Fig 15 / Sec V-C): a tuned fixed request size beats 64 KB at the
+// same slowdown goal, and adaptive sizing does not beat the tuned fixed
+// size.
+TEST(PaperClaims, TunedFixedSizeWins) {
+  trace::TraceSpec spec;
+  spec.name = "claims15";
+  spec.seed = 5;
+  spec.duration = 12 * kHour;
+  spec.target_requests = 150'000;
+  spec.burst_len_mean = 5.0;
+  spec.idle_sigma = 2.3;
+  spec.period = 0;
+  spec.diurnal_swing = 1.0;
+  spec.spike_hours.clear();
+  const trace::Trace t = trace::SyntheticGenerator(spec).generate_trace();
+
+  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  core::OptimizerConfig oc;
+  oc.foreground_service = core::make_foreground_service(p);
+  oc.scrub_service = core::make_scrub_service(p);
+  oc.binary_search_iters = 8;
+  core::SlowdownGoal goal;
+  goal.mean = kMillisecond;
+
+  const auto best = core::optimize(t, oc, goal);
+  const auto small =
+      core::tune_threshold_for_size(t, oc, 64 * 1024, goal.mean);
+  EXPECT_GT(best.scrub_mb_s, 2.0 * small.scrub_mb_s);
+
+  // Adaptive sizing at a threshold meeting the same goal must not exceed
+  // the tuned fixed throughput (beyond tolerance).
+  core::PolicySimConfig sc;
+  sc.foreground_service = core::make_foreground_service(p);
+  sc.scrub_service = core::make_scrub_service(p);
+  sc.sizer = core::ScrubSizer::exponential(64 * 1024, 2.0, 4 * 1024 * 1024);
+  double adaptive_at_goal = 0.0;
+  for (SimTime th = 16 * kMillisecond; th <= 32'768 * kMillisecond;
+       th *= 2) {
+    core::WaitingPolicy w(th);
+    const auto r = core::run_policy_sim(t, w, sc);
+    if (r.mean_slowdown_ms <= to_milliseconds(goal.mean)) {
+      adaptive_at_goal = r.scrub_mb_s;
+      break;
+    }
+  }
+  EXPECT_LE(adaptive_at_goal, best.scrub_mb_s * 1.05);
+}
+
+// Claim (abstract): "up to six times more throughput ... than the default
+// Linux I/O scheduler" -- the tuned scrubber vs CFQ's fixed behaviour.
+TEST(PaperClaims, SixTimesMoreThroughputThanCfq) {
+  trace::TraceSpec spec;
+  spec.name = "claimsAbs";
+  spec.seed = 9;
+  spec.duration = 12 * kHour;
+  spec.target_requests = 150'000;
+  spec.burst_len_mean = 4.0;
+  spec.idle_sigma = 2.4;
+  spec.period = 0;
+  spec.diurnal_swing = 1.0;
+  spec.spike_hours.clear();
+  const trace::Trace t = trace::SyntheticGenerator(spec).generate_trace();
+
+  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  core::OptimizerConfig oc;
+  oc.foreground_service = core::make_foreground_service(p);
+  oc.scrub_service = core::make_scrub_service(p);
+  oc.binary_search_iters = 8;
+  core::SlowdownGoal goal;
+  goal.mean = 2 * kMillisecond;
+  const auto best = core::optimize(t, oc, goal);
+
+  core::WaitingPolicy cfq(10 * kMillisecond);
+  core::PolicySimConfig sc;
+  sc.foreground_service = core::make_foreground_service(p);
+  sc.scrub_service = core::make_scrub_service(p);
+  sc.sizer = core::ScrubSizer::fixed(64 * 1024);
+  const auto r = core::run_policy_sim(t, cfq, sc);
+  EXPECT_GT(best.scrub_mb_s, 6.0 * r.scrub_mb_s);
+}
+
+}  // namespace
+}  // namespace pscrub

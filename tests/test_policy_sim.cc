@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/policy_sim.h"
+#include "disk/profile.h"
+
+namespace pscrub::core {
+namespace {
+
+// A trace with evenly spaced arrivals: gap 100 ms, service 5 ms, so idle
+// intervals are 95 ms each.
+trace::Trace regular_trace(int n = 200, SimTime gap = 100 * kMillisecond) {
+  trace::Trace t;
+  t.name = "regular";
+  for (int i = 0; i < n; ++i) {
+    t.records.push_back({i * gap, i * 128, 128, false});
+  }
+  t.duration = n * gap;
+  return t;
+}
+
+constexpr SimTime kFgService = 5 * kMillisecond;
+constexpr SimTime kScrubService = 4 * kMillisecond;
+
+PolicySimConfig config(ScrubSizer sizer = ScrubSizer::fixed(64 * 1024)) {
+  PolicySimConfig c;
+  c.foreground_service = [](const trace::TraceRecord&) { return kFgService; };
+  c.scrub_service = [](std::int64_t bytes) {
+    return kScrubService * (bytes / (64 * 1024));
+  };
+  c.sizer = sizer;
+  return c;
+}
+
+TEST(PolicySim, BaselineHasNoSlowdown) {
+  const trace::Trace t = regular_trace();
+  const PolicySimResult r = run_baseline(
+      t, [](const trace::TraceRecord&) { return kFgService; });
+  EXPECT_EQ(r.collisions, 0);
+  EXPECT_EQ(r.slowdown_sum, 0);
+  EXPECT_EQ(r.scrubbed_bytes, 0);
+  EXPECT_DOUBLE_EQ(r.mean_slowdown_ms, 0.0);
+}
+
+TEST(PolicySim, WaitingCapturesEveryIntervalWhenThresholdSmall) {
+  const trace::Trace t = regular_trace();
+  WaitingPolicy p(10 * kMillisecond);
+  const PolicySimResult r = run_policy_sim(t, p, config());
+  // Every 95 ms idle interval exceeds 10 ms: each is captured, and almost
+  // every one ends in a collision (an interval is collision-free only when
+  // a scrub request completes exactly at the arrival instant).
+  EXPECT_GT(r.collisions, (static_cast<std::int64_t>(t.size()) - 1) * 7 / 10);
+  EXPECT_LE(r.collisions, static_cast<std::int64_t>(t.size()) - 1);
+  EXPECT_GT(r.idle_utilization, 0.7);
+  EXPECT_GT(r.scrubbed_bytes, 0);
+}
+
+TEST(PolicySim, WaitingSkipsWhenThresholdTooLarge) {
+  const trace::Trace t = regular_trace();
+  WaitingPolicy p(200 * kMillisecond);  // longer than every interval
+  const PolicySimResult r = run_policy_sim(t, p, config());
+  EXPECT_EQ(r.collisions, 0);
+  EXPECT_EQ(r.scrub_requests, 0);
+  EXPECT_DOUBLE_EQ(r.mean_slowdown_ms, 0.0);
+}
+
+TEST(PolicySim, UtilizationAccountsWaitLoss) {
+  const trace::Trace t = regular_trace();
+  WaitingPolicy small(5 * kMillisecond);
+  WaitingPolicy large(50 * kMillisecond);
+  const PolicySimResult rs = run_policy_sim(t, small, config());
+  const PolicySimResult rl = run_policy_sim(t, large, config());
+  EXPECT_GT(rs.idle_utilization, rl.idle_utilization)
+      << "longer waits waste more of each captured interval";
+}
+
+TEST(PolicySim, CollisionDelayBoundedByScrubService) {
+  const trace::Trace t = regular_trace();
+  WaitingPolicy p(10 * kMillisecond);
+  const PolicySimResult r = run_policy_sim(t, p, config());
+  // Each collision delays by at most one scrub request's service; with a
+  // regular trace there is no queueing cascade.
+  EXPECT_LE(r.slowdown_max, kScrubService);
+  EXPECT_GT(r.slowdown_max, 0);
+}
+
+TEST(PolicySim, MeanSlowdownAveragesOverAllRequests) {
+  const trace::Trace t = regular_trace();
+  WaitingPolicy p(10 * kMillisecond);
+  const PolicySimResult r = run_policy_sim(t, p, config());
+  // Mean over ALL requests <= max collision delay * collision_rate.
+  EXPECT_LE(r.mean_slowdown_ms,
+            to_milliseconds(kScrubService) * r.collision_rate + 1e-9);
+  EXPECT_GT(r.mean_slowdown_ms, 0.0);
+}
+
+TEST(PolicySim, OracleUtilizesOnlyLongIntervals) {
+  // Alternating idle intervals: short (15 ms) and long (195 ms).
+  trace::Trace t;
+  SimTime at = 0;
+  for (int i = 0; i < 100; ++i) {
+    t.records.push_back({at, i * 128, 128, false});
+    at += (i % 2 == 0) ? 20 * kMillisecond : 200 * kMillisecond;
+  }
+  t.duration = at;
+
+  OraclePolicy oracle(100 * kMillisecond);
+  const PolicySimResult r = run_policy_sim(t, oracle, config());
+  // Only the ~50 long intervals are used, fully.
+  EXPECT_NEAR(r.collision_rate, 0.5, 0.05);
+  const double long_share = (195.0) / (195.0 + 15.0);
+  EXPECT_NEAR(r.idle_utilization, long_share, 0.05);
+}
+
+TEST(PolicySim, LosslessWaitingBeatsWaiting) {
+  const trace::Trace t = regular_trace();
+  WaitingPolicy w(40 * kMillisecond);
+  LosslessWaitingPolicy lw(40 * kMillisecond);
+  const PolicySimResult rw = run_policy_sim(t, w, config());
+  const PolicySimResult rlw = run_policy_sim(t, lw, config());
+  EXPECT_GT(rlw.idle_utilization, rw.idle_utilization);
+  // Same capture criterion; lossless accounting charges one collision per
+  // captured interval, so it can only be >= the real policy's count.
+  EXPECT_GE(rlw.collisions, rw.collisions);
+}
+
+TEST(PolicySim, ArPolicyFiresOnPredictedLongIntervals) {
+  const trace::Trace t = regular_trace(2000);
+  // Regular 95 ms idles: once fitted, predictions hover near 95 ms.
+  ArPolicy fire_all(10 * kMillisecond);
+  const PolicySimResult r = run_policy_sim(t, fire_all, config());
+  EXPECT_GT(r.scrub_requests, 0);
+
+  ArPolicy fire_none(kSecond);
+  const PolicySimResult r2 = run_policy_sim(t, fire_none, config());
+  EXPECT_EQ(r2.scrub_requests, 0);
+}
+
+TEST(PolicySim, ArWaitingWaitsBeforeFiring) {
+  const trace::Trace t = regular_trace(500);
+  ArWaitingPolicy p(30 * kMillisecond, 10 * kMillisecond);
+  WaitingPolicy w(30 * kMillisecond);
+  const PolicySimResult ra = run_policy_sim(t, p, config());
+  const PolicySimResult rw = run_policy_sim(t, w, config());
+  // On a perfectly regular trace AR predicts well, so AR+Waiting behaves
+  // like Waiting.
+  EXPECT_NEAR(ra.idle_utilization, rw.idle_utilization, 0.1);
+}
+
+TEST(PolicySim, QueueingCascadePropagatesSlowdown) {
+  // A burst right after an idle interval: the collision delays the first
+  // request AND the queued followers (CFQ's Table III pathology).
+  trace::Trace t;
+  t.records.push_back({0, 0, 128, false});
+  // Long idle, then a 5-request burst arriving 1 ms apart (service 5 ms).
+  const SimTime burst_at = 500 * kMillisecond;
+  for (int i = 0; i < 5; ++i) {
+    t.records.push_back({burst_at + i * kMillisecond, 1000 + i * 128, 128, false});
+  }
+  t.duration = burst_at + kSecond;
+
+  WaitingPolicy p(10 * kMillisecond);
+  const PolicySimResult r = run_policy_sim(t, p, config());
+  EXPECT_EQ(r.collisions, 1) << "only the burst head collides";
+  // But all five burst requests inherit delay: slowdown_sum spans them.
+  EXPECT_GT(r.slowdown_sum, r.slowdown_max);
+}
+
+TEST(PolicySim, ExponentialSizerGrowsRequests) {
+  const trace::Trace t = regular_trace();
+  WaitingPolicy p(5 * kMillisecond);
+  const PolicySimResult fixed =
+      run_policy_sim(t, p, config(ScrubSizer::fixed(64 * 1024)));
+  WaitingPolicy p2(5 * kMillisecond);
+  const PolicySimResult expo = run_policy_sim(
+      t, p2,
+      config(ScrubSizer::exponential(64 * 1024, 2.0, 1024 * 1024)));
+  // Growing sizes mean fewer, larger requests per interval, and collisions
+  // with larger in-flight requests: worst-case slowdown grows.
+  EXPECT_GT(expo.slowdown_max, fixed.slowdown_max);
+  EXPECT_LT(expo.scrub_requests, fixed.scrub_requests);
+}
+
+TEST(PolicySim, PrecomputedServicesMatchModel) {
+  const trace::Trace t = regular_trace(500);
+  WaitingPolicy p1(10 * kMillisecond);
+  const PolicySimResult direct = run_policy_sim(t, p1, config());
+
+  PolicySimConfig c = config();
+  const std::vector<SimTime> services =
+      precompute_services(t, c.foreground_service);
+  c.services = &services;
+  WaitingPolicy p2(10 * kMillisecond);
+  const PolicySimResult cached = run_policy_sim(t, p2, c);
+
+  EXPECT_EQ(direct.collisions, cached.collisions);
+  EXPECT_EQ(direct.scrubbed_bytes, cached.scrubbed_bytes);
+  EXPECT_EQ(direct.slowdown_sum, cached.slowdown_sum);
+  EXPECT_EQ(direct.idle_utilized, cached.idle_utilized);
+}
+
+TEST(PolicySim, StableFastPathMatchesStepwiseAdaptive) {
+  // The exponential sizer hits its cap and switches to the O(1) batch
+  // path; totals must match a configuration whose cap is never reached
+  // within an interval... instead verify internal consistency: scrubbed
+  // bytes equal the sum implied by request count boundaries.
+  trace::Trace t;
+  SimTime at = 0;
+  for (int i = 0; i < 50; ++i) {
+    t.records.push_back({at, i * 128, 128, false});
+    at += kSecond;  // 1 s idle intervals: cap reached, long stable tail
+  }
+  t.duration = 0;  // no trailing window: keep the byte equation exact
+  WaitingPolicy p(10 * kMillisecond);
+  const PolicySimResult r = run_policy_sim(
+      t, p, config(ScrubSizer::exponential(64 * 1024, 2.0, 512 * 1024)));
+  EXPECT_GT(r.scrub_requests, 0);
+  // Growth phase scrubs 64+128+256+512 KB, then 512 KB repeats: total
+  // bytes must be consistent with the request count.
+  const std::int64_t growth_bytes = (64 + 128 + 256 + 512) * 1024;
+  // All 49 inter-arrival idle intervals are captured (1 s >> 10 ms wait);
+  // collisions may be one short when an interval ends exactly on a
+  // request boundary.
+  const std::int64_t intervals = 49;
+  EXPECT_GE(r.collisions, intervals - 2);
+  EXPECT_LE(r.collisions, intervals);
+  const std::int64_t stable_requests = r.scrub_requests - 4 * intervals;
+  EXPECT_EQ(r.scrubbed_bytes,
+            intervals * growth_bytes + stable_requests * 512 * 1024);
+}
+
+TEST(ScrubSizerTest, StableDetection) {
+  ScrubSizer fixed = ScrubSizer::fixed(64 * 1024);
+  EXPECT_TRUE(fixed.stable(0));
+
+  ScrubSizer expo = ScrubSizer::exponential(64 * 1024, 2.0, 256 * 1024);
+  expo.reset();
+  EXPECT_FALSE(expo.stable(0));
+  expo.advance();  // 128K
+  EXPECT_FALSE(expo.stable(0));
+  expo.advance();  // 256K == cap
+  EXPECT_TRUE(expo.stable(0));
+
+  ScrubSizer swap =
+      ScrubSizer::swapping(64 * 1024, 1024 * 1024, 50 * kMillisecond);
+  EXPECT_FALSE(swap.stable(49 * kMillisecond));
+  EXPECT_TRUE(swap.stable(50 * kMillisecond));
+  EXPECT_EQ(swap.next(49 * kMillisecond), 64 * 1024);
+  EXPECT_EQ(swap.next(50 * kMillisecond), 1024 * 1024);
+}
+
+TEST(PolicySim, TrailingIdleUsedWithoutCollision) {
+  trace::Trace t;
+  t.records.push_back({0, 0, 128, false});
+  t.duration = 10 * kSecond;  // long quiet tail
+  WaitingPolicy p(10 * kMillisecond);
+  const PolicySimResult r = run_policy_sim(t, p, config());
+  EXPECT_EQ(r.collisions, 0);
+  EXPECT_GT(r.scrubbed_bytes, 0);
+  EXPECT_GT(r.idle_utilization, 0.9);
+}
+
+TEST(PolicySim, FireBudgetLimitsScrubbing) {
+  const trace::Trace t = regular_trace();
+  // Budget of 20 ms per interval vs unlimited: far fewer scrubbed bytes,
+  // and no collisions (a budgeted scrubber never straddles the arrival).
+  DualThresholdPolicy budgeted(10 * kMillisecond, 20 * kMillisecond);
+  WaitingPolicy unlimited(10 * kMillisecond);
+  const PolicySimResult rb = run_policy_sim(t, budgeted, config());
+  const PolicySimResult ru = run_policy_sim(t, unlimited, config());
+  EXPECT_LT(rb.scrubbed_bytes, ru.scrubbed_bytes / 3);
+  EXPECT_EQ(rb.collisions, 0);
+  EXPECT_EQ(rb.slowdown_sum, 0);
+}
+
+TEST(PolicySim, StoppingCriterionForfeitsIdleTime) {
+  // The paper's Sec V-A argument: with long intervals, stopping early
+  // only wastes idle time the scrubber could have used.
+  const trace::Trace t = regular_trace();
+  DualThresholdPolicy budgeted(10 * kMillisecond, 40 * kMillisecond);
+  WaitingPolicy unlimited(10 * kMillisecond);
+  const PolicySimResult rb = run_policy_sim(t, budgeted, config());
+  const PolicySimResult ru = run_policy_sim(t, unlimited, config());
+  EXPECT_LT(rb.idle_utilization, ru.idle_utilization * 0.6);
+}
+
+TEST(PolicySim, MovingAveragePolicyFiresOnLongRegime) {
+  const trace::Trace t = regular_trace();  // 95 ms idle intervals
+  MovingAveragePolicy fire(50 * kMillisecond);
+  MovingAveragePolicy hold(200 * kMillisecond);
+  const PolicySimResult rf = run_policy_sim(t, fire, config());
+  const PolicySimResult rh = run_policy_sim(t, hold, config());
+  EXPECT_GT(rf.scrub_requests, 0);
+  EXPECT_EQ(rh.scrub_requests, 0);
+}
+
+TEST(PolicySim, AcdPolicyRuns) {
+  const trace::Trace t = regular_trace(600);
+  AcdPolicy acd(50 * kMillisecond, /*window=*/256, /*refit_every=*/128);
+  const PolicySimResult r = run_policy_sim(t, acd, config());
+  // Regular 95 ms intervals: once fitted, ACD forecasts ~95 ms > 50 ms.
+  EXPECT_GT(r.scrub_requests, 0);
+  EXPECT_GT(acd.fit_stats().likelihood_evaluations, 0u);
+}
+
+TEST(PolicySim, ResponseSamplesMatchRequestCount) {
+  const trace::Trace t = regular_trace(100);
+  WaitingPolicy p(10 * kMillisecond);
+  PolicySimConfig c = config();
+  c.keep_response_samples = true;
+  const PolicySimResult r = run_policy_sim(t, p, c);
+  EXPECT_EQ(r.response_seconds.size(), 100u);
+  EXPECT_EQ(r.baseline_response_seconds.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_GE(r.response_seconds[i], r.baseline_response_seconds[i]);
+  }
+}
+
+TEST(PolicySim, CostModelIntegration) {
+  const disk::DiskProfile profile = disk::hitachi_ultrastar_15k450();
+  const trace::Trace t = regular_trace(500);
+  WaitingPolicy p(20 * kMillisecond);
+  PolicySimConfig c;
+  c.foreground_service = make_foreground_service(profile);
+  c.scrub_service = make_scrub_service(profile);
+  const PolicySimResult r = run_policy_sim(t, p, c);
+  EXPECT_GT(r.scrub_mb_s, 1.0);
+  EXPECT_LT(r.scrub_mb_s, profile.media_rate_mb_s());
+}
+
+}  // namespace
+}  // namespace pscrub::core

@@ -1,0 +1,101 @@
+// Invariants that must hold for every drive profile in the catalog.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "disk/disk_model.h"
+#include "disk/profile.h"
+#include "sim/simulator.h"
+
+namespace pscrub::disk {
+namespace {
+
+class AllProfiles : public ::testing::TestWithParam<DiskProfile> {};
+
+TEST_P(AllProfiles, SaneParameters) {
+  const DiskProfile& p = GetParam();
+  EXPECT_GT(p.capacity_bytes, 0);
+  EXPECT_GE(p.outer_spt, p.inner_spt);
+  EXPECT_GT(p.inner_spt, 0);
+  EXPECT_GT(p.rpm, 0);
+  EXPECT_GE(p.max_seek, p.min_seek);
+  EXPECT_GT(p.rotation_period(), 0);
+  EXPECT_GT(p.media_rate_mb_s(), 10.0);
+  EXPECT_LT(p.media_rate_mb_s(), 1000.0);
+  EXPECT_GT(p.active_watts, p.idle_watts);
+  EXPECT_GT(p.idle_watts, p.standby_watts);
+}
+
+TEST_P(AllProfiles, VerifyServiceMonotoneInSize) {
+  const DiskProfile& p = GetParam();
+  SimTime prev = 0;
+  for (std::int64_t bytes = 1024; bytes <= 16 * 1024 * 1024; bytes *= 2) {
+    const SimTime t = p.sequential_verify_service(bytes);
+    EXPECT_GE(t, prev) << p.name << " at " << bytes;
+    prev = t;
+  }
+}
+
+TEST_P(AllProfiles, StaggeredServiceImprovesWithRegions) {
+  const DiskProfile& p = GetParam();
+  // More regions -> shorter jumps -> never slower.
+  SimTime prev = p.staggered_verify_service(64 * 1024, 2);
+  for (int regions : {8, 32, 128, 512}) {
+    const SimTime t = p.staggered_verify_service(64 * 1024, regions);
+    EXPECT_LE(t, prev) << p.name << " at R=" << regions;
+    prev = t;
+  }
+}
+
+TEST_P(AllProfiles, RandomReadDominatesSequentialStreaming) {
+  const DiskProfile& p = GetParam();
+  // A random read pays seek + rotation on top of the transfer.
+  EXPECT_GT(p.random_read_service(64 * 1024),
+            p.media_transfer(128) + p.bus_transfer(64 * 1024));
+}
+
+TEST_P(AllProfiles, EventModelServesEveryCommandKind) {
+  DiskProfile p = GetParam();
+  p.capacity_bytes = 1LL << 30;
+  Simulator sim;
+  DiskModel d(sim, p, 1);
+  for (CommandKind kind :
+       {CommandKind::kRead, CommandKind::kWrite, CommandKind::kVerifyScsi,
+        CommandKind::kVerifyAta}) {
+    SimTime latency = -1;
+    d.submit({kind, 4096, 128},
+             [&](const DiskCommand&, SimTime l) { latency = l; });
+    sim.run();
+    EXPECT_GT(latency, 0) << p.name;
+    EXPECT_LT(latency, kSecond) << p.name;
+  }
+}
+
+TEST_P(AllProfiles, EnergyIsMonotoneInTime) {
+  DiskProfile p = GetParam();
+  p.capacity_bytes = 1LL << 30;
+  Simulator sim;
+  DiskModel d(sim, p, 1);
+  double prev = 0.0;
+  for (int i = 1; i <= 5; ++i) {
+    sim.run_until(i * kSecond);
+    const double e = d.energy_joules();
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, AllProfiles,
+    ::testing::Values(hitachi_ultrastar_15k450(), fujitsu_max3073rc(),
+                      fujitsu_map3367np(), wd_caviar(), hitachi_deskstar()),
+    [](const ::testing::TestParamInfo<DiskProfile>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace pscrub::disk

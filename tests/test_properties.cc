@@ -1,0 +1,147 @@
+// Cross-module property sweeps: invariants that must hold across the
+// parameter space, not just at hand-picked points.
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/policy_sim.h"
+#include "disk/profile.h"
+#include "stats/residual_life.h"
+#include "trace/catalog.h"
+#include "trace/idle.h"
+#include "trace/synthetic.h"
+
+namespace pscrub {
+namespace {
+
+trace::Trace sample_trace(std::uint64_t seed, double sigma) {
+  trace::TraceSpec s;
+  s.name = "prop";
+  s.seed = seed;
+  s.duration = 6 * kHour;
+  s.target_requests = 60'000;
+  s.burst_len_mean = 6.0;
+  s.idle_sigma = sigma;
+  s.period = 0;
+  s.diurnal_swing = 1.0;
+  s.spike_hours.clear();
+  return trace::SyntheticGenerator(s).generate_trace();
+}
+
+core::PolicySimConfig sim_config() {
+  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  core::PolicySimConfig c;
+  c.foreground_service = core::make_foreground_service(p);
+  c.scrub_service = core::make_scrub_service(p);
+  return c;
+}
+
+// ---- Waiting-policy monotonicity across thresholds and traces ----------
+
+class WaitingMonotonicity
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(WaitingMonotonicity, LargerThresholdNeverRaisesCollisionsOrSlowdown) {
+  const auto [seed, sigma] = GetParam();
+  const trace::Trace t = sample_trace(seed, sigma);
+  double prev_collisions = 1e18;
+  double prev_util = 2.0;
+  for (SimTime th = 8 * kMillisecond; th <= 2048 * kMillisecond; th *= 4) {
+    core::WaitingPolicy p(th);
+    const auto r = core::run_policy_sim(t, p, sim_config());
+    // Monotone: larger thresholds capture a subset of intervals.
+    EXPECT_LE(r.collision_rate, prev_collisions + 1e-12);
+    EXPECT_LE(r.idle_utilization, prev_util + 1e-12);
+    prev_collisions = r.collision_rate;
+    prev_util = r.idle_utilization;
+    // Sanity bounds.
+    EXPECT_GE(r.idle_utilization, 0.0);
+    EXPECT_LE(r.idle_utilization, 1.0);
+    EXPECT_LE(r.collisions, r.scrub_requests);
+    EXPECT_GE(r.slowdown_max, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndTails, WaitingMonotonicity,
+    ::testing::Combine(::testing::Values(1u, 7u, 42u),
+                       ::testing::Values(1.6, 2.2, 2.8)));
+
+// ---- Lossless dominates Waiting everywhere -----------------------------
+
+class LosslessDominance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LosslessDominance, LosslessUtilizationIsAnUpperBound) {
+  const trace::Trace t = sample_trace(GetParam(), 2.3);
+  for (SimTime th : {16 * kMillisecond, 128 * kMillisecond, kSecond}) {
+    core::WaitingPolicy w(th);
+    core::LosslessWaitingPolicy lw(th);
+    const auto rw = core::run_policy_sim(t, w, sim_config());
+    const auto rl = core::run_policy_sim(t, lw, sim_config());
+    EXPECT_GE(rl.idle_utilization, rw.idle_utilization - 1e-12)
+        << "threshold " << th;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LosslessDominance,
+                         ::testing::Values(3u, 11u, 29u));
+
+// ---- Idle extraction conservation --------------------------------------
+
+class IdleConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IdleConservation, BusyPlusIdleCoversActivitySpan) {
+  const trace::Trace t = sample_trace(GetParam(), 2.0);
+  const auto e = trace::extract_idle_intervals(t, 2 * kMillisecond);
+  // The FCFS sweep partitions [0, end_of_activity] into busy and idle.
+  EXPECT_EQ(e.total_idle + e.total_busy, e.end_of_activity);
+  // And total busy is exactly requests * fixed service.
+  EXPECT_EQ(e.total_busy,
+            static_cast<SimTime>(t.size()) * 2 * kMillisecond);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdleConservation,
+                         ::testing::Values(5u, 13u, 101u));
+
+// ---- ResidualLife internal consistency ----------------------------------
+
+TEST(ResidualConsistency, UsableFractionMatchesMeanResidualIdentity) {
+  const trace::Trace t = sample_trace(17, 2.5);
+  const auto e = trace::extract_idle_intervals(t, 2 * kMillisecond);
+  stats::ResidualLife life(e.idle_seconds);
+  // usable(x) * total == survivors * mean_residual(x) by definition.
+  for (double x : {0.001, 0.01, 0.1, 1.0}) {
+    const double survivors =
+        life.survival(x) * static_cast<double>(life.count());
+    const double lhs = life.usable_fraction(x) * life.total_idle();
+    const double rhs = survivors * life.mean_residual(x);
+    EXPECT_NEAR(lhs, rhs, 1e-6 * std::max(1.0, lhs));
+  }
+}
+
+// ---- Catalog traces satisfy the paper's qualitative regime -------------
+
+class CatalogRegime : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CatalogRegime, HeavyTailedAndPeriodic) {
+  auto spec = trace::spec_by_name(GetParam());
+  ASSERT_TRUE(spec);
+  trace::SyntheticGenerator gen(*spec);
+  const trace::Trace t = gen.generate_trace(
+      std::min(1.0, 300'000.0 / static_cast<double>(spec->target_requests)));
+  const auto e = trace::extract_idle_intervals(
+      t, core::make_foreground_service(disk::hitachi_ultrastar_15k450()));
+  stats::ResidualLife life(e.idle_seconds);
+  // Decreasing hazard: residual life grows with age.
+  EXPECT_GT(life.mean_residual(1.0), 1.5 * life.mean_residual(0.0))
+      << GetParam();
+  // Long tails: most idle time in few intervals.
+  EXPECT_GT(life.tail_weight(0.15), 0.6) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(TableOneDisks, CatalogRegime,
+                         ::testing::Values("MSRsrc11", "MSRusr1", "MSRprn1",
+                                           "HPc6t8d0", "HPc6t5d1",
+                                           "HPc3t3d0"));
+
+}  // namespace
+}  // namespace pscrub

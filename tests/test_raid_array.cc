@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "raid/array.h"
+
+namespace pscrub::raid {
+namespace {
+
+disk::DiskProfile small_profile() {
+  disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  p.capacity_bytes = 256LL << 20;  // 256 MB members: fast rebuilds
+  return p;
+}
+
+RaidConfig raid5() {
+  RaidConfig c;
+  c.data_disks = 4;
+  c.parity_disks = 1;
+  c.chunk_sectors = 128;
+  return c;
+}
+
+RaidConfig raid6() {
+  RaidConfig c = raid5();
+  c.parity_disks = 2;
+  return c;
+}
+
+struct Rig {
+  Simulator sim;
+  RaidArray array;
+  explicit Rig(const RaidConfig& cfg = raid5())
+      : array(sim, cfg, small_profile(), 11) {}
+
+  SimTime read(std::int64_t lbn, std::int64_t sectors) {
+    SimTime latency = -1;
+    array.read(lbn, sectors, [&](SimTime l) { latency = l; });
+    sim.run();
+    return latency;
+  }
+  SimTime write(std::int64_t lbn, std::int64_t sectors) {
+    SimTime latency = -1;
+    array.write(lbn, sectors, [&](SimTime l) { latency = l; });
+    sim.run();
+    return latency;
+  }
+};
+
+TEST(RaidArray, ReadCompletes) {
+  Rig r;
+  EXPECT_GT(r.read(0, 128), 0);
+  EXPECT_EQ(r.array.stats().reads, 1);
+  EXPECT_EQ(r.array.stats().degraded_reads, 0);
+}
+
+TEST(RaidArray, ReadSpanningChunksHitsMultipleDisks) {
+  Rig r;
+  // 3 chunks worth starting mid-chunk: touches >= 3 member disks.
+  r.read(64, 3 * 128);
+  int disks_touched = 0;
+  for (int d = 0; d < r.array.total_disks(); ++d) {
+    if (r.array.disk(d).counters().reads > 0) ++disks_touched;
+  }
+  EXPECT_GE(disks_touched, 3);
+}
+
+TEST(RaidArray, WriteDoesReadModifyWrite) {
+  Rig r;
+  r.write(0, 64);
+  // RMW: data read+write on one disk, parity read+write on another.
+  std::int64_t total_reads = 0;
+  std::int64_t total_writes = 0;
+  for (int d = 0; d < r.array.total_disks(); ++d) {
+    total_reads += r.array.disk(d).counters().reads;
+    total_writes += r.array.disk(d).counters().writes;
+  }
+  EXPECT_EQ(total_reads, 2);   // old data + old parity
+  EXPECT_EQ(total_writes, 2);  // new data + new parity
+}
+
+TEST(RaidArray, Raid6WritesTouchBothParities) {
+  Rig r{raid6()};
+  r.write(0, 64);
+  std::int64_t total_writes = 0;
+  for (int d = 0; d < r.array.total_disks(); ++d) {
+    total_writes += r.array.disk(d).counters().writes;
+  }
+  EXPECT_EQ(total_writes, 3);  // data + P + Q
+}
+
+TEST(RaidArray, DegradedReadReconstructs) {
+  Rig r;
+  const auto loc = r.array.layout().locate(0);
+  r.array.fail_disk(loc.disk);
+  EXPECT_GT(r.read(0, 64), 0);
+  EXPECT_EQ(r.array.stats().degraded_reads, 1);
+  // Peers were read instead of the failed member.
+  EXPECT_EQ(r.array.disk(loc.disk).counters().reads, 0);
+  std::int64_t peer_reads = 0;
+  for (int d = 0; d < r.array.total_disks(); ++d) {
+    peer_reads += r.array.disk(d).counters().reads;
+  }
+  EXPECT_EQ(peer_reads, r.array.layout().data_disks());
+}
+
+TEST(RaidArray, RebuildCompletesAndHeals) {
+  Rig r;
+  r.array.fail_disk(2);
+  RebuildResult result;
+  bool done = false;
+  r.array.rebuild(2, {}, [&](const RebuildResult& res) {
+    result = res;
+    done = true;
+  });
+  r.sim.run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.stripes_rebuilt, r.array.layout().stripes());
+  EXPECT_EQ(result.sectors_lost, 0);
+  EXPECT_GT(result.duration, 0);
+  EXPECT_FALSE(r.array.is_failed(2));
+  EXPECT_DOUBLE_EQ(r.array.rebuild_progress(), 1.0);
+  // The replacement was fully written.
+  EXPECT_EQ(r.array.disk(2).counters().writes, r.array.layout().stripes());
+}
+
+TEST(RaidArray, SurvivorLseDuringRebuildLosesSectorsOnRaid5) {
+  // The paper's motivating scenario: disk 2 dies; disk 0 holds two latent
+  // errors nobody scrubbed; RAID-5 cannot reconstruct those columns.
+  Rig r;
+  r.array.disk(0).inject_lse(1000);
+  r.array.disk(0).inject_lse(5000);
+  r.array.fail_disk(2);
+  RebuildResult result;
+  r.array.rebuild(2, {}, [&](const RebuildResult& res) { result = res; });
+  r.sim.run();
+  EXPECT_EQ(result.sectors_lost, 2);
+  EXPECT_EQ(r.array.stats().lost_sectors, 2);
+}
+
+TEST(RaidArray, Raid6ToleratesOneSurvivorLse) {
+  Rig r{raid6()};
+  r.array.disk(0).inject_lse(1000);
+  r.array.fail_disk(2);
+  RebuildResult result;
+  r.array.rebuild(2, {}, [&](const RebuildResult& res) { result = res; });
+  r.sim.run();
+  EXPECT_EQ(result.sectors_lost, 0) << "double parity absorbs one LSE";
+}
+
+TEST(RaidArray, Raid6LosesOnOverlappingLses) {
+  Rig r{raid6()};
+  // Two survivors bad at the SAME column + one failed disk = 3 erasures.
+  r.array.disk(0).inject_lse(1000);
+  r.array.disk(1).inject_lse(1000);
+  r.array.fail_disk(2);
+  RebuildResult result;
+  r.array.rebuild(2, {}, [&](const RebuildResult& res) { result = res; });
+  r.sim.run();
+  EXPECT_EQ(result.sectors_lost, 1);
+}
+
+TEST(RaidArray, RebuildPacingSlowsCompletion) {
+  Rig fast;
+  fast.array.fail_disk(1);
+  SimTime fast_done = 0;
+  fast.array.rebuild(1, {},
+                     [&](const RebuildResult& r) { fast_done = r.duration; });
+  fast.sim.run();
+
+  Rig slow;
+  slow.array.fail_disk(1);
+  RebuildConfig cfg;
+  cfg.inter_stripe_delay = 5 * kMillisecond;
+  SimTime slow_done = 0;
+  slow.array.rebuild(1, cfg,
+                     [&](const RebuildResult& r) { slow_done = r.duration; });
+  slow.sim.run();
+  EXPECT_GT(slow_done, fast_done + kSecond);
+}
+
+TEST(RaidArray, ScrubRepairsLseBeforeFailure) {
+  // Scrubbing finds the latent error and repairs it from redundancy, so a
+  // later failure + rebuild loses nothing: the paper's whole point.
+  Rig r;
+  r.array.disk(0).inject_lse(1000);
+  r.array.start_scrubbing(10 * kMillisecond, 512 * 1024);
+  r.sim.run_until(60 * kSecond);
+  EXPECT_EQ(r.array.stats().scrub_detections, 1);
+  r.sim.run_until(61 * kSecond);
+  EXPECT_FALSE(r.array.disk(0).has_lse(1000)) << "repaired by rewrite";
+  EXPECT_GE(r.array.stats().reconstructed_sectors, 1);
+
+  r.array.stop_scrubbing();
+  r.array.fail_disk(2);
+  RebuildResult result;
+  r.array.rebuild(2, {}, [&](const RebuildResult& res) { result = res; });
+  r.sim.run();
+  EXPECT_EQ(result.sectors_lost, 0);
+}
+
+TEST(RaidArray, ScrubbingMakesProgressOnAllMembers) {
+  Rig r;
+  r.array.start_scrubbing(10 * kMillisecond, 1 << 20);
+  r.sim.run_until(30 * kSecond);
+  EXPECT_GT(r.array.scrubbed_bytes(),
+            static_cast<std::int64_t>(r.array.total_disks()) * (100 << 20));
+}
+
+TEST(RaidArray, ReadDuringRebuildDegradesOnlyUnrebuiltRegion) {
+  Rig r;
+  r.array.fail_disk(0);
+  RebuildConfig cfg;
+  cfg.inter_stripe_delay = kMillisecond;
+  bool rebuilt = false;
+  r.array.rebuild(0, cfg, [&](const RebuildResult&) { rebuilt = true; });
+  // Let the rebuild cover the first stripes, then read from stripe 0
+  // (already rebuilt -> served directly) and from the tail (degraded).
+  r.sim.run_until(2 * kSecond);
+  ASSERT_FALSE(rebuilt);
+  ASSERT_GT(r.array.rebuild_progress(), 0.01);
+  ASSERT_LT(r.array.rebuild_progress(), 0.99);
+
+  const std::int64_t degraded_before = r.array.stats().degraded_reads;
+  // Stripe 0, data chunk on disk 0 (find one).
+  std::int64_t early_lbn = -1;
+  std::int64_t late_lbn = -1;
+  const auto& layout = r.array.layout();
+  for (std::int64_t lbn = 0; lbn < layout.array_sectors();
+       lbn += layout.chunk_sectors()) {
+    const auto loc = layout.locate(lbn);
+    if (loc.disk != 0) continue;
+    if (loc.stripe == 0 && early_lbn < 0) early_lbn = lbn;
+    if (loc.stripe == layout.stripes() - 1) late_lbn = lbn;
+  }
+  ASSERT_GE(early_lbn, 0);
+  ASSERT_GE(late_lbn, 0);
+
+  SimTime l1 = -1;
+  r.array.read(early_lbn, 8, [&](SimTime l) { l1 = l; });
+  r.sim.run_until(3 * kSecond);
+  EXPECT_EQ(r.array.stats().degraded_reads, degraded_before)
+      << "rebuilt region serves directly";
+
+  SimTime l2 = -1;
+  r.array.read(late_lbn, 8, [&](SimTime l) { l2 = l; });
+  r.sim.run_until(4 * kSecond);
+  EXPECT_EQ(r.array.stats().degraded_reads, degraded_before + 1)
+      << "unrebuilt region reconstructs from peers";
+  EXPECT_GT(l1, 0);
+  EXPECT_GT(l2, 0);
+}
+
+}  // namespace
+}  // namespace pscrub::raid

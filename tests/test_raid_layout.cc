@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "raid/layout.h"
+
+namespace pscrub::raid {
+namespace {
+
+RaidConfig raid5() {
+  RaidConfig c;
+  c.data_disks = 4;
+  c.parity_disks = 1;
+  c.chunk_sectors = 128;
+  return c;
+}
+
+RaidConfig raid6() {
+  RaidConfig c;
+  c.data_disks = 4;
+  c.parity_disks = 2;
+  c.chunk_sectors = 128;
+  return c;
+}
+
+TEST(RaidLayout, Capacity) {
+  RaidLayout l(raid5(), 128 * 1000);
+  EXPECT_EQ(l.total_disks(), 5);
+  EXPECT_EQ(l.stripes(), 1000);
+  EXPECT_EQ(l.array_sectors(), 4 * 128 * 1000);
+}
+
+TEST(RaidLayout, ParityRotates) {
+  RaidLayout l(raid5(), 128 * 100);
+  std::set<int> seen;
+  for (std::int64_t s = 0; s < 5; ++s) {
+    const auto parity = l.parity_disks_of(s);
+    ASSERT_EQ(parity.size(), 1u);
+    seen.insert(parity[0]);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "every disk holds parity once per 5 stripes";
+}
+
+TEST(RaidLayout, DataAndParityPartitionStripe) {
+  RaidLayout l(raid6(), 128 * 100);
+  for (std::int64_t s = 0; s < 12; ++s) {
+    std::set<int> all;
+    for (int d : l.data_disks_of(s)) all.insert(d);
+    for (int d : l.parity_disks_of(s)) all.insert(d);
+    EXPECT_EQ(all.size(), 6u);
+    EXPECT_EQ(l.data_disks_of(s).size(), 4u);
+    EXPECT_EQ(l.parity_disks_of(s).size(), 2u);
+  }
+}
+
+TEST(RaidLayout, LocateRoundTripsThroughInverse) {
+  RaidLayout l(raid5(), 128 * 200);
+  for (std::int64_t lbn = 0; lbn < l.array_sectors(); lbn += 997) {
+    const auto loc = l.locate(lbn);
+    EXPECT_EQ(l.array_lbn_at(loc.disk, loc.lbn), lbn);
+    EXPECT_FALSE(l.is_parity(loc.disk, loc.lbn));
+  }
+}
+
+TEST(RaidLayout, ParityInverseIsMinusOne) {
+  RaidLayout l(raid5(), 128 * 50);
+  for (std::int64_t s = 0; s < 10; ++s) {
+    const ChunkLocation par = l.parity_chunk(s, 0);
+    EXPECT_TRUE(l.is_parity(par.disk, par.lbn));
+    EXPECT_EQ(l.array_lbn_at(par.disk, par.lbn), -1);
+  }
+}
+
+TEST(RaidLayout, SequentialLbnsStripeAcrossDisks) {
+  RaidLayout l(raid5(), 128 * 100);
+  // Consecutive chunks of a stripe land on distinct disks.
+  const auto a = l.locate(0);
+  const auto b = l.locate(128);
+  const auto c = l.locate(256);
+  EXPECT_EQ(a.stripe, b.stripe);
+  EXPECT_NE(a.disk, b.disk);
+  EXPECT_NE(b.disk, c.disk);
+}
+
+TEST(RaidLayout, ReconstructionSetSizeIsK) {
+  RaidLayout l5(raid5(), 128 * 100);
+  RaidLayout l6(raid6(), 128 * 100);
+  for (std::int64_t s = 0; s < 7; ++s) {
+    for (int missing = 0; missing < l5.total_disks(); ++missing) {
+      const auto set = l5.reconstruction_set(s, missing);
+      EXPECT_EQ(set.size(), 4u);
+      for (const auto& cl : set) EXPECT_NE(cl.disk, missing);
+    }
+    for (int missing = 0; missing < l6.total_disks(); ++missing) {
+      const auto set = l6.reconstruction_set(s, missing);
+      EXPECT_EQ(set.size(), 4u);
+      for (const auto& cl : set) EXPECT_NE(cl.disk, missing);
+    }
+  }
+}
+
+TEST(RaidLayout, ChunksLiveAtStripeTimesChunk) {
+  RaidLayout l(raid6(), 128 * 100);
+  for (std::int64_t s : {0, 1, 17, 99}) {
+    for (int i = 0; i < l.data_disks(); ++i) {
+      EXPECT_EQ(l.data_chunk(s, i).lbn, s * 128);
+    }
+    for (int j = 0; j < l.parity_disks(); ++j) {
+      EXPECT_EQ(l.parity_chunk(s, j).lbn, s * 128);
+    }
+  }
+}
+
+// Property sweep: the inverse map covers the whole disk surface exactly.
+class LayoutParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LayoutParamTest, EverySectorIsDataOrParityExactlyOnce) {
+  const auto [k, p, chunk] = GetParam();
+  RaidConfig cfg;
+  cfg.data_disks = k;
+  cfg.parity_disks = p;
+  cfg.chunk_sectors = chunk;
+  const std::int64_t disk_sectors = chunk * 23;
+  RaidLayout l(cfg, disk_sectors);
+
+  std::int64_t data_sectors = 0;
+  std::int64_t parity_sectors = 0;
+  std::set<std::int64_t> seen_array_lbns;
+  for (int d = 0; d < l.total_disks(); ++d) {
+    for (std::int64_t lbn = 0; lbn < l.stripes() * chunk; ++lbn) {
+      const std::int64_t a = l.array_lbn_at(d, lbn);
+      if (a < 0) {
+        ++parity_sectors;
+      } else {
+        ++data_sectors;
+        EXPECT_TRUE(seen_array_lbns.insert(a).second)
+            << "array lbn mapped twice";
+      }
+    }
+  }
+  EXPECT_EQ(data_sectors, l.array_sectors());
+  EXPECT_EQ(parity_sectors, l.stripes() * chunk * p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LayoutParamTest,
+    ::testing::Values(std::make_tuple(2, 1, 8), std::make_tuple(4, 1, 128),
+                      std::make_tuple(4, 2, 64), std::make_tuple(7, 1, 16),
+                      std::make_tuple(6, 2, 32)));
+
+}  // namespace
+}  // namespace pscrub::raid

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+#include "stats/residual_life.h"
+
+namespace pscrub::stats {
+namespace {
+
+TEST(ResidualLife, BasicAccounting) {
+  ResidualLife r({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(r.count(), 4u);
+  EXPECT_DOUBLE_EQ(r.total_idle(), 10.0);
+  EXPECT_DOUBLE_EQ(r.mean(), 2.5);
+}
+
+TEST(ResidualLife, TailWeight) {
+  ResidualLife r({1.0, 1.0, 1.0, 7.0});
+  // The largest 25% of intervals (the single 7.0) holds 70% of idle time.
+  EXPECT_DOUBLE_EQ(r.tail_weight(0.25), 0.7);
+  EXPECT_DOUBLE_EQ(r.tail_weight(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.tail_weight(0.0), 0.0);
+}
+
+TEST(ResidualLife, MeanResidualExact) {
+  ResidualLife r({2.0, 4.0, 10.0});
+  // After 3 s: survivors {4, 10}; E[X - 3 | X > 3] = (1 + 7) / 2 = 4.
+  EXPECT_DOUBLE_EQ(r.mean_residual(3.0), 4.0);
+  // Nothing survives 10 s.
+  EXPECT_DOUBLE_EQ(r.mean_residual(10.0), 0.0);
+}
+
+TEST(ResidualLife, UsableFraction) {
+  ResidualLife r({2.0, 4.0, 10.0});
+  // Waiting 3 s: usable = (4-3) + (10-3) = 8 of 16 total.
+  EXPECT_DOUBLE_EQ(r.usable_fraction(3.0), 0.5);
+  EXPECT_DOUBLE_EQ(r.usable_fraction(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.usable_fraction(100.0), 0.0);
+}
+
+TEST(ResidualLife, Survival) {
+  ResidualLife r({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(r.survival(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(r.survival(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.survival(4.0), 0.0);
+}
+
+TEST(ResidualLife, ResidualQuantile) {
+  ResidualLife r({1.0, 10.0, 20.0, 30.0});
+  // After 5: survivors {10, 20, 30}; median residual = 15.
+  EXPECT_DOUBLE_EQ(r.residual_quantile(5.0, 0.5), 15.0);
+}
+
+TEST(ResidualLife, ExponentialIsMemoryless) {
+  // For exponential idle times the mean residual life is flat -- the
+  // paper's TPC-C case. Our traces must NOT look like this.
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 300000; ++i) xs.push_back(rng.exponential(1.0));
+  ResidualLife r(std::move(xs));
+  const double at0 = r.mean_residual(0.0);
+  const double at1 = r.mean_residual(1.0);
+  const double at2 = r.mean_residual(2.0);
+  EXPECT_NEAR(at1 / at0, 1.0, 0.05);
+  EXPECT_NEAR(at2 / at0, 1.0, 0.08);
+}
+
+TEST(ResidualLife, HeavyTailHasIncreasingMeanResidual) {
+  // Lognormal(sigma=2.5): decreasing hazard ==> mean residual life grows
+  // with age (Fig 11's shape).
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 300000; ++i) xs.push_back(rng.lognormal(0.0, 2.5));
+  ResidualLife r(std::move(xs));
+  const double early = r.mean_residual(0.01);
+  const double late = r.mean_residual(10.0);
+  EXPECT_GT(late, 3.0 * early);
+}
+
+TEST(ResidualLife, HazardDecreasesForHeavyTail) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 300000; ++i) xs.push_back(rng.lognormal(0.0, 2.0));
+  ResidualLife r(std::move(xs));
+  // Hazard *rate*: conditional exit probability per unit time.
+  const double rate_early = r.hazard(0.1, 0.1) / 0.1;
+  const double rate_late = r.hazard(10.0, 10.0) / 10.0;
+  EXPECT_GT(rate_early, 3.0 * rate_late);
+}
+
+TEST(ResidualLife, TailConcentration80In15) {
+  // The paper's headline: >= 80% of idle time in <= 15% of intervals, for
+  // heavy-tailed idle distributions.
+  Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 200000; ++i) xs.push_back(rng.lognormal(0.0, 2.5));
+  ResidualLife r(std::move(xs));
+  EXPECT_GT(r.tail_weight(0.15), 0.8);
+}
+
+TEST(ResidualLife, EmptyInput) {
+  ResidualLife r({});
+  EXPECT_DOUBLE_EQ(r.mean_residual(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.usable_fraction(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.tail_weight(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(r.survival(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace pscrub::stats

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "block/noop_scheduler.h"
+#include "core/spin_down.h"
+#include "disk/profile.h"
+
+namespace pscrub::core {
+namespace {
+
+disk::DiskProfile profile() {
+  disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  p.capacity_bytes = 1LL << 30;
+  return p;
+}
+
+struct Rig {
+  Simulator sim;
+  disk::DiskModel disk;
+  block::BlockLayer blk;
+
+  Rig()
+      : disk(sim, profile(), 1),
+        blk(sim, disk, std::make_unique<block::NoopScheduler>()) {}
+
+  SimTime read(disk::Lbn lbn) {
+    SimTime latency = -1;
+    block::BlockRequest r;
+    r.cmd.kind = disk::CommandKind::kRead;
+    r.cmd.lbn = lbn;
+    r.cmd.sectors = 128;
+    r.on_complete = [&](const block::BlockRequest&, SimTime l) {
+      latency = l;
+    };
+    blk.submit(std::move(r));
+    sim.run();
+    return latency;
+  }
+};
+
+TEST(PowerModel, StartsIdleAndAccruesIdleEnergy) {
+  Rig r;
+  EXPECT_EQ(r.disk.power_state(), disk::DiskModel::PowerState::kIdle);
+  r.sim.run_until(10 * kSecond);
+  EXPECT_NEAR(r.disk.energy_joules(), 10.0 * profile().idle_watts, 1.0);
+}
+
+TEST(PowerModel, ActiveCostsMoreThanIdle) {
+  Rig busy_rig;
+  // Keep the disk continuously busy for ~10 s.
+  for (int i = 0; i < 2000; ++i) {
+    disk::Lbn lbn = (i * 100003) % (busy_rig.disk.total_sectors() - 128);
+    block::BlockRequest req;
+    req.cmd.kind = disk::CommandKind::kRead;
+    req.cmd.lbn = lbn;
+    req.cmd.sectors = 128;
+    busy_rig.blk.submit(std::move(req));
+  }
+  busy_rig.sim.run_until(10 * kSecond);
+  Rig idle_rig;
+  idle_rig.sim.run_until(10 * kSecond);
+  EXPECT_GT(busy_rig.disk.energy_joules(),
+            idle_rig.disk.energy_joules() * 1.3);
+}
+
+TEST(PowerModel, SpinDownSavesEnergy) {
+  Rig r;
+  ASSERT_TRUE(r.disk.spin_down());
+  EXPECT_EQ(r.disk.power_state(), disk::DiskModel::PowerState::kStandby);
+  r.sim.run_until(100 * kSecond);
+  EXPECT_NEAR(r.disk.energy_joules(), 100.0 * profile().standby_watts, 2.0);
+}
+
+TEST(PowerModel, SpinDownWhileBusyRefused) {
+  Rig r;
+  block::BlockRequest req;
+  req.cmd.kind = disk::CommandKind::kRead;
+  req.cmd.lbn = 0;
+  req.cmd.sectors = 128;
+  r.blk.submit(std::move(req));
+  EXPECT_FALSE(r.disk.spin_down());
+  r.sim.run();
+  EXPECT_TRUE(r.disk.spin_down());
+  EXPECT_FALSE(r.disk.spin_down()) << "already in standby";
+}
+
+TEST(PowerModel, CommandInStandbyPaysSpinup) {
+  Rig r;
+  const SimTime normal = r.read(0);
+  r.disk.spin_down();
+  const SimTime woken = r.read(100000);
+  EXPECT_GE(woken, normal + profile().spinup_time - kMillisecond);
+  EXPECT_EQ(r.disk.spinups(), 1);
+  EXPECT_GE(r.disk.spinup_wait(), profile().spinup_time);
+  EXPECT_EQ(r.disk.power_state(), disk::DiskModel::PowerState::kIdle);
+}
+
+TEST(PowerModel, SpinupSurgeEnergyAccrued) {
+  Rig r;
+  r.disk.spin_down();
+  r.sim.run_until(10 * kSecond);
+  const double before = r.disk.energy_joules();
+  r.read(0);
+  const double after = r.disk.energy_joules();
+  // The wake-up read includes ~8 s at 24 W: >> a normal read's energy.
+  EXPECT_GT(after - before, 8.0 * profile().spinup_watts * 0.9);
+}
+
+TEST(SpinDownDaemon, SpinsDownAfterThreshold) {
+  Rig r;
+  SpinDownDaemon daemon(r.sim, r.blk, 5 * kSecond);
+  daemon.start();
+  r.sim.run_until(4 * kSecond);
+  EXPECT_EQ(r.disk.power_state(), disk::DiskModel::PowerState::kIdle);
+  r.sim.run_until(6 * kSecond);
+  EXPECT_EQ(r.disk.power_state(), disk::DiskModel::PowerState::kStandby);
+  EXPECT_EQ(daemon.stats().spin_downs, 1);
+}
+
+TEST(SpinDownDaemon, ReArmsAfterActivity) {
+  Rig r;
+  SpinDownDaemon daemon(r.sim, r.blk, 2 * kSecond);
+  daemon.start();
+  r.sim.run_until(3 * kSecond);
+  ASSERT_EQ(r.disk.power_state(), disk::DiskModel::PowerState::kStandby);
+  r.read(0);  // wakes the disk
+  EXPECT_EQ(r.disk.spinups(), 1);
+  r.sim.run_until(r.sim.now() + 3 * kSecond);
+  EXPECT_EQ(r.disk.power_state(), disk::DiskModel::PowerState::kStandby);
+  EXPECT_EQ(daemon.stats().spin_downs, 2);
+}
+
+TEST(SpinDownDaemon, StopPreventsSpinDown) {
+  Rig r;
+  SpinDownDaemon daemon(r.sim, r.blk, kSecond);
+  daemon.start();
+  daemon.stop();
+  r.sim.run_until(10 * kSecond);
+  EXPECT_EQ(r.disk.power_state(), disk::DiskModel::PowerState::kIdle);
+}
+
+TEST(SpinDownDaemon, ArrivalWithinThresholdCancelsSpinDown) {
+  Rig r;
+  SpinDownDaemon daemon(r.sim, r.blk, 5 * kSecond);
+  daemon.start();
+  r.sim.after(3 * kSecond, [&] {
+    block::BlockRequest req;
+    req.cmd.kind = disk::CommandKind::kRead;
+    req.cmd.lbn = 0;
+    req.cmd.sectors = 128;
+    r.blk.submit(std::move(req));
+  });
+  r.sim.run_until(5 * kSecond + 500 * kMillisecond);
+  // The timer fired at 5 s but the system had been busy at 3 s; it must
+  // not spin down until a fresh 5 s of idleness accumulates.
+  EXPECT_EQ(r.disk.spinups(), 0);
+  EXPECT_EQ(r.disk.power_state(), disk::DiskModel::PowerState::kIdle);
+}
+
+}  // namespace
+}  // namespace pscrub::core

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/io.h"
+#include "trace/synthetic.h"
+
+namespace pscrub::trace {
+namespace {
+
+TEST(TraceIo, RoundTrip) {
+  Trace t;
+  t.name = "rt";
+  t.records = {
+      {1000, 42, 8, false},
+      {2000, 100, 16, true},
+      {5000, 0, 128, false},
+  };
+  t.duration = 5000;
+
+  std::stringstream ss;
+  write_csv(t, ss);
+  const Trace back = read_csv(ss, "rt");
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back.records[i].arrival, t.records[i].arrival);
+    EXPECT_EQ(back.records[i].lbn, t.records[i].lbn);
+    EXPECT_EQ(back.records[i].sectors, t.records[i].sectors);
+    EXPECT_EQ(back.records[i].is_write, t.records[i].is_write);
+  }
+  EXPECT_EQ(back.duration, 5000);
+}
+
+TEST(TraceIo, HeaderWritten) {
+  Trace t;
+  std::stringstream ss;
+  write_csv(t, ss);
+  std::string first;
+  std::getline(ss, first);
+  EXPECT_EQ(first, "arrival_ns,lbn,sectors,op");
+}
+
+TEST(TraceIo, RejectsBadInteger) {
+  std::stringstream ss("arrival_ns,lbn,sectors,op\nxx,1,2,R\n");
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadOp) {
+  std::stringstream ss("arrival_ns,lbn,sectors,op\n1,1,2,Q\n");
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTooFewFields) {
+  std::stringstream ss("arrival_ns,lbn,sectors,op\n1,1,2\n");
+  EXPECT_THROW(read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, SkipsEmptyLines) {
+  std::stringstream ss("arrival_ns,lbn,sectors,op\n1,2,3,R\n\n4,5,6,W\n");
+  const Trace t = read_csv(ss);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/trace.csv"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, SyntheticRoundTripPreservesEverything) {
+  TraceSpec spec;
+  spec.name = "rt2";
+  spec.seed = 7;
+  spec.duration = kHour;
+  spec.target_requests = 5000;
+  SyntheticGenerator gen(spec);
+  const Trace t = gen.generate_trace();
+
+  std::stringstream ss;
+  write_csv(t, ss);
+  const Trace back = read_csv(ss);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); i += 97) {
+    EXPECT_EQ(back.records[i].arrival, t.records[i].arrival);
+    EXPECT_EQ(back.records[i].lbn, t.records[i].lbn);
+  }
+}
+
+}  // namespace
+}  // namespace pscrub::trace
