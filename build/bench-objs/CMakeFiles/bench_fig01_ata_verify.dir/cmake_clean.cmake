@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_ata_verify"
+  "../bench/bench_fig01_ata_verify.pdb"
+  "CMakeFiles/bench_fig01_ata_verify.dir/bench_fig01_ata_verify.cc.o"
+  "CMakeFiles/bench_fig01_ata_verify.dir/bench_fig01_ata_verify.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_ata_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

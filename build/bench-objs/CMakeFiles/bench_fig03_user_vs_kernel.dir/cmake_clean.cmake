@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_user_vs_kernel"
+  "../bench/bench_fig03_user_vs_kernel.pdb"
+  "CMakeFiles/bench_fig03_user_vs_kernel.dir/bench_fig03_user_vs_kernel.cc.o"
+  "CMakeFiles/bench_fig03_user_vs_kernel.dir/bench_fig03_user_vs_kernel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_user_vs_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_scsi_verify"
+  "../bench/bench_fig04_scsi_verify.pdb"
+  "CMakeFiles/bench_fig04_scsi_verify.dir/bench_fig04_scsi_verify.cc.o"
+  "CMakeFiles/bench_fig04_scsi_verify.dir/bench_fig04_scsi_verify.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_scsi_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

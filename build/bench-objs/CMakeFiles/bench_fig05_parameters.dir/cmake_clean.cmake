@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_parameters"
+  "../bench/bench_fig05_parameters.pdb"
+  "CMakeFiles/bench_fig05_parameters.dir/bench_fig05_parameters.cc.o"
+  "CMakeFiles/bench_fig05_parameters.dir/bench_fig05_parameters.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_trace_replay"
+  "../bench/bench_fig07_trace_replay.pdb"
+  "CMakeFiles/bench_fig07_trace_replay.dir/bench_fig07_trace_replay.cc.o"
+  "CMakeFiles/bench_fig07_trace_replay.dir/bench_fig07_trace_replay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_activity"
+  "../bench/bench_fig08_activity.pdb"
+  "CMakeFiles/bench_fig08_activity.dir/bench_fig08_activity.cc.o"
+  "CMakeFiles/bench_fig08_activity.dir/bench_fig08_activity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_anova"
+  "../bench/bench_fig09_anova.pdb"
+  "CMakeFiles/bench_fig09_anova.dir/bench_fig09_anova.cc.o"
+  "CMakeFiles/bench_fig09_anova.dir/bench_fig09_anova.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_anova.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_idle_tail"
+  "../bench/bench_fig10_idle_tail.pdb"
+  "CMakeFiles/bench_fig10_idle_tail.dir/bench_fig10_idle_tail.cc.o"
+  "CMakeFiles/bench_fig10_idle_tail.dir/bench_fig10_idle_tail.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_idle_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

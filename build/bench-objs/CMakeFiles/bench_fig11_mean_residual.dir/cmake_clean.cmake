@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_mean_residual"
+  "../bench/bench_fig11_mean_residual.pdb"
+  "CMakeFiles/bench_fig11_mean_residual.dir/bench_fig11_mean_residual.cc.o"
+  "CMakeFiles/bench_fig11_mean_residual.dir/bench_fig11_mean_residual.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mean_residual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

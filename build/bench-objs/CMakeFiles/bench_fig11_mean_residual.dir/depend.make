@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11_mean_residual.
+# This may be replaced when dependencies are built.

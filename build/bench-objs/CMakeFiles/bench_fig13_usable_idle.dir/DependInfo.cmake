@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_usable_idle.cc" "bench-objs/CMakeFiles/bench_fig13_usable_idle.dir/bench_fig13_usable_idle.cc.o" "gcc" "bench-objs/CMakeFiles/bench_fig13_usable_idle.dir/bench_fig13_usable_idle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/raid/CMakeFiles/pscrub_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pscrub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pscrub_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pscrub_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pscrub_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/pscrub_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/pscrub_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pscrub_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_policies"
+  "../bench/bench_fig14_policies.pdb"
+  "CMakeFiles/bench_fig14_policies.dir/bench_fig14_policies.cc.o"
+  "CMakeFiles/bench_fig14_policies.dir/bench_fig14_policies.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

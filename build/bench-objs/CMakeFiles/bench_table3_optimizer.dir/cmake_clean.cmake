@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_optimizer"
+  "../bench/bench_table3_optimizer.pdb"
+  "CMakeFiles/bench_table3_optimizer.dir/bench_table3_optimizer.cc.o"
+  "CMakeFiles/bench_table3_optimizer.dir/bench_table3_optimizer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

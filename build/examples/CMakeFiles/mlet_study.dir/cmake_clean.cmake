@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlet_study.dir/mlet_study.cpp.o"
+  "CMakeFiles/mlet_study.dir/mlet_study.cpp.o.d"
+  "mlet_study"
+  "mlet_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlet_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

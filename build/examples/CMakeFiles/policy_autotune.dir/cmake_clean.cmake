@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_autotune.dir/policy_autotune.cpp.o"
+  "CMakeFiles/policy_autotune.dir/policy_autotune.cpp.o.d"
+  "policy_autotune"
+  "policy_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

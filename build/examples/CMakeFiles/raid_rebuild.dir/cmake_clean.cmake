@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid_rebuild.dir/raid_rebuild.cpp.o"
+  "CMakeFiles/raid_rebuild.dir/raid_rebuild.cpp.o.d"
+  "raid_rebuild"
+  "raid_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/block_layer.cc" "src/block/CMakeFiles/pscrub_block.dir/block_layer.cc.o" "gcc" "src/block/CMakeFiles/pscrub_block.dir/block_layer.cc.o.d"
+  "/root/repo/src/block/cfq_scheduler.cc" "src/block/CMakeFiles/pscrub_block.dir/cfq_scheduler.cc.o" "gcc" "src/block/CMakeFiles/pscrub_block.dir/cfq_scheduler.cc.o.d"
+  "/root/repo/src/block/deadline_scheduler.cc" "src/block/CMakeFiles/pscrub_block.dir/deadline_scheduler.cc.o" "gcc" "src/block/CMakeFiles/pscrub_block.dir/deadline_scheduler.cc.o.d"
+  "/root/repo/src/block/elevator.cc" "src/block/CMakeFiles/pscrub_block.dir/elevator.cc.o" "gcc" "src/block/CMakeFiles/pscrub_block.dir/elevator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pscrub_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/pscrub_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

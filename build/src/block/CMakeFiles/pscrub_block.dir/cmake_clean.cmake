@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pscrub_block.dir/block_layer.cc.o"
+  "CMakeFiles/pscrub_block.dir/block_layer.cc.o.d"
+  "CMakeFiles/pscrub_block.dir/cfq_scheduler.cc.o"
+  "CMakeFiles/pscrub_block.dir/cfq_scheduler.cc.o.d"
+  "CMakeFiles/pscrub_block.dir/deadline_scheduler.cc.o"
+  "CMakeFiles/pscrub_block.dir/deadline_scheduler.cc.o.d"
+  "CMakeFiles/pscrub_block.dir/elevator.cc.o"
+  "CMakeFiles/pscrub_block.dir/elevator.cc.o.d"
+  "libpscrub_block.a"
+  "libpscrub_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pscrub_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cc" "src/core/CMakeFiles/pscrub_core.dir/adaptive.cc.o" "gcc" "src/core/CMakeFiles/pscrub_core.dir/adaptive.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/pscrub_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/pscrub_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/lse.cc" "src/core/CMakeFiles/pscrub_core.dir/lse.cc.o" "gcc" "src/core/CMakeFiles/pscrub_core.dir/lse.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/pscrub_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/pscrub_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/policy_sim.cc" "src/core/CMakeFiles/pscrub_core.dir/policy_sim.cc.o" "gcc" "src/core/CMakeFiles/pscrub_core.dir/policy_sim.cc.o.d"
+  "/root/repo/src/core/scrub_strategy.cc" "src/core/CMakeFiles/pscrub_core.dir/scrub_strategy.cc.o" "gcc" "src/core/CMakeFiles/pscrub_core.dir/scrub_strategy.cc.o.d"
+  "/root/repo/src/core/scrubber.cc" "src/core/CMakeFiles/pscrub_core.dir/scrubber.cc.o" "gcc" "src/core/CMakeFiles/pscrub_core.dir/scrubber.cc.o.d"
+  "/root/repo/src/core/spin_down.cc" "src/core/CMakeFiles/pscrub_core.dir/spin_down.cc.o" "gcc" "src/core/CMakeFiles/pscrub_core.dir/spin_down.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pscrub_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/pscrub_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/pscrub_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pscrub_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pscrub_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pscrub_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pscrub_core.dir/adaptive.cc.o"
+  "CMakeFiles/pscrub_core.dir/adaptive.cc.o.d"
+  "CMakeFiles/pscrub_core.dir/cost_model.cc.o"
+  "CMakeFiles/pscrub_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/pscrub_core.dir/lse.cc.o"
+  "CMakeFiles/pscrub_core.dir/lse.cc.o.d"
+  "CMakeFiles/pscrub_core.dir/optimizer.cc.o"
+  "CMakeFiles/pscrub_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/pscrub_core.dir/policy_sim.cc.o"
+  "CMakeFiles/pscrub_core.dir/policy_sim.cc.o.d"
+  "CMakeFiles/pscrub_core.dir/scrub_strategy.cc.o"
+  "CMakeFiles/pscrub_core.dir/scrub_strategy.cc.o.d"
+  "CMakeFiles/pscrub_core.dir/scrubber.cc.o"
+  "CMakeFiles/pscrub_core.dir/scrubber.cc.o.d"
+  "CMakeFiles/pscrub_core.dir/spin_down.cc.o"
+  "CMakeFiles/pscrub_core.dir/spin_down.cc.o.d"
+  "libpscrub_core.a"
+  "libpscrub_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pscrub_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/cache.cc" "src/disk/CMakeFiles/pscrub_disk.dir/cache.cc.o" "gcc" "src/disk/CMakeFiles/pscrub_disk.dir/cache.cc.o.d"
+  "/root/repo/src/disk/disk_model.cc" "src/disk/CMakeFiles/pscrub_disk.dir/disk_model.cc.o" "gcc" "src/disk/CMakeFiles/pscrub_disk.dir/disk_model.cc.o.d"
+  "/root/repo/src/disk/geometry.cc" "src/disk/CMakeFiles/pscrub_disk.dir/geometry.cc.o" "gcc" "src/disk/CMakeFiles/pscrub_disk.dir/geometry.cc.o.d"
+  "/root/repo/src/disk/profile.cc" "src/disk/CMakeFiles/pscrub_disk.dir/profile.cc.o" "gcc" "src/disk/CMakeFiles/pscrub_disk.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pscrub_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pscrub_disk.dir/cache.cc.o"
+  "CMakeFiles/pscrub_disk.dir/cache.cc.o.d"
+  "CMakeFiles/pscrub_disk.dir/disk_model.cc.o"
+  "CMakeFiles/pscrub_disk.dir/disk_model.cc.o.d"
+  "CMakeFiles/pscrub_disk.dir/geometry.cc.o"
+  "CMakeFiles/pscrub_disk.dir/geometry.cc.o.d"
+  "CMakeFiles/pscrub_disk.dir/profile.cc.o"
+  "CMakeFiles/pscrub_disk.dir/profile.cc.o.d"
+  "libpscrub_disk.a"
+  "libpscrub_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pscrub_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

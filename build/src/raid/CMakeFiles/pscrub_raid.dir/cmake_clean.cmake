@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pscrub_raid.dir/array.cc.o"
+  "CMakeFiles/pscrub_raid.dir/array.cc.o.d"
+  "CMakeFiles/pscrub_raid.dir/layout.cc.o"
+  "CMakeFiles/pscrub_raid.dir/layout.cc.o.d"
+  "libpscrub_raid.a"
+  "libpscrub_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pscrub_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

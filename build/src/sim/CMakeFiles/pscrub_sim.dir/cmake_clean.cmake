@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pscrub_sim.dir/event_queue.cc.o"
+  "CMakeFiles/pscrub_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/pscrub_sim.dir/rng.cc.o"
+  "CMakeFiles/pscrub_sim.dir/rng.cc.o.d"
+  "CMakeFiles/pscrub_sim.dir/simulator.cc.o"
+  "CMakeFiles/pscrub_sim.dir/simulator.cc.o.d"
+  "libpscrub_sim.a"
+  "libpscrub_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pscrub_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

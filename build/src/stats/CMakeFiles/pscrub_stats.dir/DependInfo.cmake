@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/acd_model.cc" "src/stats/CMakeFiles/pscrub_stats.dir/acd_model.cc.o" "gcc" "src/stats/CMakeFiles/pscrub_stats.dir/acd_model.cc.o.d"
+  "/root/repo/src/stats/anova.cc" "src/stats/CMakeFiles/pscrub_stats.dir/anova.cc.o" "gcc" "src/stats/CMakeFiles/pscrub_stats.dir/anova.cc.o.d"
+  "/root/repo/src/stats/ar_model.cc" "src/stats/CMakeFiles/pscrub_stats.dir/ar_model.cc.o" "gcc" "src/stats/CMakeFiles/pscrub_stats.dir/ar_model.cc.o.d"
+  "/root/repo/src/stats/autocorrelation.cc" "src/stats/CMakeFiles/pscrub_stats.dir/autocorrelation.cc.o" "gcc" "src/stats/CMakeFiles/pscrub_stats.dir/autocorrelation.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/pscrub_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/pscrub_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/ecdf.cc" "src/stats/CMakeFiles/pscrub_stats.dir/ecdf.cc.o" "gcc" "src/stats/CMakeFiles/pscrub_stats.dir/ecdf.cc.o.d"
+  "/root/repo/src/stats/residual_life.cc" "src/stats/CMakeFiles/pscrub_stats.dir/residual_life.cc.o" "gcc" "src/stats/CMakeFiles/pscrub_stats.dir/residual_life.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pscrub_stats.dir/acd_model.cc.o"
+  "CMakeFiles/pscrub_stats.dir/acd_model.cc.o.d"
+  "CMakeFiles/pscrub_stats.dir/anova.cc.o"
+  "CMakeFiles/pscrub_stats.dir/anova.cc.o.d"
+  "CMakeFiles/pscrub_stats.dir/ar_model.cc.o"
+  "CMakeFiles/pscrub_stats.dir/ar_model.cc.o.d"
+  "CMakeFiles/pscrub_stats.dir/autocorrelation.cc.o"
+  "CMakeFiles/pscrub_stats.dir/autocorrelation.cc.o.d"
+  "CMakeFiles/pscrub_stats.dir/descriptive.cc.o"
+  "CMakeFiles/pscrub_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/pscrub_stats.dir/ecdf.cc.o"
+  "CMakeFiles/pscrub_stats.dir/ecdf.cc.o.d"
+  "CMakeFiles/pscrub_stats.dir/residual_life.cc.o"
+  "CMakeFiles/pscrub_stats.dir/residual_life.cc.o.d"
+  "libpscrub_stats.a"
+  "libpscrub_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pscrub_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

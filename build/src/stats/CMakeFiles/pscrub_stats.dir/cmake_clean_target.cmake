@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpscrub_stats.a"
+)

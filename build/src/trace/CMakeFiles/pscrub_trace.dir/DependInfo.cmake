@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/catalog.cc" "src/trace/CMakeFiles/pscrub_trace.dir/catalog.cc.o" "gcc" "src/trace/CMakeFiles/pscrub_trace.dir/catalog.cc.o.d"
+  "/root/repo/src/trace/idle.cc" "src/trace/CMakeFiles/pscrub_trace.dir/idle.cc.o" "gcc" "src/trace/CMakeFiles/pscrub_trace.dir/idle.cc.o.d"
+  "/root/repo/src/trace/io.cc" "src/trace/CMakeFiles/pscrub_trace.dir/io.cc.o" "gcc" "src/trace/CMakeFiles/pscrub_trace.dir/io.cc.o.d"
+  "/root/repo/src/trace/record.cc" "src/trace/CMakeFiles/pscrub_trace.dir/record.cc.o" "gcc" "src/trace/CMakeFiles/pscrub_trace.dir/record.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/trace/CMakeFiles/pscrub_trace.dir/synthetic.cc.o" "gcc" "src/trace/CMakeFiles/pscrub_trace.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pscrub_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/pscrub_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

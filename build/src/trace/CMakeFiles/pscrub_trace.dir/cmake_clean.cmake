@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pscrub_trace.dir/catalog.cc.o"
+  "CMakeFiles/pscrub_trace.dir/catalog.cc.o.d"
+  "CMakeFiles/pscrub_trace.dir/idle.cc.o"
+  "CMakeFiles/pscrub_trace.dir/idle.cc.o.d"
+  "CMakeFiles/pscrub_trace.dir/io.cc.o"
+  "CMakeFiles/pscrub_trace.dir/io.cc.o.d"
+  "CMakeFiles/pscrub_trace.dir/record.cc.o"
+  "CMakeFiles/pscrub_trace.dir/record.cc.o.d"
+  "CMakeFiles/pscrub_trace.dir/synthetic.cc.o"
+  "CMakeFiles/pscrub_trace.dir/synthetic.cc.o.d"
+  "libpscrub_trace.a"
+  "libpscrub_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pscrub_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

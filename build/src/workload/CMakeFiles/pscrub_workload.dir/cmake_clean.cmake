@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pscrub_workload.dir/synthetic_workload.cc.o"
+  "CMakeFiles/pscrub_workload.dir/synthetic_workload.cc.o.d"
+  "CMakeFiles/pscrub_workload.dir/trace_replay.cc.o"
+  "CMakeFiles/pscrub_workload.dir/trace_replay.cc.o.d"
+  "libpscrub_workload.a"
+  "libpscrub_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pscrub_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

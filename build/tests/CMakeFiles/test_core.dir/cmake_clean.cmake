@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_adaptive.cc.o"
+  "CMakeFiles/test_core.dir/test_adaptive.cc.o.d"
+  "CMakeFiles/test_core.dir/test_lse.cc.o"
+  "CMakeFiles/test_core.dir/test_lse.cc.o.d"
+  "CMakeFiles/test_core.dir/test_optimizer.cc.o"
+  "CMakeFiles/test_core.dir/test_optimizer.cc.o.d"
+  "CMakeFiles/test_core.dir/test_policy_sim.cc.o"
+  "CMakeFiles/test_core.dir/test_policy_sim.cc.o.d"
+  "CMakeFiles/test_core.dir/test_scrub_strategy.cc.o"
+  "CMakeFiles/test_core.dir/test_scrub_strategy.cc.o.d"
+  "CMakeFiles/test_core.dir/test_scrubber.cc.o"
+  "CMakeFiles/test_core.dir/test_scrubber.cc.o.d"
+  "CMakeFiles/test_core.dir/test_spin_down.cc.o"
+  "CMakeFiles/test_core.dir/test_spin_down.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk.dir/test_cache.cc.o"
+  "CMakeFiles/test_disk.dir/test_cache.cc.o.d"
+  "CMakeFiles/test_disk.dir/test_disk_model.cc.o"
+  "CMakeFiles/test_disk.dir/test_disk_model.cc.o.d"
+  "CMakeFiles/test_disk.dir/test_geometry.cc.o"
+  "CMakeFiles/test_disk.dir/test_geometry.cc.o.d"
+  "CMakeFiles/test_disk.dir/test_lse_injection.cc.o"
+  "CMakeFiles/test_disk.dir/test_lse_injection.cc.o.d"
+  "CMakeFiles/test_disk.dir/test_profile_properties.cc.o"
+  "CMakeFiles/test_disk.dir/test_profile_properties.cc.o.d"
+  "test_disk"
+  "test_disk.pdb"
+  "test_disk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

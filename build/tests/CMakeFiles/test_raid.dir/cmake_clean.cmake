@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raid.dir/test_raid_array.cc.o"
+  "CMakeFiles/test_raid.dir/test_raid_array.cc.o.d"
+  "CMakeFiles/test_raid.dir/test_raid_layout.cc.o"
+  "CMakeFiles/test_raid.dir/test_raid_layout.cc.o.d"
+  "test_raid"
+  "test_raid.pdb"
+  "test_raid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

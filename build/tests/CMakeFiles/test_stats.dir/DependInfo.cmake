@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_acd_model.cc" "tests/CMakeFiles/test_stats.dir/test_acd_model.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_acd_model.cc.o.d"
+  "/root/repo/tests/test_anova.cc" "tests/CMakeFiles/test_stats.dir/test_anova.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_anova.cc.o.d"
+  "/root/repo/tests/test_ar_model.cc" "tests/CMakeFiles/test_stats.dir/test_ar_model.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_ar_model.cc.o.d"
+  "/root/repo/tests/test_autocorrelation.cc" "tests/CMakeFiles/test_stats.dir/test_autocorrelation.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_autocorrelation.cc.o.d"
+  "/root/repo/tests/test_descriptive.cc" "tests/CMakeFiles/test_stats.dir/test_descriptive.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_descriptive.cc.o.d"
+  "/root/repo/tests/test_ecdf.cc" "tests/CMakeFiles/test_stats.dir/test_ecdf.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_ecdf.cc.o.d"
+  "/root/repo/tests/test_residual_life.cc" "tests/CMakeFiles/test_stats.dir/test_residual_life.cc.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_residual_life.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/raid/CMakeFiles/pscrub_raid.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pscrub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pscrub_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pscrub_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pscrub_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/pscrub_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/pscrub_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pscrub_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/test_acd_model.cc.o"
+  "CMakeFiles/test_stats.dir/test_acd_model.cc.o.d"
+  "CMakeFiles/test_stats.dir/test_anova.cc.o"
+  "CMakeFiles/test_stats.dir/test_anova.cc.o.d"
+  "CMakeFiles/test_stats.dir/test_ar_model.cc.o"
+  "CMakeFiles/test_stats.dir/test_ar_model.cc.o.d"
+  "CMakeFiles/test_stats.dir/test_autocorrelation.cc.o"
+  "CMakeFiles/test_stats.dir/test_autocorrelation.cc.o.d"
+  "CMakeFiles/test_stats.dir/test_descriptive.cc.o"
+  "CMakeFiles/test_stats.dir/test_descriptive.cc.o.d"
+  "CMakeFiles/test_stats.dir/test_ecdf.cc.o"
+  "CMakeFiles/test_stats.dir/test_ecdf.cc.o.d"
+  "CMakeFiles/test_stats.dir/test_residual_life.cc.o"
+  "CMakeFiles/test_stats.dir/test_residual_life.cc.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
