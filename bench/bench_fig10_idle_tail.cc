@@ -43,4 +43,7 @@ void run() {
 }  // namespace
 }  // namespace pscrub::bench
 
-int main() { pscrub::bench::run(); }
+int main() {
+  pscrub::bench::ObsSession obs_session;
+  pscrub::bench::run();
+}

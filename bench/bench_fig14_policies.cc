@@ -25,10 +25,17 @@ core::PolicySimConfig sim_config(const std::vector<SimTime>& services) {
   return c;
 }
 
+const char* g_current_disk = "";
+
 void print_point(const char* policy, const std::string& param,
                  const core::PolicySimResult& r) {
   std::printf("%-18s %12s %14.4f %14.3f\n", policy, param.c_str(),
               r.collision_rate, r.idle_utilization);
+  // Mirror each point into the metrics registry so PSCRUB_METRICS dumps
+  // the whole figure as machine-readable JSON.
+  r.export_to(obs::Registry::global(), std::string("fig14.") +
+                                           g_current_disk + "." + policy +
+                                           "." + param);
 }
 
 std::string ms_label(SimTime t) {
@@ -39,6 +46,7 @@ std::string ms_label(SimTime t) {
 }
 
 void run_disk(const char* disk_name) {
+  g_current_disk = disk_name;
   header(std::string("Figure 14: policy comparison on ") + disk_name);
   const trace::Trace t = scaled_trace(disk_name, 2'500'000);
   std::printf("%zu requests replayed (thinned)\n\n", t.size());
@@ -122,4 +130,7 @@ void run() {
 }  // namespace
 }  // namespace pscrub::bench
 
-int main() { pscrub::bench::run(); }
+int main() {
+  pscrub::bench::ObsSession obs_session;
+  pscrub::bench::run();
+}

@@ -17,12 +17,29 @@
 namespace pscrub::bench {
 
 inline double bench_scale() {
-  if (const char* env = std::getenv("PSCRUB_BENCH_SCALE")) {
-    const double s = std::atof(env);
-    if (s > 0.0 && s <= 1.0) return s;
+  const char* env = std::getenv("PSCRUB_BENCH_SCALE");
+  if (env == nullptr || *env == '\0') {
+    return -1.0;  // default: per-bench record caps
   }
-  return -1.0;  // default: per-bench record caps
+  char* end = nullptr;
+  const double s = std::strtod(env, &end);
+  // Reject trailing garbage ("0.5x"), non-numeric input (strtod returns 0
+  // with end == env, which atof silently mapped to "use default"), and
+  // out-of-range scales instead of silently ignoring them.
+  if (end == env || *end != '\0' || !(s > 0.0) || s > 1.0) {
+    std::fprintf(stderr,
+                 "warning: PSCRUB_BENCH_SCALE='%s' is not a scale in "
+                 "(0, 1]; using default record caps\n",
+                 env);
+    return -1.0;
+  }
+  return s;
 }
+
+/// Honors PSCRUB_TRACE / PSCRUB_METRICS for a bench run: declare one at
+/// the top of main(). The trace streams while the bench runs; the global
+/// metrics registry is dumped when the session object goes out of scope.
+using ObsSession = obs::EnvSession;
 
 /// Generates a catalog trace thinned to at most `max_records` (unless
 /// PSCRUB_BENCH_SCALE overrides the policy).

@@ -14,6 +14,7 @@
 using namespace pscrub;
 
 int main(int argc, char** argv) {
+  obs::EnvSession obs_session;
   const double pass_hours = argc > 1 ? std::atof(argv[1]) : 24.0;
   std::vector<int> region_counts;
   for (int i = 2; i < argc; ++i) region_counts.push_back(std::atoi(argv[i]));

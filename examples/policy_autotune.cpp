@@ -14,6 +14,7 @@
 using namespace pscrub;
 
 int main(int argc, char** argv) {
+  obs::EnvSession obs_session;
   const std::string name = argc > 1 ? argv[1] : "HPc6t8d0";
   const double goal_ms = argc > 2 ? std::atof(argv[2]) : 1.0;
   const double max_ms = argc > 3 ? std::atof(argv[3]) : 50.4;

@@ -5,6 +5,11 @@
 // recommended scrubber (Waiting policy, fixed request size) next to it for
 // one simulated minute.
 //
+// Observability: set PSCRUB_TRACE=trace.json to capture a Perfetto-
+// loadable sim-time trace of the run (disk phases, block queueing,
+// scrubber lifecycle), and/or PSCRUB_METRICS=metrics.json to dump all
+// collected metrics as JSON.
+//
 //   ./quickstart [wait_threshold_ms] [request_kb]
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +20,7 @@
 using namespace pscrub;
 
 int main(int argc, char** argv) {
+  obs::EnvSession obs_session;
   const SimTime wait_threshold =
       (argc > 1 ? std::atoll(argv[1]) : 50) * kMillisecond;
   const std::int64_t request_bytes =
@@ -67,5 +73,15 @@ int main(int argc, char** argv) {
       std::max(scrubber.stats().throughput_mb_s(kRun), 1e-9) / 86400.0;
   std::printf("  at this rate, one full scrub pass takes %.1f days\n",
               full_scan_days);
+
+  // Publish everything the run collected into the global registry (dumped
+  // as JSON when PSCRUB_METRICS is set).
+  obs::Registry& reg = obs::Registry::global();
+  fg.metrics().export_to(reg, "workload");
+  scrubber.stats().export_to(reg, "scrubber");
+  blk.stats().export_to(reg, "block");
+  drive.counters().export_to(reg, "disk");
+  reg.gauge("workload.mb_s").set(fg.metrics().throughput_mb_s(kRun));
+  reg.gauge("scrubber.mb_s").set(scrubber.stats().throughput_mb_s(kRun));
   return 0;
 }

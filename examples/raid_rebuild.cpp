@@ -14,6 +14,7 @@
 using namespace pscrub;
 
 int main(int argc, char** argv) {
+  obs::EnvSession obs_session;
   const bool scrub = !(argc > 1 && std::strcmp(argv[1], "--no-scrub") == 0);
 
   Simulator sim;
@@ -87,5 +88,9 @@ int main(int argc, char** argv) {
   } else {
     std::printf("\nre-run without --no-scrub to watch scrubbing save them.\n");
   }
+
+  obs::Registry& reg = obs::Registry::global();
+  array.stats().export_to(reg, "raid");
+  reg.gauge("raid.rebuild_duration_s").set(to_seconds(result.duration));
   return result.sectors_lost == 0 ? 0 : 2;
 }

@@ -15,6 +15,7 @@
 using namespace pscrub;
 
 int main(int argc, char** argv) {
+  obs::EnvSession obs_session;
   const std::string name = argc > 1 ? argv[1] : "HPc6t8d0";
   auto spec = trace::spec_by_name(name);
   if (!spec) {

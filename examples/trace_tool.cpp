@@ -91,6 +91,7 @@ int cmd_summarize(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::EnvSession obs_session;
   if (argc >= 2 && std::strcmp(argv[1], "list") == 0) return cmd_list();
   if (argc >= 4 && std::strcmp(argv[1], "export") == 0) {
     const double scale = argc >= 5 ? std::atof(argv[4]) : 0.01;

@@ -3,7 +3,38 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/registry.h"
+#include "obs/trace_event.h"
+
 namespace pscrub::block {
+
+namespace {
+
+obs::Track queue_track(IoPriority priority) {
+  switch (priority) {
+    case IoPriority::kRealtime: return obs::Track::kQueueRealtime;
+    case IoPriority::kBestEffort: return obs::Track::kQueueBestEffort;
+    case IoPriority::kIdle: return obs::Track::kQueueIdle;
+  }
+  return obs::Track::kQueueBestEffort;
+}
+
+}  // namespace
+
+void BlockLayerStats::export_to(obs::Registry& registry,
+                                const std::string& prefix) const {
+  registry.counter(prefix + ".submitted") += submitted;
+  registry.counter(prefix + ".completed") += completed;
+  registry.counter(prefix + ".foreground_completed") += foreground_completed;
+  registry.counter(prefix + ".background_completed") += background_completed;
+  registry.counter(prefix + ".foreground_bytes") += foreground_bytes;
+  registry.counter(prefix + ".background_bytes") += background_bytes;
+  registry.counter(prefix + ".collisions") += collisions;
+  registry.gauge(prefix + ".foreground_latency_sum_ms")
+      .set(to_milliseconds(foreground_latency_sum));
+  registry.gauge(prefix + ".collision_delay_sum_ms")
+      .set(to_milliseconds(collision_delay_sum));
+}
 
 BlockLayer::BlockLayer(Simulator& sim, disk::DiskModel& disk,
                        std::unique_ptr<IoScheduler> scheduler)
@@ -33,6 +64,12 @@ void BlockLayer::submit(BlockRequest request) {
   if (!request.background && in_flight_ > 0 && in_flight_background_) {
     ++stats_.collisions;
     stats_.collision_delay_sum += in_flight_eta_ - sim_.now();
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      tracer.instant(
+          queue_track(request.priority), "block", "collision", sim_.now(),
+          {{"delay_ms", to_milliseconds(in_flight_eta_ - sim_.now())}});
+    }
   }
   if (on_request_ && !request.background) on_request_(request);
 
@@ -72,9 +109,28 @@ void BlockLayer::try_dispatch() {
   // The disk is free (in_flight_ was 0), so service starts immediately and
   // the model can tell us the completion time right after submission.
   auto request = std::make_shared<BlockRequest>(std::move(*next));
+  request->dispatch_time = sim_.now();
   disk_.submit(request->cmd,
                [this, request](const disk::DiskCommand&, SimTime) {
                  const SimTime latency = sim_.now() - request->submit_time;
+                 obs::Tracer& tracer = obs::Tracer::global();
+                 if (tracer.enabled()) {
+                   const obs::Track track = queue_track(request->priority);
+                   if (request->dispatch_time > request->submit_time) {
+                     tracer.span(track, "block", "queued",
+                                 request->submit_time, request->dispatch_time,
+                                 {{"id", static_cast<std::int64_t>(
+                                       request->id)}});
+                   }
+                   tracer.span(
+                       track, "block",
+                       request->background ? "service (background)"
+                                           : "service",
+                       request->dispatch_time, sim_.now(),
+                       {{"id", static_cast<std::int64_t>(request->id)},
+                        {"bytes", request->cmd.bytes()},
+                        {"prio", to_string(request->priority)}});
+                 }
                  --in_flight_;
                  last_completion_ = sim_.now();
                  if (request->priority != IoPriority::kIdle) {

@@ -5,10 +5,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "block/io_scheduler.h"
 #include "disk/disk_model.h"
 #include "sim/simulator.h"
+
+namespace pscrub::obs {
+class Registry;
+}  // namespace pscrub::obs
 
 namespace pscrub::block {
 
@@ -26,6 +31,10 @@ struct BlockLayerStats {
   /// Total foreground delay attributable to in-service background requests
   /// at arrival time (first-order slowdown).
   SimTime collision_delay_sum = 0;
+
+  /// Publishes every field into `registry` under `prefix` (e.g.
+  /// "block.foreground_completed").
+  void export_to(obs::Registry& registry, const std::string& prefix) const;
 };
 
 class BlockLayer {

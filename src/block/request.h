@@ -42,6 +42,8 @@ struct BlockRequest {
 
   // Filled in by the block layer.
   SimTime submit_time = 0;
+  /// When the scheduler handed the request to the disk (== queue exit).
+  SimTime dispatch_time = 0;
   std::uint64_t id = 0;
 };
 

@@ -3,7 +3,27 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/registry.h"
+#include "obs/trace_event.h"
+
 namespace pscrub::core {
+
+void PolicySimResult::export_to(obs::Registry& registry,
+                                const std::string& prefix) const {
+  registry.counter(prefix + ".foreground_requests") += foreground_requests;
+  registry.counter(prefix + ".collisions") += collisions;
+  registry.counter(prefix + ".scrub_requests") += scrub_requests;
+  registry.counter(prefix + ".scrubbed_bytes") += scrubbed_bytes;
+  registry.gauge(prefix + ".collision_rate").set(collision_rate);
+  registry.gauge(prefix + ".idle_utilization").set(idle_utilization);
+  registry.gauge(prefix + ".total_idle_ms").set(to_milliseconds(total_idle));
+  registry.gauge(prefix + ".idle_utilized_ms")
+      .set(to_milliseconds(idle_utilized));
+  registry.gauge(prefix + ".scrub_mb_s").set(scrub_mb_s);
+  registry.gauge(prefix + ".mean_slowdown_ms").set(mean_slowdown_ms);
+  registry.gauge(prefix + ".slowdown_max_ms")
+      .set(to_milliseconds(slowdown_max));
+}
 
 namespace {
 
@@ -32,6 +52,10 @@ PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
   assert(config.services == nullptr ||
          config.services->size() == trace.records.size());
 
+  // Hoisted so the (very hot) per-record loop branches on a local bool.
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool traced = tracer.enabled();
+
   for (std::size_t rec_index = 0; rec_index < trace.records.size();
        ++rec_index) {
     const trace::TraceRecord& rec = trace.records[rec_index];
@@ -54,6 +78,13 @@ PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
       std::optional<SimTime> wait = policy.clairvoyant()
                                         ? policy.decide_clairvoyant(idle)
                                         : policy.decide();
+      if (traced) {
+        tracer.instant(obs::Track::kPolicy, "policy",
+                       wait ? "decide: scrub" : "decide: skip", busy,
+                       {{"policy", policy.name()},
+                        {"idle_ms", to_milliseconds(idle)},
+                        {"wait_ms", wait ? to_milliseconds(*wait) : -1.0}});
+      }
       if (wait && *wait < idle) {
         if (policy.lossless()) {
           // Hypothetical accounting: the interval counts as fully used and
@@ -119,6 +150,18 @@ PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
             }
             sizer.advance();
             t = end;
+          }
+          if (traced) {
+            const SimTime burst_end = collided_here ? busy : t;
+            if (burst_end > fire_start) {
+              tracer.span(obs::Track::kPolicy, "policy", "scrub-burst",
+                          fire_start, burst_end,
+                          {{"policy", policy.name()}});
+            }
+            if (collided_here) {
+              tracer.instant(obs::Track::kPolicy, "policy",
+                             "collision (scrub overrun)", arr);
+            }
           }
           if (!collided_here) busy = arr;
         }

@@ -18,12 +18,17 @@
 #pragma once
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/idle_policy.h"
 #include "core/scrub_sizer.h"
 #include "trace/idle.h"
 #include "trace/record.h"
+
+namespace pscrub::obs {
+class Registry;
+}  // namespace pscrub::obs
 
 namespace pscrub::core {
 
@@ -67,6 +72,10 @@ struct PolicySimResult {
 
   std::vector<double> response_seconds;           // with scrubber
   std::vector<double> baseline_response_seconds;  // without scrubber
+
+  /// Publishes the summary fields into `registry` under `prefix` (e.g.
+  /// "policy.collision_rate").
+  void export_to(obs::Registry& registry, const std::string& prefix) const;
 };
 
 PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace_event.h"
+
 namespace pscrub::core {
 
 Scrubber::Scrubber(Simulator& sim, block::BlockLayer& blk,
@@ -30,9 +32,13 @@ void Scrubber::issue() {
   req.soft_barrier = config_.path == IssuePath::kUser;
   req.background = true;
   req.on_complete = [this](const block::BlockRequest& r, SimTime latency) {
-    ++stats_.requests;
-    stats_.bytes += r.cmd.bytes();
-    stats_.latency_sum += latency;
+    stats_.record(r.cmd.bytes(), latency);
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      tracer.span(obs::Track::kScrubber, "scrub", "verify", r.submit_time,
+                  sim_.now(),
+                  {{"lbn", r.cmd.lbn}, {"sectors", r.cmd.sectors}});
+    }
     if (!running_) return;
     if (config_.inter_request_delay > 0) {
       sim_.after(config_.inter_request_delay, [this] { issue(); });
@@ -72,12 +78,25 @@ void WaitingScrubber::stop() {
 void WaitingScrubber::on_idle() {
   if (!running_ || armed_) return;
   armed_ = true;
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.instant(obs::Track::kScrubber, "scrub", "wait-start", sim_.now(),
+                   {{"threshold_ms", to_milliseconds(wait_threshold_)}});
+  }
   arm_event_ = sim_.after(wait_threshold_, [this] { check_fire(); });
 }
 
 void WaitingScrubber::check_fire() {
   armed_ = false;
-  if (!running_ || !blk_.idle()) return;  // re-armed on the next idle edge
+  if (!running_) return;
+  if (!blk_.idle()) {  // re-armed on the next idle edge
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      tracer.instant(obs::Track::kScrubber, "scrub", "wait-abort (busy)",
+                     sim_.now());
+    }
+    return;
+  }
   // Activity may have come and gone while the timer ran: fire only once a
   // full threshold of *continuous* idleness has accumulated.
   const SimTime idle_for = blk_.disk_idle_for();
@@ -99,16 +118,24 @@ void WaitingScrubber::fire() {
   req.priority = block::IoPriority::kBestEffort;
   req.background = true;
   req.on_complete = [this](const block::BlockRequest& r, SimTime latency) {
-    ++stats_.requests;
-    stats_.bytes += r.cmd.bytes();
-    stats_.latency_sum += latency;
+    stats_.record(r.cmd.bytes(), latency);
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      tracer.span(obs::Track::kScrubber, "scrub", "verify", r.submit_time,
+                  sim_.now(),
+                  {{"lbn", r.cmd.lbn}, {"sectors", r.cmd.sectors}});
+    }
     if (!running_) return;
     // Decreasing hazard rates: keep firing until foreground work appears;
     // no separate stopping criterion (Sec V-A).
     if (blk_.queue_depth() == 0 && !blk_.disk_busy()) {
       fire();
+    } else if (tracer.enabled()) {
+      // Foreground work arrived while we were verifying: stand down; the
+      // idle observer re-arms us later.
+      tracer.instant(obs::Track::kScrubber, "scrub",
+                     "stand-down (foreground)", sim_.now());
     }
-    // Otherwise stand down; the idle observer re-arms us later.
   };
   blk_.submit(std::move(req));
 }

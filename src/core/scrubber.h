@@ -15,6 +15,7 @@
 
 #include "block/block_layer.h"
 #include "core/scrub_strategy.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace pscrub::core {
@@ -33,21 +34,9 @@ struct ScrubberConfig {
   disk::CommandKind verify_kind = disk::CommandKind::kVerifyScsi;
 };
 
-struct ScrubberStats {
-  std::int64_t requests = 0;
-  std::int64_t bytes = 0;
-  SimTime latency_sum = 0;
-
-  double throughput_mb_s(SimTime window) const {
-    if (window <= 0) return 0.0;
-    return static_cast<double>(bytes) / 1e6 / to_seconds(window);
-  }
-  double mean_latency_ms() const {
-    return requests == 0
-               ? 0.0
-               : to_milliseconds(latency_sum) / static_cast<double>(requests);
-  }
-};
+/// Scrubber-side request accounting: the same shared obs::IoStats bundle
+/// the foreground workloads use (requests, bytes, latency histogram).
+using ScrubberStats = obs::IoStats;
 
 class Scrubber {
  public:

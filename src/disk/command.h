@@ -33,6 +33,16 @@ constexpr bool is_verify(CommandKind k) {
   return k == CommandKind::kVerifyScsi || k == CommandKind::kVerifyAta;
 }
 
+constexpr const char* to_string(CommandKind k) {
+  switch (k) {
+    case CommandKind::kRead: return "read";
+    case CommandKind::kWrite: return "write";
+    case CommandKind::kVerifyScsi: return "verify (scsi)";
+    case CommandKind::kVerifyAta: return "verify (ata)";
+  }
+  return "?";
+}
+
 struct DiskCommand {
   CommandKind kind = CommandKind::kRead;
   Lbn lbn = 0;

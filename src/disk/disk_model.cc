@@ -5,7 +5,25 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/registry.h"
+#include "obs/trace_event.h"
+
 namespace pscrub::disk {
+
+void DiskCounters::export_to(obs::Registry& registry,
+                             const std::string& prefix) const {
+  registry.counter(prefix + ".reads") += reads;
+  registry.counter(prefix + ".writes") += writes;
+  registry.counter(prefix + ".verifies") += verifies;
+  registry.counter(prefix + ".read_bytes") += read_bytes;
+  registry.counter(prefix + ".write_bytes") += write_bytes;
+  registry.counter(prefix + ".verified_bytes") += verified_bytes;
+  registry.counter(prefix + ".cache_hits") += cache_hits;
+  registry.counter(prefix + ".media_accesses") += media_accesses;
+  registry.counter(prefix + ".lse_detected") += lse_detected;
+  registry.counter(prefix + ".lse_repaired") += lse_repaired;
+  registry.gauge(prefix + ".busy_time_ms").set(to_milliseconds(busy_time));
+}
 
 DiskModel::DiskModel(Simulator& sim, DiskProfile profile, std::uint64_t seed)
     : sim_(sim),
@@ -50,6 +68,42 @@ void DiskModel::start(Pending p) {
   const SimTime duration = spinup_extra + service(p.cmd);
   busy_until_ = sim_.now() + duration;
   counters_.busy_time += duration;
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    const SimTime t0 = sim_.now();
+    if (p.submitted < t0) {
+      // Time spent in the drive's internal FIFO behind earlier commands.
+      tracer.span(obs::Track::kDisk, "disk", "drive-queue", p.submitted, t0);
+    }
+    tracer.span(obs::Track::kDisk, "disk", to_string(p.cmd.kind), t0,
+                busy_until_,
+                {{"lbn", p.cmd.lbn},
+                 {"sectors", p.cmd.sectors},
+                 {"cache_hit", phases_.cache_hit ? 1 : 0}});
+    if (spinup_extra > 0) {
+      tracer.span(obs::Track::kDisk, "disk", "spin-up", t0,
+                  t0 + spinup_extra);
+    }
+    // Phase slices nest under the command span, laid out in service order
+    // after the command overhead.
+    SimTime cursor = t0 + spinup_extra + profile_.command_overhead;
+    if (phases_.seek > 0) {
+      tracer.span(obs::Track::kDisk, "disk", "seek", cursor,
+                  cursor + phases_.seek);
+      cursor += phases_.seek;
+    }
+    if (phases_.rotation > 0) {
+      tracer.span(obs::Track::kDisk, "disk", "rotate", cursor,
+                  cursor + phases_.rotation);
+      cursor += phases_.rotation;
+    }
+    if (phases_.transfer > 0) {
+      tracer.span(obs::Track::kDisk, "disk",
+                  phases_.cache_hit ? "cache-hit" : "transfer", cursor,
+                  cursor + phases_.transfer);
+    }
+  }
   std::vector<Lbn> hits = std::move(media_lse_hits_);
   media_lse_hits_.clear();
 
@@ -80,6 +134,7 @@ void DiskModel::start(Pending p) {
 SimTime DiskModel::service(const DiskCommand& cmd) {
   const SimTime p = profile_.rotation_period();
   SimTime t = profile_.command_overhead;
+  phases_ = {};
 
   switch (cmd.kind) {
     case CommandKind::kVerifyAta:
@@ -88,10 +143,12 @@ SimTime DiskModel::service(const DiskCommand& cmd) {
         // media access. Mechanical state does not change.
         ++counters_.verifies;
         counters_.verified_bytes += cmd.bytes();
-        return t + profile_.ata_verify_cache_base +
-               static_cast<SimTime>(profile_.ata_verify_cache_ns_per_byte *
-                                    cmd.bytes()) +
-               profile_.completion_overhead;
+        phases_.cache_hit = true;
+        phases_.transfer =
+            profile_.ata_verify_cache_base +
+            static_cast<SimTime>(profile_.ata_verify_cache_ns_per_byte *
+                                 cmd.bytes());
+        return t + phases_.transfer + profile_.completion_overhead;
       }
       break;  // cache off: behaves like a media-bound verify below
     case CommandKind::kRead:
@@ -99,9 +156,10 @@ SimTime DiskModel::service(const DiskCommand& cmd) {
         ++counters_.reads;
         ++counters_.cache_hits;
         counters_.read_bytes += cmd.bytes();
-        return t + profile_.cache_hit_overhead +
-               profile_.bus_transfer(cmd.bytes()) +
-               profile_.completion_overhead;
+        phases_.cache_hit = true;
+        phases_.transfer = profile_.cache_hit_overhead +
+                           profile_.bus_transfer(cmd.bytes());
+        return t + phases_.transfer + profile_.completion_overhead;
       }
       break;
     default:
@@ -136,7 +194,8 @@ SimTime DiskModel::service(const DiskCommand& cmd) {
 
   // Seek.
   const std::int64_t dist = std::llabs(pos.cylinder - head_cylinder_);
-  t += profile_.seek_time(dist, geometry_.cylinders());
+  phases_.seek = profile_.seek_time(dist, geometry_.cylinders());
+  t += phases_.seek;
 
   // Rotational latency: wait until the start sector's angle passes under
   // the head. Some firmware re-acquires the track at an arbitrary phase on
@@ -149,13 +208,16 @@ SimTime DiskModel::service(const DiskCommand& cmd) {
     gap = pos.angle - phase_at(at_track);
     if (gap < 0) gap += 1.0;
   }
-  t += static_cast<SimTime>(gap * static_cast<double>(p));
+  phases_.rotation = static_cast<SimTime>(gap * static_cast<double>(p));
+  t += phases_.rotation;
 
   // Media transfer at this zone's density, plus track switches.
   const double revolutions =
       static_cast<double>(cmd.sectors) / static_cast<double>(pos.spt);
-  t += static_cast<SimTime>(revolutions * static_cast<double>(p));
-  t += static_cast<std::int64_t>(revolutions) * profile_.track_switch;
+  phases_.transfer = static_cast<SimTime>(revolutions * static_cast<double>(p)) +
+                     static_cast<std::int64_t>(revolutions) *
+                         profile_.track_switch;
+  t += phases_.transfer;
 
   // Head ends past the last sector of the request.
   const Lbn end_lbn = cmd.lbn + cmd.sectors - 1;
@@ -165,6 +227,7 @@ SimTime DiskModel::service(const DiskCommand& cmd) {
     case CommandKind::kRead: {
       ++counters_.reads;
       counters_.read_bytes += cmd.bytes();
+      phases_.transfer += profile_.bus_transfer(cmd.bytes());
       t += profile_.bus_transfer(cmd.bytes());
       if (profile_.cache_enabled) {
         std::int64_t span = cmd.sectors;
@@ -180,6 +243,7 @@ SimTime DiskModel::service(const DiskCommand& cmd) {
     case CommandKind::kWrite:
       ++counters_.writes;
       counters_.write_bytes += cmd.bytes();
+      phases_.transfer += profile_.bus_transfer(cmd.bytes());
       t += profile_.bus_transfer(cmd.bytes());
       break;
     case CommandKind::kVerifyScsi:

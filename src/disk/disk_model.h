@@ -16,6 +16,7 @@
 #include <deque>
 #include <functional>
 #include <set>
+#include <string>
 
 #include "disk/cache.h"
 #include "disk/command.h"
@@ -23,6 +24,10 @@
 #include "disk/profile.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
+
+namespace pscrub::obs {
+class Registry;
+}  // namespace pscrub::obs
 
 namespace pscrub::disk {
 
@@ -42,6 +47,22 @@ struct DiskCounters {
   std::int64_t lse_detected = 0;  // latent errors hit by media accesses
   std::int64_t lse_repaired = 0;  // cleared by rewrites
   SimTime busy_time = 0;
+
+  /// Publishes every counter into `registry` under `prefix` (e.g.
+  /// "disk.reads").
+  void export_to(obs::Registry& registry, const std::string& prefix) const;
+};
+
+/// Where one command's service time went (filled by every service
+/// computation; the tracer turns it into seek/rotate/transfer phase
+/// slices under the command's span).
+struct ServicePhases {
+  SimTime seek = 0;
+  SimTime rotation = 0;
+  /// Media transfer incl. track switches (plus bus transfer for
+  /// READ/WRITE).
+  SimTime transfer = 0;
+  bool cache_hit = false;
 };
 
 class DiskModel {
@@ -143,6 +164,8 @@ class DiskModel {
   Geometry geometry_;
   SegmentCache cache_;
   Rng rng_;
+  /// Phase breakdown of the most recent service() computation.
+  ServicePhases phases_;
 
   bool busy_ = false;
   SimTime busy_until_ = 0;

@@ -1,0 +1,36 @@
+#include "obs/env.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/registry.h"
+#include "obs/trace_event.h"
+
+namespace pscrub::obs {
+
+EnvSession::EnvSession() {
+  if (const char* path = std::getenv("PSCRUB_TRACE"); path && *path) {
+    if (Tracer::global().open(path)) {
+      tracing_ = true;
+    } else {
+      std::fprintf(stderr, "PSCRUB_TRACE: cannot open %s for writing\n",
+                   path);
+    }
+  }
+  if (const char* path = std::getenv("PSCRUB_METRICS"); path && *path) {
+    metrics_path_ = path;
+  }
+}
+
+void EnvSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (tracing_) Tracer::global().close();
+  if (!metrics_path_.empty() &&
+      !Registry::global().write_json_file(metrics_path_)) {
+    std::fprintf(stderr, "PSCRUB_METRICS: cannot write %s\n",
+                 metrics_path_.c_str());
+  }
+}
+
+}  // namespace pscrub::obs

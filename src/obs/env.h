@@ -1,0 +1,35 @@
+// Environment-variable hookup for the observability layer.
+//
+//   PSCRUB_TRACE=out.json    stream a Chrome trace-event file for the run
+//   PSCRUB_METRICS=out.json  dump the global metrics registry at exit
+//
+// An EnvSession at the top of main() makes any bench or example honor
+// both variables: the constructor opens the tracer, the destructor (or an
+// explicit finish()) closes it and writes the metrics snapshot. With
+// neither variable set the session is free.
+#pragma once
+
+#include <string>
+
+namespace pscrub::obs {
+
+class EnvSession {
+ public:
+  EnvSession();
+  ~EnvSession() { finish(); }
+  EnvSession(const EnvSession&) = delete;
+  EnvSession& operator=(const EnvSession&) = delete;
+
+  /// Closes the tracer and writes Registry::global() to the
+  /// PSCRUB_METRICS path (if set). Safe to call more than once.
+  void finish();
+
+  bool tracing() const { return tracing_; }
+
+ private:
+  std::string metrics_path_;
+  bool tracing_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace pscrub::obs

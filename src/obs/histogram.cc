@@ -1,0 +1,46 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+
+namespace pscrub::obs {
+
+SimTime LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max_;
+
+  // Rank of the requested percentile, 1-based (nearest-rank definition).
+  const auto rank = static_cast<std::int64_t>(
+      p / 100.0 * static_cast<double>(count_) + 0.5);
+  const std::int64_t target = std::max<std::int64_t>(rank, 1);
+
+  std::int64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    const std::int64_t c = counts_[static_cast<std::size_t>(i)];
+    if (c == 0) continue;
+    seen += c;
+    if (seen >= target) {
+      // Midpoint of the bucket, clamped to the exact observed extrema so
+      // quantization never reports values outside [min, max].
+      const SimTime mid = bucket_lower(i) + (bucket_upper(i) - bucket_lower(i)) / 2;
+      return std::clamp(mid, min(), max_);
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (counts_.empty()) counts_.assign(kBucketCount, 0);
+  for (int i = 0; i < kBucketCount; ++i) {
+    counts_[static_cast<std::size_t>(i)] +=
+        other.counts_[static_cast<std::size_t>(i)];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+}  // namespace pscrub::obs

@@ -1,0 +1,113 @@
+// Log-bucketed latency histogram (HdrHistogram-style).
+//
+// Values are SimTime durations (nanoseconds). Each power-of-two range is
+// split into 32 linear sub-buckets, so any recorded value lands in a bucket
+// whose width is at most 1/32 (~3.1%) of its magnitude: percentiles come
+// out with bounded relative error without storing a single sample. record()
+// is O(1) (a bit-scan and an increment); memory is a fixed ~15 KB table.
+//
+// This is the shared vocabulary replacing the ad-hoc mean/max math that
+// used to be duplicated across WorkloadMetrics and ScrubberStats, and the
+// raw sample vectors previously needed for percentile reporting.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pscrub::obs {
+
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: 2^5 = 32 linear buckets per octave, bounding
+  /// the relative quantization error at 1/32.
+  static constexpr int kSubBucketBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  /// Octaves above the linear region (values are 63-bit non-negative).
+  static constexpr int kBucketCount = (64 - kSubBucketBits) * kSubBuckets;
+
+  void record(SimTime value) {
+    if (value < 0) value = 0;
+    if (counts_.empty()) counts_.assign(kBucketCount, 0);
+    ++counts_[static_cast<std::size_t>(bucket_index(value))];
+    ++count_;
+    sum_ += value;
+    if (value > max_) max_ = value;
+    if (count_ == 1 || value < min_) min_ = value;
+  }
+
+  std::int64_t count() const { return count_; }
+  SimTime sum() const { return sum_; }
+  /// Exact extrema (tracked outside the buckets).
+  SimTime max() const { return max_; }
+  SimTime min() const { return count_ == 0 ? 0 : min_; }
+
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  double mean_ms() const { return mean() / static_cast<double>(kMillisecond); }
+
+  /// Value at percentile `p` in [0, 100], within ~3.1% relative error
+  /// (exact at the extremes: p=0 -> min, p=100 -> max).
+  SimTime percentile(double p) const;
+
+  SimTime p50() const { return percentile(50.0); }
+  SimTime p95() const { return percentile(95.0); }
+  SimTime p99() const { return percentile(99.0); }
+
+  /// Accumulates another histogram into this one.
+  void merge(const LatencyHistogram& other);
+
+  void reset() {
+    counts_.clear();
+    count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+    min_ = 0;
+  }
+
+  /// Bucket index for a non-negative value: values below kSubBuckets map
+  /// exactly; above, the top kSubBucketBits+1 bits select octave and
+  /// sub-bucket.
+  static int bucket_index(SimTime value) {
+    const auto v = static_cast<std::uint64_t>(value);
+    if (v < kSubBuckets) return static_cast<int>(v);
+    const int exponent = std::bit_width(v) - 1;  // 2^e <= v < 2^(e+1)
+    const int octave = exponent - kSubBucketBits + 1;
+    const auto sub = static_cast<int>(v >> (exponent - kSubBucketBits)) -
+                     kSubBuckets;
+    return octave * kSubBuckets + sub;
+  }
+
+  /// Inclusive lower bound of a bucket (inverse of bucket_index).
+  static SimTime bucket_lower(int index) {
+    if (index < kSubBuckets) return index;
+    const int octave = index >> kSubBucketBits;
+    const int sub = index & (kSubBuckets - 1);
+    return static_cast<SimTime>(
+        static_cast<std::uint64_t>(kSubBuckets + sub) << (octave - 1));
+  }
+
+  /// Exclusive upper bound of a bucket.
+  static SimTime bucket_upper(int index) {
+    if (index < kSubBuckets) return index + 1;
+    const int octave = index >> kSubBucketBits;
+    const int sub = index & (kSubBuckets - 1);
+    return static_cast<SimTime>(
+        static_cast<std::uint64_t>(kSubBuckets + sub + 1) << (octave - 1));
+  }
+
+ private:
+  /// Lazily allocated so an idle histogram costs nothing beyond the
+  /// scalars (stats structs are created in large numbers by sweeps).
+  std::vector<std::int64_t> counts_;
+  std::int64_t count_ = 0;
+  SimTime sum_ = 0;
+  SimTime max_ = 0;
+  SimTime min_ = 0;
+};
+
+}  // namespace pscrub::obs

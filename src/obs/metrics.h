@@ -1,0 +1,91 @@
+// Metric primitives: counters, gauges, and the shared I/O stats bundle.
+//
+// Counter and Gauge are trivially cheap value types; IoStats is the one
+// (requests, bytes, latency) vocabulary shared by every subsystem that
+// used to hand-roll its own mean/throughput math (WorkloadMetrics,
+// ScrubberStats). Percentiles come from the embedded LatencyHistogram, so
+// no component needs to retain raw samples for reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "sim/time.h"
+
+namespace pscrub::obs {
+
+/// Monotonic event count. Implicitly converts to its value so call sites
+/// that treated the old raw int64 fields arithmetically keep compiling.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+  operator std::int64_t() const { return value_; }  // NOLINT(google-explicit-constructor)
+  Counter& operator++() {
+    ++value_;
+    return *this;
+  }
+  Counter& operator+=(std::int64_t delta) {
+    value_ += delta;
+    return *this;
+  }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Point-in-time measurement (queue depth, progress fraction, watts).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+  operator double() const { return value_; }  // NOLINT(google-explicit-constructor)
+
+ private:
+  double value_ = 0.0;
+};
+
+/// MB/s of `bytes` moved over an observation `window` (0 when the window
+/// is empty) -- the formula formerly duplicated across subsystem stats.
+inline double throughput_mb_s(std::int64_t bytes, SimTime window) {
+  if (window <= 0) return 0.0;
+  return static_cast<double>(bytes) / 1e6 / to_seconds(window);
+}
+
+class Registry;
+
+/// Request-stream accounting shared by foreground workloads and scrubbers:
+/// request/byte counters plus a log-bucketed latency histogram.
+struct IoStats {
+  Counter requests;
+  Counter bytes;
+  LatencyHistogram latency;
+  /// Per-request response times in seconds, kept only when `keep_samples`
+  /// (exact ECDF plots); summary statistics never need them.
+  std::vector<double> response_seconds;
+  bool keep_samples = false;
+
+  void record(std::int64_t request_bytes, SimTime lat) {
+    ++requests;
+    bytes += request_bytes;
+    latency.record(lat);
+    if (keep_samples) response_seconds.push_back(to_seconds(lat));
+  }
+
+  double mean_latency_ms() const { return latency.mean_ms(); }
+  SimTime latency_sum() const { return latency.sum(); }
+  SimTime max_latency() const { return latency.max(); }
+
+  /// MB/s over an observation window.
+  double throughput_mb_s(SimTime window) const {
+    return obs::throughput_mb_s(bytes.value(), window);
+  }
+
+  /// Publishes this bundle into a registry under `prefix` (defined in
+  /// registry.cc).
+  void export_to(Registry& registry, const std::string& prefix) const;
+};
+
+}  // namespace pscrub::obs

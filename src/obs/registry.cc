@@ -1,0 +1,109 @@
+#include "obs/registry.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace pscrub::obs {
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": " + std::to_string(c.value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    append_double(out, g.value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": {\"count\": " + std::to_string(h.count());
+    out += ", \"sum_ms\": ";
+    append_double(out, to_milliseconds(h.sum()));
+    out += ", \"mean_ms\": ";
+    append_double(out, h.mean_ms());
+    out += ", \"min_ms\": ";
+    append_double(out, to_milliseconds(h.min()));
+    out += ", \"max_ms\": ";
+    append_double(out, to_milliseconds(h.max()));
+    out += ", \"p50_ms\": ";
+    append_double(out, to_milliseconds(h.p50()));
+    out += ", \"p95_ms\": ";
+    append_double(out, to_milliseconds(h.p95()));
+    out += ", \"p99_ms\": ";
+    append_double(out, to_milliseconds(h.p99()));
+    out += "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+bool Registry::write_json_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+void IoStats::export_to(Registry& registry, const std::string& prefix) const {
+  registry.counter(prefix + ".requests") += requests.value();
+  registry.counter(prefix + ".bytes") += bytes.value();
+  registry.histogram(prefix + ".latency").merge(latency);
+}
+
+}  // namespace pscrub::obs

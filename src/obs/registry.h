@@ -1,0 +1,67 @@
+// Named-metric registry with JSON snapshot export.
+//
+// A Registry owns counters, gauges, and latency histograms addressed by
+// name; looking a name up creates the metric on first use and returns a
+// stable reference thereafter (std::map nodes never move). Collection is
+// pull-based: subsystems keep their own cheap stats structs and publish
+// them into a registry (export_to / export_metrics) only when a snapshot
+// is wanted, so the hot paths carry zero registry overhead.
+//
+// to_json() renders the whole registry as one JSON object; PSCRUB_METRICS
+// (see obs/env.h) dumps the global registry to a file at exit so every
+// bench and example can emit machine-readable results.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace pscrub::obs {
+
+class Registry {
+ public:
+  /// Process-wide default registry (what PSCRUB_METRICS exports).
+  static Registry& global();
+
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  LatencyHistogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  bool has_counter(const std::string& name) const {
+    return counters_.count(name) != 0;
+  }
+  bool has_gauge(const std::string& name) const {
+    return gauges_.count(name) != 0;
+  }
+  bool has_histogram(const std::string& name) const {
+    return histograms_.count(name) != 0;
+  }
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+  void clear() {
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+  }
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Histograms render count/sum/mean/min/max/p50/p95/p99 (times in ms).
+  /// Keys are emitted in sorted order, so output is deterministic.
+  std::string to_json() const;
+
+  /// Writes to_json() to `path`. Returns false (and leaves no partial
+  /// file behind on open failure) if the file cannot be written.
+  bool write_json_file(const std::string& path) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace pscrub::obs

@@ -1,0 +1,118 @@
+#include "obs/trace_event.h"
+
+namespace pscrub::obs {
+
+namespace {
+constexpr int kPid = 1;
+
+/// Track display names (indexed by Track value).
+constexpr const char* kTrackNames[] = {
+    nullptr,           "disk",          "block queue (rt)",
+    "block queue (be)", "block queue (idle)", "scrubber",
+    "idle policy",     "raid",          "workload",
+};
+constexpr int kTrackCount = 8;
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer instance;
+  return instance;
+}
+
+bool Tracer::open(const std::string& path) {
+  close();
+  out_ = std::fopen(path.c_str(), "w");
+  if (out_ == nullptr) return false;
+  first_event_ = true;
+  std::fputs("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n", out_);
+  metadata(0, "process_name", "pscrub simulation");
+  for (int t = 1; t <= kTrackCount; ++t) {
+    metadata(t, "thread_name", kTrackNames[t]);
+  }
+  return true;
+}
+
+void Tracer::close() {
+  if (out_ == nullptr) return;
+  std::fputs("\n]}\n", out_);
+  std::fclose(out_);
+  out_ = nullptr;
+}
+
+void Tracer::metadata(int tid, const char* what, const char* value) {
+  if (!first_event_) std::fputs(",\n", out_);
+  first_event_ = false;
+  std::fprintf(out_,
+               "{\"ph\": \"M\", \"pid\": %d, \"tid\": %d, \"name\": \"%s\", "
+               "\"args\": {\"name\": \"%s\"}}",
+               kPid, tid, what, value);
+}
+
+void Tracer::prelude(char phase, Track track, const char* category,
+                     const char* name, SimTime ts) {
+  if (!first_event_) std::fputs(",\n", out_);
+  first_event_ = false;
+  // ts is in microseconds; keep nanosecond precision as a fraction.
+  std::fprintf(out_,
+               "{\"ph\": \"%c\", \"pid\": %d, \"tid\": %d, \"cat\": \"%s\", "
+               "\"name\": \"%s\", \"ts\": %lld.%03d",
+               phase, kPid, static_cast<int>(track), category, name,
+               static_cast<long long>(ts / 1000),
+               static_cast<int>(ts % 1000));
+}
+
+void Tracer::write_args(std::initializer_list<Arg> args) {
+  if (args.size() == 0) return;
+  std::fputs(", \"args\": {", out_);
+  bool first = true;
+  for (const Arg& a : args) {
+    if (!first) std::fputs(", ", out_);
+    first = false;
+    switch (a.kind) {
+      case Arg::Kind::kInt:
+        std::fprintf(out_, "\"%s\": %lld", a.key,
+                     static_cast<long long>(a.i));
+        break;
+      case Arg::Kind::kDouble:
+        std::fprintf(out_, "\"%s\": %.6g", a.key, a.d);
+        break;
+      case Arg::Kind::kString:
+        std::fprintf(out_, "\"%s\": \"%s\"", a.key, a.s);
+        break;
+    }
+  }
+  std::fputc('}', out_);
+}
+
+void Tracer::span(Track track, const char* category, const char* name,
+                  SimTime begin, SimTime end,
+                  std::initializer_list<Arg> args) {
+  if (!enabled()) return;
+  if (end < begin) end = begin;
+  prelude('X', track, category, name, begin);
+  const SimTime dur = end - begin;
+  std::fprintf(out_, ", \"dur\": %lld.%03d",
+               static_cast<long long>(dur / 1000),
+               static_cast<int>(dur % 1000));
+  write_args(args);
+  std::fputc('}', out_);
+}
+
+void Tracer::instant(Track track, const char* category, const char* name,
+                     SimTime at, std::initializer_list<Arg> args) {
+  if (!enabled()) return;
+  prelude('i', track, category, name, at);
+  std::fputs(", \"s\": \"t\"", out_);
+  write_args(args);
+  std::fputc('}', out_);
+}
+
+void Tracer::counter(Track track, const char* name, const char* series,
+                     SimTime at, double value) {
+  if (!enabled()) return;
+  prelude('C', track, "counter", name, at);
+  std::fprintf(out_, ", \"args\": {\"%s\": %.6g}", series, value);
+  std::fputc('}', out_);
+}
+
+}  // namespace pscrub::obs

@@ -2,6 +2,9 @@
 //
 // Layered bottom-up:
 //   sim       -- discrete-event engine, deterministic RNG
+//   obs       -- observability: metric registry, latency histograms,
+//                sim-time Chrome-trace event tracer (PSCRUB_TRACE /
+//                PSCRUB_METRICS)
 //   disk      -- mechanical disk model + drive profiles
 //   block     -- request queue, NOOP/CFQ schedulers, soft barriers
 //   trace     -- SNIA-style traces, synthetic generator, catalog
@@ -31,6 +34,11 @@
 #include "disk/disk_model.h"
 #include "disk/geometry.h"
 #include "disk/profile.h"
+#include "obs/env.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace_event.h"
 #include "raid/array.h"
 #include "raid/layout.h"
 #include "sim/rng.h"

@@ -4,8 +4,22 @@
 #include <cassert>
 
 #include "core/scrub_strategy.h"
+#include "obs/registry.h"
+#include "obs/trace_event.h"
 
 namespace pscrub::raid {
+
+void ArrayStats::export_to(obs::Registry& registry,
+                           const std::string& prefix) const {
+  registry.counter(prefix + ".reads") += reads;
+  registry.counter(prefix + ".writes") += writes;
+  registry.counter(prefix + ".degraded_reads") += degraded_reads;
+  registry.counter(prefix + ".reconstructed_sectors") +=
+      reconstructed_sectors;
+  registry.counter(prefix + ".lost_sectors") += lost_sectors;
+  registry.counter(prefix + ".scrub_detections") += scrub_detections;
+  registry.counter(prefix + ".read_detections") += read_detections;
+}
 
 RaidArray::RaidArray(Simulator& sim, const RaidConfig& config,
                      const disk::DiskProfile& profile, std::uint64_t seed)
@@ -193,6 +207,13 @@ void RaidArray::rebuild_stripe(
     failed_[static_cast<std::size_t>(index)] = false;
     rebuilding_disk_ = -1;
     result->duration = sim_.now() - started;
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      tracer.span(obs::Track::kRaid, "raid", "rebuild", started, sim_.now(),
+                  {{"disk", index},
+                   {"stripes", result->stripes_rebuilt},
+                   {"sectors_lost", result->sectors_lost}});
+    }
     if (done) done(*result);
     return;
   }
@@ -214,6 +235,11 @@ void RaidArray::rebuild_stripe(
                    started](SimTime) {
       ++result->stripes_rebuilt;
       rebuild_frontier_ = stripe + 1;
+      obs::Tracer& tracer = obs::Tracer::global();
+      if (tracer.enabled()) {
+        tracer.counter(obs::Track::kRaid, "raid.rebuild_progress", "percent",
+                       sim_.now(), 100.0 * rebuild_progress());
+      }
       const SimTime delay = config.inter_stripe_delay;
       sim_.after(delay, [this, index, stripe, config, result, done,
                          started] {
@@ -254,6 +280,11 @@ double RaidArray::rebuild_progress() const {
 void RaidArray::repair_sector(int disk_index, disk::Lbn lbn) {
   // Reconstruct one sector from its stripe peers, then rewrite it. The
   // write clears the latent error in the disk model.
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.instant(obs::Track::kRaid, "raid", "scrub-repair", sim_.now(),
+                   {{"disk", disk_index}, {"lbn", lbn}});
+  }
   const std::int64_t stripe = lbn / layout_.chunk_sectors();
   const std::int64_t offset = lbn % layout_.chunk_sectors();
 

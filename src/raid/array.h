@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "block/block_layer.h"
@@ -23,6 +24,10 @@
 #include "disk/disk_model.h"
 #include "raid/layout.h"
 #include "sim/simulator.h"
+
+namespace pscrub::obs {
+class Registry;
+}  // namespace pscrub::obs
 
 namespace pscrub::raid {
 
@@ -37,6 +42,10 @@ struct ArrayStats {
   /// LSEs found by scrubbing / by foreground reads.
   std::int64_t scrub_detections = 0;
   std::int64_t read_detections = 0;
+
+  /// Publishes every field into `registry` under `prefix` (e.g.
+  /// "raid.lost_sectors").
+  void export_to(obs::Registry& registry, const std::string& prefix) const;
 };
 
 struct RebuildConfig {

@@ -1,41 +1,15 @@
 // Per-workload metrics collection.
+//
+// WorkloadMetrics is the shared obs::IoStats bundle: request/byte
+// counters plus a log-bucketed latency histogram, so mean/percentile/
+// throughput math lives in one place (src/obs) instead of being
+// re-implemented per subsystem.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "sim/time.h"
+#include "obs/metrics.h"
 
 namespace pscrub::workload {
 
-struct WorkloadMetrics {
-  std::int64_t requests = 0;
-  std::int64_t bytes = 0;
-  SimTime latency_sum = 0;
-  SimTime max_latency = 0;
-  /// Per-request response times in seconds (kept when `keep_samples`).
-  std::vector<double> response_seconds;
-  bool keep_samples = false;
-
-  void record(std::int64_t request_bytes, SimTime latency) {
-    ++requests;
-    bytes += request_bytes;
-    latency_sum += latency;
-    if (latency > max_latency) max_latency = latency;
-    if (keep_samples) response_seconds.push_back(to_seconds(latency));
-  }
-
-  double mean_latency_ms() const {
-    return requests == 0 ? 0.0
-                         : to_milliseconds(latency_sum) /
-                               static_cast<double>(requests);
-  }
-
-  /// MB/s over an observation window.
-  double throughput_mb_s(SimTime window) const {
-    if (window <= 0) return 0.0;
-    return static_cast<double>(bytes) / 1e6 / to_seconds(window);
-  }
-};
+using WorkloadMetrics = obs::IoStats;
 
 }  // namespace pscrub::workload

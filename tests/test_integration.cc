@@ -184,7 +184,7 @@ TEST(Integration, TraceReplayWithCfqIdleScrubber) {
   const auto base = replay(false);
   const auto scrubbed = replay(true);
   ASSERT_EQ(base.requests, scrubbed.requests);
-  EXPECT_GE(scrubbed.latency_sum, base.latency_sum);
+  EXPECT_GE(scrubbed.latency_sum(), base.latency_sum());
 }
 
 TEST(Integration, AtaVsScsiScrubPrimitives) {

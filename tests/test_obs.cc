@@ -1,0 +1,635 @@
+// Tests for the observability layer: histogram percentile accuracy against
+// exact quantiles, counter/gauge/registry semantics, and trace-file schema
+// validity (the emitted file must be well-formed Chrome trace-event JSON).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace_event.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace pscrub::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON parser (objects, arrays, strings, numbers, literals) used
+// to check that to_json() and the trace file are well-formed. Deliberately
+// strict: any syntax error fails the parse.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> items;                // kArray
+  std::map<std::string, Json> members;    // kObject
+
+  bool has(const std::string& key) const { return members.count(key) != 0; }
+  const Json& at(const std::string& key) const { return members.at(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  /// Parses the whole input; returns false on any syntax error or
+  /// trailing garbage.
+  bool parse(Json* out) {
+    pos_ = 0;
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool string_token(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;  // validated as hex but not decoded (ASCII traces)
+            out->push_back('?');
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number_token(double* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    char* end = nullptr;
+    const std::string tok = text_.substr(start, pos_ - start);
+    *out = std::strtod(tok.c_str(), &end);
+    return end != nullptr && *end == '\0';
+  }
+
+  bool value(Json* out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out->kind = Json::Kind::kString;
+      return string_token(&out->str);
+    }
+    if (c == 't') {
+      out->kind = Json::Kind::kBool;
+      out->b = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out->kind = Json::Kind::kBool;
+      out->b = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out->kind = Json::Kind::kNull;
+      return literal("null");
+    }
+    out->kind = Json::Kind::kNumber;
+    return number_token(&out->number);
+  }
+
+  bool object(Json* out) {
+    out->kind = Json::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string_token(&key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      Json v;
+      if (!value(&v)) return false;
+      out->members.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array(Json* out) {
+    out->kind = Json::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Json v;
+      if (!value(&v)) return false;
+      out->items.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundsRoundTrip) {
+  const std::vector<SimTime> probes = {
+      0,     1,       31,          32,        33,        100,
+      1000,  123456,  1'000'000,   kMillisecond, 17 * kMillisecond,
+      kSecond, 3 * kSecond + 7, kSecond * 86400};
+  for (SimTime v : probes) {
+    const int idx = LatencyHistogram::bucket_index(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, LatencyHistogram::kBucketCount);
+    EXPECT_LE(LatencyHistogram::bucket_lower(idx), v) << "value " << v;
+    EXPECT_GT(LatencyHistogram::bucket_upper(idx), v) << "value " << v;
+    // Bucket boundaries map back to the same bucket.
+    EXPECT_EQ(LatencyHistogram::bucket_index(
+                  LatencyHistogram::bucket_lower(idx)),
+              idx);
+    EXPECT_EQ(LatencyHistogram::bucket_index(
+                  LatencyHistogram::bucket_upper(idx) - 1),
+              idx);
+  }
+}
+
+TEST(HistogramTest, BucketRelativeWidthBounded) {
+  // Above the linear region every bucket is at most 1/32 of its magnitude
+  // wide -- the error bound the percentile accuracy rests on.
+  for (SimTime v = 64; v < (1LL << 40); v = v * 7 + 13) {
+    const int idx = LatencyHistogram::bucket_index(v);
+    const double width = static_cast<double>(
+        LatencyHistogram::bucket_upper(idx) -
+        LatencyHistogram::bucket_lower(idx));
+    EXPECT_LE(width / static_cast<double>(v), 1.0 / 32 + 1e-12)
+        << "value " << v;
+  }
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50.0), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  LatencyHistogram h;
+  h.record(12345);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 12345);
+  EXPECT_EQ(h.max(), 12345);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.percentile(p), 12345) << "p=" << p;
+  }
+}
+
+// Exact nearest-rank quantile of a sorted sample, the reference the
+// histogram approximation is judged against.
+SimTime exact_nearest_rank(const std::vector<SimTime>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+void check_percentiles_against_exact(const std::vector<SimTime>& samples,
+                                     const char* label) {
+  LatencyHistogram h;
+  for (SimTime s : samples) h.record(s);
+  std::vector<SimTime> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+
+  EXPECT_EQ(h.percentile(0.0), sorted.front()) << label;
+  EXPECT_EQ(h.percentile(100.0), sorted.back()) << label;
+  EXPECT_EQ(h.count(), static_cast<std::int64_t>(samples.size())) << label;
+
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {
+    const auto approx = static_cast<double>(h.percentile(p));
+    const auto exact = static_cast<double>(exact_nearest_rank(sorted, p));
+    // One bucket is at most 1/32 (~3.1%) of its magnitude wide; allow the
+    // full bucket width plus the sub-nanosecond linear region slack.
+    const double tol = std::max(exact * (1.0 / 32), 1.0);
+    EXPECT_NEAR(approx, exact, tol)
+        << label << " p" << p << ": approx=" << approx << " exact=" << exact;
+  }
+}
+
+TEST(HistogramTest, PercentileAccuracyUniform) {
+  Rng rng(1234);
+  std::vector<SimTime> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(
+        static_cast<SimTime>(rng.uniform(0.1, 30.0) * kMillisecond));
+  }
+  check_percentiles_against_exact(samples, "uniform");
+}
+
+TEST(HistogramTest, PercentileAccuracyExponential) {
+  Rng rng(99);
+  std::vector<SimTime> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(
+        static_cast<SimTime>(rng.exponential(5.0) * kMillisecond) + 1);
+  }
+  check_percentiles_against_exact(samples, "exponential");
+}
+
+TEST(HistogramTest, PercentileAccuracyLognormalHeavyTail) {
+  Rng rng(7);
+  std::vector<SimTime> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(
+        static_cast<SimTime>(rng.lognormal(1.0, 1.5) * kMillisecond) + 1);
+  }
+  check_percentiles_against_exact(samples, "lognormal");
+}
+
+TEST(HistogramTest, MergeEqualsCombinedRecording) {
+  Rng rng(42);
+  LatencyHistogram a, b, combined;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = static_cast<SimTime>(rng.exponential(2.0) * kMillisecond);
+    if (i % 2 == 0) {
+      a.record(v);
+    } else {
+      b.record(v);
+    }
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_EQ(a.percentile(p), combined.percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.record(5 * kMillisecond);
+  h.record(10 * kMillisecond);
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.percentile(50.0), 0);
+  h.record(kMillisecond);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), kMillisecond);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  LatencyHistogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Counters, gauges, IoStats
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, CounterSemantics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  ++c;
+  c += 10;
+  c.add(5);
+  c.add();
+  EXPECT_EQ(c.value(), 17);
+  const std::int64_t implicit = c;  // old raw-field call sites
+  EXPECT_EQ(implicit, 17);
+}
+
+TEST(MetricsTest, GaugeSemantics) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.25);
+  const double implicit = g;
+  EXPECT_DOUBLE_EQ(implicit, 3.25);
+}
+
+TEST(MetricsTest, ThroughputFormula) {
+  EXPECT_DOUBLE_EQ(throughput_mb_s(0, kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(throughput_mb_s(1'000'000, 0), 0.0);
+  EXPECT_DOUBLE_EQ(throughput_mb_s(1'000'000, kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(throughput_mb_s(50'000'000, 2 * kSecond), 25.0);
+}
+
+TEST(MetricsTest, IoStatsRecordAndSamples) {
+  IoStats s;
+  s.record(4096, 2 * kMillisecond);
+  s.record(8192, 6 * kMillisecond);
+  EXPECT_EQ(s.requests.value(), 2);
+  EXPECT_EQ(s.bytes.value(), 12288);
+  EXPECT_DOUBLE_EQ(s.mean_latency_ms(), 4.0);
+  EXPECT_EQ(s.max_latency(), 6 * kMillisecond);
+  EXPECT_EQ(s.latency_sum(), 8 * kMillisecond);
+  EXPECT_TRUE(s.response_seconds.empty());  // off by default
+
+  IoStats keeping;
+  keeping.keep_samples = true;
+  keeping.record(4096, 2 * kMillisecond);
+  ASSERT_EQ(keeping.response_seconds.size(), 1u);
+  EXPECT_DOUBLE_EQ(keeping.response_seconds[0], 0.002);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, CreateOnUseAndStableReferences) {
+  Registry reg;
+  Counter& c = reg.counter("io.requests");
+  c.add(3);
+  // References stay valid as the registry grows.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i));
+  }
+  EXPECT_EQ(&c, &reg.counter("io.requests"));
+  EXPECT_EQ(reg.counter("io.requests").value(), 3);
+}
+
+TEST(RegistryTest, HasSizeClear) {
+  Registry reg;
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_FALSE(reg.has_counter("a"));
+  reg.counter("a").add(1);
+  reg.gauge("b").set(2.0);
+  reg.histogram("c").record(kMillisecond);
+  EXPECT_TRUE(reg.has_counter("a"));
+  EXPECT_TRUE(reg.has_gauge("b"));
+  EXPECT_TRUE(reg.has_histogram("c"));
+  EXPECT_FALSE(reg.has_counter("b"));  // kinds are separate namespaces
+  EXPECT_EQ(reg.size(), 3u);
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_FALSE(reg.has_counter("a"));
+}
+
+TEST(RegistryTest, IoStatsExportTo) {
+  Registry reg;
+  IoStats s;
+  s.record(1 << 20, 3 * kMillisecond);
+  s.export_to(reg, "fg");
+  EXPECT_TRUE(reg.has_counter("fg.requests"));
+  EXPECT_TRUE(reg.has_counter("fg.bytes"));
+  EXPECT_TRUE(reg.has_histogram("fg.latency"));
+  EXPECT_EQ(reg.counter("fg.requests").value(), 1);
+  EXPECT_EQ(reg.counter("fg.bytes").value(), 1 << 20);
+  EXPECT_EQ(reg.histogram("fg.latency").count(), 1);
+}
+
+TEST(RegistryTest, ToJsonIsWellFormedAndComplete) {
+  Registry reg;
+  reg.counter("scrub.requests").add(17);
+  reg.gauge("idle.utilization").set(0.42);
+  LatencyHistogram& h = reg.histogram("fg.latency");
+  for (int i = 1; i <= 100; ++i) h.record(i * kMillisecond);
+
+  const std::string json = reg.to_json();
+  Json root;
+  ASSERT_TRUE(JsonParser(json).parse(&root)) << json;
+  ASSERT_EQ(root.kind, Json::Kind::kObject);
+  ASSERT_TRUE(root.has("counters"));
+  ASSERT_TRUE(root.has("gauges"));
+  ASSERT_TRUE(root.has("histograms"));
+
+  const Json& counters = root.at("counters");
+  ASSERT_TRUE(counters.has("scrub.requests"));
+  EXPECT_DOUBLE_EQ(counters.at("scrub.requests").number, 17.0);
+
+  const Json& gauges = root.at("gauges");
+  ASSERT_TRUE(gauges.has("idle.utilization"));
+  EXPECT_NEAR(gauges.at("idle.utilization").number, 0.42, 1e-9);
+
+  const Json& hist = root.at("histograms").at("fg.latency");
+  for (const char* key :
+       {"count", "mean_ms", "min_ms", "max_ms", "p50_ms", "p95_ms",
+        "p99_ms"}) {
+    EXPECT_TRUE(hist.has(key)) << key;
+  }
+  EXPECT_DOUBLE_EQ(hist.at("count").number, 100.0);
+  EXPECT_DOUBLE_EQ(hist.at("min_ms").number, 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("max_ms").number, 100.0);
+
+  // Deterministic: same registry, same string.
+  EXPECT_EQ(json, reg.to_json());
+}
+
+TEST(RegistryTest, WriteJsonFileRoundTrips) {
+  Registry reg;
+  reg.counter("x").add(5);
+  const std::string path = testing::TempDir() + "pscrub_test_metrics.json";
+  ASSERT_TRUE(reg.write_json_file(path));
+  Json root;
+  ASSERT_TRUE(JsonParser(read_file(path)).parse(&root));
+  EXPECT_DOUBLE_EQ(root.at("counters").at("x").number, 5.0);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, DisabledTracerIsNoOp) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  // Every emit on a disabled tracer must be safe.
+  t.span(Track::kDisk, "disk", "read", 0, kMillisecond, {{"lbn", 42}});
+  t.instant(Track::kPolicy, "policy", "decide", kSecond);
+  t.counter(Track::kRaid, "raid", "percent", kSecond, 50.0);
+  t.close();
+  EXPECT_FALSE(t.enabled());
+}
+
+TEST(TracerTest, TraceFileIsValidChromeTraceJson) {
+  const std::string path = testing::TempDir() + "pscrub_test_trace.json";
+  {
+    Tracer t;
+    ASSERT_TRUE(t.open(path));
+    EXPECT_TRUE(t.enabled());
+    t.span(Track::kDisk, "disk", "read", kMillisecond, 3 * kMillisecond,
+           {{"lbn", std::int64_t{1234}}, {"sectors", 8}});
+    t.span(Track::kScrubber, "scrub", "verify", 2 * kMillisecond,
+           5 * kMillisecond);
+    t.instant(Track::kPolicy, "policy", "decide: scrub", 4 * kMillisecond,
+              {{"policy", "waiting"}, {"idle_ms", 12.5}});
+    t.counter(Track::kRaid, "raid.rebuild_progress", "percent",
+              6 * kMillisecond, 37.5);
+    t.close();
+    EXPECT_FALSE(t.enabled());
+    t.close();  // idempotent
+  }
+
+  Json root;
+  const std::string text = read_file(path);
+  ASSERT_TRUE(JsonParser(text).parse(&root)) << text;
+  ASSERT_EQ(root.kind, Json::Kind::kObject);
+  ASSERT_TRUE(root.has("traceEvents"));
+  const Json& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, Json::Kind::kArray);
+
+  int spans = 0, instants = 0, counters = 0, metadata = 0;
+  bool saw_disk_track_name = false;
+  for (const Json& e : events.items) {
+    ASSERT_EQ(e.kind, Json::Kind::kObject);
+    ASSERT_TRUE(e.has("ph"));
+    ASSERT_TRUE(e.has("pid"));
+    ASSERT_TRUE(e.has("name"));
+    const std::string ph = e.at("ph").str;
+    if (ph == "M") {
+      ++metadata;
+      if (e.at("name").str == "thread_name" &&
+          e.at("args").at("name").str == "disk") {
+        saw_disk_track_name = true;
+      }
+      continue;
+    }
+    // Every real event carries a timestamp and a track id.
+    ASSERT_TRUE(e.has("ts")) << e.at("name").str;
+    ASSERT_TRUE(e.has("tid")) << e.at("name").str;
+    if (ph == "X") {
+      ++spans;
+      ASSERT_TRUE(e.has("dur"));
+      EXPECT_GE(e.at("dur").number, 0.0);
+    } else if (ph == "i") {
+      ++instants;
+    } else if (ph == "C") {
+      ++counters;
+    } else {
+      ADD_FAILURE() << "unexpected phase: " << ph;
+    }
+  }
+  EXPECT_EQ(spans, 2);
+  EXPECT_EQ(instants, 1);
+  EXPECT_EQ(counters, 1);
+  EXPECT_GE(metadata, 2);  // process_name + per-track thread_names
+  EXPECT_TRUE(saw_disk_track_name);
+
+  // Timestamps are sim-time microseconds: the read span starts at 1 ms.
+  bool found_read = false;
+  for (const Json& e : events.items) {
+    if (e.at("ph").str == "X" && e.at("name").str == "read") {
+      found_read = true;
+      EXPECT_NEAR(e.at("ts").number, 1000.0, 1e-6);
+      EXPECT_NEAR(e.at("dur").number, 2000.0, 1e-6);
+      EXPECT_DOUBLE_EQ(e.at("args").at("lbn").number, 1234.0);
+      EXPECT_DOUBLE_EQ(e.at("args").at("sectors").number, 8.0);
+    }
+  }
+  EXPECT_TRUE(found_read);
+  std::remove(path.c_str());
+}
+
+TEST(TracerTest, GlobalSingletonsAreStable) {
+  EXPECT_EQ(&Tracer::global(), &Tracer::global());
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace pscrub::obs

@@ -120,7 +120,7 @@ TEST(TraceReplay, BurstArrivalsQueueAndAllComplete) {
   w.start();
   f.sim.run();
   EXPECT_TRUE(w.finished());
-  EXPECT_GT(w.metrics().max_latency, 50 * kMillisecond)
+  EXPECT_GT(w.metrics().max_latency(), 50 * kMillisecond)
       << "queueing delay must accumulate in an open-loop burst";
 }
 
@@ -145,7 +145,7 @@ TEST(Metrics, ThroughputComputation) {
   m.record(1'000'000, 3 * kMillisecond);
   EXPECT_DOUBLE_EQ(m.throughput_mb_s(kSecond), 2.0);
   EXPECT_DOUBLE_EQ(m.mean_latency_ms(), 2.0);
-  EXPECT_EQ(m.max_latency, 3 * kMillisecond);
+  EXPECT_EQ(m.max_latency(), 3 * kMillisecond);
 }
 
 }  // namespace
