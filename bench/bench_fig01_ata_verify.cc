@@ -5,7 +5,6 @@
 // dramatically (0.3 ms -> 4-8 ms) but leaves the SAS drive unchanged --
 // evidence that ATA VERIFY is (incorrectly) answered from the cache.
 #include "bench/common.h"
-#include "bench/verify_measure.h"
 
 namespace pscrub::bench {
 namespace {
@@ -44,8 +43,8 @@ void run() {
       off.cache_enabled = false;
       disk::DiskProfile on = d.profile;
       on.cache_enabled = true;
-      const double t_off = measure_sequential_verify(off, d.kind, size);
-      const double t_on = measure_sequential_verify(on, d.kind, size);
+      const double t_off = exp::measure_sequential_verify(off, d.kind, size);
+      const double t_on = exp::measure_sequential_verify(on, d.kind, size);
       std::printf(" | %11.3f %11.3f", t_off, t_on);
     }
     std::printf("\n");

@@ -9,7 +9,7 @@
 //    starves the workload;
 //  - the kernel scrubber at Idle priority protects the workload;
 //  - with a 16 ms inter-request delay the scrubber caps at ~64KB/16ms.
-#include <memory>
+#include <vector>
 
 #include "bench/common.h"
 
@@ -17,39 +17,6 @@ namespace pscrub::bench {
 namespace {
 
 constexpr SimTime kRun = 120 * kSecond;
-
-struct Result {
-  double workload_mb_s = 0.0;
-  double scrub_mb_s = 0.0;
-};
-
-Result run_case(bool with_scrubber, core::IssuePath path,
-                block::IoPriority prio, SimTime delay) {
-  Simulator sim;
-  disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
-  disk::DiskModel d(sim, p, 1);
-  block::BlockLayer blk(sim, d, std::make_unique<block::CfqScheduler>());
-
-  workload::SyntheticConfig wcfg;  // 8MB chunks, 64K reads, 100ms thinks
-  workload::SequentialChunkWorkload w(sim, blk, wcfg, 42);
-  w.start();
-
-  std::unique_ptr<core::Scrubber> s;
-  if (with_scrubber) {
-    core::ScrubberConfig scfg;
-    scfg.path = path;
-    scfg.priority = prio;
-    scfg.inter_request_delay = delay;
-    s = std::make_unique<core::Scrubber>(
-        sim, blk, core::make_sequential(d.total_sectors(), 64 * 1024), scfg);
-    s->start();
-  }
-  sim.run_until(kRun);
-  Result r;
-  r.workload_mb_s = w.metrics().throughput_mb_s(kRun);
-  r.scrub_mb_s = s ? s->stats().throughput_mb_s(kRun) : 0.0;
-  return r;
-}
 
 void run() {
   header("Figure 3: user- (U) vs kernel-level (K) scrubber (MB/s)");
@@ -75,13 +42,31 @@ void run() {
        block::IoPriority::kBestEffort, 16 * kMillisecond},
   };
 
+  std::vector<exp::ScenarioConfig> configs;
+  for (const Case& c : cases) {
+    exp::ScenarioConfig cfg;
+    cfg.disk.kind = exp::DiskKind::kUltrastar15k450;
+    cfg.scheduler = exp::SchedulerKind::kCfq;
+    cfg.workload.kind = exp::WorkloadKind::kSequentialChunks;
+    cfg.workload.seed = 42;  // 8MB chunks, 64K reads, 100ms thinks
+    if (c.scrub) {
+      cfg.scrubber.kind = exp::ScrubberKind::kBackToBack;
+      cfg.scrubber.path = c.path;
+      cfg.scrubber.priority = c.prio;
+      cfg.scrubber.inter_request_delay = c.delay;
+      cfg.scrubber.strategy.request_bytes = 64 * 1024;
+    }
+    cfg.run_for = kRun;
+    configs.push_back(cfg);
+  }
+  const auto results = exp::run_scenarios(configs);
+
   std::printf("%-16s %14s %14s\n", "scrubber", "workload MB/s",
               "scrubber MB/s");
   row_rule(46);
-  for (const Case& c : cases) {
-    const Result r = run_case(c.scrub, c.path, c.prio, c.delay);
-    std::printf("%-16s %14.2f %14.2f\n", c.label, r.workload_mb_s,
-                r.scrub_mb_s);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("%-16s %14.2f %14.2f\n", cases[i].label,
+                results[i].workload_mb_s, results[i].scrub_mb_s);
   }
   std::printf(
       "\nReading: (U) rows identical across priorities; Default (K) starves\n"

@@ -5,7 +5,6 @@
 // rotational positioning cost dominates) and grow with the media transfer
 // beyond that -- the reason 64 KB is the smallest size worth using.
 #include "bench/common.h"
-#include "bench/verify_measure.h"
 
 namespace pscrub::bench {
 namespace {
@@ -27,8 +26,8 @@ void run() {
     std::printf("%-10s", size_label(size).c_str());
     for (const auto& d : drives) {
       std::printf(" | %22.2f",
-                  measure_sequential_verify(d, disk::CommandKind::kVerifyScsi,
-                                            size));
+                  exp::measure_sequential_verify(
+                      d, disk::CommandKind::kVerifyScsi, size));
     }
     std::printf("\n");
   }

@@ -6,60 +6,78 @@
 //      regions (long seeks), rises with region count, and overtakes the
 //      sequential scrubber at >= ~128 regions (short seek + half rotation
 //      beats the full-rotation miss).
-#include <memory>
+#include <vector>
 
 #include "bench/common.h"
 
 namespace pscrub::bench {
 namespace {
 
-double scrub_throughput(const disk::DiskProfile& profile, bool staggered,
-                        std::int64_t request_bytes, int regions,
-                        SimTime run_for = 60 * kSecond) {
-  Simulator sim;
-  disk::DiskModel d(sim, profile, 1);
-  block::BlockLayer blk(sim, d, std::make_unique<block::NoopScheduler>());
-  core::ScrubberConfig cfg;
-  cfg.priority = block::IoPriority::kBestEffort;
-  auto strategy = staggered
-                      ? core::make_staggered(d.total_sectors(), request_bytes,
-                                             regions)
-                      : core::make_sequential(d.total_sectors(), request_bytes);
-  core::Scrubber s(sim, blk, std::move(strategy), cfg);
-  s.start();
-  sim.run_until(run_for);
-  return s.stats().throughput_mb_s(run_for);
+exp::ScenarioConfig scrub_case(exp::DiskKind disk, bool staggered,
+                               std::int64_t request_bytes, int regions) {
+  exp::ScenarioConfig cfg;
+  cfg.disk.kind = disk;
+  cfg.scheduler = exp::SchedulerKind::kNoop;
+  cfg.scrubber.kind = exp::ScrubberKind::kBackToBack;
+  cfg.scrubber.priority = block::IoPriority::kBestEffort;
+  cfg.scrubber.strategy.kind = staggered ? exp::StrategyKind::kStaggered
+                                         : exp::StrategyKind::kSequential;
+  cfg.scrubber.strategy.request_bytes = request_bytes;
+  cfg.scrubber.strategy.regions = regions;
+  cfg.run_for = 60 * kSecond;
+  return cfg;
 }
 
 void run() {
-  const disk::DiskProfile ultrastar = disk::hitachi_ultrastar_15k450();
-  const disk::DiskProfile fujitsu = disk::fujitsu_max3073rc();
+  constexpr auto kUltrastar = exp::DiskKind::kUltrastar15k450;
+  constexpr auto kFujitsu = exp::DiskKind::kFujitsuMax3073rc;
+
+  // One deterministic sweep per sub-figure: configs in row order, four
+  // (5a) / two (5b) columns per row.
+  std::vector<std::int64_t> sizes;
+  for (std::int64_t size = 64 * 1024; size <= 16 * 1024 * 1024; size *= 2) {
+    sizes.push_back(size);
+  }
+  std::vector<exp::ScenarioConfig> configs_a;
+  for (std::int64_t size : sizes) {
+    configs_a.push_back(scrub_case(kUltrastar, false, size, 0));
+    configs_a.push_back(scrub_case(kUltrastar, true, size, 128));
+    configs_a.push_back(scrub_case(kFujitsu, false, size, 0));
+    configs_a.push_back(scrub_case(kFujitsu, true, size, 128));
+  }
+  const auto results_a = exp::run_scenarios(configs_a);
 
   header("Figure 5a: scrub throughput vs request size (MB/s, 128 regions)");
   std::printf("%-8s %18s %18s %18s %18s\n", "size", "Ultrastar seq",
               "Ultrastar stag", "Fujitsu seq", "Fujitsu stag");
   row_rule(84);
-  for (std::int64_t size = 64 * 1024; size <= 16 * 1024 * 1024; size *= 2) {
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
     std::printf("%-8s %18.1f %18.1f %18.1f %18.1f\n",
-                size_label(size).c_str(),
-                scrub_throughput(ultrastar, false, size, 0),
-                scrub_throughput(ultrastar, true, size, 128),
-                scrub_throughput(fujitsu, false, size, 0),
-                scrub_throughput(fujitsu, true, size, 128));
+                size_label(sizes[i]).c_str(), results_a[4 * i].scrub_mb_s,
+                results_a[4 * i + 1].scrub_mb_s, results_a[4 * i + 2].scrub_mb_s,
+                results_a[4 * i + 3].scrub_mb_s);
   }
 
+  const std::vector<int> regions = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+  std::vector<exp::ScenarioConfig> configs_b;
+  for (int r : regions) {
+    configs_b.push_back(scrub_case(kUltrastar, true, 64 * 1024, r));
+    configs_b.push_back(scrub_case(kFujitsu, true, 64 * 1024, r));
+  }
+  configs_b.push_back(scrub_case(kUltrastar, false, 64 * 1024, 0));
+  configs_b.push_back(scrub_case(kFujitsu, false, 64 * 1024, 0));
+  const auto results_b = exp::run_scenarios(configs_b);
+
   header("Figure 5b: staggered throughput vs number of regions (MB/s, 64K)");
-  const double seq_ultra = scrub_throughput(ultrastar, false, 64 * 1024, 0);
-  const double seq_fuj = scrub_throughput(fujitsu, false, 64 * 1024, 0);
   std::printf("%-8s %18s %18s\n", "regions", "Ultrastar stag", "Fujitsu stag");
   row_rule(48);
-  for (int regions : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}) {
-    std::printf("%-8d %18.1f %18.1f\n", regions,
-                scrub_throughput(ultrastar, true, 64 * 1024, regions),
-                scrub_throughput(fujitsu, true, 64 * 1024, regions));
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    std::printf("%-8d %18.1f %18.1f\n", regions[i],
+                results_b[2 * i].scrub_mb_s, results_b[2 * i + 1].scrub_mb_s);
   }
   std::printf("%-8s %18.1f %18.1f   <- sequential reference\n", "(seq)",
-              seq_ultra, seq_fuj);
+              results_b[2 * regions.size()].scrub_mb_s,
+              results_b[2 * regions.size() + 1].scrub_mb_s);
   std::printf(
       "\nReading: staggered dips at few regions (stroke-length seeks), rises\n"
       "with region count, and matches/overtakes sequential at >= 128.\n");

@@ -8,7 +8,7 @@
 // costs the workload ~20%; delays >= 16 ms restore the workload while
 // crippling the scrubber (64KB/(delay+service)); staggered == sequential
 // at 128 regions; the random workload's seeks lower scrub throughput.
-#include <memory>
+#include <vector>
 
 #include "bench/common.h"
 
@@ -17,71 +17,79 @@ namespace {
 
 constexpr SimTime kRun = 120 * kSecond;
 
-struct Result {
-  double workload_mb_s = 0.0;
-  double scrub_mb_s = 0.0;
+struct Mode {
+  const char* label;
+  bool cfq_idle;
+  SimTime delay;
 };
 
-template <typename Workload>
-Result run_case(bool with_scrubber, bool staggered, bool use_cfq_idle,
-                SimTime delay) {
-  Simulator sim;
-  disk::DiskModel d(sim, disk::hitachi_ultrastar_15k450(), 1);
-  block::BlockLayer blk(sim, d, std::make_unique<block::CfqScheduler>());
-
-  workload::SyntheticConfig wcfg;
-  Workload w(sim, blk, wcfg, 42);
-  w.start();
-
-  std::unique_ptr<core::Scrubber> s;
+exp::ScenarioConfig make_case(exp::WorkloadKind workload, bool with_scrubber,
+                              bool staggered, bool cfq_idle, SimTime delay) {
+  exp::ScenarioConfig cfg;
+  cfg.disk.kind = exp::DiskKind::kUltrastar15k450;
+  cfg.scheduler = exp::SchedulerKind::kCfq;
+  cfg.workload.kind = workload;
+  cfg.workload.seed = 42;
   if (with_scrubber) {
-    core::ScrubberConfig scfg;
-    scfg.priority = use_cfq_idle ? block::IoPriority::kIdle
-                                 : block::IoPriority::kBestEffort;
-    scfg.inter_request_delay = delay;
-    auto strategy =
-        staggered ? core::make_staggered(d.total_sectors(), 64 * 1024, 128)
-                  : core::make_sequential(d.total_sectors(), 64 * 1024);
-    s = std::make_unique<core::Scrubber>(sim, blk, std::move(strategy), scfg);
-    s->start();
+    cfg.scrubber.kind = exp::ScrubberKind::kBackToBack;
+    cfg.scrubber.priority = cfq_idle ? block::IoPriority::kIdle
+                                     : block::IoPriority::kBestEffort;
+    cfg.scrubber.inter_request_delay = delay;
+    cfg.scrubber.strategy.kind = staggered ? exp::StrategyKind::kStaggered
+                                           : exp::StrategyKind::kSequential;
+    cfg.scrubber.strategy.request_bytes = 64 * 1024;
+    cfg.scrubber.strategy.regions = 128;
   }
-  sim.run_until(kRun);
-  return {w.metrics().throughput_mb_s(kRun),
-          s ? s->stats().throughput_mb_s(kRun) : 0.0};
+  cfg.run_for = kRun;
+  return cfg;
 }
 
-template <typename Workload>
-void run_workload(const char* title) {
+std::vector<Mode> modes() {
+  std::vector<Mode> m = {{"CFQ", true, 0}};
+  static char labels[7][16];
+  int i = 0;
+  for (SimTime delay_ms : {0, 8, 16, 32, 64, 128, 256}) {
+    std::snprintf(labels[i], sizeof(labels[i]), "%lldms",
+                  static_cast<long long>(delay_ms));
+    m.push_back({labels[i], false, delay_ms * kMillisecond});
+    ++i;
+  }
+  return m;
+}
+
+void run_workload(exp::WorkloadKind workload, const char* title) {
+  const std::vector<Mode> ms = modes();
+
+  // Configs in print order: the no-scrubber baseline, then (seq, stag)
+  // per mode; one deterministic sweep executes them all.
+  std::vector<exp::ScenarioConfig> configs;
+  configs.push_back(make_case(workload, false, false, false, 0));
+  for (const Mode& m : ms) {
+    configs.push_back(make_case(workload, true, false, m.cfq_idle, m.delay));
+    configs.push_back(make_case(workload, true, true, m.cfq_idle, m.delay));
+  }
+  const auto results = exp::run_scenarios(configs);
+
   header(title);
   std::printf("%-10s %14s | %12s %12s | %12s %12s\n", "mode", "",
               "seq scrub", "workload", "stag scrub", "workload");
   row_rule(80);
-
-  auto print_case = [](const char* label, bool cfq, SimTime delay) {
-    const Result seq = run_case<Workload>(true, false, cfq, delay);
-    const Result stag = run_case<Workload>(true, true, cfq, delay);
-    std::printf("%-10s %14s | %12.1f %12.1f | %12.1f %12.1f\n", label, "",
-                seq.scrub_mb_s, seq.workload_mb_s, stag.scrub_mb_s,
-                stag.workload_mb_s);
-  };
-
-  const Result none = run_case<Workload>(false, false, false, 0);
   std::printf("%-10s %14s | %12s %12.1f | %12s %12.1f\n", "None", "", "-",
-              none.workload_mb_s, "-", none.workload_mb_s);
-  print_case("CFQ", true, 0);
-  for (SimTime delay_ms : {0, 8, 16, 32, 64, 128, 256}) {
-    char label[16];
-    std::snprintf(label, sizeof(label), "%lldms",
-                  static_cast<long long>(delay_ms));
-    print_case(label, false, delay_ms * kMillisecond);
+              results[0].workload_mb_s, "-", results[0].workload_mb_s);
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const exp::ScenarioResult& seq = results[1 + 2 * i];
+    const exp::ScenarioResult& stag = results[2 + 2 * i];
+    std::printf("%-10s %14s | %12.1f %12.1f | %12.1f %12.1f\n", ms[i].label,
+                "", seq.scrub_mb_s, seq.workload_mb_s, stag.scrub_mb_s,
+                stag.workload_mb_s);
   }
 }
 
 void run() {
-  run_workload<workload::SequentialChunkWorkload>(
-      "Figure 6a: sequential foreground workload (MB/s)");
-  run_workload<workload::RandomReadWorkload>(
-      "Figure 6b: random foreground workload (MB/s)");
+  run_workload(exp::WorkloadKind::kSequentialChunks,
+               "Figure 6a: sequential foreground workload (MB/s)");
+  run_workload(exp::WorkloadKind::kRandomReads,
+               "Figure 6b: random foreground workload (MB/s)");
   std::printf(
       "\nReading: delays >= 16ms restore the workload but cap scrubbing at\n"
       "64KB/(delay+service); staggered == sequential at 128 regions.\n");

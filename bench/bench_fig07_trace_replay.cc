@@ -7,7 +7,8 @@
 // visibly shifts the response-time distribution right; a 64 ms delay
 // protects the foreground but drops scrub throughput by over an order of
 // magnitude; staggered == sequential throughout.
-#include <memory>
+#include <utility>
+#include <vector>
 
 #include "bench/common.h"
 
@@ -46,41 +47,28 @@ trace::Trace window_of(const trace::Trace& t, SimTime window) {
   return out;
 }
 
-struct Curve {
-  std::string label;
-  double scrub_req_s = 0.0;
-  stats::Ecdf ecdf{{}};
-};
-
-Curve replay(const trace::Trace& t, const char* label, bool with_scrubber,
-             bool staggered, bool cfq_idle, SimTime delay) {
-  Simulator sim;
-  disk::DiskModel d(sim, disk::hitachi_ultrastar_15k450(), 1);
-  block::BlockLayer blk(sim, d, std::make_unique<block::CfqScheduler>());
-  workload::TraceReplayWorkload w(sim, blk, t);
-  w.metrics().keep_samples = true;
-
-  std::unique_ptr<core::Scrubber> s;
+exp::ScenarioConfig replay_case(const trace::Trace& t, const char* label,
+                                bool with_scrubber, bool staggered,
+                                bool cfq_idle, SimTime delay) {
+  exp::ScenarioConfig cfg;
+  cfg.label = label;
+  cfg.disk.kind = exp::DiskKind::kUltrastar15k450;
+  cfg.scheduler = exp::SchedulerKind::kCfq;
+  cfg.workload.kind = exp::WorkloadKind::kTraceReplay;
+  cfg.workload.trace = &t;
+  cfg.workload.keep_response_samples = true;
   if (with_scrubber) {
-    core::ScrubberConfig cfg;
-    cfg.priority = cfq_idle ? block::IoPriority::kIdle
-                            : block::IoPriority::kBestEffort;
-    cfg.inter_request_delay = delay;
-    auto strategy =
-        staggered ? core::make_staggered(d.total_sectors(), 64 * 1024, 128)
-                  : core::make_sequential(d.total_sectors(), 64 * 1024);
-    s = std::make_unique<core::Scrubber>(sim, blk, std::move(strategy), cfg);
-    s->start();
+    cfg.scrubber.kind = exp::ScrubberKind::kBackToBack;
+    cfg.scrubber.priority = cfq_idle ? block::IoPriority::kIdle
+                                     : block::IoPriority::kBestEffort;
+    cfg.scrubber.inter_request_delay = delay;
+    cfg.scrubber.strategy.kind = staggered ? exp::StrategyKind::kStaggered
+                                           : exp::StrategyKind::kSequential;
+    cfg.scrubber.strategy.request_bytes = 64 * 1024;
+    cfg.scrubber.strategy.regions = 128;
   }
-  w.start();
-  sim.run_until(kWindow + kMinute);
-
-  Curve c;
-  c.label = label;
-  c.scrub_req_s =
-      s ? static_cast<double>(s->stats().requests) / to_seconds(kWindow) : 0.0;
-  c.ecdf = stats::Ecdf(std::move(w.metrics().response_seconds));
-  return c;
+  cfg.run_for = kWindow + kMinute;
+  return cfg;
 }
 
 void run() {
@@ -90,30 +78,36 @@ void run() {
   std::printf("replayed %zu requests over %s\n", t.size(),
               format_duration(kWindow).c_str());
 
-  std::vector<Curve> curves;
-  curves.push_back(replay(t, "No scrubber", false, false, false, 0));
-  curves.push_back(replay(t, "CFQ (Seql)", true, false, true, 0));
-  curves.push_back(replay(t, "CFQ (Stag)", true, true, true, 0));
-  curves.push_back(replay(t, "0ms (Seql)", true, false, false, 0));
-  curves.push_back(replay(t, "0ms (Stag)", true, true, false, 0));
-  curves.push_back(
-      replay(t, "64ms (Seql)", true, false, false, 64 * kMillisecond));
-  curves.push_back(
-      replay(t, "64ms (Stag)", true, true, false, 64 * kMillisecond));
+  const std::vector<exp::ScenarioConfig> configs = {
+      replay_case(t, "No scrubber", false, false, false, 0),
+      replay_case(t, "CFQ (Seql)", true, false, true, 0),
+      replay_case(t, "CFQ (Stag)", true, true, true, 0),
+      replay_case(t, "0ms (Seql)", true, false, false, 0),
+      replay_case(t, "0ms (Stag)", true, true, false, 0),
+      replay_case(t, "64ms (Seql)", true, false, false, 64 * kMillisecond),
+      replay_case(t, "64ms (Stag)", true, true, false, 64 * kMillisecond),
+  };
+  auto results = exp::run_scenarios(configs);
 
   std::printf("\n%-14s %10s\n", "config", "scrub r/s");
   row_rule(26);
-  for (const auto& c : curves) {
-    std::printf("%-14s %10.0f\n", c.label.c_str(), c.scrub_req_s);
+  for (const auto& r : results) {
+    std::printf("%-14s %10.0f\n", r.label.c_str(),
+                static_cast<double>(r.scrub_requests) / to_seconds(kWindow));
+  }
+
+  std::vector<stats::Ecdf> ecdfs;
+  for (auto& r : results) {
+    ecdfs.emplace_back(std::move(r.response_seconds));
   }
 
   std::printf("\nCDF of response times, P(resp <= x):\n%-12s", "x (s)");
-  for (const auto& c : curves) std::printf(" %11s", c.label.c_str());
+  for (const auto& r : results) std::printf(" %11s", r.label.c_str());
   std::printf("\n");
-  row_rule(12 + 12 * static_cast<int>(curves.size()));
+  row_rule(12 + 12 * static_cast<int>(results.size()));
   for (double x : {1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 10.0}) {
     std::printf("%-12g", x);
-    for (const auto& c : curves) std::printf(" %11.3f", c.ecdf.at(x));
+    for (const auto& e : ecdfs) std::printf(" %11.3f", e.at(x));
     std::printf("\n");
   }
   std::printf(

@@ -4,39 +4,19 @@
 // (representative).
 //
 // Each policy sweeps its parameter; every setting yields one point
-// (collision rate, fraction of idle time utilized).
-//
-// Paper results reproduced: Waiting clearly outperforms AR and the
-// combined policies; Lossless Waiting tracks the Oracle, showing Waiting's
-// only loss is the time spent waiting; pure AR is the worst.
-#include <algorithm>
+// (collision rate, fraction of idle time utilized). The whole figure is
+// one exp::run_policy_scenarios sweep: every point is an independent
+// labeled scenario, so the rows compute in parallel and the metrics
+// registry receives the same labeled entries in the same order no matter
+// how many workers run.
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/common.h"
 
 namespace pscrub::bench {
 namespace {
-
-core::PolicySimConfig sim_config(const std::vector<SimTime>& services) {
-  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
-  core::PolicySimConfig c;
-  c.scrub_service = core::make_scrub_service(p);
-  c.sizer = core::ScrubSizer::fixed(64 * 1024);
-  c.services = &services;
-  return c;
-}
-
-const char* g_current_disk = "";
-
-void print_point(const char* policy, const std::string& param,
-                 const core::PolicySimResult& r) {
-  std::printf("%-18s %12s %14.4f %14.3f\n", policy, param.c_str(),
-              r.collision_rate, r.idle_utilization);
-  // Mirror each point into the metrics registry so PSCRUB_METRICS dumps
-  // the whole figure as machine-readable JSON.
-  r.export_to(obs::Registry::global(), std::string("fig14.") +
-                                           g_current_disk + "." + policy +
-                                           "." + param);
-}
 
 std::string ms_label(SimTime t) {
   char buf[24];
@@ -46,7 +26,6 @@ std::string ms_label(SimTime t) {
 }
 
 void run_disk(const char* disk_name) {
-  g_current_disk = disk_name;
   header(std::string("Figure 14: policy comparison on ") + disk_name);
   const trace::Trace t = scaled_trace(disk_name, 2'500'000);
   std::printf("%zu requests replayed (thinned)\n\n", t.size());
@@ -56,6 +35,20 @@ void run_disk(const char* disk_name) {
               "idle utilized");
   row_rule(62);
 
+  std::vector<exp::PolicySimScenario> scenarios;
+  std::vector<std::pair<std::string, std::string>> rows;  // (policy, param)
+  auto add = [&](const std::string& policy, const std::string& param,
+                 const exp::PolicySpec& spec) {
+    exp::PolicySimScenario s;
+    s.label = "fig14." + std::string(disk_name) + "." + policy + "." + param;
+    s.trace = &t;
+    s.services = &services;
+    s.policy = spec;
+    s.sizer = core::ScrubSizer::fixed(64 * 1024);
+    scenarios.push_back(std::move(s));
+    rows.emplace_back(policy, param);
+  };
+
   // The thinned traces stretch idle intervals (~6-40x vs the originals),
   // so the sweep extends further than the paper's 16..2048 ms to span the
   // same portion of the idle-length distribution.
@@ -64,57 +57,70 @@ void run_disk(const char* disk_name) {
       1024 * kMillisecond, 4096 * kMillisecond,  16384 * kMillisecond,
       65536 * kMillisecond};
 
+  const auto idles = idle_intervals_for(disk_name, 2'500'000);
+  stats::ResidualLife life{idles};
+
   // Oracle: utilize exactly the intervals longer than L, from the start.
-  {
-    const auto idles = idle_intervals_for(disk_name, 2'500'000);
-    stats::ResidualLife life{idles};
-    for (double q : {0.5, 0.8, 0.9, 0.95, 0.98, 0.99, 0.995}) {
-      const double len_s =
-          stats::quantile_sorted(life.sorted(), q);
-      core::OraclePolicy oracle(from_seconds(len_s));
-      const auto r = core::run_policy_sim(t, oracle, sim_config(services));
-      char param[24];
-      std::snprintf(param, sizeof(param), "q%.3g", q);
-      print_point("Oracle", param, r);
-    }
+  for (double q : {0.5, 0.8, 0.9, 0.95, 0.98, 0.99, 0.995}) {
+    const double len_s = stats::quantile_sorted(life.sorted(), q);
+    exp::PolicySpec spec;
+    spec.kind = exp::PolicyKind::kOracle;
+    spec.threshold = from_seconds(len_s);
+    char param[24];
+    std::snprintf(param, sizeof(param), "q%.3g", q);
+    add("Oracle", param, spec);
   }
 
   for (SimTime th : thresholds) {
-    core::ArPolicy ar(th, /*window=*/4096, /*refit_every=*/1024,
-                      /*max_order=*/8);
-    const auto r = core::run_policy_sim(t, ar, sim_config(services));
-    print_point("Auto-Regression", ms_label(th), r);
+    exp::PolicySpec spec;
+    spec.kind = exp::PolicyKind::kAutoRegression;
+    spec.threshold = th;
+    spec.ar_window = 4096;
+    spec.ar_refit_every = 1024;
+    spec.ar_max_order = 8;
+    add("Auto-Regression", ms_label(th), spec);
   }
 
   for (SimTime th : thresholds) {
-    core::WaitingPolicy w(th);
-    const auto r = core::run_policy_sim(t, w, sim_config(services));
-    print_point("Waiting", ms_label(th), r);
+    exp::PolicySpec spec;
+    spec.kind = exp::PolicyKind::kWaiting;
+    spec.threshold = th;
+    add("Waiting", ms_label(th), spec);
   }
 
   for (SimTime th : thresholds) {
-    core::LosslessWaitingPolicy lw(th);
-    const auto r = core::run_policy_sim(t, lw, sim_config(services));
-    print_point("Lossless Waiting", ms_label(th), r);
+    exp::PolicySpec spec;
+    spec.kind = exp::PolicyKind::kLosslessWaiting;
+    spec.threshold = th;
+    add("Lossless Waiting", ms_label(th), spec);
   }
 
   // AR + Waiting: the AR threshold c is set at the 20/40/60/80th
   // percentile of observed idle durations; the wait threshold sweeps.
-  {
-    const auto idles = idle_intervals_for(disk_name, 2'500'000);
-    stats::ResidualLife life{idles};
-    for (double q : {0.2, 0.4, 0.6, 0.8}) {
-      const SimTime c = from_seconds(stats::quantile_sorted(life.sorted(), q));
-      for (SimTime th : {64 * kMillisecond, 1024 * kMillisecond,
-                         16384 * kMillisecond}) {
-        core::ArWaitingPolicy arw(th, c);
-        const auto r = core::run_policy_sim(t, arw, sim_config(services));
-        char label[32];
-        std::snprintf(label, sizeof(label), "AR(%.0fth)+Wait",
-                      q * 100);
-        print_point(label, ms_label(th), r);
-      }
+  for (double q : {0.2, 0.4, 0.6, 0.8}) {
+    const SimTime c = from_seconds(stats::quantile_sorted(life.sorted(), q));
+    for (SimTime th :
+         {64 * kMillisecond, 1024 * kMillisecond, 16384 * kMillisecond}) {
+      exp::PolicySpec spec;
+      spec.kind = exp::PolicyKind::kArWaiting;
+      spec.threshold = th;
+      spec.secondary = c;
+      char label[32];
+      std::snprintf(label, sizeof(label), "AR(%.0fth)+Wait", q * 100);
+      add(label, ms_label(th), spec);
     }
+  }
+
+  // Per-point registries merge into the global registry in scenario order,
+  // so PSCRUB_METRICS output matches a serial run byte for byte.
+  exp::SweepOptions options;
+  options.merge_into = &obs::Registry::global();
+  const auto results = exp::run_policy_scenarios(scenarios, options);
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("%-18s %12s %14.4f %14.3f\n", rows[i].first.c_str(),
+                rows[i].second.c_str(), results[i].collision_rate,
+                results[i].idle_utilization);
   }
 }
 

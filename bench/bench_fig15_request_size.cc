@@ -6,6 +6,9 @@
 //    threshold) found by the optimizer.
 //  - Adaptive sizing (exponential a=2; linear a=2, b=64K), which the paper
 //    shows does NOT beat the optimal fixed size.
+#include <string>
+#include <vector>
+
 #include "bench/common.h"
 
 namespace pscrub::bench {
@@ -13,32 +16,12 @@ namespace {
 
 constexpr const char* kDisk = "HPc6t5d1";
 
-core::PolicySimConfig sim_config(core::ScrubSizer sizer,
-                                 const std::vector<SimTime>& services) {
-  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
-  core::PolicySimConfig c;
-  c.scrub_service = core::make_scrub_service(p);
-  c.sizer = sizer;
-  c.services = &services;
-  return c;
-}
-
-void sweep(const trace::Trace& t, const std::vector<SimTime>& services,
-           const char* label, core::ScrubSizer sizer) {
-  std::printf("\n%s:\n%-10s %16s %16s\n", label, "threshold",
-              "mean sldn (ms)", "scrub MB/s");
-  row_rule(46);
-  for (SimTime th :
-       {16 * kMillisecond, 32 * kMillisecond, 64 * kMillisecond,
-        128 * kMillisecond, 256 * kMillisecond, 512 * kMillisecond,
-        1024 * kMillisecond, 2048 * kMillisecond, 4096 * kMillisecond}) {
-    core::WaitingPolicy w(th);
-    const auto r = core::run_policy_sim(t, w, sim_config(sizer, services));
-    std::printf("%-10s %16.3f %16.2f",
-                (std::to_string(th / kMillisecond) + "ms").c_str(),
-                r.mean_slowdown_ms, r.scrub_mb_s);
-    std::printf("\n");
-  }
+const std::vector<SimTime>& thresholds() {
+  static const std::vector<SimTime> kThresholds = {
+      16 * kMillisecond,   32 * kMillisecond,  64 * kMillisecond,
+      128 * kMillisecond,  256 * kMillisecond, 512 * kMillisecond,
+      1024 * kMillisecond, 2048 * kMillisecond, 4096 * kMillisecond};
+  return kThresholds;
 }
 
 void run() {
@@ -50,18 +33,53 @@ void run() {
       t, core::make_foreground_service(disk::hitachi_ultrastar_15k450()));
 
   constexpr std::int64_t kKb = 1024;
-  sweep(t, services, "Fixed 64K", core::ScrubSizer::fixed(64 * kKb));
-  sweep(t, services, "Fixed 768K", core::ScrubSizer::fixed(768 * kKb));
-  sweep(t, services, "Fixed 1216K", core::ScrubSizer::fixed(1216 * kKb));
-  sweep(t, services, "Fixed 1280K", core::ScrubSizer::fixed(1280 * kKb));
-  sweep(t, services, "Fixed 4M", core::ScrubSizer::fixed(4096 * kKb));
-  sweep(t, services, "Adaptive exponential (a=2, start 64K, cap 4M)",
-        core::ScrubSizer::exponential(64 * kKb, 2.0, 4096 * kKb));
-  sweep(t, services, "Adaptive linear (a=2, b=64K, cap 4M)",
-        core::ScrubSizer::linear(64 * kKb, 2.0, 64 * kKb, 4096 * kKb));
+  struct Variant {
+    const char* label;
+    core::ScrubSizer sizer;
+  };
+  const std::vector<Variant> variants = {
+      {"Fixed 64K", core::ScrubSizer::fixed(64 * kKb)},
+      {"Fixed 768K", core::ScrubSizer::fixed(768 * kKb)},
+      {"Fixed 1216K", core::ScrubSizer::fixed(1216 * kKb)},
+      {"Fixed 1280K", core::ScrubSizer::fixed(1280 * kKb)},
+      {"Fixed 4M", core::ScrubSizer::fixed(4096 * kKb)},
+      {"Adaptive exponential (a=2, start 64K, cap 4M)",
+       core::ScrubSizer::exponential(64 * kKb, 2.0, 4096 * kKb)},
+      {"Adaptive linear (a=2, b=64K, cap 4M)",
+       core::ScrubSizer::linear(64 * kKb, 2.0, 64 * kKb, 4096 * kKb)},
+  };
+
+  // One flat scenario sweep covers every (variant, threshold) point.
+  std::vector<exp::PolicySimScenario> scenarios;
+  for (const Variant& v : variants) {
+    for (SimTime th : thresholds()) {
+      exp::PolicySimScenario s;
+      s.trace = &t;
+      s.services = &services;
+      s.policy.kind = exp::PolicyKind::kWaiting;
+      s.policy.threshold = th;
+      s.sizer = v.sizer;
+      scenarios.push_back(std::move(s));
+    }
+  }
+  const auto results = exp::run_policy_scenarios(scenarios);
+
+  std::size_t i = 0;
+  for (const Variant& v : variants) {
+    std::printf("\n%s:\n%-10s %16s %16s\n", v.label, "threshold",
+                "mean sldn (ms)", "scrub MB/s");
+    row_rule(46);
+    for (SimTime th : thresholds()) {
+      const auto& r = results[i++];
+      std::printf("%-10s %16.3f %16.2f\n",
+                  (std::to_string(th / kMillisecond) + "ms").c_str(),
+                  r.mean_slowdown_ms, r.scrub_mb_s);
+    }
+  }
 
   // Optimal fixed policy: per slowdown goal, pick the best (size,
-  // threshold) pair -- the paper's recommended procedure.
+  // threshold) pair -- the paper's recommended procedure. optimize() runs
+  // its per-size searches on the sweep worker pool internally.
   std::printf("\nOptimal fixed (size chosen per slowdown goal):\n");
   std::printf("%-12s %10s %12s %16s %14s\n", "goal (ms)", "size",
               "threshold", "mean sldn (ms)", "scrub MB/s");

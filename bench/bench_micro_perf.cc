@@ -58,18 +58,37 @@ void BM_PolicySimWaiting(benchmark::State& state) {
   spec.duration = kHour;
   spec.target_requests = 200000;
   const trace::Trace t = trace::SyntheticGenerator(spec).generate_trace();
-  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
   for (auto _ : state) {
-    core::WaitingPolicy w(64 * kMillisecond);
-    core::PolicySimConfig c;
-    c.foreground_service = core::make_foreground_service(p);
-    c.scrub_service = core::make_scrub_service(p);
-    const auto r = core::run_policy_sim(t, w, c);
+    exp::PolicySimScenario s;
+    s.trace = &t;
+    s.policy.kind = exp::PolicyKind::kWaiting;
+    s.policy.threshold = 64 * kMillisecond;
+    const auto r = exp::run_policy_scenario(s);
     benchmark::DoNotOptimize(r.scrubbed_bytes);
   }
   state.SetItemsProcessed(state.iterations() * t.size());
 }
 BENCHMARK(BM_PolicySimWaiting);
+
+void BM_SweepFanout(benchmark::State& state) {
+  const std::size_t tasks = 64;
+  for (auto _ : state) {
+    obs::Registry merged;
+    exp::SweepOptions options;
+    options.workers = static_cast<int>(state.range(0));
+    options.merge_into = &merged;
+    const auto out = exp::sweep<std::uint64_t>(
+        tasks,
+        [](exp::TaskContext& ctx) {
+          ctx.registry.counter("tasks") += 1;
+          return ctx.seed;
+        },
+        options);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_SweepFanout)->Arg(1)->Arg(4);
 
 void BM_DiskModelVerifyStream(benchmark::State& state) {
   for (auto _ : state) {

@@ -9,7 +9,8 @@
 //     moving average -- quality at equal collision rate, and fitting cost.
 //  3. Scheduler substrate: CFQ vs the deadline scheduler for a scrubber
 //     that has no priority class to hide in.
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/common.h"
 
@@ -18,30 +19,47 @@ namespace {
 
 constexpr const char* kDisk = "MSRusr2";
 
+exp::PolicySimScenario policy_case(const trace::Trace& t,
+                                   const std::vector<SimTime>& services,
+                                   const exp::PolicySpec& spec) {
+  exp::PolicySimScenario s;
+  s.trace = &t;
+  s.services = &services;
+  s.policy = spec;
+  return s;
+}
+
 void stopping_criterion(const trace::Trace& t,
                         const std::vector<SimTime>& services) {
   std::printf("\n(1) Stopping criterion ablation (Waiting start=64ms):\n");
   std::printf("%-18s %14s %16s %12s\n", "budget/interval", "collision rate",
               "idle utilized", "scrub MB/s");
   row_rule(64);
-  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
-  auto run = [&](core::IdlePolicy& policy) {
-    core::PolicySimConfig c;
-    c.scrub_service = core::make_scrub_service(p);
-    c.services = &services;
-    return core::run_policy_sim(t, policy, c);
-  };
-  for (SimTime budget :
-       {100 * kMillisecond, 500 * kMillisecond, 2000 * kMillisecond,
-        8000 * kMillisecond}) {
-    core::DualThresholdPolicy policy(64 * kMillisecond, budget);
-    const auto r = run(policy);
-    std::printf("%-18s %14.4f %16.3f %12.2f\n",
-                (std::to_string(budget / kMillisecond) + "ms").c_str(),
-                r.collision_rate, r.idle_utilization, r.scrub_mb_s);
+  const std::vector<SimTime> budgets = {100 * kMillisecond, 500 * kMillisecond,
+                                        2000 * kMillisecond,
+                                        8000 * kMillisecond};
+  std::vector<exp::PolicySimScenario> scenarios;
+  for (SimTime budget : budgets) {
+    exp::PolicySpec spec;
+    spec.kind = exp::PolicyKind::kDualThreshold;
+    spec.threshold = 64 * kMillisecond;
+    spec.secondary = budget;
+    scenarios.push_back(policy_case(t, services, spec));
   }
-  core::WaitingPolicy unlimited(64 * kMillisecond);
-  const auto r = run(unlimited);
+  {
+    exp::PolicySpec spec;
+    spec.kind = exp::PolicyKind::kWaiting;
+    spec.threshold = 64 * kMillisecond;
+    scenarios.push_back(policy_case(t, services, spec));
+  }
+  const auto results = exp::run_policy_scenarios(scenarios);
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    std::printf("%-18s %14.4f %16.3f %12.2f\n",
+                (std::to_string(budgets[i] / kMillisecond) + "ms").c_str(),
+                results[i].collision_rate, results[i].idle_utilization,
+                results[i].scrub_mb_s);
+  }
+  const auto& r = results.back();
   std::printf("%-18s %14.4f %16.3f %12.2f   <- the paper's choice\n",
               "unbounded", r.collision_rate, r.idle_utilization, r.scrub_mb_s);
 }
@@ -52,38 +70,31 @@ void predictor_comparison(const trace::Trace& t,
   std::printf("%-16s %10s %14s %16s\n", "predictor", "c", "collision rate",
               "idle utilized");
   row_rule(60);
-  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
-  auto run = [&](core::IdlePolicy& policy) {
-    core::PolicySimConfig c;
-    c.scrub_service = core::make_scrub_service(p);
-    c.services = &services;
-    return core::run_policy_sim(t, policy, c);
+  const std::vector<SimTime> cutoffs = {256 * kMillisecond,
+                                        2048 * kMillisecond,
+                                        16384 * kMillisecond};
+  const std::vector<std::pair<const char*, exp::PolicyKind>> predictors = {
+      {"AR(p)", exp::PolicyKind::kAutoRegression},
+      {"ACD(1,1)", exp::PolicyKind::kAcd},
+      {"moving avg", exp::PolicyKind::kMovingAverage},
+      {"Waiting", exp::PolicyKind::kWaiting},
   };
-  for (SimTime c : {256 * kMillisecond, 2048 * kMillisecond,
-                    16384 * kMillisecond}) {
+  std::vector<exp::PolicySimScenario> scenarios;
+  for (SimTime c : cutoffs) {
+    for (const auto& [name, kind] : predictors) {
+      exp::PolicySpec spec;
+      spec.kind = kind;
+      spec.threshold = c;
+      scenarios.push_back(policy_case(t, services, spec));
+    }
+  }
+  const auto results = exp::run_policy_scenarios(scenarios);
+  std::size_t i = 0;
+  for (SimTime c : cutoffs) {
     const std::string label = std::to_string(c / kMillisecond) + "ms";
-    {
-      core::ArPolicy ar(c);
-      const auto r = run(ar);
-      std::printf("%-16s %10s %14.4f %16.3f\n", "AR(p)", label.c_str(),
-                  r.collision_rate, r.idle_utilization);
-    }
-    {
-      core::AcdPolicy acd(c);
-      const auto r = run(acd);
-      std::printf("%-16s %10s %14.4f %16.3f\n", "ACD(1,1)", label.c_str(),
-                  r.collision_rate, r.idle_utilization);
-    }
-    {
-      core::MovingAveragePolicy ma(c);
-      const auto r = run(ma);
-      std::printf("%-16s %10s %14.4f %16.3f\n", "moving avg", label.c_str(),
-                  r.collision_rate, r.idle_utilization);
-    }
-    {
-      core::WaitingPolicy w(c);
-      const auto r = run(w);
-      std::printf("%-16s %10s %14.4f %16.3f\n", "Waiting", label.c_str(),
+    for (const auto& [name, kind] : predictors) {
+      const auto& r = results[i++];
+      std::printf("%-16s %10s %14.4f %16.3f\n", name, label.c_str(),
                   r.collision_rate, r.idle_utilization);
     }
   }
@@ -97,36 +108,35 @@ void scheduler_substrate() {
   std::printf("%-12s %16s %16s\n", "scheduler", "workload MB/s",
               "scrubber MB/s");
   row_rule(46);
-  for (const char* which : {"cfq-idle", "cfq-be", "deadline", "noop"}) {
-    Simulator sim;
-    disk::DiskModel d(sim, disk::hitachi_ultrastar_15k450(), 1);
-    std::unique_ptr<block::IoScheduler> sched;
-    block::IoPriority prio = block::IoPriority::kBestEffort;
-    if (std::string(which) == "cfq-idle") {
-      sched = std::make_unique<block::CfqScheduler>();
-      prio = block::IoPriority::kIdle;
-    } else if (std::string(which) == "cfq-be") {
-      sched = std::make_unique<block::CfqScheduler>();
-    } else if (std::string(which) == "deadline") {
-      sched = std::make_unique<block::DeadlineScheduler>();
-    } else {
-      sched = std::make_unique<block::NoopScheduler>();
-    }
-    block::BlockLayer blk(sim, d, std::move(sched));
-    workload::SyntheticConfig wcfg;
-    workload::SequentialChunkWorkload fg(sim, blk, wcfg, 42);
-    fg.start();
-    core::ScrubberConfig scfg;
-    scfg.priority = prio;
-    core::Scrubber s(sim, blk,
-                     core::make_sequential(d.total_sectors(), 64 * 1024),
-                     scfg);
-    s.start();
-    constexpr SimTime kRun = 120 * kSecond;
-    sim.run_until(kRun);
-    std::printf("%-12s %16.2f %16.2f\n", which,
-                fg.metrics().throughput_mb_s(kRun),
-                s.stats().throughput_mb_s(kRun));
+  struct Substrate {
+    const char* label;
+    exp::SchedulerKind scheduler;
+    block::IoPriority priority;
+  };
+  const std::vector<Substrate> substrates = {
+      {"cfq-idle", exp::SchedulerKind::kCfq, block::IoPriority::kIdle},
+      {"cfq-be", exp::SchedulerKind::kCfq, block::IoPriority::kBestEffort},
+      {"deadline", exp::SchedulerKind::kDeadline,
+       block::IoPriority::kBestEffort},
+      {"noop", exp::SchedulerKind::kNoop, block::IoPriority::kBestEffort},
+  };
+  std::vector<exp::ScenarioConfig> configs;
+  for (const Substrate& s : substrates) {
+    exp::ScenarioConfig cfg;
+    cfg.disk.kind = exp::DiskKind::kUltrastar15k450;
+    cfg.scheduler = s.scheduler;
+    cfg.workload.kind = exp::WorkloadKind::kSequentialChunks;
+    cfg.workload.seed = 42;
+    cfg.scrubber.kind = exp::ScrubberKind::kBackToBack;
+    cfg.scrubber.priority = s.priority;
+    cfg.scrubber.strategy.request_bytes = 64 * 1024;
+    cfg.run_for = 120 * kSecond;
+    configs.push_back(cfg);
+  }
+  const auto results = exp::run_scenarios(configs);
+  for (std::size_t i = 0; i < substrates.size(); ++i) {
+    std::printf("%-12s %16.2f %16.2f\n", substrates[i].label,
+                results[i].workload_mb_s, results[i].scrub_mb_s);
   }
   std::printf("Only CFQ's Idle class protects the foreground from a\n"
               "back-to-back scrubber -- the paper's Sec III-B point.\n");

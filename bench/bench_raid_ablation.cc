@@ -8,7 +8,7 @@
 //   - with a Waiting scrubber, they are found and repaired beforehand;
 //   - with a scrubber built on cache-answered ATA VERIFY (the Fig 1
 //     pathology), scrubbing runs at full speed and detects NOTHING.
-#include <memory>
+#include <functional>
 
 #include "bench/common.h"
 
@@ -16,13 +16,6 @@ namespace pscrub::bench {
 namespace {
 
 constexpr SimTime kQuietPeriod = 2 * kHour;  // LSEs accrue, scrubber works
-
-disk::DiskProfile member_profile(bool sata) {
-  disk::DiskProfile p =
-      sata ? disk::wd_caviar() : disk::hitachi_ultrastar_15k450();
-  p.capacity_bytes = 1LL << 30;  // 1 GB members keep the sim fast
-  return p;
-}
 
 struct Outcome {
   std::int64_t injected = 0;
@@ -34,13 +27,33 @@ struct Outcome {
 
 enum class ScrubMode { kNone, kWaiting, kBrokenAtaVerify };
 
-Outcome run_case(ScrubMode mode, SimTime wait_threshold) {
-  Simulator sim;
-  raid::RaidConfig cfg;
-  cfg.data_disks = 4;
-  cfg.parity_disks = 1;
+exp::ScenarioConfig raid_case(ScrubMode mode, SimTime wait_threshold) {
+  exp::ScenarioConfig cfg;
   const bool sata = mode == ScrubMode::kBrokenAtaVerify;
-  raid::RaidArray array(sim, cfg, member_profile(sata), 2024);
+  cfg.disk.kind =
+      sata ? exp::DiskKind::kWdCaviar : exp::DiskKind::kUltrastar15k450;
+  cfg.disk.capacity_bytes = 1LL << 30;  // 1 GB members keep the sim fast
+  cfg.raid.enabled = true;
+  cfg.raid.data_disks = 4;
+  cfg.raid.parity_disks = 1;
+  cfg.raid.seed = 2024;
+  if (mode != ScrubMode::kNone) {
+    cfg.scrubber.kind = exp::ScrubberKind::kWaiting;
+    cfg.scrubber.wait_threshold = wait_threshold;
+    cfg.scrubber.strategy.request_bytes = 512 * 1024;
+    // Same policy either way, but the broken variant's verify primitive is
+    // ATA VERIFY answered from the cache: it "scrubs" at electronics speed
+    // and sees no media.
+    cfg.scrubber.verify_kind = sata ? disk::CommandKind::kVerifyAta
+                                    : disk::CommandKind::kVerifyScsi;
+  }
+  return cfg;
+}
+
+Outcome run_case(ScrubMode mode, SimTime wait_threshold) {
+  exp::Scenario scenario(raid_case(mode, wait_threshold));
+  Simulator& sim = scenario.sim();
+  raid::RaidArray& array = scenario.raid();
 
   // Light foreground: a random read every ~250 ms on average.
   Rng rng(99);
@@ -72,30 +85,14 @@ Outcome run_case(ScrubMode mode, SimTime wait_threshold) {
   };
   sim.after(0, next_burst);
 
-  // The scrubber under test.
-  std::vector<std::unique_ptr<core::WaitingScrubber>> broken;
-  if (mode == ScrubMode::kWaiting) {
-    array.start_scrubbing(wait_threshold, 512 * 1024);
-  } else if (mode == ScrubMode::kBrokenAtaVerify) {
-    // Same policy, but the verify primitive is ATA VERIFY answered from
-    // the cache: it "scrubs" at electronics speed and sees no media.
-    for (int i = 0; i < array.total_disks(); ++i) {
-      broken.push_back(std::make_unique<core::WaitingScrubber>(
-          sim, array.block(i),
-          core::make_sequential(array.disk(i).total_sectors(), 512 * 1024),
-          wait_threshold, disk::CommandKind::kVerifyAta));
-      broken.back()->start();
-    }
-  }
+  // The scrubber under test comes up with the scenario.
+  scenario.start();
 
   sim.run_until(kQuietPeriod);
-  array.stop_scrubbing();
-  for (auto& s : broken) s->stop();
+  scenario.stop_scrubbing();
 
   out.detections = array.stats().scrub_detections;
-  std::int64_t scrub_bytes = array.scrubbed_bytes();
-  for (auto& s : broken) scrub_bytes += s->stats().bytes;
-  out.scrub_mb_s = static_cast<double>(scrub_bytes) / 1e6 /
+  out.scrub_mb_s = static_cast<double>(scenario.scrubbed_bytes()) / 1e6 /
                    to_seconds(kQuietPeriod) / array.total_disks();
   for (int i = 0; i < array.total_disks(); ++i) {
     out.repaired += array.disk(i).counters().lse_repaired;

@@ -7,27 +7,26 @@
 // than the rotational latency hurt ONLY the staggered scrubber, because
 // the sequential scrubber's delay is absorbed by the rotation it was going
 // to wait for anyway.
-#include <memory>
+#include <vector>
 
 #include "bench/common.h"
 
 namespace pscrub::bench {
 namespace {
 
-double throughput(bool staggered, SimTime delay) {
-  Simulator sim;
-  disk::DiskModel d(sim, disk::hitachi_ultrastar_15k450(), 1);
-  block::BlockLayer blk(sim, d, std::make_unique<block::NoopScheduler>());
-  core::ScrubberConfig cfg;
-  cfg.priority = block::IoPriority::kBestEffort;
-  cfg.inter_request_delay = delay;
-  auto strategy = staggered
-                      ? core::make_staggered(d.total_sectors(), 64 * 1024, 128)
-                      : core::make_sequential(d.total_sectors(), 64 * 1024);
-  core::Scrubber s(sim, blk, std::move(strategy), cfg);
-  s.start();
-  sim.run_until(60 * kSecond);
-  return s.stats().throughput_mb_s(60 * kSecond);
+exp::ScenarioConfig delay_case(bool staggered, SimTime delay) {
+  exp::ScenarioConfig cfg;
+  cfg.disk.kind = exp::DiskKind::kUltrastar15k450;
+  cfg.scheduler = exp::SchedulerKind::kNoop;
+  cfg.scrubber.kind = exp::ScrubberKind::kBackToBack;
+  cfg.scrubber.priority = block::IoPriority::kBestEffort;
+  cfg.scrubber.inter_request_delay = delay;
+  cfg.scrubber.strategy.kind = staggered ? exp::StrategyKind::kStaggered
+                                         : exp::StrategyKind::kSequential;
+  cfg.scrubber.strategy.request_bytes = 64 * 1024;
+  cfg.scrubber.strategy.regions = 128;
+  cfg.run_for = 60 * kSecond;
+  return cfg;
 }
 
 void run() {
@@ -37,16 +36,27 @@ void run() {
   std::printf("%-12s %16s %16s\n", "delay", "sequential MB/s",
               "staggered MB/s");
   row_rule(46);
-  const double seq0 = throughput(false, 0);
-  const double stag0 = throughput(true, 0);
-  for (SimTime delay : {SimTime{0}, kMillisecond / 2, kMillisecond,
-                        2 * kMillisecond, 3 * kMillisecond}) {
-    std::printf("%-12s %16.1f %16.1f\n", format_duration(delay).c_str(),
-                throughput(false, delay), throughput(true, delay));
+
+  const std::vector<SimTime> delays = {SimTime{0}, kMillisecond / 2,
+                                       kMillisecond, 2 * kMillisecond,
+                                       3 * kMillisecond};
+  std::vector<exp::ScenarioConfig> configs;
+  for (SimTime delay : delays) {
+    configs.push_back(delay_case(false, delay));
+    configs.push_back(delay_case(true, delay));
   }
+  const auto results = exp::run_scenarios(configs);
+
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    std::printf("%-12s %16.1f %16.1f\n", format_duration(delays[i]).c_str(),
+                results[2 * i].scrub_mb_s, results[2 * i + 1].scrub_mb_s);
+  }
+  const double seq0 = results[0].scrub_mb_s;
+  const double stag0 = results[1].scrub_mb_s;
+  const double seq3 = results[2 * (delays.size() - 1)].scrub_mb_s;
+  const double stag3 = results[2 * (delays.size() - 1) + 1].scrub_mb_s;
   std::printf("\nloss at 3 ms delay: sequential %.0f%%, staggered %.0f%%\n",
-              100.0 * (1.0 - throughput(false, 3 * kMillisecond) / seq0),
-              100.0 * (1.0 - throughput(true, 3 * kMillisecond) / stag0));
+              100.0 * (1.0 - seq3 / seq0), 100.0 * (1.0 - stag3 / stag0));
   std::printf(
       "\nReading: sub-rotational delays are absorbed by the sequential\n"
       "scrubber's rotation wait but cost the staggered scrubber directly --\n"

@@ -6,7 +6,7 @@
 // rates mean a threshold-selected idle interval tends to be long enough
 // to amortize the spin-up: energy drops steeply while added latency stays
 // bounded. The memoryless TPC-C counter-example gains nothing.
-#include <memory>
+#include <vector>
 
 #include "bench/common.h"
 
@@ -27,6 +27,16 @@ trace::Trace window_of(const std::string& name, std::int64_t max_records) {
   return out;
 }
 
+exp::ScenarioConfig spindown_case(const trace::Trace& t, SimTime threshold) {
+  exp::ScenarioConfig cfg;
+  cfg.disk.kind = exp::DiskKind::kUltrastar15k450;
+  cfg.workload.kind = exp::WorkloadKind::kTraceReplay;
+  cfg.workload.trace = &t;
+  cfg.spindown_threshold = threshold;
+  cfg.run_for = t.duration + kMinute;
+  return cfg;
+}
+
 struct Outcome {
   double avg_watts = 0.0;
   double standby_fraction = 0.0;
@@ -34,31 +44,17 @@ struct Outcome {
   double mean_added_latency_ms = 0.0;
 };
 
-Outcome run_case(const trace::Trace& t, SimTime threshold) {
-  Simulator sim;
-  disk::DiskModel d(sim, disk::hitachi_ultrastar_15k450(), 1);
-  block::BlockLayer blk(sim, d, std::make_unique<block::CfqScheduler>());
-  workload::TraceReplayWorkload w(sim, blk, t);
-  w.start();
-
-  std::unique_ptr<core::SpinDownDaemon> daemon;
-  if (threshold > 0) {
-    daemon = std::make_unique<core::SpinDownDaemon>(sim, blk, threshold);
-    daemon->start();
-  }
-  const SimTime horizon = t.duration + kMinute;
-  sim.run_until(horizon);
-
+Outcome outcome_of(const exp::ScenarioResult& r, std::size_t records) {
   Outcome out;
-  out.avg_watts = d.energy_joules() / to_seconds(sim.now());
-  out.spinups = d.spinups();
-  if (!t.records.empty()) {
+  out.avg_watts = r.energy_joules / to_seconds(r.ran_for);
+  out.spinups = r.spinups;
+  if (records > 0) {
     out.mean_added_latency_ms =
-        to_milliseconds(d.spinup_wait()) /
-        static_cast<double>(t.records.size());
+        to_milliseconds(r.spinup_wait) / static_cast<double>(records);
   }
   // Standby fraction inferred from the energy mix.
-  const auto& p = d.profile();
+  const disk::DiskProfile p =
+      exp::profile_for(exp::DiskKind::kUltrastar15k450);
   const double idle_like =
       (out.avg_watts - p.standby_watts) / (p.idle_watts - p.standby_watts);
   out.standby_fraction = std::max(0.0, 1.0 - idle_like);
@@ -71,14 +67,21 @@ void run_disk(const std::string& name, std::int64_t max_records) {
   std::printf("  %-12s %10s %12s %10s %18s\n", "threshold", "avg W",
               "standby frac", "spinups", "added lat/req (ms)");
   row_rule(70);
-  const Outcome base = run_case(t, 0);
+
+  const std::vector<SimTime> thresholds = {0, 2 * kSecond, 10 * kSecond,
+                                           60 * kSecond};
+  std::vector<exp::ScenarioConfig> configs;
+  for (SimTime th : thresholds) configs.push_back(spindown_case(t, th));
+  const auto results = exp::run_scenarios(configs);
+
+  const Outcome base = outcome_of(results[0], t.size());
   std::printf("  %-12s %10.2f %12.2f %10lld %18.3f\n", "always-on",
               base.avg_watts, 0.0, (long long)base.spinups, 0.0);
-  for (SimTime th : {2 * kSecond, 10 * kSecond, 60 * kSecond}) {
-    const Outcome o = run_case(t, th);
+  for (std::size_t i = 1; i < thresholds.size(); ++i) {
+    const Outcome o = outcome_of(results[i], t.size());
     std::printf("  %-12s %10.2f %12.2f %10lld %18.3f\n",
-                (std::to_string(th / kSecond) + "s").c_str(), o.avg_watts,
-                o.standby_fraction, (long long)o.spinups,
+                (std::to_string(thresholds[i] / kSecond) + "s").c_str(),
+                o.avg_watts, o.standby_fraction, (long long)o.spinups,
                 o.mean_added_latency_ms);
   }
 }

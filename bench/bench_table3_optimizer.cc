@@ -40,12 +40,13 @@ void run_disk(const char* disk_name) {
   // CFQ reference: its Idle class fires after a fixed 10 ms of idleness,
   // with 64 KB requests, and keeps firing until foreground work arrives.
   {
-    core::WaitingPolicy cfq(10 * kMillisecond);
-    core::PolicySimConfig sc;
-    sc.scrub_service = core::make_scrub_service(p);
-    sc.services = &services;
-    sc.sizer = core::ScrubSizer::fixed(64 * 1024);
-    const auto r = core::run_policy_sim(t, cfq, sc);
+    exp::PolicySimScenario s;
+    s.trace = &t;
+    s.services = &services;
+    s.policy.kind = exp::PolicyKind::kWaiting;
+    s.policy.threshold = 10 * kMillisecond;
+    s.sizer = core::ScrubSizer::fixed(64 * 1024);
+    const auto r = exp::run_policy_scenario(s);
     std::printf("  %-12s %14.3f %12.2f %10s %12s\n", "CFQ",
                 r.mean_slowdown_ms, r.scrub_mb_s, "10ms", "64K");
   }
@@ -60,12 +61,13 @@ void run_disk(const char* disk_name) {
     const trace::Trace full = gen.generate_trace(1.0);
     const std::vector<SimTime> full_services =
         core::precompute_services(full, core::make_foreground_service(p));
-    core::WaitingPolicy cfq(10 * kMillisecond);
-    core::PolicySimConfig sc;
-    sc.scrub_service = core::make_scrub_service(p);
-    sc.services = &full_services;
-    sc.sizer = core::ScrubSizer::fixed(64 * 1024);
-    const auto r = core::run_policy_sim(full, cfq, sc);
+    exp::PolicySimScenario s;
+    s.trace = &full;
+    s.services = &full_services;
+    s.policy.kind = exp::PolicyKind::kWaiting;
+    s.policy.threshold = 10 * kMillisecond;
+    s.sizer = core::ScrubSizer::fixed(64 * 1024);
+    const auto r = exp::run_policy_scenario(s);
     std::printf("  %-12s %14.3f %12.2f %10s %12s   (full volume, %zu reqs)\n",
                 "CFQ", r.mean_slowdown_ms, r.scrub_mb_s, "10ms", "64K",
                 full.size());

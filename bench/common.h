@@ -104,18 +104,10 @@ inline trace::ServiceModel recorded_service_model(
 inline std::vector<double> idle_intervals_streamed(const std::string& name) {
   auto spec = trace::spec_by_name(name);
   if (!spec) throw std::runtime_error("unknown trace: " + name);
-  const trace::ServiceModel service = recorded_service_model(*spec);
+  trace::IdleAccumulator acc(recorded_service_model(*spec));
   trace::SyntheticGenerator gen(*spec);
-  std::vector<double> idles;
-  SimTime busy_until = 0;
-  gen.generate([&](const trace::TraceRecord& r) {
-    if (r.arrival > busy_until) {
-      idles.push_back(to_seconds(r.arrival - busy_until));
-    }
-    const SimTime start = std::max(r.arrival, busy_until);
-    busy_until = start + service(r);
-  });
-  return idles;
+  gen.generate([&acc](const trace::TraceRecord& r) { acc.add(r); });
+  return acc.finish().idle_seconds;
 }
 
 /// Idle intervals of the thinned trace used by the policy-simulation

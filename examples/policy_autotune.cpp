@@ -36,6 +36,9 @@ int main(int argc, char** argv) {
   core::OptimizerConfig oc;
   oc.foreground_service = core::make_foreground_service(profile);
   oc.scrub_service = core::make_scrub_service(profile);
+  // The per-size searches fan out on exp::sweep's deterministic worker
+  // pool; the recommendation is bit-identical for any worker count.
+  oc.workers = 0;
 
   core::SlowdownGoal goal;
   goal.mean = from_seconds(goal_ms * 1e-3);
@@ -60,12 +63,12 @@ int main(int argc, char** argv) {
               best.achieved_mean_slowdown_ms, best.collision_rate);
 
   // CFQ reference.
-  core::WaitingPolicy cfq(10 * kMillisecond);
-  core::PolicySimConfig sc;
-  sc.foreground_service = core::make_foreground_service(profile);
-  sc.scrub_service = core::make_scrub_service(profile);
-  sc.sizer = core::ScrubSizer::fixed(64 * 1024);
-  const auto r = core::run_policy_sim(t, cfq, sc);
+  exp::PolicySimScenario cfq;
+  cfq.trace = &t;
+  cfq.policy.kind = exp::PolicyKind::kWaiting;
+  cfq.policy.threshold = 10 * kMillisecond;
+  cfq.sizer = core::ScrubSizer::fixed(64 * 1024);
+  const auto r = exp::run_policy_scenario(cfq);
   std::printf("CFQ (10 ms window, 64 KB requests) for comparison:\n");
   std::printf("  scrub rate:      %.2f MB/s\n", r.scrub_mb_s);
   std::printf("  mean slowdown:   %.3f ms\n", r.mean_slowdown_ms);

@@ -1,9 +1,10 @@
 // Quickstart: scrub a simulated disk underneath a foreground workload.
 //
-// Builds the full stack -- a Hitachi Ultrastar disk model, a CFQ block
-// layer, a sequential foreground workload -- and runs the paper's
-// recommended scrubber (Waiting policy, fixed request size) next to it for
-// one simulated minute.
+// One exp::ScenarioConfig describes the full stack -- a Hitachi Ultrastar
+// disk model, a CFQ block layer, a sequential foreground workload -- and
+// the scenario engine assembles it and runs the paper's recommended
+// scrubber (Waiting policy, fixed request size) next to it for one
+// simulated minute.
 //
 // Observability: set PSCRUB_TRACE=trace.json to capture a Perfetto-
 // loadable sim-time trace of the run (disk phases, block queueing,
@@ -13,7 +14,6 @@
 //   ./quickstart [wait_threshold_ms] [request_kb]
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
 
 #include "pscrub.h"
 
@@ -26,62 +26,53 @@ int main(int argc, char** argv) {
   const std::int64_t request_bytes =
       (argc > 2 ? std::atoll(argv[2]) : 512) * 1024;
 
-  // 1. The simulated hardware: a 300 GB 15k SAS drive.
-  Simulator sim;
-  disk::DiskModel drive(sim, disk::hitachi_ultrastar_15k450(), /*seed=*/1);
+  // The whole stack as one value: a 300 GB 15k SAS drive behind the
+  // CFQ-like scheduler, an 8 MB sequential-chunk foreground workload, and
+  // a Waiting scrubber that fires once the disk stays idle past the
+  // threshold, verifying back-to-back until foreground work returns.
+  exp::ScenarioConfig cfg;
+  cfg.disk.kind = exp::DiskKind::kUltrastar15k450;
+  cfg.scheduler = exp::SchedulerKind::kCfq;
+  cfg.workload.kind = exp::WorkloadKind::kSequentialChunks;
+  cfg.scrubber.kind = exp::ScrubberKind::kWaiting;
+  cfg.scrubber.wait_threshold = wait_threshold;
+  cfg.scrubber.strategy.request_bytes = request_bytes;
+  cfg.run_for = 60 * kSecond;
+
+  exp::Scenario scenario(cfg);
+  const disk::DiskModel& drive = scenario.disk();
   std::printf("disk: %s, %.1f GB, %d RPM, media rate %.0f MB/s\n",
               drive.profile().name.c_str(),
               static_cast<double>(drive.geometry().total_bytes()) / 1e9,
               drive.profile().rpm, drive.profile().media_rate_mb_s());
 
-  // 2. The block layer with the CFQ-like scheduler.
-  block::BlockLayer blk(sim, drive, std::make_unique<block::CfqScheduler>());
+  scenario.run();
+  const exp::ScenarioResult r = scenario.take_result();
 
-  // 3. A foreground workload: 8 MB sequential chunks with think time.
-  workload::SyntheticConfig wcfg;
-  workload::SequentialChunkWorkload fg(sim, blk, wcfg, /*seed=*/42);
-  fg.start();
-
-  // 4. The scrubber: wait for the disk to stay idle past the threshold,
-  //    then verify back-to-back until foreground work returns.
-  core::WaitingScrubber scrubber(
-      sim, blk, core::make_sequential(drive.total_sectors(), request_bytes),
-      wait_threshold);
-  scrubber.start();
-
-  // 5. Run one simulated minute.
-  constexpr SimTime kRun = 60 * kSecond;
-  sim.run_until(kRun);
-
-  std::printf("\nafter %s simulated:\n", format_duration(kRun).c_str());
+  std::printf("\nafter %s simulated:\n", format_duration(cfg.run_for).c_str());
   std::printf("  foreground: %lld requests, %.2f MB/s, mean latency %.2f ms\n",
-              static_cast<long long>(fg.metrics().requests),
-              fg.metrics().throughput_mb_s(kRun),
-              fg.metrics().mean_latency_ms());
+              static_cast<long long>(r.workload_requests), r.workload_mb_s,
+              r.workload_mean_latency_ms);
   std::printf("  scrubber:   %lld verifies, %.2f MB/s "
               "(wait threshold %s, %lld KB requests)\n",
-              static_cast<long long>(scrubber.stats().requests),
-              scrubber.stats().throughput_mb_s(kRun),
+              static_cast<long long>(r.scrub_requests), r.scrub_mb_s,
               format_duration(wait_threshold).c_str(),
               static_cast<long long>(request_bytes / 1024));
   std::printf("  collisions: %lld (%.2f ms foreground delay total)\n",
-              static_cast<long long>(blk.stats().collisions),
-              to_milliseconds(blk.stats().collision_delay_sum));
+              static_cast<long long>(r.collisions),
+              to_milliseconds(r.collision_delay_sum));
 
   const double full_scan_days =
       static_cast<double>(drive.geometry().total_bytes()) / 1e6 /
-      std::max(scrubber.stats().throughput_mb_s(kRun), 1e-9) / 86400.0;
+      std::max(r.scrub_mb_s, 1e-9) / 86400.0;
   std::printf("  at this rate, one full scrub pass takes %.1f days\n",
               full_scan_days);
 
   // Publish everything the run collected into the global registry (dumped
   // as JSON when PSCRUB_METRICS is set).
   obs::Registry& reg = obs::Registry::global();
-  fg.metrics().export_to(reg, "workload");
-  scrubber.stats().export_to(reg, "scrubber");
-  blk.stats().export_to(reg, "block");
-  drive.counters().export_to(reg, "disk");
-  reg.gauge("workload.mb_s").set(fg.metrics().throughput_mb_s(kRun));
-  reg.gauge("scrubber.mb_s").set(scrubber.stats().throughput_mb_s(kRun));
+  scenario.export_to(reg, "quickstart");
+  reg.gauge("quickstart.workload.mb_s").set(r.workload_mb_s);
+  reg.gauge("quickstart.scrubber.mb_s").set(r.scrub_mb_s);
   return 0;
 }

@@ -1,8 +1,9 @@
 // RAID rebuild walkthrough: the scenario that motivates scrubbing.
 //
-// Builds a RAID-5 array, plants latent sector errors on a survivor,
-// optionally scrubs, then fails a member and rebuilds -- printing what was
-// lost. Run it twice to see the difference a scrubber makes:
+// Builds a RAID-5 array through the scenario engine, plants latent sector
+// errors on a survivor, optionally scrubs, then fails a member and
+// rebuilds -- printing what was lost. Run it twice to see the difference a
+// scrubber makes:
 //
 //   ./raid_rebuild            # with scrubbing (default)
 //   ./raid_rebuild --no-scrub # without
@@ -17,16 +18,26 @@ int main(int argc, char** argv) {
   obs::EnvSession obs_session;
   const bool scrub = !(argc > 1 && std::strcmp(argv[1], "--no-scrub") == 0);
 
-  Simulator sim;
-  raid::RaidConfig cfg;
-  cfg.data_disks = 4;
-  cfg.parity_disks = 1;
-  disk::DiskProfile member = disk::hitachi_ultrastar_15k450();
-  member.capacity_bytes = 2LL << 30;  // 2 GB members for a quick demo
-  raid::RaidArray array(sim, cfg, member, 42);
+  exp::ScenarioConfig cfg;
+  cfg.disk.kind = exp::DiskKind::kUltrastar15k450;
+  cfg.disk.capacity_bytes = 2LL << 30;  // 2 GB members for a quick demo
+  cfg.raid.enabled = true;
+  cfg.raid.data_disks = 4;
+  cfg.raid.parity_disks = 1;
+  cfg.raid.seed = 42;
+  if (scrub) {
+    cfg.scrubber.kind = exp::ScrubberKind::kWaiting;
+    cfg.scrubber.wait_threshold = 20 * kMillisecond;
+    cfg.scrubber.strategy.request_bytes = 1 << 20;
+  }
+
+  exp::Scenario scenario(cfg);
+  Simulator& sim = scenario.sim();
+  raid::RaidArray& array = scenario.raid();
 
   std::printf("RAID-5 array: %d+%d x %s (%.1f GB usable)\n",
-              cfg.data_disks, cfg.parity_disks, member.name.c_str(),
+              cfg.raid.data_disks, cfg.raid.parity_disks,
+              cfg.disk.profile().name.c_str(),
               static_cast<double>(array.array_sectors()) *
                   disk::kSectorBytes / 1e9);
 
@@ -42,16 +53,15 @@ int main(int argc, char** argv) {
               array.disk(0).lse_count());
 
   if (scrub) {
-    array.start_scrubbing(/*wait_threshold=*/20 * kMillisecond,
-                          /*request_bytes=*/1 << 20);
     std::printf("scrubbing all members (Waiting 20 ms, 1 MB verifies)...\n");
   } else {
     std::printf("scrubbing disabled.\n");
   }
+  scenario.start();
 
   // Quiet period: the scrubber (if any) sweeps the members.
   sim.run_until(3 * kMinute);
-  array.stop_scrubbing();
+  scenario.stop_scrubbing();
   std::printf("after %s: %lld detections, %zu latent errors remain on "
               "disk 0\n",
               format_duration(sim.now()).c_str(),

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exp/sweep.h"
+
 namespace pscrub::core {
 
 std::vector<std::int64_t> default_size_grid() {
@@ -91,14 +93,42 @@ SizeThresholdChoice optimize(const trace::Trace& trace,
   const std::vector<std::int64_t> sizes =
       config.candidate_sizes.empty() ? default_size_grid()
                                      : config.candidate_sizes;
-  SizeThresholdChoice best;
+
+  // Freeze the foreground model into a per-record service vector before
+  // fanning out: make_foreground_service is stateful (copies of the
+  // std::function share a head-position cell), so it must never run from
+  // two workers at once.
+  OptimizerConfig cfg = config;
+  std::vector<SimTime> precomputed;
+  if (cfg.services == nullptr) {
+    precomputed = precompute_services(trace, cfg.foreground_service);
+    cfg.services = &precomputed;
+  }
+
+  // The maximum tolerable slowdown bounds the request size through its
+  // service time: a colliding foreground request waits at most one scrub
+  // request's full service.
+  std::vector<std::int64_t> eligible;
   for (std::int64_t size : sizes) {
-    // The maximum tolerable slowdown bounds the request size through its
-    // service time: a colliding foreground request waits at most one scrub
-    // request's full service.
-    if (config.scrub_service(size) > goal.max) continue;
-    const SizeThresholdChoice c =
-        tune_threshold_for_size(trace, config, size, goal.mean);
+    if (cfg.scrub_service(size) <= goal.max) eligible.push_back(size);
+  }
+
+  // One task per size, reduced in grid order with the same strict-greater
+  // tie-break as the old serial loop, so the choice is bit-identical for
+  // any worker count.
+  exp::SweepOptions options;
+  options.workers = cfg.workers;
+  const std::vector<SizeThresholdChoice> choices =
+      exp::sweep<SizeThresholdChoice>(
+          eligible.size(),
+          [&trace, &cfg, &eligible, &goal](exp::TaskContext& ctx) {
+            return tune_threshold_for_size(trace, cfg, eligible[ctx.index],
+                                           goal.mean);
+          },
+          options);
+
+  SizeThresholdChoice best;
+  for (const SizeThresholdChoice& c : choices) {
     if (c.scrub_mb_s > best.scrub_mb_s) best = c;
   }
   return best;

@@ -43,6 +43,10 @@ struct OptimizerConfig {
   SimTime min_threshold = 1 * kMillisecond;
   SimTime max_threshold = 10 * kSecond;
   int binary_search_iters = 14;
+  /// Worker threads for the per-size fan-out in optimize() (0 = hardware
+  /// concurrency, 1 = serial). The result is bit-identical for any value:
+  /// sizes are evaluated as independent tasks and reduced in grid order.
+  int workers = 0;
 };
 
 std::vector<std::int64_t> default_size_grid();
@@ -55,7 +59,11 @@ SizeThresholdChoice tune_threshold_for_size(const trace::Trace& trace,
                                             std::int64_t request_bytes,
                                             SimTime goal_mean);
 
-/// Full optimization: best (size, threshold) for a slowdown goal.
+/// Full optimization: best (size, threshold) for a slowdown goal. The
+/// per-size threshold searches are independent and run on an exp::sweep
+/// worker pool (config.workers). When config.services is null the
+/// foreground model is precomputed over the trace once, up front -- the
+/// stateful ServiceModel never runs concurrently.
 SizeThresholdChoice optimize(const trace::Trace& trace,
                              const OptimizerConfig& config,
                              const SlowdownGoal& goal);

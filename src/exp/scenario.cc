@@ -1,0 +1,405 @@
+#include "exp/scenario.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "block/cfq_scheduler.h"
+#include "block/deadline_scheduler.h"
+#include "block/noop_scheduler.h"
+#include "core/cost_model.h"
+#include "raid/layout.h"
+
+namespace pscrub::exp {
+
+disk::DiskProfile profile_for(DiskKind kind) {
+  switch (kind) {
+    case DiskKind::kUltrastar15k450:
+      return disk::hitachi_ultrastar_15k450();
+    case DiskKind::kFujitsuMax3073rc:
+      return disk::fujitsu_max3073rc();
+    case DiskKind::kFujitsuMap3367np:
+      return disk::fujitsu_map3367np();
+    case DiskKind::kWdCaviar:
+      return disk::wd_caviar();
+    case DiskKind::kHitachiDeskstar:
+      return disk::hitachi_deskstar();
+  }
+  throw std::logic_error("unknown DiskKind");
+}
+
+const char* disk_kind_name(DiskKind kind) {
+  switch (kind) {
+    case DiskKind::kUltrastar15k450:
+      return "ultrastar15k450";
+    case DiskKind::kFujitsuMax3073rc:
+      return "max3073rc";
+    case DiskKind::kFujitsuMap3367np:
+      return "map3367np";
+    case DiskKind::kWdCaviar:
+      return "caviar";
+    case DiskKind::kHitachiDeskstar:
+      return "deskstar";
+  }
+  return "unknown";
+}
+
+disk::DiskProfile DiskSpec::profile() const {
+  disk::DiskProfile p = profile_for(kind);
+  if (capacity_bytes > 0) p.capacity_bytes = capacity_bytes;
+  return p;
+}
+
+std::unique_ptr<core::ScrubStrategy> StrategySpec::build(
+    std::int64_t total_sectors) const {
+  switch (kind) {
+    case StrategyKind::kSequential:
+      return core::make_sequential(total_sectors, request_bytes);
+    case StrategyKind::kStaggered:
+      return core::make_staggered(total_sectors, request_bytes, regions);
+  }
+  throw std::logic_error("unknown StrategyKind");
+}
+
+namespace {
+
+std::unique_ptr<block::IoScheduler> make_scheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kNoop:
+      return std::make_unique<block::NoopScheduler>();
+    case SchedulerKind::kCfq:
+      return std::make_unique<block::CfqScheduler>();
+    case SchedulerKind::kDeadline:
+      return std::make_unique<block::DeadlineScheduler>();
+  }
+  throw std::logic_error("unknown SchedulerKind");
+}
+
+}  // namespace
+
+Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
+  if (config_.raid.enabled) {
+    if (config_.workload.kind != WorkloadKind::kNone) {
+      throw std::invalid_argument(
+          "RAID scenarios drive foreground I/O through raid().read(); "
+          "set workload.kind = kNone and schedule events via sim()");
+    }
+    raid::RaidConfig rc;
+    rc.data_disks = config_.raid.data_disks;
+    rc.parity_disks = config_.raid.parity_disks;
+    array_ = std::make_unique<raid::RaidArray>(sim_, rc, config_.disk.profile(),
+                                               config_.raid.seed);
+    return;
+  }
+
+  disk_ = std::make_unique<disk::DiskModel>(sim_, config_.disk.profile(),
+                                            config_.disk.seed);
+  block_ = std::make_unique<block::BlockLayer>(
+      sim_, *disk_, make_scheduler(config_.scheduler));
+
+  const WorkloadSpec& w = config_.workload;
+  switch (w.kind) {
+    case WorkloadKind::kNone:
+      break;
+    case WorkloadKind::kSequentialChunks:
+      seq_workload_ = std::make_unique<workload::SequentialChunkWorkload>(
+          sim_, *block_, w.synthetic, w.seed);
+      break;
+    case WorkloadKind::kRandomReads:
+      rand_workload_ = std::make_unique<workload::RandomReadWorkload>(
+          sim_, *block_, w.synthetic, w.seed);
+      break;
+    case WorkloadKind::kTraceReplay:
+      if (w.trace == nullptr) {
+        throw std::invalid_argument(
+            "WorkloadKind::kTraceReplay needs a borrowed trace");
+      }
+      replay_workload_ = std::make_unique<workload::TraceReplayWorkload>(
+          sim_, *block_, *w.trace, w.replay_priority);
+      break;
+  }
+  if (workload::WorkloadMetrics* m = workload_metrics()) {
+    m->keep_samples = w.keep_response_samples;
+  }
+
+  const ScrubberSpec& s = config_.scrubber;
+  switch (s.kind) {
+    case ScrubberKind::kNone:
+      break;
+    case ScrubberKind::kBackToBack: {
+      core::ScrubberConfig sc;
+      sc.path = s.path;
+      sc.priority = s.priority;
+      sc.inter_request_delay = s.inter_request_delay;
+      sc.verify_kind = s.verify_kind;
+      scrubber_ = std::make_unique<core::Scrubber>(
+          sim_, *block_, s.strategy.build(disk_->total_sectors()), sc);
+      break;
+    }
+    case ScrubberKind::kWaiting:
+      waiting_scrubber_ = std::make_unique<core::WaitingScrubber>(
+          sim_, *block_, s.strategy.build(disk_->total_sectors()),
+          s.wait_threshold, s.verify_kind);
+      break;
+  }
+
+  if (config_.spindown_threshold > 0) {
+    spindown_ = std::make_unique<core::SpinDownDaemon>(
+        sim_, *block_, config_.spindown_threshold);
+  }
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::start() {
+  if (started_) return;
+  started_ = true;
+
+  if (array_ != nullptr) {
+    const ScrubberSpec& s = config_.scrubber;
+    switch (s.kind) {
+      case ScrubberKind::kNone:
+        break;
+      case ScrubberKind::kWaiting:
+        if (s.verify_kind == disk::CommandKind::kVerifyScsi) {
+          // Array-managed scrubbers: reconstruct-and-rewrite repair on
+          // every detection.
+          array_->start_scrubbing(s.wait_threshold, s.strategy.request_bytes);
+        } else {
+          // Detection-free ATA verify per member (the Fig 1 pathology in a
+          // RAID setting): no repair hook, so build plain scrubbers.
+          for (int i = 0; i < array_->total_disks(); ++i) {
+            auto ms = std::make_unique<core::WaitingScrubber>(
+                sim_, array_->block(i),
+                s.strategy.build(array_->disk(i).total_sectors()),
+                s.wait_threshold, s.verify_kind);
+            ms->start();
+            member_scrubbers_.push_back(std::move(ms));
+          }
+        }
+        break;
+      case ScrubberKind::kBackToBack:
+        throw std::invalid_argument(
+            "RAID scenarios support ScrubberKind::kWaiting only");
+    }
+    return;
+  }
+
+  if (seq_workload_) seq_workload_->start();
+  if (rand_workload_) rand_workload_->start();
+  if (replay_workload_) replay_workload_->start();
+  if (scrubber_) scrubber_->start();
+  if (waiting_scrubber_) waiting_scrubber_->start();
+  if (spindown_) spindown_->start();
+}
+
+void Scenario::run() {
+  start();
+  sim_.run_until(sim_.now() + config_.run_for);
+}
+
+void Scenario::stop_scrubbing() {
+  if (scrubber_) scrubber_->stop();
+  if (waiting_scrubber_) waiting_scrubber_->stop();
+  for (auto& ms : member_scrubbers_) ms->stop();
+  if (array_ != nullptr) array_->stop_scrubbing();
+}
+
+const workload::WorkloadMetrics* Scenario::workload_metrics() const {
+  if (seq_workload_) return &seq_workload_->metrics();
+  if (rand_workload_) return &rand_workload_->metrics();
+  if (replay_workload_) return &replay_workload_->metrics();
+  return nullptr;
+}
+
+workload::WorkloadMetrics* Scenario::workload_metrics() {
+  return const_cast<workload::WorkloadMetrics*>(
+      static_cast<const Scenario*>(this)->workload_metrics());
+}
+
+std::int64_t Scenario::scrub_request_count() const {
+  if (scrubber_) return scrubber_->stats().requests.value();
+  if (waiting_scrubber_) return waiting_scrubber_->stats().requests.value();
+  std::int64_t total = 0;
+  for (const auto& ms : member_scrubbers_) total += ms->stats().requests.value();
+  return total;
+}
+
+std::int64_t Scenario::scrubbed_bytes() const {
+  if (scrubber_) return scrubber_->stats().bytes.value();
+  if (waiting_scrubber_) return waiting_scrubber_->stats().bytes.value();
+  std::int64_t total = 0;
+  for (const auto& ms : member_scrubbers_) total += ms->stats().bytes.value();
+  if (array_ != nullptr) total += array_->scrubbed_bytes();
+  return total;
+}
+
+ScenarioResult Scenario::take_result() {
+  ScenarioResult r;
+  r.label = config_.label;
+  r.ran_for = config_.run_for;
+
+  if (workload::WorkloadMetrics* m = workload_metrics()) {
+    r.workload_requests = m->requests.value();
+    r.workload_bytes = m->bytes.value();
+    r.workload_mb_s = m->throughput_mb_s(r.ran_for);
+    r.workload_mean_latency_ms = m->mean_latency_ms();
+    r.response_seconds = std::move(m->response_seconds);
+  }
+
+  r.scrub_requests = scrub_request_count();
+  r.scrub_bytes = scrubbed_bytes();
+  r.scrub_mb_s = obs::throughput_mb_s(r.scrub_bytes, r.ran_for);
+
+  if (block_ != nullptr) {
+    r.collisions = block_->stats().collisions;
+    r.collision_delay_sum = block_->stats().collision_delay_sum;
+  }
+  if (disk_ != nullptr) {
+    r.energy_joules = disk_->energy_joules();
+    r.spinups = disk_->spinups();
+    r.spinup_wait = disk_->spinup_wait();
+  }
+  return r;
+}
+
+void Scenario::export_to(obs::Registry& registry, const std::string& prefix) {
+  if (workload::WorkloadMetrics* m = workload_metrics()) {
+    m->export_to(registry, prefix + ".workload");
+  }
+  if (scrubber_) scrubber_->stats().export_to(registry, prefix + ".scrub");
+  if (waiting_scrubber_) {
+    waiting_scrubber_->stats().export_to(registry, prefix + ".scrub");
+  }
+  for (std::size_t i = 0; i < member_scrubbers_.size(); ++i) {
+    member_scrubbers_[i]->stats().export_to(
+        registry, prefix + ".scrub.disk" + std::to_string(i));
+  }
+  if (block_ != nullptr) {
+    block_->stats().export_to(registry, prefix + ".block");
+  }
+  if (disk_ != nullptr) {
+    disk_->counters().export_to(registry, prefix + ".disk");
+  }
+  if (array_ != nullptr) {
+    array_->stats().export_to(registry, prefix + ".raid");
+  }
+}
+
+void ScenarioResult::export_to(obs::Registry& registry,
+                               const std::string& prefix) const {
+  registry.counter(prefix + ".workload.requests") += workload_requests;
+  registry.counter(prefix + ".workload.bytes") += workload_bytes;
+  registry.gauge(prefix + ".workload.mb_s").set(workload_mb_s);
+  registry.gauge(prefix + ".workload.mean_latency_ms")
+      .set(workload_mean_latency_ms);
+  registry.counter(prefix + ".scrub.requests") += scrub_requests;
+  registry.counter(prefix + ".scrub.bytes") += scrub_bytes;
+  registry.gauge(prefix + ".scrub.mb_s").set(scrub_mb_s);
+  registry.counter(prefix + ".block.collisions") += collisions;
+  registry.gauge(prefix + ".block.collision_delay_ms")
+      .set(to_milliseconds(collision_delay_sum));
+  registry.gauge(prefix + ".disk.energy_joules").set(energy_joules);
+  registry.counter(prefix + ".disk.spinups") += spinups;
+  registry.gauge(prefix + ".disk.spinup_wait_ms")
+      .set(to_milliseconds(spinup_wait));
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  Scenario scenario(config);
+  scenario.run();
+  return scenario.take_result();
+}
+
+std::vector<ScenarioResult> run_scenarios(
+    const std::vector<ScenarioConfig>& configs, const SweepOptions& options) {
+  return sweep<ScenarioResult>(
+      configs.size(),
+      [&configs](TaskContext& ctx) {
+        ScenarioResult r = run_scenario(configs[ctx.index]);
+        if (!r.label.empty()) r.export_to(ctx.registry, r.label);
+        return r;
+      },
+      options);
+}
+
+std::unique_ptr<core::IdlePolicy> PolicySpec::build() const {
+  switch (kind) {
+    case PolicyKind::kWaiting:
+      return std::make_unique<core::WaitingPolicy>(threshold);
+    case PolicyKind::kLosslessWaiting:
+      return std::make_unique<core::LosslessWaitingPolicy>(threshold);
+    case PolicyKind::kAutoRegression:
+      return std::make_unique<core::ArPolicy>(threshold, ar_window,
+                                              ar_refit_every, ar_max_order);
+    case PolicyKind::kArWaiting:
+      return std::make_unique<core::ArWaitingPolicy>(threshold, secondary);
+    case PolicyKind::kAcd:
+      return std::make_unique<core::AcdPolicy>(threshold);
+    case PolicyKind::kMovingAverage:
+      return std::make_unique<core::MovingAveragePolicy>(threshold);
+    case PolicyKind::kDualThreshold:
+      return std::make_unique<core::DualThresholdPolicy>(threshold, secondary);
+    case PolicyKind::kOracle:
+      return std::make_unique<core::OraclePolicy>(threshold);
+  }
+  throw std::logic_error("unknown PolicyKind");
+}
+
+core::PolicySimResult run_policy_scenario(const PolicySimScenario& scenario) {
+  if (scenario.trace == nullptr) {
+    throw std::invalid_argument("PolicySimScenario needs a borrowed trace");
+  }
+  const disk::DiskProfile profile = profile_for(scenario.disk);
+  core::PolicySimConfig config;
+  if (scenario.services != nullptr) {
+    config.services = scenario.services;
+  } else {
+    // make_foreground_service is stateful (tracks the head position); a
+    // fresh instance per call keeps sweep tasks independent.
+    config.foreground_service = core::make_foreground_service(profile);
+  }
+  config.scrub_service =
+      scenario.staggered_service
+          ? core::make_staggered_scrub_service(profile, scenario.regions)
+          : core::make_scrub_service(profile);
+  config.sizer = scenario.sizer;
+  config.keep_response_samples = scenario.keep_response_samples;
+  std::unique_ptr<core::IdlePolicy> policy = scenario.policy.build();
+  return core::run_policy_sim(*scenario.trace, *policy, config);
+}
+
+std::vector<core::PolicySimResult> run_policy_scenarios(
+    const std::vector<PolicySimScenario>& scenarios,
+    const SweepOptions& options) {
+  return sweep<core::PolicySimResult>(
+      scenarios.size(),
+      [&scenarios](TaskContext& ctx) {
+        const PolicySimScenario& s = scenarios[ctx.index];
+        core::PolicySimResult r = run_policy_scenario(s);
+        if (!s.label.empty()) r.export_to(ctx.registry, s.label);
+        return r;
+      },
+      options);
+}
+
+double measure_sequential_verify(const disk::DiskProfile& profile,
+                                 disk::CommandKind kind, std::int64_t bytes,
+                                 int n) {
+  Simulator sim;
+  disk::DiskModel d(sim, profile, 7);
+  const std::int64_t sectors = disk::sectors_from_bytes(bytes);
+  SimTime total = 0;
+  disk::Lbn lbn = 0;
+  for (int i = 0; i < n; ++i) {
+    if (lbn + sectors > d.total_sectors()) lbn = 0;
+    SimTime latency = 0;
+    d.submit({kind, lbn, sectors},
+             [&](const disk::DiskCommand&, SimTime l) { latency = l; });
+    sim.run();
+    total += latency;
+    lbn += sectors;
+  }
+  return to_milliseconds(total) / n;
+}
+
+}  // namespace pscrub::exp

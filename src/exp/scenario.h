@@ -1,0 +1,330 @@
+// Declarative scenario engine: one value-type config describes a full
+// simulation stack -- disk profile, I/O scheduler, foreground workload (or
+// trace replay), scrubber (back-to-back or Waiting), RAID array, spin-down
+// daemon -- and the engine assembles and runs it. This replaces the
+// copy-pasted Simulator -> DiskModel -> BlockLayer -> Workload -> Scrubber
+// wiring that every bench and example used to hand-roll.
+//
+// Two families of scenario, matching the paper's two methodologies:
+//
+//   ScenarioConfig / Scenario / run_scenario -- the event-driven stack
+//   (Sec III/IV figures: throughput, priorities, response-time CDFs).
+//
+//   PolicySimScenario / run_policy_scenario -- the fast trace-driven
+//   policy simulator (Sec V figures: collision rate vs idle utilization,
+//   slowdown vs scrub throughput).
+//
+// Both have sweep forms (run_scenarios / run_policy_scenarios) that fan a
+// config vector across exp::sweep's deterministic worker pool: results
+// come back in config order, per-task registries merge in config order,
+// and the output is bit-identical for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "block/block_layer.h"
+#include "core/idle_policy.h"
+#include "core/policy_sim.h"
+#include "core/scrub_sizer.h"
+#include "core/scrub_strategy.h"
+#include "core/scrubber.h"
+#include "core/spin_down.h"
+#include "disk/disk_model.h"
+#include "disk/profile.h"
+#include "exp/sweep.h"
+#include "raid/array.h"
+#include "sim/simulator.h"
+#include "trace/record.h"
+#include "workload/synthetic_workload.h"
+#include "workload/trace_replay.h"
+
+namespace pscrub::exp {
+
+// ---------------------------------------------------------------------------
+// Declarative specs (plain value types; everything a stack needs).
+
+/// The catalog of modelled drives (disk/profile.h) by name.
+enum class DiskKind : std::uint8_t {
+  kUltrastar15k450,  // Hitachi Ultrastar 15K450 (SAS reference drive)
+  kFujitsuMax3073rc, // Fujitsu MAX3073RC (SAS)
+  kFujitsuMap3367np, // Fujitsu MAP3367NP (SCSI)
+  kWdCaviar,         // WD Caviar (SATA)
+  kHitachiDeskstar,  // Hitachi Deskstar (SATA)
+};
+
+disk::DiskProfile profile_for(DiskKind kind);
+const char* disk_kind_name(DiskKind kind);
+
+struct DiskSpec {
+  DiskKind kind = DiskKind::kUltrastar15k450;
+  /// Overrides the profile's capacity when > 0 (small members keep RAID
+  /// scenarios fast).
+  std::int64_t capacity_bytes = 0;
+  std::uint64_t seed = 1;
+
+  /// The profile with overrides applied.
+  disk::DiskProfile profile() const;
+};
+
+enum class SchedulerKind : std::uint8_t { kNoop, kCfq, kDeadline };
+
+enum class WorkloadKind : std::uint8_t {
+  kNone,
+  kSequentialChunks,  // Sec IV-B sequential synthetic workload
+  kRandomReads,       // Sec IV-B random synthetic workload
+  kTraceReplay,       // open-loop replay of a borrowed trace
+};
+
+struct WorkloadSpec {
+  WorkloadKind kind = WorkloadKind::kNone;
+  /// Synthetic kinds only.
+  workload::SyntheticConfig synthetic;
+  std::uint64_t seed = 42;
+  /// kTraceReplay only; borrowed, must outlive the scenario.
+  const trace::Trace* trace = nullptr;
+  block::IoPriority replay_priority = block::IoPriority::kBestEffort;
+  /// Keep per-request response samples (exact ECDFs); costs memory.
+  bool keep_response_samples = false;
+};
+
+enum class StrategyKind : std::uint8_t { kSequential, kStaggered };
+
+struct StrategySpec {
+  StrategyKind kind = StrategyKind::kSequential;
+  std::int64_t request_bytes = 64 * 1024;
+  int regions = 128;  // staggered only
+
+  std::unique_ptr<core::ScrubStrategy> build(std::int64_t total_sectors) const;
+};
+
+enum class ScrubberKind : std::uint8_t {
+  kNone,
+  kBackToBack,  // core::Scrubber: back-to-back / fixed-delay issue
+  kWaiting,     // core::WaitingScrubber: the Sec V design
+};
+
+struct ScrubberSpec {
+  ScrubberKind kind = ScrubberKind::kNone;
+  StrategySpec strategy;
+  /// kBackToBack knobs.
+  core::IssuePath path = core::IssuePath::kKernel;
+  block::IoPriority priority = block::IoPriority::kIdle;
+  SimTime inter_request_delay = 0;
+  /// kWaiting knobs.
+  SimTime wait_threshold = 50 * kMillisecond;
+  /// Verify primitive (kVerifyAta reproduces the Fig 1 cache pathology).
+  disk::CommandKind verify_kind = disk::CommandKind::kVerifyScsi;
+};
+
+struct RaidSpec {
+  bool enabled = false;
+  int data_disks = 4;
+  int parity_disks = 1;
+  std::uint64_t seed = 2024;
+};
+
+/// One value describes the whole stack.
+struct ScenarioConfig {
+  /// Free-form scenario identity; carried into results and used as the
+  /// registry prefix, so sweep output is self-describing (no globals).
+  std::string label;
+  DiskSpec disk;
+  SchedulerKind scheduler = SchedulerKind::kCfq;
+  /// When enabled, `disk` describes each member and the scenario owns a
+  /// raid::RaidArray instead of a single DiskModel/BlockLayer.
+  RaidSpec raid;
+  WorkloadSpec workload;
+  ScrubberSpec scrubber;
+  /// Spin-down daemon idleness threshold (0 = no daemon).
+  SimTime spindown_threshold = 0;
+  SimTime run_for = 60 * kSecond;
+};
+
+// ---------------------------------------------------------------------------
+// Results (value types: safe to produce on sweep workers and merge).
+
+struct ScenarioResult {
+  std::string label;
+  /// The observation window (config.run_for).
+  SimTime ran_for = 0;
+
+  // Foreground workload.
+  std::int64_t workload_requests = 0;
+  std::int64_t workload_bytes = 0;
+  double workload_mb_s = 0.0;
+  double workload_mean_latency_ms = 0.0;
+  std::vector<double> response_seconds;  // when keep_response_samples
+
+  // Scrubber (summed over RAID members when applicable).
+  std::int64_t scrub_requests = 0;
+  std::int64_t scrub_bytes = 0;
+  double scrub_mb_s = 0.0;
+
+  // Block layer (single-disk scenarios).
+  std::int64_t collisions = 0;
+  SimTime collision_delay_sum = 0;
+
+  // Disk power/mechanics (single-disk scenarios; spin-down studies).
+  double energy_joules = 0.0;
+  std::int64_t spinups = 0;
+  SimTime spinup_wait = 0;
+
+  /// Publishes the summary fields under `prefix` (e.g. "fig06.cfq.seq").
+  void export_to(obs::Registry& registry, const std::string& prefix) const;
+};
+
+// ---------------------------------------------------------------------------
+// The built stack.
+
+/// Owns every component of a configured stack and keeps the borrowed
+/// references alive for the simulation's lifetime. Construct, optionally
+/// schedule extra events through sim(), then run(); or use run_scenario()
+/// when the defaults are enough.
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& config);
+  ~Scenario();
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  const ScenarioConfig& config() const { return config_; }
+  Simulator& sim() { return sim_; }
+
+  bool has_raid() const { return array_ != nullptr; }
+  /// Single-disk accessors; invalid in RAID scenarios.
+  disk::DiskModel& disk() { return *disk_; }
+  block::BlockLayer& block() { return *block_; }
+  /// RAID accessor; invalid otherwise.
+  raid::RaidArray& raid() { return *array_; }
+
+  /// Starts workload, scrubber, and daemons at the current sim time
+  /// (idempotent). Separated from run() so callers can schedule their own
+  /// events first.
+  void start();
+
+  /// start() + run_until(now + config.run_for).
+  void run();
+
+  /// Stops every scrubber the scenario started (single-disk, RAID-member,
+  /// or array-managed); e.g. before failing a disk and rebuilding.
+  void stop_scrubbing();
+
+  /// Foreground metrics, or nullptr when the scenario has no workload.
+  const workload::WorkloadMetrics* workload_metrics() const;
+  workload::WorkloadMetrics* workload_metrics();
+
+  /// Scrubber request/byte accounting (RAID: summed over members), zeroes
+  /// when the scenario has no scrubber.
+  std::int64_t scrub_request_count() const;
+  std::int64_t scrubbed_bytes() const;
+
+  /// Snapshot of everything into the value-type result (moves response
+  /// samples out of the workload metrics).
+  ScenarioResult take_result();
+
+  /// Publishes workload/scrubber/block/disk metric bundles into `registry`
+  /// under `prefix` (what PSCRUB_METRICS consumers expect).
+  void export_to(obs::Registry& registry, const std::string& prefix);
+
+ private:
+  ScenarioConfig config_;
+  Simulator sim_;
+  // Single-disk stack.
+  std::unique_ptr<disk::DiskModel> disk_;
+  std::unique_ptr<block::BlockLayer> block_;
+  // RAID stack.
+  std::unique_ptr<raid::RaidArray> array_;
+  std::vector<std::unique_ptr<core::WaitingScrubber>> member_scrubbers_;
+  // Workloads (at most one non-null).
+  std::unique_ptr<workload::SequentialChunkWorkload> seq_workload_;
+  std::unique_ptr<workload::RandomReadWorkload> rand_workload_;
+  std::unique_ptr<workload::TraceReplayWorkload> replay_workload_;
+  // Scrubbers (at most one non-null; RAID Waiting uses the array's own).
+  std::unique_ptr<core::Scrubber> scrubber_;
+  std::unique_ptr<core::WaitingScrubber> waiting_scrubber_;
+  std::unique_ptr<core::SpinDownDaemon> spindown_;
+  bool started_ = false;
+};
+
+/// Builds, runs, and snapshots one scenario.
+ScenarioResult run_scenario(const ScenarioConfig& config);
+
+/// Deterministic parallel sweep over a config vector: results in config
+/// order; each result also exported into the task registry under its
+/// label (when non-empty), merged per `options`.
+std::vector<ScenarioResult> run_scenarios(
+    const std::vector<ScenarioConfig>& configs,
+    const SweepOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Fast trace-driven policy scenarios (the run_policy_sim path).
+
+enum class PolicyKind : std::uint8_t {
+  kWaiting,
+  kLosslessWaiting,
+  kAutoRegression,
+  kArWaiting,
+  kAcd,
+  kMovingAverage,
+  kDualThreshold,
+  kOracle,
+};
+
+struct PolicySpec {
+  PolicyKind kind = PolicyKind::kWaiting;
+  /// Wait threshold (Waiting family), prediction cutoff (AR/ACD/MA), or
+  /// minimum interval length (Oracle).
+  SimTime threshold = 64 * kMillisecond;
+  /// Second parameter: AR prediction cutoff for kArWaiting, per-interval
+  /// firing budget for kDualThreshold.
+  SimTime secondary = 0;
+  /// AR predictor knobs (kAutoRegression only; kArWaiting uses defaults).
+  std::size_t ar_window = 4096;
+  std::size_t ar_refit_every = 512;
+  std::size_t ar_max_order = 10;
+
+  std::unique_ptr<core::IdlePolicy> build() const;
+};
+
+struct PolicySimScenario {
+  /// Identity; also the registry export prefix when non-empty.
+  std::string label;
+  /// Borrowed; must outlive the sweep. Required.
+  const trace::Trace* trace = nullptr;
+  /// Borrowed precomputed per-record service times (strongly recommended
+  /// for sweeps -- see core::precompute_services). When null, a fresh
+  /// foreground service model is built per task from `disk`.
+  const std::vector<SimTime>* services = nullptr;
+  DiskKind disk = DiskKind::kUltrastar15k450;
+  /// Scrub service model: sequential by default; staggered with `regions`
+  /// when set.
+  bool staggered_service = false;
+  int regions = 128;
+  PolicySpec policy;
+  core::ScrubSizer sizer = core::ScrubSizer::fixed(64 * 1024);
+  bool keep_response_samples = false;
+};
+
+/// Runs one policy scenario through core::run_policy_sim.
+core::PolicySimResult run_policy_scenario(const PolicySimScenario& scenario);
+
+/// Deterministic parallel sweep; results in scenario order, each exported
+/// into its task registry under the scenario label (when non-empty).
+std::vector<core::PolicySimResult> run_policy_scenarios(
+    const std::vector<PolicySimScenario>& scenarios,
+    const SweepOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Event-driven micro-probe shared by the Fig 1 / Fig 4 benches.
+
+/// Mean response time (ms) of `n` back-to-back sequential VERIFYs of
+/// `bytes` each, measured on the event-driven disk model.
+double measure_sequential_verify(const disk::DiskProfile& profile,
+                                 disk::CommandKind kind, std::int64_t bytes,
+                                 int n = 64);
+
+}  // namespace pscrub::exp

@@ -1,0 +1,89 @@
+#include "exp/sweep.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "obs/trace_event.h"
+
+namespace pscrub::exp {
+
+std::uint64_t task_seed(std::uint64_t base_seed, std::size_t index) {
+  // splitmix64 over a base/index mix; the +1 keeps (base, 0) distinct from
+  // the raw base seed a caller might also use directly.
+  std::uint64_t z =
+      base_seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int resolve_workers(int requested) {
+  // The tracer is single-threaded by contract (see obs/trace_event.h): a
+  // traced sweep degrades to serial execution instead of crashing workers.
+  if (obs::Tracer::global().enabled()) return 1;
+  if (requested > 0) return requested;
+  // PSCRUB_SWEEP_WORKERS pins the default pool size -- by the bit-identity
+  // contract it only affects timing, so it is safe to set globally (CI
+  // uses it to check that 1-vs-N runs diff clean).
+  if (const char* env = std::getenv("PSCRUB_SWEEP_WORKERS")) {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && n > 0) return static_cast<int>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace detail {
+
+void run_tasks(std::size_t count, const std::function<void(std::size_t)>& task,
+               int workers) {
+  if (count == 0) return;
+  const int n = resolve_workers(workers);
+
+  if (n <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  // Work-stealing by atomic counter: which worker runs which task is
+  // scheduling-dependent, but nothing observable depends on it -- results
+  // and registries are addressed by task index.
+  std::atomic<std::size_t> next{0};
+  std::mutex failure_mutex;
+  std::size_t first_failed = count;
+  std::exception_ptr failure;
+
+  auto body = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        task(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        // Keep the lowest-index failure so the rethrown exception does not
+        // depend on worker scheduling.
+        if (i < first_failed) {
+          first_failed = i;
+          failure = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const std::size_t spawn =
+      std::min<std::size_t>(static_cast<std::size_t>(n), count);
+  std::vector<std::thread> pool;
+  pool.reserve(spawn);
+  for (std::size_t t = 0; t < spawn; ++t) pool.emplace_back(body);
+  for (std::thread& t : pool) t.join();
+
+  if (failure) std::rethrow_exception(failure);
+}
+
+}  // namespace detail
+}  // namespace pscrub::exp

@@ -1,0 +1,93 @@
+// Deterministic parallel sweep runner.
+//
+// The paper's headline results are all parameter sweeps -- hundreds of
+// independent simulations over a (request size x region count x threshold
+// x policy) grid. SweepRunner fans such a task vector across a worker
+// pool while guaranteeing that the OUTPUT IS BIT-IDENTICAL FOR ANY WORKER
+// COUNT, including 1:
+//
+//   - every task gets its own deterministic seed, derived (splitmix64)
+//     from the sweep's base seed and the task INDEX -- never from which
+//     worker happens to run it;
+//   - every task gets its own obs::Registry; after all tasks complete the
+//     per-task registries are merged into `merge_into` in task order, so
+//     metric snapshots do not depend on scheduling;
+//   - results land in a vector slot addressed by task index;
+//   - a task exception is rethrown on the calling thread (the lowest task
+//     index wins when several tasks fail, again for determinism).
+//
+// The sim-time tracer (obs::Tracer) is documented single-threaded, so a
+// sweep that would run under an enabled tracer falls back to executing
+// tasks serially on the calling thread -- PSCRUB_TRACE keeps working on
+// every refactored bench, it just opts out of parallelism.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace pscrub::exp {
+
+/// Per-task environment handed to sweep callbacks.
+struct TaskContext {
+  /// Task index in [0, task count).
+  std::size_t index = 0;
+  /// Deterministic per-task seed: task_seed(options.base_seed, index).
+  std::uint64_t seed = 0;
+  /// Task-private registry; merged into SweepOptions::merge_into in task
+  /// order once the sweep completes.
+  obs::Registry& registry;
+};
+
+struct SweepOptions {
+  /// Worker threads. <= 0 selects the PSCRUB_SWEEP_WORKERS env override or
+  /// else the hardware concurrency; 1 runs the tasks inline on the calling
+  /// thread. The result never depends on it.
+  int workers = 0;
+  /// Root of the per-task seed derivation.
+  std::uint64_t base_seed = 1;
+  /// Destination for the ordered merge of per-task registries (nullptr:
+  /// per-task metrics are dropped unless the task stored them itself).
+  obs::Registry* merge_into = nullptr;
+};
+
+/// splitmix64 of (base_seed, index): stable across platforms, distinct per
+/// index, independent of worker scheduling.
+std::uint64_t task_seed(std::uint64_t base_seed, std::size_t index);
+
+/// Workers a sweep will actually use for `requested` (<=0 -> hardware
+/// concurrency; forced to 1 while the global tracer is enabled).
+int resolve_workers(int requested);
+
+namespace detail {
+/// Runs task(0..count-1), each exactly once, on `workers` threads.
+/// Deterministic dispatch contract as documented above.
+void run_tasks(std::size_t count, const std::function<void(std::size_t)>& task,
+               int workers);
+}  // namespace detail
+
+/// Fans `count` tasks across the pool; returns the task results in index
+/// order. R must be default-constructible (all sweep result types are).
+template <typename R>
+std::vector<R> sweep(std::size_t count,
+                     const std::function<R(TaskContext&)>& fn,
+                     const SweepOptions& options = {}) {
+  std::vector<R> results(count);
+  std::vector<obs::Registry> registries(count);
+  detail::run_tasks(
+      count,
+      [&](std::size_t i) {
+        TaskContext ctx{i, task_seed(options.base_seed, i), registries[i]};
+        results[i] = fn(ctx);
+      },
+      options.workers);
+  if (options.merge_into != nullptr) {
+    for (const obs::Registry& r : registries) options.merge_into->merge(r);
+  }
+  return results;
+}
+
+}  // namespace pscrub::exp

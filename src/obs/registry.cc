@@ -41,6 +41,18 @@ void append_double(std::string& out, double v) {
 
 }  // namespace
 
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name] += c.value();
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauges_[name].set(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_[name].merge(h);
+  }
+}
+
 std::string Registry::to_json() const {
   std::string out = "{\n  \"counters\": {";
   bool first = true;

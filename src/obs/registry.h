@@ -43,6 +43,13 @@ class Registry {
   std::size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();
   }
+
+  /// Accumulates `other` into this registry: counters add, histograms
+  /// merge, gauges take `other`'s value (last merge wins). Merging a fixed
+  /// sequence of registries in a fixed order is therefore deterministic --
+  /// the contract exp::sweep relies on to make parallel metric snapshots
+  /// bit-identical to serial ones.
+  void merge(const Registry& other);
   void clear() {
     counters_.clear();
     gauges_.clear();

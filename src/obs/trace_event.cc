@@ -1,5 +1,7 @@
 #include "obs/trace_event.h"
 
+#include <stdexcept>
+
 namespace pscrub::obs {
 
 namespace {
@@ -24,6 +26,7 @@ bool Tracer::open(const std::string& path) {
   out_ = std::fopen(path.c_str(), "w");
   if (out_ == nullptr) return false;
   first_event_ = true;
+  owner_ = std::this_thread::get_id();
   std::fputs("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n", out_);
   metadata(0, "process_name", "pscrub simulation");
   for (int t = 1; t <= kTrackCount; ++t) {
@@ -48,8 +51,18 @@ void Tracer::metadata(int tid, const char* what, const char* value) {
                kPid, tid, what, value);
 }
 
+void Tracer::check_owner() const {
+  if (std::this_thread::get_id() != owner_) {
+    throw std::runtime_error(
+        "obs::Tracer is single-threaded: events may only be emitted from "
+        "the thread that open()ed the trace. Parallel sweeps must not "
+        "trace from workers (exp::sweep runs serially while tracing).");
+  }
+}
+
 void Tracer::prelude(char phase, Track track, const char* category,
                      const char* name, SimTime ts) {
+  check_owner();
   if (!first_event_) std::fputs(",\n", out_);
   first_event_ = false;
   // ts is in microseconds; keep nanosecond precision as a fraction.

@@ -10,7 +10,12 @@
 // The tracer is disabled by default and every instrumentation site guards
 // on enabled(), so a null tracer costs one predictable branch; events are
 // streamed to the file as they are emitted (no in-memory buffer to blow
-// up on long runs). Single-threaded, like the simulator it observes.
+// up on long runs). Single-threaded, like the simulator it observes: the
+// thread that open()s a trace owns it, and an emit call from any other
+// thread (e.g. an exp::sweep worker accidentally running under
+// PSCRUB_TRACE) throws std::runtime_error instead of corrupting the
+// stream. SweepRunner checks enabled() up front and falls back to serial
+// execution, so the throw only fires on genuine misuse.
 //
 // Wiring: components reference Tracer::global(); setting PSCRUB_TRACE
 // (see obs/env.h) or calling open() turns emission on process-wide.
@@ -20,6 +25,7 @@
 #include <cstdio>
 #include <initializer_list>
 #include <string>
+#include <thread>
 
 #include "sim/time.h"
 
@@ -91,9 +97,12 @@ class Tracer {
                const char* name, SimTime ts);
   void write_args(std::initializer_list<Arg> args);
   void metadata(int tid, const char* what, const char* value);
+  /// Throws std::runtime_error when called off the owning thread.
+  void check_owner() const;
 
   std::FILE* out_ = nullptr;
   bool first_event_ = true;
+  std::thread::id owner_;
 };
 
 }  // namespace pscrub::obs

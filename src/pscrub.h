@@ -14,6 +14,8 @@
 //                LSE/MLET model (the paper's contribution)
 //   raid      -- striped array with rebuild and scrub-repair (the data-
 //                loss scenario that motivates scrubbing)
+//   exp       -- scenario engine (declarative stack construction) and the
+//                deterministic parallel sweep runner
 #pragma once
 
 #include "block/block_layer.h"
@@ -31,6 +33,8 @@
 #include "core/scrubber.h"
 #include "core/spin_down.h"
 #include "disk/cache.h"
+#include "exp/scenario.h"
+#include "exp/sweep.h"
 #include "disk/disk_model.h"
 #include "disk/geometry.h"
 #include "disk/profile.h"

@@ -1,27 +1,32 @@
 #include "trace/idle.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace pscrub::trace {
 
+void IdleAccumulator::add(const TraceRecord& r) {
+  if (r.arrival > busy_until_) {
+    const SimTime idle = r.arrival - busy_until_;
+    out_.idle_seconds.push_back(to_seconds(idle));
+    out_.total_idle += idle;
+  }
+  const SimTime start = std::max(r.arrival, busy_until_);
+  const SimTime svc = service_(r);
+  busy_until_ = start + svc;
+  out_.total_busy += svc;
+}
+
+IdleExtraction IdleAccumulator::finish() {
+  out_.end_of_activity = busy_until_;
+  return std::move(out_);
+}
+
 IdleExtraction extract_idle_intervals(const Trace& trace,
                                       const ServiceModel& service) {
-  IdleExtraction out;
-  SimTime busy_until = 0;
-  out.idle_seconds.reserve(trace.records.size() / 4);
-  for (const TraceRecord& r : trace.records) {
-    if (r.arrival > busy_until) {
-      const SimTime idle = r.arrival - busy_until;
-      out.idle_seconds.push_back(to_seconds(idle));
-      out.total_idle += idle;
-    }
-    const SimTime start = std::max(r.arrival, busy_until);
-    const SimTime svc = service(r);
-    busy_until = start + svc;
-    out.total_busy += svc;
-  }
-  out.end_of_activity = busy_until;
-  return out;
+  IdleAccumulator acc(service);
+  for (const TraceRecord& r : trace.records) acc.add(r);
+  return acc.finish();
 }
 
 IdleExtraction extract_idle_intervals(const Trace& trace,

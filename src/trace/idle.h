@@ -26,6 +26,28 @@ struct IdleExtraction {
   SimTime end_of_activity = 0;
 };
 
+/// Streaming form of the extraction: feed records in arrival order (e.g.
+/// straight from SyntheticGenerator::generate) without materializing a
+/// trace. extract_idle_intervals() is the materialized-trace adapter over
+/// this accumulator, so there is exactly one implementation of the
+/// single-server idle sweep.
+class IdleAccumulator {
+ public:
+  explicit IdleAccumulator(ServiceModel service)
+      : service_(std::move(service)) {}
+
+  void add(const TraceRecord& r);
+
+  /// Finalizes end_of_activity and returns the extraction; the accumulator
+  /// is spent afterwards.
+  IdleExtraction finish();
+
+ private:
+  ServiceModel service_;
+  IdleExtraction out_;
+  SimTime busy_until_ = 0;
+};
+
 IdleExtraction extract_idle_intervals(const Trace& trace,
                                       const ServiceModel& service);
 

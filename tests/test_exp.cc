@@ -1,0 +1,420 @@
+// Tests for the scenario engine and the deterministic sweep runner: the
+// bit-identical-for-any-worker-count contract, ordered registry merging,
+// engine-vs-hand-wired stack equivalence, and the tracer's
+// single-threaded-ness guard.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pscrub.h"
+
+namespace pscrub::exp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// task_seed
+
+TEST(TaskSeed, DistinctAndStable) {
+  std::set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const std::uint64_t s = task_seed(1, i);
+    EXPECT_EQ(s, task_seed(1, i)) << "seed must be a pure function";
+    EXPECT_TRUE(seen.insert(s).second) << "duplicate seed at index " << i;
+  }
+}
+
+TEST(TaskSeed, DependsOnBaseSeed) {
+  EXPECT_NE(task_seed(1, 0), task_seed(2, 0));
+  // Index 0 must not collapse onto the raw base seed.
+  EXPECT_NE(task_seed(1, 0), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry::merge
+
+TEST(RegistryMerge, CountersAddGaugesLastWinHistogramsMerge) {
+  obs::Registry a;
+  a.counter("c") += 3;
+  a.gauge("g").set(1.0);
+  a.histogram("h").record(5 * kMillisecond);
+
+  obs::Registry b;
+  b.counter("c") += 4;
+  b.gauge("g").set(2.0);
+  b.histogram("h").record(7 * kMillisecond);
+  b.counter("only_b") += 1;
+
+  obs::Registry m;
+  m.merge(a);
+  m.merge(b);
+  EXPECT_EQ(m.counter("c").value(), 7);
+  EXPECT_DOUBLE_EQ(m.gauge("g").value(), 2.0);
+  EXPECT_EQ(m.histogram("h").count(), 2);
+  EXPECT_EQ(m.counter("only_b").value(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// sweep
+
+struct TaskOut {
+  std::uint64_t seed = 0;
+  std::size_t index = 0;
+  double value = 0.0;
+};
+
+TaskOut busy_task(TaskContext& ctx) {
+  // Deterministic per-seed work, plus metrics in every category.
+  Rng rng(ctx.seed);
+  double acc = 0.0;
+  for (int i = 0; i < 1000; ++i) acc += rng.uniform();
+  ctx.registry.counter("tasks") += 1;
+  ctx.registry.counter("task." + std::to_string(ctx.index) + ".visits") += 1;
+  ctx.registry.gauge("last_index").set(static_cast<double>(ctx.index));
+  ctx.registry.histogram("acc_ms").record(from_seconds(acc * 1e-3));
+  return {ctx.seed, ctx.index, acc};
+}
+
+TEST(Sweep, BitIdenticalForAnyWorkerCount) {
+  constexpr std::size_t kTasks = 37;
+  std::vector<std::vector<TaskOut>> outs;
+  std::vector<std::string> jsons;
+  for (int workers : {1, 2, 8}) {
+    obs::Registry merged;
+    SweepOptions options;
+    options.workers = workers;
+    options.merge_into = &merged;
+    outs.push_back(sweep<TaskOut>(kTasks, busy_task, options));
+    jsons.push_back(merged.to_json());
+  }
+  for (std::size_t w = 1; w < outs.size(); ++w) {
+    ASSERT_EQ(outs[w].size(), outs[0].size());
+    for (std::size_t i = 0; i < outs[0].size(); ++i) {
+      EXPECT_EQ(outs[w][i].seed, outs[0][i].seed);
+      EXPECT_EQ(outs[w][i].index, outs[0][i].index);
+      EXPECT_DOUBLE_EQ(outs[w][i].value, outs[0][i].value);
+    }
+    EXPECT_EQ(jsons[w], jsons[0])
+        << "merged registry JSON must not depend on worker count";
+  }
+}
+
+TEST(Sweep, ResultsLandInIndexOrder) {
+  SweepOptions options;
+  options.workers = 4;
+  const auto out = sweep<std::size_t>(
+      100, [](TaskContext& ctx) { return ctx.index * 2; }, options);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * 2);
+}
+
+TEST(Sweep, MergesRegistriesInTaskOrder) {
+  // Gauges take the LAST merged value; with ordered merging that is always
+  // the highest task index, regardless of which worker finished last.
+  for (int workers : {1, 2, 8}) {
+    obs::Registry merged;
+    SweepOptions options;
+    options.workers = workers;
+    options.merge_into = &merged;
+    sweep<int>(
+        16,
+        [](TaskContext& ctx) {
+          ctx.registry.gauge("last_index").set(static_cast<double>(ctx.index));
+          ctx.registry.counter("n") += 1;
+          return 0;
+        },
+        options);
+    EXPECT_DOUBLE_EQ(merged.gauge("last_index").value(), 15.0);
+    EXPECT_EQ(merged.counter("n").value(), 16);
+  }
+}
+
+TEST(Sweep, RethrowsLowestIndexFailure) {
+  for (int workers : {1, 8}) {
+    SweepOptions options;
+    options.workers = workers;
+    try {
+      sweep<int>(
+          32,
+          [](TaskContext& ctx) -> int {
+            if (ctx.index == 5 || ctx.index == 20) {
+              throw std::runtime_error("task " + std::to_string(ctx.index));
+            }
+            return 0;
+          },
+          options);
+      FAIL() << "sweep must rethrow a task failure (workers=" << workers
+             << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 5");
+    }
+  }
+}
+
+TEST(Sweep, DistinctSeedsPerTask) {
+  const auto seeds = sweep<std::uint64_t>(
+      64, [](TaskContext& ctx) { return ctx.seed; });
+  const std::set<std::uint64_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), seeds.size());
+}
+
+// ---------------------------------------------------------------------------
+// Tracer interplay
+
+TEST(TracerGuard, SweepFallsBackToSerialWhileTracing) {
+  const std::string path = testing::TempDir() + "/sweep_trace.json";
+  ASSERT_TRUE(obs::Tracer::global().open(path));
+  EXPECT_EQ(resolve_workers(8), 1);
+  // The sweep itself must still work (serially, on this thread), even when
+  // tasks emit trace events.
+  std::thread::id main_id = std::this_thread::get_id();
+  const auto out = sweep<int>(4, [&](TaskContext& ctx) {
+    EXPECT_EQ(std::this_thread::get_id(), main_id);
+    obs::Tracer::global().instant(obs::Track::kPolicy, "test", "tick",
+                                  static_cast<SimTime>(ctx.index));
+    return static_cast<int>(ctx.index);
+  });
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  obs::Tracer::global().close();
+  EXPECT_GT(resolve_workers(8), 0);
+  std::remove(path.c_str());
+}
+
+TEST(TracerGuard, EmittingOffOwnerThreadThrows) {
+  const std::string path = testing::TempDir() + "/owner_trace.json";
+  obs::Tracer tracer;
+  ASSERT_TRUE(tracer.open(path));
+  // Emitting from the open()ing thread is fine.
+  tracer.instant(obs::Track::kDisk, "test", "ok", 0);
+
+  std::atomic<bool> threw{false};
+  std::thread worker([&] {
+    try {
+      tracer.instant(obs::Track::kDisk, "test", "bad", 1);
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+  });
+  worker.join();
+  EXPECT_TRUE(threw) << "off-thread emission must throw, not corrupt the "
+                        "stream";
+  tracer.close();
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario engine vs a hand-wired stack
+
+TEST(Scenario, MatchesHandWiredStack) {
+  constexpr SimTime kRun = 20 * kSecond;
+  constexpr SimTime kThreshold = 50 * kMillisecond;
+  constexpr std::int64_t kRequestBytes = 512 * 1024;
+
+  // Hand-wired, exactly as the benches used to do it.
+  Simulator sim;
+  disk::DiskModel drive(sim, disk::hitachi_ultrastar_15k450(), 1);
+  block::BlockLayer blk(sim, drive,
+                        std::make_unique<block::CfqScheduler>());
+  workload::SyntheticConfig wcfg;
+  workload::SequentialChunkWorkload fg(sim, blk, wcfg, 42);
+  core::WaitingScrubber scrubber(
+      sim, blk, core::make_sequential(drive.total_sectors(), kRequestBytes),
+      kThreshold);
+  fg.start();
+  scrubber.start();
+  sim.run_until(kRun);
+
+  // The same stack, declaratively.
+  ScenarioConfig cfg;
+  cfg.disk.kind = DiskKind::kUltrastar15k450;
+  cfg.scheduler = SchedulerKind::kCfq;
+  cfg.workload.kind = WorkloadKind::kSequentialChunks;
+  cfg.scrubber.kind = ScrubberKind::kWaiting;
+  cfg.scrubber.wait_threshold = kThreshold;
+  cfg.scrubber.strategy.request_bytes = kRequestBytes;
+  cfg.run_for = kRun;
+  const ScenarioResult r = run_scenario(cfg);
+
+  EXPECT_EQ(r.workload_requests, fg.metrics().requests);
+  EXPECT_EQ(r.workload_bytes, fg.metrics().bytes);
+  EXPECT_EQ(r.scrub_requests, scrubber.stats().requests);
+  EXPECT_EQ(r.scrub_bytes, scrubber.stats().bytes);
+  EXPECT_EQ(r.collisions, blk.stats().collisions);
+  EXPECT_EQ(r.collision_delay_sum, blk.stats().collision_delay_sum);
+}
+
+TEST(Scenario, SweepOfScenariosIsWorkerCountInvariant) {
+  std::vector<ScenarioConfig> configs;
+  for (int th : {10, 50, 200}) {
+    ScenarioConfig cfg;
+    cfg.label = "det." + std::to_string(th);
+    cfg.workload.kind = WorkloadKind::kSequentialChunks;
+    cfg.scrubber.kind = ScrubberKind::kWaiting;
+    cfg.scrubber.wait_threshold = th * kMillisecond;
+    cfg.run_for = 10 * kSecond;
+    configs.push_back(cfg);
+  }
+  std::vector<std::string> jsons;
+  std::vector<std::vector<std::int64_t>> bytes;
+  for (int workers : {1, 2, 8}) {
+    obs::Registry merged;
+    SweepOptions options;
+    options.workers = workers;
+    options.merge_into = &merged;
+    const auto results = run_scenarios(configs, options);
+    std::vector<std::int64_t> b;
+    for (const auto& r : results) b.push_back(r.scrub_bytes);
+    bytes.push_back(b);
+    jsons.push_back(merged.to_json());
+  }
+  EXPECT_EQ(bytes[1], bytes[0]);
+  EXPECT_EQ(bytes[2], bytes[0]);
+  EXPECT_EQ(jsons[1], jsons[0]);
+  EXPECT_EQ(jsons[2], jsons[0]);
+}
+
+TEST(Scenario, RaidRejectsForegroundWorkloadKinds) {
+  ScenarioConfig cfg;
+  cfg.raid.enabled = true;
+  cfg.workload.kind = WorkloadKind::kRandomReads;
+  EXPECT_THROW(Scenario scenario(cfg), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Policy scenarios vs the direct fast path
+
+trace::Trace small_trace() {
+  trace::TraceSpec spec;
+  spec.name = "exp-test";
+  spec.seed = 7;
+  spec.duration = 10 * kMinute;
+  spec.target_requests = 20000;
+  return trace::SyntheticGenerator(spec).generate_trace();
+}
+
+TEST(PolicyScenario, MatchesDirectRunPolicySim) {
+  const trace::Trace t = small_trace();
+  const disk::DiskProfile profile = disk::hitachi_ultrastar_15k450();
+
+  core::WaitingPolicy policy(64 * kMillisecond);
+  core::PolicySimConfig c;
+  c.foreground_service = core::make_foreground_service(profile);
+  c.scrub_service = core::make_scrub_service(profile);
+  c.sizer = core::ScrubSizer::fixed(64 * 1024);
+  const core::PolicySimResult direct = core::run_policy_sim(t, policy, c);
+
+  PolicySimScenario s;
+  s.trace = &t;
+  s.policy.kind = PolicyKind::kWaiting;
+  s.policy.threshold = 64 * kMillisecond;
+  const core::PolicySimResult engine = run_policy_scenario(s);
+
+  EXPECT_EQ(engine.foreground_requests, direct.foreground_requests);
+  EXPECT_EQ(engine.collisions, direct.collisions);
+  EXPECT_EQ(engine.scrubbed_bytes, direct.scrubbed_bytes);
+  EXPECT_EQ(engine.slowdown_sum, direct.slowdown_sum);
+  EXPECT_EQ(engine.idle_utilized, direct.idle_utilized);
+}
+
+TEST(PolicyScenario, SweepIsWorkerCountInvariant) {
+  const trace::Trace t = small_trace();
+  const std::vector<SimTime> services = core::precompute_services(
+      t, core::make_foreground_service(disk::hitachi_ultrastar_15k450()));
+
+  std::vector<PolicySimScenario> scenarios;
+  for (int th : {16, 64, 256, 1024}) {
+    PolicySimScenario s;
+    s.label = "pol." + std::to_string(th);
+    s.trace = &t;
+    s.services = &services;
+    s.policy.threshold = th * kMillisecond;
+    scenarios.push_back(s);
+  }
+  std::vector<std::string> jsons;
+  std::vector<std::vector<std::int64_t>> bytes;
+  for (int workers : {1, 2, 8}) {
+    obs::Registry merged;
+    SweepOptions options;
+    options.workers = workers;
+    options.merge_into = &merged;
+    const auto results = run_policy_scenarios(scenarios, options);
+    std::vector<std::int64_t> b;
+    for (const auto& r : results) b.push_back(r.scrubbed_bytes);
+    bytes.push_back(b);
+    jsons.push_back(merged.to_json());
+  }
+  EXPECT_EQ(bytes[1], bytes[0]);
+  EXPECT_EQ(bytes[2], bytes[0]);
+  EXPECT_EQ(jsons[1], jsons[0]);
+  EXPECT_EQ(jsons[2], jsons[0]);
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer: the parallel fan-out must not change the recommendation
+
+TEST(Optimizer, ParallelMatchesSerial) {
+  const trace::Trace t = small_trace();
+  const disk::DiskProfile profile = disk::hitachi_ultrastar_15k450();
+
+  core::OptimizerConfig oc;
+  oc.foreground_service = core::make_foreground_service(profile);
+  oc.scrub_service = core::make_scrub_service(profile);
+  oc.candidate_sizes = {64 * 1024, 256 * 1024, 1024 * 1024};
+  oc.binary_search_iters = 7;
+  core::SlowdownGoal goal;
+  goal.mean = 1 * kMillisecond;
+
+  oc.workers = 1;
+  const core::SizeThresholdChoice serial = core::optimize(t, oc, goal);
+  oc.workers = 4;
+  const core::SizeThresholdChoice parallel = core::optimize(t, oc, goal);
+
+  EXPECT_EQ(parallel.request_bytes, serial.request_bytes);
+  EXPECT_EQ(parallel.threshold, serial.threshold);
+  EXPECT_DOUBLE_EQ(parallel.scrub_mb_s, serial.scrub_mb_s);
+  EXPECT_DOUBLE_EQ(parallel.achieved_mean_slowdown_ms,
+                   serial.achieved_mean_slowdown_ms);
+  EXPECT_DOUBLE_EQ(parallel.collision_rate, serial.collision_rate);
+  EXPECT_GT(serial.request_bytes, 0);
+}
+
+// The serial reference the optimizer used before the sweep refactor: a
+// plain in-order loop over the size grid. The parallel fan-out must agree
+// with it exactly.
+TEST(Optimizer, MatchesPreRefactorSerialLoop) {
+  const trace::Trace t = small_trace();
+  const disk::DiskProfile profile = disk::hitachi_ultrastar_15k450();
+
+  core::OptimizerConfig oc;
+  oc.foreground_service = core::make_foreground_service(profile);
+  oc.scrub_service = core::make_scrub_service(profile);
+  const std::vector<SimTime> services =
+      core::precompute_services(t, oc.foreground_service);
+  oc.services = &services;
+  oc.candidate_sizes = {64 * 1024, 256 * 1024, 1024 * 1024};
+  oc.binary_search_iters = 7;
+  core::SlowdownGoal goal;
+  goal.mean = 1 * kMillisecond;
+
+  core::SizeThresholdChoice reference;
+  for (std::int64_t size : oc.candidate_sizes) {
+    if (oc.scrub_service(size) > goal.max) continue;
+    const core::SizeThresholdChoice c =
+        core::tune_threshold_for_size(t, oc, size, goal.mean);
+    if (c.scrub_mb_s > reference.scrub_mb_s) reference = c;
+  }
+
+  oc.workers = 4;
+  const core::SizeThresholdChoice parallel = core::optimize(t, oc, goal);
+  EXPECT_EQ(parallel.request_bytes, reference.request_bytes);
+  EXPECT_EQ(parallel.threshold, reference.threshold);
+  EXPECT_DOUBLE_EQ(parallel.scrub_mb_s, reference.scrub_mb_s);
+}
+
+}  // namespace
+}  // namespace pscrub::exp
