@@ -30,6 +30,12 @@ void BlockLayerStats::export_to(obs::Registry& registry,
   registry.counter(prefix + ".foreground_bytes") += foreground_bytes;
   registry.counter(prefix + ".background_bytes") += background_bytes;
   registry.counter(prefix + ".collisions") += collisions;
+  registry.counter(prefix + ".errors") += errors;
+  registry.counter(prefix + ".media_errors") += media_errors;
+  registry.counter(prefix + ".transient_errors") += transient_errors;
+  registry.counter(prefix + ".disk_failures") += disk_failures;
+  registry.counter(prefix + ".timeouts") += timeouts;
+  registry.counter(prefix + ".retries") += retries;
   registry.gauge(prefix + ".foreground_latency_sum_ms")
       .set(to_milliseconds(foreground_latency_sum));
   registry.gauge(prefix + ".collision_delay_sum_ms")
@@ -106,53 +112,188 @@ void BlockLayer::try_dispatch() {
   in_flight_background_ = next->background;
   if (next->priority != IoPriority::kIdle) foreground_in_flight_ = true;
 
-  // The disk is free (in_flight_ was 0), so service starts immediately and
-  // the model can tell us the completion time right after submission.
-  auto request = std::make_shared<BlockRequest>(std::move(*next));
-  request->dispatch_time = sim_.now();
-  disk_.submit(request->cmd,
-               [this, request](const disk::DiskCommand&, SimTime) {
-                 const SimTime latency = sim_.now() - request->submit_time;
-                 obs::Tracer& tracer = obs::Tracer::global();
-                 if (tracer.enabled()) {
-                   const obs::Track track = queue_track(request->priority);
-                   if (request->dispatch_time > request->submit_time) {
-                     tracer.span(track, "block", "queued",
-                                 request->submit_time, request->dispatch_time,
-                                 {{"id", static_cast<std::int64_t>(
-                                       request->id)}});
-                   }
-                   tracer.span(
-                       track, "block",
-                       request->background ? "service (background)"
-                                           : "service",
-                       request->dispatch_time, sim_.now(),
-                       {{"id", static_cast<std::int64_t>(request->id)},
-                        {"bytes", request->cmd.bytes()},
-                        {"prio", to_string(request->priority)}});
-                 }
-                 --in_flight_;
-                 last_completion_ = sim_.now();
-                 if (request->priority != IoPriority::kIdle) {
-                   last_foreground_activity_ = sim_.now();
-                   foreground_in_flight_ = false;
-                 }
-                 ++stats_.completed;
-                 if (request->background) {
-                   ++stats_.background_completed;
-                   stats_.background_bytes += request->cmd.bytes();
-                 } else {
-                   ++stats_.foreground_completed;
-                   stats_.foreground_bytes += request->cmd.bytes();
-                   stats_.foreground_latency_sum += latency;
-                 }
-                 if (request->on_complete) {
-                   request->on_complete(*request, latency);
-                 }
-                 try_dispatch();
-                 if (on_idle_ && idle()) on_idle_();
+  auto flight = std::make_shared<Flight>();
+  flight->request = std::move(*next);
+  flight->request.dispatch_time = sim_.now();
+  if (policy_.timeout > 0) {
+    // One deadline covers the whole request: every attempt and backoff.
+    flight->timeout_pending = true;
+    flight->timeout_event =
+        sim_.after(policy_.timeout, [this, flight] { on_timeout(flight); });
+  }
+  dispatch_to_disk(flight);
+}
+
+void BlockLayer::dispatch_to_disk(const std::shared_ptr<Flight>& flight) {
+  // The disk is free (the dispatch slot is ours), so service starts
+  // immediately and the model can tell us the completion time right after
+  // submission.
+  disk_.submit(flight->request.cmd,
+               [this, flight](const disk::DiskCommand&,
+                              const disk::DiskResult& result) {
+                 on_disk_complete(flight, result);
                });
   in_flight_eta_ = disk_.busy_until();
+}
+
+bool BlockLayer::should_retry(disk::IoStatus status, int host_retries) const {
+  if (host_retries >= policy_.max_retries) return false;
+  switch (status) {
+    case disk::IoStatus::kTransientError:
+      return true;
+    case disk::IoStatus::kMediaError:
+      return policy_.retry_media_errors;
+    default:
+      // kDiskFailed: retrying a dead device is pointless; fail fast.
+      // kOk/kTimeout never reach here from the drive.
+      return false;
+  }
+}
+
+void BlockLayer::on_disk_complete(const std::shared_ptr<Flight>& flight,
+                                  const disk::DiskResult& result) {
+  flight->internal_retries += result.internal_retries;
+  if (flight->done) {
+    // The caller was already answered with kTimeout; this late completion
+    // just returns the drive to us.
+    release_slot();
+    return;
+  }
+  if (disk::is_error(result.status) &&
+      should_retry(result.status, flight->host_retries)) {
+    ++flight->host_retries;
+    ++stats_.retries;
+    SimTime delay = policy_.backoff_base;
+    for (int i = 1; i < flight->host_retries; ++i) {
+      delay = static_cast<SimTime>(static_cast<double>(delay) *
+                                   policy_.backoff_multiplier);
+    }
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      tracer.instant(queue_track(flight->request.priority), "block", "retry",
+                     sim_.now(),
+                     {{"id", static_cast<std::int64_t>(flight->request.id)},
+                      {"attempt", flight->host_retries},
+                      {"status", to_string(result.status)},
+                      {"backoff_ms", to_milliseconds(delay)}});
+    }
+    // Hold the dispatch slot through the backoff wait: the request still
+    // owns the drive's attention (and disk_busy() stays true, so idleness
+    // policies keep their hands off).
+    flight->retry_wait = true;
+    flight->retry_event = sim_.after(delay, [this, flight] {
+      flight->retry_wait = false;
+      dispatch_to_disk(flight);
+    });
+    return;
+  }
+  BlockResult res;
+  res.latency = sim_.now() - flight->request.submit_time;
+  res.status = result.status;
+  res.error_lbn = result.error_lbn;
+  res.retries = flight->host_retries;
+  res.internal_retries = flight->internal_retries;
+  // Free the slot before answering the caller, so a completion callback
+  // that observes disk_busy() or resubmits sees the drive available.
+  --in_flight_;
+  last_completion_ = sim_.now();
+  finish_request(flight, res);
+  try_dispatch();
+  if (on_idle_ && idle()) on_idle_();
+}
+
+void BlockLayer::on_timeout(const std::shared_ptr<Flight>& flight) {
+  flight->timeout_pending = false;
+  if (flight->done) return;
+  ++stats_.timeouts;
+  BlockResult res;
+  res.latency = sim_.now() - flight->request.submit_time;
+  res.status = disk::IoStatus::kTimeout;
+  res.retries = flight->host_retries;
+  res.internal_retries = flight->internal_retries;
+  if (flight->retry_wait) {
+    // Timed out during a backoff wait: no command is at the drive, so the
+    // slot frees now and the pending retry dies.
+    sim_.cancel(flight->retry_event);
+    flight->retry_wait = false;
+    --in_flight_;
+    last_completion_ = sim_.now();
+    finish_request(flight, res);
+    try_dispatch();
+    if (on_idle_ && idle()) on_idle_();
+    return;
+  }
+  // The drive is still grinding on the command (the host cannot preempt
+  // it); answer the caller now, on_disk_complete releases the slot later.
+  finish_request(flight, res);
+}
+
+void BlockLayer::finish_request(const std::shared_ptr<Flight>& flight,
+                                BlockResult result) {
+  assert(!flight->done);
+  flight->done = true;
+  if (flight->timeout_pending) {
+    sim_.cancel(flight->timeout_event);
+    flight->timeout_pending = false;
+  }
+  const BlockRequest& request = flight->request;
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    const obs::Track track = queue_track(request.priority);
+    if (request.dispatch_time > request.submit_time) {
+      tracer.span(track, "block", "queued", request.submit_time,
+                  request.dispatch_time,
+                  {{"id", static_cast<std::int64_t>(request.id)}});
+    }
+    tracer.span(track, "block",
+                request.background ? "service (background)" : "service",
+                request.dispatch_time, sim_.now(),
+                {{"id", static_cast<std::int64_t>(request.id)},
+                 {"bytes", request.cmd.bytes()},
+                 {"prio", to_string(request.priority)},
+                 {"status", to_string(result.status)},
+                 {"retries", result.retries}});
+  }
+  ++stats_.completed;
+  if (request.background) {
+    ++stats_.background_completed;
+    stats_.background_bytes += request.cmd.bytes();
+  } else {
+    ++stats_.foreground_completed;
+    stats_.foreground_bytes += request.cmd.bytes();
+    stats_.foreground_latency_sum += result.latency;
+  }
+  switch (result.status) {
+    case disk::IoStatus::kOk:
+      break;
+    case disk::IoStatus::kMediaError:
+      ++stats_.errors;
+      ++stats_.media_errors;
+      break;
+    case disk::IoStatus::kTransientError:
+      ++stats_.errors;
+      ++stats_.transient_errors;
+      break;
+    case disk::IoStatus::kDiskFailed:
+      ++stats_.errors;
+      ++stats_.disk_failures;
+      break;
+    case disk::IoStatus::kTimeout:
+      ++stats_.errors;
+      break;
+  }
+  if (request.priority != IoPriority::kIdle) {
+    last_foreground_activity_ = sim_.now();
+    foreground_in_flight_ = false;
+  }
+  if (request.on_complete) request.on_complete(request, result);
+}
+
+void BlockLayer::release_slot() {
+  --in_flight_;
+  last_completion_ = sim_.now();
+  try_dispatch();
+  if (on_idle_ && idle()) on_idle_();
 }
 
 }  // namespace pscrub::block

@@ -17,6 +17,25 @@ class Registry;
 
 namespace pscrub::block {
 
+/// Host-side error handling: how the block layer reacts when the disk
+/// completes a request with an error. The defaults model the legacy stack:
+/// no retries, no timeout -- errors pass straight through to the caller.
+struct RetryPolicy {
+  /// Maximum host retries per request (0 = report the first error).
+  int max_retries = 0;
+  /// Wait before the first retry; each further retry multiplies it.
+  SimTime backoff_base = 10 * kMillisecond;
+  double backoff_multiplier = 2.0;
+  /// Retry media errors too (usually futile -- the sector stays bad -- but
+  /// it is what a naive host does; transient errors are always retried).
+  bool retry_media_errors = false;
+  /// Per-request deadline measured from first dispatch to the drive. When
+  /// > 0 and the drive (or the retry loop) grinds past it, the caller gets
+  /// kTimeout immediately; the in-drive command still runs to completion
+  /// (the host cannot preempt the mechanism) and its slot frees then.
+  SimTime timeout = 0;
+};
+
 struct BlockLayerStats {
   std::int64_t submitted = 0;
   std::int64_t completed = 0;
@@ -31,6 +50,15 @@ struct BlockLayerStats {
   /// Total foreground delay attributable to in-service background requests
   /// at arrival time (first-order slowdown).
   SimTime collision_delay_sum = 0;
+  /// Error-path accounting. `errors` counts completions delivered with any
+  /// non-ok status (so completed == ok_completions + errors, always).
+  std::int64_t errors = 0;
+  std::int64_t media_errors = 0;
+  std::int64_t transient_errors = 0;
+  std::int64_t disk_failures = 0;
+  std::int64_t timeouts = 0;
+  /// Host-side retry attempts issued (not requests-that-retried).
+  std::int64_t retries = 0;
 
   /// Publishes every field into `registry` under `prefix` (e.g.
   /// "block.foreground_completed").
@@ -44,6 +72,10 @@ class BlockLayer {
 
   /// Queues a request with the scheduler and kicks the dispatch loop.
   void submit(BlockRequest request);
+
+  /// Installs the host-side error handling policy (see RetryPolicy).
+  void set_retry_policy(const RetryPolicy& policy) { policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return policy_; }
 
   const IoScheduler& scheduler() const { return *scheduler_; }
   const BlockLayerStats& stats() const { return stats_; }
@@ -78,12 +110,42 @@ class BlockLayer {
   }
 
  private:
+  /// One request's journey through the error-handling state machine. The
+  /// slot (in_flight_) is held from dispatch until the drive is truly done
+  /// with the request -- through backoff waits and even past a timeout
+  /// completion (the mechanism cannot be preempted).
+  struct Flight {
+    BlockRequest request;
+    /// Host retries performed so far (0 on the first attempt).
+    int host_retries = 0;
+    /// In-drive recovery attempts accumulated across attempts.
+    std::int64_t internal_retries = 0;
+    /// Completion already delivered to the caller (exactly-once guard).
+    bool done = false;
+    EventId timeout_event = 0;
+    bool timeout_pending = false;
+    /// A host-retry backoff wait is in progress (no command at the drive).
+    EventId retry_event = 0;
+    bool retry_wait = false;
+  };
+
   void try_dispatch();
+  void dispatch_to_disk(const std::shared_ptr<Flight>& flight);
+  void on_disk_complete(const std::shared_ptr<Flight>& flight,
+                        const disk::DiskResult& result);
+  void on_timeout(const std::shared_ptr<Flight>& flight);
+  /// Delivers the completion to the caller exactly once and records stats.
+  void finish_request(const std::shared_ptr<Flight>& flight,
+                      BlockResult result);
+  /// Frees the dispatch slot once the drive is truly done with the flight.
+  void release_slot();
+  bool should_retry(disk::IoStatus status, int host_retries) const;
 
   Simulator& sim_;
   disk::DiskModel& disk_;
   std::unique_ptr<IoScheduler> scheduler_;
   BlockLayerStats stats_;
+  RetryPolicy policy_;
   std::uint64_t next_id_ = 1;
   SimTime last_completion_ = 0;
   SimTime last_foreground_activity_ = 0;

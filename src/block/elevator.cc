@@ -29,11 +29,16 @@ bool Elevator::add(BlockRequest request) {
           auto merged_submit = request.submit_time;
           prev.on_complete = [first = std::move(first),
                               second = std::move(second), merged_submit](
-                                 const BlockRequest& r, SimTime latency) {
-            if (first) first(r, latency);
-            // The merged request waited less: adjust its latency.
-            const SimTime completion = r.submit_time + latency;
-            second(r, completion - merged_submit);
+                                 const BlockRequest& r,
+                                 const BlockResult& result) {
+            if (first) first(r, result);
+            // The merged request waited less: adjust its latency. Status
+            // and error details carry through unchanged -- both originals
+            // observe the merged request's fate.
+            BlockResult adjusted = result;
+            const SimTime completion = r.submit_time + result.latency;
+            adjusted.latency = completion - merged_submit;
+            second(r, adjusted);
           };
         }
         return true;

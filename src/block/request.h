@@ -20,10 +20,31 @@ const char* to_string(IoPriority p);
 
 struct BlockRequest;
 
-/// Invoked at completion with the original request and its total response
-/// time (submission to block layer -> completion from disk).
+/// Per-request outcome delivered at completion time. Implicitly converts
+/// to/from SimTime (the latency) so legacy callbacks that only care about
+/// response time keep working; error-aware consumers read `status`.
+struct BlockResult {
+  /// Total response time: submission to block layer -> completion
+  /// (including every host retry and its backoff wait).
+  SimTime latency = 0;
+  disk::IoStatus status = disk::IoStatus::kOk;
+  /// First bad sector the request tripped over (media errors only).
+  disk::Lbn error_lbn = -1;
+  /// Host-side retries the block layer performed for this request.
+  int retries = 0;
+  /// In-drive recovery attempts across every attempt of this request.
+  std::int64_t internal_retries = 0;
+
+  BlockResult() = default;
+  BlockResult(SimTime l) : latency(l) {}     // NOLINT(google-explicit-constructor)
+  operator SimTime() const { return latency; }  // NOLINT(google-explicit-constructor)
+  bool ok() const { return status == disk::IoStatus::kOk; }
+};
+
+/// Invoked exactly once per submitted request with the original request and
+/// its result (success or a typed error -- requests are never lost).
 using RequestCompletionFn =
-    std::function<void(const BlockRequest&, SimTime latency)>;
+    std::function<void(const BlockRequest&, const BlockResult&)>;
 
 struct BlockRequest {
   disk::DiskCommand cmd;

@@ -31,15 +31,32 @@ void Scrubber::issue() {
   req.priority = config_.priority;
   req.soft_barrier = config_.path == IssuePath::kUser;
   req.background = true;
-  req.on_complete = [this](const block::BlockRequest& r, SimTime latency) {
-    stats_.record(r.cmd.bytes(), latency);
+  req.on_complete = [this](const block::BlockRequest& r,
+                           const block::BlockResult& result) {
+    stats_.record(r.cmd.bytes(), result.latency);
+    if (!result.ok()) ++stats_.errors;
     obs::Tracer& tracer = obs::Tracer::global();
     if (tracer.enabled()) {
       tracer.span(obs::Track::kScrubber, "scrub", "verify", r.submit_time,
                   sim_.now(),
-                  {{"lbn", r.cmd.lbn}, {"sectors", r.cmd.sectors}});
+                  {{"lbn", r.cmd.lbn},
+                   {"sectors", r.cmd.sectors},
+                   {"status", to_string(result.status)}});
     }
     if (!running_) return;
+    if (result.status == disk::IoStatus::kDiskFailed) {
+      // The member is gone: scrubbing it achieves nothing. Stand down for
+      // good (a replacement drive gets a fresh scrubber).
+      running_ = false;
+      if (tracer.enabled()) {
+        tracer.instant(obs::Track::kScrubber, "scrub",
+                       "stop (disk failed)", sim_.now());
+      }
+      return;
+    }
+    // A media error on the extent is a *detection*, not a reason to stop:
+    // record it (the disk's LSE observer has the details) and move on to
+    // the next extent -- the pass must cover the rest of the disk.
     if (config_.inter_request_delay > 0) {
       sim_.after(config_.inter_request_delay, [this] { issue(); });
     } else {
@@ -117,15 +134,32 @@ void WaitingScrubber::fire() {
   req.cmd.sectors = e.sectors;
   req.priority = block::IoPriority::kBestEffort;
   req.background = true;
-  req.on_complete = [this](const block::BlockRequest& r, SimTime latency) {
-    stats_.record(r.cmd.bytes(), latency);
+  req.on_complete = [this](const block::BlockRequest& r,
+                           const block::BlockResult& result) {
+    stats_.record(r.cmd.bytes(), result.latency);
+    if (!result.ok()) ++stats_.errors;
     obs::Tracer& tracer = obs::Tracer::global();
     if (tracer.enabled()) {
       tracer.span(obs::Track::kScrubber, "scrub", "verify", r.submit_time,
                   sim_.now(),
-                  {{"lbn", r.cmd.lbn}, {"sectors", r.cmd.sectors}});
+                  {{"lbn", r.cmd.lbn},
+                   {"sectors", r.cmd.sectors},
+                   {"status", to_string(result.status)}});
     }
     if (!running_) return;
+    if (result.status == disk::IoStatus::kDiskFailed) {
+      // Dead member: stop instead of hammering a drive that fails every
+      // command instantly (which would also starve the idle detector).
+      stop();
+      if (tracer.enabled()) {
+        tracer.instant(obs::Track::kScrubber, "scrub",
+                       "stop (disk failed)", sim_.now());
+      }
+      return;
+    }
+    // Media errors are detections: keep going -- the strategy has already
+    // advanced past the bad extent, and the slowdown goal still governs
+    // (a retry-amplified completion simply delays the next fire).
     // Decreasing hazard rates: keep firing until foreground work appears;
     // no separate stopping criterion (Sec V-A).
     if (blk_.queue_depth() == 0 && !blk_.disk_busy()) {

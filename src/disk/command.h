@@ -51,4 +51,34 @@ struct DiskCommand {
   std::int64_t bytes() const { return sectors * kSectorBytes; }
 };
 
+/// Typed completion status shared by the disk model and the block layer.
+/// kTimeout is host-side only: a drive never reports it, the block layer
+/// synthesizes it when a request outlives its deadline.
+enum class IoStatus : std::uint8_t {
+  kOk,
+  /// Unrecovered media error: the command touched a latent sector error
+  /// and the drive's internal retries did not recover it.
+  kMediaError,
+  /// Recoverable device error (vibration, marginal head position): the
+  /// command failed, but a host retry of the same command may succeed.
+  kTransientError,
+  /// The whole device is gone; every command fails fast.
+  kDiskFailed,
+  /// Host-side request timeout (block layer only).
+  kTimeout,
+};
+
+constexpr bool is_error(IoStatus s) { return s != IoStatus::kOk; }
+
+constexpr const char* to_string(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kMediaError: return "media-error";
+    case IoStatus::kTransientError: return "transient-error";
+    case IoStatus::kDiskFailed: return "disk-failed";
+    case IoStatus::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
 }  // namespace pscrub::disk

@@ -22,6 +22,12 @@ void DiskCounters::export_to(obs::Registry& registry,
   registry.counter(prefix + ".media_accesses") += media_accesses;
   registry.counter(prefix + ".lse_detected") += lse_detected;
   registry.counter(prefix + ".lse_repaired") += lse_repaired;
+  registry.counter(prefix + ".media_errors") += media_errors;
+  registry.counter(prefix + ".transient_errors") += transient_errors;
+  registry.counter(prefix + ".failed_commands") += failed_commands;
+  registry.counter(prefix + ".internal_retries") += internal_retries;
+  registry.gauge(prefix + ".recovery_time_ms")
+      .set(to_milliseconds(recovery_time));
   registry.gauge(prefix + ".busy_time_ms").set(to_milliseconds(busy_time));
 }
 
@@ -55,6 +61,38 @@ void DiskModel::submit(const DiskCommand& cmd, CompletionFn on_complete) {
 
 void DiskModel::start(Pending p) {
   accrue_energy();
+  if (device_failed_) {
+    // Dead drive: the electronics (if anything) report failure without
+    // moving the mechanism. Fast, mechanical state untouched.
+    ++counters_.failed_commands;
+    busy_ = true;
+    busy_until_ =
+        sim_.now() + profile_.command_overhead + profile_.completion_overhead;
+    counters_.busy_time += busy_until_ - sim_.now();
+    power_ = PowerState::kActive;
+    obs::Tracer& tracer = obs::Tracer::global();
+    if (tracer.enabled()) {
+      tracer.span(obs::Track::kDisk, "disk", "failed-device", sim_.now(),
+                  busy_until_,
+                  {{"lbn", p.cmd.lbn}, {"sectors", p.cmd.sectors}});
+    }
+    sim_.at(busy_until_, [this, p = std::move(p)]() {
+      DiskResult r;
+      r.latency = sim_.now() - p.submitted;
+      r.status = IoStatus::kDiskFailed;
+      busy_ = false;
+      if (queue_.empty()) {
+        accrue_energy();
+        power_ = PowerState::kIdle;
+      } else {
+        Pending next = std::move(queue_.front());
+        queue_.pop_front();
+        start(std::move(next));
+      }
+      if (p.on_complete) p.on_complete(p.cmd, r);
+    });
+    return;
+  }
   SimTime spinup_extra = 0;
   if (power_ == PowerState::kStandby) {
     // The command wakes the drive: spin-up precedes service.
@@ -106,10 +144,12 @@ void DiskModel::start(Pending p) {
   }
   std::vector<Lbn> hits = std::move(media_lse_hits_);
   media_lse_hits_.clear();
+  const DiskResult outcome = result_;
 
-  sim_.at(busy_until_, [this, p = std::move(p),
+  sim_.at(busy_until_, [this, p = std::move(p), outcome,
                         hits = std::move(hits)]() {
-    const SimTime latency = sim_.now() - p.submitted;
+    DiskResult r = outcome;
+    r.latency = sim_.now() - p.submitted;
     busy_ = false;
     if (queue_.empty()) {
       accrue_energy();
@@ -127,7 +167,7 @@ void DiskModel::start(Pending p) {
       queue_.pop_front();
       start(std::move(next));
     }
-    if (p.on_complete) p.on_complete(p.cmd, latency);
+    if (p.on_complete) p.on_complete(p.cmd, r);
   });
 }
 
@@ -135,6 +175,7 @@ SimTime DiskModel::service(const DiskCommand& cmd) {
   const SimTime p = profile_.rotation_period();
   SimTime t = profile_.command_overhead;
   phases_ = {};
+  result_ = {};
 
   switch (cmd.kind) {
     case CommandKind::kVerifyAta:
@@ -179,15 +220,49 @@ SimTime DiskModel::service(const DiskCommand& cmd) {
     auto it = lse_.lower_bound(cmd.lbn);
     while (it != lse_.end() && *it < cmd.lbn + cmd.sectors) {
       if (cmd.kind == CommandKind::kWrite) {
+        // Remap-on-write: the drive reallocates the sector to a spare and
+        // the rewrite heals it (RAID reconstruct-and-rewrite lands here).
         ++counters_.lse_repaired;
         it = lse_.erase(it);
         continue;
       }
       ++counters_.lse_detected;
       media_lse_hits_.push_back(*it);
-      if (cmd.kind == CommandKind::kRead) lse_time += lse_read_penalty_;
+      if (errors_.in_band) {
+        // The drive grinds through its internal retry loop on every bad
+        // sector and then reports the first one it could not recover.
+        lse_time += errors_.desktop_recovery;
+        if (result_.status == IoStatus::kOk) {
+          result_.status = IoStatus::kMediaError;
+          result_.error_lbn = *it;
+        }
+      } else if (cmd.kind == CommandKind::kRead) {
+        lse_time += lse_read_penalty_;
+      }
       ++it;
     }
+  }
+  if (result_.status == IoStatus::kMediaError) {
+    // ERC/TLER caps the whole command's recovery effort; desktop firmware
+    // keeps grinding for the full per-sector budget.
+    if (errors_.erc_timeout > 0) {
+      lse_time = std::min(lse_time, errors_.erc_timeout);
+    }
+    ++counters_.media_errors;
+  } else if (errors_.transient_error_prob > 0 &&
+             cmd.kind != CommandKind::kWrite &&
+             rng_.bernoulli(errors_.transient_error_prob)) {
+    result_.status = IoStatus::kTransientError;
+    lse_time += errors_.transient_recovery;
+    ++counters_.transient_errors;
+  }
+  if (lse_time > 0 && errors_.in_band) {
+    const SimTime per_attempt = std::max<SimTime>(1, errors_.retry_interval);
+    const std::int64_t attempts =
+        std::max<std::int64_t>(1, lse_time / per_attempt);
+    result_.internal_retries = attempts;
+    counters_.internal_retries += attempts;
+    counters_.recovery_time += lse_time;
   }
 
   const PhysicalPos pos = geometry_.locate(cmd.lbn);
@@ -229,7 +304,10 @@ SimTime DiskModel::service(const DiskCommand& cmd) {
       counters_.read_bytes += cmd.bytes();
       phases_.transfer += profile_.bus_transfer(cmd.bytes());
       t += profile_.bus_transfer(cmd.bytes());
-      if (profile_.cache_enabled) {
+      // A failed read delivers no data, so nothing lands in the cache --
+      // otherwise a host retry would "succeed" from cache over a sector
+      // the medium cannot actually return.
+      if (profile_.cache_enabled && result_.ok()) {
         std::int64_t span = cmd.sectors;
         // Read-ahead: the drive keeps reading the track into a cache
         // segment after the host transfer. Charged no extra time: it

@@ -31,9 +31,51 @@ class Registry;
 
 namespace pscrub::disk {
 
+/// Per-command outcome delivered at completion time. Implicitly converts
+/// to/from SimTime (the latency) so legacy callbacks that only care about
+/// response time keep working; error-aware consumers read `status`.
+struct DiskResult {
+  SimTime latency = 0;
+  IoStatus status = IoStatus::kOk;
+  /// First bad sector the command tripped over (media errors only).
+  Lbn error_lbn = -1;
+  /// In-drive recovery attempts spent on this command (error paths only).
+  std::int64_t internal_retries = 0;
+
+  DiskResult() = default;
+  DiskResult(SimTime l) : latency(l) {}       // NOLINT(google-explicit-constructor)
+  operator SimTime() const { return latency; }  // NOLINT(google-explicit-constructor)
+  bool ok() const { return status == IoStatus::kOk; }
+};
+
 /// Completion callback: invoked at completion time with the command's
-/// response time (completion - submission).
-using CompletionFn = std::function<void(const DiskCommand&, SimTime latency)>;
+/// result (latency = completion - submission, plus the typed status).
+using CompletionFn = std::function<void(const DiskCommand&, const DiskResult&)>;
+
+/// In-drive error-recovery behaviour. The defaults model nothing: errors
+/// stay out-of-band (legacy observer-only reporting). Fault-injection
+/// scenarios switch `in_band` on, at which point commands touching bad
+/// sectors *fail* with kMediaError after a realistic retry-amplified
+/// recovery time: desktop drives grind through internal retries for
+/// seconds, enterprise drives cap the effort via ERC/TLER.
+struct DiskErrorModel {
+  /// Report media errors in-band (fail the command) instead of the legacy
+  /// silent-success + observer path.
+  bool in_band = false;
+  /// One internal retry: reposition, wait a revolution, re-read.
+  SimTime retry_interval = 50 * kMillisecond;
+  /// Total per-sector recovery budget of a desktop drive (no ERC): the
+  /// multi-second retry grind the paper's SATA drives exhibit.
+  SimTime desktop_recovery = 3 * kSecond;
+  /// ERC/TLER: when > 0, caps the whole command's recovery effort so the
+  /// host (RAID layer) can take over quickly.
+  SimTime erc_timeout = 0;
+  /// Probability a media-bound read/verify hits a transient error
+  /// (recoverable on a host retry). Drawn from the disk's seeded RNG.
+  double transient_error_prob = 0.0;
+  /// Recovery time burned before a transient error is reported.
+  SimTime transient_recovery = 200 * kMillisecond;
+};
 
 struct DiskCounters {
   std::int64_t reads = 0;
@@ -45,7 +87,12 @@ struct DiskCounters {
   std::int64_t cache_hits = 0;
   std::int64_t media_accesses = 0;
   std::int64_t lse_detected = 0;  // latent errors hit by media accesses
-  std::int64_t lse_repaired = 0;  // cleared by rewrites
+  std::int64_t lse_repaired = 0;  // cleared by rewrites (remap-on-write)
+  std::int64_t media_errors = 0;      // commands failed with kMediaError
+  std::int64_t transient_errors = 0;  // commands failed with kTransientError
+  std::int64_t failed_commands = 0;   // commands failed with kDiskFailed
+  std::int64_t internal_retries = 0;  // in-drive recovery attempts
+  SimTime recovery_time = 0;          // time burned in in-drive recovery
   SimTime busy_time = 0;
 
   /// Publishes every counter into `registry` under `prefix` (e.g.
@@ -113,12 +160,37 @@ class DiskModel {
 
   /// Observer invoked (at command completion time) once per bad sector a
   /// media access touched. `is_read` distinguishes a foreground read
-  /// failure from a scrubber detection.
+  /// failure from a scrubber detection. Returns the previously installed
+  /// observer so layered consumers (fault injector over RAID repair) can
+  /// chain rather than clobber.
   using LseObserver = std::function<void(Lbn lbn, bool is_read)>;
-  void set_lse_observer(LseObserver fn) { lse_observer_ = std::move(fn); }
+  LseObserver set_lse_observer(LseObserver fn) {
+    LseObserver prev = std::move(lse_observer_);
+    lse_observer_ = std::move(fn);
+    return prev;
+  }
 
-  /// Per-bad-sector error-recovery time added to a READ touching it.
+  /// Per-bad-sector error-recovery time added to a READ touching it
+  /// (legacy out-of-band mode only; in-band mode uses the error model).
   void set_lse_read_penalty(SimTime penalty) { lse_read_penalty_ = penalty; }
+
+  // ---- In-band error model ----------------------------------------------
+
+  /// Installs the in-drive error-recovery model (see DiskErrorModel).
+  void set_error_model(const DiskErrorModel& model) { errors_ = model; }
+  const DiskErrorModel& error_model() const { return errors_; }
+
+  /// Kills the whole device: every subsequent command completes fast with
+  /// kDiskFailed (electronics answer, nothing mechanical happens). The
+  /// command in service, if any, still completes normally.
+  void fail_device() { device_failed_ = true; }
+  bool device_failed() const { return device_failed_; }
+
+  /// Installs a replacement drive in the same slot: clears the failure
+  /// flag. Callers also want clear_lses() -- fresh platters have no latent
+  /// errors -- but the two are separate so a transient controller failure
+  /// can be modeled too.
+  void replace_device() { device_failed_ = false; }
 
   // ---- Power management ---------------------------------------------------
   //
@@ -166,6 +238,11 @@ class DiskModel {
   Rng rng_;
   /// Phase breakdown of the most recent service() computation.
   ServicePhases phases_;
+  /// Status/error outcome of the most recent service() computation
+  /// (latency is filled at completion time).
+  DiskResult result_;
+  DiskErrorModel errors_;
+  bool device_failed_ = false;
 
   bool busy_ = false;
   SimTime busy_until_ = 0;

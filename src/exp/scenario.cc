@@ -1,12 +1,16 @@
 #include "exp/scenario.h"
 
+#include <set>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "block/cfq_scheduler.h"
 #include "block/deadline_scheduler.h"
 #include "block/noop_scheduler.h"
 #include "core/cost_model.h"
+#include "disk/geometry.h"
+#include "fault/fault_plan.h"
 #include "raid/layout.h"
 
 namespace pscrub::exp {
@@ -76,7 +80,80 @@ std::unique_ptr<block::IoScheduler> make_scheduler(SchedulerKind kind) {
 
 }  // namespace
 
+void validate_scenario(const ScenarioConfig& config) {
+  if (config.scrubber.kind != ScrubberKind::kNone &&
+      config.scrubber.strategy.request_bytes <= 0) {
+    throw std::invalid_argument(
+        "ScenarioConfig: scrubber.strategy.request_bytes must be > 0, got " +
+        std::to_string(config.scrubber.strategy.request_bytes));
+  }
+  if ((config.workload.kind == WorkloadKind::kSequentialChunks ||
+       config.workload.kind == WorkloadKind::kRandomReads) &&
+      config.workload.synthetic.request_bytes <= 0) {
+    throw std::invalid_argument(
+        "ScenarioConfig: workload.synthetic.request_bytes must be > 0, got " +
+        std::to_string(config.workload.synthetic.request_bytes));
+  }
+
+  int total_disks = 1;
+  int parity_disks = 0;
+  if (config.raid.enabled) {
+    raid::RaidConfig rc;
+    rc.data_disks = config.raid.data_disks;
+    rc.parity_disks = config.raid.parity_disks;
+    rc.chunk_sectors = config.raid.chunk_sectors;
+    const disk::DiskProfile p = config.disk.profile();
+    // Constructing the layout runs its own validation: disk counts, chunk
+    // size, and (the classic silent footgun) a member capacity smaller
+    // than one complete stripe.
+    const raid::RaidLayout layout(
+        rc, disk::Geometry(p.capacity_bytes, p.outer_spt, p.inner_spt, p.zones)
+                .total_sectors());
+    total_disks = layout.total_disks();
+    parity_disks = layout.parity_disks();
+  }
+
+  const fault::FaultSpec& f = config.fault;
+  if (f.enabled) {
+    if (f.error_model.transient_error_prob < 0.0 ||
+        f.error_model.transient_error_prob >= 1.0) {
+      throw std::invalid_argument(
+          "ScenarioConfig: fault.error_model.transient_error_prob must be "
+          "in [0, 1), got " +
+          std::to_string(f.error_model.transient_error_prob));
+    }
+    std::set<int> failed;
+    for (const fault::DiskFailureEvent& ev : f.fail_disk) {
+      if (ev.disk < 0 || ev.disk >= total_disks) {
+        throw std::invalid_argument(
+            "ScenarioConfig: fault.fail_disk index " +
+            std::to_string(ev.disk) + " outside [0, " +
+            std::to_string(total_disks) + ")");
+      }
+      if (ev.at < 0) {
+        throw std::invalid_argument(
+            "ScenarioConfig: fault.fail_disk time for disk " +
+            std::to_string(ev.disk) + " must be >= 0");
+      }
+      if (!failed.insert(ev.disk).second) {
+        throw std::invalid_argument(
+            "ScenarioConfig: fault.fail_disk lists disk " +
+            std::to_string(ev.disk) + " more than once");
+      }
+    }
+    if (config.raid.enabled &&
+        static_cast<int>(failed.size()) > parity_disks) {
+      throw std::invalid_argument(
+          "ScenarioConfig: failing " + std::to_string(failed.size()) +
+          " disks exceeds what " + std::to_string(parity_disks) +
+          "-disk parity can cover; the array would lose data by "
+          "construction");
+    }
+  }
+}
+
 Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
+  validate_scenario(config_);
   if (config_.raid.enabled) {
     if (config_.workload.kind != WorkloadKind::kNone) {
       throw std::invalid_argument(
@@ -86,8 +163,21 @@ Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
     raid::RaidConfig rc;
     rc.data_disks = config_.raid.data_disks;
     rc.parity_disks = config_.raid.parity_disks;
+    rc.chunk_sectors = config_.raid.chunk_sectors;
     array_ = std::make_unique<raid::RaidArray>(sim_, rc, config_.disk.profile(),
                                                config_.raid.seed);
+    for (int i = 0; i < array_->total_disks(); ++i) {
+      array_->block(i).set_retry_policy(config_.retry);
+    }
+    if (config_.fault.enabled) {
+      injector_ = std::make_unique<fault::FaultInjector>(
+          sim_, fault::build_fault_plan(config_.fault, array_->total_disks(),
+                                        array_->disk(0).total_sectors(),
+                                        config_.run_for));
+      for (int i = 0; i < array_->total_disks(); ++i) {
+        injector_->attach(array_->disk(i), i);
+      }
+    }
     return;
   }
 
@@ -95,6 +185,13 @@ Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
                                             config_.disk.seed);
   block_ = std::make_unique<block::BlockLayer>(
       sim_, *disk_, make_scheduler(config_.scheduler));
+  block_->set_retry_policy(config_.retry);
+  if (config_.fault.enabled) {
+    injector_ = std::make_unique<fault::FaultInjector>(
+        sim_, fault::build_fault_plan(config_.fault, 1, disk_->total_sectors(),
+                                      config_.run_for));
+    injector_->attach(*disk_, 0);
+  }
 
   const WorkloadSpec& w = config_.workload;
   switch (w.kind) {
@@ -253,11 +350,29 @@ ScenarioResult Scenario::take_result() {
   if (block_ != nullptr) {
     r.collisions = block_->stats().collisions;
     r.collision_delay_sum = block_->stats().collision_delay_sum;
+    r.io_errors = block_->stats().errors;
+    r.io_timeouts = block_->stats().timeouts;
+    r.io_retries = block_->stats().retries;
+  }
+  if (array_ != nullptr) {
+    for (int i = 0; i < array_->total_disks(); ++i) {
+      const block::BlockLayerStats& bs = array_->block(i).stats();
+      r.io_errors += bs.errors;
+      r.io_timeouts += bs.timeouts;
+      r.io_retries += bs.retries;
+    }
+    r.raid_lost_sectors = array_->stats().lost_sectors;
   }
   if (disk_ != nullptr) {
     r.energy_joules = disk_->energy_joules();
     r.spinups = disk_->spinups();
     r.spinup_wait = disk_->spinup_wait();
+  }
+  if (injector_ != nullptr) {
+    r.fault_injected_sectors = injector_->injected_sectors();
+    r.fault_detections =
+        static_cast<std::int64_t>(injector_->detections().size());
+    r.fault_mean_detection_hours = injector_->mean_detection_hours();
   }
   return r;
 }
@@ -282,6 +397,13 @@ void Scenario::export_to(obs::Registry& registry, const std::string& prefix) {
   }
   if (array_ != nullptr) {
     array_->stats().export_to(registry, prefix + ".raid");
+    for (int i = 0; i < array_->total_disks(); ++i) {
+      array_->block(i).stats().export_to(
+          registry, prefix + ".block.disk" + std::to_string(i));
+    }
+  }
+  if (injector_ != nullptr) {
+    injector_->export_to(registry, prefix + ".fault");
   }
 }
 
@@ -302,6 +424,15 @@ void ScenarioResult::export_to(obs::Registry& registry,
   registry.counter(prefix + ".disk.spinups") += spinups;
   registry.gauge(prefix + ".disk.spinup_wait_ms")
       .set(to_milliseconds(spinup_wait));
+  registry.counter(prefix + ".io.errors") += io_errors;
+  registry.counter(prefix + ".io.timeouts") += io_timeouts;
+  registry.counter(prefix + ".io.retries") += io_retries;
+  registry.counter(prefix + ".fault.injected_sectors") +=
+      fault_injected_sectors;
+  registry.counter(prefix + ".fault.detections") += fault_detections;
+  registry.gauge(prefix + ".fault.mean_detection_hours")
+      .set(fault_mean_detection_hours);
+  registry.counter(prefix + ".raid.lost_sectors") += raid_lost_sectors;
 }
 
 ScenarioResult run_scenario(const ScenarioConfig& config) {

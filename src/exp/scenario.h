@@ -36,6 +36,7 @@
 #include "disk/disk_model.h"
 #include "disk/profile.h"
 #include "exp/sweep.h"
+#include "fault/injector.h"
 #include "raid/array.h"
 #include "sim/simulator.h"
 #include "trace/record.h"
@@ -124,6 +125,7 @@ struct RaidSpec {
   bool enabled = false;
   int data_disks = 4;
   int parity_disks = 1;
+  std::int64_t chunk_sectors = 128;  // 64 KB chunks
   std::uint64_t seed = 2024;
 };
 
@@ -139,10 +141,26 @@ struct ScenarioConfig {
   RaidSpec raid;
   WorkloadSpec workload;
   ScrubberSpec scrubber;
+  /// Declarative fault plan (LSE bursts, transient errors, device
+  /// failures). Per-disk randomness derives from fault.seed via
+  /// exp::task_seed, so sweeps stay bit-identical across worker counts.
+  fault::FaultSpec fault;
+  /// Host-side error handling installed on every block layer the scenario
+  /// builds (single disk or each RAID member).
+  block::RetryPolicy retry;
   /// Spin-down daemon idleness threshold (0 = no daemon).
   SimTime spindown_threshold = 0;
   SimTime run_for = 60 * kSecond;
 };
+
+/// Validates `config` without building the stack: rejects zero/negative
+/// scrubber or workload request sizes, RAID geometries without a complete
+/// stripe, out-of-range or duplicate fail_disk indices, failing more disks
+/// than parity covers, and malformed error-model probabilities. Throws
+/// std::invalid_argument with a descriptive message. Scenario's
+/// constructor calls this; it is exposed for config producers that want to
+/// fail fast before a sweep.
+void validate_scenario(const ScenarioConfig& config);
 
 // ---------------------------------------------------------------------------
 // Results (value types: safe to produce on sweep workers and merge).
@@ -173,6 +191,15 @@ struct ScenarioResult {
   std::int64_t spinups = 0;
   SimTime spinup_wait = 0;
 
+  // Error path (summed over RAID members when applicable).
+  std::int64_t io_errors = 0;     // block completions with non-ok status
+  std::int64_t io_timeouts = 0;
+  std::int64_t io_retries = 0;    // host retry attempts
+  std::int64_t fault_injected_sectors = 0;
+  std::int64_t fault_detections = 0;
+  double fault_mean_detection_hours = 0.0;
+  std::int64_t raid_lost_sectors = 0;
+
   /// Publishes the summary fields under `prefix` (e.g. "fig06.cfq.seq").
   void export_to(obs::Registry& registry, const std::string& prefix) const;
 };
@@ -200,6 +227,12 @@ class Scenario {
   block::BlockLayer& block() { return *block_; }
   /// RAID accessor; invalid otherwise.
   raid::RaidArray& raid() { return *array_; }
+
+  /// The fault injector, or nullptr when config.fault is disabled.
+  fault::FaultInjector* fault_injector() { return injector_.get(); }
+  const fault::FaultInjector* fault_injector() const {
+    return injector_.get();
+  }
 
   /// Starts workload, scrubber, and daemons at the current sim time
   /// (idempotent). Separated from run() so callers can schedule their own
@@ -247,6 +280,7 @@ class Scenario {
   std::unique_ptr<core::Scrubber> scrubber_;
   std::unique_ptr<core::WaitingScrubber> waiting_scrubber_;
   std::unique_ptr<core::SpinDownDaemon> spindown_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   bool started_ = false;
 };
 

@@ -1,0 +1,60 @@
+#include "fault/fault_plan.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "exp/sweep.h"
+#include "sim/rng.h"
+
+namespace pscrub::fault {
+
+FaultPlan build_fault_plan(const FaultSpec& spec, int disk_count,
+                           std::int64_t total_sectors, SimTime horizon) {
+  if (disk_count <= 0) {
+    throw std::invalid_argument("build_fault_plan: disk_count must be > 0, got " +
+                                std::to_string(disk_count));
+  }
+  FaultPlan plan;
+  plan.disks.resize(static_cast<std::size_t>(disk_count));
+  plan.error_model = spec.error_model;
+  if (!spec.enabled) return plan;
+
+  const SimTime effective_horizon =
+      spec.lse_horizon > 0 ? spec.lse_horizon : horizon;
+  if (effective_horizon <= 0) {
+    throw std::invalid_argument(
+        "build_fault_plan: fault horizon must be > 0 (set FaultSpec::"
+        "lse_horizon or pass the scenario run length)");
+  }
+
+  for (int i = 0; i < disk_count; ++i) {
+    // Per-disk stream from the task-seed derivation: disk i's bursts are a
+    // pure function of (spec.seed, i), independent of every other disk.
+    Rng rng(exp::task_seed(spec.seed, static_cast<std::size_t>(i)));
+    plan.disks[static_cast<std::size_t>(i)].bursts = core::generate_lse_bursts(
+        spec.lse, total_sectors, effective_horizon, rng);
+  }
+
+  for (const DiskFailureEvent& f : spec.fail_disk) {
+    if (f.disk < 0 || f.disk >= disk_count) {
+      throw std::invalid_argument(
+          "build_fault_plan: fail_disk index " + std::to_string(f.disk) +
+          " outside [0, " + std::to_string(disk_count) + ")");
+    }
+    if (f.at < 0) {
+      throw std::invalid_argument(
+          "build_fault_plan: fail_disk time for disk " +
+          std::to_string(f.disk) + " must be >= 0");
+    }
+    DiskFaultPlan& d = plan.disks[static_cast<std::size_t>(f.disk)];
+    if (d.fail_at >= 0) {
+      throw std::invalid_argument(
+          "build_fault_plan: disk " + std::to_string(f.disk) +
+          " has more than one failure event");
+    }
+    d.fail_at = f.at;
+  }
+  return plan;
+}
+
+}  // namespace pscrub::fault

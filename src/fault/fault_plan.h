@@ -1,0 +1,85 @@
+// Deterministic fault plans: the declarative description of everything
+// that will go wrong in a scenario, materialized up front so the same
+// spec + seed always yields the same faults -- on any worker count.
+//
+// A FaultSpec says *how* faults arrive (LSE burst model, transient error
+// rate, device-failure events, in-drive recovery behaviour); a FaultPlan
+// is the materialized per-disk schedule (concrete bursts with occurrence
+// times, concrete failure times). Per-disk randomness derives from the
+// spec seed via exp::task_seed -- the same splitmix64 derivation the
+// sweep runner uses per task -- so disk i's bursts never depend on how
+// many disks precede it in construction order or which thread built them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lse.h"
+#include "disk/disk_model.h"
+#include "sim/time.h"
+
+namespace pscrub::fault {
+
+/// A scheduled whole-device failure.
+struct DiskFailureEvent {
+  int disk = 0;
+  SimTime at = 0;
+};
+
+/// Declarative fault model for a scenario (disk-count agnostic).
+struct FaultSpec {
+  /// Master switch; a disabled spec materializes an empty plan.
+  bool enabled = false;
+  /// In-drive recovery behaviour installed on every disk. `in_band`
+  /// defaults to true here (unlike the DiskErrorModel default) because a
+  /// fault plan exists to surface errors through the request path.
+  disk::DiskErrorModel error_model{.in_band = true};
+  /// LSE burst arrival model (core::generate_lse_bursts).
+  core::LseModelConfig lse;
+  /// Horizon over which bursts arrive; <= 0 uses the scenario run length.
+  SimTime lse_horizon = 0;
+  /// Whole-device failures. Indices are validated against the disk count
+  /// when the plan is built.
+  std::vector<DiskFailureEvent> fail_disk;
+  /// Root of the per-disk derivation: disk i draws from
+  /// Rng(exp::task_seed(seed, i)).
+  std::uint64_t seed = 7;
+};
+
+/// Materialized faults for one disk.
+struct DiskFaultPlan {
+  std::vector<core::LseBurst> bursts;
+  /// Whole-device failure time; < 0 means the device never fails.
+  SimTime fail_at = -1;
+
+  std::int64_t total_error_sectors() const {
+    std::int64_t n = 0;
+    for (const core::LseBurst& b : bursts) {
+      n += static_cast<std::int64_t>(b.sectors.size());
+    }
+    return n;
+  }
+};
+
+/// Materialized faults for every disk of a scenario.
+struct FaultPlan {
+  std::vector<DiskFaultPlan> disks;
+  disk::DiskErrorModel error_model;
+
+  bool empty() const {
+    for (const DiskFaultPlan& d : disks) {
+      if (!d.bursts.empty() || d.fail_at >= 0) return false;
+    }
+    return true;
+  }
+};
+
+/// Materializes `spec` for `disk_count` disks of `total_sectors` each over
+/// `horizon` (used when spec.lse_horizon <= 0). Deterministic: identical
+/// arguments always produce an identical plan. Throws std::invalid_argument
+/// for out-of-range fail_disk indices, negative failure times, or a
+/// non-positive effective horizon.
+FaultPlan build_fault_plan(const FaultSpec& spec, int disk_count,
+                           std::int64_t total_sectors, SimTime horizon);
+
+}  // namespace pscrub::fault

@@ -1,0 +1,96 @@
+#include "fault/injector.h"
+
+#include <utility>
+
+#include "obs/registry.h"
+#include "obs/trace_event.h"
+
+namespace pscrub::fault {
+
+void FaultInjector::attach(disk::DiskModel& d, int index) {
+  const auto i = static_cast<std::size_t>(index);
+  if (i >= plan_.disks.size()) return;
+  const DiskFaultPlan& dp = plan_.disks[i];
+  d.set_error_model(plan_.error_model);
+
+  // Chain, not clobber: the RAID layer's repair routing (or a test's
+  // observer) keeps firing after we timestamp the detection.
+  auto prev = d.set_lse_observer(nullptr);
+  d.set_lse_observer(
+      [this, index, prev = std::move(prev)](disk::Lbn lbn, bool is_read) {
+        record_detection(index, lbn, is_read);
+        if (prev) prev(lbn, is_read);
+      });
+
+  for (const core::LseBurst& burst : dp.bursts) {
+    sim_.at(burst.occurred, [this, &d, index, &burst] {
+      obs::Tracer& tracer = obs::Tracer::global();
+      if (tracer.enabled()) {
+        tracer.instant(
+            obs::Track::kRaid, "fault", "lse-burst", sim_.now(),
+            {{"disk", index},
+             {"sectors", static_cast<std::int64_t>(burst.sectors.size())}});
+      }
+      for (disk::Lbn lbn : burst.sectors) {
+        if (lbn < 0 || lbn >= d.total_sectors()) continue;
+        d.inject_lse(lbn);
+        ++injected_sectors_;
+        injected_at_.emplace(std::make_pair(index, lbn), sim_.now());
+      }
+    });
+  }
+
+  if (dp.fail_at >= 0) {
+    sim_.at(dp.fail_at, [this, &d, index] {
+      d.fail_device();
+      ++device_failures_;
+      obs::Tracer& tracer = obs::Tracer::global();
+      if (tracer.enabled()) {
+        tracer.instant(obs::Track::kRaid, "fault", "device-failure",
+                       sim_.now(), {{"disk", index}});
+      }
+    });
+  }
+}
+
+void FaultInjector::record_detection(int disk_index, disk::Lbn lbn,
+                                     bool is_read) {
+  const auto key = std::make_pair(disk_index, lbn);
+  if (!seen_.insert(key).second) return;  // retries re-report; count once
+  Detection det;
+  det.disk = disk_index;
+  det.lbn = lbn;
+  det.detected = sim_.now();
+  det.by_read = is_read;
+  auto it = injected_at_.find(key);
+  // Sectors injected outside the plan (e.g. a test's manual inject_lse)
+  // count as occurred at time 0.
+  det.occurred = it != injected_at_.end() ? it->second : 0;
+  if (is_read) {
+    ++read_detections_;
+  } else {
+    ++scrub_detections_;
+  }
+  detections_.push_back(det);
+}
+
+double FaultInjector::mean_detection_hours() const {
+  if (detections_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Detection& det : detections_) {
+    sum += to_seconds(det.detected - det.occurred) / 3600.0;
+  }
+  return sum / static_cast<double>(detections_.size());
+}
+
+void FaultInjector::export_to(obs::Registry& registry,
+                              const std::string& prefix) const {
+  registry.counter(prefix + ".injected_sectors") += injected_sectors_;
+  registry.counter(prefix + ".device_failures") += device_failures_;
+  registry.counter(prefix + ".read_detections") += read_detections_;
+  registry.counter(prefix + ".scrub_detections") += scrub_detections_;
+  registry.gauge(prefix + ".mean_detection_hours")
+      .set(mean_detection_hours());
+}
+
+}  // namespace pscrub::fault

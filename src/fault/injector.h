@@ -1,0 +1,88 @@
+// Fault injector: drives a materialized FaultPlan into live disk models.
+//
+// For each attached disk the injector
+//   - installs the plan's in-drive error model,
+//   - schedules every LSE burst (sectors appear silently at their
+//     occurrence time -- they cost nothing until a media access trips
+//     over them),
+//   - schedules the whole-device failure, if planned,
+//   - chains the disk's LSE observer (preserving whatever the RAID layer
+//     or a test installed) to timestamp in-band detections.
+//
+// The detection log is the in-band ground truth that the analytical
+// core::evaluate_mlet schedule walk can be cross-checked against: each
+// entry records when the sector went bad and when a media access first
+// found it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "disk/disk_model.h"
+#include "fault/fault_plan.h"
+#include "sim/simulator.h"
+
+namespace pscrub::obs {
+class Registry;
+}  // namespace pscrub::obs
+
+namespace pscrub::fault {
+
+class FaultInjector {
+ public:
+  /// One in-band detection of an injected bad sector (first detection
+  /// only; host retries re-reporting the same sector are deduplicated).
+  struct Detection {
+    int disk = 0;
+    disk::Lbn lbn = 0;
+    SimTime occurred = 0;  // when the injection made the sector bad
+    SimTime detected = 0;  // when a media access first found it
+    bool by_read = false;  // foreground read vs scrub verify
+  };
+
+  FaultInjector(Simulator& sim, FaultPlan plan)
+      : sim_(sim), plan_(std::move(plan)) {}
+
+  /// Wires plan.disks[index] into `d`: error model, burst injections,
+  /// failure event, observer chain. Call once per disk before the
+  /// simulation runs. The disk must outlive the injector's simulator.
+  void attach(disk::DiskModel& d, int index);
+
+  const FaultPlan& plan() const { return plan_; }
+  const std::vector<Detection>& detections() const { return detections_; }
+
+  std::int64_t injected_sectors() const { return injected_sectors_; }
+  std::int64_t device_failures() const { return device_failures_; }
+  std::int64_t read_detections() const { return read_detections_; }
+  std::int64_t scrub_detections() const { return scrub_detections_; }
+
+  /// Mean in-band latent error time (occurrence -> first detection) in
+  /// hours over everything detected so far; 0 when nothing was detected.
+  /// Undetected sectors are NOT included (compare against the analytical
+  /// MLET only when the run covered the full schedule).
+  double mean_detection_hours() const;
+
+  /// Publishes injector counters under `prefix` (e.g. "fault.injected").
+  void export_to(obs::Registry& registry, const std::string& prefix) const;
+
+ private:
+  void record_detection(int disk_index, disk::Lbn lbn, bool is_read);
+
+  Simulator& sim_;
+  FaultPlan plan_;
+  std::vector<Detection> detections_;
+  /// Injection time per (disk, sector) for detection latency accounting.
+  std::map<std::pair<int, disk::Lbn>, SimTime> injected_at_;
+  /// Sectors already detected once (dedupe against retry re-reports).
+  std::set<std::pair<int, disk::Lbn>> seen_;
+  std::int64_t injected_sectors_ = 0;
+  std::int64_t device_failures_ = 0;
+  std::int64_t read_detections_ = 0;
+  std::int64_t scrub_detections_ = 0;
+};
+
+}  // namespace pscrub::fault

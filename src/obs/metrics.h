@@ -61,6 +61,9 @@ class Registry;
 struct IoStats {
   Counter requests;
   Counter bytes;
+  /// Requests that completed with a typed error (media/transient/failed
+  /// disk/timeout); still counted in `requests` and `latency`.
+  Counter errors;
   LatencyHistogram latency;
   /// Per-request response times in seconds, kept only when `keep_samples`
   /// (exact ECDF plots); summary statistics never need them.

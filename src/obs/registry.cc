@@ -115,6 +115,7 @@ bool Registry::write_json_file(const std::string& path) const {
 void IoStats::export_to(Registry& registry, const std::string& prefix) const {
   registry.counter(prefix + ".requests") += requests.value();
   registry.counter(prefix + ".bytes") += bytes.value();
+  registry.counter(prefix + ".errors") += errors.value();
   registry.histogram(prefix + ".latency").merge(latency);
 }
 

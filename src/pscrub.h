@@ -14,6 +14,9 @@
 //                LSE/MLET model (the paper's contribution)
 //   raid      -- striped array with rebuild and scrub-repair (the data-
 //                loss scenario that motivates scrubbing)
+//   fault     -- deterministic fault plans (LSE bursts, transient errors,
+//                device failures) and the injector that drives them into
+//                live disks
 //   exp       -- scenario engine (declarative stack construction) and the
 //                deterministic parallel sweep runner
 #pragma once
@@ -35,6 +38,8 @@
 #include "disk/cache.h"
 #include "exp/scenario.h"
 #include "exp/sweep.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
 #include "disk/disk_model.h"
 #include "disk/geometry.h"
 #include "disk/profile.h"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "core/scrub_strategy.h"
 #include "obs/registry.h"
@@ -19,6 +21,7 @@ void ArrayStats::export_to(obs::Registry& registry,
   registry.counter(prefix + ".lost_sectors") += lost_sectors;
   registry.counter(prefix + ".scrub_detections") += scrub_detections;
   registry.counter(prefix + ".read_detections") += read_detections;
+  registry.counter(prefix + ".rebuild_detections") += rebuild_detections;
 }
 
 RaidArray::RaidArray(Simulator& sim, const RaidConfig& config,
@@ -38,16 +41,24 @@ RaidArray::RaidArray(Simulator& sim, const RaidConfig& config,
         sim_, profile, seed + static_cast<std::uint64_t>(i) * 7919));
     blocks_.push_back(std::make_unique<block::BlockLayer>(
         sim_, *disks_.back(), std::make_unique<block::CfqScheduler>()));
-    // Foreground read failures surface immediately; scrub detections are
-    // routed to the repair path when scrubbing is active.
+    // Every detection -- foreground read or scrub -- routes into the
+    // reconstruct-and-rewrite repair path while redundancy is intact.
+    // During a rebuild, survivor UREs are the paper's motivating data-loss
+    // exposure: they are counted separately and left to the rebuild's
+    // per-column recoverability accounting (repairing them mid-count
+    // would race with it).
     disks_.back()->set_lse_observer(
         [this, i](disk::Lbn lbn, bool is_read) {
+          if (rebuilding_disk_ >= 0) {
+            ++stats_.rebuild_detections;
+            return;
+          }
           if (is_read) {
             ++stats_.read_detections;
           } else {
             ++stats_.scrub_detections;
-            repair_sector(i, lbn);
           }
+          repair_sector(i, lbn);
         });
   }
 }
@@ -173,10 +184,33 @@ void RaidArray::write(std::int64_t array_lbn, std::int64_t sectors,
 }
 
 void RaidArray::fail_disk(int index) {
-  assert(index >= 0 && index < layout_.total_disks());
+  if (index < 0 || index >= layout_.total_disks()) {
+    throw std::out_of_range("RaidArray::fail_disk: disk index " +
+                            std::to_string(index) + " outside [0, " +
+                            std::to_string(layout_.total_disks()) + ")");
+  }
+  if (is_failed(index)) {
+    throw std::logic_error("RaidArray::fail_disk: disk " +
+                           std::to_string(index) + " is already failed");
+  }
+  if (rebuilding_disk_ >= 0) {
+    throw std::logic_error(
+        "RaidArray::fail_disk: rebuild of disk " +
+        std::to_string(rebuilding_disk_) +
+        " is in flight; failing disk " + std::to_string(index) +
+        " now would corrupt the rebuild bookkeeping (wait for completion)");
+  }
   failed_[static_cast<std::size_t>(index)] = true;
+  // The device itself dies: anything still in flight or submitted later
+  // fails fast with kDiskFailed instead of silently succeeding.
+  disk(index).fail_device();
   if (scrubbers_[static_cast<std::size_t>(index)]) {
     scrubbers_[static_cast<std::size_t>(index)]->stop();
+  }
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.instant(obs::Track::kRaid, "raid", "disk-failed", sim_.now(),
+                   {{"disk", index}});
   }
 }
 
@@ -190,8 +224,10 @@ std::int64_t RaidArray::count_lost_sectors(std::int64_t stripe,
   for (std::int64_t off = 0; off < layout_.chunk_sectors(); ++off) {
     int erasures = 1;
     for (int d = 0; d < layout_.total_disks(); ++d) {
-      if (d == missing_disk || is_failed(d)) continue;
-      if (disk(d).has_lse(base + off)) ++erasures;
+      if (d == missing_disk) continue;
+      // A concurrently-failed peer is a whole-column erasure, just like a
+      // latent error on a healthy peer.
+      if (is_failed(d) || disk(d).has_lse(base + off)) ++erasures;
     }
     if (erasures > layout_.parity_disks()) ++lost;
   }
@@ -261,11 +297,28 @@ void RaidArray::rebuild_stripe(
 
 void RaidArray::rebuild(int index, const RebuildConfig& config,
                         std::function<void(const RebuildResult&)> done) {
-  assert(is_failed(index) && "rebuild target must be failed");
+  if (index < 0 || index >= layout_.total_disks()) {
+    throw std::out_of_range("RaidArray::rebuild: disk index " +
+                            std::to_string(index) + " outside [0, " +
+                            std::to_string(layout_.total_disks()) + ")");
+  }
+  if (!is_failed(index)) {
+    throw std::logic_error("RaidArray::rebuild: disk " +
+                           std::to_string(index) +
+                           " is not failed; nothing to rebuild");
+  }
+  if (rebuilding_disk_ >= 0) {
+    throw std::logic_error(
+        "RaidArray::rebuild: rebuild of disk " +
+        std::to_string(rebuilding_disk_) +
+        " is already in flight; a second rebuild would corrupt "
+        "rebuilding_disk_/rebuild_frontier_ (wait for completion)");
+  }
   rebuilding_disk_ = index;
   rebuild_frontier_ = 0;
   // The replacement is a fresh drive: the departed member's latent errors
-  // left with its platters.
+  // left with its platters, and its electronics answer again.
+  disk(index).replace_device();
   disk(index).clear_lses();
   auto result = std::make_shared<RebuildResult>();
   rebuild_stripe(index, 0, config, result, std::move(done), sim_.now());
@@ -280,6 +333,12 @@ double RaidArray::rebuild_progress() const {
 void RaidArray::repair_sector(int disk_index, disk::Lbn lbn) {
   // Reconstruct one sector from its stripe peers, then rewrite it. The
   // write clears the latent error in the disk model.
+  if (is_failed(disk_index) || disk(disk_index).device_failed()) {
+    return;  // nothing to write the repair to
+  }
+  // Dedupe: host retries (and overlapping requests) re-detect the same bad
+  // sector before the repair write lands; one repair is enough.
+  if (!repairs_in_flight_.emplace(disk_index, lbn).second) return;
   obs::Tracer& tracer = obs::Tracer::global();
   if (tracer.enabled()) {
     tracer.instant(obs::Track::kRaid, "raid", "scrub-repair", sim_.now(),
@@ -301,6 +360,7 @@ void RaidArray::repair_sector(int disk_index, disk::Lbn lbn) {
   }
   if (erasures > layout_.parity_disks()) {
     ++stats_.lost_sectors;
+    repairs_in_flight_.erase({disk_index, lbn});
     return;
   }
 
@@ -309,7 +369,10 @@ void RaidArray::repair_sector(int disk_index, disk::Lbn lbn) {
   join->done = [this, disk_index, lbn](SimTime) {
     auto wjoin = std::make_shared<Join>();
     wjoin->submitted = sim_.now();
-    wjoin->done = [this](SimTime) { ++stats_.reconstructed_sectors; };
+    wjoin->done = [this, disk_index, lbn](SimTime) {
+      ++stats_.reconstructed_sectors;
+      repairs_in_flight_.erase({disk_index, lbn});
+    };
     ++wjoin->remaining;
     submit_disk_write(disk_index, lbn, 1, wjoin);
     if (--wjoin->remaining == 0) wjoin->done(0);

@@ -15,7 +15,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "block/block_layer.h"
@@ -42,6 +44,10 @@ struct ArrayStats {
   /// LSEs found by scrubbing / by foreground reads.
   std::int64_t scrub_detections = 0;
   std::int64_t read_detections = 0;
+  /// Survivor UREs hit while a rebuild is in flight (the paper's
+  /// motivating data-loss exposure; recoverability settles in
+  /// lost_sectors/reconstructed_sectors).
+  std::int64_t rebuild_detections = 0;
 
   /// Publishes every field into `registry` under `prefix` (e.g.
   /// "raid.lost_sectors").
@@ -82,7 +88,10 @@ class RaidArray {
   /// read, then data + parity written).
   void write(std::int64_t array_lbn, std::int64_t sectors, DoneFn done);
 
-  /// Marks a member failed. Reads targeting it reconstruct from peers.
+  /// Marks a member failed: its device starts failing commands fast, its
+  /// scrubber stands down, and reads targeting it reconstruct from peers.
+  /// Throws std::out_of_range for a bad index and std::logic_error when the
+  /// member is already failed or a rebuild is in flight.
   void fail_disk(int index);
   bool is_failed(int index) const {
     return failed_[static_cast<std::size_t>(index)];
@@ -90,9 +99,14 @@ class RaidArray {
 
   /// Rebuilds a failed member onto its replacement, stripe by stripe.
   /// Survivor LSEs encountered where erasures exceed parity are counted
-  /// as lost sectors. Completion is reported through `done`.
+  /// as lost sectors. Completion is reported through `done`. Throws
+  /// std::out_of_range for a bad index and std::logic_error when the
+  /// target is not failed or another rebuild is already in flight.
   void rebuild(int index, const RebuildConfig& config,
                std::function<void(const RebuildResult&)> done);
+
+  /// True while a rebuild is in flight.
+  bool rebuild_in_flight() const { return rebuilding_disk_ >= 0; }
 
   /// Fraction of stripes rebuilt for an in-progress rebuild (1 if none).
   double rebuild_progress() const;
@@ -146,6 +160,10 @@ class RaidArray {
   std::vector<std::unique_ptr<core::WaitingScrubber>> scrubbers_;
   std::vector<bool> failed_;
   ArrayStats stats_;
+  /// Sectors with a reconstruct-and-rewrite repair in flight; repeated
+  /// detections of the same sector (host retries, overlapping reads) must
+  /// not spawn duplicate repairs.
+  std::set<std::pair<int, disk::Lbn>> repairs_in_flight_;
 
   // In-progress rebuild bookkeeping.
   int rebuilding_disk_ = -1;

@@ -1,6 +1,8 @@
 #include "raid/layout.h"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace pscrub::raid {
 
@@ -10,10 +12,25 @@ RaidLayout::RaidLayout(const RaidConfig& config, std::int64_t disk_sectors)
       n_(config.data_disks + config.parity_disks),
       chunk_(config.chunk_sectors),
       stripes_(disk_sectors / config.chunk_sectors) {
-  assert(k_ >= 2 && "need at least two data disks");
-  assert(p_ >= 1 && p_ <= 2 && "RAID-5 or RAID-6");
-  assert(chunk_ > 0);
-  assert(stripes_ > 0);
+  if (k_ < 2) {
+    throw std::invalid_argument("RaidLayout: need at least two data disks, got " +
+                                std::to_string(k_));
+  }
+  if (p_ < 1 || p_ > 2) {
+    throw std::invalid_argument(
+        "RaidLayout: parity_disks must be 1 (RAID-5) or 2 (RAID-6), got " +
+        std::to_string(p_));
+  }
+  if (chunk_ <= 0) {
+    throw std::invalid_argument("RaidLayout: chunk_sectors must be > 0, got " +
+                                std::to_string(chunk_));
+  }
+  if (stripes_ <= 0) {
+    throw std::invalid_argument(
+        "RaidLayout: disk capacity (" + std::to_string(disk_sectors) +
+        " sectors) is smaller than one chunk (" + std::to_string(chunk_) +
+        " sectors); the array has no complete stripe");
+  }
 }
 
 std::vector<int> RaidLayout::parity_disks_of(std::int64_t stripe) const {

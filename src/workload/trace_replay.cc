@@ -1,5 +1,7 @@
 #include "workload/trace_replay.h"
 
+#include <algorithm>
+
 namespace pscrub::workload {
 
 TraceReplayWorkload::TraceReplayWorkload(Simulator& sim,
@@ -29,8 +31,16 @@ void TraceReplayWorkload::issue(std::size_t index) {
   block::BlockRequest req;
   req.cmd.kind =
       rec.is_write ? disk::CommandKind::kWrite : disk::CommandKind::kRead;
+  // Traces are recorded against disks of arbitrary size; fold any extent
+  // that falls past the end of the replay device back into its address
+  // space (no real host issues an out-of-range command). In-range records
+  // -- the common case -- pass through untouched.
+  const std::int64_t total = blk_.disk().total_sectors();
+  req.cmd.sectors = std::min<std::int64_t>(rec.sectors, total);
   req.cmd.lbn = rec.lbn;
-  req.cmd.sectors = rec.sectors;
+  if (req.cmd.lbn + req.cmd.sectors > total) {
+    req.cmd.lbn %= total - req.cmd.sectors + 1;
+  }
   req.priority = priority_;
   req.on_complete = [this](const block::BlockRequest& r, SimTime latency) {
     metrics_.record(r.cmd.bytes(), latency);

@@ -1,0 +1,714 @@
+// Fault-injection and error-path tests: the in-band media-error model on
+// the disk, host-side retry/timeout/backoff in the block layer, fault
+// plans and the injector, scrubber graceful degradation, scenario wiring,
+// sweep determinism, and the in-band vs analytical MLET cross-check.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "block/block_layer.h"
+#include "block/noop_scheduler.h"
+#include "core/lse.h"
+#include "core/scrub_strategy.h"
+#include "core/scrubber.h"
+#include "disk/disk_model.h"
+#include "disk/profile.h"
+#include "exp/scenario.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+
+namespace pscrub {
+namespace {
+
+disk::DiskProfile small_profile(std::int64_t capacity = 1LL << 30) {
+  disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  p.capacity_bytes = capacity;
+  return p;
+}
+
+/// Enterprise drive: in-band errors with a tight ERC/TLER recovery cap.
+disk::DiskErrorModel enterprise_model() {
+  disk::DiskErrorModel m;
+  m.in_band = true;
+  m.erc_timeout = 100 * kMillisecond;
+  return m;
+}
+
+/// Desktop drive: in-band errors, no ERC -- the multi-second retry grind.
+disk::DiskErrorModel desktop_model() {
+  disk::DiskErrorModel m;
+  m.in_band = true;
+  return m;
+}
+
+struct Fixture {
+  Simulator sim;
+  disk::DiskModel disk;
+  block::BlockLayer blk;
+
+  Fixture()
+      : disk(sim, small_profile(), 1),
+        blk(sim, disk, std::make_unique<block::NoopScheduler>()) {}
+};
+
+block::BlockRequest make_request(disk::CommandKind kind, disk::Lbn lbn,
+                                 std::int64_t sectors,
+                                 block::RequestCompletionFn fn) {
+  block::BlockRequest r;
+  r.cmd.kind = kind;
+  r.cmd.lbn = lbn;
+  r.cmd.sectors = sectors;
+  r.on_complete = std::move(fn);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Fault plans.
+
+TEST(FaultPlan, DeterministicAndDiskCountAgnostic) {
+  fault::FaultSpec spec;
+  spec.enabled = true;
+  spec.lse.burst_interarrival_mean = kHour;
+  const std::int64_t sectors = 1 << 20;
+
+  const fault::FaultPlan a = fault::build_fault_plan(spec, 3, sectors, kDay);
+  const fault::FaultPlan b = fault::build_fault_plan(spec, 3, sectors, kDay);
+  ASSERT_EQ(a.disks.size(), 3u);
+  for (std::size_t d = 0; d < 3; ++d) {
+    ASSERT_EQ(a.disks[d].bursts.size(), b.disks[d].bursts.size());
+    ASSERT_FALSE(a.disks[d].bursts.empty());
+    for (std::size_t i = 0; i < a.disks[d].bursts.size(); ++i) {
+      EXPECT_EQ(a.disks[d].bursts[i].occurred, b.disks[d].bursts[i].occurred);
+      EXPECT_EQ(a.disks[d].bursts[i].sectors, b.disks[d].bursts[i].sectors);
+    }
+  }
+
+  // Disk i's faults derive from task_seed(seed, i) alone: the same disk in
+  // a smaller plan draws the identical schedule.
+  const fault::FaultPlan solo = fault::build_fault_plan(spec, 1, sectors, kDay);
+  ASSERT_EQ(solo.disks[0].bursts.size(), a.disks[0].bursts.size());
+  EXPECT_EQ(solo.disks[0].bursts[0].occurred, a.disks[0].bursts[0].occurred);
+  EXPECT_EQ(solo.disks[0].bursts[0].sectors, a.disks[0].bursts[0].sectors);
+
+  // Different disks draw different faults.
+  EXPECT_NE(a.disks[0].bursts[0].sectors, a.disks[1].bursts[0].sectors);
+}
+
+TEST(FaultPlan, DisabledSpecMaterializesEmpty) {
+  fault::FaultSpec spec;  // enabled = false
+  const fault::FaultPlan p = fault::build_fault_plan(spec, 2, 1 << 20, kDay);
+  EXPECT_TRUE(p.empty());
+  ASSERT_EQ(p.disks.size(), 2u);
+  EXPECT_EQ(p.disks[0].total_error_sectors(), 0);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  fault::FaultSpec spec;
+  spec.enabled = true;
+  EXPECT_THROW(fault::build_fault_plan(spec, 0, 1 << 20, kDay),
+               std::invalid_argument);
+  EXPECT_THROW(fault::build_fault_plan(spec, 1, 1 << 20, 0),
+               std::invalid_argument);
+
+  spec.fail_disk.push_back({.disk = 2, .at = kHour});  // out of range for 2
+  EXPECT_THROW(fault::build_fault_plan(spec, 2, 1 << 20, kDay),
+               std::invalid_argument);
+
+  spec.fail_disk[0] = {.disk = 0, .at = -5};  // negative failure time
+  EXPECT_THROW(fault::build_fault_plan(spec, 2, 1 << 20, kDay),
+               std::invalid_argument);
+
+  spec.fail_disk[0] = {.disk = 0, .at = kHour};
+  spec.fail_disk.push_back({.disk = 0, .at = 2 * kHour});  // duplicate disk
+  EXPECT_THROW(fault::build_fault_plan(spec, 2, 1 << 20, kDay),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// In-band disk errors.
+
+TEST(DiskErrors, InBandMediaErrorFailsTheCommand) {
+  Fixture f;
+  f.disk.set_error_model(enterprise_model());
+  f.disk.inject_lse(1000);
+
+  block::BlockResult res;
+  f.blk.submit(make_request(
+      disk::CommandKind::kRead, 960, 128,
+      [&](const block::BlockRequest&, const block::BlockResult& r) {
+        res = r;
+      }));
+  f.sim.run();
+
+  EXPECT_EQ(res.status, disk::IoStatus::kMediaError);
+  EXPECT_EQ(res.error_lbn, 1000);
+  EXPECT_GT(res.internal_retries, 0);
+  EXPECT_EQ(f.disk.counters().media_errors, 1);
+  EXPECT_GT(f.disk.counters().recovery_time, 0);
+  EXPECT_EQ(f.blk.stats().errors, 1);
+  EXPECT_EQ(f.blk.stats().media_errors, 1);
+}
+
+TEST(DiskErrors, ErcCapsTheRecoveryGrind) {
+  Fixture desktop;
+  Fixture enterprise;
+  desktop.disk.set_error_model(desktop_model());
+  enterprise.disk.set_error_model(enterprise_model());
+  desktop.disk.inject_lse(500);
+  enterprise.disk.inject_lse(500);
+
+  SimTime desktop_latency = 0;
+  SimTime enterprise_latency = 0;
+  desktop.blk.submit(make_request(
+      disk::CommandKind::kRead, 448, 128,
+      [&](const block::BlockRequest&, const block::BlockResult& r) {
+        desktop_latency = r.latency;
+      }));
+  enterprise.blk.submit(make_request(
+      disk::CommandKind::kRead, 448, 128,
+      [&](const block::BlockRequest&, const block::BlockResult& r) {
+        enterprise_latency = r.latency;
+      }));
+  desktop.sim.run();
+  enterprise.sim.run();
+
+  // Desktop: the full 3 s per-sector recovery budget. Enterprise: the
+  // 100 ms ERC cap plus ordinary positioning.
+  EXPECT_GE(desktop_latency, 3 * kSecond);
+  EXPECT_LT(enterprise_latency, kSecond);
+  EXPECT_GE(enterprise_latency, 100 * kMillisecond);
+}
+
+TEST(DiskErrors, WriteRemapsBadSectors) {
+  Fixture f;
+  f.disk.set_error_model(enterprise_model());
+  f.disk.inject_lse(100);
+
+  block::BlockResult wres;
+  f.blk.submit(make_request(
+      disk::CommandKind::kWrite, 0, 256,
+      [&](const block::BlockRequest&, const block::BlockResult& r) {
+        wres = r;
+      }));
+  f.sim.run();
+  EXPECT_TRUE(wres.ok()) << "writes remap, they do not fail";
+  EXPECT_FALSE(f.disk.has_lse(100));
+  EXPECT_EQ(f.disk.counters().lse_repaired, 1);
+
+  block::BlockResult rres;
+  f.blk.submit(make_request(
+      disk::CommandKind::kVerifyScsi, 0, 256,
+      [&](const block::BlockRequest&, const block::BlockResult& r) {
+        rres = r;
+      }));
+  f.sim.run();
+  EXPECT_TRUE(rres.ok()) << "the healed sector verifies clean";
+}
+
+TEST(DiskErrors, FailedDeviceFastFailsUntilReplaced) {
+  Fixture f;
+  f.disk.fail_device();
+
+  block::BlockResult res;
+  SimTime completed_at = -1;
+  f.blk.submit(make_request(
+      disk::CommandKind::kRead, 0, 128,
+      [&](const block::BlockRequest&, const block::BlockResult& r) {
+        res = r;
+        completed_at = f.sim.now();
+      }));
+  f.sim.run();
+  EXPECT_EQ(res.status, disk::IoStatus::kDiskFailed);
+  EXPECT_LT(completed_at, 10 * kMillisecond) << "electronics answer fast";
+  EXPECT_EQ(f.disk.counters().failed_commands, 1);
+  EXPECT_EQ(f.blk.stats().disk_failures, 1);
+
+  f.disk.replace_device();
+  block::BlockResult after;
+  f.blk.submit(make_request(
+      disk::CommandKind::kRead, 0, 128,
+      [&](const block::BlockRequest&, const block::BlockResult& r) {
+        after = r;
+      }));
+  f.sim.run();
+  EXPECT_TRUE(after.ok());
+}
+
+TEST(DiskErrors, TransientErrorsRecoverOnHostRetry) {
+  Fixture f;
+  disk::DiskErrorModel m = enterprise_model();
+  m.transient_error_prob = 0.5;
+  f.disk.set_error_model(m);
+
+  block::RetryPolicy rp;
+  rp.max_retries = 10;
+  rp.backoff_base = kMillisecond;
+  f.blk.set_retry_policy(rp);
+
+  int done = 0;
+  int failures = 0;
+  for (int i = 0; i < 20; ++i) {
+    f.blk.submit(make_request(
+        disk::CommandKind::kVerifyScsi, i * 10000, 64,
+        [&](const block::BlockRequest&, const block::BlockResult& r) {
+          ++done;
+          if (!r.ok()) ++failures;
+        }));
+  }
+  f.sim.run();
+
+  EXPECT_EQ(done, 20);
+  EXPECT_EQ(failures, 0) << "every transient recovered within the budget";
+  EXPECT_GT(f.blk.stats().retries, 0);
+  EXPECT_GT(f.disk.counters().transient_errors, 0);
+  EXPECT_EQ(f.blk.stats().errors, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Host-side retry / backoff / timeout.
+
+TEST(BlockRetry, MediaErrorsPassThroughByDefault) {
+  Fixture f;
+  f.disk.set_error_model(enterprise_model());
+  f.disk.inject_lse(1000);
+  block::RetryPolicy rp;
+  rp.max_retries = 3;  // retry_media_errors stays false
+  f.blk.set_retry_policy(rp);
+
+  block::BlockResult res;
+  f.blk.submit(make_request(
+      disk::CommandKind::kRead, 960, 128,
+      [&](const block::BlockRequest&, const block::BlockResult& r) {
+        res = r;
+      }));
+  f.sim.run();
+  EXPECT_EQ(res.status, disk::IoStatus::kMediaError);
+  EXPECT_EQ(res.retries, 0) << "media errors are not retried by default";
+  EXPECT_EQ(f.blk.stats().retries, 0);
+}
+
+TEST(BlockRetry, MediaErrorRetriedWithExponentialBackoff) {
+  Fixture f;
+  f.disk.set_error_model(enterprise_model());
+  f.disk.inject_lse(1000);
+  block::RetryPolicy rp;
+  rp.max_retries = 2;
+  rp.retry_media_errors = true;
+  rp.backoff_base = 10 * kMillisecond;
+  rp.backoff_multiplier = 2.0;
+  f.blk.set_retry_policy(rp);
+
+  block::BlockResult res;
+  f.blk.submit(make_request(
+      disk::CommandKind::kRead, 960, 128,
+      [&](const block::BlockRequest&, const block::BlockResult& r) {
+        res = r;
+      }));
+  f.sim.run();
+  EXPECT_EQ(res.status, disk::IoStatus::kMediaError) << "the sector stays bad";
+  EXPECT_EQ(res.retries, 2);
+  EXPECT_EQ(f.blk.stats().retries, 2);
+  // 3 attempts x (>= 100 ms ERC) + 10 ms + 20 ms backoff.
+  EXPECT_GE(res.latency, 3 * 100 * kMillisecond + 30 * kMillisecond);
+}
+
+TEST(BlockTimeout, TimeoutDeliveredWhileTheDriveGrinds) {
+  Fixture f;
+  f.disk.set_error_model(desktop_model());  // 3 s recovery, no ERC
+  f.disk.inject_lse(100);
+  block::RetryPolicy rp;
+  rp.timeout = 500 * kMillisecond;
+  f.blk.set_retry_policy(rp);
+
+  block::BlockResult first;
+  SimTime first_at = -1;
+  block::BlockResult second;
+  SimTime second_at = -1;
+  f.blk.submit(make_request(
+      disk::CommandKind::kRead, 64, 128,
+      [&](const block::BlockRequest&, const block::BlockResult& r) {
+        first = r;
+        first_at = f.sim.now();
+      }));
+  f.blk.submit(make_request(
+      disk::CommandKind::kRead, 500000, 128,
+      [&](const block::BlockRequest&, const block::BlockResult& r) {
+        second = r;
+        second_at = f.sim.now();
+      }));
+  f.sim.run();
+
+  // The caller hears kTimeout at the deadline; the drive cannot be
+  // preempted, so the queued request only dispatches once the grind ends.
+  EXPECT_EQ(first.status, disk::IoStatus::kTimeout);
+  EXPECT_EQ(first_at, 500 * kMillisecond);
+  EXPECT_TRUE(second.ok());
+  EXPECT_GE(second_at, 3 * kSecond);
+  EXPECT_EQ(f.blk.stats().timeouts, 1);
+  EXPECT_EQ(f.blk.stats().completed, 2);
+}
+
+TEST(BlockLayer, ExactlyOnceCompletionUnderHeavyFaults) {
+  Fixture f;
+  disk::DiskErrorModel m = enterprise_model();
+  m.transient_error_prob = 0.3;
+  f.disk.set_error_model(m);
+  for (disk::Lbn s = 0; s < 200000; s += 1000) f.disk.inject_lse(s);
+
+  block::RetryPolicy rp;
+  rp.max_retries = 3;
+  rp.retry_media_errors = true;
+  rp.backoff_base = 5 * kMillisecond;
+  rp.timeout = 300 * kMillisecond;
+  f.blk.set_retry_policy(rp);
+
+  constexpr int kRequests = 200;
+  std::map<std::uint64_t, int> completions;
+  int done = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    const disk::CommandKind kind =
+        i % 3 == 0   ? disk::CommandKind::kWrite
+        : i % 3 == 1 ? disk::CommandKind::kRead
+                     : disk::CommandKind::kVerifyScsi;
+    f.blk.submit(make_request(
+        kind, (static_cast<disk::Lbn>(i) * 997) % 190000, 64,
+        [&](const block::BlockRequest& r, const block::BlockResult&) {
+          ++completions[r.id];
+          ++done;
+        }));
+  }
+  f.sim.run();
+
+  // Every request completes exactly once -- success or typed error, never
+  // lost, never doubled -- even with retries and timeouts interleaving.
+  EXPECT_EQ(done, kRequests);
+  EXPECT_EQ(completions.size(), static_cast<std::size_t>(kRequests));
+  for (const auto& [id, n] : completions) {
+    EXPECT_EQ(n, 1) << "request " << id << " completed " << n << " times";
+  }
+  EXPECT_EQ(f.blk.stats().submitted, kRequests);
+  EXPECT_EQ(f.blk.stats().completed, kRequests);
+  EXPECT_GT(f.blk.stats().errors, 0);
+  EXPECT_GT(f.blk.stats().retries, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Scrubber degradation.
+
+TEST(Scrubber, ContinuesThePassPastBadExtents) {
+  Fixture f;
+  f.disk.set_error_model(enterprise_model());
+  f.disk.inject_lse(100);
+  f.disk.inject_lse(5000);
+
+  core::ScrubberConfig cfg;
+  cfg.priority = block::IoPriority::kBestEffort;
+  core::Scrubber scrub(f.sim, f.blk,
+                       std::make_unique<core::SequentialStrategy>(
+                           f.disk.total_sectors(), 128),
+                       cfg);
+  scrub.start();
+  f.sim.run_until(10 * kSecond);
+  scrub.stop();
+
+  EXPECT_GE(scrub.stats().errors.value(), 2) << "both bad extents reported";
+  EXPECT_GT(scrub.stats().requests.value(), 100) << "the pass kept going";
+  EXPECT_EQ(f.disk.counters().lse_detected, 2);
+}
+
+TEST(Scrubber, StopsWhenTheDeviceFails) {
+  Fixture f;
+  core::ScrubberConfig cfg;
+  cfg.priority = block::IoPriority::kBestEffort;
+  core::Scrubber scrub(f.sim, f.blk,
+                       std::make_unique<core::SequentialStrategy>(
+                           f.disk.total_sectors(), 128),
+                       cfg);
+  scrub.start();
+  f.sim.after(2 * kSecond, [&] { f.disk.fail_device(); });
+  f.sim.run_until(4 * kSecond);
+
+  EXPECT_GE(scrub.stats().errors.value(), 1) << "the kDiskFailed completion";
+  const std::int64_t requests_after_failure = scrub.stats().requests.value();
+  f.sim.run_until(10 * kSecond);
+  EXPECT_EQ(scrub.stats().requests.value(), requests_after_failure)
+      << "a dead device stops the scrubber";
+}
+
+// ---------------------------------------------------------------------------
+// The injector.
+
+TEST(Injector, DrivesPlannedFaultsIntoTheDisk) {
+  Simulator sim;
+  disk::DiskModel d(sim, small_profile(), 1);
+  block::BlockLayer blk(sim, d, std::make_unique<block::NoopScheduler>());
+
+  fault::FaultPlan plan;
+  plan.error_model = enterprise_model();
+  fault::DiskFaultPlan dp;
+  dp.bursts.push_back(core::LseBurst{kSecond, {100, 5000}});
+  dp.fail_at = 20 * kSecond;
+  plan.disks.push_back(dp);
+
+  fault::FaultInjector inj(sim, std::move(plan));
+  inj.attach(d, 0);
+  EXPECT_TRUE(d.error_model().in_band) << "attach installs the error model";
+
+  sim.run_until(2 * kSecond);
+  EXPECT_EQ(inj.injected_sectors(), 2);
+  EXPECT_TRUE(d.has_lse(100));
+  EXPECT_TRUE(d.has_lse(5000));
+
+  // Two verifies of the same extent: the second detection is deduplicated.
+  for (int i = 0; i < 2; ++i) {
+    blk.submit(make_request(disk::CommandKind::kVerifyScsi, 64, 128,
+                            [](const block::BlockRequest&,
+                               const block::BlockResult&) {}));
+  }
+  sim.run_until(3 * kSecond);
+  ASSERT_EQ(inj.detections().size(), 1u);
+  EXPECT_EQ(inj.detections()[0].lbn, 100);
+  EXPECT_EQ(inj.detections()[0].occurred, kSecond);
+  EXPECT_GT(inj.detections()[0].detected, kSecond);
+  EXPECT_FALSE(inj.detections()[0].by_read);
+  EXPECT_EQ(inj.scrub_detections(), 1);
+  EXPECT_GT(inj.mean_detection_hours(), 0.0);
+
+  // A foreground read finds the second sector.
+  blk.submit(make_request(disk::CommandKind::kRead, 4992, 128,
+                          [](const block::BlockRequest&,
+                             const block::BlockResult&) {}));
+  sim.run_until(4 * kSecond);
+  EXPECT_EQ(inj.detections().size(), 2u);
+  EXPECT_EQ(inj.read_detections(), 1);
+
+  // The planned device failure fires on schedule.
+  EXPECT_FALSE(d.device_failed());
+  sim.run_until(25 * kSecond);
+  EXPECT_TRUE(d.device_failed());
+  EXPECT_EQ(inj.device_failures(), 1);
+}
+
+TEST(Injector, ChainsOverAnExistingLseObserver) {
+  Simulator sim;
+  disk::DiskModel d(sim, small_profile(), 1);
+  block::BlockLayer blk(sim, d, std::make_unique<block::NoopScheduler>());
+
+  std::vector<disk::Lbn> seen_by_original;
+  d.set_lse_observer(
+      [&](disk::Lbn lbn, bool) { seen_by_original.push_back(lbn); });
+
+  fault::FaultPlan plan;
+  plan.error_model = enterprise_model();
+  fault::DiskFaultPlan dp;
+  dp.bursts.push_back(core::LseBurst{kMillisecond, {200}});
+  plan.disks.push_back(dp);
+  fault::FaultInjector inj(sim, std::move(plan));
+  inj.attach(d, 0);
+
+  sim.run_until(10 * kMillisecond);
+  blk.submit(make_request(disk::CommandKind::kVerifyScsi, 128, 128,
+                          [](const block::BlockRequest&,
+                             const block::BlockResult&) {}));
+  sim.run();
+
+  EXPECT_EQ(inj.detections().size(), 1u) << "the injector saw the hit";
+  ASSERT_EQ(seen_by_original.size(), 1u) << "and the chained observer too";
+  EXPECT_EQ(seen_by_original[0], 200);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario wiring and sweep determinism.
+
+exp::ScenarioConfig fault_scenario(const std::string& label,
+                                   std::uint64_t fault_seed) {
+  exp::ScenarioConfig cfg;
+  cfg.label = label;
+  cfg.disk.capacity_bytes = 64LL << 20;
+  cfg.scheduler = exp::SchedulerKind::kNoop;
+  cfg.scrubber.kind = exp::ScrubberKind::kBackToBack;
+  cfg.scrubber.priority = block::IoPriority::kBestEffort;
+  cfg.scrubber.strategy.request_bytes = 64 * 1024;
+  cfg.workload.kind = exp::WorkloadKind::kRandomReads;
+  cfg.fault.enabled = true;
+  cfg.fault.seed = fault_seed;
+  cfg.fault.error_model.erc_timeout = 50 * kMillisecond;
+  cfg.fault.error_model.transient_error_prob = 0.02;
+  cfg.fault.lse.burst_interarrival_mean = 5 * kSecond;
+  cfg.fault.lse_horizon = 15 * kSecond;
+  cfg.retry.max_retries = 3;
+  cfg.retry.backoff_base = 5 * kMillisecond;
+  cfg.run_for = 30 * kSecond;
+  return cfg;
+}
+
+TEST(Scenario, FaultInjectionFlowsIntoResults) {
+  const exp::ScenarioResult res =
+      exp::run_scenario(fault_scenario("fault-smoke", 7));
+  EXPECT_GT(res.fault_injected_sectors, 0);
+  EXPECT_GT(res.fault_detections, 0);
+  EXPECT_GT(res.fault_mean_detection_hours, 0.0);
+  EXPECT_GT(res.io_errors, 0) << "bad sectors surfaced as typed errors";
+  EXPECT_GT(res.scrub_requests, 0) << "scrubbing continued despite errors";
+}
+
+TEST(Scenario, SweepBitIdenticalAcrossWorkerCounts) {
+  std::vector<exp::ScenarioConfig> configs;
+  for (int i = 0; i < 3; ++i) {
+    configs.push_back(
+        fault_scenario("sweep" + std::to_string(i), 7 + static_cast<std::uint64_t>(i)));
+    configs.back().run_for = 20 * kSecond;
+  }
+
+  exp::SweepOptions serial;
+  serial.workers = 1;
+  exp::SweepOptions wide;
+  wide.workers = 4;
+  exp::SweepOptions wider;
+  wider.workers = 8;
+  const auto r1 = exp::run_scenarios(configs, serial);
+  const auto r4 = exp::run_scenarios(configs, wide);
+  const auto r8 = exp::run_scenarios(configs, wider);
+
+  ASSERT_EQ(r1.size(), configs.size());
+  ASSERT_EQ(r4.size(), configs.size());
+  ASSERT_EQ(r8.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    for (const auto* r : {&r4[i], &r8[i]}) {
+      EXPECT_EQ(r1[i].workload_requests, r->workload_requests);
+      EXPECT_EQ(r1[i].scrub_requests, r->scrub_requests);
+      EXPECT_EQ(r1[i].scrub_bytes, r->scrub_bytes);
+      EXPECT_EQ(r1[i].io_errors, r->io_errors);
+      EXPECT_EQ(r1[i].io_timeouts, r->io_timeouts);
+      EXPECT_EQ(r1[i].io_retries, r->io_retries);
+      EXPECT_EQ(r1[i].fault_injected_sectors, r->fault_injected_sectors);
+      EXPECT_EQ(r1[i].fault_detections, r->fault_detections);
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(r1[i].fault_mean_detection_hours,
+                r->fault_mean_detection_hours);
+    }
+  }
+}
+
+TEST(ScenarioValidation, RejectsBadConfigs) {
+  const exp::ScenarioConfig base = fault_scenario("valid", 7);
+  EXPECT_NO_THROW(exp::validate_scenario(base));
+
+  {
+    exp::ScenarioConfig c = base;
+    c.scrubber.strategy.request_bytes = 0;
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+  {
+    exp::ScenarioConfig c = base;
+    c.workload.synthetic.request_bytes = 0;
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+  {
+    exp::ScenarioConfig c = base;
+    c.fault.error_model.transient_error_prob = 1.5;
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+  {
+    // Members too small to hold even one stripe: a chunk bigger than the
+    // whole member disk leaves zero complete stripes.
+    exp::ScenarioConfig c = base;
+    c.raid.enabled = true;
+    c.raid.chunk_sectors = (c.disk.capacity_bytes / disk::kSectorBytes) * 2;
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+  {
+    // fail_disk index beyond the array.
+    exp::ScenarioConfig c = base;
+    c.raid.enabled = true;
+    c.fault.fail_disk.push_back({.disk = 7, .at = kSecond});
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+  {
+    // Duplicate fail_disk entries.
+    exp::ScenarioConfig c = base;
+    c.raid.enabled = true;
+    c.fault.fail_disk.push_back({.disk = 0, .at = kSecond});
+    c.fault.fail_disk.push_back({.disk = 0, .at = 2 * kSecond});
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+  {
+    // RAID-5 cannot survive two failures: reject by construction.
+    exp::ScenarioConfig c = base;
+    c.raid.enabled = true;
+    c.fault.fail_disk.push_back({.disk = 0, .at = kSecond});
+    c.fault.fail_disk.push_back({.disk = 1, .at = 2 * kSecond});
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// In-band vs analytical MLET cross-check.
+
+TEST(MletCrossCheck, InBandDetectionMatchesAnalyticalModel) {
+  // A back-to-back sequential scrub with in-band faults, measured in the
+  // event-driven stack, against core::evaluate_mlet's schedule walk over
+  // the very same bursts. Tolerance: 25% relative error on the mean. The
+  // analytical model assumes a perfectly constant request rate; the
+  // event-driven pass drifts from it by the per-pass error-recovery time
+  // (ERC grind on every bad extent, every pass) and the mechanical
+  // variance of real positioning, and detections land at request
+  // completion rather than at the extent's nominal offset.
+  const std::int64_t kRequestBytes = 64 * 1024;
+  exp::ScenarioConfig cfg;
+  cfg.label = "mlet-crosscheck";
+  cfg.disk.capacity_bytes = 64LL << 20;
+  cfg.scheduler = exp::SchedulerKind::kNoop;
+  cfg.scrubber.kind = exp::ScrubberKind::kBackToBack;
+  cfg.scrubber.priority = block::IoPriority::kBestEffort;
+  cfg.scrubber.strategy.kind = exp::StrategyKind::kSequential;
+  cfg.scrubber.strategy.request_bytes = kRequestBytes;
+  cfg.fault.enabled = true;
+  cfg.fault.error_model.erc_timeout = 10 * kMillisecond;
+  cfg.fault.lse.burst_interarrival_mean = 10 * kSecond;
+  cfg.fault.lse.extra_errors_per_burst_mean = 3.0;
+  cfg.fault.lse_horizon = 60 * kSecond;
+  cfg.run_for = 120 * kSecond;
+
+  exp::Scenario scenario(cfg);
+  scenario.run();
+  const fault::FaultInjector* inj = scenario.fault_injector();
+  ASSERT_NE(inj, nullptr);
+
+  const std::vector<core::LseBurst>& bursts = inj->plan().disks[0].bursts;
+  std::set<disk::Lbn> unique_sectors;
+  for (const core::LseBurst& b : bursts) {
+    unique_sectors.insert(b.sectors.begin(), b.sectors.end());
+  }
+  ASSERT_GT(unique_sectors.size(), 5u) << "need a meaningful sample";
+  ASSERT_EQ(inj->detections().size(), unique_sectors.size())
+      << "full coverage required before comparing means";
+
+  core::MletConfig mc;
+  // The event-driven scrubber has no scan-on-detect response.
+  mc.scrub_on_detection = false;
+  mc.request_service = from_seconds(
+      exp::measure_sequential_verify(cfg.disk.profile(),
+                                     disk::CommandKind::kVerifyScsi,
+                                     kRequestBytes) /
+      1e3);
+  const std::int64_t total_sectors = scenario.disk().total_sectors();
+  core::SequentialStrategy seq(total_sectors,
+                               disk::sectors_from_bytes(kRequestBytes));
+  const core::MletResult analytical =
+      core::evaluate_mlet(seq, total_sectors, bursts, mc);
+
+  ASSERT_GT(analytical.mlet_hours, 0.0);
+  const double measured = inj->mean_detection_hours();
+  EXPECT_NEAR(measured / analytical.mlet_hours, 1.0, 0.25)
+      << "measured " << measured << " h vs analytical "
+      << analytical.mlet_hours << " h";
+}
+
+}  // namespace
+}  // namespace pscrub

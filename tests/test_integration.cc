@@ -184,7 +184,12 @@ TEST(Integration, TraceReplayWithCfqIdleScrubber) {
   const auto base = replay(false);
   const auto scrubbed = replay(true);
   ASSERT_EQ(base.requests, scrubbed.requests);
-  EXPECT_GE(scrubbed.latency_sum(), base.latency_sum());
+  // CFQ Idle protects the replayed foreground: total response time stays
+  // within a few percent of the baseline. Not one-sided -- the scrub walk
+  // moves the head between foreground bursts, which can shorten the odd
+  // seek, so the scrubbed run may land slightly below the baseline.
+  EXPECT_GT(scrubbed.latency_sum(), base.latency_sum() * 0.9);
+  EXPECT_LT(scrubbed.latency_sum(), base.latency_sum() * 1.1);
 }
 
 TEST(Integration, AtaVsScsiScrubPrimitives) {

@@ -127,6 +127,52 @@ TEST(Mlet, SlowerScrubRateRaisesMlet) {
   EXPECT_NEAR(rs.pass_hours, 5.0 * rf.pass_hours, 1e-9);
 }
 
+TEST(Mlet, EmptyBurstListYieldsZeroErrors) {
+  SequentialStrategy seq(kTotalSectors, 4096);
+  const MletResult r = evaluate_mlet(seq, kTotalSectors, {}, fast_scrub());
+  EXPECT_EQ(r.errors, 0);
+  EXPECT_DOUBLE_EQ(r.mlet_hours, 0.0);
+  EXPECT_DOUBLE_EQ(r.worst_hours, 0.0);
+  EXPECT_GT(r.pass_hours, 0.0) << "the schedule itself still exists";
+}
+
+TEST(Mlet, BurstAtTimeZeroWaitsExactlyItsScheduleOffset) {
+  SequentialStrategy seq(kTotalSectors, 4096);
+  // Sector 0 is scrubbed at offset 0 of the pass: zero latent time.
+  const std::vector<LseBurst> at_origin{{0, {0}}};
+  EXPECT_DOUBLE_EQ(
+      evaluate_mlet(seq, kTotalSectors, at_origin, fast_scrub()).mlet_hours,
+      0.0);
+  // A sector halfway through the disk waits half a pass.
+  const std::vector<LseBurst> mid{{0, {kTotalSectors / 2}}};
+  const MletResult r = evaluate_mlet(seq, kTotalSectors, mid, fast_scrub());
+  EXPECT_NEAR(r.mlet_hours, 0.5 * r.pass_hours, 0.01 * r.pass_hours);
+}
+
+TEST(Mlet, OccurrenceBeyondTheFirstPassWrapsCyclically) {
+  SequentialStrategy seq(kTotalSectors, 4096);
+  const SimTime pass = (kTotalSectors / 4096) * kMillisecond;
+  const std::vector<LseBurst> early{{10 * kMillisecond, {12345}}};
+  const std::vector<LseBurst> late{{10 * kMillisecond + 5 * pass, {12345}}};
+  const MletResult a = evaluate_mlet(seq, kTotalSectors, early, fast_scrub());
+  const MletResult b = evaluate_mlet(seq, kTotalSectors, late, fast_scrub());
+  EXPECT_DOUBLE_EQ(a.mlet_hours, b.mlet_hours)
+      << "the cyclic schedule only sees the phase";
+}
+
+TEST(Mlet, SingleSectorExtentsResolveExactOffsets) {
+  const std::int64_t total = 4096;
+  SequentialStrategy seq(total, 1);
+  MletConfig mc;
+  mc.request_service = kMillisecond;
+  // With one-sector extents at 1 ms each, sector k is scrubbed exactly at
+  // offset k ms; an error at t=0 on sector 1000 waits 1000 ms.
+  const std::vector<LseBurst> bursts{{0, {1000}}};
+  const MletResult r = evaluate_mlet(seq, total, bursts, mc);
+  EXPECT_NEAR(r.mlet_hours, to_seconds(1000 * kMillisecond) / 3600.0, 1e-9);
+  EXPECT_NEAR(r.pass_hours, to_seconds(4096 * kMillisecond) / 3600.0, 1e-9);
+}
+
 TEST(Mlet, WorstCaseBoundedByPass) {
   Rng rng(19);
   LseModelConfig cfg;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "raid/array.h"
 
 namespace pscrub::raid {
@@ -247,6 +249,62 @@ TEST(RaidArray, ReadDuringRebuildDegradesOnlyUnrebuiltRegion) {
       << "unrebuilt region reconstructs from peers";
   EXPECT_GT(l1, 0);
   EXPECT_GT(l2, 0);
+}
+
+TEST(RaidArray, FailDiskGuardsInvalidTransitions) {
+  Rig r;
+  EXPECT_THROW(r.array.fail_disk(-1), std::out_of_range);
+  EXPECT_THROW(r.array.fail_disk(r.array.total_disks()), std::out_of_range);
+  r.array.fail_disk(2);
+  EXPECT_THROW(r.array.fail_disk(2), std::logic_error) << "already failed";
+}
+
+TEST(RaidArray, RebuildGuardsInvalidTransitions) {
+  Rig r;
+  const auto ignore = [](const RebuildResult&) {};
+  EXPECT_THROW(r.array.rebuild(-1, {}, ignore), std::out_of_range);
+  EXPECT_THROW(r.array.rebuild(0, {}, ignore), std::logic_error)
+      << "rebuilding a healthy member is a bookkeeping bug";
+
+  r.array.fail_disk(2);
+  r.array.rebuild(2, {}, ignore);
+  EXPECT_TRUE(r.array.rebuild_in_flight());
+  EXPECT_THROW(r.array.rebuild(2, {}, ignore), std::logic_error)
+      << "second rebuild while one is in flight";
+  EXPECT_THROW(r.array.fail_disk(3), std::logic_error)
+      << "failing another member mid-rebuild is rejected, not silently "
+         "corrupted";
+
+  r.sim.run();
+  EXPECT_FALSE(r.array.rebuild_in_flight());
+  EXPECT_FALSE(r.array.is_failed(2));
+  // After completion the array accepts a new failure again.
+  r.array.fail_disk(3);
+  EXPECT_TRUE(r.array.is_failed(3));
+}
+
+TEST(RaidArray, ForegroundReadDetectionTriggersRepair) {
+  Rig r;
+  const auto loc = r.array.layout().locate(0);
+  r.array.disk(loc.disk).inject_lse(loc.lbn);
+  r.read(0, 8);  // sim drained: detection, repair, and rewrite all done
+  EXPECT_EQ(r.array.stats().read_detections, 1);
+  EXPECT_FALSE(r.array.disk(loc.disk).has_lse(loc.lbn))
+      << "read-detected LSE reconstructed from peers and rewritten";
+  EXPECT_GE(r.array.stats().reconstructed_sectors, 1);
+}
+
+TEST(RaidArray, SurvivorUreDuringRebuildCountsAsRebuildDetection) {
+  Rig r;
+  r.array.disk(0).inject_lse(1000);
+  r.array.fail_disk(2);
+  RebuildResult result;
+  r.array.rebuild(2, {}, [&](const RebuildResult& res) { result = res; });
+  r.sim.run();
+  EXPECT_GE(r.array.stats().rebuild_detections, 1)
+      << "the survivor URE surfaced during the rebuild window";
+  EXPECT_EQ(r.array.stats().read_detections, 0) << "not misattributed";
+  EXPECT_EQ(result.sectors_lost, 1) << "RAID-5 cannot absorb it";
 }
 
 }  // namespace
