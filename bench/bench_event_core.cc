@@ -1,0 +1,123 @@
+// Event-core microbenchmarks (google-benchmark) plus a sweep-level macro
+// benchmark. These pin the performance contract of the slab/sorted-run
+// EventQueue (DESIGN.md Sec 10): batch schedule+fire, warm steady-state
+// scheduling, cancellation churn through the tombstone/compaction path,
+// persistent-event re-arming (the DiskModel completion pattern), and a
+// full scenario sweep so queue wins are measured where they matter.
+#include <benchmark/benchmark.h>
+
+#include "pscrub.h"
+
+namespace pscrub {
+namespace {
+
+// Cold path: a fresh Simulator per iteration, 1024 one-shot events with
+// scattered times, drained to empty. Matches BM_EventQueueScheduleFire in
+// bench_micro_perf so the two binaries cross-check each other.
+void BM_EventCoreBatchScheduleDrain(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 1024; ++i) {
+      sim.after((i * 7919) % 100000, [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventCoreBatchScheduleDrain);
+
+// Warm path: one long-lived Simulator; every iteration schedules and
+// drains a fresh batch. After the first iteration the slab and run vector
+// are warm, so this isolates steady-state schedule+fire from slab growth
+// and vector reallocation.
+void BM_EventCoreSteadyState(benchmark::State& state) {
+  Simulator sim;
+  for (auto _ : state) {
+    const SimTime base = sim.now();
+    for (int i = 0; i < 1024; ++i) {
+      sim.at(base + (i * 7919) % 100000, [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventCoreSteadyState);
+
+// Cancellation churn: schedule 1024, cancel every other one, drain. Covers
+// tombstoning, stale-head pruning, and slot reuse through the free list.
+void BM_EventCoreCancelChurn(benchmark::State& state) {
+  Simulator sim;
+  std::vector<EventId> ids(1024);
+  for (auto _ : state) {
+    const SimTime base = sim.now();
+    for (int i = 0; i < 1024; ++i) {
+      ids[static_cast<std::size_t>(i)] =
+          sim.at(base + (i * 7919) % 100000, [] {});
+    }
+    for (int i = 0; i < 1024; i += 2) {
+      sim.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventCoreCancelChurn);
+
+// Persistent re-arm: the dominant simulation pattern (a completion handler
+// arms the next completion). One registered callback, re-armed from inside
+// itself 1024 times per iteration -- zero allocation, zero callable moves.
+void BM_EventCorePersistentRearm(benchmark::State& state) {
+  Simulator sim;
+  int remaining = 0;
+  EventId tick = 0;
+  tick = sim.add_persistent([&] {
+    if (--remaining > 0) sim.arm_after(tick, 100);
+  });
+  for (auto _ : state) {
+    remaining = 1024;
+    sim.arm_after(tick, 100);
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventCorePersistentRearm);
+
+// Macro: a real scenario cell fanned across exp::sweep workers. Each task
+// runs the full Simulator -> DiskModel -> BlockLayer -> workload+scrubber
+// stack, so this measures the event core under its production event mix
+// (disk completions, CFQ retry polls, scrubber issue delays, timeouts).
+void BM_EventCoreScenarioSweep(benchmark::State& state) {
+  std::vector<exp::ScenarioConfig> configs;
+  for (int i = 0; i < 8; ++i) {
+    exp::ScenarioConfig cfg;
+    cfg.label = "bench.cell" + std::to_string(i);
+    cfg.disk.capacity_bytes = 1LL << 30;
+    cfg.disk.seed = static_cast<std::uint64_t>(i + 1);
+    cfg.workload.kind = exp::WorkloadKind::kSequentialChunks;
+    cfg.workload.seed = static_cast<std::uint64_t>(100 + i);
+    cfg.scrubber.kind = exp::ScrubberKind::kBackToBack;
+    cfg.scrubber.priority = block::IoPriority::kIdle;
+    cfg.run_for = 2 * kSecond;
+    configs.push_back(cfg);
+  }
+  exp::SweepOptions options;
+  options.workers = static_cast<int>(state.range(0));
+  std::int64_t requests = 0;
+  for (auto _ : state) {
+    const auto results = exp::run_scenarios(configs, options);
+    requests = 0;
+    for (const auto& r : results) {
+      requests += r.workload_requests + r.scrub_requests;
+    }
+    benchmark::DoNotOptimize(requests);
+  }
+  // Items = block requests simulated (each is several queue events).
+  state.SetItemsProcessed(state.iterations() * requests);
+}
+BENCHMARK(BM_EventCoreScenarioSweep)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pscrub
+
+BENCHMARK_MAIN();

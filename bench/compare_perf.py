@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare google-benchmark medians to a baseline.
+
+Usage:
+  # Gate (CI): nonzero exit when any benchmark regresses past tolerance.
+  python3 bench/compare_perf.py bench/baseline.json micro.json event_core.json
+
+  # Refresh the baseline from current results (new machine, accepted change):
+  python3 bench/compare_perf.py --update bench/baseline.json micro.json ...
+
+Result files come from:
+  bench/bench_micro_perf  --benchmark_repetitions=3 \
+      --benchmark_report_aggregates_only=true --benchmark_format=json
+(and the same for bench/bench_event_core). Only `*_median` aggregate rows
+are read. Throughput benchmarks compare items_per_second (higher is
+better); benchmarks without a throughput counter compare real_time (lower
+is better). Benchmarks missing on either side only warn: the gate must not
+break when a benchmark is added or retired, only when one gets slower.
+
+Stdlib only; no third-party deps.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_medians(paths):
+    """Reads benchmark JSON files -> {name: {items_per_second, real_time}}."""
+    medians = {}
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        for bench in data.get("benchmarks", []):
+            name = bench.get("name", "")
+            if not name.endswith("_median"):
+                continue
+            base = name[: -len("_median")]
+            medians[base] = {
+                "items_per_second": bench.get("items_per_second"),
+                "real_time": bench.get("real_time"),
+                "time_unit": bench.get("time_unit", "ns"),
+            }
+    return medians
+
+
+def compare(baseline, current, tolerance):
+    """Returns (regressions, report_lines)."""
+    regressions = []
+    lines = []
+    header = f"{'benchmark':44s} {'baseline':>14s} {'current':>14s} {'ratio':>7s}  verdict"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            lines.append(f"{name:44s} {'-':>14s} {'-':>14s} {'-':>7s}  MISSING (warn)")
+            continue
+        if base.get("items_per_second") and cur.get("items_per_second"):
+            b, c = base["items_per_second"], cur["items_per_second"]
+            ratio = c / b  # higher is better
+            ok = ratio >= 1.0 - tolerance
+            unit = "it/s"
+        else:
+            b, c = base["real_time"], cur["real_time"]
+            ratio = b / c if c else 0.0  # normalized so higher is better
+            ok = c <= b * (1.0 + tolerance)
+            unit = base.get("time_unit", "ns")
+        verdict = "ok" if ok else "REGRESSION"
+        lines.append(
+            f"{name:44s} {b:14.3g} {c:14.3g} {ratio:7.2f}  {verdict} ({unit})")
+        if not ok:
+            regressions.append(name)
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(f"{name:44s}  new benchmark, not in baseline (warn)")
+    return regressions, lines
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the result files")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="override the baseline's tolerance fraction")
+    parser.add_argument("baseline", help="bench/baseline.json")
+    parser.add_argument("results", nargs="+",
+                        help="google-benchmark JSON result files")
+    args = parser.parse_args(argv)
+
+    current = load_medians(args.results)
+    if not current:
+        print("error: no *_median rows found; run the benchmarks with "
+              "--benchmark_repetitions=3 --benchmark_report_aggregates_only=true",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        doc = {
+            "_comment": "Per-machine perf baseline for the CI perf-regression "
+                        "job. Regenerate with: python3 bench/compare_perf.py "
+                        "--update bench/baseline.json <results...>.json "
+                        "(medians of 3 reps).",
+            "tolerance": args.tolerance if args.tolerance is not None else 0.20,
+            "benchmarks": current,
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.baseline} with {len(current)} benchmarks")
+        return 0
+
+    with open(args.baseline) as f:
+        doc = json.load(f)
+    tolerance = args.tolerance if args.tolerance is not None else doc.get(
+        "tolerance", 0.20)
+    regressions, lines = compare(doc.get("benchmarks", {}), current, tolerance)
+    print("\n".join(lines))
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed past "
+              f"{tolerance:.0%}: {', '.join(regressions)}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed past {tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

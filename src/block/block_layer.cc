@@ -44,7 +44,17 @@ void BlockLayerStats::export_to(obs::Registry& registry,
 
 BlockLayer::BlockLayer(Simulator& sim, disk::DiskModel& disk,
                        std::unique_ptr<IoScheduler> scheduler)
-    : sim_(sim), disk_(disk), scheduler_(std::move(scheduler)) {}
+    : sim_(sim), disk_(disk), scheduler_(std::move(scheduler)) {
+  retry_event_ = sim_.add_persistent([this] {
+    retry_pending_ = false;
+    try_dispatch();
+  });
+  flight_timeout_event_ = sim_.add_persistent([this] { on_timeout(); });
+  flight_retry_event_ = sim_.add_persistent([this] {
+    flight_.retry_wait = false;
+    dispatch_to_disk();
+  });
+}
 
 SimTime BlockLayer::disk_idle_for() const {
   if (disk_busy()) return 0;
@@ -96,10 +106,7 @@ void BlockLayer::try_dispatch() {
   if (!next) {
     if (retry_after > 0 && !retry_pending_) {
       retry_pending_ = true;
-      retry_event_ = sim_.after(retry_after, [this] {
-        retry_pending_ = false;
-        try_dispatch();
-      });
+      sim_.arm_after(retry_event_, retry_after);
     }
     return;
   }
@@ -112,26 +119,29 @@ void BlockLayer::try_dispatch() {
   in_flight_background_ = next->background;
   if (next->priority != IoPriority::kIdle) foreground_in_flight_ = true;
 
-  auto flight = std::make_shared<Flight>();
-  flight->request = std::move(*next);
-  flight->request.dispatch_time = sim_.now();
+  flight_.request = std::move(*next);
+  flight_.request.dispatch_time = sim_.now();
+  flight_.host_retries = 0;
+  flight_.internal_retries = 0;
+  flight_.done = false;
+  flight_.timeout_pending = false;
+  flight_.retry_wait = false;
   if (policy_.timeout > 0) {
     // One deadline covers the whole request: every attempt and backoff.
-    flight->timeout_pending = true;
-    flight->timeout_event =
-        sim_.after(policy_.timeout, [this, flight] { on_timeout(flight); });
+    flight_.timeout_pending = true;
+    sim_.arm_after(flight_timeout_event_, policy_.timeout);
   }
-  dispatch_to_disk(flight);
+  dispatch_to_disk();
 }
 
-void BlockLayer::dispatch_to_disk(const std::shared_ptr<Flight>& flight) {
+void BlockLayer::dispatch_to_disk() {
   // The disk is free (the dispatch slot is ours), so service starts
   // immediately and the model can tell us the completion time right after
   // submission.
-  disk_.submit(flight->request.cmd,
-               [this, flight](const disk::DiskCommand&,
-                              const disk::DiskResult& result) {
-                 on_disk_complete(flight, result);
+  disk_.submit(flight_.request.cmd,
+               [this](const disk::DiskCommand&,
+                      const disk::DiskResult& result) {
+                 on_disk_complete(result);
                });
   in_flight_eta_ = disk_.busy_until();
 }
@@ -150,93 +160,91 @@ bool BlockLayer::should_retry(disk::IoStatus status, int host_retries) const {
   }
 }
 
-void BlockLayer::on_disk_complete(const std::shared_ptr<Flight>& flight,
-                                  const disk::DiskResult& result) {
-  flight->internal_retries += result.internal_retries;
-  if (flight->done) {
+void BlockLayer::on_disk_complete(const disk::DiskResult& result) {
+  flight_.internal_retries += result.internal_retries;
+  if (flight_.done) {
     // The caller was already answered with kTimeout; this late completion
     // just returns the drive to us.
     release_slot();
     return;
   }
   if (disk::is_error(result.status) &&
-      should_retry(result.status, flight->host_retries)) {
-    ++flight->host_retries;
+      should_retry(result.status, flight_.host_retries)) {
+    ++flight_.host_retries;
     ++stats_.retries;
     SimTime delay = policy_.backoff_base;
-    for (int i = 1; i < flight->host_retries; ++i) {
+    for (int i = 1; i < flight_.host_retries; ++i) {
       delay = static_cast<SimTime>(static_cast<double>(delay) *
                                    policy_.backoff_multiplier);
     }
     obs::Tracer& tracer = obs::Tracer::global();
     if (tracer.enabled()) {
-      tracer.instant(queue_track(flight->request.priority), "block", "retry",
+      tracer.instant(queue_track(flight_.request.priority), "block", "retry",
                      sim_.now(),
-                     {{"id", static_cast<std::int64_t>(flight->request.id)},
-                      {"attempt", flight->host_retries},
+                     {{"id", static_cast<std::int64_t>(flight_.request.id)},
+                      {"attempt", flight_.host_retries},
                       {"status", to_string(result.status)},
                       {"backoff_ms", to_milliseconds(delay)}});
     }
     // Hold the dispatch slot through the backoff wait: the request still
     // owns the drive's attention (and disk_busy() stays true, so idleness
     // policies keep their hands off).
-    flight->retry_wait = true;
-    flight->retry_event = sim_.after(delay, [this, flight] {
-      flight->retry_wait = false;
-      dispatch_to_disk(flight);
-    });
+    flight_.retry_wait = true;
+    sim_.arm_after(flight_retry_event_, delay);
     return;
   }
   BlockResult res;
-  res.latency = sim_.now() - flight->request.submit_time;
+  res.latency = sim_.now() - flight_.request.submit_time;
   res.status = result.status;
   res.error_lbn = result.error_lbn;
-  res.retries = flight->host_retries;
-  res.internal_retries = flight->internal_retries;
+  res.retries = flight_.host_retries;
+  res.internal_retries = flight_.internal_retries;
   // Free the slot before answering the caller, so a completion callback
   // that observes disk_busy() or resubmits sees the drive available.
   --in_flight_;
   last_completion_ = sim_.now();
-  finish_request(flight, res);
+  finish_request(res);
   try_dispatch();
   if (on_idle_ && idle()) on_idle_();
 }
 
-void BlockLayer::on_timeout(const std::shared_ptr<Flight>& flight) {
-  flight->timeout_pending = false;
-  if (flight->done) return;
+void BlockLayer::on_timeout() {
+  flight_.timeout_pending = false;
+  if (flight_.done) return;
   ++stats_.timeouts;
   BlockResult res;
-  res.latency = sim_.now() - flight->request.submit_time;
+  res.latency = sim_.now() - flight_.request.submit_time;
   res.status = disk::IoStatus::kTimeout;
-  res.retries = flight->host_retries;
-  res.internal_retries = flight->internal_retries;
-  if (flight->retry_wait) {
+  res.retries = flight_.host_retries;
+  res.internal_retries = flight_.internal_retries;
+  if (flight_.retry_wait) {
     // Timed out during a backoff wait: no command is at the drive, so the
     // slot frees now and the pending retry dies.
-    sim_.cancel(flight->retry_event);
-    flight->retry_wait = false;
+    sim_.cancel(flight_retry_event_);
+    flight_.retry_wait = false;
     --in_flight_;
     last_completion_ = sim_.now();
-    finish_request(flight, res);
+    finish_request(res);
     try_dispatch();
     if (on_idle_ && idle()) on_idle_();
     return;
   }
   // The drive is still grinding on the command (the host cannot preempt
   // it); answer the caller now, on_disk_complete releases the slot later.
-  finish_request(flight, res);
+  finish_request(res);
 }
 
-void BlockLayer::finish_request(const std::shared_ptr<Flight>& flight,
-                                BlockResult result) {
-  assert(!flight->done);
-  flight->done = true;
-  if (flight->timeout_pending) {
-    sim_.cancel(flight->timeout_event);
-    flight->timeout_pending = false;
+void BlockLayer::finish_request(BlockResult result) {
+  assert(!flight_.done);
+  flight_.done = true;
+  if (flight_.timeout_pending) {
+    sim_.cancel(flight_timeout_event_);
+    flight_.timeout_pending = false;
   }
-  const BlockRequest& request = flight->request;
+  // Move the request onto the stack: the completion callback below may
+  // submit a new request, which redispatches into (and overwrites)
+  // flight_ before this frame returns.
+  BlockRequest request = std::move(flight_.request);
   obs::Tracer& tracer = obs::Tracer::global();
   if (tracer.enabled()) {
     const obs::Track track = queue_track(request.priority);

@@ -113,7 +113,10 @@ class BlockLayer {
   /// One request's journey through the error-handling state machine. The
   /// slot (in_flight_) is held from dispatch until the drive is truly done
   /// with the request -- through backoff waits and even past a timeout
-  /// completion (the mechanism cannot be preempted).
+  /// completion (the mechanism cannot be preempted). Exactly one request
+  /// is in flight at a time, so a single reusable member (flight_) plus
+  /// two persistent events replace the historical per-request
+  /// shared_ptr<Flight> and its freshly captured timeout/retry lambdas.
   struct Flight {
     BlockRequest request;
     /// Host retries performed so far (0 on the first attempt).
@@ -122,21 +125,17 @@ class BlockLayer {
     std::int64_t internal_retries = 0;
     /// Completion already delivered to the caller (exactly-once guard).
     bool done = false;
-    EventId timeout_event = 0;
     bool timeout_pending = false;
     /// A host-retry backoff wait is in progress (no command at the drive).
-    EventId retry_event = 0;
     bool retry_wait = false;
   };
 
   void try_dispatch();
-  void dispatch_to_disk(const std::shared_ptr<Flight>& flight);
-  void on_disk_complete(const std::shared_ptr<Flight>& flight,
-                        const disk::DiskResult& result);
-  void on_timeout(const std::shared_ptr<Flight>& flight);
+  void dispatch_to_disk();
+  void on_disk_complete(const disk::DiskResult& result);
+  void on_timeout();
   /// Delivers the completion to the caller exactly once and records stats.
-  void finish_request(const std::shared_ptr<Flight>& flight,
-                      BlockResult result);
+  void finish_request(BlockResult result);
   /// Frees the dispatch slot once the drive is truly done with the flight.
   void release_slot();
   bool should_retry(disk::IoStatus status, int host_retries) const;
@@ -153,7 +152,13 @@ class BlockLayer {
   int in_flight_ = 0;
   bool in_flight_background_ = false;
   SimTime in_flight_eta_ = 0;
-  EventId retry_event_ = 0;
+  /// The in-flight request's state; valid while in_flight_ > 0.
+  Flight flight_;
+  // Persistent events (registered once at construction, re-armed
+  // allocation-free per use; see EventQueue::arm).
+  EventId retry_event_ = 0;           // scheduler asked to be polled later
+  EventId flight_timeout_event_ = 0;  // per-request deadline
+  EventId flight_retry_event_ = 0;    // host-retry backoff wait
   bool retry_pending_ = false;
   std::function<void()> on_idle_;
   std::function<void(const BlockRequest&)> on_request_;

@@ -15,7 +15,13 @@ AdaptiveScrubDaemon::AdaptiveScrubDaemon(Simulator& sim,
       scrubber_(scrubber),
       foreground_service_(std::move(foreground_service)),
       scrub_service_(std::move(scrub_service)),
-      config_(std::move(config)) {}
+      config_(std::move(config)) {
+  timer_ = sim_.add_persistent([this] {
+    if (!running_) return;
+    retune();
+    schedule_next();
+  });
+}
 
 void AdaptiveScrubDaemon::start() {
   if (running_) return;
@@ -33,11 +39,7 @@ void AdaptiveScrubDaemon::stop() {
 }
 
 void AdaptiveScrubDaemon::schedule_next() {
-  timer_ = sim_.after(config_.retune_every, [this] {
-    if (!running_) return;
-    retune();
-    schedule_next();
-  });
+  sim_.arm_after(timer_, config_.retune_every);
 }
 
 void AdaptiveScrubDaemon::on_request(const block::BlockRequest& request) {

@@ -12,7 +12,9 @@ Scrubber::Scrubber(Simulator& sim, block::BlockLayer& blk,
     : sim_(sim),
       blk_(blk),
       strategy_(std::move(strategy)),
-      config_(config) {}
+      config_(config) {
+  issue_event_ = sim_.add_persistent([this] { issue(); });
+}
 
 void Scrubber::start() {
   if (running_) return;
@@ -58,7 +60,7 @@ void Scrubber::issue() {
     // record it (the disk's LSE observer has the details) and move on to
     // the next extent -- the pass must cover the rest of the disk.
     if (config_.inter_request_delay > 0) {
-      sim_.after(config_.inter_request_delay, [this] { issue(); });
+      sim_.arm_after(issue_event_, config_.inter_request_delay);
     } else {
       issue();
     }
@@ -74,7 +76,9 @@ WaitingScrubber::WaitingScrubber(Simulator& sim, block::BlockLayer& blk,
       blk_(blk),
       strategy_(std::move(strategy)),
       wait_threshold_(wait_threshold),
-      verify_kind_(verify_kind) {}
+      verify_kind_(verify_kind) {
+  arm_event_ = sim_.add_persistent([this] { check_fire(); });
+}
 
 void WaitingScrubber::start() {
   if (running_) return;
@@ -100,7 +104,7 @@ void WaitingScrubber::on_idle() {
     tracer.instant(obs::Track::kScrubber, "scrub", "wait-start", sim_.now(),
                    {{"threshold_ms", to_milliseconds(wait_threshold_)}});
   }
-  arm_event_ = sim_.after(wait_threshold_, [this] { check_fire(); });
+  sim_.arm_after(arm_event_, wait_threshold_);
 }
 
 void WaitingScrubber::check_fire() {
@@ -119,8 +123,7 @@ void WaitingScrubber::check_fire() {
   const SimTime idle_for = blk_.disk_idle_for();
   if (idle_for < wait_threshold_) {
     armed_ = true;
-    arm_event_ =
-        sim_.after(wait_threshold_ - idle_for, [this] { check_fire(); });
+    sim_.arm_after(arm_event_, wait_threshold_ - idle_for);
     return;
   }
   fire();

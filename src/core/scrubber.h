@@ -58,6 +58,8 @@ class Scrubber {
   ScrubberConfig config_;
   ScrubberStats stats_;
   bool running_ = false;
+  /// Persistent inter-request-delay timer (re-armed per completion).
+  EventId issue_event_ = 0;
 };
 
 /// Waiting-policy scrubber: arms when the block layer reports the disk
@@ -70,7 +72,10 @@ class WaitingScrubber {
                   std::unique_ptr<ScrubStrategy> strategy,
                   SimTime wait_threshold,
                   disk::CommandKind verify_kind = disk::CommandKind::kVerifyScsi);
-  ~WaitingScrubber() { stop(); }
+  ~WaitingScrubber() {
+    stop();
+    sim_.remove(arm_event_);
+  }
   WaitingScrubber(const WaitingScrubber&) = delete;
   WaitingScrubber& operator=(const WaitingScrubber&) = delete;
 

@@ -4,7 +4,9 @@ namespace pscrub::core {
 
 SpinDownDaemon::SpinDownDaemon(Simulator& sim, block::BlockLayer& blk,
                                SimTime wait_threshold)
-    : sim_(sim), blk_(blk), wait_threshold_(wait_threshold) {}
+    : sim_(sim), blk_(blk), wait_threshold_(wait_threshold) {
+  arm_event_ = sim_.add_persistent([this] { check(); });
+}
 
 void SpinDownDaemon::start() {
   if (running_) return;
@@ -26,7 +28,7 @@ void SpinDownDaemon::stop() {
 void SpinDownDaemon::on_idle() {
   if (!running_ || armed_) return;
   armed_ = true;
-  arm_event_ = sim_.after(wait_threshold_, [this] { check(); });
+  sim_.arm_after(arm_event_, wait_threshold_);
 }
 
 void SpinDownDaemon::check() {
@@ -36,7 +38,7 @@ void SpinDownDaemon::check() {
   const SimTime idle_for = blk_.disk_idle_for();
   if (idle_for < wait_threshold_) {
     armed_ = true;
-    arm_event_ = sim_.after(wait_threshold_ - idle_for, [this] { check(); });
+    sim_.arm_after(arm_event_, wait_threshold_ - idle_for);
     return;
   }
   if (blk_.disk().spin_down()) ++stats_.spin_downs;

@@ -37,7 +37,9 @@ DiskModel::DiskModel(Simulator& sim, DiskProfile profile, std::uint64_t seed)
       geometry_(profile_.capacity_bytes, profile_.outer_spt, profile_.inner_spt,
                 profile_.zones),
       cache_(profile_.cache_bytes),
-      rng_(seed) {}
+      rng_(seed) {
+  completion_event_ = sim_.add_persistent([this] { complete_in_service(); });
+}
 
 void DiskModel::set_cache_enabled(bool enabled) {
   profile_.cache_enabled = enabled;
@@ -76,21 +78,9 @@ void DiskModel::start(Pending p) {
                   busy_until_,
                   {{"lbn", p.cmd.lbn}, {"sectors", p.cmd.sectors}});
     }
-    sim_.at(busy_until_, [this, p = std::move(p)]() {
-      DiskResult r;
-      r.latency = sim_.now() - p.submitted;
-      r.status = IoStatus::kDiskFailed;
-      busy_ = false;
-      if (queue_.empty()) {
-        accrue_energy();
-        power_ = PowerState::kIdle;
-      } else {
-        Pending next = std::move(queue_.front());
-        queue_.pop_front();
-        start(std::move(next));
-      }
-      if (p.on_complete) p.on_complete(p.cmd, r);
-    });
+    in_service_ = std::move(p);
+    in_service_failed_ = true;
+    sim_.arm(completion_event_, busy_until_);
     return;
   }
   SimTime spinup_extra = 0;
@@ -142,33 +132,56 @@ void DiskModel::start(Pending p) {
                   cursor + phases_.transfer);
     }
   }
-  std::vector<Lbn> hits = std::move(media_lse_hits_);
+  in_service_hits_.swap(media_lse_hits_);
   media_lse_hits_.clear();
-  const DiskResult outcome = result_;
+  in_service_outcome_ = result_;
+  in_service_ = std::move(p);
+  in_service_failed_ = false;
+  sim_.arm(completion_event_, busy_until_);
+}
 
-  sim_.at(busy_until_, [this, p = std::move(p), outcome,
-                        hits = std::move(hits)]() {
-    DiskResult r = outcome;
+void DiskModel::complete_in_service() {
+  // Pull the completion state onto the stack first: start(next) below
+  // re-fills the in_service_ members for the next command.
+  Pending p = std::move(in_service_);
+  if (in_service_failed_) {
+    DiskResult r;
     r.latency = sim_.now() - p.submitted;
+    r.status = IoStatus::kDiskFailed;
     busy_ = false;
     if (queue_.empty()) {
       accrue_energy();
       power_ = PowerState::kIdle;
-    }
-    if (!hits.empty() && lse_observer_) {
-      const bool is_read = p.cmd.kind == CommandKind::kRead;
-      for (Lbn bad : hits) lse_observer_(bad, is_read);
-    }
-    // Hand the next queued command to the mechanism before running the
-    // completion callback, so a callback that observes busy() sees the
-    // drive already working on its backlog (as a real host would).
-    if (!queue_.empty()) {
+    } else {
       Pending next = std::move(queue_.front());
       queue_.pop_front();
       start(std::move(next));
     }
     if (p.on_complete) p.on_complete(p.cmd, r);
-  });
+    return;
+  }
+  DiskResult r = in_service_outcome_;
+  r.latency = sim_.now() - p.submitted;
+  busy_ = false;
+  if (queue_.empty()) {
+    accrue_energy();
+    power_ = PowerState::kIdle;
+  }
+  std::vector<Lbn> hits = std::move(in_service_hits_);
+  in_service_hits_.clear();
+  if (!hits.empty() && lse_observer_) {
+    const bool is_read = p.cmd.kind == CommandKind::kRead;
+    for (Lbn bad : hits) lse_observer_(bad, is_read);
+  }
+  // Hand the next queued command to the mechanism before running the
+  // completion callback, so a callback that observes busy() sees the
+  // drive already working on its backlog (as a real host would).
+  if (!queue_.empty()) {
+    Pending next = std::move(queue_.front());
+    queue_.pop_front();
+    start(std::move(next));
+  }
+  if (p.on_complete) p.on_complete(p.cmd, r);
 }
 
 SimTime DiskModel::service(const DiskCommand& cmd) {

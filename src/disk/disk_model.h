@@ -225,6 +225,9 @@ class DiskModel {
   };
 
   void start(Pending p);
+  /// Persistent-completion handler: delivers the in-service command's
+  /// result and hands the next queued command to the mechanism.
+  void complete_in_service();
   /// Computes service duration from the current mechanical state and
   /// advances that state to the command's end position.
   SimTime service(const DiskCommand& cmd);
@@ -248,6 +251,15 @@ class DiskModel {
   SimTime busy_until_ = 0;
   std::int64_t head_cylinder_ = 0;
   std::deque<Pending> queue_;
+  // One persistent completion event serves every command: the drive
+  // executes one command at a time, so completion state lives in these
+  // members instead of a freshly allocated callback per I/O. Re-arming the
+  // event is allocation-free (see EventQueue::arm).
+  EventId completion_event_ = 0;
+  Pending in_service_;
+  DiskResult in_service_outcome_;
+  std::vector<Lbn> in_service_hits_;
+  bool in_service_failed_ = false;  // device-failed fast completion
   DiskCounters counters_;
   std::set<Lbn> lse_;
   LseObserver lse_observer_;

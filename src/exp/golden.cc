@@ -1,0 +1,237 @@
+#include "exp/golden.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/optimizer.h"
+#include "exp/scenario.h"
+#include "obs/registry.h"
+#include "stats/descriptive.h"
+#include "stats/residual_life.h"
+#include "trace/catalog.h"
+#include "trace/idle.h"
+#include "trace/synthetic.h"
+
+namespace pscrub::exp {
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+/// Thins a catalog trace to ~`target_records` requests (statistical shape
+/// preserved, volume capped) -- the golden-suite analogue of the benches'
+/// scaled_trace helper, with a fixed absolute target so fixtures never
+/// depend on PSCRUB_BENCH_SCALE.
+trace::Trace mini_trace(const char* name, std::int64_t target_records) {
+  auto spec = trace::spec_by_name(name);
+  if (!spec) throw std::runtime_error(std::string("unknown trace: ") + name);
+  double scale = 1.0;
+  if (spec->target_requests > target_records) {
+    scale = static_cast<double>(target_records) /
+            static_cast<double>(spec->target_requests);
+  }
+  trace::SyntheticGenerator gen(*spec);
+  return gen.generate_trace(scale);
+}
+
+void append_metrics(std::string& out, const obs::Registry& registry) {
+  out += "-- metrics --\n";
+  out += registry.to_json();
+  out += "\n";
+}
+
+}  // namespace
+
+std::string golden_fig05_report(const GoldenOptions& options) {
+  const std::vector<std::int64_t> sizes = {64 * 1024, 512 * 1024,
+                                           4 * 1024 * 1024};
+  constexpr auto kUltrastar = DiskKind::kUltrastar15k450;
+  constexpr auto kFujitsu = DiskKind::kFujitsuMax3073rc;
+
+  std::vector<ScenarioConfig> configs;
+  for (std::int64_t size : sizes) {
+    for (const auto& [disk, staggered] :
+         {std::pair{kUltrastar, false}, std::pair{kUltrastar, true},
+          std::pair{kFujitsu, false}, std::pair{kFujitsu, true}}) {
+      ScenarioConfig cfg;
+      char label[64];
+      std::snprintf(label, sizeof(label), "golden.fig05.%s.%lldK.%s",
+                    disk_kind_name(disk),
+                    static_cast<long long>(size / 1024),
+                    staggered ? "stag" : "seq");
+      cfg.label = label;
+      cfg.disk.kind = disk;
+      cfg.scheduler = SchedulerKind::kNoop;
+      cfg.scrubber.kind = ScrubberKind::kBackToBack;
+      cfg.scrubber.priority = block::IoPriority::kBestEffort;
+      cfg.scrubber.strategy.kind =
+          staggered ? StrategyKind::kStaggered : StrategyKind::kSequential;
+      cfg.scrubber.strategy.request_bytes = size;
+      cfg.scrubber.strategy.regions = 64;
+      cfg.run_for = 10 * kSecond;
+      configs.push_back(std::move(cfg));
+    }
+  }
+
+  obs::Registry registry;
+  SweepOptions sweep_options;
+  sweep_options.workers = options.workers;
+  sweep_options.merge_into = &registry;
+  const auto results = run_scenarios(configs, sweep_options);
+
+  std::string out = "golden fig05: scrub MB/s vs request size\n";
+  appendf(out, "%-8s %14s %14s %14s %14s\n", "size", "Ultra seq",
+          "Ultra stag", "Fujitsu seq", "Fujitsu stag");
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    appendf(out, "%-8lld %14.2f %14.2f %14.2f %14.2f\n",
+            static_cast<long long>(sizes[i] / 1024),
+            results[4 * i].scrub_mb_s, results[4 * i + 1].scrub_mb_s,
+            results[4 * i + 2].scrub_mb_s, results[4 * i + 3].scrub_mb_s);
+  }
+  append_metrics(out, registry);
+  return out;
+}
+
+std::string golden_fig14_report(const GoldenOptions& options) {
+  const trace::Trace t = mini_trace("HPc6t8d0", 30'000);
+  const std::vector<SimTime> services = core::precompute_services(
+      t, core::make_foreground_service(disk::hitachi_ultrastar_15k450()));
+  const trace::IdleExtraction idle = trace::extract_idle_intervals(
+      t, core::make_foreground_service(disk::hitachi_ultrastar_15k450()));
+  stats::ResidualLife life{idle.idle_seconds};
+
+  std::vector<PolicySimScenario> scenarios;
+  std::vector<std::string> rows;
+  auto add = [&](const std::string& row, const PolicySpec& spec) {
+    PolicySimScenario s;
+    s.label = "golden.fig14." + row;
+    s.trace = &t;
+    s.services = &services;
+    s.policy = spec;
+    s.sizer = core::ScrubSizer::fixed(64 * 1024);
+    scenarios.push_back(std::move(s));
+    rows.push_back(row);
+  };
+
+  {
+    PolicySpec spec;
+    spec.kind = PolicyKind::kOracle;
+    spec.threshold = from_seconds(stats::quantile_sorted(life.sorted(), 0.9));
+    add("oracle.q0.9", spec);
+  }
+  for (SimTime th : {64 * kMillisecond, 1024 * kMillisecond}) {
+    PolicySpec spec;
+    spec.kind = PolicyKind::kWaiting;
+    spec.threshold = th;
+    add("waiting." + std::to_string(th / kMillisecond) + "ms", spec);
+  }
+  {
+    PolicySpec spec;
+    spec.kind = PolicyKind::kLosslessWaiting;
+    spec.threshold = 64 * kMillisecond;
+    add("lossless.64ms", spec);
+  }
+  {
+    PolicySpec spec;
+    spec.kind = PolicyKind::kAutoRegression;
+    spec.threshold = 256 * kMillisecond;
+    spec.ar_window = 2048;
+    spec.ar_refit_every = 512;
+    spec.ar_max_order = 6;
+    add("ar.256ms", spec);
+  }
+  {
+    PolicySpec spec;
+    spec.kind = PolicyKind::kArWaiting;
+    spec.threshold = 256 * kMillisecond;
+    spec.secondary = from_seconds(stats::quantile_sorted(life.sorted(), 0.5));
+    add("arwait.256ms", spec);
+  }
+
+  obs::Registry registry;
+  SweepOptions sweep_options;
+  sweep_options.workers = options.workers;
+  sweep_options.merge_into = &registry;
+  const auto results = run_policy_scenarios(scenarios, sweep_options);
+
+  std::string out = "golden fig14: idleness policies on HPc6t8d0 (thinned)\n";
+  appendf(out, "%zu requests replayed\n", t.size());
+  appendf(out, "%-16s %14s %14s %12s\n", "policy", "collision rate",
+          "idle utilized", "scrub MB/s");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    appendf(out, "%-16s %14.4f %14.3f %12.2f\n", rows[i].c_str(),
+            results[i].collision_rate, results[i].idle_utilization,
+            results[i].scrub_mb_s);
+  }
+  append_metrics(out, registry);
+  return out;
+}
+
+std::string golden_table3_report(const GoldenOptions& options) {
+  const trace::Trace t = mini_trace("MSRusr1", 20'000);
+  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  const std::vector<SimTime> services =
+      core::precompute_services(t, core::make_foreground_service(p));
+
+  core::OptimizerConfig oc;
+  oc.scrub_service = core::make_scrub_service(p);
+  oc.services = &services;
+  oc.candidate_sizes = {64 * 1024, 256 * 1024, 1024 * 1024};
+  oc.binary_search_iters = 6;
+  oc.workers = options.workers;
+
+  obs::Registry registry;
+  std::string out = "golden table3: optimizer vs CFQ on MSRusr1 (thinned)\n";
+  appendf(out, "%-8s %14s %10s %12s %10s\n", "goal", "mean sldn ms", "MB/s",
+          "threshold", "req KB");
+  for (double goal_ms : {1.0, 4.0}) {
+    core::SlowdownGoal goal;
+    goal.mean = from_seconds(goal_ms * 1e-3);
+    const auto best = core::optimize(t, oc, goal);
+    appendf(out, "%-8.1f %14.3f %10.2f %10lldms %10lld\n", goal_ms,
+            best.achieved_mean_slowdown_ms, best.scrub_mb_s,
+            static_cast<long long>(best.threshold / kMillisecond),
+            static_cast<long long>(best.request_bytes / 1024));
+    char prefix[48];
+    std::snprintf(prefix, sizeof(prefix), "golden.table3.goal%.0fms",
+                  goal_ms);
+    registry.gauge(std::string(prefix) + ".mb_s").set(best.scrub_mb_s);
+    registry.gauge(std::string(prefix) + ".mean_slowdown_ms")
+        .set(best.achieved_mean_slowdown_ms);
+    registry.gauge(std::string(prefix) + ".threshold_ms")
+        .set(to_milliseconds(best.threshold));
+    registry.counter(std::string(prefix) + ".request_bytes") +=
+        best.request_bytes;
+  }
+
+  // CFQ reference: fixed 10 ms idle gate, 64 KB requests.
+  PolicySimScenario s;
+  s.label = "golden.table3.cfq";
+  s.trace = &t;
+  s.services = &services;
+  s.policy.kind = PolicyKind::kWaiting;
+  s.policy.threshold = 10 * kMillisecond;
+  s.sizer = core::ScrubSizer::fixed(64 * 1024);
+  SweepOptions sweep_options;
+  sweep_options.workers = options.workers;
+  sweep_options.merge_into = &registry;
+  const auto cfq = run_policy_scenarios({s}, sweep_options);
+  appendf(out, "%-8s %14.3f %10.2f %10s %10s\n", "CFQ",
+          cfq[0].mean_slowdown_ms, cfq[0].scrub_mb_s, "10ms", "64");
+
+  append_metrics(out, registry);
+  return out;
+}
+
+}  // namespace pscrub::exp

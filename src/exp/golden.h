@@ -1,0 +1,44 @@
+// Golden-figure reports: scaled-down, fully deterministic renditions of
+// the paper's headline experiments -- the Fig 5 scrub-parameter sweep, the
+// Fig 14 idleness-policy comparison, and the Table III (request size, wait
+// threshold) optimizer -- rendered to a single string (result table plus a
+// metric-registry JSON snapshot).
+//
+// The golden regression suite (tests/test_golden_figures.cc) pins these
+// strings byte-for-byte against checked-in fixtures, so any change to the
+// simulation core -- the event queue, the disk model's service math, the
+// sweep runner -- that alters *any* paper number is caught immediately.
+// The reports run the same engine entry points as the real benches
+// (exp::run_scenarios, exp::run_policy_scenarios, core::optimize), just on
+// smaller grids and thinned traces so the whole suite stays under a few
+// seconds.
+//
+// Determinism contract: a report depends only on its GoldenOptions --
+// never on PSCRUB_* environment variables or hardware concurrency. The
+// worker count is passed explicitly because the suite asserts the output
+// is identical for 1 and N workers (the exp::sweep bit-identity contract).
+#pragma once
+
+#include <string>
+
+namespace pscrub::exp {
+
+struct GoldenOptions {
+  /// Worker threads for every sweep the report runs (1 = serial). The
+  /// output must not depend on it.
+  int workers = 1;
+};
+
+/// Fig 5 (scaled): scrub throughput vs request size, sequential vs
+/// staggered, on two drive models.
+std::string golden_fig05_report(const GoldenOptions& options = {});
+
+/// Fig 14 (scaled): collision rate and idle utilization of the idleness
+/// policies on a thinned HPc6t8d0 trace.
+std::string golden_fig14_report(const GoldenOptions& options = {});
+
+/// Table III (scaled): the (size, threshold) optimizer vs the CFQ
+/// reference on a thinned MSRusr1 trace.
+std::string golden_table3_report(const GoldenOptions& options = {});
+
+}  // namespace pscrub::exp

@@ -1,0 +1,159 @@
+// Move-only callable with a 32-byte small-buffer optimization, used as the
+// event-queue callback type.
+//
+// The simulator's hot loop constructs, moves, invokes, and destroys one
+// callable per event, so the callable must not heap-allocate for the
+// captures that actually occur in this codebase: `[this]`, `[this, value]`,
+// and whole `std::function<void()>` objects forwarded from public APIs
+// (exactly 32 bytes on libstdc++). A capture that exceeds the inline buffer
+// still works -- it falls back to a single heap allocation, like
+// std::function -- it is just no longer free.
+//
+// Unlike std::function, EventCallable is move-only (events fire once; their
+// captures never need to be copyable) and has no empty-call check in
+// operator() -- invoking an empty callable is a programming error caught by
+// assert, not an exception.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pscrub {
+
+class EventCallable {
+ public:
+  static constexpr std::size_t kInlineBytes = 32;
+
+  EventCallable() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventCallable> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventCallable(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  /// Destroys the current callable (if any) and constructs `f` directly in
+  /// the buffer -- the zero-move path for storing a callable in an event
+  /// slot.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventCallable> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& f) {
+    reset();
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  EventCallable(EventCallable&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) {
+      relocate_from(o);
+      o.ops_ = nullptr;
+    }
+  }
+
+  EventCallable& operator=(EventCallable&& o) noexcept {
+    if (this != &o) {
+      reset();
+      if (o.ops_ != nullptr) {
+        ops_ = o.ops_;
+        relocate_from(o);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventCallable(const EventCallable&) = delete;
+  EventCallable& operator=(const EventCallable&) = delete;
+
+  ~EventCallable() { reset(); }
+
+  void operator()() {
+    assert(ops_ != nullptr);
+    ops_->invoke(buf_);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs into dst from src, then destroys src; null means
+    // "memcpy the buffer" (trivially copyable inline payloads and the heap
+    // fallback's raw pointer -- i.e. every common capture). noexcept by
+    // construction: inline storage requires a nothrow-movable type.
+    void (*relocate)(void* dst, void* src);
+    // Null means trivially destructible (or heap-free) -- skip the call.
+    void (*destroy)(void*);
+  };
+
+  void relocate_from(EventCallable& o) noexcept {
+    if (ops_->relocate == nullptr) {
+      std::memcpy(buf_, o.buf_, kInlineBytes);
+    } else {
+      ops_->relocate(buf_, o.buf_);
+    }
+  }
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static D* inline_obj(void* buf) {
+    return std::launder(reinterpret_cast<D*>(buf));
+  }
+
+  template <typename D>
+  static constexpr Ops inline_ops = {
+      [](void* buf) { (*inline_obj<D>(buf))(); },
+      std::is_trivially_copyable_v<D>
+          ? nullptr
+          : +[](void* dst, void* src) {
+              D* from = inline_obj<D>(src);
+              ::new (dst) D(std::move(*from));
+              from->~D();
+            },
+      std::is_trivially_destructible_v<D>
+          ? nullptr
+          : +[](void* buf) { inline_obj<D>(buf)->~D(); },
+  };
+
+  template <typename D>
+  static D*& heap_obj(void* buf) {
+    return *std::launder(reinterpret_cast<D**>(buf));
+  }
+
+  template <typename D>
+  static constexpr Ops heap_ops = {
+      [](void* buf) { (*heap_obj<D>(buf))(); },
+      nullptr,  // relocating an owning raw pointer is a byte copy
+      [](void* buf) { delete heap_obj<D>(buf); },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace pscrub

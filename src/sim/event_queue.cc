@@ -1,52 +1,228 @@
+// Cold paths of the event core; the schedule/fire hot loop is inline in
+// event_queue.h.
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
+#include <iterator>
+#include <new>
+#include <stdexcept>
 #include <utility>
 
 namespace pscrub {
 
-EventId EventQueue::schedule(SimTime at, EventFn fn) {
-  EventId id = fns_.size();
-  fns_.push_back(std::move(fn));
-  heap_.push(Entry{at, id});
-  return id;
-}
-
-bool EventQueue::cancel(EventId id) {
-  if (id >= fns_.size() || !fns_[id]) return false;
-  fns_[id] = nullptr;
-  cancelled_.insert(id);
-  return true;
-}
-
-void EventQueue::drop_cancelled_head() const {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) break;
-    cancelled_.erase(it);
-    heap_.pop();
+EventQueue::~EventQueue() {
+  // Every node whose slot is free, zombie, or mid-fire holds no callable
+  // (fn is reset on each of those transitions), so when no events are live
+  // and no persistent events are registered, every constructed node's
+  // destructor is a no-op and the slabs can be released directly.
+  if (live_ != 0 || persistent_slots_ != 0) {
+    for (std::size_t s = 0; s < slot_count_; ++s) {
+      node(static_cast<std::uint32_t>(s)).~Node();
+    }
+  }
+  for (Node* chunk : chunks_) {
+    ::operator delete(chunk, std::align_val_t{alignof(Node)});
   }
 }
 
-bool EventQueue::empty() const {
-  drop_cancelled_head();
-  return heap_.empty();
+EventQueue::Node* EventQueue::resolve(EventId id) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (gen == 0 || slot >= slot_count_) return nullptr;
+  Node& n = node(slot);
+  return n.gen == gen ? &n : nullptr;
 }
 
-SimTime EventQueue::next_time() const {
-  drop_cancelled_head();
-  assert(!heap_.empty());
-  return heap_.top().time;
+const EventQueue::Node* EventQueue::resolve(EventId id) const {
+  return const_cast<EventQueue*>(this)->resolve(id);
+}
+
+std::uint32_t EventQueue::grow_slot() {
+  if (slot_count_ >= (std::size_t{1} << kSlotBits)) {
+    throw std::length_error("EventQueue: too many concurrent events");
+  }
+  if (slot_count_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(static_cast<Node*>(::operator new(
+        kChunkSize * sizeof(Node), std::align_val_t{alignof(Node)})));
+  }
+  const std::uint32_t slot = static_cast<std::uint32_t>(slot_count_++);
+  ::new (static_cast<void*>(&node(slot))) Node;
+  return slot;
+}
+
+void EventQueue::seq_overflow() const {
+  throw std::length_error("EventQueue: event sequence space exhausted");
+}
+
+void EventQueue::slide_run() {
+  run_.erase(run_.begin(), run_.begin() + static_cast<std::ptrdiff_t>(run_pos_));
+  run_pos_ = 0;
+}
+
+void EventQueue::flush() {
+  assert(run_pos_ < run_.size() || !buf_.empty());
+  std::sort(buf_.begin(), buf_.end());
+  const std::size_t k = buf_.size();
+  if (run_pos_ == run_.size()) {
+    // Run exhausted: the sorted buffer becomes the run (buffer storage is
+    // recycled as the next buffer).
+    run_.swap(buf_);
+    run_pos_ = 0;
+  } else if (run_pos_ >= k) {
+    // Merge into the consumed space at the run's front. The write cursor
+    // starts k slots behind the read cursor and the distance shrinks by
+    // one per buffer element consumed, so it never catches up; when the
+    // buffer is exhausted the cursors meet and the run's tail is already
+    // in place.
+    std::size_t out = run_pos_ - k;
+    std::size_t i = run_pos_;
+    std::size_t j = 0;
+    const std::size_t n = run_.size();
+    while (j < k) {
+      if (i < n && run_[i] < buf_[j]) {
+        run_[out++] = run_[i++];
+      } else {
+        run_[out++] = buf_[j++];
+      }
+    }
+    run_pos_ -= k;
+  } else {
+    scratch_.clear();
+    scratch_.reserve((run_.size() - run_pos_) + k);
+    std::merge(run_.begin() + static_cast<std::ptrdiff_t>(run_pos_),
+               run_.end(), buf_.begin(), buf_.end(),
+               std::back_inserter(scratch_));
+    run_.swap(scratch_);
+    run_pos_ = 0;
+  }
+  buf_.clear();
+  buf_min_ = kEntryMax;
+}
+
+void EventQueue::prune_stale_heads() {
+  for (;;) {
+    const Entry e = head_entry();
+    Node& n = node(entry_slot(e));
+    if (n.state == kArmed && n.armed_seq == entry_seq(e)) return;
+    ++run_pos_;
+    --stale_;
+    --n.entries;
+    if (n.state == kZombie && n.entries == 0) free_slot(entry_slot(e), n);
+    if (stale_ == 0) return;
+  }
+}
+
+bool EventQueue::cancel(EventId id) {
+  Node* n = resolve(id);
+  if (n == nullptr || n->state != kArmed) return false;
+  --live_;
+  ++stale_;
+  if (n->persistent) {
+    n->state = kParked;
+  } else {
+    n->fn.reset();
+    n->state = kZombie;
+    n->entries = 1;  // the now-stale pending entry, swept lazily
+  }
+  maybe_compact();
+  return true;
+}
+
+EventId EventQueue::add_persistent(EventFn&& fn) {
+  const std::uint32_t slot = alloc_slot();
+  Node& n = node(slot);
+  n.fn = std::move(fn);
+  n.persistent = true;
+  n.state = kParked;
+  ++persistent_slots_;
+  return make_id(n.gen, slot);
+}
+
+bool EventQueue::arm(EventId id, SimTime at) {
+  Node* n = resolve(id);
+  if (n == nullptr || !n->persistent) return false;
+  if (n->state == kArmed) {
+    ++stale_;  // the previous arm's entry is superseded
+  } else if (n->state == kParked) {
+    n->state = kArmed;
+    ++live_;
+  } else {
+    return false;
+  }
+  const std::uint64_t seq = next_seq();
+  n->armed_seq = seq;
+  push_entry(pack_entry(at, seq, static_cast<std::uint32_t>(id)));
+  ++n->entries;
+  maybe_compact();
+  return true;
+}
+
+bool EventQueue::armed(EventId id) const {
+  const Node* n = resolve(id);
+  return n != nullptr && n->state == kArmed;
+}
+
+bool EventQueue::remove(EventId id) {
+  Node* n = resolve(id);
+  if (n == nullptr || !n->persistent ||
+      (n->state != kArmed && n->state != kParked)) {
+    return false;
+  }
+  if (n->state == kArmed) {
+    --live_;
+    ++stale_;
+  }
+  n->fn.reset();
+  --persistent_slots_;
+  if (n->entries == 0) {
+    free_slot(static_cast<std::uint32_t>(id), *n);
+  } else {
+    n->state = kZombie;  // freed when the last stale entry is swept
+  }
+  maybe_compact();
+  return true;
+}
+
+SimTime EventQueue::next_time() {
+  if (stale_ != 0) prune_stale_heads();
+  return entry_time(head_entry());
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled_head();
-  assert(!heap_.empty());
-  Entry e = heap_.top();
-  heap_.pop();
-  Fired fired{e.time, std::move(fns_[e.id])};
-  fns_[e.id] = nullptr;
+  if (stale_ != 0) prune_stale_heads();
+  const Entry e = head_entry();
+  ++run_pos_;
+  Node& n = node(entry_slot(e));
+  assert(!n.persistent && "pop() only supports one-shot events");
+  --live_;
+  Fired fired{entry_time(e), std::move(n.fn)};
+  n.fn.reset();
+  free_slot(entry_slot(e), n);
   return fired;
+}
+
+void EventQueue::compact() {
+  scratch_.clear();
+  const auto keep = [&](Entry e) {
+    Node& n = node(entry_slot(e));
+    if (n.state == kArmed && n.armed_seq == entry_seq(e)) return true;
+    --n.entries;
+    if (n.state == kZombie && n.entries == 0) free_slot(entry_slot(e), n);
+    return false;
+  };
+  for (std::size_t i = run_pos_; i < run_.size(); ++i) {
+    if (keep(run_[i])) scratch_.push_back(run_[i]);
+  }
+  for (const Entry e : buf_) {
+    if (keep(e)) scratch_.push_back(e);
+  }
+  std::sort(scratch_.begin(), scratch_.end());
+  run_.swap(scratch_);
+  run_pos_ = 0;
+  buf_.clear();
+  buf_min_ = kEntryMax;
+  stale_ = 0;
 }
 
 }  // namespace pscrub

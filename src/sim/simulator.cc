@@ -7,20 +7,12 @@
 
 namespace pscrub {
 
-EventId Simulator::at(SimTime when, EventFn fn) {
-  return queue_.schedule(std::max(when, now_), std::move(fn));
+bool Simulator::arm(EventId id, SimTime when) {
+  return queue_.arm(id, std::max(when, now_));
 }
 
-EventId Simulator::after(SimTime delay, EventFn fn) {
-  return at(now_ + std::max<SimTime>(delay, 0), std::move(fn));
-}
-
-bool Simulator::step(SimTime until) {
-  if (queue_.empty() || queue_.next_time() > until) return false;
-  auto fired = queue_.pop();
-  now_ = fired.time;
-  fired.fn();
-  return true;
+bool Simulator::arm_after(EventId id, SimTime delay) {
+  return arm(id, now_ + std::max<SimTime>(delay, 0));
 }
 
 std::size_t Simulator::run_until(SimTime until) {

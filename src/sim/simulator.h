@@ -7,6 +7,8 @@
 // response is modelled).
 #pragma once
 
+#include <utility>
+
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
@@ -16,13 +18,42 @@ class Simulator {
  public:
   SimTime now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `at` (clamped to now()).
-  EventId at(SimTime when, EventFn fn);
+  /// Schedules `fn` at absolute time `at` (clamped to now()). The
+  /// callable is forwarded into the event queue and constructed directly
+  /// in its event slot.
+  template <typename F>
+  EventId at(SimTime when, F&& fn) {
+    return queue_.schedule(when > now_ ? when : now_, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` after a relative delay (clamped to >= 0).
-  EventId after(SimTime delay, EventFn fn);
+  template <typename F>
+  EventId after(SimTime delay, F&& fn) {
+    return at(now_ + (delay > 0 ? delay : 0), std::forward<F>(fn));
+  }
 
   bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Registers a persistent event: the callback is stored once and fires
+  /// every time the event is armed and comes due. The allocation-free
+  /// alternative to scheduling a fresh callback per occurrence; see
+  /// EventQueue::add_persistent.
+  EventId add_persistent(EventFn&& fn) {
+    return queue_.add_persistent(std::move(fn));
+  }
+
+  /// Arms (or re-arms) a persistent event at absolute time `when`
+  /// (clamped to now()).
+  bool arm(EventId id, SimTime when);
+
+  /// Arms (or re-arms) a persistent event after a relative delay
+  /// (clamped to >= 0).
+  bool arm_after(EventId id, SimTime delay);
+
+  bool armed(EventId id) const { return queue_.armed(id); }
+
+  /// Destroys a persistent event.
+  bool remove(EventId id) { return queue_.remove(id); }
 
   /// Runs until the queue drains or the clock passes `until`
   /// (events at exactly `until` still fire). Returns the number of events
@@ -33,8 +64,10 @@ class Simulator {
   std::size_t run();
 
   /// Fires at most one event. Returns false if the queue is empty or the
-  /// next event is later than `until`.
-  bool step(SimTime until);
+  /// next event is later than `until`. Fused fire: the queue advances
+  /// now_ to the event's time, then invokes the callback in place (no
+  /// callable move, no slot round-trip).
+  bool step(SimTime until) { return queue_.fire_next(until, &now_); }
 
   bool idle() const { return queue_.empty(); }
   std::size_t pending_events() const { return queue_.size(); }

@@ -1,0 +1,324 @@
+// Randomized EventQueue stress suite: cross-checks the slab/sorted-run
+// implementation against a naive reference queue over seeded
+// schedule/cancel/pop interleavings, with heavy cancellation pressure so
+// the stale-entry compaction and free-list-reuse paths are exercised, plus
+// persistent-event (add_persistent/arm/re-arm/remove) coverage and
+// explicit bounds on entry and slot memory under unbounded churn.
+//
+// The reference is a sorted multimap keyed by (time, sequence) -- the
+// documented firing order (time order, FIFO for ties). At every step the
+// real queue must agree with the reference on size(), next_time(), and the
+// identity of every fired event.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace pscrub {
+namespace {
+
+/// Naive reference: ordered map from (time, arrival sequence) to a payload
+/// identifying the scheduled event.
+class ReferenceQueue {
+ public:
+  void schedule(SimTime at, std::uint64_t tag) {
+    keys_[tag] = {at, next_seq_};
+    events_.emplace(std::pair{at, next_seq_}, tag);
+    ++next_seq_;
+  }
+
+  bool cancel(std::uint64_t tag) {
+    auto it = keys_.find(tag);
+    if (it == keys_.end()) return false;
+    events_.erase(it->second);
+    keys_.erase(it);
+    return true;
+  }
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  SimTime next_time() const { return events_.begin()->first.first; }
+
+  std::uint64_t pop() {
+    auto it = events_.begin();
+    const std::uint64_t tag = it->second;
+    keys_.erase(tag);
+    events_.erase(it);
+    return tag;
+  }
+
+ private:
+  std::map<std::pair<SimTime, std::uint64_t>, std::uint64_t> events_;
+  std::map<std::uint64_t, std::pair<SimTime, std::uint64_t>> keys_;
+  std::uint64_t next_seq_ = 0;
+};
+
+TEST(EventQueueStress, RandomScheduleCancelPopAgreesWithReference) {
+  constexpr int kOps = 1'000'000;
+  Rng rng(0xC0FFEE);
+  EventQueue q;
+  ReferenceQueue ref;
+  // tag -> EventId of every still-pending event, for cancellation.
+  std::map<std::uint64_t, EventId> pending;
+  std::uint64_t next_tag = 0;
+  std::uint64_t fired_tag = 0;
+  bool fired = false;
+  SimTime clock = 0;
+
+  for (int op = 0; op < kOps; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.45 || ref.empty()) {
+      // Schedule at a time >= the current virtual clock; a narrow time
+      // range forces plenty of exact ties (FIFO order must hold).
+      const SimTime at = clock + rng.uniform_int(0, 50);
+      const std::uint64_t tag = next_tag++;
+      const EventId id = q.schedule(at, [tag, &fired_tag, &fired] {
+        fired_tag = tag;
+        fired = true;
+      });
+      ref.schedule(at, tag);
+      pending[tag] = id;
+    } else if (dice < 0.80) {
+      // Cancel a random pending event (heavy cancellation pressure: more
+      // than a third of scheduled events die before firing).
+      auto it = pending.begin();
+      std::advance(it, static_cast<long>(rng.uniform_int(
+                           0, static_cast<std::int64_t>(pending.size()) - 1)));
+      EXPECT_TRUE(q.cancel(it->second));
+      EXPECT_FALSE(q.cancel(it->second)) << "double-cancel must be a no-op";
+      EXPECT_TRUE(ref.cancel(it->first));
+      pending.erase(it);
+    } else {
+      // Fire the earliest event; both queues must agree on its identity.
+      ASSERT_FALSE(q.empty());
+      ASSERT_EQ(q.next_time(), ref.next_time());
+      clock = q.next_time();
+      auto popped = q.pop();
+      fired = false;
+      popped.fn();
+      ASSERT_TRUE(fired);
+      const std::uint64_t want = ref.pop();
+      ASSERT_EQ(fired_tag, want) << "fired out of (time, FIFO) order";
+      EXPECT_EQ(q.cancel(pending[want]), false)
+          << "cancelling an already-fired event must fail";
+      pending.erase(want);
+    }
+    ASSERT_EQ(q.size(), ref.size()) << "size() drifted at op " << op;
+    ASSERT_EQ(q.empty(), ref.empty());
+  }
+
+  // Drain: the tail must still agree, and size() must hit exactly zero
+  // (the historical `heap_.size() - cancelled_.size()` underflow would
+  // wrap to huge values here under heavy cancellation).
+  while (!ref.empty()) {
+    ASSERT_FALSE(q.empty());
+    ASSERT_EQ(q.next_time(), ref.next_time());
+    auto popped = q.pop();
+    fired = false;
+    popped.fn();
+    ASSERT_TRUE(fired);
+    ASSERT_EQ(fired_tag, ref.pop());
+    ASSERT_EQ(q.size(), ref.size());
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueStress, SizeStaysExactUnderPureCancellation) {
+  // Regression for the size() underflow: cancel-heavy usage where the
+  // unsigned `heap - cancelled` bookkeeping was fragile, repeated long
+  // enough that any leak of tombstones or free slots becomes visible.
+  EventQueue q;
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<EventId> ids;
+    ids.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(q.schedule(1000 + i, [] {}));
+    }
+    // Cancel all but one, back to front.
+    for (int i = 63; i >= 1; --i) {
+      EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+      EXPECT_EQ(q.size(), static_cast<std::size_t>(i));
+    }
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.next_time(), 1000);
+    q.pop();
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(EventQueueStress, InterleavedSimulatorRunStaysConsistent) {
+  // Drive the same interleavings through the Simulator loop (fire-in-place
+  // path) instead of pop(): every scheduled-and-not-cancelled callback
+  // fires exactly once, in time order.
+  Simulator sim;
+  Rng rng(99);
+  std::vector<int> fire_counts(20'000, 0);
+  SimTime last = -1;
+  std::vector<std::pair<EventId, std::size_t>> cancellable;
+  std::size_t scheduled = 0;
+  std::size_t cancelled = 0;
+
+  for (std::size_t i = 0; i < fire_counts.size(); ++i) {
+    const SimTime at = rng.uniform_int(0, 5000);
+    const EventId id = sim.at(at, [i, &fire_counts, &last, &sim] {
+      ++fire_counts[i];
+      EXPECT_GE(sim.now(), last);
+      last = sim.now();
+    });
+    ++scheduled;
+    if (rng.uniform() < 0.3) {
+      cancellable.emplace_back(id, i);
+    }
+  }
+  for (const auto& [id, idx] : cancellable) {
+    EXPECT_TRUE(sim.cancel(id));
+    ++cancelled;
+    fire_counts[idx] = -1;  // must never fire
+  }
+  const std::size_t fired = sim.run();
+  EXPECT_EQ(fired, scheduled - cancelled);
+  for (std::size_t i = 0; i < fire_counts.size(); ++i) {
+    EXPECT_NE(fire_counts[i], 0) << "event " << i << " never fired";
+    EXPECT_LE(fire_counts[i], 1) << "event " << i << " fired twice";
+  }
+}
+
+TEST(EventQueueStress, PersistentArmRearmRemoveAgreesWithReference) {
+  // The persistent-event API must deliver the same fire order as one-shot
+  // scheduling: an arm behaves like a schedule, a re-arm like
+  // cancel+schedule (the superseded entry must never fire).
+  constexpr int kOps = 200'000;
+  constexpr int kEvents = 64;
+  Rng rng(0xBADA55);
+  EventQueue q;
+  ReferenceQueue ref;
+  SimTime clock = 0;
+  std::uint64_t fired_tag = 0;
+  bool fired = false;
+
+  struct Persistent {
+    EventId id = 0;
+    bool armed = false;
+  };
+  std::vector<Persistent> ev(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    ev[static_cast<std::size_t>(i)].id = q.add_persistent(
+        [tag = static_cast<std::uint64_t>(i), &fired_tag, &fired] {
+          fired_tag = tag;
+          fired = true;
+        });
+  }
+  // Registered-but-parked events are not pending.
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+
+  for (int op = 0; op < kOps; ++op) {
+    const double dice = rng.uniform();
+    const auto i = static_cast<std::size_t>(rng.uniform_int(0, kEvents - 1));
+    if (dice < 0.5) {
+      // Arm (or re-arm, superseding the pending occurrence).
+      const SimTime at = clock + rng.uniform_int(0, 40);
+      if (ev[i].armed) EXPECT_TRUE(ref.cancel(i));
+      ASSERT_TRUE(q.arm(ev[i].id, at));
+      ref.schedule(at, i);
+      ev[i].armed = true;
+      EXPECT_TRUE(q.armed(ev[i].id));
+    } else if (dice < 0.65) {
+      // Disarm; the event stays registered.
+      const bool was_armed = ev[i].armed;
+      EXPECT_EQ(q.cancel(ev[i].id), was_armed);
+      if (was_armed) {
+        EXPECT_TRUE(ref.cancel(i));
+        ev[i].armed = false;
+      }
+      EXPECT_FALSE(q.armed(ev[i].id));
+    } else if (!ref.empty()) {
+      // Fire the earliest occurrence in place; firing disarms.
+      ASSERT_EQ(q.next_time(), ref.next_time());
+      clock = q.next_time();
+      fired = false;
+      SimTime fired_at = -1;
+      ASSERT_TRUE(q.fire_next(clock, &fired_at));
+      ASSERT_TRUE(fired);
+      ASSERT_EQ(fired_at, clock);
+      const std::uint64_t want = ref.pop();
+      ASSERT_EQ(fired_tag, want) << "fired out of (time, FIFO) order";
+      ev[want].armed = false;
+      EXPECT_FALSE(q.armed(ev[want].id));
+    }
+    ASSERT_EQ(q.size(), ref.size()) << "size() drifted at op " << op;
+  }
+
+  for (auto& p : ev) EXPECT_TRUE(q.remove(p.id));
+  EXPECT_FALSE(q.remove(ev[0].id)) << "double-remove must fail";
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueStress, PersistentSelfRearmFiresRepeatedly) {
+  // The dominant simulation pattern: a completion handler that re-arms its
+  // own event from inside the invocation (firing disarms *before* the
+  // callback runs, so the re-arm must stick).
+  Simulator sim;
+  int count = 0;
+  EventId id = 0;
+  id = sim.add_persistent([&] {
+    if (++count < 1000) sim.arm_after(id, 7);
+  });
+  EXPECT_TRUE(sim.arm(id, 0));
+  EXPECT_EQ(sim.run(), 1000u);
+  EXPECT_EQ(count, 1000);
+  EXPECT_EQ(sim.now(), 999 * 7);
+  EXPECT_FALSE(sim.armed(id));
+  EXPECT_TRUE(sim.remove(id));
+}
+
+TEST(EventQueueStress, CompactionBoundsEntriesAndSlotsUnderChurn) {
+  // Unbounded cancel/reschedule churn must not grow memory: stale entries
+  // are compacted once they outnumber live ones (entries <= 2*live +
+  // slack) and one-shot slots recycle through the free list (zombie slots
+  // linger only until their stale entry is swept).
+  constexpr std::size_t kLive = 256;
+  constexpr std::size_t kSlack = 65;  // EventQueue::kCompactSlack + 1
+  EventQueue q;
+  Rng rng(7);
+  std::vector<EventId> live;
+  live.reserve(kLive);
+  for (std::size_t i = 0; i < kLive; ++i) {
+    live.push_back(q.schedule(static_cast<SimTime>(1'000'000 + i), [] {}));
+  }
+  for (int round = 0; round < 100'000; ++round) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kLive) - 1));
+    ASSERT_TRUE(q.cancel(live[i]));
+    live[i] =
+        q.schedule(static_cast<SimTime>(1'000'000 + round % 1024), [] {});
+    ASSERT_EQ(q.size(), kLive);
+    ASSERT_LE(q.heap_entries(), 2 * kLive + kSlack)
+        << "stale entries leaked at round " << round;
+    ASSERT_LE(q.allocated_slots(), 2 * kLive + kSlack + 1)
+        << "slots leaked at round " << round;
+  }
+
+  // Re-arm churn on a persistent event leaves one superseded entry per
+  // arm; those must be bounded by the same compaction policy.
+  EventId p = q.add_persistent([] {});
+  for (int round = 0; round < 100'000; ++round) {
+    ASSERT_TRUE(q.arm(p, static_cast<SimTime>(round)));
+    ASSERT_LE(q.heap_entries(), 2 * (kLive + 1) + kSlack)
+        << "superseded arm entries leaked at round " << round;
+  }
+  EXPECT_TRUE(q.remove(p));
+  EXPECT_EQ(q.size(), kLive);
+}
+
+}  // namespace
+}  // namespace pscrub
