@@ -17,8 +17,8 @@ std::vector<double> hourly_counts_for(const std::string& name) {
   // weekly volume is cheap to generate.
   const double env = bench_scale();
   if (env > 0.0) {
-    spec->target_requests =
-        static_cast<std::int64_t>(spec->target_requests * env);
+    spec->target_requests = static_cast<std::int64_t>(
+        static_cast<double>(spec->target_requests) * env);
   }
   trace::SyntheticGenerator gen(*spec);
   std::vector<double> counts(

@@ -25,8 +25,8 @@ void run() {
     const std::int64_t paper_requests = spec.target_requests;
     const double env = bench_scale();
     if (env > 0.0) {
-      spec.target_requests =
-          static_cast<std::int64_t>(spec.target_requests * env);
+      spec.target_requests = static_cast<std::int64_t>(
+          static_cast<double>(spec.target_requests) * env);
     }
     trace::SyntheticGenerator gen(spec);
     std::vector<double> counts(

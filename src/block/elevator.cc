@@ -52,12 +52,7 @@ bool Elevator::add(BlockRequest request) {
 }
 
 void Elevator::clean_fifo_front() const {
-  while (!fifo_.empty()) {
-    auto it = dead_.find(fifo_.front().id);
-    if (it == dead_.end()) break;
-    dead_.erase(it);
-    fifo_.pop_front();
-  }
+  while (!fifo_.empty() && fifo_.front().dead) fifo_.pop_front();
 }
 
 SimTime Elevator::oldest_arrival() const {
@@ -71,7 +66,12 @@ BlockRequest Elevator::pop() {
   auto it = by_lbn_.lower_bound(scan_from_);
   if (it == by_lbn_.end()) it = by_lbn_.begin();  // C-LOOK wrap
   BlockRequest r = std::move(it->second.request);
-  dead_.insert(it->second.iid);
+  // Ids are contiguous in the FIFO (assigned at push, popped only at the
+  // front), so the entry for this iid lives at a fixed offset.
+  const std::size_t at =
+      static_cast<std::size_t>(it->second.iid - fifo_.front().id);
+  assert(at < fifo_.size() && fifo_[at].id == it->second.iid);
+  fifo_[at].dead = true;
   by_lbn_.erase(it);
   scan_from_ = r.cmd.lbn + r.cmd.sectors;
   return r;

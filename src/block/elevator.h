@@ -17,7 +17,6 @@
 #include <deque>
 #include <map>
 #include <optional>
-#include <unordered_set>
 
 #include "block/request.h"
 
@@ -55,6 +54,13 @@ class Elevator {
     SimTime submit;
     std::uint64_t id;
     disk::Lbn lbn;
+    // Set when the request was popped via the scan path; the entry is
+    // skipped lazily once it reaches the FIFO front. Internal ids are
+    // assigned in FIFO push order and the FIFO only pops from the front,
+    // so the live entry for id X always sits at index X - front().id --
+    // marking is O(1) with no side table (and no hash container whose
+    // layout could leak into dispatch order).
+    bool dead = false;
   };
 
   /// Drops dead entries from the FIFO front.
@@ -70,10 +76,9 @@ class Elevator {
   std::multimap<disk::Lbn, Entry> by_lbn_;
   std::int64_t max_merge_sectors_;
   disk::Lbn scan_from_ = 0;
-  // Arrival order; entries whose id landed in dead_ were popped via the
-  // scan path and are skipped lazily.
+  // Arrival order; dead entries (popped via the scan path) are skipped
+  // lazily at the front.
   mutable std::deque<FifoEntry> fifo_;
-  mutable std::unordered_set<std::uint64_t> dead_;
   std::uint64_t next_internal_id_ = 1;
 };
 

@@ -96,12 +96,15 @@ class ScrubSizer {
         break;
       case Kind::kExponential:
         current_ = std::min<std::int64_t>(
-            max_bytes_, static_cast<std::int64_t>(current_ * factor_a_));
+            max_bytes_, static_cast<std::int64_t>(
+                            static_cast<double>(current_) * factor_a_));
         break;
       case Kind::kLinear:
         current_ = std::min<std::int64_t>(
             max_bytes_,
-            static_cast<std::int64_t>(current_ * factor_a_) + add_b_);
+            static_cast<std::int64_t>(static_cast<double>(current_) *
+                                      factor_a_) +
+                add_b_);
         break;
     }
   }

@@ -201,7 +201,7 @@ SimTime DiskModel::service(const DiskCommand& cmd) {
         phases_.transfer =
             profile_.ata_verify_cache_base +
             static_cast<SimTime>(profile_.ata_verify_cache_ns_per_byte *
-                                 cmd.bytes());
+                                 static_cast<double>(cmd.bytes()));
         return t + phases_.transfer + profile_.completion_overhead;
       }
       break;  // cache off: behaves like a media-bound verify below

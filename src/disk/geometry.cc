@@ -14,7 +14,8 @@ Geometry::Geometry(std::int64_t capacity_bytes, std::int64_t outer_spt,
   const std::int64_t want_sectors = sectors_from_bytes(capacity_bytes);
   // Average spt over the zone ramp; derive the cylinder count that covers
   // the requested capacity, then distribute cylinders evenly across zones.
-  const double mean_spt = (static_cast<double>(outer_spt) + inner_spt) / 2.0;
+  const double mean_spt =
+      (static_cast<double>(outer_spt) + static_cast<double>(inner_spt)) / 2.0;
   std::int64_t cyl_total = static_cast<std::int64_t>(
       std::ceil(static_cast<double>(want_sectors) / mean_spt));
   if (cyl_total < zones) cyl_total = zones;
@@ -28,8 +29,9 @@ Geometry::Geometry(std::int64_t capacity_bytes, std::int64_t outer_spt,
     zone.cylinders = cyl_total / zones + (z < cyl_total % zones ? 1 : 0);
     // Linear interpolation outer -> inner across zones.
     const double f = zones == 1 ? 0.0 : static_cast<double>(z) / (zones - 1);
-    zone.spt = outer_spt - static_cast<std::int64_t>(
-                               std::llround(f * (outer_spt - inner_spt)));
+    zone.spt = outer_spt -
+               static_cast<std::int64_t>(std::llround(
+                   f * static_cast<double>(outer_spt - inner_spt)));
     zones_.push_back(zone);
     lbn += zone.cylinders * zone.spt;
     cyl += zone.cylinders;
@@ -61,7 +63,8 @@ PhysicalPos Geometry::locate(Lbn lbn) const {
 double Geometry::mean_sectors_per_track() const {
   double weighted = 0.0;
   for (const Zone& z : zones_) {
-    weighted += static_cast<double>(z.cylinders * z.spt) * z.spt;
+    weighted +=
+        static_cast<double>(z.cylinders * z.spt) * static_cast<double>(z.spt);
   }
   return weighted / static_cast<double>(total_sectors_);
 }

@@ -20,14 +20,16 @@ SimTime DiskProfile::seek_time(std::int64_t cylinders,
   if (cylinders == 1) return track_switch;
   const double frac = std::min(
       1.0, static_cast<double>(cylinders) / static_cast<double>(total_cylinders));
-  return min_seek + static_cast<SimTime>(
-                        std::llround((max_seek - min_seek) * std::sqrt(frac)));
+  return min_seek +
+         static_cast<SimTime>(std::llround(
+             static_cast<double>(max_seek - min_seek) * std::sqrt(frac)));
 }
 
 SimTime DiskProfile::media_transfer(std::int64_t sectors) const {
   const double spt = mean_spt();
   const double revolutions = static_cast<double>(sectors) / spt;
-  SimTime t = static_cast<SimTime>(revolutions * rotation_period());
+  SimTime t = static_cast<SimTime>(revolutions *
+                                   static_cast<double>(rotation_period()));
   // Track switches: one per full track crossed. Track skew hides the
   // rotational component, so only the switch itself is charged.
   const auto crossings = static_cast<std::int64_t>(revolutions);
@@ -44,7 +46,8 @@ SimTime DiskProfile::sequential_verify_service(std::int64_t bytes,
   if (kind == CommandKind::kVerifyAta && cache_enabled) {
     // The Fig 1 pathology: answered from cache/electronics, no media access.
     return command_overhead + ata_verify_cache_base +
-           static_cast<SimTime>(ata_verify_cache_ns_per_byte * bytes) +
+           static_cast<SimTime>(ata_verify_cache_ns_per_byte *
+                                static_cast<double>(bytes)) +
            completion_overhead;
   }
   const SimTime p = rotation_period();

@@ -75,7 +75,8 @@ struct DiskProfile {
   }
 
   double mean_spt() const {
-    return (static_cast<double>(outer_spt) + inner_spt) / 2.0;
+    return (static_cast<double>(outer_spt) + static_cast<double>(inner_spt)) /
+           2.0;
   }
 
   /// Seek time for a sweep of `cylinders` (of `total_cylinders`).

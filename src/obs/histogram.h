@@ -75,7 +75,8 @@ class LatencyHistogram {
   static int bucket_index(SimTime value) {
     const auto v = static_cast<std::uint64_t>(value);
     if (v < kSubBuckets) return static_cast<int>(v);
-    const int exponent = std::bit_width(v) - 1;  // 2^e <= v < 2^(e+1)
+    const int exponent =
+        static_cast<int>(std::bit_width(v)) - 1;  // 2^e <= v < 2^(e+1)
     const int octave = exponent - kSubBucketBits + 1;
     const auto sub = static_cast<int>(v >> (exponent - kSubBucketBits)) -
                      kSubBuckets;

@@ -73,10 +73,10 @@ double hurst_aggregated_variance(std::span<const double> xs) {
   }
   if (log_m.size() < 3) return 0.5;
   // Least-squares slope.
-  const double mx =
-      std::accumulate(log_m.begin(), log_m.end(), 0.0) / log_m.size();
-  const double my =
-      std::accumulate(log_var.begin(), log_var.end(), 0.0) / log_var.size();
+  const double mx = std::accumulate(log_m.begin(), log_m.end(), 0.0) /
+                    static_cast<double>(log_m.size());
+  const double my = std::accumulate(log_var.begin(), log_var.end(), 0.0) /
+                    static_cast<double>(log_var.size());
   double num = 0.0;
   double den = 0.0;
   for (std::size_t i = 0; i < log_m.size(); ++i) {

@@ -231,7 +231,8 @@ Trace SyntheticGenerator::generate_trace(double scale) {
   if (scale > 0.0 && scale < 1.0) {
     // Thin by generating fewer, equally distributed bursts.
     scaled.target_requests = std::max<std::int64_t>(
-        1000, static_cast<std::int64_t>(scaled.target_requests * scale));
+        1000, static_cast<std::int64_t>(
+                  static_cast<double>(scaled.target_requests) * scale));
   }
   SyntheticGenerator gen(scaled);
   Trace out;

@@ -1,0 +1,24 @@
+// Lint fixture: ZERO diagnostics -- every violation below is suppressed
+// by an explicit marker, covering all three forms: file-scope allow-file,
+// a trailing same-line allow, and a preceding-line allow.
+//
+// pscrub-lint: allow-file(wall-clock)
+#include <chrono>
+#include <random>
+#include <unordered_set>
+
+namespace fixture {
+
+long now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+double draw() {
+  std::mt19937 gen;  // pscrub-lint: allow(unseeded-rng) -- fixture marker
+  return static_cast<double>(gen());
+}
+
+// pscrub-lint: allow(unordered-container) -- membership-only, never iterated
+std::unordered_set<int> seen;
+
+}  // namespace fixture

@@ -1,0 +1,59 @@
+// Lint fixture: ZERO diagnostics. Exercises the near-miss patterns every
+// rule must not trip over:
+//   - a member function *named* time(), declared and called
+//   - a seeded RNG engine, as a local and as a member seeded in the
+//     constructor initializer list
+//   - std::map iteration (ordered: fine)
+//   - catch (...) that rethrows, and one that captures
+//   - banned identifiers appearing in comments and string literals only:
+//     std::chrono::steady_clock, rand(), std::unordered_map
+#include <exception>
+#include <map>
+#include <random>
+#include <string>
+
+namespace fixture {
+
+struct Clock {
+  long time() const { return ticks; }
+  long ticks = 0;
+};
+
+long sample(const Clock& clock_source) { return clock_source.time(); }
+
+struct Stream {
+  explicit Stream(unsigned long seed) : engine_(seed) {}
+  std::mt19937_64 engine_;
+};
+
+double draw(unsigned long seed) {
+  std::mt19937_64 gen(seed);
+  return static_cast<double>(gen()) * 0.0;
+}
+
+int count(const std::map<int, int>& histogram) {
+  int total = 0;
+  for (const auto& [key, value] : histogram) total += value + key * 0;
+  return total;
+}
+
+void guard(void (*callback)()) {
+  try {
+    callback();
+  } catch (...) {
+    throw;
+  }
+}
+
+std::exception_ptr capture(void (*callback)()) {
+  try {
+    callback();
+  } catch (...) {
+    return std::current_exception();
+  }
+  return nullptr;
+}
+
+std::string banner() { return "std::chrono::steady_clock rand() unordered_map"; }
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Lint fixture: exactly ONE exception-swallow diagnostic (a catch (...)
+// that neither rethrows, captures, nor terminates).
+namespace fixture {
+
+void fire(void (*callback)()) {
+  try {
+    callback();
+  } catch (...) {
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Lint fixture: exactly ONE float-accum diagnostic (atomic double
+// accumulation -- fetch_add order is scheduling-dependent and float
+// addition does not commute).
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<double> total{0.0};
+
+void add_sample(double v) { total.fetch_add(v); }
+
+}  // namespace fixture

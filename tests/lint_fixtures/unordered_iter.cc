@@ -1,0 +1,14 @@
+// Lint fixture: exactly ONE unordered-container diagnostic. The #include
+// is blanked by the scanner (inclusion is not the hazard; use is), so only
+// the parameter declaration fires.
+#include <unordered_map>
+
+namespace fixture {
+
+int sum_counts(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) total += value + key * 0;
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Lint fixture: exactly ONE unseeded-rng diagnostic (a default-constructed
+// engine, which silently runs every instance off the same implicit
+// default_seed instead of a task_seed()-derived stream).
+#include <random>
+
+namespace fixture {
+
+double draw() {
+  std::mt19937 gen;
+  return static_cast<double>(gen());
+}
+
+}  // namespace fixture

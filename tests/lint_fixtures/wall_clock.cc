@@ -1,0 +1,12 @@
+// Lint fixture: exactly ONE wall-clock diagnostic (a std::chrono clock
+// read). These files are linted, never compiled, and the directory is
+// excluded from tree-wide walks -- they violate on purpose.
+#include <chrono>
+
+namespace fixture {
+
+long now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

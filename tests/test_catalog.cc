@@ -27,9 +27,15 @@ TEST(Catalog, TableOneHasTenDisks) {
 TEST(Catalog, TableOneRequestCountsMatchPaper) {
   const auto specs = table1_specs();
   for (const auto& s : specs) {
-    if (s.name == "MSRsrc11") EXPECT_EQ(s.target_requests, 45'746'222);
-    if (s.name == "HPc6t8d0") EXPECT_EQ(s.target_requests, 9'529'855);
-    if (s.name == "TPCdisk66") EXPECT_EQ(s.target_requests, 513'038);
+    if (s.name == "MSRsrc11") {
+      EXPECT_EQ(s.target_requests, 45'746'222);
+    }
+    if (s.name == "HPc6t8d0") {
+      EXPECT_EQ(s.target_requests, 9'529'855);
+    }
+    if (s.name == "TPCdisk66") {
+      EXPECT_EQ(s.target_requests, 513'038);
+    }
   }
 }
 
@@ -76,7 +82,9 @@ TEST(Catalog, Busiest63FirstFiveAperiodic) {
   }
   // Table I disks embedded in the set keep their daily period.
   for (const auto& s : specs) {
-    if (s.name == "MSRsrc11") EXPECT_EQ(s.period, kDay);
+    if (s.name == "MSRsrc11") {
+      EXPECT_EQ(s.period, kDay);
+    }
   }
 }
 

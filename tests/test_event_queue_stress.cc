@@ -226,7 +226,9 @@ TEST(EventQueueStress, PersistentArmRearmRemoveAgreesWithReference) {
     if (dice < 0.5) {
       // Arm (or re-arm, superseding the pending occurrence).
       const SimTime at = clock + rng.uniform_int(0, 40);
-      if (ev[i].armed) EXPECT_TRUE(ref.cancel(i));
+      if (ev[i].armed) {
+        EXPECT_TRUE(ref.cancel(i));
+      }
       ASSERT_TRUE(q.arm(ev[i].id, at));
       ref.schedule(at, i);
       ev[i].armed = true;

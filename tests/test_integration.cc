@@ -188,8 +188,10 @@ TEST(Integration, TraceReplayWithCfqIdleScrubber) {
   // within a few percent of the baseline. Not one-sided -- the scrub walk
   // moves the head between foreground bursts, which can shorten the odd
   // seek, so the scrubbed run may land slightly below the baseline.
-  EXPECT_GT(scrubbed.latency_sum(), base.latency_sum() * 0.9);
-  EXPECT_LT(scrubbed.latency_sum(), base.latency_sum() * 1.1);
+  EXPECT_GT(static_cast<double>(scrubbed.latency_sum()),
+            static_cast<double>(base.latency_sum()) * 0.9);
+  EXPECT_LT(static_cast<double>(scrubbed.latency_sum()),
+            static_cast<double>(base.latency_sum()) * 1.1);
 }
 
 TEST(Integration, AtaVsScsiScrubPrimitives) {

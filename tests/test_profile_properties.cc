@@ -89,8 +89,8 @@ INSTANTIATE_TEST_SUITE_P(
     Catalog, AllProfiles,
     ::testing::Values(hitachi_ultrastar_15k450(), fujitsu_max3073rc(),
                       fujitsu_map3367np(), wd_caviar(), hitachi_deskstar()),
-    [](const ::testing::TestParamInfo<DiskProfile>& info) {
-      std::string name = info.param.name;
+    [](const ::testing::TestParamInfo<DiskProfile>& param_info) {
+      std::string name = param_info.param.name;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

@@ -70,7 +70,8 @@ TEST(Synthetic, ReadFractionRespected) {
     reads += r.is_write ? 0 : 1;
     ++total;
   });
-  EXPECT_NEAR(static_cast<double>(reads) / total, 0.8, 0.02);
+  EXPECT_NEAR(static_cast<double>(reads) / static_cast<double>(total), 0.8,
+              0.02);
 }
 
 TEST(Synthetic, PeriodicSpikeDetectableByAnova) {

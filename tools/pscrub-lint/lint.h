@@ -1,0 +1,91 @@
+// pscrub-lint: the project's determinism & concurrency static-analysis
+// pass (see DESIGN.md section 11).
+//
+// The simulator's value rests on invariants the compiler never checks:
+// output is bit-identical at any PSCRUB_SWEEP_WORKERS count, and sim-time
+// never leaks wall-clock or unseeded randomness. pscrub-lint enforces the
+// textual shape of that contract over src/ bench/ examples/ tests/ with a
+// token-level scan (comments, strings and #include lines are blanked
+// first, so rules see only code):
+//
+//   wall-clock          no std::chrono clocks / time() / clock_gettime()
+//                       outside an allowlisted timing shim
+//   unseeded-rng        no rand()/std::random_device; every RNG engine is
+//                       constructed with an explicit seed expression
+//                       (task_seed()-derived in sweep tasks)
+//   unordered-container no std::unordered_{map,set,...}: iteration order
+//                       depends on hash-table layout and libstdc++
+//                       version, which silently breaks bit-identity when
+//                       such a container feeds output or registry merges
+//   float-accum         no std::atomic<float/double> accumulation and no
+//                       unordered parallel reductions (std::execution::*,
+//                       std::reduce): float addition does not commute
+//   exception-swallow   catch (...) must rethrow, capture
+//                       (std::current_exception) or terminate -- a
+//                       swallowed exception in an event callback lets the
+//                       simulation diverge silently instead of failing
+//                       deterministically (DESIGN.md sections 7 & 10)
+//
+// Suppression is explicit and line-scoped: a comment
+//   // pscrub-lint: allow(rule-id[, rule-id...])
+// covers its own line and the next line; a file-level
+//   // pscrub-lint: allow-file(rule-id[, rule-id...])
+// allowlists a whole file (the timing-shim mechanism). Every marker is
+// grep-able, so the set of exemptions stays auditable.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pscrub::lint {
+
+struct Token {
+  std::string text;
+  int line = 0;  // 1-based
+  int col = 0;   // 1-based
+  bool is_ident = false;
+};
+
+/// A source file after preprocessing: comments, string/char literals and
+/// #include directives blanked out of `code`, suppression markers parsed
+/// out of the comments, and the remaining code tokenized.
+struct SourceFile {
+  std::string path;
+  std::string code;  // same byte offsets as the raw file
+  std::vector<Token> tokens;
+  std::set<std::string> file_allows;
+  std::map<std::string, std::set<int>> line_allows;  // rule -> covered lines
+
+  /// Reads and preprocesses `file_path`. Returns false (with *error set)
+  /// if the file cannot be read.
+  bool load(const std::string& file_path, std::string* error);
+
+  bool allowed(const std::string& rule, int line) const;
+};
+
+struct Diagnostic {
+  std::string path;
+  int line = 0;
+  int col = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Rule {
+  const char* id;
+  const char* summary;
+  void (*check)(const SourceFile&, std::vector<Diagnostic>&);
+};
+
+/// All registered rules, in stable (documentation) order.
+const std::vector<Rule>& all_rules();
+
+/// Runs every rule in `enabled` over `file`, appending diagnostics that
+/// are not suppressed by an allow marker. Diagnostics come out ordered by
+/// (line, col, rule) so output is deterministic.
+void run_rules(const SourceFile& file, const std::set<std::string>& enabled,
+               std::vector<Diagnostic>* out);
+
+}  // namespace pscrub::lint

@@ -1,0 +1,145 @@
+// pscrub-lint driver: argument parsing, deterministic file walking, and
+// diagnostic reporting.
+//
+//   pscrub-lint [options] <file-or-dir>...
+//     --rules=a,b       run only the named rules (default: all)
+//     --list-rules      print rule ids + summaries and exit
+//     --exclude=SUBSTR  skip walked files whose path contains SUBSTR
+//                       (repeatable; "lint_fixtures" is always excluded
+//                       from directory walks -- those files violate on
+//                       purpose. Explicitly named files are never skipped.)
+//
+// Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+using pscrub::lint::Diagnostic;
+using pscrub::lint::SourceFile;
+
+namespace {
+
+bool lintable_extension(const fs::path& p) {
+  static const std::set<std::string> kExts = {".h", ".hpp", ".hh", ".cc",
+                                              ".cpp", ".cxx"};
+  return kExts.count(p.extension().string()) != 0;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--rules=a,b] [--list-rules] [--exclude=SUBSTR]... "
+               "<file-or-dir>...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::set<std::string> enabled;
+  for (const auto& rule : pscrub::lint::all_rules()) enabled.insert(rule.id);
+
+  std::vector<std::string> excludes = {"lint_fixtures"};
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& rule : pscrub::lint::all_rules()) {
+        std::printf("%-20s %s\n", rule.id, rule.summary);
+      }
+      return 0;
+    }
+    if (arg.rfind("--rules=", 0) == 0) {
+      enabled.clear();
+      std::string id;
+      for (char c : arg.substr(8)) {
+        if (c == ',') {
+          if (!id.empty()) enabled.insert(id);
+          id.clear();
+        } else {
+          id.push_back(c);
+        }
+      }
+      if (!id.empty()) enabled.insert(id);
+      for (const std::string& want : enabled) {
+        const auto& rules = pscrub::lint::all_rules();
+        const bool known =
+            std::any_of(rules.begin(), rules.end(),
+                        [&](const auto& r) { return want == r.id; });
+        if (!known) {
+          std::fprintf(stderr, "pscrub-lint: unknown rule '%s'\n",
+                       want.c_str());
+          return 2;
+        }
+      }
+      continue;
+    }
+    if (arg.rfind("--exclude=", 0) == 0) {
+      excludes.push_back(arg.substr(10));
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
+    roots.push_back(arg);
+  }
+  if (roots.empty()) return usage(argv[0]);
+
+  // Collect the file set up front and sort it so diagnostics come out in a
+  // stable order regardless of directory-iteration order.
+  std::set<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file() || !lintable_extension(it->path())) {
+          continue;
+        }
+        const std::string p = it->path().generic_string();
+        const bool skip = std::any_of(
+            excludes.begin(), excludes.end(),
+            [&](const std::string& e) { return p.find(e) != std::string::npos; });
+        if (!skip) files.insert(p);
+      }
+      if (ec) {
+        std::fprintf(stderr, "pscrub-lint: error walking %s: %s\n",
+                     root.c_str(), ec.message().c_str());
+        return 2;
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.insert(fs::path(root).generic_string());
+    } else {
+      std::fprintf(stderr, "pscrub-lint: no such file or directory: %s\n",
+                   root.c_str());
+      return 2;
+    }
+  }
+
+  std::size_t diag_count = 0;
+  for (const std::string& path : files) {
+    SourceFile file;
+    std::string error;
+    if (!file.load(path, &error)) {
+      std::fprintf(stderr, "pscrub-lint: %s\n", error.c_str());
+      return 2;
+    }
+    std::vector<Diagnostic> diags;
+    pscrub::lint::run_rules(file, enabled, &diags);
+    for (const Diagnostic& d : diags) {
+      std::printf("%s:%d:%d: [%s] %s\n", d.path.c_str(), d.line, d.col,
+                  d.rule.c_str(), d.message.c_str());
+    }
+    diag_count += diags.size();
+  }
+
+  std::fprintf(stderr, "pscrub-lint: %zu diagnostic%s in %zu file%s\n",
+               diag_count, diag_count == 1 ? "" : "s", files.size(),
+               files.size() == 1 ? "" : "s");
+  return diag_count == 0 ? 0 : 1;
+}

@@ -1,0 +1,305 @@
+// Rule implementations. Each rule is a pure function over a SourceFile's
+// token stream; see lint.h for what each one guards and why.
+#include "lint.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace pscrub::lint {
+namespace {
+
+const std::set<std::string>& keywords() {
+  static const std::set<std::string> kKeywords = {
+      "return", "co_return", "co_yield", "co_await", "case",  "throw",
+      "if",     "while",     "for",      "do",       "else",  "switch",
+      "goto",   "new",       "delete",   "sizeof",   "not",   "and",
+      "or",     "xor",       "typedef",  "using",    "const", "constexpr",
+  };
+  return kKeywords;
+}
+
+/// True when token i looks like a *call* of a free function: `name(`,
+/// optionally qualified as `std::name(`. Member calls (`x.name(`,
+/// `p->name(`, `Foo::name(`) and declarations (`SimTime name(`) do not
+/// count.
+bool is_free_call(const std::vector<Token>& t, std::size_t i) {
+  if (i + 1 >= t.size() || t[i + 1].text != "(") return false;
+  if (i == 0) return true;
+  const Token& prev = t[i - 1];
+  if (prev.text == "." || prev.text == "->") return false;
+  if (prev.text == "::") {
+    // Only the std-qualified form is the banned libc/std function.
+    return i >= 2 && t[i - 2].text == "std";
+  }
+  if (prev.is_ident && keywords().count(prev.text) == 0) {
+    return false;  // `SimTime time(...)`: a declaration, not a call
+  }
+  return true;
+}
+
+void emit(const SourceFile& f, const Token& t, const char* rule,
+          std::string message, std::vector<Diagnostic>* out) {
+  out->push_back(Diagnostic{f.path, t.line, t.col, rule, std::move(message)});
+}
+
+// ---- wall-clock -----------------------------------------------------------
+
+void check_wall_clock(const SourceFile& f, std::vector<Diagnostic>& out) {
+  static const std::set<std::string> kClocks = {
+      "steady_clock", "system_clock", "high_resolution_clock",
+      "file_clock",   "utc_clock",    "tai_clock",
+      "gps_clock",
+  };
+  static const std::set<std::string> kTimeFns = {
+      "time",      "clock",  "gettimeofday", "clock_gettime", "localtime",
+      "gmtime",    "mktime", "ftime",        "timespec_get",  "strftime",
+      "nanosleep", "usleep", "sleep",
+  };
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].is_ident) continue;
+    if (kClocks.count(t[i].text) != 0) {
+      emit(f, t[i], "wall-clock",
+           "std::chrono::" + t[i].text +
+               " reads the wall clock; simulations must run on SimTime "
+               "only (use the sim clock, or move this into an allowlisted "
+               "timing shim)",
+           &out);
+    } else if (kTimeFns.count(t[i].text) != 0 && is_free_call(t, i)) {
+      emit(f, t[i], "wall-clock",
+           t[i].text +
+               "() reads the wall clock (or blocks on it); simulations "
+               "must be a pure function of their seed and SimTime",
+           &out);
+    }
+  }
+}
+
+// ---- unseeded-rng ---------------------------------------------------------
+
+/// True if identifier `name` is called or brace/paren-initialized with at
+/// least one argument anywhere else in the file -- the constructor-
+/// initializer-list escape hatch for member engine declarations.
+bool seeded_elsewhere(const std::vector<Token>& t, const std::string& name,
+                      std::size_t decl_index) {
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (i == decl_index) continue;
+    if (!t[i].is_ident || t[i].text != name) continue;
+    const std::string& open = t[i + 1].text;
+    if ((open == "(" && t[i + 2].text != ")") ||
+        (open == "{" && t[i + 2].text != "}")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void check_unseeded_rng(const SourceFile& f, std::vector<Diagnostic>& out) {
+  static const std::set<std::string> kEngines = {
+      "mt19937",      "mt19937_64", "default_random_engine",
+      "minstd_rand",  "minstd_rand0",
+      "ranlux24",     "ranlux48",   "ranlux24_base",
+      "ranlux48_base", "knuth_b",
+  };
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].is_ident) continue;
+    const std::string& s = t[i].text;
+    if (s == "random_device") {
+      emit(f, t[i], "unseeded-rng",
+           "std::random_device is nondeterministic; derive seeds from the "
+           "scenario seed (exp::task_seed) instead",
+           &out);
+      continue;
+    }
+    if ((s == "rand" || s == "srand" || s == "random_shuffle") &&
+        is_free_call(t, i)) {
+      emit(f, t[i], "unseeded-rng",
+           s + "() uses hidden global state; use pscrub::Rng seeded from "
+               "exp::task_seed",
+           &out);
+      continue;
+    }
+    if (kEngines.count(s) == 0) continue;
+    // Engine type name: require an explicit seed at the construction site.
+    //   std::mt19937 g;          -> flagged (default_seed: shared, implicit)
+    //   std::mt19937 g{} / g()   -> flagged
+    //   std::mt19937{} / ()      -> flagged (temporary)
+    //   std::mt19937 g(seed)     -> ok
+    //   std::mt19937_64 engine_; -> ok iff engine_(...) appears elsewhere
+    //                               (constructor initializer list)
+    std::size_t j = i + 1;
+    std::size_t name_index = t.size();
+    if (j < t.size() && t[j].is_ident) {
+      name_index = j;
+      ++j;
+    }
+    if (j >= t.size()) continue;
+    const bool empty_paren =
+        t[j].text == "(" && j + 1 < t.size() && t[j + 1].text == ")";
+    const bool empty_brace =
+        t[j].text == "{" && j + 1 < t.size() && t[j + 1].text == "}";
+    const bool bare_member = name_index < t.size() && t[j].text == ";";
+    if (!(empty_paren || empty_brace || bare_member)) continue;
+    if (bare_member &&
+        seeded_elsewhere(t, t[name_index].text, name_index)) {
+      continue;
+    }
+    emit(f, t[i], "unseeded-rng",
+         "std::" + s +
+             " constructed without an explicit seed; every engine must be "
+             "seeded from the scenario seed (exp::task_seed) so runs are "
+             "reproducible",
+         &out);
+  }
+}
+
+// ---- unordered-container --------------------------------------------------
+
+void check_unordered(const SourceFile& f, std::vector<Diagnostic>& out) {
+  static const std::set<std::string> kUnordered = {
+      "unordered_map",      "unordered_set",     "unordered_multimap",
+      "unordered_multiset", "unordered_flat_map", "unordered_flat_set",
+      "unordered_node_map", "unordered_node_set",
+  };
+  for (const Token& tok : f.tokens) {
+    if (!tok.is_ident || kUnordered.count(tok.text) == 0) continue;
+    emit(f, tok, "unordered-container",
+         "std::" + tok.text +
+             " iterates in hash-table-layout order, which varies across "
+             "libstdc++ versions and silently breaks bit-identity when it "
+             "feeds output or registry merges; use std::map/std::set (or "
+             "justify with an allow marker)",
+         &out);
+  }
+}
+
+// ---- float-accum ----------------------------------------------------------
+
+void check_float_accum(const SourceFile& f, std::vector<Diagnostic>& out) {
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].is_ident) continue;
+    const std::string& s = t[i].text;
+    // std::atomic<float/double>: concurrent fetch_add order is
+    // scheduling-dependent and float addition does not commute.
+    if (s == "atomic" && i + 2 < t.size() && t[i + 1].text == "<") {
+      const std::string& a = t[i + 2].text;
+      const bool long_double = a == "long" && i + 3 < t.size() &&
+                               t[i + 3].text == "double";
+      if (a == "float" || a == "double" || long_double) {
+        emit(f, t[i], "float-accum",
+             "std::atomic<floating-point> accumulates in scheduling order; "
+             "accumulate per task and reduce in task-index order instead "
+             "(exp::sweep's merge contract)",
+             &out);
+      }
+      continue;
+    }
+    // std::execution::par / par_unseq / unseq, and std::reduce /
+    // std::transform_reduce (unordered even without a policy).
+    if ((s == "par" || s == "par_unseq" || s == "unseq") && i >= 2 &&
+        t[i - 1].text == "::" && t[i - 2].text == "execution") {
+      emit(f, t[i], "float-accum",
+           "std::execution::" + s +
+               " reductions are unordered; results depend on the thread "
+               "schedule -- fan out with exp::sweep and merge in task "
+               "order",
+           &out);
+      continue;
+    }
+    if ((s == "reduce" || s == "transform_reduce") && i >= 2 &&
+        t[i - 1].text == "::" && t[i - 2].text == "std") {
+      emit(f, t[i], "float-accum",
+           "std::" + s +
+               " may reassociate floating-point sums (unspecified order "
+               "even without an execution policy); use std::accumulate or "
+               "an explicit index-ordered loop",
+           &out);
+    }
+  }
+}
+
+// ---- exception-swallow ----------------------------------------------------
+
+void check_exception_swallow(const SourceFile& f,
+                             std::vector<Diagnostic>& out) {
+  static const std::set<std::string> kHandles = {
+      "throw",     "rethrow_exception", "current_exception", "terminate",
+      "abort",     "exit",              "quick_exit",        "_Exit",
+      "FAIL",      "ADD_FAILURE",       "GTEST_FAIL",
+  };
+  const auto& t = f.tokens;
+  for (std::size_t i = 0; i + 4 < t.size(); ++i) {
+    if (!(t[i].text == "catch" && t[i + 1].text == "(" &&
+          t[i + 2].text == "..." && t[i + 3].text == ")" &&
+          t[i + 4].text == "{")) {
+      continue;
+    }
+    // Scan the brace-balanced handler body for any acceptable disposition.
+    int depth = 1;
+    bool handled = false;
+    std::size_t j = i + 5;
+    for (; j < t.size() && depth > 0; ++j) {
+      if (t[j].text == "{") ++depth;
+      else if (t[j].text == "}") --depth;
+      else if (t[j].is_ident && kHandles.count(t[j].text) != 0) handled = true;
+    }
+    if (!handled) {
+      emit(f, t[i], "exception-swallow",
+           "catch (...) swallows the exception; an event callback that "
+           "fails must rethrow, capture (std::current_exception) or "
+           "terminate so the sweep's deterministic lowest-index rethrow "
+           "contract holds (DESIGN.md sections 7 & 10)",
+           &out);
+    }
+    i = j;
+  }
+}
+
+}  // namespace
+
+const std::vector<Rule>& all_rules() {
+  static const std::vector<Rule> kRules = {
+      {"wall-clock",
+       "bans wall-clock reads (std::chrono clocks, time(), sleeps) outside "
+       "an allowlisted timing shim",
+       check_wall_clock},
+      {"unseeded-rng",
+       "bans rand()/std::random_device and RNG engines constructed without "
+       "an explicit seed",
+       check_unseeded_rng},
+      {"unordered-container",
+       "bans std::unordered_* containers whose iteration order depends on "
+       "hash-table layout",
+       check_unordered},
+      {"float-accum",
+       "bans scheduling-ordered float accumulation (atomic floats, "
+       "std::execution policies, std::reduce)",
+       check_float_accum},
+      {"exception-swallow",
+       "requires catch (...) to rethrow, capture or terminate",
+       check_exception_swallow},
+  };
+  return kRules;
+}
+
+void run_rules(const SourceFile& file, const std::set<std::string>& enabled,
+               std::vector<Diagnostic>* out) {
+  std::vector<Diagnostic> raw;
+  for (const Rule& rule : all_rules()) {
+    if (enabled.count(rule.id) == 0) continue;
+    rule.check(file, raw);
+  }
+  std::stable_sort(raw.begin(), raw.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.col != b.col) return a.col < b.col;
+                     return a.rule < b.rule;
+                   });
+  for (Diagnostic& d : raw) {
+    if (!file.allowed(d.rule, d.line)) out->push_back(std::move(d));
+  }
+}
+
+}  // namespace pscrub::lint

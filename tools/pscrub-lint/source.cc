@@ -1,0 +1,294 @@
+// SourceFile loading: comment/string stripping, suppression-marker
+// parsing, #include blanking, and tokenization.
+//
+// The stripper is a single-pass state machine that preserves byte offsets
+// (every stripped character becomes a space; newlines survive), so token
+// line/column numbers match the original file. Raw strings, line
+// continuations inside // comments, and escapes inside literals are
+// handled; trigraphs and digraphs are not (the tree does not use them).
+#include "lint.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace pscrub::lint {
+namespace {
+
+struct Comment {
+  std::string text;
+  int line;  // line the comment starts on
+};
+
+/// Blanks comments and string/char literals out of `raw`, collecting the
+/// comment bodies for marker parsing.
+std::string strip(const std::string& raw, std::vector<Comment>* comments) {
+  std::string out = raw;
+  std::size_t i = 0;
+  const std::size_t n = raw.size();
+  int line = 1;
+
+  auto blank = [&](std::size_t at) {
+    if (out[at] != '\n') out[at] = ' ';
+  };
+
+  while (i < n) {
+    const char c = raw[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    // Line comment (handles backslash-continued lines).
+    if (c == '/' && i + 1 < n && raw[i + 1] == '/') {
+      Comment cm{"", line};
+      while (i < n) {
+        if (raw[i] == '\n') {
+          // A backslash immediately before the newline continues the
+          // comment onto the next line.
+          if (!cm.text.empty() && cm.text.back() == '\\') {
+            ++line;
+            ++i;
+            continue;
+          }
+          break;
+        }
+        cm.text.push_back(raw[i]);
+        blank(i);
+        ++i;
+      }
+      comments->push_back(std::move(cm));
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && raw[i + 1] == '*') {
+      Comment cm{"", line};
+      blank(i);
+      blank(i + 1);
+      i += 2;
+      while (i < n && !(raw[i] == '*' && i + 1 < n && raw[i + 1] == '/')) {
+        if (raw[i] == '\n') ++line;
+        cm.text.push_back(raw[i]);
+        blank(i);
+        ++i;
+      }
+      if (i < n) {
+        blank(i);
+        blank(i + 1);
+        i += 2;
+      }
+      comments->push_back(std::move(cm));
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && raw[i + 1] == '"' &&
+        (i == 0 || (!std::isalnum(static_cast<unsigned char>(raw[i - 1])) &&
+                    raw[i - 1] != '_'))) {
+      std::size_t d = i + 2;
+      std::string delim;
+      while (d < n && raw[d] != '(' && raw[d] != '\n') delim.push_back(raw[d++]);
+      if (d < n && raw[d] == '(') {
+        const std::string close = ")" + delim + "\"";
+        std::size_t end = raw.find(close, d + 1);
+        if (end == std::string::npos) end = n;  // unterminated: blank the rest
+        else end += close.size();
+        for (std::size_t k = i; k < end; ++k) {
+          if (raw[k] == '\n') ++line;
+          blank(k);
+        }
+        i = end;
+        continue;
+      }
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      blank(i);
+      ++i;
+      while (i < n && raw[i] != quote) {
+        if (raw[i] == '\n') break;  // unterminated on this line: bail out
+        if (raw[i] == '\\' && i + 1 < n) {
+          blank(i);
+          ++i;
+        }
+        blank(i);
+        ++i;
+      }
+      if (i < n && raw[i] == quote) {
+        blank(i);
+        ++i;
+      }
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+/// Parses "pscrub-lint: allow(...)" / "allow-file(...)" markers out of a
+/// comment body. Rule ids are [a-z0-9-]+, comma- or space-separated.
+void parse_markers(const Comment& cm, SourceFile* file) {
+  const std::string key = "pscrub-lint:";
+  std::size_t pos = 0;
+  while ((pos = cm.text.find(key, pos)) != std::string::npos) {
+    std::size_t p = pos + key.size();
+    while (p < cm.text.size() &&
+           std::isspace(static_cast<unsigned char>(cm.text[p]))) {
+      ++p;
+    }
+    bool file_scope = false;
+    if (cm.text.compare(p, 10, "allow-file") == 0) {
+      file_scope = true;
+      p += 10;
+    } else if (cm.text.compare(p, 5, "allow") == 0) {
+      p += 5;
+    } else {
+      pos = p;
+      continue;
+    }
+    if (p >= cm.text.size() || cm.text[p] != '(') {
+      pos = p;
+      continue;
+    }
+    ++p;
+    std::string id;
+    auto commit = [&] {
+      if (id.empty()) return;
+      if (file_scope) {
+        file->file_allows.insert(id);
+      } else {
+        // A marker covers its own line and the following one, so both
+        // trailing and preceding-line comments work.
+        file->line_allows[id].insert(cm.line);
+        file->line_allows[id].insert(cm.line + 1);
+      }
+      id.clear();
+    };
+    while (p < cm.text.size() && cm.text[p] != ')') {
+      const char ch = cm.text[p];
+      if (std::isalnum(static_cast<unsigned char>(ch)) || ch == '-' ||
+          ch == '_') {
+        id.push_back(ch);
+      } else {
+        commit();
+      }
+      ++p;
+    }
+    commit();
+    pos = p;
+  }
+}
+
+/// Blanks `#include` directive lines: the hazard the rules look for is
+/// *use* of a banned facility, not inclusion of its header.
+void blank_includes(std::string* code) {
+  std::size_t bol = 0;
+  while (bol < code->size()) {
+    std::size_t eol = code->find('\n', bol);
+    if (eol == std::string::npos) eol = code->size();
+    std::size_t p = bol;
+    while (p < eol && (code->at(p) == ' ' || code->at(p) == '\t')) ++p;
+    if (p < eol && code->at(p) == '#') {
+      ++p;
+      while (p < eol && (code->at(p) == ' ' || code->at(p) == '\t')) ++p;
+      if (code->compare(p, 7, "include") == 0) {
+        for (std::size_t k = bol; k < eol; ++k) (*code)[k] = ' ';
+      }
+    }
+    bol = eol + 1;
+  }
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<Token> tokenize(const std::string& code) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int col = 1;
+  std::size_t i = 0;
+  const std::size_t n = code.size();
+  while (i < n) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      col = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++col;
+      ++i;
+      continue;
+    }
+    Token t;
+    t.line = line;
+    t.col = col;
+    if (ident_start(c)) {
+      while (i < n && ident_char(code[i])) {
+        t.text.push_back(code[i]);
+        ++i;
+        ++col;
+      }
+      t.is_ident = true;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Numbers (incl. hex/float suffixes) -- precise parsing is not
+      // needed, rules never look inside them.
+      while (i < n && (ident_char(code[i]) || code[i] == '.')) {
+        t.text.push_back(code[i]);
+        ++i;
+        ++col;
+      }
+    } else {
+      // Multi-char punctuation the rules care about; everything else is a
+      // single character.
+      if (c == ':' && i + 1 < n && code[i + 1] == ':') {
+        t.text = "::";
+      } else if (c == '-' && i + 1 < n && code[i + 1] == '>') {
+        t.text = "->";
+      } else if (c == '.' && i + 2 < n && code[i + 1] == '.' &&
+                 code[i + 2] == '.') {
+        t.text = "...";
+      } else {
+        t.text.assign(1, c);
+      }
+      i += t.text.size();
+      col += static_cast<int>(t.text.size());
+    }
+    tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+bool SourceFile::load(const std::string& file_path, std::string* error) {
+  path = file_path;
+  std::ifstream in(file_path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + file_path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string raw = buf.str();
+
+  std::vector<Comment> comments;
+  code = strip(raw, &comments);
+  for (const Comment& cm : comments) parse_markers(cm, this);
+  blank_includes(&code);
+  tokens = tokenize(code);
+  return true;
+}
+
+bool SourceFile::allowed(const std::string& rule, int line) const {
+  if (file_allows.count(rule) != 0) return true;
+  auto it = line_allows.find(rule);
+  return it != line_allows.end() && it->second.count(line) != 0;
+}
+
+}  // namespace pscrub::lint
