@@ -40,6 +40,9 @@ int main(int argc, char** argv) {
   cfg.run_for = 60 * kSecond;
 
   exp::Scenario scenario(cfg);
+  if (obs::Timeline::global().enabled()) {
+    scenario.attach_timeline(obs::Timeline::global(), "quickstart");
+  }
   const disk::DiskModel& drive = scenario.disk();
   std::printf("disk: %s, %.1f GB, %d RPM, media rate %.0f MB/s\n",
               drive.profile().name.c_str(),

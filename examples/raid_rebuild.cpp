@@ -32,6 +32,9 @@ int main(int argc, char** argv) {
   }
 
   exp::Scenario scenario(cfg);
+  if (obs::Timeline::global().enabled()) {
+    scenario.attach_timeline(obs::Timeline::global(), "raid_rebuild");
+  }
   Simulator& sim = scenario.sim();
   raid::RaidArray& array = scenario.raid();
 

@@ -56,6 +56,27 @@ BlockLayer::BlockLayer(Simulator& sim, disk::DiskModel& disk,
   });
 }
 
+void BlockLayer::set_timeline(const obs::TimelineSink& sink) {
+  timeline_ = sink;
+  timeline_ready_ = false;
+}
+
+bool BlockLayer::timeline_live() {
+  if (!timeline_.enabled()) return false;
+  if (!timeline_ready_) {
+    obs::Timeline& tl = *timeline_.timeline;
+    using Kind = obs::Timeline::SeriesKind;
+    tl_depth_ = tl.series(timeline_.name(".queue_depth"), Kind::kGauge);
+    tl_retries_ = tl.series(timeline_.name(".retries"), Kind::kCounter);
+    tl_timeouts_ = tl.series(timeline_.name(".timeouts"), Kind::kCounter);
+    tl_collisions_ =
+        tl.series(timeline_.name(".collisions"), Kind::kCounter);
+    tl_latency_ = tl.series(timeline_.name(".fg_latency_ms"), Kind::kDigest);
+    timeline_ready_ = true;
+  }
+  return true;
+}
+
 SimTime BlockLayer::disk_idle_for() const {
   if (disk_busy()) return 0;
   return sim_.now() - last_completion_;
@@ -80,6 +101,9 @@ void BlockLayer::submit(BlockRequest request) {
   if (!request.background && in_flight_ > 0 && in_flight_background_) {
     ++stats_.collisions;
     stats_.collision_delay_sum += in_flight_eta_ - sim_.now();
+    if (timeline_live()) {
+      timeline_.timeline->add(tl_collisions_, sim_.now(), 1.0);
+    }
     obs::Tracer& tracer = obs::Tracer::global();
     if (tracer.enabled()) {
       tracer.instant(
@@ -90,6 +114,10 @@ void BlockLayer::submit(BlockRequest request) {
   if (on_request_ && !request.background) on_request_(request);
 
   scheduler_->add(std::move(request));
+  if (timeline_live()) {
+    timeline_.timeline->set_gauge(tl_depth_, sim_.now(),
+                                  static_cast<double>(queue_depth()));
+  }
   try_dispatch();
 }
 
@@ -113,6 +141,10 @@ void BlockLayer::try_dispatch() {
   if (retry_pending_) {
     sim_.cancel(retry_event_);
     retry_pending_ = false;
+  }
+  if (timeline_live()) {
+    timeline_.timeline->set_gauge(tl_depth_, sim_.now(),
+                                  static_cast<double>(queue_depth()));
   }
 
   ++in_flight_;
@@ -172,6 +204,9 @@ void BlockLayer::on_disk_complete(const disk::DiskResult& result) {
       should_retry(result.status, flight_.host_retries)) {
     ++flight_.host_retries;
     ++stats_.retries;
+    if (timeline_live()) {
+      timeline_.timeline->add(tl_retries_, sim_.now(), 1.0);
+    }
     SimTime delay = policy_.backoff_base;
     for (int i = 1; i < flight_.host_retries; ++i) {
       delay = static_cast<SimTime>(static_cast<double>(delay) *
@@ -212,6 +247,9 @@ void BlockLayer::on_timeout() {
   flight_.timeout_pending = false;
   if (flight_.done) return;
   ++stats_.timeouts;
+  if (timeline_live()) {
+    timeline_.timeline->add(tl_timeouts_, sim_.now(), 1.0);
+  }
   BlockResult res;
   res.latency = sim_.now() - flight_.request.submit_time;
   res.status = disk::IoStatus::kTimeout;
@@ -270,6 +308,10 @@ void BlockLayer::finish_request(BlockResult result) {
     ++stats_.foreground_completed;
     stats_.foreground_bytes += request.cmd.bytes();
     stats_.foreground_latency_sum += result.latency;
+    if (timeline_live()) {
+      timeline_.timeline->observe(tl_latency_, sim_.now(),
+                                  to_milliseconds(result.latency));
+    }
   }
   switch (result.status) {
     case disk::IoStatus::kOk:

@@ -77,6 +77,12 @@ class BlockLayer {
   void set_retry_policy(const RetryPolicy& policy) { policy_ = policy; }
   const RetryPolicy& retry_policy() const { return policy_; }
 
+  /// Attaches a timeline: the layer emits `<prefix>.queue_depth` (gauge),
+  /// `<prefix>.retries/.timeouts/.collisions` (counters), and
+  /// `<prefix>.fg_latency_ms` (per-window digest of foreground request
+  /// latency). Pass a default-constructed sink to detach.
+  void set_timeline(const obs::TimelineSink& sink);
+
   const IoScheduler& scheduler() const { return *scheduler_; }
   const BlockLayerStats& stats() const { return stats_; }
   disk::DiskModel& disk() { return disk_; }
@@ -132,6 +138,8 @@ class BlockLayer {
 
   void try_dispatch();
   void dispatch_to_disk();
+  /// Lazily resolves timeline series ids; true when the sink is live.
+  bool timeline_live();
   void on_disk_complete(const disk::DiskResult& result);
   void on_timeout();
   /// Delivers the completion to the caller exactly once and records stats.
@@ -145,6 +153,13 @@ class BlockLayer {
   std::unique_ptr<IoScheduler> scheduler_;
   BlockLayerStats stats_;
   RetryPolicy policy_;
+  obs::TimelineSink timeline_;
+  bool timeline_ready_ = false;
+  obs::Timeline::SeriesId tl_depth_ = 0;
+  obs::Timeline::SeriesId tl_retries_ = 0;
+  obs::Timeline::SeriesId tl_timeouts_ = 0;
+  obs::Timeline::SeriesId tl_collisions_ = 0;
+  obs::Timeline::SeriesId tl_latency_ = 0;
   std::uint64_t next_id_ = 1;
   SimTime last_completion_ = 0;
   SimTime last_foreground_activity_ = 0;

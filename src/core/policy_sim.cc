@@ -56,6 +56,45 @@ PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
   obs::Tracer& tracer = obs::Tracer::global();
   const bool traced = tracer.enabled();
 
+  // Timeline series resolved once up front; `tl` doubles as the hoisted
+  // enabled flag. Scrub activity is emitted at burst granularity (one
+  // add_span per idle interval, not per verify), so the timeline adds
+  // nothing measurable to the per-record cost.
+  obs::Timeline* tl =
+      config.timeline.enabled() ? config.timeline.timeline : nullptr;
+  obs::Timeline::SeriesId tl_fg = 0;
+  obs::Timeline::SeriesId tl_coll = 0;
+  obs::Timeline::SeriesId tl_mb = 0;
+  obs::Timeline::SeriesId tl_busy = 0;
+  obs::Timeline::SeriesId tl_prog = 0;
+  obs::Timeline::SeriesId tl_slow = 0;
+  if (tl != nullptr) {
+    using Kind = obs::Timeline::SeriesKind;
+    tl_fg = tl->series(config.timeline.name(".fg.requests"), Kind::kCounter);
+    tl_coll = tl->series(config.timeline.name(".collisions"), Kind::kCounter);
+    tl_mb = tl->series(config.timeline.name(".scrub.mb"), Kind::kCounter);
+    tl_busy = tl->series(config.timeline.name(".scrub.busy_s"),
+                         Kind::kCounter);
+    tl_prog = tl->series(config.timeline.name(".scrub.progress.mb"),
+                         Kind::kGauge);
+    tl_slow = tl->series(config.timeline.name(".slowdown_ms"), Kind::kDigest);
+  }
+  // Spreads one scrub burst's deltas over [t0, t1) and refreshes the
+  // cumulative-progress gauge.
+  const auto emit_burst = [&](SimTime t0, SimTime t1, std::int64_t bytes0,
+                              SimTime utilized0) {
+    const std::int64_t bytes_delta = out.scrubbed_bytes - bytes0;
+    const SimTime utilized_delta = out.idle_utilized - utilized0;
+    if (utilized_delta > 0) {
+      tl->add_span(tl_busy, t0, t1, to_seconds(utilized_delta));
+    }
+    if (bytes_delta > 0) {
+      tl->add_span(tl_mb, t0, t1, static_cast<double>(bytes_delta) / 1e6);
+      tl->set_gauge(tl_prog, t1,
+                    static_cast<double>(out.scrubbed_bytes) / 1e6);
+    }
+  };
+
   for (std::size_t rec_index = 0; rec_index < trace.records.size();
        ++rec_index) {
     const trace::TraceRecord& rec = trace.records[rec_index];
@@ -71,6 +110,7 @@ PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
 
     // Idle interval before this arrival (with-scrub timeline).
     bool collided_here = false;
+    const std::int64_t collisions_before = out.collisions;
     if (arr > busy) {
       const SimTime idle = arr - busy;
       out.total_idle += idle;
@@ -90,6 +130,8 @@ PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
           // Hypothetical accounting: the interval counts as fully used and
           // ends in one collision, but the foreground timeline is not
           // perturbed (these policies exist to bound real ones).
+          const std::int64_t bytes0 = out.scrubbed_bytes;
+          const SimTime utilized0 = out.idle_utilized;
           out.idle_utilized += idle;
           ++out.collisions;
           const SimTime fire_span = idle;
@@ -99,6 +141,7 @@ PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
             out.scrub_requests += n;
             out.scrubbed_bytes += n * sizer.next(0);
           }
+          if (tl != nullptr) emit_burst(busy, arr, bytes0, utilized0);
         } else {
           // Fire from busy + wait until the arrival interrupts us, or the
           // policy's per-interval budget (if any) runs out. A budgeted
@@ -109,6 +152,8 @@ PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
           const SimTime stop_at =
               budget > 0 && fire_start + budget < arr ? fire_start + budget
                                                       : arr;
+          const std::int64_t bytes0 = out.scrubbed_bytes;
+          const SimTime utilized0 = out.idle_utilized;
           SimTime t = fire_start;
           sizer.reset();
           while (t < stop_at) {
@@ -151,8 +196,11 @@ PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
             sizer.advance();
             t = end;
           }
+          const SimTime burst_end = collided_here ? busy : t;
+          if (tl != nullptr && burst_end > fire_start) {
+            emit_burst(fire_start, burst_end, bytes0, utilized0);
+          }
           if (traced) {
-            const SimTime burst_end = collided_here ? busy : t;
             if (burst_end > fire_start) {
               tracer.span(obs::Track::kPolicy, "policy", "scrub-burst",
                           fire_start, burst_end,
@@ -179,6 +227,14 @@ PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
     const SimTime slowdown = resp - base_resp;
     out.slowdown_sum += slowdown;
     out.slowdown_max = std::max(out.slowdown_max, slowdown);
+    if (tl != nullptr) {
+      tl->add(tl_fg, arr, 1.0);
+      tl->observe(tl_slow, arr, to_milliseconds(slowdown));
+      if (out.collisions > collisions_before) {
+        tl->add(tl_coll, arr,
+                static_cast<double>(out.collisions - collisions_before));
+      }
+    }
     if (config.keep_response_samples) {
       out.response_seconds.push_back(to_seconds(resp));
       out.baseline_response_seconds.push_back(to_seconds(base_resp));
@@ -195,6 +251,8 @@ PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
                                       ? policy.decide_clairvoyant(idle)
                                       : policy.decide();
     if (wait && *wait < idle) {
+      const std::int64_t bytes0 = out.scrubbed_bytes;
+      const SimTime utilized0 = out.idle_utilized;
       const SimTime fire_span = policy.lossless() ? idle : idle - *wait;
       sizer.reset();
       const SimTime one = config.scrub_service(sizer.next(0));
@@ -204,7 +262,17 @@ PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
         out.scrubbed_bytes += n * sizer.next(0);
         out.idle_utilized += policy.lossless() ? fire_span : n * one;
       }
+      if (tl != nullptr) {
+        // Trailing scrubbing runs contiguously from the fire point.
+        const SimTime t0 = policy.lossless() ? busy : busy + *wait;
+        emit_burst(t0, t0 + (out.idle_utilized - utilized0), bytes0,
+                   utilized0);
+      }
     }
+  }
+  if (tl != nullptr) {
+    tl->set_gauge(tl_prog, window_end,
+                  static_cast<double>(out.scrubbed_bytes) / 1e6);
   }
 
   if (out.foreground_requests > 0) {

@@ -23,6 +23,7 @@
 
 #include "core/idle_policy.h"
 #include "core/scrub_sizer.h"
+#include "obs/timeline.h"
 #include "trace/idle.h"
 #include "trace/record.h"
 
@@ -46,6 +47,13 @@ struct PolicySimConfig {
   /// removes the per-record indirection from the hot loop -- essential for
   /// the optimizer's hundreds of sweeps over one trace.
   const std::vector<SimTime>* services = nullptr;
+  /// Optional timeline; when enabled, the sweep emits under the sink's
+  /// prefix: `.fg.requests` / `.collisions` / `.scrub.mb` /
+  /// `.scrub.busy_s` (counters, bursts spread via add_span),
+  /// `.scrub.progress.mb` (gauge), and `.slowdown_ms` (per-window
+  /// digest). Burst-granularity emission keeps the hot loop's timeline
+  /// cost near zero; a disabled sink costs one hoisted branch.
+  obs::TimelineSink timeline;
 };
 
 /// Evaluates `model` once per record; share the result across many

@@ -33,6 +33,9 @@ class ScrubStrategy {
   virtual std::int64_t completed_passes() const = 0;
   virtual const char* name() const = 0;
 
+  /// Sectors in one full pass (progress/ETA denominator).
+  virtual std::int64_t total_sectors() const = 0;
+
   /// Changes the verify granularity mid-run (adaptive request sizing).
   virtual void set_request_sectors(std::int64_t sectors) = 0;
   virtual std::int64_t request_sectors() const = 0;
@@ -47,6 +50,7 @@ class SequentialStrategy final : public ScrubStrategy {
   void reset() override;
   std::int64_t completed_passes() const override { return passes_; }
   const char* name() const override { return "sequential"; }
+  std::int64_t total_sectors() const override { return total_sectors_; }
   void set_request_sectors(std::int64_t sectors) override;
   std::int64_t request_sectors() const override { return request_sectors_; }
 
@@ -69,6 +73,7 @@ class StaggeredStrategy final : public ScrubStrategy {
   void reset() override;
   std::int64_t completed_passes() const override { return passes_; }
   const char* name() const override { return "staggered"; }
+  std::int64_t total_sectors() const override { return total_sectors_; }
   void set_request_sectors(std::int64_t sectors) override;
   std::int64_t request_sectors() const override { return request_sectors_; }
 

@@ -1,10 +1,72 @@
 #include "core/scrubber.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
 #include "obs/trace_event.h"
 
 namespace pscrub::core {
+
+void ScrubProgressRecorder::resolve() {
+  if (ready_) return;
+  obs::Timeline& tl = *sink_.timeline;
+  using Kind = obs::Timeline::SeriesKind;
+  sectors_ = tl.series(sink_.name(".progress.sectors"), Kind::kGauge);
+  fraction_ = tl.series(sink_.name(".progress.fraction"), Kind::kGauge);
+  rate_ = tl.series(sink_.name(".progress.rate_sps"), Kind::kGauge);
+  eta_ = tl.series(sink_.name(".progress.eta_s"), Kind::kGauge);
+  standdowns_ = tl.series(sink_.name(".standdowns"), Kind::kCounter);
+  ready_ = true;
+}
+
+void ScrubProgressRecorder::on_extent(SimTime now, std::int64_t sectors,
+                                      std::int64_t total_sectors,
+                                      std::int64_t passes) {
+  resolve();
+  obs::Timeline& tl = *sink_.timeline;
+  done_sectors_ += sectors;
+  tl.set_gauge(sectors_, now, static_cast<double>(done_sectors_));
+
+  double fraction = 1.0;
+  if (total_sectors > 0) {
+    fraction = std::min(1.0, static_cast<double>(done_sectors_) /
+                                 static_cast<double>(total_sectors));
+  }
+  tl.set_gauge(fraction_, now, fraction);
+
+  if (last_at_ >= 0 && now > last_at_) {
+    const double inst = static_cast<double>(sectors) /
+                        to_seconds(now - last_at_);
+    ewma_sps_ = ewma_sps_ == 0.0
+                    ? inst
+                    : kRateAlpha * inst + (1.0 - kRateAlpha) * ewma_sps_;
+    tl.set_gauge(rate_, now, ewma_sps_);
+    const std::int64_t remaining =
+        std::max<std::int64_t>(0, total_sectors - done_sectors_);
+    tl.set_gauge(eta_, now,
+                 ewma_sps_ > 0.0
+                     ? static_cast<double>(remaining) / ewma_sps_
+                     : 0.0);
+  }
+  last_at_ = now;
+
+  if (passes > last_passes_) {
+    tl.event(sink_.name(".events"), now,
+             "pass " + std::to_string(passes) + " complete");
+    last_passes_ = passes;
+  }
+}
+
+void ScrubProgressRecorder::on_standdown(SimTime now) {
+  resolve();
+  sink_.timeline->add(standdowns_, now, 1.0);
+}
+
+void ScrubProgressRecorder::on_stop(SimTime now, const char* reason) {
+  sink_.timeline->event(sink_.name(".events"), now,
+                        std::string("stop (") + reason + ")");
+}
 
 Scrubber::Scrubber(Simulator& sim, block::BlockLayer& blk,
                    std::unique_ptr<ScrubStrategy> strategy,
@@ -37,6 +99,11 @@ void Scrubber::issue() {
                            const block::BlockResult& result) {
     stats_.record(r.cmd.bytes(), result.latency);
     if (!result.ok()) ++stats_.errors;
+    if (progress_.enabled() && result.status != disk::IoStatus::kDiskFailed) {
+      progress_.on_extent(sim_.now(), r.cmd.sectors,
+                          strategy_->total_sectors(),
+                          strategy_->completed_passes());
+    }
     obs::Tracer& tracer = obs::Tracer::global();
     if (tracer.enabled()) {
       tracer.span(obs::Track::kScrubber, "scrub", "verify", r.submit_time,
@@ -50,6 +117,7 @@ void Scrubber::issue() {
       // The member is gone: scrubbing it achieves nothing. Stand down for
       // good (a replacement drive gets a fresh scrubber).
       running_ = false;
+      if (progress_.enabled()) progress_.on_stop(sim_.now(), "disk failed");
       if (tracer.enabled()) {
         tracer.instant(obs::Track::kScrubber, "scrub",
                        "stop (disk failed)", sim_.now());
@@ -141,6 +209,11 @@ void WaitingScrubber::fire() {
                            const block::BlockResult& result) {
     stats_.record(r.cmd.bytes(), result.latency);
     if (!result.ok()) ++stats_.errors;
+    if (progress_.enabled() && result.status != disk::IoStatus::kDiskFailed) {
+      progress_.on_extent(sim_.now(), r.cmd.sectors,
+                          strategy_->total_sectors(),
+                          strategy_->completed_passes());
+    }
     obs::Tracer& tracer = obs::Tracer::global();
     if (tracer.enabled()) {
       tracer.span(obs::Track::kScrubber, "scrub", "verify", r.submit_time,
@@ -154,6 +227,7 @@ void WaitingScrubber::fire() {
       // Dead member: stop instead of hammering a drive that fails every
       // command instantly (which would also starve the idle detector).
       stop();
+      if (progress_.enabled()) progress_.on_stop(sim_.now(), "disk failed");
       if (tracer.enabled()) {
         tracer.instant(obs::Track::kScrubber, "scrub",
                        "stop (disk failed)", sim_.now());
@@ -167,11 +241,14 @@ void WaitingScrubber::fire() {
     // no separate stopping criterion (Sec V-A).
     if (blk_.queue_depth() == 0 && !blk_.disk_busy()) {
       fire();
-    } else if (tracer.enabled()) {
+    } else {
       // Foreground work arrived while we were verifying: stand down; the
       // idle observer re-arms us later.
-      tracer.instant(obs::Track::kScrubber, "scrub",
-                     "stand-down (foreground)", sim_.now());
+      if (progress_.enabled()) progress_.on_standdown(sim_.now());
+      if (tracer.enabled()) {
+        tracer.instant(obs::Track::kScrubber, "scrub",
+                       "stand-down (foreground)", sim_.now());
+      }
     }
   };
   blk_.submit(std::move(req));

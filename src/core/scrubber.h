@@ -38,6 +38,53 @@ struct ScrubberConfig {
 /// the foreground workloads use (requests, bytes, latency histogram).
 using ScrubberStats = obs::IoStats;
 
+/// Shared progress instrumentation for both scrubber drivers. Emits, under
+/// the sink's prefix:
+///
+///   .progress.sectors   gauge    cumulative sectors verified
+///   .progress.fraction  gauge    first-pass completion in [0, 1]
+///                                (pins at 1 once a full pass is done)
+///   .progress.rate_sps  gauge    sectors/sec, EWMA-smoothed
+///   .progress.eta_s     gauge    seconds to first-pass completion at the
+///                                current rate (0 once complete)
+///   .standdowns         counter  times the scrubber yielded to foreground
+///
+/// plus timestamped events (".events"): pass completions and stops.
+class ScrubProgressRecorder {
+ public:
+  /// EWMA smoothing factor for the rate estimate.
+  static constexpr double kRateAlpha = 0.2;
+
+  void set_timeline(const obs::TimelineSink& sink) {
+    sink_ = sink;
+    ready_ = false;
+  }
+  bool enabled() const { return sink_.enabled(); }
+
+  /// Records one verified extent completing at `now`. `total_sectors` is
+  /// the pass size, `passes` the strategy's completed-pass count.
+  void on_extent(SimTime now, std::int64_t sectors,
+                 std::int64_t total_sectors, std::int64_t passes);
+  void on_standdown(SimTime now);
+  void on_stop(SimTime now, const char* reason);
+
+ private:
+  /// Lazily creates the series on first use.
+  void resolve();
+
+  obs::TimelineSink sink_;
+  bool ready_ = false;
+  obs::Timeline::SeriesId sectors_ = 0;
+  obs::Timeline::SeriesId fraction_ = 0;
+  obs::Timeline::SeriesId rate_ = 0;
+  obs::Timeline::SeriesId eta_ = 0;
+  obs::Timeline::SeriesId standdowns_ = 0;
+  std::int64_t done_sectors_ = 0;
+  std::int64_t last_passes_ = 0;
+  SimTime last_at_ = -1;
+  double ewma_sps_ = 0.0;
+};
+
 class Scrubber {
  public:
   Scrubber(Simulator& sim, block::BlockLayer& blk,
@@ -49,6 +96,11 @@ class Scrubber {
   const ScrubberStats& stats() const { return stats_; }
   const ScrubStrategy& strategy() const { return *strategy_; }
 
+  /// Attaches progress instrumentation (see ScrubProgressRecorder).
+  void set_timeline(const obs::TimelineSink& sink) {
+    progress_.set_timeline(sink);
+  }
+
  private:
   void issue();
 
@@ -57,6 +109,7 @@ class Scrubber {
   std::unique_ptr<ScrubStrategy> strategy_;
   ScrubberConfig config_;
   ScrubberStats stats_;
+  ScrubProgressRecorder progress_;
   bool running_ = false;
   /// Persistent inter-request-delay timer (re-armed per completion).
   EventId issue_event_ = 0;
@@ -92,6 +145,11 @@ class WaitingScrubber {
     strategy_->set_request_sectors(disk::sectors_from_bytes(bytes));
   }
 
+  /// Attaches progress instrumentation (see ScrubProgressRecorder).
+  void set_timeline(const obs::TimelineSink& sink) {
+    progress_.set_timeline(sink);
+  }
+
  private:
   void on_idle();
   void check_fire();
@@ -103,6 +161,7 @@ class WaitingScrubber {
   SimTime wait_threshold_;
   disk::CommandKind verify_kind_;
   ScrubberStats stats_;
+  ScrubProgressRecorder progress_;
   bool running_ = false;
   bool armed_ = false;
   EventId arm_event_ = 0;

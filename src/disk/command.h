@@ -47,6 +47,10 @@ struct DiskCommand {
   CommandKind kind = CommandKind::kRead;
   Lbn lbn = 0;
   std::int64_t sectors = 0;
+  /// RAID reconstruction traffic (degraded-mode peer reads and the
+  /// rebuilt-data writes). Purely observational -- service time is
+  /// unaffected -- so utilization timelines can attribute the work.
+  bool rebuild = false;
 
   std::int64_t bytes() const { return sectors * kSectorBytes; }
 };

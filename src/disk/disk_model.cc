@@ -72,6 +72,9 @@ void DiskModel::start(Pending p) {
         sim_.now() + profile_.command_overhead + profile_.completion_overhead;
     counters_.busy_time += busy_until_ - sim_.now();
     power_ = PowerState::kActive;
+    if (timeline_.enabled()) {
+      record_timeline_busy(p.cmd, sim_.now(), busy_until_, 0);
+    }
     obs::Tracer& tracer = obs::Tracer::global();
     if (tracer.enabled()) {
       tracer.span(obs::Track::kDisk, "disk", "failed-device", sim_.now(),
@@ -96,6 +99,9 @@ void DiskModel::start(Pending p) {
   const SimTime duration = spinup_extra + service(p.cmd);
   busy_until_ = sim_.now() + duration;
   counters_.busy_time += duration;
+  if (timeline_.enabled()) {
+    record_timeline_busy(p.cmd, sim_.now(), busy_until_, phases_.recovery);
+  }
 
   obs::Tracer& tracer = obs::Tracer::global();
   if (tracer.enabled()) {
@@ -352,7 +358,38 @@ SimTime DiskModel::service(const DiskCommand& cmd) {
       break;
   }
 
+  phases_.recovery = lse_time;
   return t + lse_time + profile_.completion_overhead;
+}
+
+void DiskModel::set_timeline(const obs::TimelineSink& sink) {
+  timeline_ = sink;
+  timeline_ready_ = false;
+}
+
+void DiskModel::record_timeline_busy(const DiskCommand& cmd, SimTime t0,
+                                     SimTime t1, SimTime recovery) {
+  if (!timeline_ready_) {
+    obs::Timeline& tl = *timeline_.timeline;
+    using Kind = obs::Timeline::SeriesKind;
+    tl_fg_ = tl.series(timeline_.name(".util.foreground"), Kind::kCounter);
+    tl_scrub_ = tl.series(timeline_.name(".util.scrub"), Kind::kCounter);
+    tl_rebuild_ = tl.series(timeline_.name(".util.rebuild"), Kind::kCounter);
+    tl_retry_ = tl.series(timeline_.name(".util.retry"), Kind::kCounter);
+    timeline_ready_ = true;
+  }
+  obs::Timeline& tl = *timeline_.timeline;
+  recovery = std::clamp<SimTime>(recovery, 0, t1 - t0);
+  const obs::Timeline::SeriesId id = cmd.rebuild    ? tl_rebuild_
+                                     : is_verify(cmd.kind) ? tl_scrub_
+                                                           : tl_fg_;
+  if (t1 - t0 > recovery) {
+    tl.add_span(id, t0, t1 - recovery, to_seconds(t1 - t0 - recovery));
+  }
+  if (recovery > 0) {
+    // The retry grind sits at the tail of service (after positioning).
+    tl.add_span(tl_retry_, t1 - recovery, t1, to_seconds(recovery));
+  }
 }
 
 void DiskModel::inject_lse(Lbn lbn) {

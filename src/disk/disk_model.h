@@ -22,6 +22,7 @@
 #include "disk/command.h"
 #include "disk/geometry.h"
 #include "disk/profile.h"
+#include "obs/timeline.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
@@ -109,6 +110,10 @@ struct ServicePhases {
   /// Media transfer incl. track switches (plus bus transfer for
   /// READ/WRITE).
   SimTime transfer = 0;
+  /// In-drive error-recovery time (retry grind on bad sectors, transient
+  /// recovery, legacy read penalty) -- the slice utilization timelines
+  /// attribute to "retry" rather than the command's own category.
+  SimTime recovery = 0;
   bool cache_hit = false;
 };
 
@@ -134,6 +139,12 @@ class DiskModel {
 
   /// Toggles the on-disk cache at runtime (Fig 1's cache on/off sweep).
   void set_cache_enabled(bool enabled);
+
+  /// Attaches a utilization timeline: every serviced command adds its busy
+  /// seconds to `<prefix>.util.{foreground,scrub,rebuild,retry}` (series
+  /// created lazily on first use). Pass a default-constructed sink to
+  /// detach.
+  void set_timeline(const obs::TimelineSink& sink);
 
   std::int64_t total_sectors() const { return geometry_.total_sectors(); }
 
@@ -228,6 +239,10 @@ class DiskModel {
   /// Persistent-completion handler: delivers the in-service command's
   /// result and hands the next queued command to the mechanism.
   void complete_in_service();
+  /// Timeline hook: attributes [t0, t1) busy time to the command's
+  /// category, splitting off `recovery` into the retry series.
+  void record_timeline_busy(const DiskCommand& cmd, SimTime t0, SimTime t1,
+                            SimTime recovery);
   /// Computes service duration from the current mechanical state and
   /// advances that state to the command's end position.
   SimTime service(const DiskCommand& cmd);
@@ -261,6 +276,14 @@ class DiskModel {
   std::vector<Lbn> in_service_hits_;
   bool in_service_failed_ = false;  // device-failed fast completion
   DiskCounters counters_;
+  obs::TimelineSink timeline_;
+  // Lazily resolved series ids, valid while timeline_ points at the same
+  // timeline (set_timeline resets them).
+  bool timeline_ready_ = false;
+  obs::Timeline::SeriesId tl_fg_ = 0;
+  obs::Timeline::SeriesId tl_scrub_ = 0;
+  obs::Timeline::SeriesId tl_rebuild_ = 0;
+  obs::Timeline::SeriesId tl_retry_ = 0;
   std::set<Lbn> lse_;
   LseObserver lse_observer_;
   SimTime lse_read_penalty_ = 0;

@@ -269,6 +269,10 @@ void Scenario::start() {
                 sim_, array_->block(i),
                 s.strategy.build(array_->disk(i).total_sectors()),
                 s.wait_threshold, s.verify_kind);
+            if (timeline_ != nullptr) {
+              ms->set_timeline({timeline_, timeline_prefix_ + ".disk" +
+                                               std::to_string(i) + ".scrub"});
+            }
             ms->start();
             member_scrubbers_.push_back(std::move(ms));
           }
@@ -435,8 +439,34 @@ void ScenarioResult::export_to(obs::Registry& registry,
   registry.counter(prefix + ".raid.lost_sectors") += raid_lost_sectors;
 }
 
-ScenarioResult run_scenario(const ScenarioConfig& config) {
+void Scenario::attach_timeline(obs::Timeline& timeline,
+                               const std::string& prefix) {
+  timeline_ = &timeline;
+  timeline_prefix_ = prefix;
+  if (array_ != nullptr) {
+    array_->attach_timeline(timeline, prefix);
+    return;
+  }
+  if (disk_) disk_->set_timeline({&timeline, prefix + ".disk"});
+  if (block_) block_->set_timeline({&timeline, prefix + ".block"});
+  if (scrubber_) scrubber_->set_timeline({&timeline, prefix + ".scrub"});
+  if (waiting_scrubber_) {
+    waiting_scrubber_->set_timeline({&timeline, prefix + ".scrub"});
+  }
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config,
+                            obs::Timeline* timeline) {
+  // Direct callers (examples, single-point benches) get PSCRUB_TIMELINE
+  // for free; sweep tasks always pass their private per-task timeline.
+  if (timeline == nullptr) timeline = &obs::Timeline::global();
   Scenario scenario(config);
+  if (timeline != nullptr && timeline->enabled() && config.timeline.enabled) {
+    const std::string& prefix = config.timeline.prefix.empty()
+                                    ? config.label
+                                    : config.timeline.prefix;
+    if (!prefix.empty()) scenario.attach_timeline(*timeline, prefix);
+  }
   scenario.run();
   return scenario.take_result();
 }
@@ -446,7 +476,7 @@ std::vector<ScenarioResult> run_scenarios(
   return sweep<ScenarioResult>(
       configs.size(),
       [&configs](TaskContext& ctx) {
-        ScenarioResult r = run_scenario(configs[ctx.index]);
+        ScenarioResult r = run_scenario(configs[ctx.index], &ctx.timeline);
         if (!r.label.empty()) r.export_to(ctx.registry, r.label);
         return r;
       },
@@ -476,10 +506,14 @@ std::unique_ptr<core::IdlePolicy> PolicySpec::build() const {
   throw std::logic_error("unknown PolicyKind");
 }
 
-core::PolicySimResult run_policy_scenario(const PolicySimScenario& scenario) {
+core::PolicySimResult run_policy_scenario(const PolicySimScenario& scenario,
+                                          obs::Timeline* timeline) {
   if (scenario.trace == nullptr) {
     throw std::invalid_argument("PolicySimScenario needs a borrowed trace");
   }
+  // Direct callers get PSCRUB_TIMELINE for free (sweeps pass per-task
+  // timelines); recording still requires a non-empty scenario label.
+  if (timeline == nullptr) timeline = &obs::Timeline::global();
   const disk::DiskProfile profile = profile_for(scenario.disk);
   core::PolicySimConfig config;
   if (scenario.services != nullptr) {
@@ -495,6 +529,9 @@ core::PolicySimResult run_policy_scenario(const PolicySimScenario& scenario) {
           : core::make_scrub_service(profile);
   config.sizer = scenario.sizer;
   config.keep_response_samples = scenario.keep_response_samples;
+  if (timeline != nullptr && timeline->enabled() && !scenario.label.empty()) {
+    config.timeline = {timeline, scenario.label};
+  }
   std::unique_ptr<core::IdlePolicy> policy = scenario.policy.build();
   return core::run_policy_sim(*scenario.trace, *policy, config);
 }
@@ -506,7 +543,7 @@ std::vector<core::PolicySimResult> run_policy_scenarios(
       scenarios.size(),
       [&scenarios](TaskContext& ctx) {
         const PolicySimScenario& s = scenarios[ctx.index];
-        core::PolicySimResult r = run_policy_scenario(s);
+        core::PolicySimResult r = run_policy_scenario(s, &ctx.timeline);
         if (!s.label.empty()) r.export_to(ctx.registry, s.label);
         return r;
       },

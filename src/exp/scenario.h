@@ -129,6 +129,18 @@ struct RaidSpec {
   std::uint64_t seed = 2024;
 };
 
+/// Timeline wiring (obs/timeline.h). When run_scenario (or the sweep
+/// form) is handed an enabled timeline and `enabled` here is true, the
+/// scenario's components record under `prefix` (the config label when
+/// empty): disk utilization at "<p>.disk.util.*", block-layer series at
+/// "<p>.block.*", scrub progress at "<p>.scrub.progress.*"; RAID members
+/// under "<p>.diskN...". A scenario whose resolved prefix is empty stays
+/// unwired, mirroring the registry-export rule.
+struct TimelineSpec {
+  bool enabled = true;
+  std::string prefix;
+};
+
 /// One value describes the whole stack.
 struct ScenarioConfig {
   /// Free-form scenario identity; carried into results and used as the
@@ -151,6 +163,8 @@ struct ScenarioConfig {
   /// Spin-down daemon idleness threshold (0 = no daemon).
   SimTime spindown_threshold = 0;
   SimTime run_for = 60 * kSecond;
+  /// Timeline opt-out / prefix override (see TimelineSpec).
+  TimelineSpec timeline;
 };
 
 /// Validates `config` without building the stack: rejects zero/negative
@@ -263,6 +277,11 @@ class Scenario {
   /// under `prefix` (what PSCRUB_METRICS consumers expect).
   void export_to(obs::Registry& registry, const std::string& prefix);
 
+  /// Wires every built component into `timeline` under `prefix` (series
+  /// are created lazily on first record). Call before start(); scrubbers
+  /// the scenario builds later (RAID members) inherit the wiring.
+  void attach_timeline(obs::Timeline& timeline, const std::string& prefix);
+
  private:
   ScenarioConfig config_;
   Simulator sim_;
@@ -282,10 +301,17 @@ class Scenario {
   std::unique_ptr<core::SpinDownDaemon> spindown_;
   std::unique_ptr<fault::FaultInjector> injector_;
   bool started_ = false;
+  // attach_timeline wiring (for scrubbers built after attachment).
+  obs::Timeline* timeline_ = nullptr;
+  std::string timeline_prefix_;
 };
 
-/// Builds, runs, and snapshots one scenario.
-ScenarioResult run_scenario(const ScenarioConfig& config);
+/// Builds, runs, and snapshots one scenario. When `timeline` is enabled,
+/// the stack records into it per config.timeline; nullptr selects
+/// obs::Timeline::global() (the PSCRUB_TIMELINE export target), so direct
+/// callers honor the env var without extra wiring.
+ScenarioResult run_scenario(const ScenarioConfig& config,
+                            obs::Timeline* timeline = nullptr);
 
 /// Deterministic parallel sweep over a config vector: results in config
 /// order; each result also exported into the task registry under its
@@ -343,8 +369,12 @@ struct PolicySimScenario {
   bool keep_response_samples = false;
 };
 
-/// Runs one policy scenario through core::run_policy_sim.
-core::PolicySimResult run_policy_scenario(const PolicySimScenario& scenario);
+/// Runs one policy scenario through core::run_policy_sim. When `timeline`
+/// is enabled (and the label is non-empty), the run records under
+/// "<label>." per PolicySimConfig::timeline; nullptr selects
+/// obs::Timeline::global() so direct callers honor PSCRUB_TIMELINE.
+core::PolicySimResult run_policy_scenario(const PolicySimScenario& scenario,
+                                          obs::Timeline* timeline = nullptr);
 
 /// Deterministic parallel sweep; results in scenario order, each exported
 /// into its task registry under the scenario label (when non-empty).

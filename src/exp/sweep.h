@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "obs/registry.h"
+#include "obs/timeline.h"
 
 namespace pscrub::exp {
 
@@ -40,6 +41,10 @@ struct TaskContext {
   /// Task-private registry; merged into SweepOptions::merge_into in task
   /// order once the sweep completes.
   obs::Registry& registry;
+  /// Task-private timeline; merged into SweepOptions::timeline_into (or
+  /// obs::Timeline::global()) in task order. Enabled iff the destination
+  /// timeline is enabled, so disabled runs pay nothing.
+  obs::Timeline& timeline;
 };
 
 struct SweepOptions {
@@ -52,6 +57,12 @@ struct SweepOptions {
   /// Destination for the ordered merge of per-task registries (nullptr:
   /// per-task metrics are dropped unless the task stored them itself).
   obs::Registry* merge_into = nullptr;
+  /// Destination for the ordered merge of per-task timelines. nullptr
+  /// selects obs::Timeline::global() (the PSCRUB_TIMELINE export target).
+  /// Per-task timelines are created enabled, with the destination's
+  /// config, only while the destination is enabled; the ordered merge
+  /// keeps the combined timeline bit-identical for any worker count.
+  obs::Timeline* timeline_into = nullptr;
 };
 
 /// splitmix64 of (base_seed, index): stable across platforms, distinct per
@@ -77,15 +88,29 @@ std::vector<R> sweep(std::size_t count,
                      const SweepOptions& options = {}) {
   std::vector<R> results(count);
   std::vector<obs::Registry> registries(count);
+  std::vector<obs::Timeline> timelines(count);
+  obs::Timeline* timeline_into = options.timeline_into != nullptr
+                                     ? options.timeline_into
+                                     : &obs::Timeline::global();
+  if (timeline_into->enabled()) {
+    for (obs::Timeline& t : timelines) {
+      t.configure(timeline_into->config());
+      t.set_enabled(true);
+    }
+  }
   detail::run_tasks(
       count,
       [&](std::size_t i) {
-        TaskContext ctx{i, task_seed(options.base_seed, i), registries[i]};
+        TaskContext ctx{i, task_seed(options.base_seed, i), registries[i],
+                        timelines[i]};
         results[i] = fn(ctx);
       },
       options.workers);
   if (options.merge_into != nullptr) {
     for (const obs::Registry& r : registries) options.merge_into->merge(r);
+  }
+  if (timeline_into->enabled()) {
+    for (const obs::Timeline& t : timelines) timeline_into->merge(t);
   }
   return results;
 }

@@ -1,0 +1,140 @@
+#include "obs/digest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pscrub::obs {
+
+namespace {
+
+/// Magnitudes below collapse into the zero bucket; above saturate. Keeps
+/// frexp exponents in a narrow band so keys stay well inside int32.
+constexpr double kTinyMagnitude = 1e-300;
+constexpr double kHugeMagnitude = 1e300;
+/// Offset added to the frexp exponent so magnitude keys are positive.
+constexpr int kExponentBias = 1100;
+
+}  // namespace
+
+std::int32_t QuantileDigest::bucket_key(double value) {
+  if (std::isnan(value)) return 0;
+  const bool negative = value < 0.0;
+  double mag = negative ? -value : value;
+  if (mag < kTinyMagnitude) return 0;
+  if (mag > kHugeMagnitude) mag = kHugeMagnitude;
+  int exponent = 0;
+  const double mantissa = std::frexp(mag, &exponent);  // in [0.5, 1)
+  int sub = static_cast<int>((mantissa - 0.5) * (2.0 * kSubBuckets));
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  const std::int32_t key =
+      (exponent + kExponentBias) * kSubBuckets + sub + 1;
+  return negative ? -key : key;
+}
+
+double QuantileDigest::bucket_value(std::int32_t key) {
+  if (key == 0) return 0.0;
+  const std::int32_t mag_key = key < 0 ? -key : key;
+  const int exponent = (mag_key - 1) / kSubBuckets - kExponentBias;
+  const int sub = (mag_key - 1) % kSubBuckets;
+  const double lower =
+      std::ldexp(0.5 + static_cast<double>(sub) / (2.0 * kSubBuckets),
+                 exponent);
+  const double upper =
+      std::ldexp(0.5 + static_cast<double>(sub + 1) / (2.0 * kSubBuckets),
+                 exponent);
+  const double mid = lower + (upper - lower) / 2.0;
+  return key < 0 ? -mid : mid;
+}
+
+void QuantileDigest::observe(double value) {
+  if (std::isnan(value)) value = 0.0;
+  value = std::clamp(value, -kHugeMagnitude, kHugeMagnitude);
+  ++buckets_[bucket_key(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+}
+
+void QuantileDigest::merge(const QuantileDigest& other) {
+  if (other.count_ == 0) return;
+  for (const auto& [key, n] : other.buckets_) buckets_[key] += n;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
+double QuantileDigest::sum() const {
+  double total = 0.0;
+  for (const auto& [key, n] : buckets_) {
+    total += static_cast<double>(n) * bucket_value(key);
+  }
+  return total;
+}
+
+double QuantileDigest::mean() const {
+  return count_ == 0 ? 0.0 : sum() / static_cast<double>(count_);
+}
+
+double QuantileDigest::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const auto rank = static_cast<std::int64_t>(
+      q * static_cast<double>(count_) + 0.5);
+  const std::int64_t target = std::max<std::int64_t>(rank, 1);
+  std::int64_t seen = 0;
+  for (const auto& [key, n] : buckets_) {
+    seen += n;
+    if (seen >= target) {
+      return std::clamp(bucket_value(key), min_, max_);
+    }
+  }
+  return max_;
+}
+
+QuantileDigest QuantileDigest::from_parts(
+    std::int64_t count, double min, double max,
+    const std::vector<std::pair<std::int32_t, std::int64_t>>& buckets) {
+  QuantileDigest d;
+  std::int64_t total = 0;
+  for (const auto& [key, n] : buckets) {
+    if (n <= 0) {
+      throw std::invalid_argument(
+          "QuantileDigest::from_parts: non-positive bucket count for key " +
+          std::to_string(key));
+    }
+    if (!d.buckets_.emplace(key, n).second) {
+      throw std::invalid_argument(
+          "QuantileDigest::from_parts: duplicate bucket key " +
+          std::to_string(key));
+    }
+    total += n;
+  }
+  if (total != count) {
+    throw std::invalid_argument(
+        "QuantileDigest::from_parts: bucket counts sum to " +
+        std::to_string(total) + ", expected count " + std::to_string(count));
+  }
+  if (count > 0 && !(min <= max)) {
+    throw std::invalid_argument(
+        "QuantileDigest::from_parts: min > max on a non-empty digest");
+  }
+  d.count_ = count;
+  d.min_ = count > 0 ? min : 0.0;
+  d.max_ = count > 0 ? max : 0.0;
+  return d;
+}
+
+}  // namespace pscrub::obs

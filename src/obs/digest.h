@@ -1,0 +1,97 @@
+// Mergeable quantile digest over doubles.
+//
+// A QuantileDigest is the fleet-side companion of LatencyHistogram: a
+// sparse log-bucketed sketch whose merge is ORDER-INDEPENDENT -- merging
+// any permutation of the same digests yields a bit-identical digest. That
+// is a stronger contract than Registry::merge (deterministic under a fixed
+// merge order): timeline digests from sweep tasks, JSONL files, or whole
+// machines can be combined in whatever order they arrive.
+//
+// Order independence is what dictates the representation. Bucket counts,
+// the total count, and the exact extrema all combine with commutative
+// integer/compare operations; sum() is NOT stored but derived from the
+// bucket counts (count * bucket midpoint, accumulated in key order), so it
+// is approximate within the bucket resolution yet identical for any merge
+// order. Values land in sign-symmetric base-2 buckets split into
+// kSubBuckets linear sub-buckets, bounding the relative quantization error
+// at 1/kSubBuckets (~6% with the default 16).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pscrub::obs {
+
+class QuantileDigest {
+ public:
+  /// 2^4 = 16 linear sub-buckets per octave: ~6% worst-case relative
+  /// error, and small enough that per-window digests stay cheap.
+  static constexpr int kSubBucketBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  /// Records one observation. Non-finite values are clamped (NaN counts as
+  /// 0); magnitudes outside [1e-300, 1e300] collapse to the zero bucket /
+  /// saturate, keeping every key well inside int32.
+  void observe(double value);
+
+  /// Accumulates `other`. Commutative and associative: for any permutation
+  /// of the same merge sequence the resulting digest is bit-identical.
+  void merge(const QuantileDigest& other);
+
+  std::int64_t count() const { return count_; }
+  /// Exact extrema; 0 when empty (the shared empty-metric contract, see
+  /// LatencyHistogram::percentile).
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Bucket-midpoint approximation of the sum (order-independent by
+  /// construction; see the header comment). 0 when empty.
+  double sum() const;
+  double mean() const;
+
+  /// Value at quantile `q` in [0, 1] by the nearest-rank rule, clamped to
+  /// the exact [min, max]. An empty digest has no quantiles and returns 0
+  /// by contract.
+  double quantile(double q) const;
+
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  void clear() {
+    buckets_.clear();
+    count_ = 0;
+    min_ = 0.0;
+    max_ = 0.0;
+  }
+
+  /// Sparse bucket table, keyed so that key order == value order (negative
+  /// keys hold negative values).
+  const std::map<std::int32_t, std::int64_t>& buckets() const {
+    return buckets_;
+  }
+
+  /// Bucket key for a value (see observe() for the clamping rules).
+  static std::int32_t bucket_key(double value);
+  /// Midpoint of a bucket (inverse-ish of bucket_key; exact for key 0).
+  static double bucket_value(std::int32_t key);
+
+  /// Reconstructs a digest from serialized parts (timeline JSONL). Throws
+  /// std::invalid_argument when the parts are inconsistent: non-positive
+  /// bucket counts, duplicate keys, a total that disagrees with `count`,
+  /// or min > max on a non-empty digest.
+  static QuantileDigest from_parts(
+      std::int64_t count, double min, double max,
+      const std::vector<std::pair<std::int32_t, std::int64_t>>& buckets);
+
+ private:
+  std::map<std::int32_t, std::int64_t> buckets_;
+  std::int64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace pscrub::obs

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "obs/registry.h"
+#include "obs/timeline.h"
 #include "obs/trace_event.h"
 
 namespace pscrub::obs {
@@ -20,6 +21,24 @@ EnvSession::EnvSession() {
   if (const char* path = std::getenv("PSCRUB_METRICS"); path && *path) {
     metrics_path_ = path;
   }
+  if (const char* path = std::getenv("PSCRUB_TIMELINE"); path && *path) {
+    timeline_path_ = path;
+    TimelineConfig config;
+    if (const char* ms = std::getenv("PSCRUB_TIMELINE_WINDOW_MS");
+        ms && *ms) {
+      const long long parsed = std::atoll(ms);
+      if (parsed > 0) {
+        config.window = static_cast<SimTime>(parsed) * kMillisecond;
+      } else {
+        std::fprintf(stderr,
+                     "PSCRUB_TIMELINE_WINDOW_MS: ignoring non-positive "
+                     "value '%s'\n",
+                     ms);
+      }
+    }
+    Timeline::global().configure(config);
+    Timeline::global().set_enabled(true);
+  }
 }
 
 void EnvSession::finish() {
@@ -30,6 +49,11 @@ void EnvSession::finish() {
       !Registry::global().write_json_file(metrics_path_)) {
     std::fprintf(stderr, "PSCRUB_METRICS: cannot write %s\n",
                  metrics_path_.c_str());
+  }
+  if (!timeline_path_.empty() &&
+      !Timeline::global().write_jsonl_file(timeline_path_)) {
+    std::fprintf(stderr, "PSCRUB_TIMELINE: cannot write %s\n",
+                 timeline_path_.c_str());
   }
 }
 

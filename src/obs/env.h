@@ -1,12 +1,17 @@
 // Environment-variable hookup for the observability layer.
 //
-//   PSCRUB_TRACE=out.json    stream a Chrome trace-event file for the run
-//   PSCRUB_METRICS=out.json  dump the global metrics registry at exit
+//   PSCRUB_TRACE=out.json      stream a Chrome trace-event file for the run
+//   PSCRUB_METRICS=out.json    dump the global metrics registry at exit
+//   PSCRUB_TIMELINE=out.jsonl  enable the global Timeline and export it as
+//                              JSONL at exit (schema in DESIGN.md §12)
+//   PSCRUB_TIMELINE_WINDOW_MS=N  base window width for the timeline
+//                              (default 1000 ms; coarsens automatically)
 //
 // An EnvSession at the top of main() makes any bench or example honor
-// both variables: the constructor opens the tracer, the destructor (or an
-// explicit finish()) closes it and writes the metrics snapshot. With
-// neither variable set the session is free.
+// these variables: the constructor opens the tracer and configures the
+// timeline, the destructor (or an explicit finish()) closes the tracer
+// and writes the metrics/timeline snapshots. With no variables set the
+// session is free.
 #pragma once
 
 #include <string>
@@ -20,14 +25,17 @@ class EnvSession {
   EnvSession(const EnvSession&) = delete;
   EnvSession& operator=(const EnvSession&) = delete;
 
-  /// Closes the tracer and writes Registry::global() to the
-  /// PSCRUB_METRICS path (if set). Safe to call more than once.
+  /// Closes the tracer, writes Registry::global() to the PSCRUB_METRICS
+  /// path and Timeline::global() to the PSCRUB_TIMELINE path (if set).
+  /// Safe to call more than once.
   void finish();
 
   bool tracing() const { return tracing_; }
+  bool timeline_enabled() const { return !timeline_path_.empty(); }
 
  private:
   std::string metrics_path_;
+  std::string timeline_path_;
   bool tracing_ = false;
   bool finished_ = false;
 };

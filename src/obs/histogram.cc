@@ -1,10 +1,16 @@
 #include "obs/histogram.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace pscrub::obs {
 
 SimTime LatencyHistogram::percentile(double p) const {
+  // Empty-metric contract: a histogram with no samples has no quantiles
+  // and every percentile is 0 -- the same convention as min(), mean(),
+  // and QuantileDigest::quantile(). Callers that need to distinguish
+  // "empty" from "all-zero samples" must check count() themselves.
+  assert((count_ == 0) == counts_.empty());
   if (count_ == 0) return 0;
   p = std::clamp(p, 0.0, 100.0);
   if (p <= 0.0) return min();

@@ -51,7 +51,10 @@ class LatencyHistogram {
   double mean_ms() const { return mean() / static_cast<double>(kMillisecond); }
 
   /// Value at percentile `p` in [0, 100], within ~3.1% relative error
-  /// (exact at the extremes: p=0 -> min, p=100 -> max).
+  /// (exact at the extremes: p=0 -> min, p=100 -> max). An EMPTY
+  /// histogram returns 0 for every percentile, by contract -- consistent
+  /// with min()/mean() and asserted in the implementation. Check count()
+  /// to distinguish "no samples" from "all samples were 0".
   SimTime percentile(double p) const;
 
   SimTime p50() const { return percentile(50.0); }

@@ -58,7 +58,12 @@ class Registry {
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   /// Histograms render count/sum/mean/min/max/p50/p95/p99 (times in ms).
-  /// Keys are emitted in sorted order, so output is deterministic.
+  /// Keys are emitted in sorted order, so output is deterministic. EVERY
+  /// registered histogram appears, including empty ones -- an idle metric
+  /// renders as {"count": 0, ...all-zero stats...} rather than vanishing,
+  /// so consumers can tell "never happened" from "not instrumented".
+  /// merge() preserves this: merging in an empty histogram still registers
+  /// its name.
   std::string to_json() const;
 
   /// Writes to_json() to `path`. Returns false (and leaves no partial

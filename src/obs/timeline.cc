@@ -1,0 +1,432 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pscrub::obs {
+
+Timeline& Timeline::global() {
+  static Timeline instance;
+  return instance;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Round-trip-exact double rendering: integral values print as integers
+/// (the common case: counts, whole seconds), everything else at 17
+/// significant digits so a loader reconstructs the identical bits.
+void append_double(std::string& out, double v) {
+  if (v == 0.0) {
+    out += '0';
+    return;
+  }
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 9e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+const char* kind_name(Timeline::SeriesKind kind) {
+  switch (kind) {
+    case Timeline::SeriesKind::kCounter: return "counter";
+    case Timeline::SeriesKind::kGauge: return "gauge";
+    case Timeline::SeriesKind::kDigest: return "digest";
+  }
+  return "?";
+}
+
+void append_buckets(std::string& out, const QuantileDigest& d) {
+  out += "[";
+  bool first = true;
+  for (const auto& [key, n] : d.buckets()) {
+    if (!first) out += ",";
+    first = false;
+    out += "[";
+    out += std::to_string(key);
+    out += ",";
+    out += std::to_string(n);
+    out += "]";
+  }
+  out += "]";
+}
+
+}  // namespace
+
+void Timeline::configure(const TimelineConfig& config) {
+  if (config.window <= 0) {
+    throw std::invalid_argument(
+        "Timeline::configure: window width must be > 0");
+  }
+  if (config.max_windows == 0) {
+    throw std::invalid_argument(
+        "Timeline::configure: max_windows must be >= 1");
+  }
+  config_ = config;
+  clear();
+}
+
+void Timeline::clear() {
+  width_ = config_.window;
+  series_.clear();
+  index_.clear();
+  digests_.clear();
+  events_.clear();
+}
+
+Timeline::SeriesId Timeline::series(const std::string& name,
+                                    SeriesKind kind) {
+  auto [it, inserted] = index_.emplace(name, series_.size());
+  if (!inserted) {
+    const Series& existing = series_[it->second];
+    if (existing.kind != kind) {
+      throw std::invalid_argument("Timeline::series: '" + name +
+                                  "' already exists as kind " +
+                                  kind_name(existing.kind));
+    }
+    return it->second;
+  }
+  Series s;
+  s.name = name;
+  s.kind = kind;
+  series_.push_back(std::move(s));
+  return it->second;
+}
+
+const Timeline::Series* Timeline::find(const std::string& name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &series_[it->second];
+}
+
+void Timeline::fold(Window& into, const Window& from) {
+  if (from.count > 0) {
+    if (into.count == 0) {
+      into.min = from.min;
+      into.max = from.max;
+    } else {
+      into.min = std::min(into.min, from.min);
+      into.max = std::max(into.max, from.max);
+    }
+  }
+  into.sum += from.sum;
+  into.count += from.count;
+  if (from.set) {
+    into.last = from.last;
+    into.set = true;
+  }
+}
+
+void Timeline::coarsen() {
+  width_ *= 2;
+  for (Series& s : series_) {
+    const std::size_t n = s.windows.size();
+    if (n == 0) continue;
+    const std::size_t folded = (n + 1) / 2;
+    std::vector<Window> windows(folded);
+    for (std::size_t i = 0; i < folded; ++i) {
+      windows[i] = s.windows[2 * i];
+      if (2 * i + 1 < n) fold(windows[i], s.windows[2 * i + 1]);
+    }
+    s.windows = std::move(windows);
+    if (s.kind == SeriesKind::kDigest) {
+      std::vector<QuantileDigest> digests(folded);
+      for (std::size_t i = 0; i < folded && i < (s.digests.size() + 1) / 2;
+           ++i) {
+        if (2 * i < s.digests.size()) digests[i] = s.digests[2 * i];
+        if (2 * i + 1 < s.digests.size()) {
+          digests[i].merge(s.digests[2 * i + 1]);
+        }
+      }
+      s.digests = std::move(digests);
+    }
+  }
+}
+
+std::size_t Timeline::window_index_for(SimTime t) {
+  if (t < 0) t = 0;
+  auto index = static_cast<std::size_t>(t / width_);
+  while (index >= config_.max_windows) {
+    coarsen();
+    index = static_cast<std::size_t>(t / width_);
+  }
+  return index;
+}
+
+namespace {
+
+template <typename Series>
+typename std::vector<Timeline::Window>::reference window_at(
+    Series& s, std::size_t index) {
+  if (s.windows.size() <= index) s.windows.resize(index + 1);
+  if (s.kind == Timeline::SeriesKind::kDigest &&
+      s.digests.size() <= index) {
+    s.digests.resize(index + 1);
+  }
+  return s.windows[index];
+}
+
+}  // namespace
+
+void Timeline::add(SeriesId id, SimTime t, double delta) {
+  if (!enabled_) return;
+  const std::size_t index = window_index_for(t);
+  Window& w = window_at(series_[id], index);
+  w.sum += delta;
+  ++w.count;
+}
+
+void Timeline::add_span(SeriesId id, SimTime t0, SimTime t1, double amount) {
+  if (!enabled_) return;
+  if (t0 < 0) t0 = 0;
+  if (t1 <= t0) {
+    const std::size_t index = window_index_for(t0);
+    window_at(series_[id], index).sum += amount;
+    return;
+  }
+  // Sizing first may coarsen, so the first index must be computed after.
+  const std::size_t last = window_index_for(t1 - 1);
+  const auto first = static_cast<std::size_t>(t0 / width_);
+  const double span = static_cast<double>(t1 - t0);
+  for (std::size_t i = first; i <= last; ++i) {
+    const SimTime w0 = static_cast<SimTime>(i) * width_;
+    const SimTime overlap =
+        std::min(t1, w0 + width_) - std::max(t0, w0);
+    window_at(series_[id], i).sum +=
+        amount * (static_cast<double>(overlap) / span);
+  }
+}
+
+void Timeline::set_gauge(SeriesId id, SimTime t, double value) {
+  if (!enabled_) return;
+  const std::size_t index = window_index_for(t);
+  Window& w = window_at(series_[id], index);
+  w.last = value;
+  w.set = true;
+}
+
+void Timeline::observe(SeriesId id, SimTime t, double value) {
+  if (!enabled_) return;
+  const std::size_t index = window_index_for(t);
+  Series& s = series_[id];
+  Window& w = window_at(s, index);
+  if (w.count == 0) {
+    w.min = value;
+    w.max = value;
+  } else {
+    w.min = std::min(w.min, value);
+    w.max = std::max(w.max, value);
+  }
+  w.sum += value;
+  ++w.count;
+  if (s.kind == SeriesKind::kDigest) s.digests[index].observe(value);
+}
+
+QuantileDigest& Timeline::digest(const std::string& name) {
+  return digests_[name];
+}
+
+void Timeline::event(const std::string& name, SimTime t,
+                     const std::string& text) {
+  if (!enabled_) return;
+  EventLog& log = events_[name];
+  if (log.items.size() >= kMaxEventsPerLog) {
+    ++log.dropped;
+    return;
+  }
+  log.items.emplace_back(t, text);
+}
+
+void Timeline::import_events(const std::string& name, EventLog log) {
+  EventLog& mine = events_[name];
+  mine.dropped += log.dropped;
+  mine.items.insert(mine.items.end(),
+                    std::make_move_iterator(log.items.begin()),
+                    std::make_move_iterator(log.items.end()));
+  std::sort(mine.items.begin(), mine.items.end());
+  if (mine.items.size() > kMaxEventsPerLog) {
+    mine.dropped +=
+        static_cast<std::int64_t>(mine.items.size() - kMaxEventsPerLog);
+    mine.items.resize(kMaxEventsPerLog);
+  }
+}
+
+void Timeline::import_window(SeriesId id, std::size_t index, const Window& w,
+                             const QuantileDigest* d) {
+  Series& s = series_[id];
+  fold(window_at(s, index), w);
+  if (d != nullptr && s.kind == SeriesKind::kDigest) {
+    s.digests[index].merge(*d);
+  }
+}
+
+void Timeline::merge(const Timeline& other) {
+  for (const auto& [name, d] : other.digests_) digests_[name].merge(d);
+  for (const auto& [name, log] : other.events_) import_events(name, log);
+  if (other.series_.empty()) return;
+
+  // Align widths by pairwise folding; both sides must sit on the same
+  // power-of-two ladder (always true for timelines sharing a base width).
+  while (width_ < other.width_) {
+    if (other.width_ % width_ != 0) break;
+    coarsen();
+  }
+  if (width_ % other.width_ != 0) {
+    throw std::invalid_argument(
+        "Timeline::merge: window widths " + std::to_string(width_) +
+        " and " + std::to_string(other.width_) +
+        " are not power-of-two multiples of one another");
+  }
+
+  for (const auto& [name, oid] : other.index_) {
+    const Series& os = other.series_[oid];
+    const SeriesId id = series(name, os.kind);
+    for (std::size_t j = 0; j < os.windows.size(); ++j) {
+      const Window& w = os.windows[j];
+      const QuantileDigest* d =
+          os.kind == SeriesKind::kDigest && j < os.digests.size() &&
+                  os.digests[j].count() > 0
+              ? &os.digests[j]
+              : nullptr;
+      if (w.empty() && d == nullptr) continue;
+      // window_index_for may coarsen this timeline (capacity); already
+      // merged windows fold consistently and the next mapping uses the
+      // new width, so the result is the same as merging post-coarsened.
+      const std::size_t target =
+          window_index_for(static_cast<SimTime>(j) * other.width_);
+      import_window(id, target, w, d);
+    }
+  }
+}
+
+std::string Timeline::to_jsonl() const {
+  std::string out;
+  out += "{\"type\":\"meta\",\"version\":1,\"window_ns\":" +
+         std::to_string(width_) +
+         ",\"base_window_ns\":" + std::to_string(config_.window) +
+         ",\"max_windows\":" + std::to_string(config_.max_windows) + "}\n";
+
+  for (const auto& [name, id] : index_) {
+    const Series& s = series_[id];
+    out += "{\"type\":\"series\",\"name\":";
+    append_escaped(out, name);
+    out += ",\"kind\":\"";
+    out += kind_name(s.kind);
+    out += "\",\"windows\":[";
+    bool first = true;
+    for (std::size_t j = 0; j < s.windows.size(); ++j) {
+      const Window& w = s.windows[j];
+      switch (s.kind) {
+        case SeriesKind::kCounter:
+          if (w.sum == 0.0 && w.count == 0) continue;
+          if (!first) out += ",";
+          first = false;
+          out += "[";
+          out += std::to_string(j);
+          out += ",";
+          append_double(out, w.sum);
+          out += "]";
+          break;
+        case SeriesKind::kGauge:
+          if (!w.set) continue;
+          if (!first) out += ",";
+          first = false;
+          out += "[";
+          out += std::to_string(j);
+          out += ",";
+          append_double(out, w.last);
+          out += "]";
+          break;
+        case SeriesKind::kDigest: {
+          if (w.count == 0) continue;
+          if (!first) out += ",";
+          first = false;
+          out += "{\"i\":";
+          out += std::to_string(j);
+          out += ",\"count\":";
+          out += std::to_string(w.count);
+          out += ",\"sum\":";
+          append_double(out, w.sum);
+          out += ",\"min\":";
+          append_double(out, w.min);
+          out += ",\"max\":";
+          append_double(out, w.max);
+          out += ",\"buckets\":";
+          append_buckets(out, s.digests[j]);
+          out += "}";
+          break;
+        }
+      }
+    }
+    out += "]}\n";
+  }
+
+  for (const auto& [name, d] : digests_) {
+    out += "{\"type\":\"digest\",\"name\":";
+    append_escaped(out, name);
+    out += ",\"count\":";
+    out += std::to_string(d.count());
+    out += ",\"min\":";
+    append_double(out, d.min());
+    out += ",\"max\":";
+    append_double(out, d.max());
+    out += ",\"buckets\":";
+    append_buckets(out, d);
+    out += "}\n";
+  }
+
+  for (const auto& [name, log] : events_) {
+    out += "{\"type\":\"events\",\"name\":";
+    append_escaped(out, name);
+    out += ",\"dropped\":";
+    out += std::to_string(log.dropped);
+    out += ",\"events\":[";
+    bool first = true;
+    for (const auto& [t, text] : log.items) {
+      if (!first) out += ",";
+      first = false;
+      out += "[";
+      out += std::to_string(t);
+      out += ",";
+      append_escaped(out, text);
+      out += "]";
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+bool Timeline::write_jsonl_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = to_jsonl();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace pscrub::obs

@@ -1,0 +1,181 @@
+// Sim-time windowed metric recorder with deterministic downsampling.
+//
+// A Timeline slices simulation time into fixed-width windows (aligned at
+// t = 0) and records named series into them:
+//
+//   kCounter -- per-window accumulation (add / add_span); rendered as the
+//               window's sum. add_span distributes an amount over the
+//               windows a [t0, t1) span overlaps, proportionally.
+//   kGauge   -- last-written-wins point samples (set_gauge); rendered as
+//               the window's final value.
+//   kDigest  -- per-window value distributions (observe): exact
+//               count/sum/min/max plus a QuantileDigest per window.
+//
+// Series names follow the Registry dotted scheme ("<label>.disk.util.scrub"),
+// so sweep output stays self-describing. The window store is BOUNDED:
+// when an instant would land past `max_windows`, the whole timeline
+// deterministically coarsens -- the window width doubles and adjacent
+// window pairs fold together -- until the instant fits. A run of any
+// length therefore costs O(max_windows) memory and every consumer sees
+// the same widths regardless of how the run was chunked.
+//
+// merge() combines two timelines window-by-window after aligning widths
+// by the same pairwise folding (widths must be power-of-two multiples of
+// each other, which holds for any two timelines coarsened from one base
+// width). Merging a fixed sequence of timelines in a fixed order is
+// deterministic -- the contract exp::sweep relies on to make
+// PSCRUB_TIMELINE output bit-identical for any worker count. Run-level
+// digests additionally merge order-independently (see obs/digest.h).
+//
+// All mutators early-out when the timeline is disabled, so a compiled-in
+// but unused timeline costs one branch per call site.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/digest.h"
+#include "sim/time.h"
+
+namespace pscrub::obs {
+
+struct TimelineConfig {
+  /// Base window width. Coarsening doubles it; it never shrinks.
+  SimTime window = kSecond;
+  /// Window-count bound that triggers coarsening.
+  std::size_t max_windows = 256;
+};
+
+class Timeline {
+ public:
+  enum class SeriesKind : std::uint8_t { kCounter, kGauge, kDigest };
+  using SeriesId = std::size_t;
+
+  /// One window's scalar accumulation. Which fields are meaningful depends
+  /// on the series kind (counter: sum/count; gauge: last/set; digest:
+  /// count/sum/min/max).
+  struct Window {
+    double sum = 0.0;
+    std::int64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double last = 0.0;
+    bool set = false;
+
+    bool empty() const { return count == 0 && !set && sum == 0.0; }
+  };
+
+  struct Series {
+    std::string name;
+    SeriesKind kind = SeriesKind::kCounter;
+    std::vector<Window> windows;
+    /// kDigest only; parallel to `windows`.
+    std::vector<QuantileDigest> digests;
+  };
+
+  /// Bounded per-name event list (timestamped markers: stand-downs,
+  /// pass completions, failures).
+  struct EventLog {
+    std::vector<std::pair<SimTime, std::string>> items;
+    std::int64_t dropped = 0;
+  };
+  static constexpr std::size_t kMaxEventsPerLog = 4096;
+
+  /// Process-wide default timeline (what PSCRUB_TIMELINE exports).
+  static Timeline& global();
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  const TimelineConfig& config() const { return config_; }
+  /// Current window width (config().window after zero or more doublings).
+  SimTime window_width() const { return width_; }
+
+  /// Installs a new base config and clears all recorded data. Throws
+  /// std::invalid_argument for a non-positive window or zero max_windows.
+  void configure(const TimelineConfig& config);
+
+  /// Drops recorded data; keeps config and enabled flag.
+  void clear();
+
+  /// Creates (or finds) a series. Throws std::invalid_argument when the
+  /// name exists with a different kind. Ids are stable for the timeline's
+  /// lifetime (until clear()/configure()).
+  SeriesId series(const std::string& name, SeriesKind kind);
+
+  std::size_t series_count() const { return series_.size(); }
+  const Series& at(SeriesId id) const { return series_[id]; }
+  const Series* find(const std::string& name) const;
+  /// Sorted name -> id index (deterministic iteration for consumers).
+  const std::map<std::string, SeriesId>& index() const { return index_; }
+
+  // Mutators. All are no-ops while disabled. Negative times clamp to 0.
+  void add(SeriesId id, SimTime t, double delta);
+  /// Distributes `amount` over the windows [t0, t1) overlaps, proportional
+  /// to overlap. A degenerate span (t1 <= t0) lands wholly at t0.
+  void add_span(SeriesId id, SimTime t0, SimTime t1, double amount);
+  void set_gauge(SeriesId id, SimTime t, double value);
+  void observe(SeriesId id, SimTime t, double value);
+
+  /// Run-level (un-windowed) digest by name; merges order-independently.
+  QuantileDigest& digest(const std::string& name);
+  const std::map<std::string, QuantileDigest>& digests() const {
+    return digests_;
+  }
+
+  /// Appends a timestamped marker; drops (and counts) beyond
+  /// kMaxEventsPerLog. No-op while disabled.
+  void event(const std::string& name, SimTime t, const std::string& text);
+  const std::map<std::string, EventLog>& events() const { return events_; }
+
+  /// Accumulates `other` (see the header comment for the width-alignment
+  /// and determinism contract). Gauges take `other`'s value where set
+  /// (last merge wins, like Registry gauges). Throws std::invalid_argument
+  /// when the widths are not power-of-two multiples of one another.
+  void merge(const Timeline& other);
+
+  /// One JSON object per line, keys and series in sorted-name order; see
+  /// DESIGN.md §12 for the schema. Deterministic byte-for-byte.
+  std::string to_jsonl() const;
+
+  /// Writes to_jsonl() to `path`; false if the file cannot be written.
+  bool write_jsonl_file(const std::string& path) const;
+
+  // Serialization support (obs/timeline_io.cc): folds one window directly
+  // into a series at `index`, growing the store as needed (no coarsening:
+  // the loader pre-configures max_windows to fit the file).
+  void import_window(SeriesId id, std::size_t index, const Window& w,
+                     const QuantileDigest* d);
+  void import_events(const std::string& name, EventLog log);
+
+ private:
+  std::size_t window_index_for(SimTime t);
+  void coarsen();
+  /// Folds `from` into `into`; `from` is the later (or merged-in) window,
+  /// so its gauge value wins.
+  static void fold(Window& into, const Window& from);
+
+  bool enabled_ = false;
+  TimelineConfig config_;
+  SimTime width_ = kSecond;
+  std::vector<Series> series_;
+  std::map<std::string, SeriesId> index_;
+  std::map<std::string, QuantileDigest> digests_;
+  std::map<std::string, EventLog> events_;
+};
+
+/// Component-facing handle: a borrowed timeline plus the naming prefix the
+/// component's series go under. Value type; components hold one and check
+/// enabled() on their hot paths.
+struct TimelineSink {
+  Timeline* timeline = nullptr;
+  std::string prefix;
+
+  bool enabled() const { return timeline != nullptr && timeline->enabled(); }
+  std::string name(const char* suffix) const { return prefix + suffix; }
+};
+
+}  // namespace pscrub::obs

@@ -1,0 +1,521 @@
+#include "obs/timeline_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace pscrub::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON parser -- just enough for the timeline schema.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::int64_t integer = 0;
+  bool is_integer = false;
+  std::string str;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    skip_space();
+    if (!value(out)) {
+      error = error_;
+      return false;
+    }
+    skip_space();
+    if (pos_ != text_.size()) {
+      error = "trailing characters after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    error_ = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return fail("invalid literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return string(out.str);
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        return literal("true", 4);
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        return literal("false", 5);
+      case 'n':
+        out.type = JsonValue::Type::kNull;
+        return literal("null", 4);
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_space();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_space();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      if (!string(key)) return false;
+      skip_space();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':'");
+      }
+      ++pos_;
+      skip_space();
+      JsonValue v;
+      if (!value(v)) return false;
+      if (!out.fields.emplace(key, std::move(v)).second) {
+        return fail("duplicate object key '" + key + "'");
+      }
+      skip_space();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_space();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_space();
+      JsonValue v;
+      if (!value(v)) return false;
+      out.items.push_back(std::move(v));
+      skip_space();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string(std::string& out) {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char e = text_[pos_];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + 1 + i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail("bad \\u escape");
+              }
+            }
+            pos_ += 4;
+            // The writer only escapes control characters; anything else
+            // would round-trip poorly, so keep it simple and reject.
+            if (code > 0x7f) return fail("unsupported \\u escape");
+            out += static_cast<char>(code);
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        ++pos_;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool digits = false;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        digits = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) return fail("invalid number");
+    const std::string token = text_.substr(start, pos_ - start);
+    out.type = JsonValue::Type::kNumber;
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("invalid number");
+    if (integral && token.size() <= 19) {
+      out.integer = std::strtoll(token.c_str(), &end, 10);
+      out.is_integer = end != nullptr && *end == '\0';
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Typed field access. Schema errors throw std::invalid_argument; the
+// loader catches at line granularity and reports with the line number.
+
+const JsonValue& field(const JsonValue& obj, const char* name) {
+  const auto it = obj.fields.find(name);
+  if (it == obj.fields.end()) {
+    throw std::invalid_argument(std::string("missing field '") + name + "'");
+  }
+  return it->second;
+}
+
+std::int64_t int_field(const JsonValue& obj, const char* name) {
+  const JsonValue& v = field(obj, name);
+  if (v.type != JsonValue::Type::kNumber || !v.is_integer) {
+    throw std::invalid_argument(std::string("field '") + name +
+                                "' must be an integer");
+  }
+  return v.integer;
+}
+
+double number_field(const JsonValue& obj, const char* name) {
+  const JsonValue& v = field(obj, name);
+  if (v.type != JsonValue::Type::kNumber) {
+    throw std::invalid_argument(std::string("field '") + name +
+                                "' must be a number");
+  }
+  return v.number;
+}
+
+const std::string& string_field(const JsonValue& obj, const char* name) {
+  const JsonValue& v = field(obj, name);
+  if (v.type != JsonValue::Type::kString) {
+    throw std::invalid_argument(std::string("field '") + name +
+                                "' must be a string");
+  }
+  return v.str;
+}
+
+const std::vector<JsonValue>& array_field(const JsonValue& obj,
+                                          const char* name) {
+  const JsonValue& v = field(obj, name);
+  if (v.type != JsonValue::Type::kArray) {
+    throw std::invalid_argument(std::string("field '") + name +
+                                "' must be an array");
+  }
+  return v.items;
+}
+
+std::vector<std::pair<std::int32_t, std::int64_t>> parse_buckets(
+    const JsonValue& obj) {
+  std::vector<std::pair<std::int32_t, std::int64_t>> buckets;
+  for (const JsonValue& pair : array_field(obj, "buckets")) {
+    if (pair.type != JsonValue::Type::kArray || pair.items.size() != 2 ||
+        !pair.items[0].is_integer || !pair.items[1].is_integer) {
+      throw std::invalid_argument(
+          "bucket entries must be [key, count] integer pairs");
+    }
+    buckets.emplace_back(static_cast<std::int32_t>(pair.items[0].integer),
+                         pair.items[1].integer);
+  }
+  return buckets;
+}
+
+// ---------------------------------------------------------------------------
+// Record handlers, applied to a scratch timeline.
+
+void apply_series(const JsonValue& obj, Timeline& tl) {
+  const std::string& name = string_field(obj, "name");
+  const std::string& kind_str = string_field(obj, "kind");
+  Timeline::SeriesKind kind;
+  if (kind_str == "counter") {
+    kind = Timeline::SeriesKind::kCounter;
+  } else if (kind_str == "gauge") {
+    kind = Timeline::SeriesKind::kGauge;
+  } else if (kind_str == "digest") {
+    kind = Timeline::SeriesKind::kDigest;
+  } else {
+    throw std::invalid_argument("unknown series kind '" + kind_str + "'");
+  }
+  const Timeline::SeriesId id = tl.series(name, kind);
+  std::int64_t prev_index = -1;
+  for (const JsonValue& entry : array_field(obj, "windows")) {
+    std::int64_t index = 0;
+    Timeline::Window w;
+    QuantileDigest d;
+    const QuantileDigest* dp = nullptr;
+    if (kind == Timeline::SeriesKind::kDigest) {
+      if (entry.type != JsonValue::Type::kObject) {
+        throw std::invalid_argument("digest windows must be objects");
+      }
+      index = int_field(entry, "i");
+      w.count = int_field(entry, "count");
+      w.sum = number_field(entry, "sum");
+      w.min = number_field(entry, "min");
+      w.max = number_field(entry, "max");
+      if (w.count <= 0) {
+        throw std::invalid_argument("digest window count must be > 0");
+      }
+      d = QuantileDigest::from_parts(w.count, w.min, w.max,
+                                     parse_buckets(entry));
+      dp = &d;
+    } else {
+      if (entry.type != JsonValue::Type::kArray || entry.items.size() != 2 ||
+          !entry.items[0].is_integer ||
+          entry.items[1].type != JsonValue::Type::kNumber) {
+        throw std::invalid_argument(
+            "series windows must be [index, value] pairs");
+      }
+      index = entry.items[0].integer;
+      if (kind == Timeline::SeriesKind::kCounter) {
+        w.sum = entry.items[1].number;
+      } else {
+        w.last = entry.items[1].number;
+        w.set = true;
+      }
+    }
+    if (index < 0) throw std::invalid_argument("negative window index");
+    if (index <= prev_index) {
+      throw std::invalid_argument("window indices must be strictly increasing");
+    }
+    if (static_cast<std::size_t>(index) >= tl.config().max_windows) {
+      throw std::invalid_argument("window index " + std::to_string(index) +
+                                  " exceeds max_windows");
+    }
+    prev_index = index;
+    tl.import_window(id, static_cast<std::size_t>(index), w, dp);
+  }
+}
+
+void apply_digest(const JsonValue& obj, Timeline& tl) {
+  const std::string& name = string_field(obj, "name");
+  const std::int64_t count = int_field(obj, "count");
+  if (count < 0) throw std::invalid_argument("digest count must be >= 0");
+  QuantileDigest d =
+      QuantileDigest::from_parts(count, number_field(obj, "min"),
+                                 number_field(obj, "max"), parse_buckets(obj));
+  tl.digest(name).merge(d);
+}
+
+void apply_events(const JsonValue& obj, Timeline& tl) {
+  const std::string& name = string_field(obj, "name");
+  Timeline::EventLog log;
+  log.dropped = int_field(obj, "dropped");
+  if (log.dropped < 0) {
+    throw std::invalid_argument("events dropped must be >= 0");
+  }
+  for (const JsonValue& entry : array_field(obj, "events")) {
+    if (entry.type != JsonValue::Type::kArray || entry.items.size() != 2 ||
+        !entry.items[0].is_integer ||
+        entry.items[1].type != JsonValue::Type::kString) {
+      throw std::invalid_argument("events must be [t_ns, text] pairs");
+    }
+    log.items.emplace_back(entry.items[0].integer, entry.items[1].str);
+  }
+  tl.import_events(name, std::move(log));
+}
+
+}  // namespace
+
+TimelineLoadResult load_timeline_jsonl(const std::string& text,
+                                       Timeline& into) {
+  TimelineLoadResult result;
+  Timeline scratch;
+  bool saw_meta = false;
+  SimTime window_ns = 0;
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    ++result.lines;
+    const std::string where = "line " + std::to_string(result.lines) + ": ";
+
+    JsonValue obj;
+    if (!JsonParser(line).parse(obj, result.error)) {
+      result.error = where + result.error;
+      return result;
+    }
+    if (obj.type != JsonValue::Type::kObject) {
+      result.error = where + "expected a JSON object";
+      return result;
+    }
+    try {
+      const std::string& type = string_field(obj, "type");
+      if (!saw_meta) {
+        if (type != "meta") {
+          throw std::invalid_argument("first record must have type 'meta'");
+        }
+        if (int_field(obj, "version") != 1) {
+          throw std::invalid_argument("unsupported timeline version");
+        }
+        window_ns = int_field(obj, "window_ns");
+        const std::int64_t base_ns = int_field(obj, "base_window_ns");
+        const std::int64_t max_windows = int_field(obj, "max_windows");
+        if (window_ns <= 0 || base_ns <= 0 || max_windows <= 0) {
+          throw std::invalid_argument("meta fields must be positive");
+        }
+        if (window_ns % base_ns != 0) {
+          throw std::invalid_argument(
+              "window_ns must be a multiple of base_window_ns");
+        }
+        // The scratch store must never coarsen during import, so size it
+        // to the file's own bound at the file's current width.
+        scratch.configure(
+            {window_ns, static_cast<std::size_t>(max_windows)});
+        saw_meta = true;
+      } else if (type == "meta") {
+        throw std::invalid_argument("duplicate meta record");
+      } else if (type == "series") {
+        apply_series(obj, scratch);
+      } else if (type == "digest") {
+        apply_digest(obj, scratch);
+      } else if (type == "events") {
+        apply_events(obj, scratch);
+      } else {
+        throw std::invalid_argument("unknown record type '" + type + "'");
+      }
+    } catch (const std::invalid_argument& e) {
+      result.error = where + e.what();
+      return result;
+    }
+  }
+  if (!saw_meta) {
+    result.error = "no meta record (empty input?)";
+    return result;
+  }
+
+  const bool pristine = into.series_count() == 0 && into.digests().empty() &&
+                        into.events().empty();
+  if (pristine) {
+    into.configure({window_ns, scratch.config().max_windows});
+  }
+  try {
+    into.merge(scratch);
+  } catch (const std::invalid_argument& e) {
+    result.error = e.what();
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+TimelineLoadResult load_timeline_file(const std::string& path,
+                                      Timeline& into) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    TimelineLoadResult result;
+    result.error = "cannot open '" + path + "'";
+    return result;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  TimelineLoadResult result = load_timeline_jsonl(text, into);
+  if (!result.ok) result.error = path + ": " + result.error;
+  return result;
+}
+
+TimelineLoadResult validate_timeline_jsonl(const std::string& text) {
+  Timeline scratch;
+  return load_timeline_jsonl(text, scratch);
+}
+
+}  // namespace pscrub::obs

@@ -1,0 +1,46 @@
+// Loading and validation of timeline JSONL files (the PSCRUB_TIMELINE
+// export format, schema in DESIGN.md §12).
+//
+// The loader is strict: every line must parse as a JSON object of a known
+// type with correctly-typed fields, the first line must be a version-1
+// meta record, and digest parts must be internally consistent
+// (QuantileDigest::from_parts). Loading never partially applies a bad
+// file -- records land in a scratch timeline that is merged into the
+// destination only after the whole file validated.
+//
+// Dependency-free by design: pscrub-report and the CI schema checker link
+// only pscrub_obs.
+#pragma once
+
+#include <string>
+
+#include "obs/timeline.h"
+
+namespace pscrub::obs {
+
+struct TimelineLoadResult {
+  bool ok = false;
+  /// Human-readable description of the first problem, empty when ok.
+  std::string error;
+  /// Lines consumed (counts even the line an error was found on).
+  int lines = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Parses `text` (one JSON object per line) and merges its contents into
+/// `into`. When `into` holds no data yet, it is first configured from the
+/// file's meta record so widths align; otherwise the usual
+/// Timeline::merge width contract applies (mismatched widths that are not
+/// power-of-two multiples fail with an error, not a throw).
+TimelineLoadResult load_timeline_jsonl(const std::string& text,
+                                       Timeline& into);
+
+/// Reads `path` and forwards to load_timeline_jsonl.
+TimelineLoadResult load_timeline_file(const std::string& path,
+                                      Timeline& into);
+
+/// Schema validation only: parses into a scratch timeline and discards it.
+TimelineLoadResult validate_timeline_jsonl(const std::string& text);
+
+}  // namespace pscrub::obs

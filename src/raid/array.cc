@@ -77,21 +77,25 @@ void RaidArray::submit_joined(int disk_index, block::BlockRequest request,
 
 void RaidArray::submit_disk_read(int disk_index, disk::Lbn lbn,
                                  std::int64_t sectors,
-                                 const std::shared_ptr<Join>& join) {
+                                 const std::shared_ptr<Join>& join,
+                                 bool rebuild) {
   block::BlockRequest req;
   req.cmd.kind = disk::CommandKind::kRead;
   req.cmd.lbn = lbn;
   req.cmd.sectors = sectors;
+  req.cmd.rebuild = rebuild;
   submit_joined(disk_index, std::move(req), join);
 }
 
 void RaidArray::submit_disk_write(int disk_index, disk::Lbn lbn,
                                   std::int64_t sectors,
-                                  const std::shared_ptr<Join>& join) {
+                                  const std::shared_ptr<Join>& join,
+                                  bool rebuild) {
   block::BlockRequest req;
   req.cmd.kind = disk::CommandKind::kWrite;
   req.cmd.lbn = lbn;
   req.cmd.sectors = sectors;
+  req.cmd.rebuild = rebuild;
   submit_joined(disk_index, std::move(req), join);
 }
 
@@ -271,6 +275,12 @@ void RaidArray::rebuild_stripe(
                    started](SimTime) {
       ++result->stripes_rebuilt;
       rebuild_frontier_ = stripe + 1;
+      if (timeline_ != nullptr && timeline_->enabled()) {
+        timeline_->set_gauge(
+            timeline_->series(timeline_prefix_ + ".rebuild.fraction",
+                              obs::Timeline::SeriesKind::kGauge),
+            sim_.now(), rebuild_progress());
+      }
       obs::Tracer& tracer = obs::Tracer::global();
       if (tracer.enabled()) {
         tracer.counter(obs::Track::kRaid, "raid.rebuild_progress", "percent",
@@ -284,13 +294,14 @@ void RaidArray::rebuild_stripe(
     };
     ++wjoin->remaining;
     submit_disk_write(index, stripe * layout_.chunk_sectors(),
-                      layout_.chunk_sectors(), wjoin);
+                      layout_.chunk_sectors(), wjoin, /*rebuild=*/true);
     if (--wjoin->remaining == 0) wjoin->done(0);
   };
 
   ++join->remaining;
   for (const ChunkLocation& peer : layout_.reconstruction_set(stripe, index)) {
-    submit_disk_read(peer.disk, peer.lbn, layout_.chunk_sectors(), join);
+    submit_disk_read(peer.disk, peer.lbn, layout_.chunk_sectors(), join,
+                     /*rebuild=*/true);
   }
   if (--join->remaining == 0) join->done(0);
 }
@@ -374,13 +385,14 @@ void RaidArray::repair_sector(int disk_index, disk::Lbn lbn) {
       repairs_in_flight_.erase({disk_index, lbn});
     };
     ++wjoin->remaining;
-    submit_disk_write(disk_index, lbn, 1, wjoin);
+    submit_disk_write(disk_index, lbn, 1, wjoin, /*rebuild=*/true);
     if (--wjoin->remaining == 0) wjoin->done(0);
   };
   ++join->remaining;
   for (const ChunkLocation& peer :
        layout_.reconstruction_set(stripe, disk_index)) {
-    submit_disk_read(peer.disk, peer.lbn + offset, 1, join);
+    submit_disk_read(peer.disk, peer.lbn + offset, 1, join,
+                     /*rebuild=*/true);
   }
   if (--join->remaining == 0) join->done(0);
 }
@@ -395,6 +407,10 @@ void RaidArray::start_scrubbing(SimTime wait_threshold,
         sim_, block(i),
         core::make_sequential(disk(i).total_sectors(), request_bytes),
         wait_threshold);
+    if (timeline_ != nullptr) {
+      slot->set_timeline({timeline_, timeline_prefix_ + ".disk" +
+                                         std::to_string(i) + ".scrub"});
+    }
     slot->start();
   }
 }
@@ -402,6 +418,19 @@ void RaidArray::start_scrubbing(SimTime wait_threshold,
 void RaidArray::stop_scrubbing() {
   for (auto& s : scrubbers_) {
     if (s) s->stop();
+  }
+}
+
+void RaidArray::attach_timeline(obs::Timeline& timeline,
+                                const std::string& prefix) {
+  timeline_ = &timeline;
+  timeline_prefix_ = prefix;
+  for (int i = 0; i < layout_.total_disks(); ++i) {
+    const std::string member = prefix + ".disk" + std::to_string(i);
+    disk(i).set_timeline({&timeline, member});
+    block(i).set_timeline({&timeline, member + ".block"});
+    auto& slot = scrubbers_[static_cast<std::size_t>(i)];
+    if (slot) slot->set_timeline({&timeline, member + ".scrub"});
   }
 }
 

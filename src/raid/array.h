@@ -24,6 +24,7 @@
 #include "block/cfq_scheduler.h"
 #include "core/scrubber.h"
 #include "disk/disk_model.h"
+#include "obs/timeline.h"
 #include "raid/layout.h"
 #include "sim/simulator.h"
 
@@ -121,6 +122,13 @@ class RaidArray {
 
   const ArrayStats& stats() const { return stats_; }
 
+  /// Wires every member's disk ("<prefix>.diskN"), block layer
+  /// ("<prefix>.diskN.block"), and -- for scrubbers created by later
+  /// start_scrubbing calls -- scrub progress ("<prefix>.diskN.scrub")
+  /// into `timeline`, and emits "<prefix>.rebuild.fraction" during
+  /// rebuilds.
+  void attach_timeline(obs::Timeline& timeline, const std::string& prefix);
+
  private:
   struct Join {
     int remaining = 0;
@@ -129,9 +137,11 @@ class RaidArray {
   };
 
   void submit_disk_read(int disk_index, disk::Lbn lbn, std::int64_t sectors,
-                        const std::shared_ptr<Join>& join);
+                        const std::shared_ptr<Join>& join,
+                        bool rebuild = false);
   void submit_disk_write(int disk_index, disk::Lbn lbn, std::int64_t sectors,
-                         const std::shared_ptr<Join>& join);
+                         const std::shared_ptr<Join>& join,
+                         bool rebuild = false);
   void submit_joined(int disk_index, block::BlockRequest request,
                      const std::shared_ptr<Join>& join);
 
@@ -168,6 +178,10 @@ class RaidArray {
   // In-progress rebuild bookkeeping.
   int rebuilding_disk_ = -1;
   std::int64_t rebuild_frontier_ = 0;  // stripes below this are restored
+
+  // Timeline wiring (attach_timeline); null when not attached.
+  obs::Timeline* timeline_ = nullptr;
+  std::string timeline_prefix_;
 };
 
 }  // namespace pscrub::raid

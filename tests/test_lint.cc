@@ -130,6 +130,16 @@ TEST(LintDriver, DirectoryWalkExcludesFixturesByDefault) {
   EXPECT_EQ(run.stdout_text, "");
 }
 
+TEST(LintDriver, ReportToolIsClean) {
+  // pscrub-report ships in releases (unlike the fixtures); pin its own
+  // directory explicitly so a future tree-walk exclusion cannot silently
+  // drop it from the gate.
+  const LintRun run =
+      run_lint(std::string(PSCRUB_SOURCE_DIR) + "/tools/pscrub-report");
+  EXPECT_EQ(run.exit_code, 0) << run.stdout_text;
+  EXPECT_EQ(run.stdout_text, "");
+}
+
 TEST(LintDriver, FullTreeIsCleanAndDeterministic) {
   // The acceptance gate, plus a determinism check on the linter itself:
   // two runs over the whole tree produce identical (empty) output.

@@ -532,6 +532,109 @@ TEST(RegistryTest, WriteJsonFileRoundTrips) {
   std::remove(path.c_str());
 }
 
+TEST(RegistryTest, EmptyHistogramAppearsInJsonWithZeroCount) {
+  // The empty-histogram contract: percentile() returns 0 for every p, and
+  // a registered-but-never-recorded histogram still renders as a complete
+  // {"count": 0, ...} object (consumers can tell "no samples" from
+  // "missing series").
+  Registry reg;
+  LatencyHistogram& h = reg.histogram("never.recorded");
+  for (double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.percentile(p), 0) << "p=" << p;
+  }
+
+  Json root;
+  ASSERT_TRUE(JsonParser(reg.to_json()).parse(&root));
+  ASSERT_TRUE(root.at("histograms").has("never.recorded"));
+  const Json& hist = root.at("histograms").at("never.recorded");
+  EXPECT_DOUBLE_EQ(hist.at("count").number, 0.0);
+  for (const char* key :
+       {"mean_ms", "min_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms"}) {
+    ASSERT_TRUE(hist.has(key)) << key;
+    EXPECT_DOUBLE_EQ(hist.at(key).number, 0.0) << key;
+  }
+}
+
+TEST(RegistryTest, MergeOfEmptyRegistryIsIdentity) {
+  Registry a;
+  a.counter("c").add(7);
+  a.gauge("g").set(1.5);
+  a.histogram("h").record(kMillisecond);
+  const std::string before = a.to_json();
+
+  a.merge(Registry());
+  EXPECT_EQ(a.to_json(), before);
+
+  // Merging INTO an empty registry copies everything.
+  Registry empty;
+  empty.merge(a);
+  EXPECT_EQ(empty.to_json(), before);
+}
+
+TEST(RegistryTest, MergeEmptyHistogramStillRegistersName) {
+  Registry src;
+  src.histogram("quiet");  // registered, zero samples
+  Registry dst;
+  dst.merge(src);
+  EXPECT_TRUE(dst.has_histogram("quiet"));
+  EXPECT_EQ(dst.histogram("quiet").count(), 0);
+}
+
+TEST(RegistryTest, SelfMergeDoublesCountersKeepsGauges) {
+  Registry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(2.5);
+  reg.histogram("h").record(3 * kMillisecond);
+  reg.merge(reg);
+  EXPECT_EQ(reg.counter("c").value(), 10);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 2.5);  // last merge wins
+  EXPECT_EQ(reg.histogram("h").count(), 2);
+}
+
+TEST(RegistryTest, MergeDisjointNamesIsAUnion) {
+  Registry a, b;
+  a.counter("only.a").add(1);
+  a.gauge("gauge.a").set(1.0);
+  b.counter("only.b").add(2);
+  b.histogram("hist.b").record(kMillisecond);
+  a.merge(b);
+  EXPECT_EQ(a.counter("only.a").value(), 1);
+  EXPECT_EQ(a.counter("only.b").value(), 2);
+  EXPECT_DOUBLE_EQ(a.gauge("gauge.a").value(), 1.0);
+  EXPECT_EQ(a.histogram("hist.b").count(), 1);
+  EXPECT_EQ(a.size(), 4u);
+}
+
+TEST(RegistryTest, RepeatedMergeIsAssociative) {
+  // (a + b) + c must equal a + (b + c) -- the property exp::sweep's
+  // ordered per-task merge rests on.
+  auto make = [](std::int64_t base) {
+    Registry r;
+    r.counter("c").add(base);
+    r.gauge("g").set(static_cast<double>(base));
+    r.histogram("h").record(base * kMillisecond);
+    return r;
+  };
+  const Registry a = make(1), b = make(2), c = make(3);
+
+  Registry left;  // (a + b) + c
+  left.merge(a);
+  left.merge(b);
+  left.merge(c);
+
+  Registry bc;  // a + (b + c)
+  bc.merge(b);
+  bc.merge(c);
+  Registry right;
+  right.merge(a);
+  right.merge(bc);
+
+  EXPECT_EQ(left.to_json(), right.to_json());
+  EXPECT_EQ(left.counter("c").value(), 6);
+  EXPECT_DOUBLE_EQ(left.gauge("g").value(), 3.0);
+  EXPECT_EQ(left.histogram("h").count(), 3);
+}
+
 // ---------------------------------------------------------------------------
 // Tracer
 // ---------------------------------------------------------------------------

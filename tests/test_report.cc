@@ -1,0 +1,199 @@
+// pscrub-report renderer suite: drives report::render_report directly
+// against a hand-built timeline and golden-compares the output
+// byte-for-byte (tests/golden/timeline_report*.txt), plus file-level
+// coverage of load_and_merge (fleet-style cross-file merging and error
+// reporting). Regenerate fixtures with PSCRUB_UPDATE_GOLDEN=1 after an
+// intentional format change and review the diff.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.h"
+#include "report.h"
+
+#ifndef PSCRUB_GOLDEN_DIR
+#error "PSCRUB_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace pscrub {
+namespace {
+
+using obs::Timeline;
+
+bool update_mode() {
+  const char* env = std::getenv("PSCRUB_UPDATE_GOLDEN");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+std::string fixture_path(const std::string& name) {
+  return std::string(PSCRUB_GOLDEN_DIR) + "/" + name + ".txt";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void check_golden(const std::string& name, const std::string& got) {
+  ASSERT_FALSE(got.empty());
+  const std::string path = fixture_path(name);
+  if (update_mode()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << got;
+    SUCCEED() << "updated " << path;
+    return;
+  }
+  const std::string want = read_file(path);
+  ASSERT_FALSE(want.empty())
+      << "missing fixture " << path
+      << " -- run with PSCRUB_UPDATE_GOLDEN=1 to create it";
+  EXPECT_EQ(want, got) << name
+                       << ": report drifted from the checked-in fixture; if "
+                          "the change is intentional, regenerate with "
+                          "PSCRUB_UPDATE_GOLDEN=1 and review the diff";
+}
+
+/// A small timeline exercising every report section: utilization
+/// counters, scrub progress gauges (one complete, one cumulative-MB),
+/// stand-down counters, a windowed latency digest, a run-level digest,
+/// and an event log. All values are hand-picked constants, so the
+/// rendered report is stable by construction.
+Timeline sample_timeline() {
+  Timeline tl;
+  tl.configure({/*window=*/kSecond, /*max_windows=*/16});
+  tl.set_enabled(true);
+
+  const auto fg =
+      tl.series("s0.disk.util.foreground", Timeline::SeriesKind::kCounter);
+  const auto sc =
+      tl.series("s0.disk.util.scrub", Timeline::SeriesKind::kCounter);
+  // Foreground busy for [0, 0.5s) and [2s, 3.5s); scrub busy [4s, 6s).
+  tl.add_span(fg, 0, kSecond / 2, 0.5);
+  tl.add_span(fg, 2 * kSecond, 3 * kSecond + kSecond / 2, 1.5);
+  tl.add_span(sc, 4 * kSecond, 6 * kSecond, 2.0);
+
+  const auto frac =
+      tl.series("s0.scrub.progress.fraction", Timeline::SeriesKind::kGauge);
+  tl.set_gauge(frac, 1 * kSecond, 0.25);
+  tl.set_gauge(frac, 3 * kSecond, 0.5);
+  tl.set_gauge(frac, 5 * kSecond, 1.0);  // pass completes in window 5
+  const auto sd =
+      tl.series("s0.scrub.standdowns", Timeline::SeriesKind::kCounter);
+  tl.add(sd, 2 * kSecond, 1.0);
+  tl.add(sd, 4 * kSecond, 1.0);
+
+  const auto mb =
+      tl.series("pol.scrub.progress.mb", Timeline::SeriesKind::kGauge);
+  tl.set_gauge(mb, 2 * kSecond, 16.0);
+  tl.set_gauge(mb, 7 * kSecond, 64.0);
+
+  const auto lat =
+      tl.series("s0.block.fg_latency_ms", Timeline::SeriesKind::kDigest);
+  for (int i = 1; i <= 20; ++i) {
+    tl.observe(lat, (i % 8) * kSecond, 1.0 + 0.5 * static_cast<double>(i));
+  }
+  for (int i = 1; i <= 10; ++i) {
+    tl.digest("s0.block.fg_latency_ms").observe(static_cast<double>(i));
+  }
+
+  tl.event("s0.scrub.events", 2 * kSecond, "standdown: foreground burst");
+  tl.event("s0.scrub.events", 5 * kSecond, "pass complete");
+  return tl;
+}
+
+TEST(ReportRenderer, SummaryMatchesGolden) {
+  check_golden("timeline_report",
+               report::render_report(sample_timeline(), {}));
+}
+
+TEST(ReportRenderer, WindowTablesMatchGolden) {
+  report::ReportOptions options;
+  options.windows = true;
+  check_golden("timeline_report_windows",
+               report::render_report(sample_timeline(), options));
+}
+
+TEST(ReportRenderer, RenderingIsDeterministic) {
+  const Timeline tl = sample_timeline();
+  report::ReportOptions options;
+  options.windows = true;
+  EXPECT_EQ(report::render_report(tl, options),
+            report::render_report(tl, options));
+}
+
+TEST(ReportRenderer, SeriesPrefixRestrictsEverySection) {
+  report::ReportOptions options;
+  options.series_prefix = "pol.";
+  const std::string out = report::render_report(sample_timeline(), options);
+  EXPECT_NE(out.find("pol.scrub"), std::string::npos) << out;
+  EXPECT_EQ(out.find("s0."), std::string::npos) << out;
+  // The span shrinks to the selected series' extent too.
+  EXPECT_NE(out.find("timeline: 1 series"), std::string::npos) << out;
+}
+
+TEST(ReportRenderer, EmptyTimelineRendersHeaderOnly) {
+  Timeline tl;
+  const std::string out = report::render_report(tl, {});
+  EXPECT_NE(out.find("timeline: 0 series"), std::string::npos) << out;
+  EXPECT_EQ(out.find("scrub progress"), std::string::npos) << out;
+  EXPECT_EQ(out.find("utilization"), std::string::npos) << out;
+}
+
+/// Writes `text` under the gtest temp dir and returns the path.
+std::string write_temp(const std::string& name, const std::string& text) {
+  const std::string path = testing::TempDir() + "pscrub_report_" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  return path;
+}
+
+TEST(ReportLoader, MergingTheSameFileTwiceDoublesCounters) {
+  const Timeline tl = sample_timeline();
+  const std::string path = write_temp("a.jsonl", tl.to_jsonl());
+
+  Timeline once;
+  ASSERT_EQ(report::load_and_merge({path}, once), "");
+  Timeline twice;
+  ASSERT_EQ(report::load_and_merge({path, path}, twice), "");
+
+  const Timeline::Series* s1 = once.find("s0.disk.util.foreground");
+  const Timeline::Series* s2 = twice.find("s0.disk.util.foreground");
+  ASSERT_NE(s1, nullptr);
+  ASSERT_NE(s2, nullptr);
+  double t1 = 0.0;
+  double t2 = 0.0;
+  for (const Timeline::Window& w : s1->windows) t1 += w.sum;
+  for (const Timeline::Window& w : s2->windows) t2 += w.sum;
+  EXPECT_DOUBLE_EQ(t2, 2.0 * t1);
+  std::remove(path.c_str());
+}
+
+TEST(ReportLoader, FirstFailingFileIsNamedInTheError) {
+  const std::string good =
+      write_temp("good.jsonl", sample_timeline().to_jsonl());
+  const std::string bad = write_temp("bad.jsonl", "not json\n");
+  Timeline into;
+  const std::string error = report::load_and_merge({good, bad}, into);
+  EXPECT_NE(error.find(bad), std::string::npos) << error;
+  std::remove(good.c_str());
+  std::remove(bad.c_str());
+}
+
+TEST(ReportLoader, MissingFileFails) {
+  Timeline into;
+  const std::string error =
+      report::load_and_merge({"/nonexistent/timeline.jsonl"}, into);
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace pscrub

@@ -1,0 +1,477 @@
+// Timeline engine tests: digest bucket exactness and order-independent
+// merging, windowed recording semantics (counters / gauges / digests,
+// span distribution, deterministic coarsening), JSONL export/import
+// round-trips and schema rejection, and the worker-count invariance of
+// timelines produced through exp::sweep.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "exp/scenario.h"
+#include "exp/sweep.h"
+#include "obs/digest.h"
+#include "obs/timeline.h"
+#include "obs/timeline_io.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "trace/synthetic.h"
+
+namespace pscrub {
+namespace {
+
+using obs::QuantileDigest;
+using obs::Timeline;
+
+// ---------------------------------------------------------------------------
+// QuantileDigest
+// ---------------------------------------------------------------------------
+
+TEST(QuantileDigest, EmptyDigestReturnsZeros) {
+  QuantileDigest d;
+  EXPECT_EQ(d.count(), 0);
+  EXPECT_DOUBLE_EQ(d.min(), 0.0);
+  EXPECT_DOUBLE_EQ(d.max(), 0.0);
+  EXPECT_DOUBLE_EQ(d.sum(), 0.0);
+  for (double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(d.quantile(q), 0.0) << "q=" << q;
+  }
+}
+
+TEST(QuantileDigest, SingleValueQuantilesClampToExtrema) {
+  QuantileDigest d;
+  d.observe(12.5);
+  EXPECT_EQ(d.count(), 1);
+  EXPECT_DOUBLE_EQ(d.min(), 12.5);
+  EXPECT_DOUBLE_EQ(d.max(), 12.5);
+  // Quantiles clamp to [min, max], so a single sample is exact at every q.
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(d.quantile(q), 12.5) << "q=" << q;
+  }
+}
+
+TEST(QuantileDigest, QuantileAccuracyLognormal) {
+  // 16 sub-buckets per octave: relative bucket width <= 1/16, so the
+  // midpoint estimate is within ~1/32 of the true value, plus rank slack.
+  Rng rng(321);
+  QuantileDigest d;
+  std::vector<double> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.lognormal(1.0, 1.4);
+    samples.push_back(v);
+    d.observe(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.10, 0.50, 0.90, 0.95, 0.99}) {
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size()));
+    const double exact = samples[std::min(rank, samples.size() - 1)];
+    EXPECT_NEAR(d.quantile(q), exact, exact * 0.07 + 1e-12) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), samples.front());
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), samples.back());
+}
+
+TEST(QuantileDigest, MergeEqualsCombinedRecording) {
+  Rng rng(99);
+  QuantileDigest a, b, combined;
+  for (int i = 0; i < 4000; ++i) {
+    const double v = rng.exponential(3.0);
+    (i % 2 == 0 ? a : b).observe(v);
+    combined.observe(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  EXPECT_EQ(a.buckets(), combined.buckets());
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileDigest, MergeIsOrderIndependentUnderSeededShuffles) {
+  // Build 16 shards, then merge them in 20 random (seeded) orders: every
+  // field of the result, including the derived sum, must be identical.
+  // This is the property that lets fleet-style reports combine files in
+  // argument order without a canonicalization pass.
+  Rng rng(2025);
+  std::vector<QuantileDigest> shards(16);
+  for (int i = 0; i < 4000; ++i) {
+    shards[static_cast<std::size_t>(i % 16)].observe(rng.lognormal(0.5, 2.0));
+  }
+
+  QuantileDigest reference;
+  for (const QuantileDigest& s : shards) reference.merge(s);
+
+  Rng shuffle_rng(7);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::size_t> order(shards.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          shuffle_rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(order[i - 1], order[j]);
+    }
+    QuantileDigest merged;
+    for (std::size_t i : order) merged.merge(shards[i]);
+    EXPECT_EQ(merged.count(), reference.count()) << "round " << round;
+    EXPECT_DOUBLE_EQ(merged.min(), reference.min()) << "round " << round;
+    EXPECT_DOUBLE_EQ(merged.max(), reference.max()) << "round " << round;
+    EXPECT_DOUBLE_EQ(merged.sum(), reference.sum()) << "round " << round;
+    EXPECT_EQ(merged.buckets(), reference.buckets()) << "round " << round;
+    for (double q : {0.5, 0.95, 0.99}) {
+      EXPECT_DOUBLE_EQ(merged.quantile(q), reference.quantile(q))
+          << "round " << round << " q=" << q;
+    }
+  }
+}
+
+TEST(QuantileDigest, FromPartsRejectsMalformedInputs) {
+  using Buckets = std::vector<std::pair<std::int32_t, std::int64_t>>;
+  const Buckets one = {{100, 1}};
+  EXPECT_NO_THROW(QuantileDigest::from_parts(1, 1.0, 1.0, one));
+  // Count mismatch with the bucket total.
+  EXPECT_THROW(QuantileDigest::from_parts(2, 1.0, 1.0, one),
+               std::invalid_argument);
+  // Non-positive bucket count.
+  EXPECT_THROW(QuantileDigest::from_parts(0, 0.0, 0.0, Buckets{{5, 0}}),
+               std::invalid_argument);
+  // Duplicate bucket keys.
+  EXPECT_THROW(
+      QuantileDigest::from_parts(2, 1.0, 1.0, Buckets{{100, 1}, {100, 1}}),
+      std::invalid_argument);
+  // min > max.
+  EXPECT_THROW(QuantileDigest::from_parts(1, 2.0, 1.0, one),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Timeline windows
+// ---------------------------------------------------------------------------
+
+Timeline make_timeline(SimTime window = kSecond, std::size_t max_windows = 16) {
+  Timeline tl;
+  tl.configure({window, max_windows});
+  tl.set_enabled(true);
+  return tl;
+}
+
+TEST(Timeline, CounterAddLandsInTheRightWindow) {
+  Timeline tl = make_timeline();
+  const auto id = tl.series("c", Timeline::SeriesKind::kCounter);
+  tl.add(id, 0, 1.0);
+  tl.add(id, kSecond - 1, 2.0);
+  tl.add(id, kSecond, 4.0);
+  tl.add(id, -5, 8.0);  // negative times clamp into window 0
+  const Timeline::Series& s = tl.at(id);
+  ASSERT_GE(s.windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.windows[0].sum, 11.0);
+  EXPECT_DOUBLE_EQ(s.windows[1].sum, 4.0);
+}
+
+TEST(Timeline, AddSpanDistributesProportionally) {
+  Timeline tl = make_timeline();
+  const auto id = tl.series("busy", Timeline::SeriesKind::kCounter);
+  // [0.5 s, 2.5 s) carrying 2.0: windows get 0.5, 1.0, 0.5.
+  tl.add_span(id, kSecond / 2, 2 * kSecond + kSecond / 2, 2.0);
+  const Timeline::Series& s = tl.at(id);
+  ASSERT_GE(s.windows.size(), 3u);
+  EXPECT_NEAR(s.windows[0].sum, 0.5, 1e-12);
+  EXPECT_NEAR(s.windows[1].sum, 1.0, 1e-12);
+  EXPECT_NEAR(s.windows[2].sum, 0.5, 1e-12);
+
+  // A degenerate span lands wholly at t0.
+  const auto id2 = tl.series("point", Timeline::SeriesKind::kCounter);
+  tl.add_span(id2, kSecond, kSecond, 3.0);
+  EXPECT_DOUBLE_EQ(tl.at(id2).windows[1].sum, 3.0);
+}
+
+TEST(Timeline, GaugeLastWriteWinsPerWindow) {
+  Timeline tl = make_timeline();
+  const auto id = tl.series("g", Timeline::SeriesKind::kGauge);
+  tl.set_gauge(id, 10, 1.0);
+  tl.set_gauge(id, 20, 2.0);  // same window: overwrites
+  tl.set_gauge(id, kSecond + 1, 7.0);
+  const Timeline::Series& s = tl.at(id);
+  EXPECT_TRUE(s.windows[0].set);
+  EXPECT_DOUBLE_EQ(s.windows[0].last, 2.0);
+  EXPECT_DOUBLE_EQ(s.windows[1].last, 7.0);
+}
+
+TEST(Timeline, SeriesKindMismatchThrows) {
+  Timeline tl = make_timeline();
+  tl.series("x", Timeline::SeriesKind::kCounter);
+  EXPECT_THROW(tl.series("x", Timeline::SeriesKind::kGauge),
+               std::invalid_argument);
+  // Same kind returns the same id.
+  EXPECT_EQ(tl.series("x", Timeline::SeriesKind::kCounter),
+            tl.series("x", Timeline::SeriesKind::kCounter));
+}
+
+TEST(Timeline, DisabledTimelineRecordsNothing) {
+  Timeline tl = make_timeline();
+  tl.set_enabled(false);
+  const auto id = tl.series("c", Timeline::SeriesKind::kCounter);
+  tl.add(id, 0, 5.0);
+  tl.set_gauge(id, 0, 1.0);
+  tl.event("log", 0, "ignored");
+  EXPECT_TRUE(tl.at(id).windows.empty());
+  EXPECT_TRUE(tl.events().empty());
+}
+
+TEST(Timeline, CoarseningPreservesTotalsAndDoublesWidth) {
+  Timeline tl = make_timeline(kSecond, 4);
+  const auto c = tl.series("c", Timeline::SeriesKind::kCounter);
+  const auto g = tl.series("g", Timeline::SeriesKind::kGauge);
+  const auto d = tl.series("d", Timeline::SeriesKind::kDigest);
+  for (int i = 0; i < 4; ++i) {
+    tl.add(c, i * kSecond, 1.0);
+    tl.set_gauge(g, i * kSecond, static_cast<double>(i));
+    tl.observe(d, i * kSecond, static_cast<double>(i + 1));
+  }
+  EXPECT_EQ(tl.window_width(), kSecond);
+
+  // Window index 7 at width 1 s: one doubling (width 2 s) makes it fit.
+  tl.add(c, 7 * kSecond, 10.0);
+  EXPECT_EQ(tl.window_width(), 2 * kSecond);
+
+  double total = 0.0;
+  for (const Timeline::Window& w : tl.at(c).windows) total += w.sum;
+  EXPECT_DOUBLE_EQ(total, 14.0);
+
+  // Folded gauge pairs keep the later value; digests merge pairwise.
+  EXPECT_DOUBLE_EQ(tl.at(g).windows[0].last, 1.0);
+  EXPECT_DOUBLE_EQ(tl.at(g).windows[1].last, 3.0);
+  EXPECT_EQ(tl.at(d).windows[0].count, 2);
+  EXPECT_DOUBLE_EQ(tl.at(d).digests[0].max(), 2.0);
+  EXPECT_DOUBLE_EQ(tl.at(d).digests[1].min(), 3.0);
+}
+
+TEST(Timeline, MergeAlignsWidthsAndEqualsCombinedRecording) {
+  // b coarsens to 2 s; merging into a (1 s) must coarsen a first and give
+  // the same windows as recording everything into one timeline.
+  Timeline a = make_timeline(kSecond, 4);
+  Timeline b = make_timeline(kSecond, 4);
+  Timeline combined = make_timeline(kSecond, 4);
+  const auto ida = a.series("c", Timeline::SeriesKind::kCounter);
+  const auto idb = b.series("c", Timeline::SeriesKind::kCounter);
+  const auto idc = combined.series("c", Timeline::SeriesKind::kCounter);
+
+  a.add(ida, 0, 1.0);
+  combined.add(idc, 0, 1.0);
+  for (int i = 0; i < 8; i += 2) {
+    b.add(idb, i * kSecond, 2.0);
+    combined.add(idc, i * kSecond, 2.0);
+  }
+  ASSERT_EQ(b.window_width(), 2 * kSecond);
+
+  a.merge(b);
+  EXPECT_EQ(a.window_width(), combined.window_width());
+  const Timeline::Series& ms = a.at(a.index().at("c"));
+  const Timeline::Series& cs = combined.at(combined.index().at("c"));
+  ASSERT_EQ(ms.windows.size(), cs.windows.size());
+  for (std::size_t i = 0; i < ms.windows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ms.windows[i].sum, cs.windows[i].sum) << "window " << i;
+  }
+  EXPECT_EQ(a.to_jsonl(), combined.to_jsonl());
+}
+
+TEST(Timeline, EventLogKeepsOrderAndCountsDrops) {
+  Timeline tl = make_timeline();
+  const auto n = static_cast<int>(Timeline::kMaxEventsPerLog) + 10;
+  for (int i = 0; i < n; ++i) {
+    std::string text = "e";
+    text += std::to_string(i);
+    tl.event("log", i, text);
+  }
+  const Timeline::EventLog& log = tl.events().at("log");
+  EXPECT_EQ(log.items.size(), Timeline::kMaxEventsPerLog);
+  EXPECT_EQ(log.dropped, 10);
+  EXPECT_EQ(log.items.front().second, "e0");
+}
+
+// ---------------------------------------------------------------------------
+// JSONL export / import
+// ---------------------------------------------------------------------------
+
+Timeline populated_timeline() {
+  Timeline tl = make_timeline(kSecond, 32);
+  const auto c = tl.series("a.count", Timeline::SeriesKind::kCounter);
+  const auto g = tl.series("a.gauge", Timeline::SeriesKind::kGauge);
+  const auto d = tl.series("a.lat", Timeline::SeriesKind::kDigest);
+  for (int i = 0; i < 10; ++i) {
+    tl.add(c, i * kSecond, 1.5 * (i + 1));
+    tl.set_gauge(g, i * kSecond, 0.1 * i);
+    tl.observe(d, i * kSecond, 1.0 + i);
+  }
+  tl.digest("a.run").observe(42.0);
+  tl.digest("a.run").observe(7.0);
+  tl.event("a.events", kSecond, "first");
+  tl.event("a.events", 2 * kSecond, "second");
+  return tl;
+}
+
+TEST(TimelineIo, ExportImportExportIsByteStable) {
+  const Timeline tl = populated_timeline();
+  const std::string jsonl = tl.to_jsonl();
+  EXPECT_EQ(jsonl, tl.to_jsonl());  // deterministic render
+
+  Timeline loaded;
+  const obs::TimelineLoadResult r = obs::load_timeline_jsonl(jsonl, loaded);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(loaded.to_jsonl(), jsonl);
+}
+
+TEST(TimelineIo, CrossFileMergeSumsCounters) {
+  const Timeline tl = populated_timeline();
+  const std::string jsonl = tl.to_jsonl();
+  Timeline merged;
+  ASSERT_TRUE(obs::load_timeline_jsonl(jsonl, merged).ok);
+  ASSERT_TRUE(obs::load_timeline_jsonl(jsonl, merged).ok);  // file twice
+  const Timeline::Series* s = merged.find("a.count");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->windows[0].sum, 3.0);  // 1.5 doubled
+  EXPECT_EQ(merged.digests().at("a.run").count(), 4);
+}
+
+TEST(TimelineIo, ValidatorAcceptsExportAndRejectsMalformedLines) {
+  const std::string good = populated_timeline().to_jsonl();
+  EXPECT_TRUE(obs::validate_timeline_jsonl(good).ok)
+      << "valid export rejected";
+
+  const char* bad_inputs[] = {
+      // No meta record.
+      "{\"type\":\"series\",\"name\":\"x\",\"kind\":\"counter\","
+      "\"windows\":[]}\n",
+      // Unsupported version.
+      "{\"type\":\"meta\",\"version\":2,\"window_ns\":1000,"
+      "\"base_window_ns\":1000,\"max_windows\":4}\n",
+      // window_ns not a multiple of base.
+      "{\"type\":\"meta\",\"version\":1,\"window_ns\":1500,"
+      "\"base_window_ns\":1000,\"max_windows\":4}\n",
+      // Unknown record type.
+      "{\"type\":\"meta\",\"version\":1,\"window_ns\":1000,"
+      "\"base_window_ns\":1000,\"max_windows\":4}\n"
+      "{\"type\":\"mystery\"}\n",
+      // Truncated JSON.
+      "{\"type\":\"meta\",\"version\":1,\"window_ns\":1000,"
+      "\"base_window_ns\":1000,\"max_windows\":4}\n"
+      "{\"type\":\"series\",\"name\":\"x\"\n",
+  };
+  for (const char* bad : bad_inputs) {
+    const obs::TimelineLoadResult r = obs::validate_timeline_jsonl(bad);
+    EXPECT_FALSE(r.ok) << bad;
+    EXPECT_FALSE(r.error.empty()) << bad;
+  }
+}
+
+TEST(TimelineIo, RejectsNonIncreasingWindowIndices) {
+  const std::string input =
+      "{\"type\":\"meta\",\"version\":1,\"window_ns\":1000,"
+      "\"base_window_ns\":1000,\"max_windows\":8}\n"
+      "{\"type\":\"series\",\"name\":\"x\",\"kind\":\"counter\","
+      "\"windows\":[[3,1],[3,2]]}\n";
+  const obs::TimelineLoadResult r = obs::validate_timeline_jsonl(input);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("strictly increasing"), std::string::npos)
+      << r.error;
+}
+
+// ---------------------------------------------------------------------------
+// Worker-count invariance through exp::sweep
+// ---------------------------------------------------------------------------
+
+trace::Trace timeline_test_trace() {
+  trace::TraceSpec spec;
+  spec.name = "timeline-test";
+  spec.seed = 11;
+  spec.duration = 10 * kMinute;
+  spec.target_requests = 20000;
+  return trace::SyntheticGenerator(spec).generate_trace();
+}
+
+TEST(TimelineSweep, PolicySweepJsonlIsWorkerCountInvariant) {
+  const trace::Trace t = timeline_test_trace();
+  const std::vector<SimTime> services = core::precompute_services(
+      t, core::make_foreground_service(disk::hitachi_ultrastar_15k450()));
+
+  std::vector<exp::PolicySimScenario> scenarios;
+  for (int th : {16, 64, 256, 1024}) {
+    exp::PolicySimScenario s;
+    s.label = "pol." + std::to_string(th);
+    s.trace = &t;
+    s.services = &services;
+    s.policy.threshold = th * kMillisecond;
+    scenarios.push_back(s);
+  }
+
+  std::vector<std::string> jsonls;
+  for (int workers : {1, 4, 8}) {
+    Timeline tl;
+    tl.configure({kSecond, 128});
+    tl.set_enabled(true);
+    exp::SweepOptions options;
+    options.workers = workers;
+    options.timeline_into = &tl;
+    exp::run_policy_scenarios(scenarios, options);
+    jsonls.push_back(tl.to_jsonl());
+  }
+  EXPECT_GT(jsonls[0].size(), 100u) << "timeline export suspiciously empty";
+  EXPECT_EQ(jsonls[1], jsonls[0]);
+  EXPECT_EQ(jsonls[2], jsonls[0]);
+}
+
+TEST(TimelineSweep, EventDrivenSweepJsonlIsWorkerCountInvariant) {
+  std::vector<exp::ScenarioConfig> configs;
+  for (int i = 0; i < 3; ++i) {
+    exp::ScenarioConfig cfg;
+    cfg.label = "tl.s" + std::to_string(i);
+    cfg.workload.kind = exp::WorkloadKind::kSequentialChunks;
+    cfg.workload.seed = 100 + static_cast<std::uint64_t>(i);
+    cfg.scrubber.kind = exp::ScrubberKind::kWaiting;
+    cfg.scrubber.wait_threshold = (20 + 10 * i) * kMillisecond;
+    cfg.run_for = 3 * kSecond;
+    configs.push_back(cfg);
+  }
+
+  std::vector<std::string> jsonls;
+  for (int workers : {1, 3}) {
+    Timeline tl;
+    tl.configure({kSecond / 4, 64});
+    tl.set_enabled(true);
+    exp::SweepOptions options;
+    options.workers = workers;
+    options.timeline_into = &tl;
+    exp::run_scenarios(configs, options);
+    jsonls.push_back(tl.to_jsonl());
+  }
+  EXPECT_EQ(jsonls[1], jsonls[0]);
+  // The instrumented stack produced disk utilization and scrub progress.
+  EXPECT_NE(jsonls[0].find("tl.s0.disk.util.foreground"), std::string::npos);
+  EXPECT_NE(jsonls[0].find("tl.s0.scrub.progress.sectors"),
+            std::string::npos);
+}
+
+TEST(TimelineSweep, DisabledDestinationRecordsNothing) {
+  const trace::Trace t = timeline_test_trace();
+  exp::PolicySimScenario s;
+  s.label = "quiet";
+  s.trace = &t;
+
+  Timeline tl;  // configured but NOT enabled
+  tl.configure({kSecond, 64});
+  exp::SweepOptions options;
+  options.timeline_into = &tl;
+  exp::run_policy_scenarios({s}, options);
+  EXPECT_EQ(tl.series_count(), 0u);
+}
+
+}  // namespace
+}  // namespace pscrub

@@ -1,0 +1,69 @@
+// pscrub-report: deterministic text reports over PSCRUB_TIMELINE JSONL.
+//
+//   pscrub-report [--check] [--windows] [--series=PREFIX] FILE...
+//
+// Multiple files merge fleet-style before rendering (counters and digests
+// sum, gauges last-file-wins), so per-worker or per-host exports combine
+// into one report. --check validates the files and prints nothing on
+// success. Exit codes: 0 ok, 1 load/parse failure, 2 usage error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.h"
+#include "report.h"
+
+namespace {
+
+int usage(std::FILE* to) {
+  std::fputs(
+      "usage: pscrub-report [--check] [--windows] [--series=PREFIX] "
+      "FILE...\n"
+      "  --check          validate the files; no report output\n"
+      "  --windows        include per-window tables and event listings\n"
+      "  --series=PREFIX  restrict the report to series under PREFIX\n",
+      to);
+  return to == stdout ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  pscrub::report::ReportOptions options;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(stdout);
+    if (arg == "--check") {
+      check = true;
+    } else if (arg == "--windows") {
+      options.windows = true;
+    } else if (arg.rfind("--series=", 0) == 0) {
+      options.series_prefix = arg.substr(std::string("--series=").size());
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "pscrub-report: unknown option '%s'\n",
+                   arg.c_str());
+      return usage(stderr);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fputs("pscrub-report: no input files\n", stderr);
+    return usage(stderr);
+  }
+
+  pscrub::obs::Timeline merged;
+  const std::string error = pscrub::report::load_and_merge(files, merged);
+  if (!error.empty()) {
+    std::fprintf(stderr, "pscrub-report: %s\n", error.c_str());
+    return 1;
+  }
+  if (check) return 0;
+
+  const std::string report = pscrub::report::render_report(merged, options);
+  std::fwrite(report.data(), 1, report.size(), stdout);
+  return 0;
+}

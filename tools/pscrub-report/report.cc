@@ -1,0 +1,334 @@
+#include "report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/digest.h"
+#include "obs/timeline_io.h"
+#include "sim/time.h"
+
+namespace pscrub::report {
+
+namespace {
+
+using obs::QuantileDigest;
+using obs::Timeline;
+
+/// Shared numeric formatting: %.6g keeps the output compact while staying
+/// byte-deterministic for identical doubles.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string seconds(double s) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3fs", s);
+  return buf;
+}
+
+std::string percent(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f%%", 100.0 * fraction);
+  return buf;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool selected(const std::string& name, const ReportOptions& opt) {
+  return opt.series_prefix.empty() || starts_with(name, opt.series_prefix);
+}
+
+/// Highest non-empty window index + 1 over the selected series (the
+/// observed span in windows; utilization percentages are relative to it).
+std::size_t used_windows(const Timeline& tl, const ReportOptions& opt) {
+  std::size_t used = 0;
+  for (const auto& [name, id] : tl.index()) {
+    if (!selected(name, opt)) continue;
+    const Timeline::Series& s = tl.at(id);
+    for (std::size_t i = s.windows.size(); i-- > 0;) {
+      if (!s.windows[i].empty()) {
+        used = std::max(used, i + 1);
+        break;
+      }
+    }
+  }
+  return used;
+}
+
+/// Sums a counter series over all windows (0 when absent or not a
+/// counter).
+double counter_total(const Timeline& tl, const std::string& name) {
+  const Timeline::Series* s = tl.find(name);
+  if (s == nullptr || s->kind != Timeline::SeriesKind::kCounter) return 0.0;
+  double total = 0.0;
+  for (const Timeline::Window& w : s->windows) total += w.sum;
+  return total;
+}
+
+/// Final set gauge value (found=false when the gauge never fired).
+double final_gauge(const Timeline::Series& s, bool& found) {
+  for (std::size_t i = s.windows.size(); i-- > 0;) {
+    if (s.windows[i].set) {
+      found = true;
+      return s.windows[i].last;
+    }
+  }
+  found = false;
+  return 0.0;
+}
+
+void render_scrub_progress(const Timeline& tl, const ReportOptions& opt,
+                           double width_s, std::size_t used,
+                           std::string& out) {
+  std::string section;
+  for (const auto& [name, id] : tl.index()) {
+    if (!selected(name, opt)) continue;
+    const Timeline::Series& s = tl.at(id);
+    if (s.kind != Timeline::SeriesKind::kGauge) continue;
+
+    if (ends_with(name, ".progress.fraction")) {
+      const std::string base =
+          name.substr(0, name.size() - std::string(".progress.fraction").size());
+      bool found = false;
+      const double final_fraction = final_gauge(s, found);
+      if (!found) continue;
+      bool complete = false;
+      std::size_t complete_win = 0;
+      for (std::size_t i = 0; i < s.windows.size(); ++i) {
+        if (s.windows[i].set && s.windows[i].last >= 1.0) {
+          complete = true;
+          complete_win = i;
+          break;
+        }
+      }
+      section += "  " + base + ": ";
+      if (complete) {
+        // The gauge pins at 1 inside this window; report its end as the
+        // (conservative) first-pass completion time.
+        section += "first pass complete by " +
+                   seconds(static_cast<double>(complete_win + 1) * width_s);
+      } else {
+        section += "incomplete (" + percent(final_fraction) + ")";
+      }
+      const double standdowns = counter_total(tl, base + ".standdowns");
+      section += ", standdowns " + num(standdowns) + "\n";
+      continue;
+    }
+
+    if (ends_with(name, ".rebuild.fraction")) {
+      bool found = false;
+      const double final_fraction = final_gauge(s, found);
+      if (!found) continue;
+      bool complete = false;
+      std::size_t complete_win = 0;
+      for (std::size_t i = 0; i < s.windows.size(); ++i) {
+        if (s.windows[i].set && s.windows[i].last >= 1.0) {
+          complete = true;
+          complete_win = i;
+          break;
+        }
+      }
+      section += "  " + name.substr(0, name.size() -
+                                           std::string(".fraction").size());
+      section += ": ";
+      if (complete) {
+        section += "complete by " +
+                   seconds(static_cast<double>(complete_win + 1) * width_s);
+      } else {
+        section += "at " + percent(final_fraction);
+      }
+      section += "\n";
+      continue;
+    }
+
+    if (ends_with(name, ".scrub.progress.mb")) {
+      // Policy-sim progress: cumulative megabytes scrubbed.
+      bool found = false;
+      const double final_mb = final_gauge(s, found);
+      if (!found) continue;
+      const double span_s = static_cast<double>(used) * width_s;
+      section += "  " +
+                 name.substr(0, name.size() -
+                                    std::string(".progress.mb").size()) +
+                 ": " + num(final_mb) + " MB";
+      if (span_s > 0.0) {
+        section += " (" + num(final_mb / span_s) + " MB/s over the span)";
+      }
+      section += "\n";
+    }
+  }
+  if (!section.empty()) {
+    out += "\nscrub progress\n";
+    out += section;
+  }
+}
+
+void render_utilization(const Timeline& tl, const ReportOptions& opt,
+                        double width_s, std::size_t used, std::string& out) {
+  std::string section;
+  const double span_s = static_cast<double>(used) * width_s;
+  for (const auto& [name, id] : tl.index()) {
+    if (!selected(name, opt)) continue;
+    const Timeline::Series& s = tl.at(id);
+    if (s.kind != Timeline::SeriesKind::kCounter) continue;
+    if (name.find(".util.") == std::string::npos) continue;
+    double busy_s = 0.0;
+    for (const Timeline::Window& w : s.windows) busy_s += w.sum;
+    section += "  " + name + ": " + seconds(busy_s);
+    if (span_s > 0.0) {
+      section += " (" + percent(busy_s / span_s) + " of span)";
+    }
+    section += "\n";
+  }
+  if (!section.empty()) {
+    out += "\nutilization\n";
+    out += section;
+  }
+}
+
+std::string digest_line(const std::string& name, const QuantileDigest& d) {
+  return "  " + name + ": count " + std::to_string(d.count()) + ", p50 " +
+         num(d.p50()) + ", p95 " + num(d.p95()) + ", p99 " + num(d.p99()) +
+         ", max " + num(d.max()) + "\n";
+}
+
+void render_digests(const Timeline& tl, const ReportOptions& opt,
+                    std::string& out) {
+  std::string section;
+  for (const auto& [name, id] : tl.index()) {
+    if (!selected(name, opt)) continue;
+    const Timeline::Series& s = tl.at(id);
+    if (s.kind != Timeline::SeriesKind::kDigest) continue;
+    QuantileDigest all;
+    for (const QuantileDigest& d : s.digests) all.merge(d);
+    if (all.count() == 0) continue;
+    section += digest_line(name, all);
+  }
+  for (const auto& [name, d] : tl.digests()) {
+    if (!selected(name, opt) || d.count() == 0) continue;
+    section += digest_line(name + " (run)", d);
+  }
+  if (!section.empty()) {
+    out += "\ndigest quantiles\n";
+    out += section;
+  }
+}
+
+void render_events(const Timeline& tl, const ReportOptions& opt,
+                   std::string& out) {
+  std::string section;
+  for (const auto& [name, log] : tl.events()) {
+    if (!selected(name, opt)) continue;
+    section += "  " + name + ": " + std::to_string(log.items.size()) +
+               " event(s)";
+    if (log.dropped > 0) {
+      section += ", " + std::to_string(log.dropped) + " dropped";
+    }
+    section += "\n";
+    if (opt.windows) {
+      for (const auto& [t, text] : log.items) {
+        section += "    " + seconds(to_seconds(t)) + "  " + text + "\n";
+      }
+    }
+  }
+  if (!section.empty()) {
+    out += "\nevents\n";
+    out += section;
+  }
+}
+
+const char* kind_name(Timeline::SeriesKind kind) {
+  switch (kind) {
+    case Timeline::SeriesKind::kCounter:
+      return "counter";
+    case Timeline::SeriesKind::kGauge:
+      return "gauge";
+    case Timeline::SeriesKind::kDigest:
+      return "digest";
+  }
+  return "unknown";
+}
+
+void render_window_tables(const Timeline& tl, const ReportOptions& opt,
+                          double width_s, std::string& out) {
+  for (const auto& [name, id] : tl.index()) {
+    if (!selected(name, opt)) continue;
+    const Timeline::Series& s = tl.at(id);
+    bool any = false;
+    for (const Timeline::Window& w : s.windows) {
+      if (!w.empty()) any = true;
+    }
+    if (!any) continue;
+    out += "\nwindows: " + name + " (" + kind_name(s.kind) + ")\n";
+    for (std::size_t i = 0; i < s.windows.size(); ++i) {
+      const Timeline::Window& w = s.windows[i];
+      if (w.empty()) continue;
+      out += "  [" + std::to_string(i) + "] t=" +
+             seconds(static_cast<double>(i) * width_s);
+      switch (s.kind) {
+        case Timeline::SeriesKind::kCounter:
+          out += " sum=" + num(w.sum);
+          break;
+        case Timeline::SeriesKind::kGauge:
+          out += " last=" + num(w.last);
+          break;
+        case Timeline::SeriesKind::kDigest: {
+          const QuantileDigest& d = s.digests[i];
+          out += " count=" + std::to_string(w.count) + " p50=" +
+                 num(d.p50()) + " p95=" + num(d.p95()) + " max=" +
+                 num(d.max());
+          break;
+        }
+      }
+      out += "\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string load_and_merge(const std::vector<std::string>& paths,
+                           obs::Timeline& into) {
+  for (const std::string& path : paths) {
+    const obs::TimelineLoadResult r = obs::load_timeline_file(path, into);
+    if (!r) return path + ": " + r.error;
+  }
+  return "";
+}
+
+std::string render_report(const obs::Timeline& tl,
+                          const ReportOptions& options) {
+  const double width_s = to_seconds(tl.window_width());
+  const std::size_t used = used_windows(tl, options);
+
+  std::size_t n_series = 0;
+  for (const auto& [name, id] : tl.index()) {
+    if (selected(name, options)) ++n_series;
+  }
+
+  std::string out;
+  out += "timeline: " + std::to_string(n_series) + " series, window " +
+         seconds(width_s) + ", span " +
+         seconds(static_cast<double>(used) * width_s) + "\n";
+
+  render_scrub_progress(tl, options, width_s, used, out);
+  render_utilization(tl, options, width_s, used, out);
+  render_digests(tl, options, out);
+  render_events(tl, options, out);
+  if (options.windows) render_window_tables(tl, options, width_s, out);
+  return out;
+}
+
+}  // namespace pscrub::report

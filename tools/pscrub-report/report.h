@@ -1,0 +1,37 @@
+// pscrub-report rendering: deterministic text reports over timeline JSONL
+// (the PSCRUB_TIMELINE export format, obs/timeline_io.h).
+//
+// Split from main.cc so tests can drive the renderer directly against
+// in-memory timelines and golden-compare the output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/timeline.h"
+
+namespace pscrub::report {
+
+struct ReportOptions {
+  /// Also print the per-window tables for every selected series.
+  bool windows = false;
+  /// When non-empty, restrict every section to series/digests/events whose
+  /// name starts with this prefix.
+  std::string series_prefix;
+};
+
+/// Loads every file and merges it into `into` (fleet-style cross-file
+/// merge: counters/digests sum, gauges last-merge-wins in argument
+/// order). Returns "" on success, else "<path>: <error>" for the first
+/// failure.
+std::string load_and_merge(const std::vector<std::string>& paths,
+                           obs::Timeline& into);
+
+/// Renders the deterministic report: header, scrub-progress summaries,
+/// utilization breakdown, digest quantiles, event-log summaries, and
+/// (with options.windows) per-window tables. Same timeline, same options
+/// -> same bytes.
+std::string render_report(const obs::Timeline& timeline,
+                          const ReportOptions& options = {});
+
+}  // namespace pscrub::report
