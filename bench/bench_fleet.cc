@@ -1,0 +1,85 @@
+// Fleet-layer benchmarks (google-benchmark): end-to-end run_fleet over a
+// disks x policy grid, plus the single-member reference path for
+// per-disk-cost comparison. These pin the fleet scaling contract -- SoA
+// state, closed-form schedules, sharded event queues -- under the PR-5
+// perf gate (bench/baseline.json via compare_perf.py).
+//
+// PSCRUB_BENCH_SCALE in (0, 1] shrinks the disk counts for smoke runs
+// (the perf gate runs full size).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "bench/common.h"
+#include "pscrub.h"
+
+namespace pscrub {
+namespace {
+
+std::int64_t scaled_disks(std::int64_t disks) {
+  const double scale = bench::bench_scale();
+  if (scale <= 0.0) return disks;
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(
+                                       static_cast<double>(disks) * scale));
+}
+
+exp::ScenarioConfig fleet_config(std::int64_t disks, bool staggered) {
+  exp::ScenarioConfig config;
+  config.label = staggered ? "bench.fleet.stag" : "bench.fleet.seq";
+  config.disk.capacity_bytes = 32LL << 30;
+  config.scrubber.kind = exp::ScrubberKind::kWaiting;
+  config.scrubber.strategy.kind = staggered ? exp::StrategyKind::kStaggered
+                                            : exp::StrategyKind::kSequential;
+  config.scrubber.strategy.request_bytes = 64 * 1024;
+  config.scrubber.strategy.regions = 128;
+  config.run_for = 90 * kDay;
+  config.fleet.disks = disks;
+  config.fleet.pacing.request_service = 150 * kMillisecond;
+  config.fleet.util_min = 0.2;
+  config.fleet.util_max = 0.6;
+  config.fault.enabled = true;
+  config.fault.lse.burst_interarrival_mean = 10 * kDay;
+  config.fault.lse.burst_span_bytes = 64LL << 20;
+  return config;
+}
+
+/// End-to-end fleet run: args are (disks, staggered). The grid spans the
+/// shard-count default's breakpoints (1 shard at 10k, multiple at 100k).
+void BM_FleetRun(benchmark::State& state) {
+  const std::int64_t disks = scaled_disks(state.range(0));
+  const exp::ScenarioConfig config = fleet_config(disks, state.range(1) != 0);
+  for (auto _ : state) {
+    fleet::FleetResult r = fleet::run_fleet(config);
+    benchmark::DoNotOptimize(r.total_errors);
+  }
+  state.SetItemsProcessed(state.iterations() * disks);
+}
+BENCHMARK(BM_FleetRun)
+    ->Args({10'000, 0})
+    ->Args({10'000, 1})
+    ->Args({100'000, 0})
+    ->Args({100'000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// The per-disk reference path (virtual-dispatch strategy + full schedule
+/// materialization): what the fleet's closed-form path replaces. The
+/// per-item gap between this and BM_FleetRun is the layer's win.
+void BM_FleetMemberReference(benchmark::State& state) {
+  const exp::ScenarioConfig config = fleet_config(1024, state.range(0) != 0);
+  std::int64_t index = 0;
+  for (auto _ : state) {
+    fleet::MemberResult r =
+        fleet::run_member(config, index % config.fleet.disks);
+    benchmark::DoNotOptimize(r.mlet.errors);
+    ++index;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FleetMemberReference)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pscrub
+
+BENCHMARK_MAIN();

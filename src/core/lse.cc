@@ -130,4 +130,72 @@ MletResult evaluate_mlet(ScrubStrategy& strategy, std::int64_t total_sectors,
   return out;
 }
 
+SimTime sector_detection_delay(const ScheduleView& schedule, disk::Lbn sector,
+                               SimTime phase, SimTime step,
+                               SimTime pass_duration) {
+  const SimTime offset = schedule.step_of(sector) * step;
+  SimTime d = offset - phase;
+  if (d < 0) d += pass_duration;
+  return d;
+}
+
+SimTime burst_detection_delay(const ScheduleView& schedule,
+                              const disk::Lbn* sectors, std::size_t count,
+                              SimTime phase, SimTime step,
+                              SimTime pass_duration) {
+  assert(count > 0);
+  SimTime min_delay = pass_duration;
+  for (std::size_t i = 0; i < count; ++i) {
+    min_delay = std::min(min_delay, sector_detection_delay(
+                                        schedule, sectors[i], phase, step,
+                                        pass_duration));
+  }
+  return min_delay;
+}
+
+MletResult evaluate_mlet(const ScheduleView& schedule,
+                         const std::vector<LseBurst>& bursts,
+                         const MletConfig& config,
+                         std::vector<SimTime>* detect_times) {
+  const SimTime step = config.request_service + config.request_spacing;
+  const SimTime pass_duration = schedule.steps_per_pass() * step;
+  MletResult out;
+  out.pass_hours = to_seconds(pass_duration) / 3600.0;
+  if (detect_times != nullptr) {
+    detect_times->assign(bursts.size(), 0);
+  }
+
+  double delay_sum_hours = 0.0;
+  for (std::size_t bi = 0; bi < bursts.size(); ++bi) {
+    const LseBurst& b = bursts[bi];
+    const SimTime phase = b.occurred % pass_duration;
+    const SimTime first_probe = burst_detection_delay(
+        schedule, b.sectors.data(), b.sectors.size(), phase, step,
+        pass_duration);
+    if (detect_times != nullptr) {
+      (*detect_times)[bi] = b.occurred + first_probe;
+    }
+
+    if (config.scrub_on_detection) {
+      const double hours = to_seconds(first_probe) / 3600.0;
+      delay_sum_hours += hours * static_cast<double>(b.sectors.size());
+      out.worst_hours = std::max(out.worst_hours, hours);
+      out.errors += static_cast<std::int64_t>(b.sectors.size());
+    } else {
+      for (disk::Lbn s : b.sectors) {
+        const SimTime d =
+            sector_detection_delay(schedule, s, phase, step, pass_duration);
+        const double hours = to_seconds(d) / 3600.0;
+        delay_sum_hours += hours;
+        out.worst_hours = std::max(out.worst_hours, hours);
+        ++out.errors;
+      }
+    }
+  }
+  if (out.errors > 0) {
+    out.mlet_hours = delay_sum_hours / static_cast<double>(out.errors);
+  }
+  return out;
+}
+
 }  // namespace pscrub::core

@@ -16,9 +16,11 @@
 // detected when its first sector is found.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "core/schedule_view.h"
 #include "core/scrub_strategy.h"
 #include "sim/rng.h"
 #include "sim/time.h"
@@ -68,5 +70,38 @@ struct MletConfig {
 MletResult evaluate_mlet(ScrubStrategy& strategy, std::int64_t total_sectors,
                          const std::vector<LseBurst>& bursts,
                          const MletConfig& config);
+
+// ---------------------------------------------------------------------------
+// ScheduleView forms: the same evaluation without the per-disk strategy
+// object. The fleet layer (src/fleet) calls these against struct-of-arrays
+// state -- no heap strategy, no virtual dispatch on the hot path -- and
+// the results are bit-identical to the ScrubStrategy overload (the cyclic
+// schedule is the same; tests cross-check both paths).
+
+/// Detection delay of a single sector error: time from the error's phase
+/// within the pass (`phase` = occurred % pass_duration) until the extent
+/// covering `sector` is next verified. `step` is the paced per-extent
+/// interval (request_service + request_spacing) and `pass_duration` is
+/// steps_per_pass() * step.
+SimTime sector_detection_delay(const ScheduleView& schedule, disk::Lbn sector,
+                               SimTime phase, SimTime step,
+                               SimTime pass_duration);
+
+/// First-probe detection delay of a whole burst (the scrub_on_detection
+/// semantics): the minimum sector_detection_delay over `sectors`.
+/// Precondition: count > 0.
+SimTime burst_detection_delay(const ScheduleView& schedule,
+                              const disk::Lbn* sectors, std::size_t count,
+                              SimTime phase, SimTime step,
+                              SimTime pass_duration);
+
+/// evaluate_mlet against a closed-form schedule. When `detect_times` is
+/// non-null it is resized to bursts.size() and filled with each burst's
+/// first-detection time (occurred + first-probe delay) -- what the fleet
+/// layer records into its detection timeline.
+MletResult evaluate_mlet(const ScheduleView& schedule,
+                         const std::vector<LseBurst>& bursts,
+                         const MletConfig& config,
+                         std::vector<SimTime>* detect_times = nullptr);
 
 }  // namespace pscrub::core

@@ -1,0 +1,131 @@
+#include "core/schedule_view.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace pscrub::core {
+
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Staggered-geometry decomposition. Regions are ceil(total/R) sectors
+/// each, so the tail of the disk holds at most one *partial* region
+/// (`partial_sectors` > 0) followed by empty regions the strategy skips
+/// within each round. Full regions participate in ceil(rs/req) rounds,
+/// the partial one in ceil(partial/req).
+struct StaggeredGeometry {
+  std::int64_t full_regions = 0;     // regions of exactly region_sectors
+  std::int64_t partial_sectors = 0;  // size of the one short region (or 0)
+  std::int64_t full_rounds = 0;      // rounds a full region yields in
+  std::int64_t partial_rounds = 0;   // rounds the partial region yields in
+};
+
+StaggeredGeometry geometry_of(const ScheduleView& v) {
+  StaggeredGeometry g;
+  g.full_regions = v.total_sectors / v.region_sectors;
+  g.partial_sectors = v.total_sectors - g.full_regions * v.region_sectors;
+  g.full_rounds = ceil_div(v.region_sectors, v.request_sectors);
+  g.partial_rounds =
+      g.partial_sectors > 0 ? ceil_div(g.partial_sectors, v.request_sectors)
+                            : 0;
+  return g;
+}
+
+}  // namespace
+
+ScheduleView ScheduleView::sequential(std::int64_t total_sectors,
+                                      std::int64_t request_sectors) {
+  if (total_sectors <= 0 || request_sectors <= 0) {
+    throw std::invalid_argument(
+        "ScheduleView::sequential: sizes must be > 0, got total " +
+        std::to_string(total_sectors) + ", request " +
+        std::to_string(request_sectors));
+  }
+  ScheduleView v;
+  v.kind = Kind::kSequential;
+  v.total_sectors = total_sectors;
+  v.request_sectors = request_sectors;
+  return v;
+}
+
+ScheduleView ScheduleView::staggered(std::int64_t total_sectors,
+                                     std::int64_t request_sectors,
+                                     int regions) {
+  if (total_sectors <= 0 || request_sectors <= 0) {
+    throw std::invalid_argument(
+        "ScheduleView::staggered: sizes must be > 0, got total " +
+        std::to_string(total_sectors) + ", request " +
+        std::to_string(request_sectors));
+  }
+  ScheduleView v;
+  v.kind = Kind::kStaggered;
+  v.total_sectors = total_sectors;
+  v.request_sectors = request_sectors;
+  v.regions = std::max(regions, 1);
+  v.region_sectors = ceil_div(total_sectors, v.regions);
+  if (v.region_sectors < request_sectors) {
+    throw std::invalid_argument(
+        "ScheduleView::staggered: " + std::to_string(v.regions) +
+        " regions of " + std::to_string(v.region_sectors) +
+        " sectors are too fine for " + std::to_string(request_sectors) +
+        "-sector requests");
+  }
+  return v;
+}
+
+std::int64_t ScheduleView::steps_per_pass() const {
+  if (kind == Kind::kSequential) {
+    return ceil_div(total_sectors, request_sectors);
+  }
+  const StaggeredGeometry g = geometry_of(*this);
+  return g.full_regions * g.full_rounds + g.partial_rounds;
+}
+
+std::int64_t ScheduleView::step_of(disk::Lbn sector) const {
+  assert(sector >= 0 && sector < total_sectors);
+  if (kind == Kind::kSequential) {
+    return sector / request_sectors;
+  }
+  const StaggeredGeometry g = geometry_of(*this);
+  const std::int64_t region = sector / region_sectors;
+  const std::int64_t round = (sector % region_sectors) / request_sectors;
+  // Rounds before this one: every full region yielded `round` extents
+  // (round < full_rounds is guaranteed for any covered sector), the
+  // partial region min(round, partial_rounds). Within the round, the
+  // yielding regions are a contiguous index prefix, so `region` extents
+  // precede this one.
+  return g.full_regions * round + std::min(round, g.partial_rounds) + region;
+}
+
+ScrubExtent ScheduleView::extent_at(std::int64_t step) const {
+  assert(step >= 0 && step < steps_per_pass());
+  ScrubExtent e;
+  if (kind == Kind::kSequential) {
+    e.lbn = step * request_sectors;
+    e.sectors = std::min(request_sectors, total_sectors - e.lbn);
+    return e;
+  }
+  const StaggeredGeometry g = geometry_of(*this);
+  std::int64_t round = 0;
+  std::int64_t remaining = step;
+  for (;;) {
+    const std::int64_t in_round =
+        g.full_regions + (round < g.partial_rounds ? 1 : 0);
+    if (remaining < in_round) break;
+    remaining -= in_round;
+    ++round;
+  }
+  const std::int64_t region = remaining;
+  const std::int64_t region_size =
+      region < g.full_regions ? region_sectors : g.partial_sectors;
+  e.lbn = region * region_sectors + round * request_sectors;
+  e.sectors = std::min(request_sectors, region_size - round * request_sectors);
+  return e;
+}
+
+}  // namespace pscrub::core

@@ -1,0 +1,63 @@
+// Closed-form, non-virtual view of a scrub strategy's per-pass schedule.
+//
+// ScrubStrategy (scrub_strategy.h) is the paper's kernel-style API: a tiny
+// heap-allocated state machine yielding one extent per call through a
+// virtual next(). That is the right shape for one disk driven by the
+// event stack, and exactly the wrong shape for a fleet: simulating 100k+
+// disks cannot afford one heap object plus a virtual dispatch per disk on
+// the hot path, and most fleet questions ("when is sector s verified?")
+// need random access into the schedule, not a sequential walk.
+//
+// A ScheduleView is the same schedule as a value type with O(1) closed
+// forms: step_of(sector) gives the 0-based position within a pass at
+// which the extent covering `sector` is verified, and steps_per_pass()
+// gives the pass length in extents. Both are exact mirrors of the
+// corresponding strategy's next() sequence (tests walk a strategy for a
+// full pass and cross-check every extent), so fleet-side MLET arithmetic
+// built on a view is bit-identical to the single-disk virtual-dispatch
+// path. extent_at() inverts step_of for the cross-checks; the fleet hot
+// path never calls it.
+#pragma once
+
+#include <cstdint>
+
+#include "core/scrub_strategy.h"
+#include "disk/command.h"
+
+namespace pscrub::core {
+
+struct ScheduleView {
+  enum class Kind : std::uint8_t { kSequential, kStaggered };
+
+  Kind kind = Kind::kSequential;
+  std::int64_t total_sectors = 0;
+  std::int64_t request_sectors = 0;
+  // Staggered only (mirrors StaggeredStrategy's geometry).
+  int regions = 1;
+  std::int64_t region_sectors = 0;  // ceil(total_sectors / regions)
+
+  /// The SequentialStrategy schedule. Throws std::invalid_argument for
+  /// non-positive sizes.
+  static ScheduleView sequential(std::int64_t total_sectors,
+                                 std::int64_t request_sectors);
+
+  /// The StaggeredStrategy schedule (regions clamped to >= 1 like the
+  /// strategy). Throws std::invalid_argument for non-positive sizes or
+  /// regions too fine for the request size (region_sectors <
+  /// request_sectors, the same precondition StaggeredStrategy asserts).
+  static ScheduleView staggered(std::int64_t total_sectors,
+                                std::int64_t request_sectors, int regions);
+
+  /// Extents in one full pass (every sector verified exactly once).
+  std::int64_t steps_per_pass() const;
+
+  /// 0-based step within a pass at which the extent covering `sector` is
+  /// verified. Precondition: 0 <= sector < total_sectors.
+  std::int64_t step_of(disk::Lbn sector) const;
+
+  /// The extent verified at `step` (inverse of step_of; test hook).
+  /// Precondition: 0 <= step < steps_per_pass().
+  ScrubExtent extent_at(std::int64_t step) const;
+};
+
+}  // namespace pscrub::core

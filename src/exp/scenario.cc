@@ -64,6 +64,18 @@ std::unique_ptr<core::ScrubStrategy> StrategySpec::build(
   throw std::logic_error("unknown StrategyKind");
 }
 
+core::ScheduleView StrategySpec::view(std::int64_t total_sectors) const {
+  const std::int64_t request_sectors = disk::sectors_from_bytes(request_bytes);
+  switch (kind) {
+    case StrategyKind::kSequential:
+      return core::ScheduleView::sequential(total_sectors, request_sectors);
+    case StrategyKind::kStaggered:
+      return core::ScheduleView::staggered(total_sectors, request_sectors,
+                                           regions);
+  }
+  throw std::logic_error("unknown StrategyKind");
+}
+
 namespace {
 
 std::unique_ptr<block::IoScheduler> make_scheduler(SchedulerKind kind) {
@@ -150,10 +162,73 @@ void validate_scenario(const ScenarioConfig& config) {
           "construction");
     }
   }
+
+  const FleetSpec& fl = config.fleet;
+  if (fl.disks > 0) {
+    // Fleet members are evaluated analytically; the stack-only specs have
+    // no meaning there and silently ignoring them would mislead.
+    if (config.raid.enabled) {
+      throw std::invalid_argument(
+          "ScenarioConfig: fleet mode simulates independent members; "
+          "disable raid");
+    }
+    if (config.workload.kind != WorkloadKind::kNone) {
+      throw std::invalid_argument(
+          "ScenarioConfig: fleet mode models foreground load via "
+          "fleet.util_min/util_max; set workload.kind = kNone");
+    }
+    if (config.spindown_threshold > 0) {
+      throw std::invalid_argument(
+          "ScenarioConfig: fleet mode has no spin-down daemon; set "
+          "spindown_threshold = 0");
+    }
+    if (config.scrubber.kind == ScrubberKind::kNone) {
+      throw std::invalid_argument(
+          "ScenarioConfig: fleet mode needs a scrub schedule; set "
+          "scrubber.kind and scrubber.strategy");
+    }
+    if (!config.fault.fail_disk.empty()) {
+      throw std::invalid_argument(
+          "ScenarioConfig: fleet members model latent errors only, not "
+          "whole-device failures; clear fault.fail_disk");
+    }
+    if (fl.shards < 0) {
+      throw std::invalid_argument(
+          "ScenarioConfig: fleet.shards must be >= 0, got " +
+          std::to_string(fl.shards));
+    }
+    if (fl.pacing.request_service <= 0 || fl.pacing.request_spacing < 0) {
+      throw std::invalid_argument(
+          "ScenarioConfig: fleet.pacing needs request_service > 0 and "
+          "request_spacing >= 0");
+    }
+    if (!(fl.util_min >= 0.0 && fl.util_min <= fl.util_max &&
+          fl.util_max < 1.0)) {
+      throw std::invalid_argument(
+          "ScenarioConfig: fleet utilization needs 0 <= util_min <= "
+          "util_max < 1, got [" + std::to_string(fl.util_min) + ", " +
+          std::to_string(fl.util_max) + "]");
+    }
+    if (config.run_for <= 0) {
+      throw std::invalid_argument(
+          "ScenarioConfig: fleet mode needs run_for > 0");
+    }
+    // Staggered feasibility (region size vs request size) depends on the
+    // member geometry; surface it here rather than from inside a shard.
+    const disk::DiskProfile p = config.disk.profile();
+    config.scrubber.strategy.view(
+        disk::Geometry(p.capacity_bytes, p.outer_spt, p.inner_spt, p.zones)
+            .total_sectors());
+  }
 }
 
 Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
   validate_scenario(config_);
+  if (config_.fleet.disks > 0) {
+    throw std::invalid_argument(
+        "fleet-mode configs (fleet.disks > 0) run via fleet::run_fleet, "
+        "not the event-driven Scenario stack");
+  }
   if (config_.raid.enabled) {
     if (config_.workload.kind != WorkloadKind::kNone) {
       throw std::invalid_argument(

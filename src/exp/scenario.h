@@ -28,6 +28,7 @@
 
 #include "block/block_layer.h"
 #include "core/idle_policy.h"
+#include "core/lse.h"
 #include "core/policy_sim.h"
 #include "core/scrub_sizer.h"
 #include "core/scrub_strategy.h"
@@ -100,6 +101,11 @@ struct StrategySpec {
   int regions = 128;  // staggered only
 
   std::unique_ptr<core::ScrubStrategy> build(std::int64_t total_sectors) const;
+
+  /// The same schedule in closed form (core::ScheduleView): what the fleet
+  /// layer evaluates against struct-of-arrays state without a per-disk
+  /// strategy object. Bit-identical to walking build()'s extent sequence.
+  core::ScheduleView view(std::int64_t total_sectors) const;
 };
 
 enum class ScrubberKind : std::uint8_t {
@@ -127,6 +133,34 @@ struct RaidSpec {
   int parity_disks = 1;
   std::int64_t chunk_sectors = 128;  // 64 KB chunks
   std::uint64_t seed = 2024;
+};
+
+/// Fleet mode (src/fleet): the same ScenarioConfig, scaled out to
+/// `disks` members evaluated analytically instead of one event-driven
+/// stack. Disk geometry comes from ScenarioConfig::disk, the scrub
+/// schedule from scrubber.strategy, per-member faults from
+/// ScenarioConfig::fault (disk i seeded task_seed(fault.seed, i)), and
+/// the horizon from run_for. Fleet scenarios reject the stack-only specs
+/// (RAID, workloads, spin-down) in validate_scenario; run them through
+/// fleet::run_fleet, not Scenario.
+struct FleetSpec {
+  /// Member count; > 0 turns fleet mode on.
+  std::int64_t disks = 0;
+  /// Sub-fleet count; 0 picks a size-based default. Results are
+  /// bit-identical for any value (shards merge in order, like sweep
+  /// tasks).
+  int shards = 0;
+  /// Scrub pacing and detection semantics (core::evaluate_mlet).
+  /// request_service is the per-extent service time at an idle disk;
+  /// each member's pace is stretched by its utilization draw.
+  core::MletConfig pacing;
+  /// Per-member foreground utilization, drawn uniformly from
+  /// [util_min, util_max] with Rng(task_seed(util_seed, disk_index)).
+  /// Utilization stretches the scrub pass (scrubbing runs in idle time)
+  /// and sets the foreground slowdown model's load term.
+  double util_min = 0.0;
+  double util_max = 0.0;
+  std::uint64_t util_seed = 11;
 };
 
 /// Timeline wiring (obs/timeline.h). When run_scenario (or the sweep
@@ -162,6 +196,9 @@ struct ScenarioConfig {
   block::RetryPolicy retry;
   /// Spin-down daemon idleness threshold (0 = no daemon).
   SimTime spindown_threshold = 0;
+  /// Fleet mode (fleet.disks > 0): scale this config out to a population
+  /// of analytically-evaluated members. See FleetSpec.
+  FleetSpec fleet;
   SimTime run_for = 60 * kSecond;
   /// Timeline opt-out / prefix override (see TimelineSpec).
   TimelineSpec timeline;
@@ -170,10 +207,11 @@ struct ScenarioConfig {
 /// Validates `config` without building the stack: rejects zero/negative
 /// scrubber or workload request sizes, RAID geometries without a complete
 /// stripe, out-of-range or duplicate fail_disk indices, failing more disks
-/// than parity covers, and malformed error-model probabilities. Throws
-/// std::invalid_argument with a descriptive message. Scenario's
-/// constructor calls this; it is exposed for config producers that want to
-/// fail fast before a sweep.
+/// than parity covers, malformed error-model probabilities, and fleet
+/// configs that mix in stack-only specs (RAID, workloads, spin-down) or
+/// carry out-of-range pacing/utilization. Throws std::invalid_argument
+/// with a descriptive message. Scenario's constructor calls this; it is
+/// exposed for config producers that want to fail fast before a sweep.
 void validate_scenario(const ScenarioConfig& config);
 
 // ---------------------------------------------------------------------------

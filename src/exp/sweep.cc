@@ -4,8 +4,10 @@
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 
+#include "obs/env.h"
 #include "obs/trace_event.h"
 
 namespace pscrub::exp {
@@ -27,11 +29,13 @@ int resolve_workers(int requested) {
   if (requested > 0) return requested;
   // PSCRUB_SWEEP_WORKERS pins the default pool size -- by the bit-identity
   // contract it only affects timing, so it is safe to set globally (CI
-  // uses it to check that 1-vs-N runs diff clean).
+  // uses it to check that 1-vs-N runs diff clean). Malformed values fall
+  // through to the hardware default; the parser's stderr warning is
+  // throttled to once per process since every sweep re-reads the variable.
   if (const char* env = std::getenv("PSCRUB_SWEEP_WORKERS")) {
-    char* end = nullptr;
-    const long n = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && n > 0) return static_cast<int>(n);
+    static const std::optional<long long> parsed = obs::parse_positive_env(
+        "PSCRUB_SWEEP_WORKERS", env, obs::kMaxSweepWorkers);
+    if (parsed) return static_cast<int>(*parsed);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);

@@ -8,6 +8,60 @@
 
 namespace pscrub::fault {
 
+namespace {
+
+SimTime resolve_horizon(const FaultSpec& spec, SimTime horizon,
+                        const char* who) {
+  const SimTime effective = spec.lse_horizon > 0 ? spec.lse_horizon : horizon;
+  if (effective <= 0) {
+    throw std::invalid_argument(
+        std::string(who) +
+        ": fault horizon must be > 0 (set FaultSpec::lse_horizon or pass "
+        "the scenario run length)");
+  }
+  return effective;
+}
+
+}  // namespace
+
+DiskFaultPlan build_disk_fault_plan(const FaultSpec& spec,
+                                    std::int64_t disk_index,
+                                    std::int64_t total_sectors,
+                                    SimTime horizon) {
+  if (disk_index < 0) {
+    throw std::invalid_argument(
+        "build_disk_fault_plan: disk_index must be >= 0, got " +
+        std::to_string(disk_index));
+  }
+  DiskFaultPlan d;
+  if (!spec.enabled) return d;
+
+  const SimTime effective_horizon =
+      resolve_horizon(spec, horizon, "build_disk_fault_plan");
+
+  // Per-disk stream from the task-seed derivation: disk i's bursts are a
+  // pure function of (spec.seed, i), independent of every other disk.
+  Rng rng(exp::task_seed(spec.seed, static_cast<std::size_t>(disk_index)));
+  d.bursts = core::generate_lse_bursts(spec.lse, total_sectors,
+                                       effective_horizon, rng);
+
+  for (const DiskFailureEvent& f : spec.fail_disk) {
+    if (f.disk != disk_index) continue;
+    if (f.at < 0) {
+      throw std::invalid_argument(
+          "build_disk_fault_plan: fail_disk time for disk " +
+          std::to_string(f.disk) + " must be >= 0");
+    }
+    if (d.fail_at >= 0) {
+      throw std::invalid_argument(
+          "build_disk_fault_plan: disk " + std::to_string(f.disk) +
+          " has more than one failure event");
+    }
+    d.fail_at = f.at;
+  }
+  return d;
+}
+
 FaultPlan build_fault_plan(const FaultSpec& spec, int disk_count,
                            std::int64_t total_sectors, SimTime horizon) {
   if (disk_count <= 0) {
@@ -15,44 +69,28 @@ FaultPlan build_fault_plan(const FaultSpec& spec, int disk_count,
                                 std::to_string(disk_count));
   }
   FaultPlan plan;
-  plan.disks.resize(static_cast<std::size_t>(disk_count));
   plan.error_model = spec.error_model;
-  if (!spec.enabled) return plan;
-
-  const SimTime effective_horizon =
-      spec.lse_horizon > 0 ? spec.lse_horizon : horizon;
-  if (effective_horizon <= 0) {
-    throw std::invalid_argument(
-        "build_fault_plan: fault horizon must be > 0 (set FaultSpec::"
-        "lse_horizon or pass the scenario run length)");
+  if (!spec.enabled) {
+    plan.disks.resize(static_cast<std::size_t>(disk_count));
+    return plan;
   }
 
-  for (int i = 0; i < disk_count; ++i) {
-    // Per-disk stream from the task-seed derivation: disk i's bursts are a
-    // pure function of (spec.seed, i), independent of every other disk.
-    Rng rng(exp::task_seed(spec.seed, static_cast<std::size_t>(i)));
-    plan.disks[static_cast<std::size_t>(i)].bursts = core::generate_lse_bursts(
-        spec.lse, total_sectors, effective_horizon, rng);
-  }
-
+  // Validate the whole-plan fail_disk range up front (the per-disk builder
+  // cannot know the fleet size, so indices past the end would otherwise be
+  // silently ignored).
+  resolve_horizon(spec, horizon, "build_fault_plan");
   for (const DiskFailureEvent& f : spec.fail_disk) {
     if (f.disk < 0 || f.disk >= disk_count) {
       throw std::invalid_argument(
           "build_fault_plan: fail_disk index " + std::to_string(f.disk) +
           " outside [0, " + std::to_string(disk_count) + ")");
     }
-    if (f.at < 0) {
-      throw std::invalid_argument(
-          "build_fault_plan: fail_disk time for disk " +
-          std::to_string(f.disk) + " must be >= 0");
-    }
-    DiskFaultPlan& d = plan.disks[static_cast<std::size_t>(f.disk)];
-    if (d.fail_at >= 0) {
-      throw std::invalid_argument(
-          "build_fault_plan: disk " + std::to_string(f.disk) +
-          " has more than one failure event");
-    }
-    d.fail_at = f.at;
+  }
+
+  plan.disks.reserve(static_cast<std::size_t>(disk_count));
+  for (int i = 0; i < disk_count; ++i) {
+    plan.disks.push_back(
+        build_disk_fault_plan(spec, i, total_sectors, horizon));
   }
   return plan;
 }

@@ -82,4 +82,20 @@ struct FaultPlan {
 FaultPlan build_fault_plan(const FaultSpec& spec, int disk_count,
                            std::int64_t total_sectors, SimTime horizon);
 
+/// Materializes the plan of ONE member disk. A pure function of
+/// (spec, disk_index, total_sectors, horizon) -- disk i's plan never
+/// depends on how many disks exist, so the per-disk plan sequence of a
+/// fleet is prefix-invariant under fleet-size changes and fleet shards
+/// can build plans lazily without holding the whole fleet's bursts in
+/// memory. build_fault_plan(spec, n, ...).disks[i] equals
+/// build_disk_fault_plan(spec, i, ...) for every i < n. Throws
+/// std::invalid_argument for a negative disk index, negative failure
+/// times, a duplicate failure for this disk, or a non-positive effective
+/// horizon (fail_disk indices beyond this disk are ignored here; the
+/// full-plan builder range-checks them).
+DiskFaultPlan build_disk_fault_plan(const FaultSpec& spec,
+                                    std::int64_t disk_index,
+                                    std::int64_t total_sectors,
+                                    SimTime horizon);
+
 }  // namespace pscrub::fault

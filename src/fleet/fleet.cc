@@ -1,0 +1,414 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "disk/geometry.h"
+#include "fault/fault_plan.h"
+#include "obs/timeline.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace pscrub::fleet {
+
+void FleetState::resize(std::int64_t disks) {
+  const std::size_t n = static_cast<std::size_t>(disks);
+  utilization.assign(n, 0.0);
+  effective_step.assign(n, 0);
+  pass_duration.assign(n, 0);
+  bursts.assign(n, 0);
+  errors.assign(n, 0);
+  delay_sum_hours.assign(n, 0.0);
+  mlet_hours.assign(n, 0.0);
+  worst_hours.assign(n, 0.0);
+  slowdown.assign(n, 1.0);
+  passes.assign(n, 0);
+  progress.assign(n, 0.0);
+}
+
+void FleetState::append(const FleetState& other) {
+  auto cat = [](auto& dst, const auto& src) {
+    dst.insert(dst.end(), src.begin(), src.end());
+  };
+  cat(utilization, other.utilization);
+  cat(effective_step, other.effective_step);
+  cat(pass_duration, other.pass_duration);
+  cat(bursts, other.bursts);
+  cat(errors, other.errors);
+  cat(delay_sum_hours, other.delay_sum_hours);
+  cat(mlet_hours, other.mlet_hours);
+  cat(worst_hours, other.worst_hours);
+  cat(slowdown, other.slowdown);
+  cat(passes, other.passes);
+  cat(progress, other.progress);
+}
+
+int resolve_shards(std::int64_t disks, int requested) {
+  if (requested > 0) {
+    return static_cast<int>(
+        std::min<std::int64_t>(requested, std::max<std::int64_t>(disks, 1)));
+  }
+  const std::int64_t by_size = (disks + 16383) / 16384;
+  return static_cast<int>(std::clamp<std::int64_t>(by_size, 1, 1024));
+}
+
+double member_utilization(const exp::FleetSpec& spec,
+                          std::int64_t disk_index) {
+  if (spec.util_max <= 0.0) return 0.0;
+  Rng rng(exp::task_seed(spec.util_seed,
+                         static_cast<std::size_t>(disk_index)));
+  return rng.uniform(spec.util_min, spec.util_max);
+}
+
+SimTime effective_step(const core::MletConfig& pacing, double utilization) {
+  const SimTime base = pacing.request_service + pacing.request_spacing;
+  if (utilization <= 0.0) return base;
+  return static_cast<SimTime>(
+      std::llround(static_cast<double>(base) / (1.0 - utilization)));
+}
+
+double slowdown_model(double utilization, SimTime request_service,
+                      SimTime step) {
+  const double rho =
+      static_cast<double>(request_service) / static_cast<double>(step);
+  const double denom = 1.0 - utilization - rho;
+  if (denom <= 1e-3) return 1e3;
+  return (1.0 - utilization) / denom;
+}
+
+namespace {
+
+std::int64_t member_sectors(const exp::ScenarioConfig& config) {
+  const disk::DiskProfile p = config.disk.profile();
+  return disk::Geometry(p.capacity_bytes, p.outer_spt, p.inner_spt, p.zones)
+      .total_sectors();
+}
+
+std::string fleet_prefix(const exp::ScenarioConfig& config) {
+  // Same resolution order as run_scenario's timeline wiring: explicit
+  // TimelineSpec prefix, else the config label, else a fixed fallback so
+  // unlabeled fleets still export somewhere findable.
+  const std::string& base = !config.timeline.prefix.empty()
+                                ? config.timeline.prefix
+                                : config.label;
+  return (base.empty() ? std::string("fleet") : base) + ".fleet.";
+}
+
+/// Per-shard working set: the flattened burst arrays plus everything the
+/// per-disk event handler touches. Local disk indices are shard-relative;
+/// `first_disk` maps them back to global.
+struct ShardRun {
+  core::ScheduleView schedule;
+  core::MletConfig pacing;
+  SimTime horizon = 0;
+  std::int64_t first_disk = 0;
+
+  // Flattened bursts (SoA): burst b covers
+  // sectors[sector_begin[b], sector_begin[b + 1]), and local disk d owns
+  // bursts [burst_begin[d], burst_begin[d + 1]).
+  std::vector<SimTime> burst_at;
+  std::vector<std::size_t> sector_begin;
+  std::vector<disk::Lbn> sectors;
+  std::vector<std::size_t> burst_begin;
+  std::vector<std::size_t> cursor;    // next burst per local disk
+  std::vector<EventId> burst_event;   // persistent event per local disk
+
+  Simulator sim;
+  FleetState out;
+
+  obs::Timeline* timeline = nullptr;
+  obs::Timeline::SeriesId lse_series = 0;
+  obs::Timeline::SeriesId detect_series = 0;
+
+  void fire(std::uint32_t local_disk);
+};
+
+/// Processes the one burst due now on `local_disk`, mirroring the
+/// accumulation order of core::evaluate_mlet exactly (burst order per
+/// disk; sector order within a burst), then re-arms for the disk's next
+/// burst.
+void ShardRun::fire(std::uint32_t local_disk) {
+  const std::size_t d = local_disk;
+  const std::size_t b = cursor[d]++;
+  assert(b < burst_begin[d + 1]);
+  const SimTime occurred = burst_at[b];
+  const SimTime step = out.effective_step[d];
+  const SimTime pass = out.pass_duration[d];
+  const SimTime phase = occurred % pass;
+  const disk::Lbn* secs = sectors.data() + sector_begin[b];
+  const std::size_t count = sector_begin[b + 1] - sector_begin[b];
+
+  out.bursts[d] += 1;
+  if (timeline != nullptr) {
+    timeline->add(lse_series, occurred, static_cast<double>(count));
+  }
+
+  if (pacing.scrub_on_detection) {
+    const SimTime first_probe =
+        core::burst_detection_delay(schedule, secs, count, phase, step, pass);
+    const double hours = to_seconds(first_probe) / 3600.0;
+    out.delay_sum_hours[d] += hours * static_cast<double>(count);
+    out.worst_hours[d] = std::max(out.worst_hours[d], hours);
+    out.errors[d] += static_cast<std::int64_t>(count);
+    if (timeline != nullptr) {
+      timeline->add(detect_series, occurred + first_probe,
+                    static_cast<double>(count));
+    }
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      const SimTime delay =
+          core::sector_detection_delay(schedule, secs[i], phase, step, pass);
+      const double hours = to_seconds(delay) / 3600.0;
+      out.delay_sum_hours[d] += hours;
+      out.worst_hours[d] = std::max(out.worst_hours[d], hours);
+      out.errors[d] += 1;
+      if (timeline != nullptr) {
+        timeline->add(detect_series, occurred + delay, 1.0);
+      }
+    }
+  }
+
+  if (cursor[d] < burst_begin[d + 1]) {
+    sim.arm(burst_event[d], burst_at[cursor[d]]);
+  }
+}
+
+/// Runs one shard's disks [first_disk, first_disk + disks): derives the
+/// per-disk state, walks every burst through the event queue, and leaves
+/// the shard's FleetState slice in `run.out`.
+FleetState run_shard(const exp::ScenarioConfig& config,
+                     std::int64_t first_disk, std::int64_t shard_disks,
+                     exp::TaskContext& ctx) {
+  const exp::FleetSpec& fl = config.fleet;
+  const std::int64_t total_sectors = member_sectors(config);
+
+  ShardRun run;
+  run.schedule = config.scrubber.strategy.view(total_sectors);
+  run.pacing = fl.pacing;
+  run.horizon = config.run_for;
+  run.first_disk = first_disk;
+  run.out.resize(shard_disks);
+  const std::size_t n = static_cast<std::size_t>(shard_disks);
+  run.burst_begin.assign(n + 1, 0);
+  run.sector_begin.assign(1, 0);
+
+  const std::string prefix = fleet_prefix(config);
+  if (ctx.timeline.enabled() && config.timeline.enabled) {
+    run.timeline = &ctx.timeline;
+    run.lse_series = ctx.timeline.series(
+        prefix + "lse_sectors", obs::Timeline::SeriesKind::kCounter);
+    run.detect_series = ctx.timeline.series(
+        prefix + "detections", obs::Timeline::SeriesKind::kCounter);
+  }
+
+  const std::int64_t steps = run.schedule.steps_per_pass();
+  for (std::size_t d = 0; d < n; ++d) {
+    const std::int64_t global = first_disk + static_cast<std::int64_t>(d);
+    const double u = member_utilization(fl, global);
+    const SimTime step = effective_step(fl.pacing, u);
+    run.out.utilization[d] = u;
+    run.out.effective_step[d] = step;
+    run.out.pass_duration[d] = steps * step;
+    run.out.slowdown[d] = slowdown_model(u, fl.pacing.request_service, step);
+
+    // Lazily materialized per-disk plan: a pure function of the GLOBAL
+    // index, so shard boundaries never shift a disk's bursts.
+    const fault::DiskFaultPlan plan = fault::build_disk_fault_plan(
+        config.fault, global, total_sectors, config.run_for);
+    for (const core::LseBurst& burst : plan.bursts) {
+      run.burst_at.push_back(burst.occurred);
+      run.sectors.insert(run.sectors.end(), burst.sectors.begin(),
+                         burst.sectors.end());
+      run.sector_begin.push_back(run.sectors.size());
+    }
+    run.burst_begin[d + 1] = run.burst_at.size();
+  }
+
+  // One persistent event per disk, re-armed through its burst list; the
+  // shard's whole workload drains through one slab EventQueue in global
+  // time order.
+  run.cursor = run.burst_begin;
+  run.cursor.pop_back();
+  run.burst_event.assign(n, 0);
+  ShardRun* rp = &run;
+  for (std::uint32_t d = 0; d < static_cast<std::uint32_t>(n); ++d) {
+    if (run.burst_begin[d] == run.burst_begin[d + 1]) continue;
+    run.burst_event[d] =
+        run.sim.add_persistent(EventFn([rp, d] { rp->fire(d); }));
+    run.sim.arm(run.burst_event[d], run.burst_at[run.burst_begin[d]]);
+  }
+  run.sim.run();
+
+  for (std::size_t d = 0; d < n; ++d) {
+    if (run.out.errors[d] > 0) {
+      run.out.mlet_hours[d] = run.out.delay_sum_hours[d] /
+                              static_cast<double>(run.out.errors[d]);
+    }
+    const SimTime pass = run.out.pass_duration[d];
+    run.out.passes[d] = run.horizon / pass;
+    run.out.progress[d] = static_cast<double>(run.horizon % pass) /
+                          static_cast<double>(pass);
+  }
+
+  // Shard-side observability: integer counters only (exact, associative
+  // adds) plus order-independent run-level digests -- everything else is
+  // aggregated on the calling thread in disk order.
+  std::int64_t shard_bursts = 0;
+  std::int64_t shard_errors = 0;
+  for (std::size_t d = 0; d < n; ++d) {
+    shard_bursts += run.out.bursts[d];
+    shard_errors += run.out.errors[d];
+  }
+  ctx.registry.counter(prefix + "disks") += shard_disks;
+  ctx.registry.counter(prefix + "bursts") += shard_bursts;
+  ctx.registry.counter(prefix + "errors") += shard_errors;
+  if (run.timeline != nullptr) {
+    obs::QuantileDigest& mlet = ctx.timeline.digest(prefix + "mlet_hours");
+    obs::QuantileDigest& completion =
+        ctx.timeline.digest(prefix + "completion_hours");
+    obs::QuantileDigest& util = ctx.timeline.digest(prefix + "utilization");
+    obs::QuantileDigest& slow = ctx.timeline.digest(prefix + "slowdown");
+    for (std::size_t d = 0; d < n; ++d) {
+      if (run.out.errors[d] > 0) mlet.observe(run.out.mlet_hours[d]);
+      completion.observe(to_seconds(run.out.pass_duration[d]) / 3600.0);
+      util.observe(run.out.utilization[d]);
+      slow.observe(run.out.slowdown[d]);
+    }
+  }
+  return std::move(run.out);
+}
+
+}  // namespace
+
+MemberResult run_member(const exp::ScenarioConfig& config,
+                        std::int64_t disk_index) {
+  exp::validate_scenario(config);
+  if (config.fleet.disks <= 0) {
+    throw std::invalid_argument("run_member: config.fleet.disks must be > 0");
+  }
+  if (disk_index < 0 || disk_index >= config.fleet.disks) {
+    throw std::invalid_argument(
+        "run_member: disk_index " + std::to_string(disk_index) +
+        " outside [0, " + std::to_string(config.fleet.disks) + ")");
+  }
+  const std::int64_t total_sectors = member_sectors(config);
+
+  MemberResult r;
+  r.utilization = member_utilization(config.fleet, disk_index);
+  r.effective_step = effective_step(config.fleet.pacing, r.utilization);
+  r.slowdown = slowdown_model(r.utilization,
+                              config.fleet.pacing.request_service,
+                              r.effective_step);
+
+  const fault::DiskFaultPlan plan = fault::build_disk_fault_plan(
+      config.fault, disk_index, total_sectors, config.run_for);
+
+  // The genuinely independent per-disk path: a heap strategy object walked
+  // by the strategy-based evaluate_mlet, paced at the member's stretched
+  // step. The fleet's closed-form path must reproduce this bit-for-bit.
+  std::unique_ptr<core::ScrubStrategy> strategy =
+      config.scrubber.strategy.build(total_sectors);
+  core::MletConfig pacing;
+  pacing.request_service = r.effective_step;
+  pacing.request_spacing = 0;
+  pacing.scrub_on_detection = config.fleet.pacing.scrub_on_detection;
+  r.mlet = core::evaluate_mlet(*strategy, total_sectors, plan.bursts, pacing);
+  return r;
+}
+
+FleetResult run_fleet(const exp::ScenarioConfig& config,
+                      const exp::SweepOptions& options) {
+  exp::validate_scenario(config);
+  if (config.fleet.disks <= 0) {
+    throw std::invalid_argument(
+        "run_fleet: config.fleet.disks must be > 0 (non-fleet configs run "
+        "via exp::run_scenario)");
+  }
+
+  const std::int64_t disks = config.fleet.disks;
+  const int shards = resolve_shards(disks, config.fleet.shards);
+
+  // Balanced contiguous shard ranges; shard s's slice concatenates after
+  // shard s-1's, so the merged arrays are in global disk order.
+  const std::int64_t base = disks / shards;
+  const std::int64_t extra = disks % shards;
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges;  // (first, n)
+  ranges.reserve(static_cast<std::size_t>(shards));
+  std::int64_t next_disk = 0;
+  for (int s = 0; s < shards; ++s) {
+    const std::int64_t count = base + (s < extra ? 1 : 0);
+    ranges.emplace_back(next_disk, count);
+    next_disk += count;
+  }
+
+  std::vector<FleetState> slices = exp::sweep<FleetState>(
+      ranges.size(),
+      [&config, &ranges](exp::TaskContext& ctx) {
+        // ctx.seed is deliberately unused: member randomness derives from
+        // the config seeds by global disk index, never from sweep wiring.
+        const auto [first, count] = ranges[ctx.index];
+        return run_shard(config, first, count, ctx);
+      },
+      options);
+
+  FleetResult result;
+  result.label = config.label;
+  result.disks = disks;
+  result.shards = shards;
+  result.horizon = config.run_for;
+  result.state = std::move(slices.front());
+  for (std::size_t s = 1; s < slices.size(); ++s) {
+    result.state.append(slices[s]);
+  }
+
+  // Fleet aggregates: one deterministic pass over the concatenated arrays
+  // in disk order on this thread -- float accumulation order is fixed no
+  // matter how the shards ran.
+  const FleetState& st = result.state;
+  double delay_sum = 0.0;
+  double slowdown_sum = 0.0;
+  for (std::size_t d = 0; d < st.utilization.size(); ++d) {
+    result.total_bursts += st.bursts[d];
+    result.total_errors += st.errors[d];
+    delay_sum += st.delay_sum_hours[d];
+    slowdown_sum += st.slowdown[d];
+    result.worst_mlet_hours =
+        std::max(result.worst_mlet_hours, st.worst_hours[d]);
+    if (st.errors[d] > 0) result.mlet_hours.observe(st.mlet_hours[d]);
+    result.completion_hours.observe(to_seconds(st.pass_duration[d]) / 3600.0);
+    result.utilization.observe(st.utilization[d]);
+    result.slowdown.observe(st.slowdown[d]);
+  }
+  if (result.total_errors > 0) {
+    result.fleet_mlet_hours =
+        delay_sum / static_cast<double>(result.total_errors);
+  }
+  result.mean_slowdown = slowdown_sum / static_cast<double>(disks);
+  return result;
+}
+
+void FleetResult::export_to(obs::Registry& registry,
+                            const std::string& prefix) const {
+  const std::string p = prefix + ".fleet.";
+  registry.counter(p + "disks") += disks;
+  registry.counter(p + "bursts") += total_bursts;
+  registry.counter(p + "errors") += total_errors;
+  // Deliberately no shard/worker wiring in the export: snapshots must be
+  // byte-identical however the fleet was partitioned.
+  registry.gauge(p + "mlet_hours").set(fleet_mlet_hours);
+  registry.gauge(p + "worst_mlet_hours").set(worst_mlet_hours);
+  registry.gauge(p + "mean_slowdown").set(mean_slowdown);
+  registry.gauge(p + "mlet_hours_p50").set(mlet_hours.p50());
+  registry.gauge(p + "mlet_hours_p95").set(mlet_hours.p95());
+  registry.gauge(p + "mlet_hours_p99").set(mlet_hours.p99());
+  registry.gauge(p + "completion_hours_p50").set(completion_hours.p50());
+  registry.gauge(p + "completion_hours_p95").set(completion_hours.p95());
+  registry.gauge(p + "completion_hours_p99").set(completion_hours.p99());
+  registry.gauge(p + "utilization_mean").set(utilization.mean());
+  registry.gauge(p + "slowdown_p99").set(slowdown.p99());
+}
+
+}  // namespace pscrub::fleet

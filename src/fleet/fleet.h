@@ -1,0 +1,158 @@
+// Fleet layer: one ScenarioConfig scaled out to 100k-1M member disks in a
+// single process.
+//
+// The paper's population claims (what fraction of a fleet's latent errors
+// a scrub policy catches, and how soon) need fleet-scale populations, but
+// the event-driven Scenario stack allocates a full DiskModel/BlockLayer/
+// Scrubber tower per disk -- ~100 KB and two dozen heap objects each,
+// untenable at 10^6 members. This layer replaces per-disk stacks with
+// struct-of-arrays state (FleetState: a handful of parallel vectors, tens
+// of bytes per disk) and evaluates each member's scrub schedule in closed
+// form (core::ScheduleView + the view-based core::evaluate_mlet helpers,
+// no virtual dispatch on the hot path). Burst arrivals still flow through
+// the slab EventQueue -- one Simulator per shard, one persistent
+// re-armable event per disk walking its burst list -- so fleet runs
+// exercise the same event core the single-stack scenarios do.
+//
+// Determinism contract (the exp::sweep contract, one level up):
+//
+//   * every per-disk quantity is a pure function of the GLOBAL disk index
+//     -- bursts from Rng(task_seed(fault.seed, i)), utilization from
+//     Rng(task_seed(fleet.util_seed, i)) -- never of the shard that
+//     happened to process the disk;
+//   * shards are sweep tasks: their FleetState slices concatenate in
+//     shard order (= disk order), their registries and timelines merge in
+//     shard order;
+//   * shard timelines record only integer-valued counters (integer double
+//     addition is exact and associative below 2^53) and run-level
+//     digests (order-independent merge), so the merged timeline is
+//     byte-identical for any shard count and any worker count;
+//   * fleet aggregates (means, digests, extrema) are computed on the
+//     calling thread by iterating the concatenated arrays in disk order.
+//
+// Result: run_fleet output -- stdout tables built from FleetResult,
+// PSCRUB_METRICS registry snapshots, PSCRUB_TIMELINE exports -- is
+// bit-identical across any shards x workers combination, including 1x1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/lse.h"
+#include "exp/scenario.h"
+#include "exp/sweep.h"
+#include "obs/digest.h"
+#include "obs/registry.h"
+#include "sim/time.h"
+
+namespace pscrub::fleet {
+
+/// Struct-of-arrays per-disk state. All vectors are the same length (one
+/// entry per member, global disk order); ~72 bytes per disk, so a million
+/// members fit in well under 100 MB.
+struct FleetState {
+  /// Foreground utilization draw in [util_min, util_max).
+  std::vector<double> utilization;
+  /// Paced per-extent interval after the utilization stretch (scrubbing
+  /// runs in the disk's idle fraction).
+  std::vector<SimTime> effective_step;
+  /// Full scrub pass duration: steps_per_pass * effective_step.
+  std::vector<SimTime> pass_duration;
+  /// LSE bursts / latent error sectors injected within the horizon.
+  std::vector<std::int64_t> bursts;
+  std::vector<std::int64_t> errors;
+  /// Sum of detection delays (hours) in burst order; the per-disk MLET
+  /// numerator (core::evaluate_mlet semantics).
+  std::vector<double> delay_sum_hours;
+  /// Per-disk MLET (0 for error-free disks) and worst single delay.
+  std::vector<double> mlet_hours;
+  std::vector<double> worst_hours;
+  /// Foreground slowdown factor while scrubbing (>= 1).
+  std::vector<double> slowdown;
+  /// Scrub passes completed within the horizon, and the fraction of the
+  /// next pass in flight when the horizon ends.
+  std::vector<std::int64_t> passes;
+  std::vector<double> progress;
+
+  std::int64_t disks() const {
+    return static_cast<std::int64_t>(utilization.size());
+  }
+  void resize(std::int64_t disks);
+  /// Appends `other`'s disks after this state's (the shard-merge step;
+  /// call in shard order).
+  void append(const FleetState& other);
+};
+
+/// Reference-path result for one member (see run_member).
+struct MemberResult {
+  double utilization = 0.0;
+  SimTime effective_step = 0;
+  double slowdown = 1.0;
+  core::MletResult mlet;
+};
+
+/// Fleet-level rollup: the concatenated per-disk state plus aggregates
+/// computed from it in disk order.
+struct FleetResult {
+  std::string label;
+  std::int64_t disks = 0;
+  int shards = 0;
+  SimTime horizon = 0;
+  /// Per-disk state in global disk order.
+  FleetState state;
+
+  std::int64_t total_bursts = 0;
+  std::int64_t total_errors = 0;
+  /// Fleet MLET: total detection-delay hours over total errors (equals
+  /// evaluating one giant error population, not a mean of per-disk means).
+  double fleet_mlet_hours = 0.0;
+  double worst_mlet_hours = 0.0;
+  double mean_slowdown = 1.0;
+
+  /// Distributions over members: per-disk MLET (disks with errors only),
+  /// first-pass scrub completion time, utilization draw, slowdown.
+  obs::QuantileDigest mlet_hours;
+  obs::QuantileDigest completion_hours;
+  obs::QuantileDigest utilization;
+  obs::QuantileDigest slowdown;
+
+  /// Publishes the rollup under `prefix` + ".fleet" (counters for the
+  /// integer totals, gauges for the aggregates and digest percentiles).
+  void export_to(obs::Registry& registry, const std::string& prefix) const;
+};
+
+/// Shard count a fleet run will use: `requested` when > 0 (clamped to the
+/// disk count), else one shard per 16384 disks, in [1, 1024].
+int resolve_shards(std::int64_t disks, int requested);
+
+/// The member's utilization draw: pure function of (spec, disk_index).
+double member_utilization(const exp::FleetSpec& spec, std::int64_t disk_index);
+
+/// The utilization-stretched extent pace: (request_service +
+/// request_spacing) / (1 - utilization), rounded to the nanosecond.
+SimTime effective_step(const core::MletConfig& pacing, double utilization);
+
+/// Foreground slowdown while scrubbing: with scrub load rho =
+/// request_service / effective step, S = (1 - u) / (1 - u - rho), clamped
+/// to 1e3 when the denominator vanishes (scrub consuming all idle time).
+double slowdown_model(double utilization, SimTime request_service,
+                      SimTime step);
+
+/// Reference path: evaluates ONE member with the per-disk machinery the
+/// rest of the repo uses -- StrategySpec::build's virtual-dispatch
+/// strategy walked by the strategy-based core::evaluate_mlet, bursts from
+/// fault::build_disk_fault_plan. The fleet's SoA path must match this
+/// bit-for-bit per disk (the acceptance cross-check in test_fleet.cc).
+MemberResult run_member(const exp::ScenarioConfig& config,
+                        std::int64_t disk_index);
+
+/// Runs the fleet described by `config` (validate_scenario applies;
+/// config.fleet.disks must be > 0). Shards fan across exp::sweep per
+/// `options` (workers, merge_into, timeline_into); `options.base_seed` is
+/// unused -- all member randomness derives from config.fault.seed and
+/// config.fleet.util_seed so results never depend on sweep wiring.
+FleetResult run_fleet(const exp::ScenarioConfig& config,
+                      const exp::SweepOptions& options = {});
+
+}  // namespace pscrub::fleet

@@ -1,13 +1,37 @@
 #include "obs/env.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "obs/registry.h"
 #include "obs/timeline.h"
 #include "obs/trace_event.h"
 
 namespace pscrub::obs {
+
+std::optional<long long> parse_positive_env(const char* name,
+                                            const char* text, long long max) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr,
+                 "%s: ignoring non-numeric value '%s' (expected a positive "
+                 "integer)\n",
+                 name, text);
+    return std::nullopt;
+  }
+  if (errno == ERANGE || parsed <= 0 || parsed > max) {
+    std::fprintf(stderr,
+                 "%s: ignoring out-of-range value '%s' (expected 1..%lld)\n",
+                 name, text, max);
+    return std::nullopt;
+  }
+  return parsed;
+}
 
 EnvSession::EnvSession() {
   if (const char* path = std::getenv("PSCRUB_TRACE"); path && *path) {
@@ -24,21 +48,21 @@ EnvSession::EnvSession() {
   if (const char* path = std::getenv("PSCRUB_TIMELINE"); path && *path) {
     timeline_path_ = path;
     TimelineConfig config;
-    if (const char* ms = std::getenv("PSCRUB_TIMELINE_WINDOW_MS");
-        ms && *ms) {
-      const long long parsed = std::atoll(ms);
-      if (parsed > 0) {
-        config.window = static_cast<SimTime>(parsed) * kMillisecond;
-      } else {
-        std::fprintf(stderr,
-                     "PSCRUB_TIMELINE_WINDOW_MS: ignoring non-positive "
-                     "value '%s'\n",
-                     ms);
-      }
+    // Cap keeps ms -> SimTime multiplication below the i64 ceiling.
+    if (const std::optional<long long> ms = parse_positive_env(
+            "PSCRUB_TIMELINE_WINDOW_MS",
+            std::getenv("PSCRUB_TIMELINE_WINDOW_MS"),
+            std::numeric_limits<SimTime>::max() / kMillisecond)) {
+      config.window = static_cast<SimTime>(*ms) * kMillisecond;
     }
     Timeline::global().configure(config);
     Timeline::global().set_enabled(true);
   }
+  // Validate the sweep pool override up front: exp::resolve_workers reads
+  // it on every sweep, and a typo there would otherwise surface only as a
+  // once-per-process warning in the middle of a run.
+  parse_positive_env("PSCRUB_SWEEP_WORKERS",
+                     std::getenv("PSCRUB_SWEEP_WORKERS"), kMaxSweepWorkers);
 }
 
 void EnvSession::finish() {

@@ -14,9 +14,25 @@
 // session is free.
 #pragma once
 
+#include <optional>
 #include <string>
 
 namespace pscrub::obs {
+
+/// Strictly parses a positive integer environment value in [1, max].
+/// `name` is the variable (for diagnostics), `text` its raw value.
+/// Returns nullopt -- after an fprintf(stderr) warning naming the
+/// variable -- for non-numeric text, trailing garbage ("100ms"),
+/// non-positive values, or values above `max`, so a typo degrades to the
+/// documented default loudly instead of silently parsing as 0 the way
+/// atoll would. A null/empty `text` returns nullopt without a warning
+/// (unset is not an error).
+std::optional<long long> parse_positive_env(const char* name,
+                                            const char* text, long long max);
+
+/// Upper bound accepted for PSCRUB_SWEEP_WORKERS (shared by EnvSession's
+/// up-front validation and exp::resolve_workers' per-sweep read).
+inline constexpr long long kMaxSweepWorkers = 4096;
 
 class EnvSession {
  public:

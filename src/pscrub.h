@@ -19,6 +19,10 @@
 //                live disks
 //   exp       -- scenario engine (declarative stack construction) and the
 //                deterministic parallel sweep runner
+//   fleet     -- fleet-scale population runs: struct-of-arrays per-disk
+//                state, one sharded event queue per sub-fleet, results
+//                merged deterministically (bit-identical at any shard or
+//                worker count)
 #pragma once
 
 #include "block/block_layer.h"
@@ -40,6 +44,7 @@
 #include "exp/sweep.h"
 #include "fault/fault_plan.h"
 #include "fault/injector.h"
+#include "fleet/fleet.h"
 #include "disk/disk_model.h"
 #include "disk/geometry.h"
 #include "disk/profile.h"

@@ -135,7 +135,7 @@ TEST(Sweep, MergesRegistriesInTaskOrder) {
 }
 
 TEST(Sweep, RethrowsLowestIndexFailure) {
-  for (int workers : {1, 8}) {
+  for (int workers : {1, 4, 8}) {
     SweepOptions options;
     options.workers = workers;
     try {

@@ -1,0 +1,415 @@
+// Tests for the fleet layer and its closed-form schedule foundations:
+//
+//   * ScheduleView mirrors the virtual-dispatch strategies extent-for-
+//     extent (full-pass walks, including ragged staggered geometries);
+//   * the view-based core::evaluate_mlet is bit-identical to the
+//     strategy-based overload in both scrub_on_detection modes;
+//   * a fleet's per-disk results match run_member's reference path (the
+//     "1k fleet == 1k independent single-disk runs" acceptance check);
+//   * run_fleet output -- state arrays, merged registry, merged timeline
+//     -- is bit-identical for any shards x workers combination;
+//   * per-disk fault plans are prefix-invariant under fleet-size changes;
+//   * validate_scenario rejects the stack-only specs in fleet mode.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pscrub.h"
+
+namespace pscrub::fleet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ScheduleView vs ScrubStrategy
+
+// Walks `strategy` for one full pass and checks that `view` reproduces
+// every extent (extent_at) and every sector's step (step_of).
+void expect_view_matches_strategy(const core::ScheduleView& view,
+                                  core::ScrubStrategy& strategy) {
+  strategy.reset();
+  const std::int64_t steps = view.steps_per_pass();
+  std::int64_t covered = 0;
+  for (std::int64_t step = 0; step < steps; ++step) {
+    const core::ScrubExtent from_strategy = strategy.next();
+    const core::ScrubExtent from_view = view.extent_at(step);
+    ASSERT_EQ(from_view.lbn, from_strategy.lbn) << "step " << step;
+    ASSERT_EQ(from_view.sectors, from_strategy.sectors) << "step " << step;
+    for (std::int64_t s = 0; s < from_view.sectors; ++s) {
+      ASSERT_EQ(view.step_of(from_view.lbn + s), step)
+          << "sector " << from_view.lbn + s;
+    }
+    covered += from_view.sectors;
+  }
+  EXPECT_EQ(covered, view.total_sectors);
+}
+
+TEST(ScheduleView, SequentialMatchesStrategyFullPass) {
+  struct Case {
+    std::int64_t total;
+    std::int64_t request;
+  };
+  for (const Case& c : {Case{10'000, 8}, Case{10'000, 7}, Case{9, 4},
+                        Case{16, 16}, Case{5, 8}}) {
+    SCOPED_TRACE("total=" + std::to_string(c.total) +
+                 " req=" + std::to_string(c.request));
+    const core::ScheduleView view =
+        core::ScheduleView::sequential(c.total, c.request);
+    core::SequentialStrategy strategy(c.total, c.request);
+    expect_view_matches_strategy(view, strategy);
+  }
+}
+
+TEST(ScheduleView, StaggeredMatchesStrategyFullPass) {
+  struct Case {
+    std::int64_t total;
+    std::int64_t request;
+    int regions;
+  };
+  // Ragged cases on purpose: partial trailing region (10/R4 leaves a
+  // 1-sector region), request not dividing the region (req 3 into
+  // 3-sector regions divides; req 2 into 3 does not), exactly divisible.
+  for (const Case& c :
+       {Case{10'000, 8, 128}, Case{10, 3, 4}, Case{10, 2, 4}, Case{9, 2, 4},
+        Case{16, 2, 4}, Case{10'000, 7, 3}, Case{100, 25, 4}}) {
+    SCOPED_TRACE("total=" + std::to_string(c.total) + " req=" +
+                 std::to_string(c.request) + " R=" +
+                 std::to_string(c.regions));
+    const core::ScheduleView view =
+        core::ScheduleView::staggered(c.total, c.request, c.regions);
+    core::StaggeredStrategy strategy(c.total, c.request, c.regions);
+    expect_view_matches_strategy(view, strategy);
+  }
+}
+
+TEST(ScheduleView, RejectsInvalidGeometry) {
+  EXPECT_THROW(core::ScheduleView::sequential(0, 8), std::invalid_argument);
+  EXPECT_THROW(core::ScheduleView::sequential(100, 0), std::invalid_argument);
+  // Regions too fine for the request size (region_sectors <
+  // request_sectors): StaggeredStrategy's own precondition.
+  EXPECT_THROW(core::ScheduleView::staggered(100, 50, 4),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// evaluate_mlet: view vs strategy
+
+std::vector<core::LseBurst> dense_bursts(std::int64_t total_sectors,
+                                         SimTime horizon,
+                                         std::uint64_t seed) {
+  core::LseModelConfig lse;
+  lse.burst_interarrival_mean = 12 * kHour;
+  lse.burst_span_bytes = 8LL << 20;
+  Rng rng(seed);
+  return core::generate_lse_bursts(lse, total_sectors, horizon, rng);
+}
+
+TEST(EvaluateMlet, ViewMatchesStrategyBothDetectionModes) {
+  const std::int64_t total_sectors = 1 << 20;
+  const std::vector<core::LseBurst> bursts =
+      dense_bursts(total_sectors, 30 * kDay, 99);
+  ASSERT_FALSE(bursts.empty());
+
+  struct Sched {
+    const char* label;
+    core::ScheduleView view;
+    std::unique_ptr<core::ScrubStrategy> strategy;
+  };
+  // Note: the strategy constructors take request SECTORS, like the view
+  // (the make_* factories take bytes).
+  std::vector<Sched> schedules;
+  schedules.push_back(
+      {"sequential", core::ScheduleView::sequential(total_sectors, 128),
+       std::make_unique<core::SequentialStrategy>(total_sectors, 128)});
+  schedules.push_back(
+      {"staggered", core::ScheduleView::staggered(total_sectors, 128, 64),
+       std::make_unique<core::StaggeredStrategy>(total_sectors, 128, 64)});
+
+  for (const Sched& s : schedules) {
+    for (bool scrub_on_detection : {true, false}) {
+      SCOPED_TRACE(std::string(s.label) + " scrub_on_detection=" +
+                   (scrub_on_detection ? "true" : "false"));
+      core::MletConfig config;
+      config.request_service = 7 * kMillisecond;
+      config.request_spacing = 2 * kMillisecond;
+      config.scrub_on_detection = scrub_on_detection;
+      const core::MletResult by_strategy = core::evaluate_mlet(
+          *s.strategy, total_sectors, bursts, config);
+      const core::MletResult by_view =
+          core::evaluate_mlet(s.view, bursts, config);
+      EXPECT_EQ(by_view.errors, by_strategy.errors);
+      EXPECT_EQ(by_view.mlet_hours, by_strategy.mlet_hours);
+      EXPECT_EQ(by_view.worst_hours, by_strategy.worst_hours);
+      EXPECT_EQ(by_view.pass_hours, by_strategy.pass_hours);
+    }
+  }
+}
+
+TEST(EvaluateMlet, DetectTimesAreWithinOnePassOfOccurrence) {
+  const std::int64_t total_sectors = 1 << 18;
+  const std::vector<core::LseBurst> bursts =
+      dense_bursts(total_sectors, 10 * kDay, 7);
+  const core::ScheduleView view =
+      core::ScheduleView::staggered(total_sectors, 64, 32);
+  core::MletConfig config;
+  config.request_service = 5 * kMillisecond;
+  std::vector<SimTime> detect;
+  core::evaluate_mlet(view, bursts, config, &detect);
+  ASSERT_EQ(detect.size(), bursts.size());
+  const SimTime pass =
+      view.steps_per_pass() * (config.request_service +
+                               config.request_spacing);
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    EXPECT_GE(detect[i], bursts[i].occurred);
+    EXPECT_LE(detect[i], bursts[i].occurred + pass);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-plan prefix invariance
+
+TEST(DiskFaultPlan, PrefixInvariantUnderDiskCountChanges) {
+  fault::FaultSpec spec;
+  spec.enabled = true;
+  spec.lse.burst_interarrival_mean = 5 * kDay;
+  const std::int64_t total_sectors = 1 << 20;
+  const SimTime horizon = 60 * kDay;
+
+  const fault::FaultPlan small =
+      fault::build_fault_plan(spec, 8, total_sectors, horizon);
+  const fault::FaultPlan large =
+      fault::build_fault_plan(spec, 64, total_sectors, horizon);
+  ASSERT_EQ(small.disks.size(), 8u);
+  ASSERT_EQ(large.disks.size(), 64u);
+
+  for (std::size_t i = 0; i < small.disks.size(); ++i) {
+    const fault::DiskFaultPlan one =
+        fault::build_disk_fault_plan(spec, static_cast<std::int64_t>(i),
+                                     total_sectors, horizon);
+    for (const fault::DiskFaultPlan* p : {&large.disks[i], &one}) {
+      ASSERT_EQ(p->bursts.size(), small.disks[i].bursts.size()) << i;
+      EXPECT_EQ(p->fail_at, small.disks[i].fail_at);
+      for (std::size_t b = 0; b < p->bursts.size(); ++b) {
+        EXPECT_EQ(p->bursts[b].occurred, small.disks[i].bursts[b].occurred);
+        EXPECT_EQ(p->bursts[b].sectors, small.disks[i].bursts[b].sectors);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet runs
+
+exp::ScenarioConfig fleet_config(std::int64_t disks) {
+  exp::ScenarioConfig config;
+  config.label = "test.fleet";
+  config.disk.capacity_bytes = 8LL << 30;
+  config.scrubber.kind = exp::ScrubberKind::kWaiting;
+  config.scrubber.strategy.kind = exp::StrategyKind::kStaggered;
+  config.scrubber.strategy.request_bytes = 64 * 1024;
+  config.scrubber.strategy.regions = 128;
+  config.run_for = 60 * kDay;
+  config.fleet.disks = disks;
+  config.fleet.pacing.request_service = 40 * kMillisecond;
+  config.fleet.util_min = 0.1;
+  config.fleet.util_max = 0.7;
+  config.fault.enabled = true;
+  config.fault.lse.burst_interarrival_mean = 10 * kDay;
+  config.fault.lse.burst_span_bytes = 64LL << 20;
+  return config;
+}
+
+TEST(Fleet, ResolveShards) {
+  EXPECT_EQ(resolve_shards(100, 4), 4);
+  EXPECT_EQ(resolve_shards(100, 200), 100);   // never more shards than disks
+  EXPECT_EQ(resolve_shards(100, 0), 1);       // size-based default
+  EXPECT_EQ(resolve_shards(16'384, 0), 1);
+  EXPECT_EQ(resolve_shards(16'385, 0), 2);
+  EXPECT_EQ(resolve_shards(1'000'000, 0), 62);
+  EXPECT_EQ(resolve_shards(50'000'000, 0), 1024);  // hard cap
+}
+
+// The acceptance cross-check: every member of a 1k fleet matches the
+// reference path (strategy-based evaluate_mlet over the same disk's fault
+// plan) bit-for-bit.
+TEST(Fleet, MatchesMemberReferencePath) {
+  const exp::ScenarioConfig config = fleet_config(1000);
+  const FleetResult r = run_fleet(config);
+  ASSERT_EQ(r.disks, 1000);
+  ASSERT_EQ(r.state.disks(), 1000);
+  for (std::int64_t i = 0; i < r.disks; ++i) {
+    const MemberResult m = run_member(config, i);
+    ASSERT_EQ(r.state.utilization[i], m.utilization) << "disk " << i;
+    ASSERT_EQ(r.state.effective_step[i], m.effective_step) << "disk " << i;
+    ASSERT_EQ(r.state.slowdown[i], m.slowdown) << "disk " << i;
+    ASSERT_EQ(r.state.errors[i], m.mlet.errors) << "disk " << i;
+    ASSERT_EQ(r.state.mlet_hours[i], m.mlet.mlet_hours) << "disk " << i;
+    ASSERT_EQ(r.state.worst_hours[i], m.mlet.worst_hours) << "disk " << i;
+  }
+}
+
+// Strict equality of two fleet results, including the full per-disk state
+// (the shard/worker invariance contract is bit-identity, not tolerance).
+void expect_fleet_results_equal(const FleetResult& a, const FleetResult& b) {
+  ASSERT_EQ(a.disks, b.disks);
+  EXPECT_EQ(a.horizon, b.horizon);
+  EXPECT_EQ(a.total_bursts, b.total_bursts);
+  EXPECT_EQ(a.total_errors, b.total_errors);
+  EXPECT_EQ(a.fleet_mlet_hours, b.fleet_mlet_hours);
+  EXPECT_EQ(a.worst_mlet_hours, b.worst_mlet_hours);
+  EXPECT_EQ(a.mean_slowdown, b.mean_slowdown);
+  EXPECT_EQ(a.mlet_hours.p50(), b.mlet_hours.p50());
+  EXPECT_EQ(a.mlet_hours.p99(), b.mlet_hours.p99());
+  EXPECT_EQ(a.completion_hours.p50(), b.completion_hours.p50());
+  EXPECT_EQ(a.state.utilization, b.state.utilization);
+  EXPECT_EQ(a.state.effective_step, b.state.effective_step);
+  EXPECT_EQ(a.state.pass_duration, b.state.pass_duration);
+  EXPECT_EQ(a.state.bursts, b.state.bursts);
+  EXPECT_EQ(a.state.errors, b.state.errors);
+  EXPECT_EQ(a.state.delay_sum_hours, b.state.delay_sum_hours);
+  EXPECT_EQ(a.state.mlet_hours, b.state.mlet_hours);
+  EXPECT_EQ(a.state.worst_hours, b.state.worst_hours);
+  EXPECT_EQ(a.state.slowdown, b.state.slowdown);
+  EXPECT_EQ(a.state.passes, b.state.passes);
+  EXPECT_EQ(a.state.progress, b.state.progress);
+}
+
+TEST(Fleet, BitIdenticalForAnyShardAndWorkerCount) {
+  obs::TimelineConfig tc;
+  tc.window = kHour;
+
+  // Reference: 1 shard, 1 worker, serial.
+  exp::ScenarioConfig config = fleet_config(5000);
+  config.fleet.shards = 1;
+  exp::SweepOptions ref_options;
+  ref_options.workers = 1;
+  obs::Registry ref_registry;
+  ref_options.merge_into = &ref_registry;
+  obs::Timeline ref_timeline;
+  ref_timeline.configure(tc);
+  ref_timeline.set_enabled(true);
+  ref_options.timeline_into = &ref_timeline;
+  const FleetResult reference = run_fleet(config, ref_options);
+
+  for (int shards : {1, 4, 8}) {
+    for (int workers : {1, 4}) {
+      if (shards == 1 && workers == 1) continue;
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " workers=" + std::to_string(workers));
+      config.fleet.shards = shards;
+      exp::SweepOptions options;
+      options.workers = workers;
+      obs::Registry registry;
+      options.merge_into = &registry;
+      obs::Timeline timeline;
+      timeline.configure(tc);
+      timeline.set_enabled(true);
+      options.timeline_into = &timeline;
+      const FleetResult r = run_fleet(config, options);
+      expect_fleet_results_equal(reference, r);
+      EXPECT_EQ(registry.to_json(), ref_registry.to_json());
+      EXPECT_EQ(timeline.to_jsonl(), ref_timeline.to_jsonl());
+    }
+  }
+}
+
+TEST(Fleet, ExportPublishesRollup) {
+  const exp::ScenarioConfig config = fleet_config(200);
+  const FleetResult r = run_fleet(config);
+  obs::Registry registry;
+  r.export_to(registry, "study");
+  EXPECT_EQ(registry.counter("study.fleet.disks").value(), 200);
+  EXPECT_EQ(registry.counter("study.fleet.bursts").value(), r.total_bursts);
+  EXPECT_EQ(registry.counter("study.fleet.errors").value(), r.total_errors);
+  EXPECT_EQ(registry.gauge("study.fleet.mlet_hours").value(),
+            r.fleet_mlet_hours);
+}
+
+// A fleet two orders of magnitude past the Scenario stack's comfort zone
+// must complete in-process within the unit-test budget.
+TEST(Fleet, HundredThousandDiskSmoke) {
+  exp::ScenarioConfig config = fleet_config(100'000);
+  config.run_for = 30 * kDay;
+  const FleetResult r = run_fleet(config);
+  EXPECT_EQ(r.disks, 100'000);
+  EXPECT_EQ(r.state.disks(), 100'000);
+  EXPECT_GT(r.total_errors, 0);
+  EXPECT_GT(r.fleet_mlet_hours, 0.0);
+  EXPECT_GT(r.shards, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-mode validation
+
+TEST(Fleet, ValidateRejectsStackOnlySpecs) {
+  {
+    exp::ScenarioConfig c = fleet_config(10);
+    c.raid.enabled = true;
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+  {
+    exp::ScenarioConfig c = fleet_config(10);
+    c.workload.kind = exp::WorkloadKind::kRandomReads;
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+  {
+    exp::ScenarioConfig c = fleet_config(10);
+    c.spindown_threshold = kSecond;
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+  {
+    exp::ScenarioConfig c = fleet_config(10);
+    c.scrubber.kind = exp::ScrubberKind::kNone;
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+  {
+    exp::ScenarioConfig c = fleet_config(10);
+    c.fault.fail_disk.push_back({0, kDay});
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+  {
+    exp::ScenarioConfig c = fleet_config(10);
+    c.fleet.shards = -1;
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+  {
+    exp::ScenarioConfig c = fleet_config(10);
+    c.fleet.pacing.request_service = 0;
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+  {
+    exp::ScenarioConfig c = fleet_config(10);
+    c.fleet.util_max = 1.0;
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+  {
+    exp::ScenarioConfig c = fleet_config(10);
+    c.fleet.util_min = 0.5;
+    c.fleet.util_max = 0.2;
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+  {
+    exp::ScenarioConfig c = fleet_config(10);
+    c.run_for = 0;
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+  {
+    // Staggered geometry infeasible for the member disk: regions finer
+    // than the request size.
+    exp::ScenarioConfig c = fleet_config(10);
+    c.disk.capacity_bytes = 1LL << 20;
+    c.scrubber.strategy.regions = 10'000;
+    EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+  }
+}
+
+TEST(Fleet, ScenarioCtorRejectsFleetConfigs) {
+  EXPECT_THROW(exp::Scenario scenario(fleet_config(10)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pscrub::fleet

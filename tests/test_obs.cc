@@ -13,6 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
+#include "obs/env.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
@@ -732,6 +735,42 @@ TEST(TracerTest, TraceFileIsValidChromeTraceJson) {
 TEST(TracerTest, GlobalSingletonsAreStable) {
   EXPECT_EQ(&Tracer::global(), &Tracer::global());
   EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+// ---------------------------------------------------------------------------
+// parse_positive_env: the strict parser behind PSCRUB_TIMELINE_WINDOW_MS
+// and PSCRUB_SWEEP_WORKERS. A typo must degrade to the default (nullopt)
+// rather than silently parse as 0 the way atoll would.
+
+TEST(ParsePositiveEnv, AcceptsPositiveIntegersUpToMax) {
+  EXPECT_EQ(parse_positive_env("T", "1", 100), 1);
+  EXPECT_EQ(parse_positive_env("T", "42", 100), 42);
+  EXPECT_EQ(parse_positive_env("T", "100", 100), 100);  // max inclusive
+}
+
+TEST(ParsePositiveEnv, UnsetOrEmptyIsSilentlyAbsent) {
+  EXPECT_EQ(parse_positive_env("T", nullptr, 100), std::nullopt);
+  EXPECT_EQ(parse_positive_env("T", "", 100), std::nullopt);
+}
+
+TEST(ParsePositiveEnv, RejectsNonNumericText) {
+  EXPECT_EQ(parse_positive_env("T", "abc", 100), std::nullopt);
+  EXPECT_EQ(parse_positive_env("T", "  ", 100), std::nullopt);
+}
+
+TEST(ParsePositiveEnv, RejectsTrailingGarbage) {
+  // "100ms" is the classic mistake for a _MS-suffixed variable.
+  EXPECT_EQ(parse_positive_env("T", "100ms", 1000), std::nullopt);
+  EXPECT_EQ(parse_positive_env("T", "5 ", 100), std::nullopt);
+}
+
+TEST(ParsePositiveEnv, RejectsNonPositiveAndOutOfRange) {
+  EXPECT_EQ(parse_positive_env("T", "0", 100), std::nullopt);
+  EXPECT_EQ(parse_positive_env("T", "-3", 100), std::nullopt);
+  EXPECT_EQ(parse_positive_env("T", "101", 100), std::nullopt);
+  // Overflows long long entirely (ERANGE path).
+  EXPECT_EQ(parse_positive_env("T", "99999999999999999999999999", 100),
+            std::nullopt);
 }
 
 }  // namespace

@@ -198,6 +198,34 @@ void render_utilization(const Timeline& tl, const ReportOptions& opt,
   }
 }
 
+void render_fleet(const Timeline& tl, const ReportOptions& opt,
+                  std::string& out) {
+  // One line per fleet (keyed by the "<label>.fleet." prefix the fleet
+  // layer records under): injected latent error sectors vs detections.
+  // The fleet's distribution digests (mlet_hours, completion_hours, ...)
+  // render through the shared digest section below.
+  std::string section;
+  const std::string marker = ".fleet.lse_sectors";
+  for (const auto& [name, id] : tl.index()) {
+    if (!selected(name, opt) || !ends_with(name, marker)) continue;
+    const Timeline::Series& s = tl.at(id);
+    if (s.kind != Timeline::SeriesKind::kCounter) continue;
+    const std::string base = name.substr(0, name.size() - marker.size());
+    const double injected = counter_total(tl, name);
+    const double detected = counter_total(tl, base + ".fleet.detections");
+    section += "  " + base + ": " + num(injected) +
+               " latent error sectors, " + num(detected) + " detections";
+    if (injected > 0.0) {
+      section += " (" + percent(detected / injected) + ")";
+    }
+    section += "\n";
+  }
+  if (!section.empty()) {
+    out += "\nfleet\n";
+    out += section;
+  }
+}
+
 std::string digest_line(const std::string& name, const QuantileDigest& d) {
   return "  " + name + ": count " + std::to_string(d.count()) + ", p50 " +
          num(d.p50()) + ", p95 " + num(d.p95()) + ", p99 " + num(d.p99()) +
@@ -325,6 +353,7 @@ std::string render_report(const obs::Timeline& tl,
 
   render_scrub_progress(tl, options, width_s, used, out);
   render_utilization(tl, options, width_s, used, out);
+  render_fleet(tl, options, out);
   render_digests(tl, options, out);
   render_events(tl, options, out);
   if (options.windows) render_window_tables(tl, options, width_s, out);

@@ -28,9 +28,10 @@ std::string load_and_merge(const std::vector<std::string>& paths,
                            obs::Timeline& into);
 
 /// Renders the deterministic report: header, scrub-progress summaries,
-/// utilization breakdown, digest quantiles, event-log summaries, and
-/// (with options.windows) per-window tables. Same timeline, same options
-/// -> same bytes.
+/// utilization breakdown, fleet rollups (injected error sectors vs
+/// detections per "<label>.fleet." prefix), digest quantiles, event-log
+/// summaries, and (with options.windows) per-window tables. Same
+/// timeline, same options -> same bytes.
 std::string render_report(const obs::Timeline& timeline,
                           const ReportOptions& options = {});
 
