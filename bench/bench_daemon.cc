@@ -1,0 +1,103 @@
+// Daemon-layer benchmarks (google-benchmark): end-to-end pscrubd runs
+// with heavy operator-command traffic and periodic checkpoints, plus the
+// checkpoint codec round trip. These pin the control-plane overhead --
+// token-bucket pacing, command dispatch, snapshot serialization -- under
+// the perf gate (bench/baseline.json via compare_perf.py).
+//
+// PSCRUB_BENCH_SCALE in (0, 1] shrinks the device counts for smoke runs
+// (the perf gate runs full size).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "bench/common.h"
+#include "pscrub.h"
+
+namespace pscrub {
+namespace {
+
+std::int64_t scaled_devices(std::int64_t devices) {
+  const double scale = bench::bench_scale();
+  if (scale <= 0.0) return devices;
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(static_cast<double>(devices) * scale));
+}
+
+exp::ScenarioConfig daemon_config(std::int64_t devices) {
+  exp::ScenarioConfig config;
+  config.label = "bench.pscrubd";
+  config.disk.capacity_bytes = 2LL << 30;
+  config.scrubber.kind = exp::ScrubberKind::kWaiting;
+  config.scrubber.strategy.kind = exp::StrategyKind::kSequential;
+  config.scrubber.strategy.request_bytes = 256 * 1024;
+  config.run_for = 30 * kMinute;
+  config.daemon.devices = devices;
+  config.daemon.util_min = 0.2;
+  config.daemon.util_max = 0.5;
+  config.daemon.target_passes = 1;
+  config.daemon.checkpoint_interval = kMinute;
+  config.daemon.client_commands = 500;
+  config.daemon.client_interval = config.run_for / 500;
+  // Pace a pass to ~60% of the horizon at 25% scrub duty cycle (the
+  // pscrubd_sim pacing recipe).
+  {
+    const disk::DiskProfile p = config.disk.profile();
+    const std::int64_t total_sectors =
+        disk::Geometry(p.capacity_bytes, p.outer_spt, p.inner_spt, p.zones)
+            .total_sectors();
+    const std::int64_t request_sectors =
+        disk::sectors_from_bytes(config.scrubber.strategy.request_bytes);
+    const std::int64_t steps =
+        (total_sectors + request_sectors - 1) / request_sectors;
+    const SimTime step =
+        std::max<SimTime>(config.run_for * 6 / (10 * steps), 8);
+    config.daemon.pacing.request_service = step / 4;
+    config.daemon.pacing.request_spacing = step - step / 4;
+  }
+  config.fault.enabled = true;
+  config.fault.lse.burst_interarrival_mean = 10 * kMinute;
+  config.fault.lse.burst_span_bytes = 64LL << 20;
+  return config;
+}
+
+/// End-to-end control plane: arg is the device count. Items are verified
+/// extents, so items/s is the daemon's scrub-dispatch throughput under
+/// command traffic.
+void BM_DaemonRun(benchmark::State& state) {
+  const exp::ScenarioConfig config = daemon_config(scaled_devices(state.range(0)));
+  std::int64_t extents = 0;
+  for (auto _ : state) {
+    const daemon::DaemonResult r = daemon::run_daemon(config);
+    benchmark::DoNotOptimize(r.status_checksum);
+    extents = r.extents;
+  }
+  state.SetItemsProcessed(state.iterations() * extents);
+}
+BENCHMARK(BM_DaemonRun)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+/// Checkpoint codec: serialize + parse of a mid-run snapshot (with the
+/// embedded timeline, as the periodic persist path writes it). Items are
+/// snapshots round-tripped.
+void BM_DaemonCheckpointRoundTrip(benchmark::State& state) {
+  const exp::ScenarioConfig config = daemon_config(8);
+  obs::Timeline timeline;
+  timeline.configure(obs::TimelineConfig{});
+  timeline.set_enabled(true);
+  Simulator sim;
+  daemon::Daemon d(sim, config, &timeline);
+  d.start();
+  sim.run_until(config.run_for / 2);
+  for (auto _ : state) {
+    const daemon::Checkpoint ck =
+        daemon::parse_checkpoint(daemon::serialize_checkpoint(d.snapshot()));
+    benchmark::DoNotOptimize(ck.now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DaemonCheckpointRoundTrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pscrub
+
+BENCHMARK_MAIN();

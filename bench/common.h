@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -17,23 +18,13 @@
 namespace pscrub::bench {
 
 inline double bench_scale() {
-  const char* env = std::getenv("PSCRUB_BENCH_SCALE");
-  if (env == nullptr || *env == '\0') {
-    return -1.0;  // default: per-bench record caps
-  }
-  char* end = nullptr;
-  const double s = std::strtod(env, &end);
-  // Reject trailing garbage ("0.5x"), non-numeric input (strtod returns 0
-  // with end == env, which atof silently mapped to "use default"), and
-  // out-of-range scales instead of silently ignoring them.
-  if (end == env || *end != '\0' || !(s > 0.0) || s > 1.0) {
-    std::fprintf(stderr,
-                 "warning: PSCRUB_BENCH_SCALE='%s' is not a scale in "
-                 "(0, 1]; using default record caps\n",
-                 env);
-    return -1.0;
-  }
-  return s;
+  // The shared strict parser rejects trailing garbage ("0.5x"),
+  // non-numeric input, overflowed exponents, and scales outside (0, 1]
+  // with a stderr warning -- a typo degrades loudly to the default
+  // per-bench record caps instead of silently parsing as 0.
+  const std::optional<double> s = obs::parse_positive_double_env(
+      "PSCRUB_BENCH_SCALE", std::getenv("PSCRUB_BENCH_SCALE"), 1.0);
+  return s ? *s : -1.0;
 }
 
 /// Honors PSCRUB_TRACE / PSCRUB_METRICS for a bench run: declare one at

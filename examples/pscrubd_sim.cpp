@@ -1,0 +1,174 @@
+// pscrubd_sim: drive the crash-safe scrub control plane from the CLI.
+//
+// Runs pscrubd over a small device population with an in-sim operator
+// client hammering the command protocol, periodic checkpoints, and
+// (optionally) a kill/resume cycle. The CI `daemon` job uses the kill
+// harness: run once uninterrupted, run again with --kill-at-extents
+// (the process exits mid-run with code 3, skipping ALL exit-time metric
+// export), resume from the persisted checkpoint with --resume, and
+// byte-diff stdout + PSCRUB_METRICS + PSCRUB_TIMELINE against the
+// uninterrupted run.
+//
+//   ./pscrubd_sim [--devices N] [--hours H] [--rate SECT_PER_S]
+//                 [--commands N] [--checkpoint PATH] [--checkpoint-mins M]
+//                 [--kill-at-extents N] [--resume PATH]
+//                 [--crash-at-hours H]
+//
+// --crash-at-hours exercises the IN-SIM crash path instead (the control
+// plane is torn down and rebuilt from its last checkpoint inside one
+// process); --kill-at-extents + --resume exercise the process-level one.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "pscrub.h"
+
+using namespace pscrub;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--devices N] [--hours H] [--rate SECT_PER_S]\n"
+               "          [--commands N] [--checkpoint PATH]\n"
+               "          [--checkpoint-mins M] [--kill-at-extents N]\n"
+               "          [--resume PATH] [--crash-at-hours H]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::EnvSession obs_session;
+
+  std::int64_t devices = 4;
+  double hours = 8.0;
+  std::int64_t rate = 0;
+  std::int64_t commands = 200;
+  std::string checkpoint_path;
+  double checkpoint_mins = 30.0;
+  std::int64_t kill_at = 0;
+  std::string resume_path;
+  double crash_hours = 0.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--devices") {
+      devices = std::atoll(value());
+    } else if (arg == "--hours") {
+      hours = std::atof(value());
+    } else if (arg == "--rate") {
+      rate = std::atoll(value());
+    } else if (arg == "--commands") {
+      commands = std::atoll(value());
+    } else if (arg == "--checkpoint") {
+      checkpoint_path = value();
+    } else if (arg == "--checkpoint-mins") {
+      checkpoint_mins = std::atof(value());
+    } else if (arg == "--kill-at-extents") {
+      kill_at = std::atoll(value());
+    } else if (arg == "--resume") {
+      resume_path = value();
+    } else if (arg == "--crash-at-hours") {
+      crash_hours = std::atof(value());
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (devices <= 0 || hours <= 0.0) return usage(argv[0]);
+
+  exp::ScenarioConfig config;
+  config.label = "pscrubd";
+  config.disk.capacity_bytes = 2LL << 30;  // small members keep CI fast
+  config.scrubber.kind = exp::ScrubberKind::kWaiting;
+  config.scrubber.strategy.kind = exp::StrategyKind::kSequential;
+  config.scrubber.strategy.request_bytes = 256 * 1024;
+  config.run_for = from_seconds(hours * 3600.0);
+
+  config.daemon.devices = devices;
+  config.daemon.util_min = 0.2;
+  config.daemon.util_max = 0.5;
+  config.daemon.target_passes = 1;
+  config.daemon.rate_sectors_per_s = rate;
+  config.daemon.checkpoint_interval = from_seconds(checkpoint_mins * 60.0);
+  config.daemon.checkpoint_path = checkpoint_path;
+  config.daemon.client_commands = commands;
+  if (commands > 0) {
+    config.daemon.client_interval =
+        std::max<SimTime>(config.run_for / commands, 2);
+  }
+  config.daemon.crash_at = from_seconds(crash_hours * 3600.0);
+
+  // Pace an idle-disk pass to ~60% of the horizon: utilization stretch
+  // (up to 2x at util 0.5) leaves a realistic mix of done and running
+  // scrubs at the end.
+  {
+    const disk::DiskProfile p = config.disk.profile();
+    const std::int64_t total_sectors =
+        disk::Geometry(p.capacity_bytes, p.outer_spt, p.inner_spt, p.zones)
+            .total_sectors();
+    const std::int64_t request_sectors =
+        disk::sectors_from_bytes(config.scrubber.strategy.request_bytes);
+    const std::int64_t steps =
+        (total_sectors + request_sectors - 1) / request_sectors;
+    const SimTime step = std::max<SimTime>(config.run_for * 6 / (10 * steps), 8);
+    // 25% scrub duty cycle within idle time: the slowdown model stays in
+    // its meaningful regime instead of clamping (spacing 0 means the
+    // scrubber consumes every idle nanosecond).
+    config.daemon.pacing.request_service = step / 4;
+    config.daemon.pacing.request_spacing = step - step / 4;
+  }
+
+  // A few LSE bursts per device within the run.
+  config.fault.enabled = true;
+  config.fault.lse.burst_interarrival_mean = from_seconds(hours * 900.0);
+  config.fault.lse.burst_span_bytes = 64LL << 20;
+
+  daemon::DaemonResult result;
+  if (crash_hours > 0.0) {
+    result = daemon::run_daemon(config);
+  } else {
+    Simulator sim;
+    daemon::Daemon d(sim, config, &obs::Timeline::global());
+    if (!resume_path.empty()) {
+      const daemon::Checkpoint ck =
+          daemon::parse_checkpoint(daemon::read_checkpoint_file(resume_path));
+      sim.at(ck.now, [] {});
+      sim.run_until(ck.now);
+      d.restore(ck);
+    } else {
+      d.start();
+    }
+    if (kill_at > 0) {
+      // The CI kill harness: exit hard at a fixed amount of verified
+      // work. std::exit skips local destructors, so obs_session never
+      // exports -- like a real crash, nothing but the checkpoint file
+      // survives.
+      while (sim.step(config.run_for)) {
+        if (d.total_extents() >= kill_at) {
+          std::fprintf(stderr,
+                       "pscrubd_sim: killed at %lld extents (sim %.3fs)\n",
+                       static_cast<long long>(d.total_extents()),
+                       to_seconds(sim.now()));
+          std::exit(3);
+        }
+      }
+    } else {
+      sim.run_until(config.run_for);
+    }
+    result = d.result();
+  }
+
+  std::fputs(daemon::render_daemon_result(result).c_str(), stdout);
+  result.export_to(obs::Registry::global(), config.label);
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace pscrub::core {
 
@@ -26,6 +27,22 @@ ScrubExtent SequentialStrategy::next() {
 void SequentialStrategy::reset() {
   pos_ = 0;
   passes_ = 0;
+}
+
+ScrubCursor SequentialStrategy::cursor() const {
+  ScrubCursor c;
+  c.a = pos_;
+  c.passes = passes_;
+  return c;
+}
+
+void SequentialStrategy::restore(const ScrubCursor& cursor) {
+  if (cursor.a < 0 || cursor.a >= total_sectors_ || cursor.b != 0 ||
+      cursor.passes < 0) {
+    throw std::invalid_argument("sequential cursor out of range");
+  }
+  pos_ = cursor.a;
+  passes_ = cursor.passes;
 }
 
 void SequentialStrategy::set_request_sectors(std::int64_t sectors) {
@@ -84,6 +101,24 @@ void StaggeredStrategy::reset() {
   region_index_ = 0;
   segment_offset_ = 0;
   passes_ = 0;
+}
+
+ScrubCursor StaggeredStrategy::cursor() const {
+  ScrubCursor c;
+  c.a = region_index_;
+  c.b = segment_offset_;
+  c.passes = passes_;
+  return c;
+}
+
+void StaggeredStrategy::restore(const ScrubCursor& cursor) {
+  if (cursor.a < 0 || cursor.a >= regions_ || cursor.b < 0 ||
+      cursor.b >= region_sectors_ || cursor.passes < 0) {
+    throw std::invalid_argument("staggered cursor out of range");
+  }
+  region_index_ = static_cast<int>(cursor.a);
+  segment_offset_ = cursor.b;
+  passes_ = cursor.passes;
 }
 
 void StaggeredStrategy::set_request_sectors(std::int64_t sectors) {

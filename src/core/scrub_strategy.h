@@ -19,6 +19,18 @@ struct ScrubExtent {
   std::int64_t sectors = 0;
 };
 
+/// Serializable position of a strategy between two next() calls. `a` and
+/// `b` are strategy-private coordinates (sequential: a = next LBN;
+/// staggered: a = region index, b = round offset); `passes` is the
+/// completed-pass count. The pair cursor()/restore() round-trips exactly:
+/// a restored strategy yields the same extent sequence the original would
+/// have. Daemon checkpoints persist these three integers per scrub.
+struct ScrubCursor {
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t passes = 0;
+};
+
 class ScrubStrategy {
  public:
   virtual ~ScrubStrategy() = default;
@@ -29,6 +41,14 @@ class ScrubStrategy {
 
   /// Restarts from the beginning of the disk.
   virtual void reset() = 0;
+
+  /// Snapshot of the current position (see ScrubCursor).
+  virtual ScrubCursor cursor() const = 0;
+
+  /// Restores a cursor() snapshot. Throws std::invalid_argument when the
+  /// coordinates are out of range for this strategy's geometry (e.g. a
+  /// checkpoint taken under a different disk size).
+  virtual void restore(const ScrubCursor& cursor) = 0;
 
   virtual std::int64_t completed_passes() const = 0;
   virtual const char* name() const = 0;
@@ -48,6 +68,8 @@ class SequentialStrategy final : public ScrubStrategy {
 
   ScrubExtent next() override;
   void reset() override;
+  ScrubCursor cursor() const override;
+  void restore(const ScrubCursor& cursor) override;
   std::int64_t completed_passes() const override { return passes_; }
   const char* name() const override { return "sequential"; }
   std::int64_t total_sectors() const override { return total_sectors_; }
@@ -71,6 +93,8 @@ class StaggeredStrategy final : public ScrubStrategy {
 
   ScrubExtent next() override;
   void reset() override;
+  ScrubCursor cursor() const override;
+  void restore(const ScrubCursor& cursor) override;
   std::int64_t completed_passes() const override { return passes_; }
   const char* name() const override { return "staggered"; }
   std::int64_t total_sectors() const override { return total_sectors_; }

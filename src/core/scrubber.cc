@@ -81,7 +81,28 @@ Scrubber::Scrubber(Simulator& sim, block::BlockLayer& blk,
 void Scrubber::start() {
   if (running_) return;
   running_ = true;
+  paused_ = false;
   issue();
+}
+
+void Scrubber::pause() {
+  if (!running_) return;
+  running_ = false;
+  paused_ = true;
+  // The inter-request timer may hold the only reference to the next
+  // issue; cancel it so the chain is quiescent until resume().
+  sim_.cancel(issue_event_);
+  if (progress_.enabled()) progress_.on_stop(sim_.now(), "paused");
+}
+
+void Scrubber::resume() {
+  if (!paused_) return;
+  paused_ = false;
+  running_ = true;
+  // If the verify that was in flight at pause() has not completed yet,
+  // its completion callback re-chains now that running_ is set again;
+  // issuing here too would put two extents in flight.
+  if (!in_flight_) issue();
 }
 
 void Scrubber::issue() {
@@ -97,6 +118,7 @@ void Scrubber::issue() {
   req.background = true;
   req.on_complete = [this](const block::BlockRequest& r,
                            const block::BlockResult& result) {
+    in_flight_ = false;
     stats_.record(r.cmd.bytes(), result.latency);
     if (!result.ok()) ++stats_.errors;
     if (progress_.enabled() && result.status != disk::IoStatus::kDiskFailed) {
@@ -133,6 +155,7 @@ void Scrubber::issue() {
       issue();
     }
   };
+  in_flight_ = true;
   blk_.submit(std::move(req));
 }
 
@@ -151,17 +174,32 @@ WaitingScrubber::WaitingScrubber(Simulator& sim, block::BlockLayer& blk,
 void WaitingScrubber::start() {
   if (running_) return;
   running_ = true;
+  paused_ = false;
   blk_.set_idle_observer([this] { on_idle(); });
   if (blk_.idle()) on_idle();
 }
 
 void WaitingScrubber::stop() {
   running_ = false;
+  paused_ = false;
   if (armed_) {
     sim_.cancel(arm_event_);
     armed_ = false;
   }
   blk_.set_idle_observer(nullptr);
+}
+
+void WaitingScrubber::pause() {
+  if (!running_) return;
+  stop();
+  paused_ = true;
+  if (progress_.enabled()) progress_.on_stop(sim_.now(), "paused");
+}
+
+void WaitingScrubber::resume() {
+  if (!paused_) return;
+  paused_ = false;
+  start();
 }
 
 void WaitingScrubber::on_idle() {

@@ -91,10 +91,24 @@ class Scrubber {
            std::unique_ptr<ScrubStrategy> strategy, ScrubberConfig config);
 
   void start();
-  void stop() { running_ = false; }
+  void stop() {
+    running_ = false;
+    paused_ = false;
+  }
+
+  /// Suspends issuing without losing the strategy cursor: the pending
+  /// inter-request timer is cancelled and an in-flight verify completes
+  /// (and is recorded) but does not chain. resume() picks up at the exact
+  /// next extent -- the pause/resume pair is cursor-neutral.
+  void pause();
+  void resume();
+  bool paused() const { return paused_; }
 
   const ScrubberStats& stats() const { return stats_; }
   const ScrubStrategy& strategy() const { return *strategy_; }
+  /// Mutable strategy access for checkpoint restore (cursor seeding
+  /// before start()).
+  ScrubStrategy& mutable_strategy() { return *strategy_; }
 
   /// Attaches progress instrumentation (see ScrubProgressRecorder).
   void set_timeline(const obs::TimelineSink& sink) {
@@ -111,6 +125,10 @@ class Scrubber {
   ScrubberStats stats_;
   ScrubProgressRecorder progress_;
   bool running_ = false;
+  bool paused_ = false;
+  /// True between submit and completion: resume() must not start a second
+  /// chain while a paused run's last verify is still in flight.
+  bool in_flight_ = false;
   /// Persistent inter-request-delay timer (re-armed per completion).
   EventId issue_event_ = 0;
 };
@@ -135,7 +153,19 @@ class WaitingScrubber {
   void start();
   void stop();
 
+  /// Operator pause/resume: stop() keeps the strategy cursor already, so
+  /// pause is stop + a flag; resume re-engages the idle observer. The
+  /// pair exists so control-plane callers can distinguish "operator
+  /// paused" from "stood down for good".
+  void pause();
+  void resume();
+  bool paused() const { return paused_; }
+
   const ScrubberStats& stats() const { return stats_; }
+  const ScrubStrategy& strategy() const { return *strategy_; }
+  /// Mutable strategy access for checkpoint restore (cursor seeding
+  /// before start()).
+  ScrubStrategy& mutable_strategy() { return *strategy_; }
   SimTime wait_threshold() const { return wait_threshold_; }
 
   /// Retunes the policy parameters at runtime (used by the adaptive
@@ -164,6 +194,7 @@ class WaitingScrubber {
   ScrubProgressRecorder progress_;
   bool running_ = false;
   bool armed_ = false;
+  bool paused_ = false;
   EventId arm_event_ = 0;
 };
 

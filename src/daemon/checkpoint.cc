@@ -1,0 +1,241 @@
+#include "daemon/checkpoint.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace pscrub::daemon {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("pscrubd checkpoint: " + what);
+}
+
+/// Pulls one whitespace-delimited int64 off the stream or dies with the
+/// field's name in the message.
+std::int64_t field(std::istringstream& in, const char* name) {
+  std::int64_t v = 0;
+  if (!(in >> v)) fail(std::string("bad or missing field '") + name + "'");
+  return v;
+}
+
+std::uint64_t ufield(std::istringstream& in, const char* name) {
+  std::uint64_t v = 0;
+  if (!(in >> v)) fail(std::string("bad or missing field '") + name + "'");
+  return v;
+}
+
+void expect_drained(std::istringstream& in, const char* what) {
+  std::string extra;
+  if (in >> extra) fail(std::string("trailing data on ") + what + " line");
+}
+
+}  // namespace
+
+std::string serialize_checkpoint(const Checkpoint& ck) {
+  std::ostringstream out;
+  out << "pscrubd-checkpoint v" << ck.version << "\n";
+  out << "now " << ck.now << "\n";
+  out << "next_checkpoint " << ck.next_checkpoint << "\n";
+  out << "checkpoints " << ck.checkpoints_taken << "\n";
+  out << "counters " << ck.commands_applied << " " << ck.commands_rejected
+      << " " << ck.status_queries << "\n";
+  out << "jobs " << ck.jobs.size() << "\n";
+  for (const JobCheckpoint& j : ck.jobs) {
+    out << "job " << j.device << " " << j.state << " " << j.cursor << " "
+        << j.passes << " " << j.next_fire << " " << j.rate << " " << j.burst
+        << " " << j.tokens << " " << j.refilled_at << " " << j.extents << " "
+        << j.sectors << " " << j.detections << " " << j.detected_bursts << " "
+        << j.detect_delay_sum << " " << j.throttle_waits << " "
+        << j.throttle_delay << " " << j.pauses << " " << j.resumes << " "
+        << j.rate_changes << " " << j.starts << "\n";
+    for (const auto& [burst, at] : j.detected) {
+      out << "detect " << j.device << " " << burst << " " << at << "\n";
+    }
+  }
+  out << "client " << ck.client.next_index << " " << ck.client.next_fire
+      << " " << ck.client.checksum << "\n";
+  out << "timeline " << ck.timeline_jsonl.size() << "\n";
+  out << ck.timeline_jsonl;
+  out << "end\n";
+  return out.str();
+}
+
+Checkpoint parse_checkpoint(const std::string& text) {
+  Checkpoint ck;
+  std::size_t pos = 0;
+  bool saw_end = false;
+  bool saw_client = false;
+  bool saw_timeline = false;
+  std::size_t declared_jobs = 0;
+  bool saw_jobs = false;
+
+  auto next_line = [&](std::string& line) -> bool {
+    if (pos >= text.size()) return false;
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      line = text.substr(pos);
+      pos = text.size();
+    } else {
+      line = text.substr(pos, nl - pos);
+      pos = nl + 1;
+    }
+    return true;
+  };
+
+  std::string line;
+  if (!next_line(line)) fail("empty input");
+  {
+    std::istringstream in(line);
+    std::string magic;
+    if (!(in >> magic) || magic != "pscrubd-checkpoint") {
+      fail("not a pscrubd checkpoint (bad magic)");
+    }
+    std::string ver;
+    if (!(in >> ver) || ver.size() < 2 || ver[0] != 'v') {
+      fail("missing version tag");
+    }
+    ck.version = std::atoi(ver.c_str() + 1);
+    if (ck.version != kCheckpointVersion) {
+      fail("unsupported version " + ver + " (this build reads v" +
+           std::to_string(kCheckpointVersion) + ")");
+    }
+  }
+
+  while (next_line(line)) {
+    std::istringstream in(line);
+    std::string key;
+    if (!(in >> key)) continue;  // blank line
+    if (key == "now") {
+      ck.now = field(in, "now");
+      expect_drained(in, "now");
+    } else if (key == "next_checkpoint") {
+      ck.next_checkpoint = field(in, "next_checkpoint");
+      expect_drained(in, "next_checkpoint");
+    } else if (key == "checkpoints") {
+      ck.checkpoints_taken = field(in, "checkpoints");
+      expect_drained(in, "checkpoints");
+    } else if (key == "counters") {
+      ck.commands_applied = field(in, "commands_applied");
+      ck.commands_rejected = field(in, "commands_rejected");
+      ck.status_queries = field(in, "status_queries");
+      expect_drained(in, "counters");
+    } else if (key == "jobs") {
+      const std::int64_t n = field(in, "jobs");
+      if (n < 0) fail("negative job count");
+      declared_jobs = static_cast<std::size_t>(n);
+      saw_jobs = true;
+      expect_drained(in, "jobs");
+    } else if (key == "job") {
+      JobCheckpoint j;
+      j.device = static_cast<int>(field(in, "device"));
+      j.state = static_cast<int>(field(in, "state"));
+      j.cursor = field(in, "cursor");
+      j.passes = field(in, "passes");
+      j.next_fire = field(in, "next_fire");
+      j.rate = field(in, "rate");
+      j.burst = field(in, "burst");
+      j.tokens = field(in, "tokens");
+      j.refilled_at = field(in, "refilled_at");
+      j.extents = field(in, "extents");
+      j.sectors = field(in, "sectors");
+      j.detections = field(in, "detections");
+      j.detected_bursts = field(in, "detected_bursts");
+      j.detect_delay_sum = field(in, "detect_delay_sum");
+      j.throttle_waits = field(in, "throttle_waits");
+      j.throttle_delay = field(in, "throttle_delay");
+      j.pauses = field(in, "pauses");
+      j.resumes = field(in, "resumes");
+      j.rate_changes = field(in, "rate_changes");
+      j.starts = field(in, "starts");
+      expect_drained(in, "job");
+      ck.jobs.push_back(std::move(j));
+    } else if (key == "detect") {
+      const std::int64_t device = field(in, "detect device");
+      const std::int64_t burst = field(in, "detect burst");
+      const SimTime at = field(in, "detect at");
+      expect_drained(in, "detect");
+      if (ck.jobs.empty() || device != ck.jobs.back().device) {
+        fail("detect line for device " + std::to_string(device) +
+             " outside its job block");
+      }
+      if (burst < 0 || at < 0) fail("detect line with negative fields");
+      ck.jobs.back().detected.emplace_back(burst, at);
+    } else if (key == "client") {
+      ck.client.next_index = field(in, "client next_index");
+      ck.client.next_fire = field(in, "client next_fire");
+      ck.client.checksum = ufield(in, "client checksum");
+      expect_drained(in, "client");
+      saw_client = true;
+    } else if (key == "timeline") {
+      const std::int64_t bytes = field(in, "timeline bytes");
+      expect_drained(in, "timeline");
+      if (bytes < 0) fail("negative timeline length");
+      const std::size_t n = static_cast<std::size_t>(bytes);
+      if (pos + n > text.size()) fail("truncated timeline section");
+      ck.timeline_jsonl = text.substr(pos, n);
+      pos += n;
+      saw_timeline = true;
+    } else if (key == "end") {
+      saw_end = true;
+      break;
+    } else {
+      fail("unknown record '" + key + "'");
+    }
+  }
+
+  if (!saw_end) fail("missing 'end' sentinel (truncated checkpoint?)");
+  if (!saw_jobs) fail("missing 'jobs' header");
+  if (!saw_client) fail("missing 'client' record");
+  if (!saw_timeline) fail("missing 'timeline' record");
+  if (ck.jobs.size() != declared_jobs) {
+    fail("job count mismatch: header says " + std::to_string(declared_jobs) +
+         ", found " + std::to_string(ck.jobs.size()));
+  }
+  if (ck.now < 0) fail("negative snapshot time");
+  return ck;
+}
+
+std::string read_checkpoint_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    fail("cannot open '" + path + "': " + std::strerror(errno));
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, n);
+  }
+  const bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) fail("cannot read '" + path + "'");
+  if (text.empty()) fail("'" + path + "' is empty");
+  return text;
+}
+
+void write_checkpoint_file(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    fail("cannot create '" + tmp + "': " + std::strerror(errno));
+  }
+  const std::size_t wrote = std::fwrite(text.data(), 1, text.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (wrote != text.size() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    fail("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("cannot rename '" + tmp + "' over '" + path +
+         "': " + std::strerror(errno));
+  }
+}
+
+}  // namespace pscrub::daemon

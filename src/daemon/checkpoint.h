@@ -1,0 +1,113 @@
+// Versioned scrub-progress checkpoints for pscrubd (src/daemon).
+//
+// A checkpoint is a complete, self-contained snapshot of the control
+// plane between two events: per-scrub cursors and policy state (job
+// state machine, token-bucket fill, absolute next-fire times), operator
+// client position and status checksum, command counters, and the live
+// timeline (embedded as JSONL). Restoring it into a fresh daemon at the
+// snapshot's sim time replays the remainder of the run byte-identically
+// to a run that was never interrupted -- the crash-safety contract
+// test_daemon.cc and the CI kill harness enforce.
+//
+// The wire form is a line-oriented text format opened by a version line
+// ("pscrubd-checkpoint v1") and closed by an "end" sentinel, so a
+// truncated file (crash mid-write) parses as an error rather than as a
+// shorter run. All fields are integers: no floating-point state crosses
+// the checkpoint boundary, which is what makes resume exact. Version
+// bumps are append-only in spirit: a parser rejects versions it does not
+// know rather than guessing (see DESIGN.md section 14 for the rules).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace pscrub::daemon {
+
+/// The current (and only) checkpoint format version.
+inline constexpr int kCheckpointVersion = 1;
+
+/// One scrub's snapshot. `cursor` is the linear step index within the
+/// current pass (core::ScheduleView::extent_at's argument); the bucket
+/// fields are the token bucket's exact integer state; `next_fire` is the
+/// ABSOLUTE sim time of the pending fire (-1 when not armed, e.g.
+/// paused), so a restored run re-enters the original event schedule
+/// instead of re-deriving it from "now".
+struct JobCheckpoint {
+  int device = 0;
+  int state = 0;  // JobState as int
+  std::int64_t cursor = 0;
+  std::int64_t passes = 0;
+  SimTime next_fire = -1;
+  std::int64_t rate = 0;   // sectors/second cap (0 = uncapped)
+  std::int64_t burst = 0;  // bucket depth, sectors
+  std::int64_t tokens = 0;
+  SimTime refilled_at = 0;
+  std::int64_t extents = 0;
+  std::int64_t sectors = 0;
+  std::int64_t detections = 0;
+  std::int64_t detected_bursts = 0;
+  SimTime detect_delay_sum = 0;
+  std::int64_t throttle_waits = 0;
+  SimTime throttle_delay = 0;
+  std::int64_t pauses = 0;
+  std::int64_t resumes = 0;
+  std::int64_t rate_changes = 0;
+  std::int64_t starts = 0;
+  /// Detected fault bursts: (burst index, detection time). Undetected
+  /// bursts are not persisted -- they re-derive from the fault plan (a
+  /// pure function of the config) and are re-scanned on replay.
+  std::vector<std::pair<std::int64_t, SimTime>> detected;
+};
+
+/// Operator-client snapshot: the next command index (commands are a pure
+/// function of the index, so this is the whole generator state), the
+/// absolute time of the pending command (-1 once the budget is spent),
+/// and the running FNV checksum over every status response -- making the
+/// command protocol itself part of the byte-identity contract.
+struct ClientCheckpoint {
+  std::int64_t next_index = 0;
+  SimTime next_fire = -1;
+  std::uint64_t checksum = 0;
+};
+
+struct Checkpoint {
+  int version = kCheckpointVersion;
+  /// Sim time the snapshot was taken at.
+  SimTime now = 0;
+  /// Absolute time of the next periodic checkpoint (-1 = none pending).
+  SimTime next_checkpoint = -1;
+  /// Checkpoints taken so far, including this one.
+  std::int64_t checkpoints_taken = 0;
+  std::int64_t commands_applied = 0;
+  std::int64_t commands_rejected = 0;
+  std::int64_t status_queries = 0;
+  std::vector<JobCheckpoint> jobs;
+  ClientCheckpoint client;
+  /// The live timeline at snapshot time, as to_jsonl() bytes (empty when
+  /// the run has no timeline wired).
+  std::string timeline_jsonl;
+};
+
+/// Renders `ck` in the v1 wire format.
+std::string serialize_checkpoint(const Checkpoint& ck);
+
+/// Parses a serialize_checkpoint() image. Throws std::runtime_error on
+/// an unknown version, malformed or missing fields, out-of-range
+/// indices, or a missing "end" sentinel (truncated file).
+Checkpoint parse_checkpoint(const std::string& text);
+
+/// Reads a whole checkpoint file. Throws std::runtime_error when the
+/// file is missing, unreadable, or empty.
+std::string read_checkpoint_file(const std::string& path);
+
+/// Writes `text` to `path` atomically: a sibling temp file is written,
+/// flushed, and renamed over the target, so a crash mid-checkpoint
+/// leaves the previous checkpoint intact instead of a torn file. Throws
+/// std::runtime_error on I/O failure.
+void write_checkpoint_file(const std::string& path, const std::string& text);
+
+}  // namespace pscrub::daemon

@@ -1,0 +1,886 @@
+#include "daemon/daemon.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "disk/geometry.h"
+#include "fault/fault_plan.h"
+#include "fleet/fleet.h"
+#include "obs/timeline_io.h"
+
+namespace pscrub::daemon {
+
+// ---------------------------------------------------------------------------
+// TokenBucket
+
+TokenBucket::TokenBucket(std::int64_t rate_sectors_per_s,
+                         std::int64_t burst_sectors,
+                         std::int64_t min_burst_sectors)
+    : rate_(rate_sectors_per_s),
+      burst_(std::max(burst_sectors, min_burst_sectors)) {
+  // Start full: the first extent of a fresh run is never throttled.
+  tokens_ = burst_ * kSecond;
+}
+
+void TokenBucket::refill(SimTime now) {
+  if (rate_ <= 0 || now <= refilled_at_) {
+    refilled_at_ = std::max(refilled_at_, now);
+    return;
+  }
+  const SimTime dt = now - refilled_at_;
+  const std::int64_t cap = burst_ * kSecond;
+  // rate_ * dt overflows for long idle spans; compare against the time it
+  // takes to top up instead of computing the unbounded product.
+  const SimTime fill_dt = (cap - tokens_ + rate_ - 1) / rate_;
+  if (dt >= fill_dt) {
+    tokens_ = cap;
+  } else {
+    tokens_ += rate_ * dt;
+  }
+  refilled_at_ = now;
+}
+
+SimTime TokenBucket::acquire(SimTime now, std::int64_t sectors) {
+  if (rate_ <= 0 || sectors <= 0) return now;
+  refill(now);
+  const std::int64_t cost = sectors * kSecond;
+  if (tokens_ >= cost) {
+    tokens_ -= cost;
+    return now;
+  }
+  const std::int64_t deficit = cost - tokens_;
+  const SimTime wait = (deficit + rate_ - 1) / rate_;
+  const SimTime ready = now + wait;
+  refill(ready);
+  tokens_ -= cost;  // >= 0: the refill just covered the deficit
+  return ready;
+}
+
+void TokenBucket::set_rate(SimTime now, std::int64_t rate_sectors_per_s,
+                           std::int64_t burst_sectors,
+                           std::int64_t min_burst_sectors) {
+  refill(now);  // settle accrual under the old rate first
+  rate_ = rate_sectors_per_s;
+  burst_ = std::max(burst_sectors, min_burst_sectors);
+  tokens_ = std::min(tokens_, burst_ * kSecond);
+  refilled_at_ = now;
+}
+
+// ---------------------------------------------------------------------------
+// Names
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kRunning:
+      return "running";
+    case JobState::kPaused:
+      return "paused";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kDone:
+      return "done";
+  }
+  return "unknown";
+}
+
+const char* to_string(CommandKind k) {
+  switch (k) {
+    case CommandKind::kStatus:
+      return "status";
+    case CommandKind::kPause:
+      return "pause";
+    case CommandKind::kResume:
+      return "resume";
+    case CommandKind::kSetRate:
+      return "set-rate";
+    case CommandKind::kCancel:
+      return "cancel";
+    case CommandKind::kStart:
+      return "start";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// OperatorClient
+
+namespace {
+/// Decorrelates the command-content stream from the spacing stream.
+constexpr std::uint64_t kSpacingSalt = 0x517cc1b727220a95ULL;
+/// set-rate draws land on multiples of this (sectors/second).
+constexpr std::int64_t kRateQuantum = 1024;
+}  // namespace
+
+OperatorClient::OperatorClient(Simulator& sim, Daemon& daemon,
+                               const exp::DaemonSpec& spec)
+    : sim_(sim), daemon_(daemon), spec_(spec) {
+  event_ = sim_.add_persistent([this] { fire(); });
+}
+
+void OperatorClient::start() {
+  next_index_ = 0;
+  arm_next(sim_.now());
+}
+
+void OperatorClient::restore(const ClientCheckpoint& ck) {
+  if (ck.next_index < 0) {
+    throw std::runtime_error("pscrubd checkpoint: negative client index");
+  }
+  next_index_ = ck.next_index;
+  checksum_ = ck.checksum;
+  next_fire_ = ck.next_fire;
+  if (next_fire_ >= 0) sim_.arm(event_, next_fire_);
+}
+
+ClientCheckpoint OperatorClient::snapshot() const {
+  ClientCheckpoint ck;
+  ck.next_index = next_index_;
+  ck.next_fire = next_fire_;
+  ck.checksum = checksum_;
+  return ck;
+}
+
+Command OperatorClient::command_at(std::int64_t index) const {
+  const std::uint64_t h =
+      exp::task_seed(spec_.client_seed, static_cast<std::size_t>(index));
+  Command c;
+  c.device = static_cast<int>(
+      h % static_cast<std::uint64_t>(daemon_.devices()));
+  // Mix: half the traffic is status polling; the rest retunes and
+  // interrupts. Heavy pause/resume churn is the point -- it stresses the
+  // state machine the checkpoints must capture.
+  const std::uint64_t roll = (h >> 24) % 100;
+  if (roll < 50) {
+    c.kind = CommandKind::kStatus;
+  } else if (roll < 65) {
+    c.kind = CommandKind::kPause;
+  } else if (roll < 80) {
+    c.kind = CommandKind::kResume;
+  } else if (roll < 95) {
+    c.kind = CommandKind::kSetRate;
+  } else if (roll < 98) {
+    c.kind = CommandKind::kCancel;
+  } else {
+    c.kind = CommandKind::kStart;
+  }
+  c.rate = (1 + static_cast<std::int64_t>((h >> 40) % 64)) * kRateQuantum;
+  return c;
+}
+
+void OperatorClient::fold(std::uint64_t v) {
+  // FNV-1a over the 8 bytes of v: order-sensitive on purpose -- a
+  // reordered or replay-divergent status stream changes the checksum.
+  for (int i = 0; i < 8; ++i) {
+    checksum_ ^= (v >> (8 * i)) & 0xffu;
+    checksum_ *= 1099511628211ULL;
+  }
+}
+
+void OperatorClient::fire() {
+  next_fire_ = -1;
+  const std::int64_t index = next_index_;
+  ++next_index_;
+  const Command cmd = command_at(index);
+  const CommandOutcome out = daemon_.apply(cmd);
+  fold(static_cast<std::uint64_t>(index));
+  fold(out.ok ? 1u : 0u);
+  if (cmd.kind == CommandKind::kStatus && out.ok) {
+    const JobStatus st = daemon_.status(cmd.device);
+    fold(static_cast<std::uint64_t>(st.device));
+    fold(static_cast<std::uint64_t>(st.state));
+    fold(static_cast<std::uint64_t>(st.passes));
+    fold(static_cast<std::uint64_t>(st.cursor));
+    fold(static_cast<std::uint64_t>(st.rate));
+    fold(static_cast<std::uint64_t>(st.detections));
+    fold(static_cast<std::uint64_t>(st.eta));
+  }
+  arm_next(sim_.now());
+}
+
+void OperatorClient::arm_next(SimTime from) {
+  if (next_index_ >= spec_.client_commands) {
+    next_fire_ = -1;
+    return;
+  }
+  const std::uint64_t h =
+      exp::task_seed(spec_.client_seed ^ kSpacingSalt,
+                     static_cast<std::size_t>(next_index_));
+  const SimTime base = std::max<SimTime>(spec_.client_interval, 2);
+  const SimTime gap =
+      base / 2 + static_cast<SimTime>(h % static_cast<std::uint64_t>(base));
+  // Odd-nanosecond grid: operator commands can never tie with daemon
+  // work (even grid), so replay order is unambiguous.
+  next_fire_ = (from + std::max<SimTime>(gap, 1)) | 1;
+  sim_.arm(event_, next_fire_);
+}
+
+// ---------------------------------------------------------------------------
+// Daemon
+
+Daemon::Daemon(Simulator& sim, const exp::ScenarioConfig& config,
+               obs::Timeline* timeline)
+    : sim_(sim), config_(config) {
+  exp::validate_scenario(config_);
+  if (config_.daemon.devices <= 0) {
+    throw std::invalid_argument(
+        "Daemon: config.daemon.devices must be > 0 (daemon mode)");
+  }
+  const exp::DaemonSpec& d = config_.daemon;
+  const disk::DiskProfile p = config_.disk.profile();
+  const std::int64_t total_sectors =
+      disk::Geometry(p.capacity_bytes, p.outer_spt, p.inner_spt, p.zones)
+          .total_sectors();
+  schedule_ = config_.scrubber.strategy.view(total_sectors);
+
+  checkpoint_interval_ = d.checkpoint_interval;
+  checkpoint_interval_ += checkpoint_interval_ & 1;  // even grid
+
+  exp::FleetSpec util_spec;
+  util_spec.util_min = d.util_min;
+  util_spec.util_max = d.util_max;
+  util_spec.util_seed = d.util_seed;
+
+  jobs_.reserve(static_cast<std::size_t>(d.devices));
+  for (std::int64_t dev = 0; dev < d.devices; ++dev) {
+    ScrubJob job;
+    job.device = static_cast<int>(dev);
+    job.utilization = fleet::member_utilization(util_spec, dev);
+    SimTime step = fleet::effective_step(d.pacing, job.utilization);
+    step += step & 1;  // even grid
+    job.step_interval = step;
+    job.bucket = TokenBucket(d.rate_sectors_per_s, d.burst_sectors,
+                             schedule_.request_sectors);
+    if (config_.fault.enabled) {
+      fault::DiskFaultPlan plan = fault::build_disk_fault_plan(
+          config_.fault, dev, total_sectors, config_.run_for);
+      job.bursts = std::move(plan.bursts);
+    }
+    job.detect_at.assign(job.bursts.size(), -1);
+    jobs_.push_back(std::move(job));
+  }
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    jobs_[j].event = sim_.add_persistent([this, j] { fire_job(j); });
+  }
+  checkpoint_event_ = sim_.add_persistent([this] { fire_checkpoint(); });
+
+  if (d.client_commands > 0) {
+    client_ = std::make_unique<OperatorClient>(sim_, *this, config_.daemon);
+  }
+
+  if (timeline != nullptr && timeline->enabled() && config_.timeline.enabled) {
+    prefix_ = config_.timeline.prefix.empty() ? config_.label
+                                              : config_.timeline.prefix;
+    if (!prefix_.empty()) timeline_ = timeline;
+  }
+}
+
+Daemon::~Daemon() {
+  for (ScrubJob& job : jobs_) sim_.remove(job.event);
+  sim_.remove(checkpoint_event_);
+}
+
+void Daemon::wire_series() {
+  if (timeline_ == nullptr) return;
+  obs::Timeline& tl = *timeline_;
+  using Kind = obs::Timeline::SeriesKind;
+  const std::string base = prefix_ + ".pscrubd";
+  commands_series_ = tl.series(base + ".commands", Kind::kCounter);
+  rejected_series_ = tl.series(base + ".commands.rejected", Kind::kCounter);
+  checkpoints_series_ = tl.series(base + ".checkpoints", Kind::kCounter);
+  for (ScrubJob& job : jobs_) {
+    const std::string dev = base + ".dev" + std::to_string(job.device);
+    job.sectors_series = tl.series(dev + ".sectors", Kind::kCounter);
+    job.progress_series = tl.series(dev + ".progress.fraction", Kind::kGauge);
+    job.detections_series = tl.series(dev + ".detections", Kind::kCounter);
+    job.throttle_series = tl.series(dev + ".throttle_waits", Kind::kCounter);
+    job.slowdown_series = tl.series(dev + ".slowdown", Kind::kGauge);
+    job.events_name = dev + ".events";
+  }
+  wired_ = true;
+}
+
+void Daemon::start() {
+  wire_series();
+  const SimTime now = sim_.now();
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    schedule_job(j, now + jobs_[j].step_interval);
+  }
+  if (checkpoint_interval_ > 0) {
+    next_checkpoint_ = now + checkpoint_interval_;
+    sim_.arm(checkpoint_event_, next_checkpoint_);
+  }
+  if (client_) client_->start();
+}
+
+void Daemon::restore(const Checkpoint& ck) {
+  if (ck.jobs.size() != jobs_.size()) {
+    throw std::runtime_error(
+        "pscrubd checkpoint: device count mismatch: checkpoint has " +
+        std::to_string(ck.jobs.size()) + ", config has " +
+        std::to_string(jobs_.size()));
+  }
+  if (sim_.now() != ck.now) {
+    throw std::runtime_error(
+        "pscrubd checkpoint: simulator clock (" +
+        std::to_string(sim_.now()) + ") must equal the snapshot time (" +
+        std::to_string(ck.now) + ") before restore");
+  }
+  commands_applied_ = ck.commands_applied;
+  commands_rejected_ = ck.commands_rejected;
+  status_queries_ = ck.status_queries;
+  checkpoints_ = ck.checkpoints_taken;
+  next_checkpoint_ = ck.next_checkpoint;
+
+  const std::int64_t spp = schedule_.steps_per_pass();
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    const JobCheckpoint& jc = ck.jobs[j];
+    ScrubJob& job = jobs_[j];
+    if (jc.device != job.device) {
+      throw std::runtime_error("pscrubd checkpoint: job " +
+                               std::to_string(j) + " names device " +
+                               std::to_string(jc.device));
+    }
+    if (jc.state < 0 || jc.state > static_cast<int>(JobState::kDone)) {
+      throw std::runtime_error("pscrubd checkpoint: bad job state " +
+                               std::to_string(jc.state));
+    }
+    if (jc.cursor < 0 || jc.cursor >= spp || jc.passes < 0) {
+      throw std::runtime_error(
+          "pscrubd checkpoint: cursor out of range for this geometry "
+          "(checkpoint from a different config?)");
+    }
+    job.state = static_cast<JobState>(jc.state);
+    job.cursor = jc.cursor;
+    job.passes = jc.passes;
+    job.bucket = TokenBucket(jc.rate, jc.burst, schedule_.request_sectors);
+    job.bucket.restore(jc.tokens, jc.refilled_at);
+    job.stats.extents = jc.extents;
+    job.stats.sectors = jc.sectors;
+    job.stats.detections = jc.detections;
+    job.stats.detected_bursts = jc.detected_bursts;
+    job.stats.detect_delay_sum = jc.detect_delay_sum;
+    job.stats.throttle_waits = jc.throttle_waits;
+    job.stats.throttle_delay = jc.throttle_delay;
+    job.stats.pauses = jc.pauses;
+    job.stats.resumes = jc.resumes;
+    job.stats.rate_changes = jc.rate_changes;
+    job.stats.starts = jc.starts;
+    std::fill(job.detect_at.begin(), job.detect_at.end(), SimTime{-1});
+    for (const auto& [burst, at] : jc.detected) {
+      if (burst < 0 ||
+          burst >= static_cast<std::int64_t>(job.detect_at.size())) {
+        throw std::runtime_error(
+            "pscrubd checkpoint: detect index out of range");
+      }
+      job.detect_at[static_cast<std::size_t>(burst)] = at;
+    }
+    // Absolute re-arm: the restored run re-enters the ORIGINAL event
+    // schedule instead of re-deriving one from "now" -- the heart of the
+    // byte-identity guarantee.
+    job.next_fire = jc.next_fire;
+    if (job.next_fire >= 0) sim_.arm(jobs_[j].event, job.next_fire);
+  }
+  if (next_checkpoint_ >= 0) {
+    sim_.arm(checkpoint_event_, next_checkpoint_);
+  }
+  if (client_) client_->restore(ck.client);
+
+  if (timeline_ != nullptr) {
+    // Reset to the configured base window, then merge the embedded
+    // snapshot: merge() coarsens the live width up to the checkpoint's
+    // without touching base_window_ns, so the final export's meta line
+    // matches an uninterrupted run byte-for-byte.
+    timeline_->configure(timeline_->config());
+    if (!ck.timeline_jsonl.empty()) {
+      obs::Timeline scratch;
+      const obs::TimelineLoadResult r =
+          obs::load_timeline_jsonl(ck.timeline_jsonl, scratch);
+      if (!r) {
+        throw std::runtime_error(
+            "pscrubd checkpoint: embedded timeline: " + r.error);
+      }
+      timeline_->merge(scratch);
+    }
+  }
+  wire_series();
+  // A crash before the NEXT periodic checkpoint restores from this one
+  // again.
+  last_checkpoint_ = serialize_checkpoint(ck);
+}
+
+void Daemon::schedule_job(std::size_t index, SimTime earliest) {
+  ScrubJob& job = jobs_[index];
+  const core::ScrubExtent e = schedule_.extent_at(job.cursor);
+  const SimTime ready = job.bucket.acquire(earliest, e.sectors);
+  SimTime next = earliest;
+  if (ready > next) {
+    ++job.stats.throttle_waits;
+    job.stats.throttle_delay += ready - next;
+    if (wired_) timeline_->add(job.throttle_series, sim_.now(), 1.0);
+    next = ready;
+  }
+  next += next & 1;  // even grid
+  job.next_fire = next;
+  sim_.arm(job.event, next);
+}
+
+void Daemon::fire_job(std::size_t index) {
+  ScrubJob& job = jobs_[index];
+  job.next_fire = -1;
+  if (job.state != JobState::kRunning) return;
+  const SimTime now = sim_.now();
+  const core::ScrubExtent e = schedule_.extent_at(job.cursor);
+  ++job.stats.extents;
+  job.stats.sectors += e.sectors;
+  scan(job, e, now);
+
+  ++job.cursor;
+  bool pass_done = false;
+  if (job.cursor >= schedule_.steps_per_pass()) {
+    job.cursor = 0;
+    ++job.passes;
+    pass_done = true;
+  }
+
+  const std::int64_t target = spec().target_passes;
+  if (wired_) {
+    timeline_->add(job.sectors_series, now, static_cast<double>(e.sectors));
+    const double spp = static_cast<double>(schedule_.steps_per_pass());
+    double fraction;
+    if (target > 0) {
+      fraction = std::min(
+          1.0, (static_cast<double>(job.passes) * spp +
+                static_cast<double>(job.cursor)) /
+                   (static_cast<double>(target) * spp));
+    } else {
+      fraction = static_cast<double>(job.cursor) / spp;
+    }
+    timeline_->set_gauge(job.progress_series, now, fraction);
+    const double sd = fleet::slowdown_model(
+        job.utilization, spec().pacing.request_service,
+        effective_interval(job.device));
+    timeline_->set_gauge(job.slowdown_series, now, sd);
+    timeline_->digest(prefix_ + ".pscrubd.fg_latency_ms")
+        .observe(to_milliseconds(spec().pacing.request_service) * sd);
+    if (pass_done) {
+      job_event(job, now,
+                "pass " + std::to_string(job.passes) + " complete");
+    }
+  }
+
+  if (target > 0 && job.passes >= target) {
+    job.state = JobState::kDone;
+    job_event(job, now, "done");
+    return;
+  }
+  schedule_job(index, now + job.step_interval);
+}
+
+void Daemon::scan(ScrubJob& job, const core::ScrubExtent& extent,
+                  SimTime now) {
+  for (std::size_t b = 0; b < job.bursts.size(); ++b) {
+    if (job.detect_at[b] >= 0) continue;
+    const core::LseBurst& burst = job.bursts[b];
+    if (burst.occurred > now) continue;
+    bool hit = false;
+    for (const disk::Lbn s : burst.sectors) {
+      if (s >= extent.lbn && s < extent.lbn + extent.sectors) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) continue;
+    // First probe into the burst: with scrub_on_detection semantics the
+    // whole burst is credited now (the scrubber reads the neighborhood
+    // once any sector errors), matching core::evaluate_mlet.
+    job.detect_at[b] = now;
+    ++job.stats.detected_bursts;
+    job.stats.detections +=
+        static_cast<std::int64_t>(burst.sectors.size());
+    job.stats.detect_delay_sum += now - burst.occurred;
+    if (wired_) {
+      timeline_->add(job.detections_series, now,
+                     static_cast<double>(burst.sectors.size()));
+      timeline_->digest(prefix_ + ".pscrubd.detect_delay_hours")
+          .observe(to_seconds(now - burst.occurred) / 3600.0);
+      job_event(job, now,
+                "burst " + std::to_string(b) + " detected (" +
+                    std::to_string(burst.sectors.size()) + " sectors)");
+    }
+  }
+}
+
+void Daemon::fire_checkpoint() {
+  const SimTime now = sim_.now();
+  ++checkpoints_;
+  next_checkpoint_ = now + checkpoint_interval_;
+  // Record the marker BEFORE snapshotting so the embedded timeline
+  // carries it -- a restored run must not lose its own checkpoint's
+  // marks.
+  if (wired_) {
+    timeline_->add(checkpoints_series_, now, 1.0);
+    timeline_->event(prefix_ + ".pscrubd.events", now, "checkpoint");
+  }
+  last_checkpoint_ = serialize_checkpoint(snapshot());
+  if (!spec().checkpoint_path.empty()) {
+    write_checkpoint_file(spec().checkpoint_path, last_checkpoint_);
+  }
+  sim_.arm(checkpoint_event_, next_checkpoint_);
+}
+
+Checkpoint Daemon::snapshot() const {
+  Checkpoint ck;
+  ck.now = sim_.now();
+  ck.next_checkpoint = next_checkpoint_;
+  ck.checkpoints_taken = checkpoints_;
+  ck.commands_applied = commands_applied_;
+  ck.commands_rejected = commands_rejected_;
+  ck.status_queries = status_queries_;
+  ck.jobs.reserve(jobs_.size());
+  for (const ScrubJob& job : jobs_) {
+    JobCheckpoint jc;
+    jc.device = job.device;
+    jc.state = static_cast<int>(job.state);
+    jc.cursor = job.cursor;
+    jc.passes = job.passes;
+    jc.next_fire = job.next_fire;
+    jc.rate = job.bucket.rate();
+    jc.burst = job.bucket.burst();
+    jc.tokens = job.bucket.tokens();
+    jc.refilled_at = job.bucket.refilled_at();
+    jc.extents = job.stats.extents;
+    jc.sectors = job.stats.sectors;
+    jc.detections = job.stats.detections;
+    jc.detected_bursts = job.stats.detected_bursts;
+    jc.detect_delay_sum = job.stats.detect_delay_sum;
+    jc.throttle_waits = job.stats.throttle_waits;
+    jc.throttle_delay = job.stats.throttle_delay;
+    jc.pauses = job.stats.pauses;
+    jc.resumes = job.stats.resumes;
+    jc.rate_changes = job.stats.rate_changes;
+    jc.starts = job.stats.starts;
+    for (std::size_t b = 0; b < job.detect_at.size(); ++b) {
+      if (job.detect_at[b] >= 0) {
+        jc.detected.emplace_back(static_cast<std::int64_t>(b),
+                                 job.detect_at[b]);
+      }
+    }
+    ck.jobs.push_back(std::move(jc));
+  }
+  if (client_) ck.client = client_->snapshot();
+  if (timeline_ != nullptr) ck.timeline_jsonl = timeline_->to_jsonl();
+  return ck;
+}
+
+CommandOutcome Daemon::apply(const Command& cmd) {
+  const SimTime now = sim_.now();
+  bool ok = false;
+  if (cmd.device >= 0 && cmd.device < devices()) {
+    const std::size_t index = static_cast<std::size_t>(cmd.device);
+    ScrubJob& job = jobs_[index];
+    switch (cmd.kind) {
+      case CommandKind::kStatus:
+        ++status_queries_;
+        ok = true;
+        break;
+      case CommandKind::kPause:
+        if (job.state == JobState::kRunning) {
+          job.state = JobState::kPaused;
+          if (job.next_fire >= 0) {
+            sim_.cancel(job.event);
+            job.next_fire = -1;
+          }
+          ++job.stats.pauses;
+          job_event(job, now, "pause");
+          ok = true;
+        }
+        break;
+      case CommandKind::kResume:
+        if (job.state == JobState::kPaused) {
+          job.state = JobState::kRunning;
+          ++job.stats.resumes;
+          job_event(job, now, "resume");
+          schedule_job(index, now + job.step_interval);
+          ok = true;
+        }
+        break;
+      case CommandKind::kCancel:
+        if (job.state == JobState::kRunning ||
+            job.state == JobState::kPaused) {
+          if (job.next_fire >= 0) {
+            sim_.cancel(job.event);
+            job.next_fire = -1;
+          }
+          job.state = JobState::kCancelled;
+          job_event(job, now, "cancel");
+          ok = true;
+        }
+        break;
+      case CommandKind::kStart:
+        if (job.state == JobState::kCancelled) {
+          job.cursor = 0;
+          job.passes = 0;
+          job.state = JobState::kRunning;
+          ++job.stats.starts;
+          job_event(job, now, "start");
+          schedule_job(index, now + job.step_interval);
+          ok = true;
+        }
+        break;
+      case CommandKind::kSetRate:
+        if (job.state != JobState::kDone && cmd.rate >= 0) {
+          job.bucket.set_rate(now, cmd.rate, spec().burst_sectors,
+                              schedule_.request_sectors);
+          ++job.stats.rate_changes;
+          job_event(job, now, "set-rate " + std::to_string(cmd.rate));
+          ok = true;
+        }
+        break;
+    }
+  }
+  if (ok) {
+    ++commands_applied_;
+  } else {
+    ++commands_rejected_;
+  }
+  if (wired_) {
+    timeline_->add(commands_series_, now, 1.0);
+    if (!ok) timeline_->add(rejected_series_, now, 1.0);
+  }
+  return {ok};
+}
+
+const ScrubJob& Daemon::job(int device) const {
+  if (device < 0 || device >= devices()) {
+    throw std::out_of_range("Daemon::job: device " + std::to_string(device) +
+                            " outside [0, " + std::to_string(devices()) +
+                            ")");
+  }
+  return jobs_[static_cast<std::size_t>(device)];
+}
+
+SimTime Daemon::effective_interval(int device) const {
+  const ScrubJob& j = job(device);
+  SimTime step = j.step_interval;
+  const std::int64_t r = j.bucket.rate();
+  if (r > 0) {
+    // Steady-state token refill time for one full extent.
+    const SimTime throttled =
+        (schedule_.request_sectors * kSecond + r - 1) / r;
+    step = std::max(step, throttled);
+  }
+  return step;
+}
+
+SimTime Daemon::eta(const ScrubJob& j) const {
+  if (j.state == JobState::kDone || j.state == JobState::kCancelled) {
+    return 0;
+  }
+  const std::int64_t spp = schedule_.steps_per_pass();
+  std::int64_t remaining = spp - j.cursor;
+  if (spec().target_passes > 0) {
+    if (j.passes >= spec().target_passes) return 0;
+    remaining += (spec().target_passes - 1 - j.passes) * spp;
+  }
+  return remaining * effective_interval(j.device);
+}
+
+JobStatus Daemon::status(int device) const {
+  const ScrubJob& j = job(device);
+  JobStatus st;
+  st.device = j.device;
+  st.state = j.state;
+  st.passes = j.passes;
+  st.cursor = j.cursor;
+  st.steps_per_pass = schedule_.steps_per_pass();
+  st.fraction = static_cast<double>(j.cursor) /
+                static_cast<double>(st.steps_per_pass);
+  st.rate = j.bucket.rate();
+  st.detections = j.stats.detections;
+  st.eta = eta(j);
+  return st;
+}
+
+std::int64_t Daemon::total_extents() const {
+  std::int64_t total = 0;
+  for (const ScrubJob& j : jobs_) total += j.stats.extents;
+  return total;
+}
+
+DaemonResult Daemon::result() const {
+  DaemonResult r;
+  r.label = config_.label;
+  r.ran_for = config_.run_for;
+  r.jobs.reserve(jobs_.size());
+  double detect_hours_sum = 0.0;
+  std::int64_t detect_burst_total = 0;
+  for (const ScrubJob& j : jobs_) {
+    DaemonResult::Job out;
+    out.device = j.device;
+    out.state = j.state;
+    out.passes = j.passes;
+    out.cursor = j.cursor;
+    out.extents = j.stats.extents;
+    out.sectors = j.stats.sectors;
+    for (const core::LseBurst& b : j.bursts) {
+      out.injected_sectors += static_cast<std::int64_t>(b.sectors.size());
+    }
+    out.detected_bursts = j.stats.detected_bursts;
+    out.detections = j.stats.detections;
+    out.mean_detect_hours =
+        j.stats.detected_bursts > 0
+            ? (to_seconds(j.stats.detect_delay_sum) / 3600.0) /
+                  static_cast<double>(j.stats.detected_bursts)
+            : 0.0;
+    out.rate = j.bucket.rate();
+    out.throttle_waits = j.stats.throttle_waits;
+    out.throttle_delay = j.stats.throttle_delay;
+    out.pauses = j.stats.pauses;
+    out.resumes = j.stats.resumes;
+    out.rate_changes = j.stats.rate_changes;
+    out.starts = j.stats.starts;
+    out.utilization = j.utilization;
+    out.slowdown = fleet::slowdown_model(j.utilization,
+                                         spec().pacing.request_service,
+                                         effective_interval(j.device));
+    r.extents += out.extents;
+    r.sectors += out.sectors;
+    r.injected_sectors += out.injected_sectors;
+    r.detections += out.detections;
+    r.detected_bursts += out.detected_bursts;
+    r.throttle_waits += out.throttle_waits;
+    detect_hours_sum += to_seconds(j.stats.detect_delay_sum) / 3600.0;
+    detect_burst_total += j.stats.detected_bursts;
+    r.jobs.push_back(out);
+  }
+  r.mean_detect_hours =
+      detect_burst_total > 0
+          ? detect_hours_sum / static_cast<double>(detect_burst_total)
+          : 0.0;
+  r.commands_applied = commands_applied_;
+  r.commands_rejected = commands_rejected_;
+  r.status_queries = status_queries_;
+  r.client_issued = client_ ? client_->issued() : 0;
+  r.status_checksum = client_ ? client_->checksum() : 0;
+  r.checkpoints = checkpoints_;
+  return r;
+}
+
+void Daemon::job_event(const ScrubJob& j, SimTime now,
+                       const std::string& text) {
+  if (!wired_) return;
+  timeline_->event(j.events_name, now, text);
+}
+
+// ---------------------------------------------------------------------------
+// Result rendering / export
+
+void DaemonResult::export_to(obs::Registry& registry,
+                             const std::string& prefix) const {
+  const std::string p = prefix + ".pscrubd.";
+  registry.counter(p + "devices") += static_cast<std::int64_t>(jobs.size());
+  registry.counter(p + "extents") += extents;
+  registry.counter(p + "sectors") += sectors;
+  registry.counter(p + "lse_sectors") += injected_sectors;
+  registry.counter(p + "detections") += detections;
+  registry.counter(p + "detected_bursts") += detected_bursts;
+  registry.counter(p + "throttle_waits") += throttle_waits;
+  registry.counter(p + "commands.applied") += commands_applied;
+  registry.counter(p + "commands.rejected") += commands_rejected;
+  registry.counter(p + "status_queries") += status_queries;
+  registry.counter(p + "checkpoints") += checkpoints;
+  registry.gauge(p + "mean_detect_hours").set(mean_detect_hours);
+}
+
+std::string render_daemon_result(const DaemonResult& result) {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "pscrubd %s: %zu device(s), %" PRId64 " commands applied, %"
+                PRId64 " rejected, %" PRId64 " status, %" PRId64
+                " checkpoint(s)\n",
+                result.label.c_str(), result.jobs.size(),
+                result.commands_applied, result.commands_rejected,
+                result.status_queries, result.checkpoints);
+  out += buf;
+  for (const DaemonResult::Job& j : result.jobs) {
+    std::snprintf(buf, sizeof buf,
+                  "  dev%d: %s, %" PRId64 " pass(es), %" PRId64
+                  " extents, %" PRId64 " sectors, detected %" PRId64
+                  "/%" PRId64 " error sectors, rate %" PRId64
+                  ", util %.3f, slowdown %.6g\n",
+                  j.device, to_string(j.state), j.passes, j.extents,
+                  j.sectors, j.detections, j.injected_sectors, j.rate,
+                  j.utilization, j.slowdown);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "  totals: %" PRId64 " extents, %" PRId64 " sectors, %"
+                PRId64 "/%" PRId64 " error sectors detected, %" PRId64
+                " throttle wait(s), mean detect %.6g h\n",
+                result.extents, result.sectors, result.detections,
+                result.injected_sectors, result.throttle_waits,
+                result.mean_detect_hours);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  status checksum %016" PRIx64 "\n",
+                result.status_checksum);
+  out += buf;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// run_daemon
+
+namespace {
+
+/// One in-memory incarnation of the control plane; a crash tears the
+/// whole thing down (member order: sim outlives daemon).
+struct World {
+  Simulator sim;
+  Daemon daemon;
+  World(const exp::ScenarioConfig& config, obs::Timeline* timeline)
+      : daemon(sim, config, timeline) {}
+};
+
+}  // namespace
+
+DaemonResult run_daemon(const exp::ScenarioConfig& config,
+                        obs::Timeline* timeline) {
+  obs::Timeline* tl = timeline ? timeline : &obs::Timeline::global();
+  const SimTime horizon = config.run_for;
+  const SimTime crash_at = config.daemon.crash_at;
+
+  auto world = std::make_unique<World>(config, tl);
+  world->daemon.start();
+
+  if (crash_at > 0 && crash_at < horizon) {
+    world->sim.run_until(crash_at);
+    // Crash: everything in memory is gone. Only the last serialized
+    // checkpoint survives (and, when enabled, the timeline is rebuilt
+    // from the copy embedded in it -- a real daemon's metrics exporter
+    // dies with it).
+    const std::string persisted = world->daemon.last_checkpoint();
+    world.reset();
+    world = std::make_unique<World>(config, tl);
+    if (persisted.empty()) {
+      // Crashed before the first checkpoint: restart from scratch.
+      // Reset the timeline so pre-crash records don't double-count.
+      if (tl->enabled()) tl->configure(tl->config());
+      world->daemon.start();
+    } else {
+      const Checkpoint ck = parse_checkpoint(persisted);
+      world->sim.at(ck.now, [] {});
+      world->sim.run_until(ck.now);
+      world->daemon.restore(ck);
+    }
+    world->sim.run_until(horizon);
+  } else {
+    world->sim.run_until(horizon);
+  }
+  return world->daemon.result();
+}
+
+}  // namespace pscrub::daemon

@@ -1,0 +1,364 @@
+// pscrubd: a crash-safe scrub control plane over the event core.
+//
+// The daemon drives one paced scrub per device (exp::DaemonSpec) as a
+// persistent event apiece on the shared Simulator, exposes the operator
+// command protocol (start / pause / resume / cancel / status / set-rate),
+// caps per-scrub bandwidth with an integer token bucket that composes
+// with idleness pacing, and periodically snapshots everything into a
+// versioned checkpoint (daemon/checkpoint.h). The crash-safety contract:
+// a run killed at any point and resumed from its last checkpoint produces
+// final results and timeline output BYTE-IDENTICAL to a run that was
+// never interrupted.
+//
+// Determinism under concurrency is by construction, not luck:
+//
+//  * Daemon work (job fires, checkpoints) runs on EVEN nanoseconds; the
+//    operator client fires on ODD ones. Cross-source same-instant ties
+//    therefore cannot happen, so replay order is the event queue's FIFO
+//    order regardless of how entities were re-armed after a restore.
+//  * Job-vs-job and job-vs-checkpoint ties are benign: jobs touch only
+//    per-device series and order-independent run digests, and the
+//    checkpoint stores every job's absolute next_fire, so either
+//    snapshot order replays to the same trajectory.
+//  * No wall-clock, no floating-point accumulation in control state:
+//    cursors, token buckets, and fire times are all integers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/lse.h"
+#include "core/schedule_view.h"
+#include "daemon/checkpoint.h"
+#include "exp/scenario.h"
+#include "obs/registry.h"
+#include "obs/timeline.h"
+#include "sim/simulator.h"
+
+namespace pscrub::daemon {
+
+/// Integer token bucket in sim-time units: `rate` is sectors/second,
+/// which conveniently equals token units per nanosecond when a token
+/// unit is one sector-second (sector * kSecond). All arithmetic is
+/// 64-bit integer, so bucket state checkpoints and restores exactly.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  /// rate 0 = uncapped (acquire returns `now` unchanged). The depth is
+  /// clamped up so a single largest request always fits.
+  TokenBucket(std::int64_t rate_sectors_per_s, std::int64_t burst_sectors,
+              std::int64_t min_burst_sectors);
+
+  /// Charges `sectors` and returns the earliest sim time the charge is
+  /// covered (>= now). The charge is committed: tokens at the returned
+  /// time are debited, so callers must fire the work then.
+  SimTime acquire(SimTime now, std::int64_t sectors);
+
+  /// Retunes the cap; accrued credit carries over (clamped to the new
+  /// depth).
+  void set_rate(SimTime now, std::int64_t rate_sectors_per_s,
+                std::int64_t burst_sectors, std::int64_t min_burst_sectors);
+
+  std::int64_t rate() const { return rate_; }
+  std::int64_t burst() const { return burst_; }
+
+  /// Exact state for checkpoints.
+  std::int64_t tokens() const { return tokens_; }
+  SimTime refilled_at() const { return refilled_at_; }
+  void restore(std::int64_t tokens, SimTime refilled_at) {
+    tokens_ = tokens;
+    refilled_at_ = refilled_at;
+  }
+
+ private:
+  void refill(SimTime now);
+
+  std::int64_t rate_ = 0;   // sectors/second == token units per ns
+  std::int64_t burst_ = 0;  // depth, sectors
+  std::int64_t tokens_ = 0; // sector-seconds (sector * kSecond units)
+  SimTime refilled_at_ = 0;
+};
+
+enum class JobState : std::uint8_t {
+  kRunning = 0,
+  kPaused = 1,
+  kCancelled = 2,
+  kDone = 3,
+};
+
+const char* to_string(JobState s);
+
+enum class CommandKind : std::uint8_t {
+  kStatus = 0,
+  kPause = 1,
+  kResume = 2,
+  kSetRate = 3,
+  kCancel = 4,
+  kStart = 5,
+};
+
+const char* to_string(CommandKind k);
+
+struct Command {
+  CommandKind kind = CommandKind::kStatus;
+  int device = 0;
+  /// kSetRate only: the new cap in sectors/second.
+  std::int64_t rate = 0;
+};
+
+struct CommandOutcome {
+  /// False when the command does not apply in the job's current state
+  /// (pausing a cancelled scrub, starting a running one, an out-of-range
+  /// device, ...). Rejections are counted, not fatal: operators race the
+  /// daemon by design.
+  bool ok = false;
+};
+
+/// A status response: what the operator protocol returns and what the
+/// client folds into its checksum. All control fields are integers so
+/// the checksum is exact.
+struct JobStatus {
+  int device = 0;
+  JobState state = JobState::kRunning;
+  std::int64_t passes = 0;
+  std::int64_t cursor = 0;
+  std::int64_t steps_per_pass = 0;
+  double fraction = 0.0;
+  std::int64_t rate = 0;
+  std::int64_t detections = 0;
+  /// Sim time to reach target_passes at the current pace and cap (0 when
+  /// done or cancelled). Monotone non-increasing in the rate cap.
+  SimTime eta = 0;
+};
+
+struct JobStats {
+  std::int64_t extents = 0;
+  std::int64_t sectors = 0;
+  std::int64_t detections = 0;       // error sectors detected
+  std::int64_t detected_bursts = 0;
+  SimTime detect_delay_sum = 0;      // per-burst first-probe delays
+  std::int64_t throttle_waits = 0;   // fires delayed by the token bucket
+  SimTime throttle_delay = 0;
+  std::int64_t pauses = 0;
+  std::int64_t resumes = 0;
+  std::int64_t rate_changes = 0;
+  std::int64_t starts = 0;           // operator restarts after cancel
+};
+
+/// Everything the daemon knows about one device's scrub.
+struct ScrubJob {
+  int device = 0;
+  JobState state = JobState::kRunning;
+  std::int64_t cursor = 0;  // next step within the pass (ScheduleView)
+  std::int64_t passes = 0;
+  SimTime next_fire = -1;   // absolute; -1 when not armed
+  SimTime step_interval = 0;  // utilization-stretched idle-time pace
+  double utilization = 0.0;
+  TokenBucket bucket;
+  std::vector<core::LseBurst> bursts;  // this device's fault plan
+  std::vector<SimTime> detect_at;      // per burst; -1 = undetected
+  JobStats stats;
+  EventId event = 0;
+  // Timeline series (0 when unwired).
+  obs::Timeline::SeriesId sectors_series = 0;
+  obs::Timeline::SeriesId progress_series = 0;
+  obs::Timeline::SeriesId detections_series = 0;
+  obs::Timeline::SeriesId throttle_series = 0;
+  obs::Timeline::SeriesId slowdown_series = 0;
+  std::string events_name;
+};
+
+struct DaemonResult {
+  std::string label;
+  SimTime ran_for = 0;
+
+  struct Job {
+    int device = 0;
+    JobState state = JobState::kRunning;
+    std::int64_t passes = 0;
+    std::int64_t cursor = 0;
+    std::int64_t extents = 0;
+    std::int64_t sectors = 0;
+    std::int64_t injected_sectors = 0;
+    std::int64_t detected_bursts = 0;
+    std::int64_t detections = 0;
+    double mean_detect_hours = 0.0;
+    std::int64_t rate = 0;
+    std::int64_t throttle_waits = 0;
+    SimTime throttle_delay = 0;
+    std::int64_t pauses = 0;
+    std::int64_t resumes = 0;
+    std::int64_t rate_changes = 0;
+    std::int64_t starts = 0;
+    double utilization = 0.0;
+    double slowdown = 0.0;
+  };
+  std::vector<Job> jobs;
+
+  std::int64_t commands_applied = 0;
+  std::int64_t commands_rejected = 0;
+  std::int64_t status_queries = 0;
+  std::int64_t client_issued = 0;
+  std::uint64_t status_checksum = 0;
+  std::int64_t checkpoints = 0;
+
+  // Totals over jobs.
+  std::int64_t extents = 0;
+  std::int64_t sectors = 0;
+  std::int64_t injected_sectors = 0;
+  std::int64_t detections = 0;
+  std::int64_t detected_bursts = 0;
+  std::int64_t throttle_waits = 0;
+  double mean_detect_hours = 0.0;
+
+  /// Publishes the summary under `prefix` + ".pscrubd.". Deliberately no
+  /// crash/resume wiring: snapshots must be byte-identical however the
+  /// run was interrupted.
+  void export_to(obs::Registry& registry, const std::string& prefix) const;
+};
+
+/// Human-readable per-device table + totals (shared by the example and
+/// the CI byte-diff, so stdout is part of the determinism contract).
+std::string render_daemon_result(const DaemonResult& result);
+
+class Daemon;
+
+/// In-sim operator: issues `client_commands` commands drawn purely from
+/// (client_seed, index) -- roughly half status queries, the rest
+/// pause/resume/set-rate with occasional cancel/start -- spaced about
+/// client_interval apart on odd nanoseconds. Status responses fold into
+/// an order-sensitive FNV checksum, putting the command protocol itself
+/// under the byte-identity contract.
+class OperatorClient {
+ public:
+  OperatorClient(Simulator& sim, Daemon& daemon,
+                 const exp::DaemonSpec& spec);
+
+  void start();
+  void restore(const ClientCheckpoint& ck);
+  ClientCheckpoint snapshot() const;
+
+  /// The i-th command: a pure function of (spec.client_seed, i).
+  Command command_at(std::int64_t index) const;
+
+  std::int64_t issued() const { return next_index_; }
+  std::uint64_t checksum() const { return checksum_; }
+
+ private:
+  void fire();
+  void arm_next(SimTime from);
+  void fold(std::uint64_t v);
+
+  Simulator& sim_;
+  Daemon& daemon_;
+  const exp::DaemonSpec& spec_;
+  std::int64_t next_index_ = 0;
+  SimTime next_fire_ = -1;
+  std::uint64_t checksum_ = 14695981039346656037ULL;  // FNV-1a offset basis
+  EventId event_ = 0;
+};
+
+/// The control plane. Construct against a Simulator positioned at the
+/// desired start (or restore) time, then either start() for a fresh run
+/// or restore() with a parsed checkpoint; drive the Simulator to the
+/// horizon; read result().
+class Daemon {
+ public:
+  /// `timeline` may be null or disabled; series wire up only when it is
+  /// enabled and the config resolves a non-empty prefix (the label when
+  /// timeline.prefix is empty), mirroring run_scenario.
+  Daemon(Simulator& sim, const exp::ScenarioConfig& config,
+         obs::Timeline* timeline);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Fresh run: arms every job and the checkpoint/client timers at the
+  /// current sim time.
+  void start();
+
+  /// Resume: adopts the checkpoint's job/client/counter state and
+  /// re-arms every pending event at its ABSOLUTE checkpointed time. The
+  /// simulator clock must already equal ck.now. The wired timeline is
+  /// reset and re-seeded from the embedded snapshot, so post-restore
+  /// recording continues the original timeline exactly.
+  void restore(const Checkpoint& ck);
+
+  /// Applies one operator command now.
+  CommandOutcome apply(const Command& cmd);
+
+  /// Status of one device's scrub (device must be in range).
+  JobStatus status(int device) const;
+
+  /// Snapshot of the full control plane at the current instant.
+  Checkpoint snapshot() const;
+
+  /// Serialized form of the most recent periodic checkpoint (empty
+  /// before the first one fires).
+  const std::string& last_checkpoint() const { return last_checkpoint_; }
+
+  /// Total extents verified across jobs; the CI kill harness's trigger.
+  std::int64_t total_extents() const;
+
+  int devices() const { return static_cast<int>(jobs_.size()); }
+  const ScrubJob& job(int device) const;
+  const exp::DaemonSpec& spec() const { return config_.daemon; }
+
+  /// The effective per-step pace of `device` under its utilization
+  /// stretch AND its current rate cap (whichever is slower), i.e. the
+  /// ETA basis.
+  SimTime effective_interval(int device) const;
+
+  DaemonResult result() const;
+
+ private:
+  void fire_job(std::size_t index);
+  /// Charges the token bucket for the job's next extent and arms the
+  /// fire at max(earliest, token-ready), rounded onto the even grid.
+  void schedule_job(std::size_t index, SimTime earliest);
+  void fire_checkpoint();
+  void scan(ScrubJob& job, const core::ScrubExtent& extent, SimTime now);
+  SimTime eta(const ScrubJob& job) const;
+  void job_event(const ScrubJob& job, SimTime now, const std::string& text);
+  /// Resolves series ids by name; idempotent, and re-run after restore()
+  /// resets the timeline (configure() drops ids, merge re-creates the
+  /// checkpointed series).
+  void wire_series();
+
+  Simulator& sim_;
+  exp::ScenarioConfig config_;
+  core::ScheduleView schedule_;
+  std::vector<ScrubJob> jobs_;
+  std::unique_ptr<OperatorClient> client_;
+
+  std::int64_t commands_applied_ = 0;
+  std::int64_t commands_rejected_ = 0;
+  std::int64_t status_queries_ = 0;
+  std::int64_t checkpoints_ = 0;
+  SimTime next_checkpoint_ = -1;
+  SimTime checkpoint_interval_ = 0;  // even-rounded spec value
+  EventId checkpoint_event_ = 0;
+  std::string last_checkpoint_;
+
+  // Timeline wiring (null prefix = unwired).
+  obs::Timeline* timeline_ = nullptr;
+  std::string prefix_;
+  bool wired_ = false;
+  obs::Timeline::SeriesId commands_series_ = 0;
+  obs::Timeline::SeriesId rejected_series_ = 0;
+  obs::Timeline::SeriesId checkpoints_series_ = 0;
+};
+
+/// Builds, runs, and snapshots one daemon-mode scenario
+/// (config.daemon.devices > 0; validate_scenario applies). When
+/// config.daemon.crash_at is inside the run, the in-memory control plane
+/// is torn down at that instant and rebuilt from its last checkpoint
+/// (from scratch when none was taken yet) -- final results must match an
+/// uninterrupted run byte-for-byte. nullptr `timeline` selects
+/// obs::Timeline::global(), so direct callers honor PSCRUB_TIMELINE.
+DaemonResult run_daemon(const exp::ScenarioConfig& config,
+                        obs::Timeline* timeline = nullptr);
+
+}  // namespace pscrub::daemon

@@ -220,6 +220,94 @@ void validate_scenario(const ScenarioConfig& config) {
         disk::Geometry(p.capacity_bytes, p.outer_spt, p.inner_spt, p.zones)
             .total_sectors());
   }
+
+  const DaemonSpec& d = config.daemon;
+  if (d.devices > 0) {
+    // Daemon devices are paced analytically like fleet members; the
+    // stack-only specs have no meaning here.
+    if (fl.disks > 0) {
+      throw std::invalid_argument(
+          "ScenarioConfig: daemon mode and fleet mode are exclusive; "
+          "set fleet.disks = 0");
+    }
+    if (config.raid.enabled) {
+      throw std::invalid_argument(
+          "ScenarioConfig: daemon mode drives independent devices; "
+          "disable raid");
+    }
+    if (config.workload.kind != WorkloadKind::kNone) {
+      throw std::invalid_argument(
+          "ScenarioConfig: daemon mode models foreground load via "
+          "daemon.util_min/util_max; set workload.kind = kNone");
+    }
+    if (config.spindown_threshold > 0) {
+      throw std::invalid_argument(
+          "ScenarioConfig: daemon mode has no spin-down daemon; set "
+          "spindown_threshold = 0");
+    }
+    if (config.scrubber.kind == ScrubberKind::kNone) {
+      throw std::invalid_argument(
+          "ScenarioConfig: daemon mode needs a scrub schedule; set "
+          "scrubber.kind and scrubber.strategy");
+    }
+    if (!config.fault.fail_disk.empty()) {
+      throw std::invalid_argument(
+          "ScenarioConfig: daemon devices model latent errors only, not "
+          "whole-device failures; clear fault.fail_disk");
+    }
+    if (d.pacing.request_service <= 0 || d.pacing.request_spacing < 0) {
+      throw std::invalid_argument(
+          "ScenarioConfig: daemon.pacing needs request_service > 0 and "
+          "request_spacing >= 0");
+    }
+    if (!(d.util_min >= 0.0 && d.util_min <= d.util_max &&
+          d.util_max < 1.0)) {
+      throw std::invalid_argument(
+          "ScenarioConfig: daemon utilization needs 0 <= util_min <= "
+          "util_max < 1, got [" + std::to_string(d.util_min) + ", " +
+          std::to_string(d.util_max) + "]");
+    }
+    if (d.target_passes < 0) {
+      throw std::invalid_argument(
+          "ScenarioConfig: daemon.target_passes must be >= 0, got " +
+          std::to_string(d.target_passes));
+    }
+    if (d.rate_sectors_per_s < 0 || d.burst_sectors < 0) {
+      throw std::invalid_argument(
+          "ScenarioConfig: daemon rate/burst must be >= 0, got rate " +
+          std::to_string(d.rate_sectors_per_s) + ", burst " +
+          std::to_string(d.burst_sectors));
+    }
+    if (d.checkpoint_interval < 0) {
+      throw std::invalid_argument(
+          "ScenarioConfig: daemon.checkpoint_interval must be >= 0, got " +
+          std::to_string(d.checkpoint_interval));
+    }
+    if (d.crash_at < 0) {
+      throw std::invalid_argument(
+          "ScenarioConfig: daemon.crash_at must be >= 0, got " +
+          std::to_string(d.crash_at));
+    }
+    if (d.client_commands < 0) {
+      throw std::invalid_argument(
+          "ScenarioConfig: daemon.client_commands must be >= 0, got " +
+          std::to_string(d.client_commands));
+    }
+    if (d.client_commands > 0 && d.client_interval <= 0) {
+      throw std::invalid_argument(
+          "ScenarioConfig: daemon.client_interval must be > 0 when the "
+          "operator client is enabled");
+    }
+    if (config.run_for <= 0) {
+      throw std::invalid_argument(
+          "ScenarioConfig: daemon mode needs run_for > 0");
+    }
+    // Staggered feasibility, as for fleets.
+    const disk::DiskProfile p = config.disk.profile();
+    config.scrubber.strategy.view(
+        disk::Geometry(p.capacity_bytes, p.outer_spt, p.inner_spt, p.zones)
+            .total_sectors());
+  }
 }
 
 Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
@@ -228,6 +316,11 @@ Scenario::Scenario(const ScenarioConfig& config) : config_(config) {
     throw std::invalid_argument(
         "fleet-mode configs (fleet.disks > 0) run via fleet::run_fleet, "
         "not the event-driven Scenario stack");
+  }
+  if (config_.daemon.devices > 0) {
+    throw std::invalid_argument(
+        "daemon-mode configs (daemon.devices > 0) run via "
+        "daemon::run_daemon, not the event-driven Scenario stack");
   }
   if (config_.raid.enabled) {
     if (config_.workload.kind != WorkloadKind::kNone) {

@@ -163,6 +163,57 @@ struct FleetSpec {
   std::uint64_t util_seed = 11;
 };
 
+/// Daemon mode (src/daemon): a long-running control plane driving one
+/// paced scrub per device over the event core, with operator commands
+/// (start/pause/resume/cancel/status/set-rate), per-scrub token-bucket
+/// bandwidth caps, and versioned progress checkpoints that survive a
+/// crash (in-sim injected via `crash_at`, or a process kill resumed via
+/// daemon::run_daemon's checkpoint file). Device geometry comes from
+/// ScenarioConfig::disk, the scrub schedule from scrubber.strategy,
+/// per-device faults from ScenarioConfig::fault (device i seeded
+/// task_seed(fault.seed, i)), and the horizon from run_for. Daemon
+/// scenarios reject the stack-only specs (RAID, workloads, spin-down)
+/// and fleet mode in validate_scenario; run them through
+/// daemon::run_daemon, not Scenario.
+struct DaemonSpec {
+  /// Device count; > 0 turns daemon mode on.
+  std::int64_t devices = 0;
+  /// Scrub pacing: request_service + request_spacing is the per-extent
+  /// step at an idle device; each device's pace is stretched by its
+  /// utilization draw (scrubbing runs in idle time), exactly like fleet
+  /// members.
+  core::MletConfig pacing;
+  /// Per-device foreground utilization, drawn uniformly from
+  /// [util_min, util_max] with Rng(task_seed(util_seed, device)).
+  double util_min = 0.0;
+  double util_max = 0.0;
+  std::uint64_t util_seed = 11;
+  /// Scrub passes after which a job reports done (0 = run to horizon).
+  std::int64_t target_passes = 1;
+  /// Initial per-scrub bandwidth cap in sectors/second (0 = uncapped);
+  /// operators retune it at runtime with set-rate.
+  std::int64_t rate_sectors_per_s = 0;
+  /// Token-bucket depth in sectors (0 = one request extent).
+  std::int64_t burst_sectors = 0;
+  /// Sim-time interval between progress checkpoints (0 = none). Odd
+  /// values are rounded up: daemon work runs on even nanoseconds, the
+  /// operator client on odd ones, so replays never race a command.
+  SimTime checkpoint_interval = 0;
+  /// When non-empty, every checkpoint is also persisted here (written to
+  /// a temp file and atomically renamed) for cross-process resume.
+  std::string checkpoint_path;
+  /// > 0: inject a daemon crash at this sim time -- the whole in-memory
+  /// control plane is torn down and rebuilt from the last checkpoint
+  /// (from scratch when none was taken yet). Final results must be
+  /// byte-identical to an uninterrupted run.
+  SimTime crash_at = 0;
+  /// Operator client: issues this many commands (0 = no client), spaced
+  /// ~client_interval apart, drawn deterministically from client_seed.
+  std::int64_t client_commands = 0;
+  SimTime client_interval = kSecond;
+  std::uint64_t client_seed = 23;
+};
+
 /// Timeline wiring (obs/timeline.h). When run_scenario (or the sweep
 /// form) is handed an enabled timeline and `enabled` here is true, the
 /// scenario's components record under `prefix` (the config label when
@@ -199,6 +250,9 @@ struct ScenarioConfig {
   /// Fleet mode (fleet.disks > 0): scale this config out to a population
   /// of analytically-evaluated members. See FleetSpec.
   FleetSpec fleet;
+  /// Daemon mode (daemon.devices > 0): a crash-safe scrub control plane
+  /// over many devices. See DaemonSpec.
+  DaemonSpec daemon;
   SimTime run_for = 60 * kSecond;
   /// Timeline opt-out / prefix override (see TimelineSpec).
   TimelineSpec timeline;

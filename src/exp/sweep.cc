@@ -29,14 +29,12 @@ int resolve_workers(int requested) {
   if (requested > 0) return requested;
   // PSCRUB_SWEEP_WORKERS pins the default pool size -- by the bit-identity
   // contract it only affects timing, so it is safe to set globally (CI
-  // uses it to check that 1-vs-N runs diff clean). Malformed values fall
-  // through to the hardware default; the parser's stderr warning is
-  // throttled to once per process since every sweep re-reads the variable.
-  if (const char* env = std::getenv("PSCRUB_SWEEP_WORKERS")) {
-    static const std::optional<long long> parsed = obs::parse_positive_env(
-        "PSCRUB_SWEEP_WORKERS", env, obs::kMaxSweepWorkers);
-    if (parsed) return static_cast<int>(*parsed);
-  }
+  // uses it to check that 1-vs-N runs diff clean). The shared strict read
+  // (obs::sweep_workers_env) falls back to the hardware default on
+  // malformed values; its stderr warning is throttled to once per process
+  // since every sweep re-resolves the pool size.
+  static const std::optional<int> pinned = obs::sweep_workers_env();
+  if (pinned) return *pinned;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }

@@ -33,6 +33,39 @@ std::optional<long long> parse_positive_env(const char* name,
   return parsed;
 }
 
+std::optional<double> parse_positive_double_env(const char* name,
+                                                const char* text, double max) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  char* end = nullptr;
+  const double parsed = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr,
+                 "%s: ignoring non-numeric value '%s' (expected a positive "
+                 "number)\n",
+                 name, text);
+    return std::nullopt;
+  }
+  // !(parsed > 0.0) also catches NaN; the explicit upper compare catches
+  // overflowed exponents ("1e999" -> inf) without needing errno.
+  if (!(parsed > 0.0) || !(parsed <= max)) {
+    std::fprintf(stderr,
+                 "%s: ignoring out-of-range value '%s' (expected a positive "
+                 "number <= %g)\n",
+                 name, text, max);
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+std::optional<int> sweep_workers_env() {
+  const std::optional<long long> parsed =
+      parse_positive_env("PSCRUB_SWEEP_WORKERS",
+                         std::getenv("PSCRUB_SWEEP_WORKERS"),
+                         kMaxSweepWorkers);
+  if (!parsed) return std::nullopt;
+  return static_cast<int>(*parsed);
+}
+
 EnvSession::EnvSession() {
   if (const char* path = std::getenv("PSCRUB_TRACE"); path && *path) {
     if (Tracer::global().open(path)) {
@@ -61,8 +94,7 @@ EnvSession::EnvSession() {
   // Validate the sweep pool override up front: exp::resolve_workers reads
   // it on every sweep, and a typo there would otherwise surface only as a
   // once-per-process warning in the middle of a run.
-  parse_positive_env("PSCRUB_SWEEP_WORKERS",
-                     std::getenv("PSCRUB_SWEEP_WORKERS"), kMaxSweepWorkers);
+  sweep_workers_env();
 }
 
 void EnvSession::finish() {

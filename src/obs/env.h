@@ -30,9 +30,26 @@ namespace pscrub::obs {
 std::optional<long long> parse_positive_env(const char* name,
                                             const char* text, long long max);
 
+/// Strictly parses a positive floating-point environment value in
+/// (0, max]. Same loud-fallback contract as parse_positive_env: trailing
+/// garbage ("0.5x"), non-numeric text, non-finite results (overflowing
+/// exponents like "1e999"), non-positive values, and values above `max`
+/// all warn on stderr and return nullopt -- never a silently coerced 0.
+/// A null/empty `text` returns nullopt without a warning.
+std::optional<double> parse_positive_double_env(const char* name,
+                                                const char* text, double max);
+
 /// Upper bound accepted for PSCRUB_SWEEP_WORKERS (shared by EnvSession's
 /// up-front validation and exp::resolve_workers' per-sweep read).
 inline constexpr long long kMaxSweepWorkers = 4096;
+
+/// The one strict read of PSCRUB_SWEEP_WORKERS: getenv + parse_positive_env
+/// with the shared kMaxSweepWorkers bound. Both EnvSession's up-front
+/// validation and exp::resolve_workers route through here so the accepted
+/// grammar cannot drift between the two call sites. Warns on stderr for
+/// malformed values every call; callers that re-read per sweep cache the
+/// result to keep the warning once-per-process.
+std::optional<int> sweep_workers_env();
 
 class EnvSession {
  public:

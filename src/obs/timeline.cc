@@ -405,8 +405,13 @@ std::string Timeline::to_jsonl() const {
     out += ",\"dropped\":";
     out += std::to_string(log.dropped);
     out += ",\"events\":[";
+    // Canonical (t, text) order, matching import_events: an export must
+    // not depend on whether the log was recorded live or restored from a
+    // snapshot (same-instant records can arrive in either order).
+    std::vector<std::pair<SimTime, std::string>> items = log.items;
+    std::sort(items.begin(), items.end());
     bool first = true;
-    for (const auto& [t, text] : log.items) {
+    for (const auto& [t, text] : items) {
       if (!first) out += ",";
       first = false;
       out += "[";

@@ -235,6 +235,9 @@ class JsonParser {
     char* end = nullptr;
     out.number = std::strtod(token.c_str(), &end);
     if (end == nullptr || *end != '\0') return fail("invalid number");
+    // strtod coerces overflowing exponents ("1e999") to +-inf while still
+    // consuming the whole token; a strict loader rejects, never coerces.
+    if (!std::isfinite(out.number)) return fail("non-finite number");
     if (integral && token.size() <= 19) {
       out.integer = std::strtoll(token.c_str(), &end, 10);
       out.is_integer = end != nullptr && *end == '\0';
@@ -507,7 +510,18 @@ TimelineLoadResult load_timeline_file(const std::string& path,
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
     text.append(buf, n);
   }
+  const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
+  if (read_error) {
+    TimelineLoadResult result;
+    result.error = "cannot read '" + path + "'";
+    return result;
+  }
+  if (text.empty()) {
+    TimelineLoadResult result;
+    result.error = path + ": file is empty (no timeline data)";
+    return result;
+  }
   TimelineLoadResult result = load_timeline_jsonl(text, into);
   if (!result.ok) result.error = path + ": " + result.error;
   return result;

@@ -23,6 +23,9 @@
 //                state, one sharded event queue per sub-fleet, results
 //                merged deterministically (bit-identical at any shard or
 //                worker count)
+//   daemon    -- pscrubd: crash-safe scrub control plane (operator
+//                command protocol, token-bucket throttling, versioned
+//                checkpoint/resume with byte-identical replay)
 #pragma once
 
 #include "block/block_layer.h"
@@ -39,6 +42,8 @@
 #include "core/scrub_strategy.h"
 #include "core/scrubber.h"
 #include "core/spin_down.h"
+#include "daemon/checkpoint.h"
+#include "daemon/daemon.h"
 #include "disk/cache.h"
 #include "exp/scenario.h"
 #include "exp/sweep.h"

@@ -1,0 +1,439 @@
+// pscrubd (src/daemon): crash-safe control plane.
+//
+// The load-bearing property: a run killed at ANY point and resumed from
+// its last checkpoint (or restarted from scratch when none was taken)
+// produces final results, stdout rendering, and timeline output
+// byte-identical to a run that was never interrupted -- with a
+// concurrent operator client hammering the command protocol the whole
+// time.
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "daemon/checkpoint.h"
+#include "daemon/daemon.h"
+#include "exp/scenario.h"
+#include "obs/timeline.h"
+#include "sim/simulator.h"
+
+namespace pscrub {
+namespace {
+
+exp::ScenarioConfig daemon_config() {
+  exp::ScenarioConfig c;
+  c.label = "daemond";
+  c.disk.capacity_bytes = 64LL << 20;  // 131072 sectors, 1024 64K extents
+  c.scrubber.kind = exp::ScrubberKind::kWaiting;
+  c.scrubber.strategy.request_bytes = 64 * 1024;
+  c.run_for = 20 * kSecond;
+  c.daemon.devices = 3;
+  c.daemon.pacing.request_service = 1 * kMillisecond;
+  c.daemon.pacing.request_spacing = 3 * kMillisecond;
+  c.daemon.util_min = 0.1;
+  c.daemon.util_max = 0.5;
+  c.daemon.target_passes = 1;
+  c.daemon.checkpoint_interval = kSecond;
+  c.daemon.client_commands = 40;
+  c.daemon.client_interval = 400 * kMillisecond;
+  c.fault.enabled = true;
+  c.fault.lse.burst_interarrival_mean = 4 * kSecond;
+  c.fault.lse.burst_span_bytes = 4LL << 20;
+  return c;
+}
+
+/// Everything the byte-identity contract covers: the rendered result
+/// (stdout) and the timeline export.
+std::string fingerprint(const daemon::DaemonResult& r,
+                        const obs::Timeline& tl) {
+  return daemon::render_daemon_result(r) + "\n---\n" + tl.to_jsonl();
+}
+
+/// Timelines record only when enabled; configure() alone leaves the
+/// default-off flag in place (and Daemon then skips wiring entirely).
+void enable(obs::Timeline& tl) {
+  tl.configure(obs::TimelineConfig{});
+  tl.set_enabled(true);
+}
+
+std::string reference_fingerprint(const exp::ScenarioConfig& config) {
+  obs::Timeline tl;
+  enable(tl);
+  const daemon::DaemonResult r = daemon::run_daemon(config, &tl);
+  return fingerprint(r, tl);
+}
+
+// ---------------------------------------------------------------------------
+// TokenBucket
+
+TEST(TokenBucket, IntegerSectorSecondUnits) {
+  daemon::TokenBucket b(100, 200, 1);  // 100 sectors/s, 200-sector burst
+  // Starts full: a whole burst goes through instantly.
+  EXPECT_EQ(b.acquire(0, 200), 0);
+  // Drained: 50 sectors at 100/s are covered in exactly half a second.
+  EXPECT_EQ(b.acquire(0, 50), kSecond / 2);
+  // The charge was committed at the ready time, so the next 50 wait the
+  // same again.
+  EXPECT_EQ(b.acquire(kSecond / 2, 50), kSecond);
+}
+
+TEST(TokenBucket, UncappedIsPassthrough) {
+  daemon::TokenBucket b(0, 0, 1);
+  EXPECT_EQ(b.acquire(123, 100000), 123);
+  EXPECT_EQ(b.rate(), 0);
+}
+
+TEST(TokenBucket, SetRateCarriesAccruedCredit) {
+  daemon::TokenBucket b(100, 200, 1);
+  EXPECT_EQ(b.acquire(0, 200), 0);  // drain
+  // One second at the old rate accrues 100 sectors of credit; the new
+  // 200/s rate covers the remaining 50-sector deficit in a quarter
+  // second.
+  b.set_rate(kSecond, 200, 200, 1);
+  EXPECT_EQ(b.acquire(kSecond, 150), kSecond + kSecond / 4);
+}
+
+TEST(TokenBucket, LongIdleClampsToBurst) {
+  daemon::TokenBucket b(1000, 64, 64);
+  EXPECT_EQ(b.acquire(0, 64), 0);
+  // A year of idle time must not overflow the accrual arithmetic and
+  // must clamp at the burst depth.
+  const SimTime year = 365 * kDay;
+  EXPECT_EQ(b.acquire(year, 64), year);
+  EXPECT_LE(b.tokens(), 64 * kSecond);
+}
+
+TEST(TokenBucket, RestoreRoundTrips) {
+  daemon::TokenBucket a(100, 200, 1);
+  a.acquire(0, 150);
+  daemon::TokenBucket b(100, 200, 1);
+  b.restore(a.tokens(), a.refilled_at());
+  EXPECT_EQ(a.acquire(kSecond, 100), b.acquire(kSecond, 100));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and crash safety
+
+TEST(Daemon, RunsAreDeterministic) {
+  const exp::ScenarioConfig config = daemon_config();
+  EXPECT_EQ(reference_fingerprint(config), reference_fingerprint(config));
+}
+
+TEST(Daemon, ClientSeedChangesTheCommandStream) {
+  exp::ScenarioConfig config = daemon_config();
+  obs::Timeline tl1;
+  enable(tl1);
+  const daemon::DaemonResult a = daemon::run_daemon(config, &tl1);
+  config.daemon.client_seed += 1;
+  obs::Timeline tl2;
+  enable(tl2);
+  const daemon::DaemonResult b = daemon::run_daemon(config, &tl2);
+  EXPECT_EQ(a.client_issued, b.client_issued);
+  EXPECT_NE(a.status_checksum, b.status_checksum);
+}
+
+TEST(DaemonCrash, InSimCrashReplaysByteIdentically) {
+  const exp::ScenarioConfig base = daemon_config();
+  const std::string want = reference_fingerprint(base);
+  // Crash points: mid-run after several checkpoints, just past one, and
+  // BEFORE the first checkpoint (restart-from-scratch path).
+  for (const SimTime crash_at :
+       {7 * kSecond + 1, kSecond + 3, kSecond / 2}) {
+    exp::ScenarioConfig config = base;
+    config.daemon.crash_at = crash_at;
+    obs::Timeline tl;
+    enable(tl);
+    const daemon::DaemonResult r = daemon::run_daemon(config, &tl);
+    EXPECT_EQ(want, fingerprint(r, tl)) << "crash_at=" << crash_at;
+  }
+}
+
+TEST(DaemonCrash, KillAndResumeAtAnyBoundaryIsByteIdentical) {
+  const exp::ScenarioConfig config = daemon_config();
+  const std::string want = reference_fingerprint(config);
+  // Kill at a fixed amount of verified work (what the CI harness does
+  // process-level), resume from the last serialized checkpoint.
+  for (const std::int64_t kill_at : {1, 200, 900, 2500}) {
+    obs::Timeline tl;
+    enable(tl);
+    std::string persisted;
+    {
+      Simulator sim;
+      daemon::Daemon d(sim, config, &tl);
+      d.start();
+      while (sim.step(config.run_for)) {
+        if (d.total_extents() >= kill_at) break;
+      }
+      persisted = d.last_checkpoint();
+    }
+    Simulator sim;
+    daemon::Daemon d(sim, config, &tl);
+    if (persisted.empty()) {
+      // Died before the first checkpoint: a real restart begins from
+      // scratch with a clean metrics plane.
+      tl.configure(tl.config());
+      d.start();
+    } else {
+      const daemon::Checkpoint ck = daemon::parse_checkpoint(persisted);
+      sim.at(ck.now, [] {});
+      sim.run_until(ck.now);
+      d.restore(ck);
+    }
+    sim.run_until(config.run_for);
+    EXPECT_EQ(want, fingerprint(d.result(), tl)) << "kill_at=" << kill_at;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint format
+
+TEST(Checkpoint, SerializeParseRoundTrips) {
+  const exp::ScenarioConfig config = daemon_config();
+  Simulator sim;
+  obs::Timeline tl;
+  enable(tl);
+  daemon::Daemon d(sim, config, &tl);
+  d.start();
+  sim.run_until(5 * kSecond);
+  const daemon::Checkpoint ck = d.snapshot();
+  const std::string text = daemon::serialize_checkpoint(ck);
+  const daemon::Checkpoint back = daemon::parse_checkpoint(text);
+  // Re-serializing the parse must reproduce the exact bytes.
+  EXPECT_EQ(text, daemon::serialize_checkpoint(back));
+  EXPECT_EQ(back.now, 5 * kSecond);
+  EXPECT_EQ(back.jobs.size(), 3u);
+  EXPECT_GT(back.checkpoints_taken, 0);
+  EXPECT_FALSE(back.timeline_jsonl.empty());
+}
+
+TEST(Checkpoint, RejectsUnknownVersion) {
+  daemon::Checkpoint ck;
+  ck.jobs.push_back({});
+  std::string text = daemon::serialize_checkpoint(ck);
+  const std::size_t at = text.find("v1");
+  ASSERT_NE(at, std::string::npos);
+  text[at + 1] = '2';
+  EXPECT_THROW(daemon::parse_checkpoint(text), std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsTruncation) {
+  daemon::Checkpoint ck;
+  ck.jobs.push_back({});
+  const std::string text = daemon::serialize_checkpoint(ck);
+  // Drop the "end" sentinel: a crash mid-write must read as an error.
+  EXPECT_THROW(
+      daemon::parse_checkpoint(text.substr(0, text.size() - 4)),
+      std::runtime_error);
+  EXPECT_THROW(daemon::parse_checkpoint(""), std::runtime_error);
+  EXPECT_THROW(daemon::parse_checkpoint("not a checkpoint\n"),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, RestoreRejectsMismatchedGeometry) {
+  const exp::ScenarioConfig config = daemon_config();
+  Simulator sim;
+  daemon::Daemon d(sim, config, nullptr);
+  d.start();
+  sim.run_until(2 * kSecond);
+  daemon::Checkpoint ck = d.snapshot();
+
+  {
+    // Wrong device count.
+    daemon::Checkpoint bad = ck;
+    bad.jobs.pop_back();
+    Simulator sim2;
+    daemon::Daemon d2(sim2, config, nullptr);
+    sim2.at(bad.now, [] {});
+    sim2.run_until(bad.now);
+    EXPECT_THROW(d2.restore(bad), std::runtime_error);
+  }
+  {
+    // Cursor beyond this geometry's pass (checkpoint from another
+    // config).
+    daemon::Checkpoint bad = ck;
+    bad.jobs[0].cursor = 1 << 20;
+    Simulator sim2;
+    daemon::Daemon d2(sim2, config, nullptr);
+    sim2.at(bad.now, [] {});
+    sim2.run_until(bad.now);
+    EXPECT_THROW(d2.restore(bad), std::runtime_error);
+  }
+}
+
+TEST(Checkpoint, FileRoundTripIsAtomic) {
+  const std::string path = testing::TempDir() + "/pscrubd_ck_test.txt";
+  daemon::Checkpoint ck;
+  ck.now = 42;
+  ck.jobs.push_back({});
+  const std::string text = daemon::serialize_checkpoint(ck);
+  daemon::write_checkpoint_file(path, text);
+  EXPECT_EQ(daemon::read_checkpoint_file(path), text);
+  // No temp file left behind.
+  EXPECT_THROW(daemon::read_checkpoint_file(path + ".tmp"),
+               std::runtime_error);
+  EXPECT_THROW(daemon::read_checkpoint_file(path + ".missing"),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Command protocol semantics
+
+TEST(DaemonCommands, PauseResumeCancelStartStateMachine) {
+  exp::ScenarioConfig config = daemon_config();
+  config.daemon.client_commands = 0;
+  config.fault.enabled = false;
+  Simulator sim;
+  daemon::Daemon d(sim, config, nullptr);
+  d.start();
+  sim.run_until(2 * kSecond);
+  const std::int64_t ext0 = d.job(0).stats.extents;
+  const std::int64_t other0 = d.job(1).stats.extents;
+  ASSERT_GT(ext0, 0);
+
+  auto cmd = [](daemon::CommandKind kind, int device) {
+    daemon::Command c;
+    c.kind = kind;
+    c.device = device;
+    return c;
+  };
+
+  // Pause freezes this scrub (cursor-neutral) and nothing else.
+  EXPECT_TRUE(d.apply(cmd(daemon::CommandKind::kPause, 0)).ok);
+  EXPECT_EQ(d.status(0).state, daemon::JobState::kPaused);
+  const std::int64_t cursor_at_pause = d.job(0).cursor;
+  EXPECT_GT(d.status(0).eta, 0);  // hypothetical resume pace
+  sim.run_until(4 * kSecond);
+  EXPECT_EQ(d.job(0).stats.extents, ext0);
+  EXPECT_GT(d.job(1).stats.extents, other0);
+
+  // Pausing a paused scrub is a rejection, not a crash.
+  EXPECT_FALSE(d.apply(cmd(daemon::CommandKind::kPause, 0)).ok);
+  EXPECT_FALSE(d.apply(cmd(daemon::CommandKind::kStart, 0)).ok);
+  EXPECT_FALSE(d.apply(cmd(daemon::CommandKind::kResume, 99)).ok);
+
+  // Resume picks up at the exact cursor.
+  EXPECT_TRUE(d.apply(cmd(daemon::CommandKind::kResume, 0)).ok);
+  EXPECT_EQ(d.job(0).cursor, cursor_at_pause);
+  sim.run_until(6 * kSecond);
+  EXPECT_GT(d.job(0).stats.extents, ext0);
+
+  // Cancel abandons the scrub; start begins a fresh pass from zero.
+  EXPECT_TRUE(d.apply(cmd(daemon::CommandKind::kCancel, 0)).ok);
+  EXPECT_EQ(d.status(0).state, daemon::JobState::kCancelled);
+  EXPECT_EQ(d.status(0).eta, 0);
+  EXPECT_FALSE(d.apply(cmd(daemon::CommandKind::kResume, 0)).ok);
+  EXPECT_TRUE(d.apply(cmd(daemon::CommandKind::kStart, 0)).ok);
+  EXPECT_EQ(d.job(0).cursor, 0);
+  EXPECT_EQ(d.job(0).passes, 0);
+  EXPECT_EQ(d.status(0).state, daemon::JobState::kRunning);
+
+  const daemon::DaemonResult r = d.result();
+  EXPECT_EQ(r.jobs[0].pauses, 1);
+  EXPECT_EQ(r.jobs[0].resumes, 1);
+  EXPECT_EQ(r.jobs[0].starts, 1);
+  EXPECT_EQ(r.commands_rejected, 4);
+}
+
+TEST(DaemonThrottle, SetRateEtaIsMonotone) {
+  exp::ScenarioConfig config = daemon_config();
+  config.daemon.client_commands = 0;
+  config.fault.enabled = false;
+  Simulator sim;
+  daemon::Daemon d(sim, config, nullptr);
+  d.start();
+  daemon::Command cmd;
+  cmd.kind = daemon::CommandKind::kSetRate;
+  cmd.device = 0;
+  SimTime prev = std::numeric_limits<SimTime>::max();
+  for (const std::int64_t rate : {64, 256, 1024, 4096, 1 << 20}) {
+    cmd.rate = rate;
+    ASSERT_TRUE(d.apply(cmd).ok);
+    const SimTime eta = d.status(0).eta;
+    EXPECT_LT(eta, prev) << "rate=" << rate;
+    prev = eta;
+  }
+  // Uncapped is the idle-pacing floor: raising the cap further cannot
+  // beat it.
+  cmd.rate = 0;
+  ASSERT_TRUE(d.apply(cmd).ok);
+  EXPECT_LE(d.status(0).eta, prev);
+}
+
+TEST(DaemonThrottle, CapComposesWithIdlePacing) {
+  exp::ScenarioConfig base = daemon_config();
+  base.daemon.devices = 1;
+  base.daemon.client_commands = 0;
+  base.fault.enabled = false;
+  base.run_for = 12 * kSecond;
+
+  obs::Timeline tl1;
+  enable(tl1);
+  const daemon::DaemonResult uncapped = daemon::run_daemon(base, &tl1);
+  ASSERT_EQ(uncapped.jobs[0].state, daemon::JobState::kDone);
+  EXPECT_EQ(uncapped.jobs[0].throttle_waits, 0);
+
+  // 64K extents are 128 sectors; 6400 sectors/s paces one extent per
+  // 20 ms -- slower than the idle-stretched step, so the cap dominates.
+  exp::ScenarioConfig capped = base;
+  capped.daemon.rate_sectors_per_s = 6400;
+  obs::Timeline tl2;
+  enable(tl2);
+  const daemon::DaemonResult r = daemon::run_daemon(capped, &tl2);
+  EXPECT_EQ(r.jobs[0].state, daemon::JobState::kRunning);
+  EXPECT_GT(r.jobs[0].throttle_waits, 0);
+  EXPECT_LT(r.jobs[0].extents, uncapped.jobs[0].extents);
+  // Achieved bandwidth tracks the cap (the first extent rides the full
+  // initial bucket, hence the tolerance).
+  const double achieved =
+      static_cast<double>(r.jobs[0].sectors) / to_seconds(base.run_for);
+  EXPECT_NEAR(achieved, 6400.0, 6400.0 * 0.05);
+  // Throttling returns idle time to the foreground: the modelled
+  // slowdown must drop below the uncapped run's.
+  EXPECT_LT(r.jobs[0].slowdown, uncapped.jobs[0].slowdown);
+  EXPECT_GE(r.jobs[0].slowdown, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+
+TEST(DaemonValidate, RejectsStackOnlySpecsAndBadRanges) {
+  const exp::ScenarioConfig good = daemon_config();
+  EXPECT_NO_THROW(exp::validate_scenario(good));
+
+  exp::ScenarioConfig c = good;
+  c.raid.enabled = true;
+  EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+
+  c = good;
+  c.workload.kind = exp::WorkloadKind::kRandomReads;
+  EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+
+  c = good;
+  c.fleet.disks = 10;
+  EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+
+  c = good;
+  c.scrubber.kind = exp::ScrubberKind::kNone;
+  EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+
+  c = good;
+  c.daemon.util_max = 1.0;
+  EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+
+  c = good;
+  c.daemon.rate_sectors_per_s = -1;
+  EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+
+  c = good;
+  c.daemon.client_commands = 5;
+  c.daemon.client_interval = 0;
+  EXPECT_THROW(exp::validate_scenario(c), std::invalid_argument);
+
+  // Daemon-mode configs must not build the event-driven Scenario stack.
+  EXPECT_THROW(exp::Scenario scenario(good), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pscrub

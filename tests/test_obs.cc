@@ -773,5 +773,37 @@ TEST(ParsePositiveEnv, RejectsNonPositiveAndOutOfRange) {
             std::nullopt);
 }
 
+// parse_positive_double_env: the shared strict parser behind
+// PSCRUB_BENCH_SCALE. Same loud-fallback contract as the integer one.
+
+TEST(ParsePositiveDoubleEnv, AcceptsPositiveRealsUpToMax) {
+  EXPECT_EQ(parse_positive_double_env("S", "0.5", 100.0), 0.5);
+  EXPECT_EQ(parse_positive_double_env("S", "2", 100.0), 2.0);
+  EXPECT_EQ(parse_positive_double_env("S", "1e2", 100.0), 100.0);  // max
+  EXPECT_EQ(parse_positive_double_env("S", ".25", 100.0), 0.25);
+}
+
+TEST(ParsePositiveDoubleEnv, UnsetOrEmptyIsSilentlyAbsent) {
+  EXPECT_EQ(parse_positive_double_env("S", nullptr, 100.0), std::nullopt);
+  EXPECT_EQ(parse_positive_double_env("S", "", 100.0), std::nullopt);
+}
+
+TEST(ParsePositiveDoubleEnv, RejectsGarbageAndTrailingText) {
+  EXPECT_EQ(parse_positive_double_env("S", "abc", 100.0), std::nullopt);
+  EXPECT_EQ(parse_positive_double_env("S", "0.5x", 100.0), std::nullopt);
+  EXPECT_EQ(parse_positive_double_env("S", "1.5 ", 100.0), std::nullopt);
+}
+
+TEST(ParsePositiveDoubleEnv, RejectsNonPositiveNonFiniteAndOutOfRange) {
+  EXPECT_EQ(parse_positive_double_env("S", "0", 100.0), std::nullopt);
+  EXPECT_EQ(parse_positive_double_env("S", "0.0", 100.0), std::nullopt);
+  EXPECT_EQ(parse_positive_double_env("S", "-1.5", 100.0), std::nullopt);
+  EXPECT_EQ(parse_positive_double_env("S", "100.01", 100.0), std::nullopt);
+  // strtod coerces these to inf/nan; the strict parser must not.
+  EXPECT_EQ(parse_positive_double_env("S", "1e999", 100.0), std::nullopt);
+  EXPECT_EQ(parse_positive_double_env("S", "inf", 100.0), std::nullopt);
+  EXPECT_EQ(parse_positive_double_env("S", "nan", 100.0), std::nullopt);
+}
+
 }  // namespace
 }  // namespace pscrub::obs

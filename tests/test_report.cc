@@ -188,11 +188,78 @@ TEST(ReportLoader, FirstFailingFileIsNamedInTheError) {
   std::remove(bad.c_str());
 }
 
+TEST(ReportRenderer, DaemonSectionRollsUpControlPlane) {
+  Timeline tl;
+  tl.configure({/*window=*/kSecond, /*max_windows=*/16});
+  tl.set_enabled(true);
+  const auto add = [&](const std::string& name, double v) {
+    tl.add(tl.series(name, Timeline::SeriesKind::kCounter), kSecond, v);
+  };
+  add("d.pscrubd.commands", 10.0);
+  add("d.pscrubd.commands.rejected", 2.0);
+  add("d.pscrubd.checkpoints", 3.0);
+  // 11 devices so numeric ordering matters (lexicographic walks put
+  // dev10 before dev2).
+  for (const int dev : {0, 2, 10}) {
+    const std::string base = "d.pscrubd.dev" + std::to_string(dev);
+    add(base + ".sectors", 1000.0 + dev);
+    add(base + ".detections", static_cast<double>(dev));
+    add(base + ".throttle_waits", 1.0);
+  }
+
+  const std::string out = report::render_report(tl, {});
+  EXPECT_NE(out.find("\ndaemon\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("  d: 10 commands (2 rejected), 3 checkpoints\n"),
+            std::string::npos)
+      << out;
+  const std::size_t at0 =
+      out.find("    dev0: 1000 sectors scrubbed, 0 detections, 1 "
+               "throttled fires\n");
+  const std::size_t at2 = out.find("    dev2: 1002 sectors scrubbed");
+  const std::size_t at10 = out.find("    dev10: 1010 sectors scrubbed");
+  ASSERT_NE(at0, std::string::npos) << out;
+  ASSERT_NE(at2, std::string::npos) << out;
+  ASSERT_NE(at10, std::string::npos) << out;
+  EXPECT_LT(at0, at2);
+  EXPECT_LT(at2, at10) << "devices must sort numerically";
+}
+
 TEST(ReportLoader, MissingFileFails) {
   Timeline into;
   const std::string error =
       report::load_and_merge({"/nonexistent/timeline.jsonl"}, into);
   EXPECT_FALSE(error.empty());
+  EXPECT_NE(error.find("/nonexistent/timeline.jsonl"), std::string::npos)
+      << error;
+}
+
+TEST(ReportLoader, EmptyFileFailsWithClearDiagnostic) {
+  const std::string path = testing::TempDir() + "/pscrub_empty.jsonl";
+  { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+  Timeline into;
+  const std::string error = report::load_and_merge({path}, into);
+  EXPECT_NE(error.find(path), std::string::npos) << error;
+  EXPECT_NE(error.find("empty"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(ReportLoader, UnreadableInputFails) {
+  // A directory opens but cannot be read: the fread error path.
+  Timeline into;
+  const std::string error = report::load_and_merge({testing::TempDir()}, into);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ReportLoader, ErrorNamesThePathExactlyOnce) {
+  // load_timeline_file prefixes parse errors with the path;
+  // load_and_merge must pass that through, not wrap it again.
+  const std::string path = testing::TempDir() + "/pscrub_garbled.jsonl";
+  { std::ofstream(path, std::ios::binary) << "not jsonl\n"; }
+  Timeline into;
+  const std::string error = report::load_and_merge({path}, into);
+  ASSERT_NE(error.find(path), std::string::npos) << error;
+  EXPECT_EQ(error.find(path), error.rfind(path)) << error;
+  std::remove(path.c_str());
 }
 
 }  // namespace

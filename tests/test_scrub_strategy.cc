@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "core/scrub_strategy.h"
@@ -119,6 +120,66 @@ TEST(Staggered, SetRequestSectorsTakesEffect) {
   StaggeredStrategy s(1 << 20, 128, 4);
   s.set_request_sectors(256);
   EXPECT_EQ(s.next().sectors, 256);
+}
+
+// ---------------------------------------------------------------------------
+// cursor()/restore(): the serialization seam daemon checkpoints ride on.
+
+template <typename Strategy, typename Make>
+void expect_cursor_round_trip(Make make) {
+  Strategy original = make();
+  // Walk into the middle of the second pass so the snapshot carries a
+  // nontrivial (position, passes) pair.
+  for (int i = 0; i < 130; ++i) original.next();
+  const ScrubCursor cursor = original.cursor();
+
+  Strategy restored = make();
+  restored.restore(cursor);
+  EXPECT_EQ(restored.completed_passes(), original.completed_passes());
+  // The restored strategy must emit the exact sequence the original
+  // would have from here -- across a pass boundary.
+  for (int i = 0; i < 200; ++i) {
+    const ScrubExtent want = original.next();
+    const ScrubExtent got = restored.next();
+    EXPECT_EQ(got.lbn, want.lbn) << "step " << i;
+    EXPECT_EQ(got.sectors, want.sectors) << "step " << i;
+  }
+  EXPECT_EQ(restored.completed_passes(), original.completed_passes());
+}
+
+TEST(Cursor, SequentialRoundTripsMidPass) {
+  expect_cursor_round_trip<SequentialStrategy>(
+      [] { return SequentialStrategy(10000, 128); });
+}
+
+TEST(Cursor, StaggeredRoundTripsMidPass) {
+  expect_cursor_round_trip<StaggeredStrategy>(
+      [] { return StaggeredStrategy(10000, 128, 8); });
+}
+
+TEST(Cursor, FreshCursorIsZero) {
+  SequentialStrategy s(10000, 128);
+  const ScrubCursor c = s.cursor();
+  EXPECT_EQ(c.a, 0);
+  EXPECT_EQ(c.b, 0);
+  EXPECT_EQ(c.passes, 0);
+}
+
+TEST(Cursor, RestoreRejectsOutOfRangeCoordinates) {
+  SequentialStrategy seq(10000, 128);
+  ScrubCursor bad;
+  bad.a = 10001;  // beyond the disk: a checkpoint from another geometry
+  EXPECT_THROW(seq.restore(bad), std::invalid_argument);
+  bad.a = -1;
+  EXPECT_THROW(seq.restore(bad), std::invalid_argument);
+  bad.a = 0;
+  bad.passes = -1;
+  EXPECT_THROW(seq.restore(bad), std::invalid_argument);
+
+  StaggeredStrategy st(10000, 128, 8);
+  ScrubCursor sbad;
+  sbad.a = 8;  // region index out of range
+  EXPECT_THROW(st.restore(sbad), std::invalid_argument);
 }
 
 TEST(Factories, HonorByteSizes) {

@@ -55,6 +55,47 @@ TEST(EventQueue, CancelUnknownIdReturnsFalse) {
   EXPECT_FALSE(q.cancel(12345));
 }
 
+TEST(EventQueue, PersistentCancelReArmSurvivesCompaction) {
+  // cancel() leaves stale ordering entries behind; once they outnumber
+  // live entries (plus slack) a compaction pass re-sorts the heap. A
+  // persistent event that is cancelled and re-armed while that churn is
+  // in flight must still fire exactly once, at its LAST armed time --
+  // its handle and pending arm must survive entry relocation.
+  EventQueue q;
+  int fires = 0;
+  const EventId p = q.add_persistent(EventFn([&] { ++fires; }));
+  ASSERT_TRUE(q.arm(p, 1));
+
+  // Each cycle parks one more stale entry (schedule+cancel) and moves
+  // the persistent arm, so the loop crosses the stale > live + 64
+  // compaction threshold several times with the arm mid-flight.
+  SimTime armed_at = 1;
+  for (int i = 0; i < 300; ++i) {
+    q.cancel(q.schedule(1000 + i, [] {}));
+    ASSERT_TRUE(q.cancel(p));      // disarm (stays registered)
+    EXPECT_FALSE(q.armed(p));
+    armed_at = 2 + i;
+    ASSERT_TRUE(q.arm(p, armed_at));
+    EXPECT_TRUE(q.armed(p));
+  }
+  // Compaction bounded the heap: 1 live arm + O(slack) stale entries,
+  // nowhere near the 600 entries the loop pushed through it.
+  EXPECT_LE(q.heap_entries(), 150u);
+  EXPECT_EQ(q.size(), 1u);
+
+  SimTime fired_time = -1;
+  ASSERT_TRUE(q.fire_next(10000, &fired_time));
+  EXPECT_EQ(fired_time, armed_at);
+  EXPECT_EQ(fires, 1);
+  // Disarmed after firing, still registered and re-armable.
+  EXPECT_FALSE(q.armed(p));
+  EXPECT_FALSE(q.fire_next(10000, &fired_time));
+  ASSERT_TRUE(q.arm(p, 20000));
+  ASSERT_TRUE(q.fire_next(20000, &fired_time));
+  EXPECT_EQ(fires, 2);
+  EXPECT_TRUE(q.remove(p));
+}
+
 TEST(Simulator, ClockAdvancesWithEvents) {
   Simulator sim;
   SimTime seen = -1;

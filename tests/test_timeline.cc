@@ -372,6 +372,35 @@ TEST(TimelineIo, ValidatorAcceptsExportAndRejectsMalformedLines) {
   }
 }
 
+TEST(TimelineIo, StrictLoaderRejectsMalformedNumbers) {
+  const std::string meta =
+      "{\"type\":\"meta\",\"version\":1,\"window_ns\":1000,"
+      "\"base_window_ns\":1000,\"max_windows\":8}\n";
+  const char* bad_windows[] = {
+      "[[0,1e999]]",   // strtod coerces to +inf; a strict loader rejects
+      "[[0,-1e999]]",  // ... and to -inf
+      "[[0,nan]]",     // non-numeric literal
+      "[[0,inf]]",
+      "[[0,1.2.3]]",  // malformed token
+      "[[0,12kb]]",   // trailing garbage after the number
+  };
+  for (const char* windows : bad_windows) {
+    const std::string input =
+        meta +
+        "{\"type\":\"series\",\"name\":\"x\",\"kind\":\"counter\","
+        "\"windows\":" +
+        windows + "}\n";
+    const obs::TimelineLoadResult validated =
+        obs::validate_timeline_jsonl(input);
+    EXPECT_FALSE(validated.ok) << windows;
+    EXPECT_FALSE(validated.error.empty()) << windows;
+    // The loader must agree with the validator, and a rejected line must
+    // not leave partial state behind.
+    Timeline into;
+    EXPECT_FALSE(obs::load_timeline_jsonl(input, into).ok) << windows;
+  }
+}
+
 TEST(TimelineIo, RejectsNonIncreasingWindowIndices) {
   const std::string input =
       "{\"type\":\"meta\",\"version\":1,\"window_ns\":1000,"

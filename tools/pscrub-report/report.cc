@@ -226,6 +226,65 @@ void render_fleet(const Timeline& tl, const ReportOptions& opt,
   }
 }
 
+void render_daemon(const Timeline& tl, const ReportOptions& opt,
+                   std::string& out) {
+  // One block per pscrubd control plane (keyed by the
+  // "<label>.pscrubd.commands" counter the daemon wires): command-protocol
+  // totals, checkpoint count, and a per-device scrub rollup. The per-device
+  // progress gauges and latency/detect-delay digests render through the
+  // shared sections.
+  std::string section;
+  const std::string marker = ".pscrubd.commands";
+  for (const auto& [name, id] : tl.index()) {
+    if (!selected(name, opt) || !ends_with(name, marker)) continue;
+    if (tl.at(id).kind != Timeline::SeriesKind::kCounter) continue;
+    const std::string base = name.substr(0, name.size() - marker.size());
+    const double commands = counter_total(tl, name);
+    const double rejected =
+        counter_total(tl, base + ".pscrubd.commands.rejected");
+    const double checkpoints =
+        counter_total(tl, base + ".pscrubd.checkpoints");
+    section += "  " + base + ": " + num(commands) + " commands (" +
+               num(rejected) + " rejected), " + num(checkpoints) +
+               " checkpoints\n";
+
+    const std::string dev_prefix = base + ".pscrubd.dev";
+    const std::string dev_marker = ".sectors";
+    std::vector<std::pair<long long, std::string>> devices;
+    for (const auto& [dev_name, dev_id] : tl.index()) {
+      if (!starts_with(dev_name, dev_prefix) ||
+          !ends_with(dev_name, dev_marker)) {
+        continue;
+      }
+      if (tl.at(dev_id).kind != Timeline::SeriesKind::kCounter) continue;
+      const std::string dev_base =
+          dev_name.substr(0, dev_name.size() - dev_marker.size());
+      const std::string digits = dev_base.substr(dev_prefix.size());
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string::npos) {
+        continue;
+      }
+      const double sectors = counter_total(tl, dev_name);
+      const double detections = counter_total(tl, dev_base + ".detections");
+      const double throttled =
+          counter_total(tl, dev_base + ".throttle_waits");
+      devices.emplace_back(
+          std::stoll(digits),
+          "    dev" + digits + ": " + num(sectors) + " sectors scrubbed, " +
+              num(detections) + " detections, " + num(throttled) +
+              " throttled fires\n");
+    }
+    // Numeric device order (a lexicographic index walk puts dev10 before
+    // dev2).
+    std::sort(devices.begin(), devices.end());
+    for (const auto& [dev, line] : devices) section += line;
+  }
+  if (!section.empty()) {
+    out += "\ndaemon\n";
+    out += section;
+  }
+}
+
 std::string digest_line(const std::string& name, const QuantileDigest& d) {
   return "  " + name + ": count " + std::to_string(d.count()) + ", p50 " +
          num(d.p50()) + ", p95 " + num(d.p95()) + ", p99 " + num(d.p99()) +
@@ -331,7 +390,8 @@ std::string load_and_merge(const std::vector<std::string>& paths,
                            obs::Timeline& into) {
   for (const std::string& path : paths) {
     const obs::TimelineLoadResult r = obs::load_timeline_file(path, into);
-    if (!r) return path + ": " + r.error;
+    // load_timeline_file already names the offending path in its error.
+    if (!r) return r.error;
   }
   return "";
 }
@@ -354,6 +414,7 @@ std::string render_report(const obs::Timeline& tl,
   render_scrub_progress(tl, options, width_s, used, out);
   render_utilization(tl, options, width_s, used, out);
   render_fleet(tl, options, out);
+  render_daemon(tl, options, out);
   render_digests(tl, options, out);
   render_events(tl, options, out);
   if (options.windows) render_window_tables(tl, options, width_s, out);

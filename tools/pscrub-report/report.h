@@ -29,9 +29,11 @@ std::string load_and_merge(const std::vector<std::string>& paths,
 
 /// Renders the deterministic report: header, scrub-progress summaries,
 /// utilization breakdown, fleet rollups (injected error sectors vs
-/// detections per "<label>.fleet." prefix), digest quantiles, event-log
-/// summaries, and (with options.windows) per-window tables. Same
-/// timeline, same options -> same bytes.
+/// detections per "<label>.fleet." prefix), daemon rollups (command
+/// protocol, checkpoints, and per-device scrub totals per
+/// "<label>.pscrubd." prefix), digest quantiles, event-log summaries,
+/// and (with options.windows) per-window tables. Same timeline, same
+/// options -> same bytes.
 std::string render_report(const obs::Timeline& timeline,
                           const ReportOptions& options = {});
 
