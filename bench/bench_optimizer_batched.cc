@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark) for the batched Waiting evaluator
+// and the optimizer built on it: what bench_table3_optimizer spends its
+// time on, isolated so the perf gate (bench/compare_perf.py) can hold the
+// speedup. BM_WaitingProbeReference vs BM_WaitingProbeBatched is the
+// headline ratio: one threshold probe as a full O(records) replay vs an
+// O(intervals) walk of the shared core::IdleDecomposition.
+#include <benchmark/benchmark.h>
+
+#include "pscrub.h"
+
+namespace pscrub {
+namespace {
+
+constexpr std::int64_t kTraceRecords = 400'000;
+
+struct Workload {
+  trace::Trace trace;
+  std::vector<SimTime> services;
+  core::IdleDecomposition decomposition;
+};
+
+/// Thinned MSRusr1 (the burstiest Table III trace) under the Ultrastar
+/// service model; built once and shared by every benchmark.
+const Workload& workload() {
+  static const Workload w = [] {
+    Workload out;
+    const auto spec = trace::spec_by_name("MSRusr1");
+    const double scale =
+        static_cast<double>(kTraceRecords) /
+        static_cast<double>(spec->target_requests);
+    out.trace = trace::SyntheticGenerator(*spec).generate_trace(scale);
+    out.services = core::precompute_services(
+        out.trace,
+        core::make_foreground_service(disk::hitachi_ultrastar_15k450()));
+    out.decomposition =
+        core::IdleDecomposition::from_trace(out.trace, out.services);
+    return out;
+  }();
+  return w;
+}
+
+constexpr SimTime kProbeThreshold = 50 * kMillisecond;
+constexpr std::int64_t kProbeBytes = 1024 * 1024;
+
+void BM_IdleDecompositionBuild(benchmark::State& state) {
+  const Workload& w = workload();
+  for (auto _ : state) {
+    const auto d = core::IdleDecomposition::from_trace(w.trace, w.services);
+    benchmark::DoNotOptimize(d.interval_count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.trace.size()));
+}
+BENCHMARK(BM_IdleDecompositionBuild);
+
+void BM_WaitingProbeReference(benchmark::State& state) {
+  const Workload& w = workload();
+  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  core::PolicySimConfig cfg;
+  cfg.scrub_service = core::make_scrub_service(p);
+  cfg.services = &w.services;
+  cfg.sizer = core::ScrubSizer::fixed(kProbeBytes);
+  for (auto _ : state) {
+    core::WaitingPolicy policy(kProbeThreshold);
+    const auto r = core::run_policy_sim_reference(w.trace, policy, cfg);
+    benchmark::DoNotOptimize(r.scrubbed_bytes);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.trace.size()));
+}
+BENCHMARK(BM_WaitingProbeReference);
+
+void BM_WaitingProbeBatched(benchmark::State& state) {
+  const Workload& w = workload();
+  const auto request = core::make_waiting_grid_request(
+      disk::hitachi_ultrastar_15k450(), kProbeBytes);
+  for (auto _ : state) {
+    const auto r = core::run_waiting_single(w.decomposition, request,
+                                            kProbeThreshold);
+    benchmark::DoNotOptimize(r.scrubbed_bytes);
+  }
+  // Same item metric as the reference probe so it/s ratios read directly
+  // as the per-probe speedup.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.trace.size()));
+}
+BENCHMARK(BM_WaitingProbeBatched);
+
+void BM_WaitingGrid(benchmark::State& state) {
+  const Workload& w = workload();
+  const auto request = core::make_waiting_grid_request(
+      disk::hitachi_ultrastar_15k450(), kProbeBytes);
+  // Log-spaced grid, 1 ms .. ~17 min: the threshold sweep Fig 15 style
+  // studies evaluate.
+  std::vector<SimTime> thresholds;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    thresholds.push_back(kMillisecond << (i % 20));
+  }
+  for (auto _ : state) {
+    const auto rs = core::run_waiting_grid(
+        w.decomposition, request, std::span<const SimTime>(thresholds));
+    benchmark::DoNotOptimize(rs.size());
+  }
+  // One grid pass replaces |thresholds| full replays.
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(w.trace.size()));
+}
+BENCHMARK(BM_WaitingGrid)->Arg(32);
+
+void BM_OptimizeTable3(benchmark::State& state) {
+  const Workload& w = workload();
+  core::OptimizerConfig oc;
+  oc.scrub_service = core::make_scrub_service(disk::hitachi_ultrastar_15k450());
+  oc.services = &w.services;
+  oc.binary_search_iters = 9;
+  core::SlowdownGoal goal;
+  goal.mean = from_seconds(2e-3);
+  for (auto _ : state) {
+    const auto best = core::optimize(w.trace, oc, goal);
+    benchmark::DoNotOptimize(best.scrub_mb_s);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.trace.size()));
+}
+BENCHMARK(BM_OptimizeTable3);
+
+}  // namespace
+}  // namespace pscrub
+
+BENCHMARK_MAIN();

@@ -35,4 +35,12 @@ ScrubServiceFn make_staggered_scrub_service(const disk::DiskProfile& profile,
   };
 }
 
+WaitingGridRequest make_waiting_grid_request(const disk::DiskProfile& profile,
+                                             std::int64_t request_bytes) {
+  WaitingGridRequest request;
+  request.request_bytes = request_bytes;
+  request.request_service = profile.sequential_verify_service(request_bytes);
+  return request;
+}
+
 }  // namespace pscrub::core

@@ -20,4 +20,11 @@ ScrubServiceFn make_scrub_service(const disk::DiskProfile& profile);
 ScrubServiceFn make_staggered_scrub_service(const disk::DiskProfile& profile,
                                             int regions);
 
+/// Fixed-size request stream for the batched Waiting evaluator
+/// (run_waiting_grid / run_waiting_single): `request_bytes` priced by the
+/// profile's sequential VERIFY model, i.e. exactly what
+/// make_scrub_service(profile)(request_bytes) would return.
+WaitingGridRequest make_waiting_grid_request(const disk::DiskProfile& profile,
+                                             std::int64_t request_bytes);
+
 }  // namespace pscrub::core

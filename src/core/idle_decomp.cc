@@ -1,0 +1,105 @@
+#include "core/idle_decomp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <utility>
+
+namespace pscrub::core {
+
+std::int64_t IdleDecomposition::captured_intervals(SimTime threshold) const {
+  const auto first = std::upper_bound(sorted_gaps.begin(), sorted_gaps.end(),
+                                      threshold);
+  return static_cast<std::int64_t>(sorted_gaps.end() - first);
+}
+
+SimTime IdleDecomposition::usable_idle(SimTime threshold) const {
+  const auto first = std::upper_bound(sorted_gaps.begin(), sorted_gaps.end(),
+                                      threshold);
+  const auto k = static_cast<std::size_t>(first - sorted_gaps.begin());
+  const std::int64_t captured =
+      static_cast<std::int64_t>(sorted_gaps.size() - k);
+  if (captured == 0) return 0;
+  const SimTime captured_sum = total_gap_idle() - prefix_gap_sum[k];
+  return captured_sum - threshold * captured;
+}
+
+void IdleDecomposition::finalize() {
+  assert(gaps.size() == segment_records.size());
+  const std::size_t n = gaps.size();
+  sorted_pos.resize(n);
+  std::iota(sorted_pos.begin(), sorted_pos.end(), 0u);
+  // Stable order: by duration, ties by time position, so the candidate
+  // walk (and anything else derived from the sorted view) is a pure
+  // function of the gap stream.
+  std::sort(sorted_pos.begin(), sorted_pos.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              if (gaps[a] != gaps[b]) return gaps[a] < gaps[b];
+              return a < b;
+            });
+  sorted_gaps.resize(n);
+  prefix_gap_sum.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted_gaps[i] = gaps[sorted_pos[i]];
+    // Fixed index order: the prefix sums feed bit-identity contracts, so
+    // they must never be reassociated or accumulated scheduling-ordered.
+    prefix_gap_sum[i + 1] = prefix_gap_sum[i] + sorted_gaps[i];
+  }
+}
+
+IdleDecomposition IdleDecomposition::from_gap_stream(
+    trace::IdleGapStream stream, SimTime duration) {
+  IdleDecomposition out;
+  out.gaps = std::move(stream.gaps);
+  out.segment_records = std::move(stream.segment_records);
+  out.leading_records = stream.leading_records;
+  out.total_records = stream.total_records;
+  out.end_of_activity = stream.end_of_activity;
+  out.duration = duration;
+  out.finalize();
+  return out;
+}
+
+IdleDecomposition IdleDecomposition::from_trace(
+    const trace::Trace& trace, const trace::ServiceModel& model) {
+  trace::IdleAccumulator::Options options;
+  options.capture_gaps = true;
+  trace::IdleAccumulator acc(model, options);
+  for (const trace::TraceRecord& r : trace.records) acc.add(r);
+  return from_gap_stream(acc.take_gap_stream(), trace.duration);
+}
+
+IdleDecomposition IdleDecomposition::from_trace(
+    const trace::Trace& trace, const std::vector<SimTime>& services) {
+  assert(services.size() == trace.records.size());
+  std::size_t next = 0;
+  trace::IdleAccumulator::Options options;
+  options.capture_gaps = true;
+  trace::IdleAccumulator acc(
+      [&services, &next](const trace::TraceRecord&) {
+        return services[next++];
+      },
+      options);
+  for (const trace::TraceRecord& r : trace.records) acc.add(r);
+  return from_gap_stream(acc.take_gap_stream(), trace.duration);
+}
+
+void IdleDecomposition::append(const IdleDecomposition& tail) {
+  // Tail requests that arrive before tail's first gap extend this
+  // decomposition's final busy segment (or its leading one when this has
+  // no gaps yet).
+  if (segment_records.empty()) {
+    leading_records += tail.leading_records;
+  } else {
+    segment_records.back() += tail.leading_records;
+  }
+  gaps.insert(gaps.end(), tail.gaps.begin(), tail.gaps.end());
+  segment_records.insert(segment_records.end(), tail.segment_records.begin(),
+                         tail.segment_records.end());
+  total_records += tail.total_records;
+  end_of_activity = tail.end_of_activity;
+  duration = std::max(duration, tail.duration);
+  finalize();
+}
+
+}  // namespace pscrub::core

@@ -1,0 +1,99 @@
+// Idle-interval decomposition of one trace under one foreground service
+// model: the shared input of the batched Waiting-grid evaluator
+// (core::run_waiting_grid) and the optimizer's threshold probes.
+//
+// Built once per trace in O(records) via trace::IdleAccumulator, the
+// decomposition holds the baseline idle-gap stream twice:
+//
+//   - in time order (gaps / segment_records), which is what replaying a
+//     Waiting policy needs: a scrub request that straddles the next
+//     arrival delays the foreground frontier, and that delay cascades
+//     through the following busy segments until baseline gaps absorb it;
+//
+//   - sorted ascending with prefix sums (sorted_gaps / prefix_gap_sum),
+//     which turns the threshold-independent aggregates into O(log n)
+//     order-statistics queries: how many intervals a threshold captures,
+//     how much scrub-usable idle time they hold, and the shared
+//     total-idle base that per-threshold corrections adjust.
+//
+// Every quantity is integer SimTime, so evaluating a (size, threshold)
+// grid point from the decomposition is bit-identical to replaying the
+// full trace through run_policy_sim_reference (proven by the
+// tests/test_policy_batched.cc differential suite).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/idle.h"
+#include "trace/record.h"
+
+namespace pscrub::core {
+
+struct IdleDecomposition {
+  // --- Time-ordered stream (exact replay state) ---
+  /// Baseline idle gaps (> 0), in time order.
+  std::vector<SimTime> gaps;
+  /// Requests in the busy segment following gaps[i]; a collision overrun
+  /// of d at gap i slows each of them down by exactly d.
+  std::vector<std::int64_t> segment_records;
+  /// Requests before the first gap (never slowed down: no scrub request
+  /// can be in flight before the first idle interval).
+  std::int64_t leading_records = 0;
+  std::int64_t total_records = 0;
+  /// Baseline completion time of the last request.
+  SimTime end_of_activity = 0;
+  /// Observation window (trace.duration); the trailing idle interval is
+  /// max(duration, end_of_activity + final delay) - that frontier.
+  SimTime duration = 0;
+
+  // --- Sorted SoA view (order-statistics / prefix-sum queries) ---
+  /// gaps, sorted ascending.
+  std::vector<SimTime> sorted_gaps;
+  /// prefix_gap_sum[k] = sum of sorted_gaps[0..k); one past-the-end entry
+  /// holds the total. Accumulated in fixed index order (determinism
+  /// contract: no scheduling-ordered float or reassociated reductions).
+  std::vector<SimTime> prefix_gap_sum;
+  /// Time-order position of sorted_gaps[i]: the candidate index used by
+  /// the single-threshold evaluator to visit only captured intervals.
+  std::vector<std::uint32_t> sorted_pos;
+
+  std::int64_t interval_count() const {
+    return static_cast<std::int64_t>(gaps.size());
+  }
+  /// Sum of all baseline gaps (the threshold-independent total_idle base;
+  /// excludes the trailing window).
+  SimTime total_gap_idle() const {
+    return prefix_gap_sum.empty() ? 0 : prefix_gap_sum.back();
+  }
+  /// Number of intervals strictly longer than `threshold` -- the intervals
+  /// Waiting(threshold) fires in when no collision delay is pending.
+  std::int64_t captured_intervals(SimTime threshold) const;
+  /// Scrub-usable idle time at `threshold` before request quantization:
+  /// sum over gaps g > threshold of (g - threshold). O(log n) from the
+  /// prefix sums. Monotone non-increasing in the threshold.
+  SimTime usable_idle(SimTime threshold) const;
+
+  /// (Re)builds the sorted view from the time-ordered stream.
+  void finalize();
+
+  /// Adopts an exact gap stream (trace::IdleAccumulator with capture_gaps).
+  static IdleDecomposition from_gap_stream(trace::IdleGapStream stream,
+                                           SimTime duration);
+  /// One-pass extraction; `model` is evaluated once per record.
+  static IdleDecomposition from_trace(const trace::Trace& trace,
+                                      const trace::ServiceModel& model);
+  /// Extraction against precomputed per-record service times (see
+  /// core::precompute_services); the optimizer's path.
+  static IdleDecomposition from_trace(const trace::Trace& trace,
+                                      const std::vector<SimTime>& services);
+
+  /// Appends the decomposition of a later slice of the same timeline.
+  /// `tail` must have been extracted with IdleAccumulator::Options::
+  /// busy_until == this->end_of_activity, so the bridging gap (if any) is
+  /// already tail's first gap. Decomposing a whole trace equals
+  /// decomposing its slices and appending them in order.
+  void append(const IdleDecomposition& tail);
+};
+
+}  // namespace pscrub::core

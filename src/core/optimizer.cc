@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "exp/sweep.h"
+#include "obs/trace_event.h"
 
 namespace pscrub::core {
 
@@ -22,17 +23,51 @@ std::vector<std::int64_t> default_size_grid() {
 
 namespace {
 
-PolicySimResult evaluate(const trace::Trace& trace,
-                         const OptimizerConfig& config,
-                         std::int64_t request_bytes, SimTime threshold) {
-  WaitingPolicy policy(threshold);
-  PolicySimConfig sim;
-  sim.foreground_service = config.foreground_service;
-  sim.scrub_service = config.scrub_service;
-  sim.services = config.services;
-  sim.sizer = ScrubSizer::fixed(request_bytes);
-  return run_policy_sim(trace, policy, sim);
-}
+/// One probe of the threshold search. The decomposition path is
+/// bit-identical to the reference replay (tests/test_policy_batched.cc);
+/// the reference is kept for tracer runs, which want the per-interval
+/// decision instants only the full replay emits.
+class ProbeEvaluator {
+ public:
+  ProbeEvaluator(const trace::Trace& trace, const OptimizerConfig& config,
+                 std::int64_t request_bytes)
+      : trace_(trace), config_(config), use_reference_(
+            obs::Tracer::global().enabled()) {
+    request_.request_bytes = request_bytes;
+    request_.request_service = config.scrub_service(request_bytes);
+    if (use_reference_) return;
+    if (config.decomposition != nullptr) {
+      decomp_ = config.decomposition;
+    } else if (config.services != nullptr) {
+      owned_ = IdleDecomposition::from_trace(trace, *config.services);
+      decomp_ = &owned_;
+    } else {
+      owned_ = IdleDecomposition::from_trace(trace, config.foreground_service);
+      decomp_ = &owned_;
+    }
+  }
+
+  PolicySimResult operator()(SimTime threshold) const {
+    if (!use_reference_) {
+      return run_waiting_single(*decomp_, request_, threshold);
+    }
+    WaitingPolicy policy(threshold);
+    PolicySimConfig sim;
+    sim.foreground_service = config_.foreground_service;
+    sim.scrub_service = config_.scrub_service;
+    sim.services = config_.services;
+    sim.sizer = ScrubSizer::fixed(request_.request_bytes);
+    return run_policy_sim_reference(trace_, policy, sim);
+  }
+
+ private:
+  const trace::Trace& trace_;
+  const OptimizerConfig& config_;
+  WaitingGridRequest request_;
+  const IdleDecomposition* decomp_ = nullptr;
+  IdleDecomposition owned_;
+  bool use_reference_ = false;
+};
 
 }  // namespace
 
@@ -40,6 +75,7 @@ SizeThresholdChoice tune_threshold_for_size(const trace::Trace& trace,
                                             const OptimizerConfig& config,
                                             std::int64_t request_bytes,
                                             SimTime goal_mean) {
+  const ProbeEvaluator evaluate(trace, config, request_bytes);
   // Binary search in log-threshold space: mean slowdown is monotonically
   // non-increasing in the threshold (larger thresholds capture fewer,
   // longer intervals -> fewer collisions).
@@ -53,8 +89,7 @@ SizeThresholdChoice tune_threshold_for_size(const trace::Trace& trace,
 
   // Quick feasibility probe at the largest threshold.
   {
-    const PolicySimResult r =
-        evaluate(trace, config, request_bytes, config.max_threshold);
+    const PolicySimResult r = evaluate(config.max_threshold);
     if (r.mean_slowdown_ms > goal_ms) {
       best.scrub_mb_s = 0.0;
       best.achieved_mean_slowdown_ms = r.mean_slowdown_ms;
@@ -69,7 +104,7 @@ SizeThresholdChoice tune_threshold_for_size(const trace::Trace& trace,
   for (int i = 0; i < config.binary_search_iters; ++i) {
     const double mid = (lo + hi) / 2.0;
     const auto threshold = static_cast<SimTime>(std::exp(mid));
-    const PolicySimResult r = evaluate(trace, config, request_bytes, threshold);
+    const PolicySimResult r = evaluate(threshold);
     if (r.mean_slowdown_ms <= goal_ms) {
       // Feasible: remember it and push toward smaller thresholds (more
       // captured idle time, more throughput).
@@ -103,6 +138,15 @@ SizeThresholdChoice optimize(const trace::Trace& trace,
   if (cfg.services == nullptr) {
     precomputed = precompute_services(trace, cfg.foreground_service);
     cfg.services = &precomputed;
+  }
+
+  // One idle-interval extraction serves every (size, threshold) probe: the
+  // decomposition depends only on the trace and the foreground service
+  // model, never on the scrub parameters being searched.
+  IdleDecomposition decomposition;
+  if (cfg.decomposition == nullptr) {
+    decomposition = IdleDecomposition::from_trace(trace, *cfg.services);
+    cfg.decomposition = &decomposition;
   }
 
   // The maximum tolerable slowdown bounds the request size through its

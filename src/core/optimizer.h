@@ -32,11 +32,19 @@ struct SizeThresholdChoice {
 
 struct OptimizerConfig {
   trace::ServiceModel foreground_service;
+  /// Scrub request service model. Must be a pure function of the size
+  /// (every cost_model.h factory is): the probes evaluate it once per
+  /// candidate size and feed the batched evaluator that constant.
   ScrubServiceFn scrub_service;
   /// Optional precomputed per-record service times (see
   /// core::precompute_services); strongly recommended -- the optimizer
   /// runs hundreds of sweeps over the same trace.
   const std::vector<SimTime>* services = nullptr;
+  /// Optional idle decomposition of (trace, services) precomputed via
+  /// IdleDecomposition::from_trace; lets callers running several
+  /// optimize() calls on one trace (e.g. one per slowdown goal) share the
+  /// single O(records) extraction. Built internally when null.
+  const IdleDecomposition* decomposition = nullptr;
   /// Candidate request sizes; defaults to 64 KB..4 MB in 64 KB-aligned
   /// steps (coarse-to-fine grid).
   std::vector<std::int64_t> candidate_sizes;
@@ -53,7 +61,13 @@ std::vector<std::int64_t> default_size_grid();
 
 /// Smallest Waiting threshold whose mean slowdown meets `goal_mean` for a
 /// fixed request size (binary search; returns max_threshold when even that
-/// fails to meet the goal).
+/// fails to meet the goal). Each probe is an O(intervals) batched
+/// evaluation against the idle decomposition (config.decomposition, or a
+/// fresh extraction when null) -- bit-identical to the reference replay
+/// the probes used to run, which remains available as
+/// run_policy_sim_reference and is what the probes fall back to while the
+/// obs tracer is recording (the reference path emits the per-interval
+/// decision instants).
 SizeThresholdChoice tune_threshold_for_size(const trace::Trace& trace,
                                             const OptimizerConfig& config,
                                             std::int64_t request_bytes,

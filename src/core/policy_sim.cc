@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
 
 #include "obs/registry.h"
 #include "obs/trace_event.h"
@@ -35,10 +36,32 @@ class NeverPolicy final : public IdlePolicy {
   const char* name() const override { return "never"; }
 };
 
+/// Derives the double-valued summary stats from the integer accumulators.
+/// Shared by the reference replay and the batched evaluator so the two
+/// paths perform the exact same floating-point operations on the exact
+/// same integer operands -- the bit-identity contract extends to doubles.
+void finish_stats(PolicySimResult& out, SimTime window_end) {
+  if (out.foreground_requests > 0) {
+    out.collision_rate = static_cast<double>(out.collisions) /
+                         static_cast<double>(out.foreground_requests);
+    out.mean_slowdown_ms = to_milliseconds(out.slowdown_sum) /
+                           static_cast<double>(out.foreground_requests);
+  }
+  if (out.total_idle > 0) {
+    out.idle_utilization = static_cast<double>(out.idle_utilized) /
+                           static_cast<double>(out.total_idle);
+  }
+  if (window_end > 0) {
+    out.scrub_mb_s = static_cast<double>(out.scrubbed_bytes) / 1e6 /
+                     to_seconds(window_end);
+  }
+}
+
 }  // namespace
 
-PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
-                               const PolicySimConfig& config) {
+PolicySimResult run_policy_sim_reference(const trace::Trace& trace,
+                                         IdlePolicy& policy,
+                                         const PolicySimConfig& config) {
   PolicySimResult out;
   out.foreground_requests = static_cast<std::int64_t>(trace.records.size());
   if (config.keep_response_samples) {
@@ -275,21 +298,236 @@ PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
                   static_cast<double>(out.scrubbed_bytes) / 1e6);
   }
 
-  if (out.foreground_requests > 0) {
-    out.collision_rate = static_cast<double>(out.collisions) /
-                         static_cast<double>(out.foreground_requests);
-    out.mean_slowdown_ms = to_milliseconds(out.slowdown_sum) /
-                           static_cast<double>(out.foreground_requests);
+  finish_stats(out, window_end);
+  return out;
+}
+
+PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
+                               const PolicySimConfig& config) {
+  return run_policy_sim_reference(trace, policy, config);
+}
+
+namespace {
+
+/// Per-threshold running state of the batched Waiting walk. `delay` is the
+/// with-scrub frontier minus the baseline frontier: a collision overrun
+/// sets it, swallowed baseline gaps drain it, and every request in a
+/// segment downstream of a gap that left delay d is slowed by exactly d.
+struct WaitingLane {
+  SimTime threshold = 0;
+  SimTime delay = 0;
+  /// Baseline idle the carried delay consumed (total_idle = gap sum minus
+  /// this, plus the trailing window).
+  SimTime idle_lost = 0;
+  std::int64_t collisions = 0;
+  std::int64_t scrub_requests = 0;
+  std::int64_t scrubbed_bytes = 0;
+  SimTime idle_utilized = 0;
+  SimTime slowdown_sum = 0;
+  SimTime slowdown_max = 0;
+};
+
+/// Fires Waiting(lane.threshold) into an effective idle window of length
+/// `effective` (> threshold) that ends in an arrival, mirroring the
+/// reference's stable-sizer batch: full requests, then one straddling
+/// request iff the window does not divide evenly -- that collision's
+/// overrun becomes the lane's carried delay.
+inline void fire_into_gap(WaitingLane& lane, SimTime effective,
+                          std::int64_t segment_records, SimTime dur,
+                          std::int64_t bytes) {
+  const SimTime span = effective - lane.threshold;
+  const std::int64_t full = span / dur;
+  const SimTime rem = span - full * dur;
+  lane.scrub_requests += full;
+  lane.scrubbed_bytes += full * bytes;
+  lane.idle_utilized += full * dur;
+  if (rem > 0) {
+    ++lane.scrub_requests;
+    lane.scrubbed_bytes += bytes;
+    lane.idle_utilized += rem;
+    ++lane.collisions;
+    lane.delay = dur - rem;
+    lane.slowdown_sum += lane.delay * segment_records;
+    lane.slowdown_max = std::max(lane.slowdown_max, lane.delay);
+  } else {
+    lane.delay = 0;
   }
-  if (out.total_idle > 0) {
-    out.idle_utilization = static_cast<double>(out.idle_utilized) /
-                           static_cast<double>(out.total_idle);
+}
+
+/// Advances one lane across one baseline gap (the per-interval step of
+/// the reference replay, collapsed to O(1)).
+inline void step_gap(WaitingLane& lane, SimTime gap,
+                     std::int64_t segment_records, SimTime dur,
+                     std::int64_t bytes) {
+  if (lane.delay == 0) {
+    // No carried delay: the effective idle equals the baseline gap, and
+    // gaps at or below the threshold are complete no-ops (the prefix-sum
+    // base already accounts for their idle time).
+    if (lane.threshold < gap && dur > 0) {
+      fire_into_gap(lane, gap, segment_records, dur, bytes);
+    }
+    return;
   }
-  if (window_end > 0) {
-    out.scrub_mb_s = static_cast<double>(out.scrubbed_bytes) / 1e6 /
-                     to_seconds(window_end);
+  const SimTime effective = gap - lane.delay;
+  if (effective > 0) {
+    lane.idle_lost += lane.delay;
+    if (lane.threshold < effective && dur > 0) {
+      fire_into_gap(lane, effective, segment_records, dur, bytes);
+    } else {
+      lane.delay = 0;
+    }
+  } else {
+    // Gap swallowed whole: the delay cascades into the next segment.
+    lane.idle_lost += gap;
+    lane.delay -= gap;
+    lane.slowdown_sum += lane.delay * segment_records;
+    lane.slowdown_max = std::max(lane.slowdown_max, lane.delay);
+  }
+}
+
+/// The trailing idle window (after the last request, through the end of
+/// the observation window) plus the final double-valued stats.
+PolicySimResult finish_lane(const WaitingLane& lane,
+                            const IdleDecomposition& decomp, SimTime dur,
+                            std::int64_t bytes) {
+  PolicySimResult out;
+  out.foreground_requests = decomp.total_records;
+  out.collisions = lane.collisions;
+  out.scrub_requests = lane.scrub_requests;
+  out.scrubbed_bytes = lane.scrubbed_bytes;
+  out.idle_utilized = lane.idle_utilized;
+  out.total_idle = decomp.total_gap_idle() - lane.idle_lost;
+  out.slowdown_sum = lane.slowdown_sum;
+  out.slowdown_max = lane.slowdown_max;
+
+  const SimTime busy_end = decomp.end_of_activity + lane.delay;
+  const SimTime window_end = std::max(decomp.duration, busy_end);
+  if (window_end > busy_end) {
+    const SimTime idle = window_end - busy_end;
+    out.total_idle += idle;
+    if (lane.threshold < idle && dur > 0) {
+      const std::int64_t n = (idle - lane.threshold) / dur;
+      out.scrub_requests += n;
+      out.scrubbed_bytes += n * bytes;
+      out.idle_utilized += n * dur;
+    }
+  }
+  finish_stats(out, window_end);
+  return out;
+}
+
+}  // namespace
+
+std::vector<PolicySimResult> run_waiting_grid(
+    const IdleDecomposition& decomp, const WaitingGridRequest& request,
+    std::span<const SimTime> thresholds) {
+  const SimTime dur = request.request_service;
+  const std::int64_t bytes = request.request_bytes;
+  const std::size_t m = thresholds.size();
+
+  // Lanes sorted ascending by threshold (stable, so duplicate thresholds
+  // keep input order); `order[i]` maps lane i back to its input slot.
+  std::vector<std::uint32_t> order(m);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&thresholds](std::uint32_t a, std::uint32_t b) {
+                     return thresholds[a] < thresholds[b];
+                   });
+  std::vector<WaitingLane> lanes(m);
+  std::vector<SimTime> sorted_thresholds(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    lanes[i].threshold = thresholds[order[i]];
+    sorted_thresholds[i] = lanes[i].threshold;
+  }
+
+  // One pass over the time-ordered gap stream. Per gap, only two groups
+  // of lanes do work: the sorted prefix of zero-delay lanes whose
+  // threshold the gap exceeds (they fire), and the (typically tiny) set
+  // of lanes still draining a collision overrun. Everything else is a
+  // no-op, which is what makes the batched pass cheap.
+  std::vector<std::uint32_t> delayed;
+  std::vector<std::int64_t> stepped(m, -1);
+  const std::size_t n = decomp.gaps.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    const SimTime gap = decomp.gaps[j];
+    const std::int64_t seg = decomp.segment_records[j];
+    const auto jj = static_cast<std::int64_t>(j);
+
+    std::size_t keep = 0;
+    for (const std::uint32_t idx : delayed) {
+      WaitingLane& lane = lanes[idx];
+      stepped[idx] = jj;
+      step_gap(lane, gap, seg, dur, bytes);
+      if (lane.delay > 0) delayed[keep++] = idx;
+    }
+    delayed.resize(keep);
+
+    const auto fire_end = static_cast<std::size_t>(
+        std::lower_bound(sorted_thresholds.begin(), sorted_thresholds.end(),
+                         gap) -
+        sorted_thresholds.begin());
+    for (std::size_t i = 0; i < fire_end; ++i) {
+      if (stepped[i] == jj) continue;  // already advanced as a delayed lane
+      WaitingLane& lane = lanes[i];
+      step_gap(lane, gap, seg, dur, bytes);
+      if (lane.delay > 0) delayed.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  std::vector<PolicySimResult> out(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    out[order[i]] = finish_lane(lanes[i], decomp, dur, bytes);
   }
   return out;
+}
+
+PolicySimResult run_waiting_single(const IdleDecomposition& decomp,
+                                   const WaitingGridRequest& request,
+                                   SimTime threshold) {
+  const SimTime dur = request.request_service;
+  const std::int64_t bytes = request.request_bytes;
+  WaitingLane lane;
+  lane.threshold = threshold;
+  const std::size_t n = decomp.gaps.size();
+
+  // Only intervals longer than the threshold can start a burst; while no
+  // delay is pending every other interval is a no-op. When the captured
+  // set is small, visit just those intervals (in time order, via the
+  // sorted index) and walk the in-between gaps only while a collision
+  // overrun is draining. Near-zero thresholds capture almost everything,
+  // so fall back to the plain linear walk there.
+  const std::int64_t captured = dur > 0 ? decomp.captured_intervals(threshold)
+                                        : 0;
+  const bool sparse = dur > 0 && captured < static_cast<std::int64_t>(n / 4);
+  if (!sparse) {
+    for (std::size_t j = 0; j < n; ++j) {
+      step_gap(lane, decomp.gaps[j], decomp.segment_records[j], dur, bytes);
+    }
+    return finish_lane(lane, decomp, dur, bytes);
+  }
+
+  // Candidate positions = the top `captured` entries of the sorted index,
+  // restored to time order.
+  std::vector<std::uint32_t> candidates(
+      decomp.sorted_pos.end() - captured, decomp.sorted_pos.end());
+  std::sort(candidates.begin(), candidates.end());
+
+  std::size_t chain = n;  // next gap to drain while delay > 0
+  for (const std::uint32_t pos : candidates) {
+    while (lane.delay > 0 && chain < pos) {
+      step_gap(lane, decomp.gaps[chain], decomp.segment_records[chain], dur,
+               bytes);
+      ++chain;
+    }
+    step_gap(lane, decomp.gaps[pos], decomp.segment_records[pos], dur, bytes);
+    if (lane.delay > 0) chain = pos + 1;
+  }
+  while (lane.delay > 0 && chain < n) {
+    step_gap(lane, decomp.gaps[chain], decomp.segment_records[chain], dur,
+             bytes);
+    ++chain;
+  }
+  return finish_lane(lane, decomp, dur, bytes);
 }
 
 std::vector<SimTime> precompute_services(const trace::Trace& trace,

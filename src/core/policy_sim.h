@@ -18,9 +18,11 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/idle_decomp.h"
 #include "core/idle_policy.h"
 #include "core/scrub_sizer.h"
 #include "obs/timeline.h"
@@ -86,6 +88,18 @@ struct PolicySimResult {
   void export_to(obs::Registry& registry, const std::string& prefix) const;
 };
 
+/// The reference implementation: a full O(records) replay of the trace.
+/// Handles every policy/sizer combination, response samples, timelines,
+/// and tracer emission. It is also the oracle the batched evaluator below
+/// is differential-tested against (tests/test_policy_batched.cc).
+PolicySimResult run_policy_sim_reference(const trace::Trace& trace,
+                                         IdlePolicy& policy,
+                                         const PolicySimConfig& config);
+
+/// General entry point; currently forwards to the reference replay.
+/// Waiting-policy grids over a fixed request size should go through the
+/// decomposition path (run_waiting_grid / run_waiting_single), which is
+/// bit-identical and O(intervals) per grid point instead of O(records).
 PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
                                const PolicySimConfig& config);
 
@@ -93,5 +107,34 @@ PolicySimResult run_policy_sim(const trace::Trace& trace, IdlePolicy& policy,
 PolicySimResult run_baseline(const trace::Trace& trace,
                              const trace::ServiceModel& foreground_service,
                              bool keep_response_samples = false);
+
+/// One fixed-size scrub request stream for the batched Waiting evaluator.
+/// `request_service` must equal scrub_service(request_bytes) of the
+/// reference configuration being reproduced; the scrub service model must
+/// be a pure function of the size (every cost_model.h factory is).
+struct WaitingGridRequest {
+  std::int64_t request_bytes = 64 * 1024;
+  SimTime request_service = 0;
+};
+
+/// Batched evaluator: every threshold in one pass over the decomposition.
+/// Result i is bit-identical to run_policy_sim_reference with
+/// WaitingPolicy(thresholds[i]) and ScrubSizer::fixed(request_bytes) in a
+/// plain configuration (no response samples, timeline, or tracer).
+/// Thresholds need not be sorted; results come back in input order. Cost
+/// is O(intervals * active thresholds): intervals shorter than a
+/// threshold cost that threshold nothing (the prefix-sum base covers
+/// them), so sorted thresholds each only touch the intervals they fire
+/// in, plus any interval a collision overrun cascades into.
+std::vector<PolicySimResult> run_waiting_grid(
+    const IdleDecomposition& decomp, const WaitingGridRequest& request,
+    std::span<const SimTime> thresholds);
+
+/// Single-threshold form of run_waiting_grid. When the threshold captures
+/// few intervals, only those intervals (plus collision cascades) are
+/// visited via the decomposition's sorted index.
+PolicySimResult run_waiting_single(const IdleDecomposition& decomp,
+                                   const WaitingGridRequest& request,
+                                   SimTime threshold);
 
 }  // namespace pscrub::core

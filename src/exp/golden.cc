@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "core/cost_model.h"
+#include "core/idle_decomp.h"
+#include "core/idle_policy.h"
 #include "core/optimizer.h"
 #include "exp/scenario.h"
 #include "obs/registry.h"
@@ -49,6 +51,24 @@ void append_metrics(std::string& out, const obs::Registry& registry) {
   out += "-- metrics --\n";
   out += registry.to_json();
   out += "\n";
+}
+
+/// Bitwise equality across every PolicySimResult summary field -- the
+/// batched evaluator's contract is exact reproduction, so the golden
+/// cross-check tolerates zero ULPs.
+bool results_identical(const core::PolicySimResult& a,
+                       const core::PolicySimResult& b) {
+  return a.foreground_requests == b.foreground_requests &&
+         a.collisions == b.collisions && a.total_idle == b.total_idle &&
+         a.idle_utilized == b.idle_utilized &&
+         a.scrub_requests == b.scrub_requests &&
+         a.scrubbed_bytes == b.scrubbed_bytes &&
+         a.slowdown_sum == b.slowdown_sum &&
+         a.slowdown_max == b.slowdown_max &&
+         a.collision_rate == b.collision_rate &&
+         a.idle_utilization == b.idle_utilization &&
+         a.scrub_mb_s == b.scrub_mb_s &&
+         a.mean_slowdown_ms == b.mean_slowdown_ms;
 }
 
 }  // namespace
@@ -230,6 +250,86 @@ std::string golden_table3_report(const GoldenOptions& options) {
   appendf(out, "%-8s %14.3f %10.2f %10s %10s\n", "CFQ",
           cfq[0].mean_slowdown_ms, cfq[0].scrub_mb_s, "10ms", "64");
 
+  append_metrics(out, registry);
+  return out;
+}
+
+std::string golden_waiting_grid_report(const GoldenOptions& options) {
+  const trace::Trace t = mini_trace("MSRusr1", 20'000);
+  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  const std::vector<SimTime> services =
+      core::precompute_services(t, core::make_foreground_service(p));
+  const core::IdleDecomposition decomp =
+      core::IdleDecomposition::from_trace(t, services);
+
+  std::vector<SimTime> thresholds = {kMillisecond, 10 * kMillisecond,
+                                     100 * kMillisecond, kSecond};
+  // Edge case the fixture pins forever: a threshold exactly equal to an
+  // idle duration (the `wait < idle` firing gate is strict, so this
+  // interval must NOT be captured).
+  thresholds.push_back(decomp.sorted_gaps[decomp.sorted_gaps.size() / 2]);
+  const std::vector<std::int64_t> sizes = {64 * 1024, 1024 * 1024};
+
+  // The same grid cells routed through exp::run_policy_scenarios: plain
+  // Waiting + fixed sizer takes the batched scenario fast path, and the
+  // fan-out at options.workers exercises the sweep bit-identity contract.
+  std::vector<PolicySimScenario> scenarios;
+  for (std::int64_t size : sizes) {
+    for (SimTime th : thresholds) {
+      PolicySimScenario s;
+      char label[64];
+      std::snprintf(label, sizeof(label), "golden.wgrid.%lldK.t%lldus",
+                    static_cast<long long>(size / 1024),
+                    static_cast<long long>(th / kMicrosecond));
+      s.label = label;
+      s.trace = &t;
+      s.services = &services;
+      s.policy.kind = PolicyKind::kWaiting;
+      s.policy.threshold = th;
+      s.sizer = core::ScrubSizer::fixed(size);
+      scenarios.push_back(std::move(s));
+    }
+  }
+  obs::Registry registry;
+  SweepOptions sweep_options;
+  sweep_options.workers = options.workers;
+  sweep_options.merge_into = &registry;
+  const auto scen = run_policy_scenarios(scenarios, sweep_options);
+
+  std::string out =
+      "golden waiting-grid: batched Waiting evaluator on MSRusr1 (thinned)\n";
+  appendf(out, "%zu requests, %lld idle intervals\n", t.size(),
+          static_cast<long long>(decomp.interval_count()));
+  appendf(out, "%-8s %12s %8s %12s %14s %10s\n", "size", "thresh us",
+          "colls", "idle util", "mean sldn ms", "MB/s");
+  int mismatches = 0;
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    const std::int64_t size = sizes[si];
+    const core::WaitingGridRequest request =
+        core::make_waiting_grid_request(p, size);
+    const auto grid = core::run_waiting_grid(
+        decomp, request, std::span<const SimTime>(thresholds));
+    core::PolicySimConfig sim_cfg;
+    sim_cfg.scrub_service = core::make_scrub_service(p);
+    sim_cfg.services = &services;
+    sim_cfg.sizer = core::ScrubSizer::fixed(size);
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+      core::WaitingPolicy policy(thresholds[i]);
+      const core::PolicySimResult ref =
+          core::run_policy_sim_reference(t, policy, sim_cfg);
+      if (!results_identical(ref, grid[i])) ++mismatches;
+      if (!results_identical(ref, scen[si * thresholds.size() + i]))
+        ++mismatches;
+      appendf(out, "%-8lld %12lld %8lld %12.6f %14.4f %10.2f\n",
+              static_cast<long long>(size / 1024),
+              static_cast<long long>(thresholds[i] / kMicrosecond),
+              static_cast<long long>(grid[i].collisions),
+              grid[i].idle_utilization, grid[i].mean_slowdown_ms,
+              grid[i].scrub_mb_s);
+    }
+  }
+  appendf(out, "cross-check vs reference replay + scenario path: %d %s\n",
+          mismatches, mismatches == 1 ? "mismatch" : "mismatches");
   append_metrics(out, registry);
   return out;
 }

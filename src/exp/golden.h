@@ -41,4 +41,11 @@ std::string golden_fig14_report(const GoldenOptions& options = {});
 /// reference on a thinned MSRusr1 trace.
 std::string golden_table3_report(const GoldenOptions& options = {});
 
+/// Batched Waiting-policy grid (core::run_waiting_grid) over a thinned
+/// MSRusr1 trace: request sizes x wait thresholds evaluated from one
+/// core::IdleDecomposition, cross-checked in-report against the reference
+/// replay (any divergence is rendered into the output and trips the
+/// fixture). Pins the decomposition's prefix-sum bookkeeping byte-for-byte.
+std::string golden_waiting_grid_report(const GoldenOptions& options = {});
+
 }  // namespace pscrub::exp

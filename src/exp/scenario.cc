@@ -9,6 +9,8 @@
 #include "block/deadline_scheduler.h"
 #include "block/noop_scheduler.h"
 #include "core/cost_model.h"
+#include "core/idle_decomp.h"
+#include "obs/trace_event.h"
 #include "disk/geometry.h"
 #include "fault/fault_plan.h"
 #include "raid/layout.h"
@@ -699,6 +701,30 @@ core::PolicySimResult run_policy_scenario(const PolicySimScenario& scenario,
   config.keep_response_samples = scenario.keep_response_samples;
   if (timeline != nullptr && timeline->enabled() && !scenario.label.empty()) {
     config.timeline = {timeline, scenario.label};
+  }
+  // Plain Waiting scenarios with a fixed request size take the batched
+  // decomposition path: one O(records) idle extraction, then an
+  // O(intervals) evaluation -- bit-identical to the reference replay
+  // (tests/test_policy_batched.cc). Anything the decomposition cannot
+  // express (other policies, growing sizers, response samples, timeline
+  // series, tracer instants) replays the trace through the reference.
+  const bool batchable =
+      scenario.policy.kind == PolicyKind::kWaiting &&
+      scenario.sizer.kind() == core::ScrubSizer::Kind::kFixed &&
+      !scenario.keep_response_samples && !config.timeline.enabled() &&
+      !obs::Tracer::global().enabled();
+  if (batchable) {
+    core::WaitingGridRequest request;
+    request.request_bytes = scenario.sizer.start_bytes();
+    request.request_service = config.scrub_service(request.request_bytes);
+    const core::IdleDecomposition decomp =
+        config.services != nullptr
+            ? core::IdleDecomposition::from_trace(*scenario.trace,
+                                                  *config.services)
+            : core::IdleDecomposition::from_trace(*scenario.trace,
+                                                  config.foreground_service);
+    return core::run_waiting_single(decomp, request,
+                                    scenario.policy.threshold);
   }
   std::unique_ptr<core::IdlePolicy> policy = scenario.policy.build();
   return core::run_policy_sim(*scenario.trace, *policy, config);

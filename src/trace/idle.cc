@@ -10,6 +10,18 @@ void IdleAccumulator::add(const TraceRecord& r) {
     const SimTime idle = r.arrival - busy_until_;
     out_.idle_seconds.push_back(to_seconds(idle));
     out_.total_idle += idle;
+    if (capture_gaps_) {
+      stream_.gaps.push_back(idle);
+      stream_.segment_records.push_back(0);
+    }
+  }
+  if (capture_gaps_) {
+    ++stream_.total_records;
+    if (stream_.segment_records.empty()) {
+      ++stream_.leading_records;
+    } else {
+      ++stream_.segment_records.back();
+    }
   }
   const SimTime start = std::max(r.arrival, busy_until_);
   const SimTime svc = service_(r);
@@ -20,6 +32,11 @@ void IdleAccumulator::add(const TraceRecord& r) {
 IdleExtraction IdleAccumulator::finish() {
   out_.end_of_activity = busy_until_;
   return std::move(out_);
+}
+
+IdleGapStream IdleAccumulator::take_gap_stream() {
+  stream_.end_of_activity = busy_until_;
+  return std::move(stream_);
 }
 
 IdleExtraction extract_idle_intervals(const Trace& trace,

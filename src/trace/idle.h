@@ -7,6 +7,7 @@
 // a burst produce no idle time.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -26,6 +27,25 @@ struct IdleExtraction {
   SimTime end_of_activity = 0;
 };
 
+/// Exact idle decomposition of a trace under one service model: the same
+/// single-server sweep as IdleExtraction, but kept in integer SimTime and
+/// annotated with how many requests each busy segment holds. This is the
+/// raw input of core::IdleDecomposition -- everything the batched Waiting
+/// grid evaluator needs to reproduce run_policy_sim_reference bit for bit
+/// without re-walking the records.
+struct IdleGapStream {
+  /// Baseline idle-gap durations (> 0), in time order.
+  std::vector<SimTime> gaps;
+  /// Requests in the busy segment that follows gaps[i] (up to, not
+  /// including, the request that opens gap i+1). Always >= 1.
+  std::vector<std::int64_t> segment_records;
+  /// Requests before the first gap (the leading busy segment).
+  std::int64_t leading_records = 0;
+  std::int64_t total_records = 0;
+  /// Completion time of the last request (== IdleExtraction's).
+  SimTime end_of_activity = 0;
+};
+
 /// Streaming form of the extraction: feed records in arrival order (e.g.
 /// straight from SyntheticGenerator::generate) without materializing a
 /// trace. extract_idle_intervals() is the materialized-trace adapter over
@@ -33,18 +53,37 @@ struct IdleExtraction {
 /// single-server idle sweep.
 class IdleAccumulator {
  public:
+  struct Options {
+    /// Also capture the exact IdleGapStream (take_gap_stream()). Off by
+    /// default: the heavy streaming analyses only need idle_seconds.
+    bool capture_gaps = false;
+    /// Initial busy frontier. Non-zero decomposes a later slice of a
+    /// timeline whose earlier slice completed at this instant, so slice
+    /// decompositions can be merged (core::IdleDecomposition::append).
+    SimTime busy_until = 0;
+  };
+
   explicit IdleAccumulator(ServiceModel service)
-      : service_(std::move(service)) {}
+      : IdleAccumulator(std::move(service), Options{}) {}
+  IdleAccumulator(ServiceModel service, const Options& options)
+      : service_(std::move(service)), capture_gaps_(options.capture_gaps),
+        busy_until_(options.busy_until) {}
 
   void add(const TraceRecord& r);
 
   /// Finalizes end_of_activity and returns the extraction; the accumulator
-  /// is spent afterwards.
+  /// is spent afterwards (take_gap_stream() remains valid).
   IdleExtraction finish();
+
+  /// The exact gap stream (Options::capture_gaps only); call at most once,
+  /// after the last add().
+  IdleGapStream take_gap_stream();
 
  private:
   ServiceModel service_;
   IdleExtraction out_;
+  IdleGapStream stream_;
+  bool capture_gaps_ = false;
   SimTime busy_until_ = 0;
 };
 

@@ -1,0 +1,25 @@
+// Lint fixture: exactly ONE float-accum diagnostic, in prefix-sum shape.
+// The tempting "vectorize the decomposition's prefix sums" rewrite uses
+// std::reduce over the per-interval weights; std::reduce may reassociate
+// the floating-point sum in unspecified order, so the prefix totals would
+// stop being bit-identical across runs (the IdleDecomposition determinism
+// contract, DESIGN.md). The fixed-index-order loop below it is the
+// sanctioned form and must stay clean.
+#include <numeric>
+#include <vector>
+
+namespace fixture {
+
+double usable_idle_total(const std::vector<double>& interval_seconds) {
+  return std::reduce(interval_seconds.begin(), interval_seconds.end());
+}
+
+std::vector<double> prefix_sums(const std::vector<double>& interval_seconds) {
+  std::vector<double> prefix(interval_seconds.size() + 1, 0.0);
+  for (std::size_t i = 0; i < interval_seconds.size(); ++i) {
+    prefix[i + 1] = prefix[i] + interval_seconds[i];
+  }
+  return prefix;
+}
+
+}  // namespace fixture

@@ -75,6 +75,12 @@ TEST(LintFixtures, FloatAccumFiresExactlyOnce) {
   expect_single_diagnostic("float_accum.cc", "float-accum");
 }
 
+TEST(LintFixtures, FloatAccumPrefixSumFiresExactlyOnce) {
+  // The prefix-sum shape specifically: a std::reduce total must fire, the
+  // fixed-index-order prefix loop next to it must stay clean.
+  expect_single_diagnostic("float_accum_prefix_sum.cc", "float-accum");
+}
+
 TEST(LintFixtures, ExceptionSwallowFiresExactlyOnce) {
   expect_single_diagnostic("exception_swallow.cc", "exception-swallow");
 }

@@ -1,0 +1,407 @@
+// Differential suite for the batched Waiting evaluator.
+//
+// The decomposition path (core::run_waiting_grid / run_waiting_single)
+// promises *bit-identical* results to the full-replay oracle
+// run_policy_sim_reference -- every integer field and every derived
+// double, not "close enough". This suite enforces that promise three
+// ways:
+//
+//   1. Differential fuzz: >= 50 seeded random traces across adversarial
+//      shapes (bursty, sparse, heavy-tailed, regular, empty,
+//      single-interval, all-idle), each evaluated over a threshold grid
+//      that always includes thresholds exactly equal to idle durations
+//      (the strict `wait < idle` gate's worst case), zero, and a
+//      threshold beyond every interval.
+//   2. Sweep fan-out: the same comparisons routed through
+//      exp::run_policy_scenarios at 1, 4, and 8 workers (the scenario
+//      fast path + the exp::sweep bit-identity contract).
+//   3. IdleDecomposition properties: prefix sums against a naive O(n^2)
+//      recomputation, monotonicity of usable_idle, and the
+//      slice-and-append merge law.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/idle_decomp.h"
+#include "core/idle_policy.h"
+#include "core/policy_sim.h"
+#include "disk/profile.h"
+#include "exp/scenario.h"
+#include "trace/idle.h"
+#include "trace/record.h"
+
+namespace pscrub::core {
+namespace {
+
+struct FuzzCase {
+  trace::Trace trace;
+  std::vector<SimTime> services;
+};
+
+// Seeded trace generator. The low bits of the seed pick a shape so the 50+
+// seeds cover every adversarial regime; everything else is drawn from the
+// seeded engine, so failures reproduce from the seed alone.
+FuzzCase make_case(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  FuzzCase fc;
+  fc.trace.name = "fuzz." + std::to_string(seed);
+  const int shape = static_cast<int>(seed % 5);
+  const int n = 200 + static_cast<int>(rng() % 1800);
+  std::uniform_int_distribution<SimTime> service_dist(50 * kMicrosecond,
+                                                      20 * kMillisecond);
+  SimTime at = 0;
+  for (int i = 0; i < n; ++i) {
+    trace::TraceRecord r;
+    r.arrival = at;
+    r.lbn = static_cast<disk::Lbn>(rng() % 1'000'000) * 8;
+    r.sectors = 8 << (rng() % 6);
+    fc.trace.records.push_back(r);
+    fc.services.push_back(service_dist(rng));
+    SimTime gap = 0;
+    switch (shape) {
+      case 0:  // bursty: tight clumps separated by long idles
+        gap = (i % 8 == 7) ? static_cast<SimTime>(rng() % (2 * kSecond))
+                           : static_cast<SimTime>(rng() % kMillisecond);
+        break;
+      case 1:  // sparse: almost always idle
+        gap = kSecond + static_cast<SimTime>(rng() % (10 * kSecond));
+        break;
+      case 2:  // heavy: arrivals faster than service, deep queueing
+        gap = static_cast<SimTime>(rng() % (2 * kMillisecond));
+        break;
+      case 3:  // regular with jitter
+        gap = 100 * kMillisecond +
+              static_cast<SimTime>(rng() % (10 * kMillisecond));
+        break;
+      default:  // mixed regimes within one trace
+        gap = static_cast<SimTime>(rng() % (1 << (10 + 2 * (i % 11))));
+        break;
+    }
+    at += gap;
+  }
+  // Sometimes a trailing quiet window, sometimes duration < end of
+  // activity (the evaluator must take the max).
+  fc.trace.duration = (seed % 3 == 0) ? at + 30 * kSecond : at / 2;
+  return fc;
+}
+
+/// Threshold grid for one decomposition: fixed spread plus the exact
+/// order statistics of the trace's own idle durations (equality with an
+/// idle duration must NOT capture that interval: the gate is strict).
+std::vector<SimTime> grid_for(const IdleDecomposition& d) {
+  std::vector<SimTime> thresholds = {0,          kMicrosecond,
+                                     kMillisecond, 10 * kMillisecond,
+                                     kSecond,    3600 * kSecond};
+  if (!d.sorted_gaps.empty()) {
+    thresholds.push_back(d.sorted_gaps.front());
+    thresholds.push_back(d.sorted_gaps[d.sorted_gaps.size() / 2]);
+    thresholds.push_back(d.sorted_gaps.back());
+    thresholds.push_back(d.sorted_gaps.back() - 1);
+  }
+  return thresholds;
+}
+
+/// Every field, exactly. EXPECT_EQ on the doubles is deliberate: both
+/// paths must perform the same float operations on the same operands.
+void expect_identical(const PolicySimResult& ref, const PolicySimResult& got,
+                      const std::string& what) {
+  EXPECT_EQ(ref.foreground_requests, got.foreground_requests) << what;
+  EXPECT_EQ(ref.collisions, got.collisions) << what;
+  EXPECT_EQ(ref.total_idle, got.total_idle) << what;
+  EXPECT_EQ(ref.idle_utilized, got.idle_utilized) << what;
+  EXPECT_EQ(ref.scrub_requests, got.scrub_requests) << what;
+  EXPECT_EQ(ref.scrubbed_bytes, got.scrubbed_bytes) << what;
+  EXPECT_EQ(ref.slowdown_sum, got.slowdown_sum) << what;
+  EXPECT_EQ(ref.slowdown_max, got.slowdown_max) << what;
+  EXPECT_EQ(ref.collision_rate, got.collision_rate) << what;
+  EXPECT_EQ(ref.idle_utilization, got.idle_utilization) << what;
+  EXPECT_EQ(ref.scrub_mb_s, got.scrub_mb_s) << what;
+  EXPECT_EQ(ref.mean_slowdown_ms, got.mean_slowdown_ms) << what;
+}
+
+/// Cross-checks one trace: full grid + single-threshold evaluator against
+/// the reference replay, for two request sizes.
+void check_case(const FuzzCase& fc, const std::string& what) {
+  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  const IdleDecomposition decomp =
+      IdleDecomposition::from_trace(fc.trace, fc.services);
+  const std::vector<SimTime> thresholds = grid_for(decomp);
+  for (std::int64_t bytes : {std::int64_t{64 * 1024}, std::int64_t{
+                                 4 * 1024 * 1024}}) {
+    const WaitingGridRequest request = make_waiting_grid_request(p, bytes);
+    const auto grid = run_waiting_grid(decomp, request,
+                                       std::span<const SimTime>(thresholds));
+    ASSERT_EQ(grid.size(), thresholds.size());
+    PolicySimConfig cfg;
+    cfg.scrub_service = make_scrub_service(p);
+    cfg.services = &fc.services;
+    cfg.sizer = ScrubSizer::fixed(bytes);
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+      WaitingPolicy policy(thresholds[i]);
+      const PolicySimResult ref =
+          run_policy_sim_reference(fc.trace, policy, cfg);
+      const std::string cell = what + " bytes=" + std::to_string(bytes) +
+                               " th=" + std::to_string(thresholds[i]);
+      expect_identical(ref, grid[i], cell + " [grid]");
+      expect_identical(ref, run_waiting_single(decomp, request, thresholds[i]),
+                       cell + " [single]");
+    }
+  }
+}
+
+TEST(PolicyBatchedDifferential, FuzzTracesMatchReferenceBitForBit) {
+  // 55 seeded traces, 11 per shape (seed % 5 picks the shape).
+  for (std::uint64_t seed = 1; seed <= 55; ++seed) {
+    check_case(make_case(seed), "seed=" + std::to_string(seed));
+  }
+}
+
+TEST(PolicyBatchedDifferential, EmptyTrace) {
+  FuzzCase fc;
+  fc.trace.name = "empty";
+  fc.trace.duration = 10 * kSecond;
+  check_case(fc, "empty");
+}
+
+TEST(PolicyBatchedDifferential, EmptyTraceZeroDuration) {
+  FuzzCase fc;
+  fc.trace.name = "empty0";
+  check_case(fc, "empty0");
+}
+
+TEST(PolicyBatchedDifferential, AllIdleSingleRecord) {
+  // One record, then a long quiet tail: only the trailing window exists.
+  FuzzCase fc;
+  fc.trace.name = "all-idle";
+  fc.trace.records.push_back({0, 0, 128, false});
+  fc.services.push_back(5 * kMillisecond);
+  fc.trace.duration = 60 * kSecond;
+  check_case(fc, "all-idle");
+}
+
+TEST(PolicyBatchedDifferential, SingleInteriorInterval) {
+  // Exactly one interior idle interval, no trailing window.
+  FuzzCase fc;
+  fc.trace.name = "one-gap";
+  fc.trace.records.push_back({0, 0, 128, false});
+  fc.trace.records.push_back({kSecond, 1024, 128, false});
+  fc.services = {5 * kMillisecond, 5 * kMillisecond};
+  fc.trace.duration = kSecond;
+  check_case(fc, "one-gap");
+}
+
+TEST(PolicyBatchedDifferential, BurstSwallowsCollisionDelay) {
+  // A collision overrun larger than the following gaps: the carried delay
+  // must swallow whole idle intervals before draining (the cascade path).
+  FuzzCase fc;
+  fc.trace.name = "swallow";
+  SimTime at = 0;
+  for (int i = 0; i < 40; ++i) {
+    fc.trace.records.push_back({at, i * 128, 128, false});
+    fc.services.push_back(kMillisecond);
+    // 200 ms idle, then a run of 2 ms micro-gaps the overrun cascades
+    // through.
+    at += (i % 10 == 0) ? 200 * kMillisecond : 3 * kMillisecond;
+  }
+  fc.trace.duration = at;
+  check_case(fc, "swallow");
+}
+
+TEST(PolicyBatchedDifferential, ZeroServiceScrubRequests) {
+  // Degenerate request duration (service <= 0): the reference breaks out
+  // of the interval without scrubbing; the decomposition path must too.
+  FuzzCase fc = make_case(7);
+  const IdleDecomposition decomp =
+      IdleDecomposition::from_trace(fc.trace, fc.services);
+  WaitingGridRequest request;
+  request.request_bytes = 64 * 1024;
+  request.request_service = 0;
+  PolicySimConfig cfg;
+  cfg.scrub_service = [](std::int64_t) { return SimTime{0}; };
+  cfg.services = &fc.services;
+  cfg.sizer = ScrubSizer::fixed(64 * 1024);
+  for (SimTime th : grid_for(decomp)) {
+    WaitingPolicy policy(th);
+    const PolicySimResult ref =
+        run_policy_sim_reference(fc.trace, policy, cfg);
+    expect_identical(ref, run_waiting_single(decomp, request, th),
+                     "zero-service th=" + std::to_string(th));
+  }
+}
+
+TEST(PolicyBatchedDifferential, ScenarioFastPathAcrossWorkerCounts) {
+  // The exp::run_policy_scenarios fast path, fanned out at 1/4/8 workers:
+  // every worker count must agree with the serial reference replay.
+  const disk::DiskProfile p = disk::hitachi_ultrastar_15k450();
+  std::vector<FuzzCase> cases;
+  for (std::uint64_t seed : {11u, 22u, 33u}) cases.push_back(make_case(seed));
+
+  std::vector<exp::PolicySimScenario> scenarios;
+  std::vector<PolicySimResult> reference;
+  for (const FuzzCase& fc : cases) {
+    const IdleDecomposition decomp =
+        IdleDecomposition::from_trace(fc.trace, fc.services);
+    for (SimTime th : grid_for(decomp)) {
+      exp::PolicySimScenario s;
+      s.trace = &fc.trace;
+      s.services = &fc.services;
+      s.policy.kind = exp::PolicyKind::kWaiting;
+      s.policy.threshold = th;
+      s.sizer = ScrubSizer::fixed(64 * 1024);
+      scenarios.push_back(std::move(s));
+
+      PolicySimConfig cfg;
+      cfg.scrub_service = make_scrub_service(p);
+      cfg.services = &fc.services;
+      cfg.sizer = ScrubSizer::fixed(64 * 1024);
+      WaitingPolicy policy(th);
+      reference.push_back(run_policy_sim_reference(fc.trace, policy, cfg));
+    }
+  }
+  for (int workers : {1, 4, 8}) {
+    exp::SweepOptions options;
+    options.workers = workers;
+    const auto got = exp::run_policy_scenarios(scenarios, options);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      expect_identical(reference[i], got[i],
+                       "workers=" + std::to_string(workers) +
+                           " cell=" + std::to_string(i));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IdleDecomposition properties
+// ---------------------------------------------------------------------------
+
+TEST(IdleDecompositionProperty, PrefixSumsMatchNaiveRecomputation) {
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    const FuzzCase fc = make_case(seed);
+    const IdleDecomposition d =
+        IdleDecomposition::from_trace(fc.trace, fc.services);
+    ASSERT_EQ(d.prefix_gap_sum.size(), d.sorted_gaps.size() + 1);
+    ASSERT_TRUE(std::is_sorted(d.sorted_gaps.begin(), d.sorted_gaps.end()));
+    for (std::size_t k = 0; k <= d.sorted_gaps.size(); ++k) {
+      SimTime naive = 0;
+      for (std::size_t i = 0; i < k; ++i) naive += d.sorted_gaps[i];
+      EXPECT_EQ(d.prefix_gap_sum[k], naive) << "seed=" << seed << " k=" << k;
+    }
+    // captured_intervals / usable_idle against the quadratic definitions,
+    // probing exact gap values and their neighbors.
+    std::vector<SimTime> probes = grid_for(d);
+    for (SimTime g : d.sorted_gaps) probes.push_back(g + 1);
+    for (SimTime t : probes) {
+      std::int64_t captured = 0;
+      SimTime usable = 0;
+      for (SimTime g : d.gaps) {
+        if (g > t) {
+          ++captured;
+          usable += g - t;
+        }
+      }
+      EXPECT_EQ(d.captured_intervals(t), captured)
+          << "seed=" << seed << " t=" << t;
+      EXPECT_EQ(d.usable_idle(t), usable) << "seed=" << seed << " t=" << t;
+    }
+  }
+}
+
+TEST(IdleDecompositionProperty, UsableIdleMonotoneNonIncreasing) {
+  for (std::uint64_t seed = 200; seed < 205; ++seed) {
+    const FuzzCase fc = make_case(seed);
+    const IdleDecomposition d =
+        IdleDecomposition::from_trace(fc.trace, fc.services);
+    std::vector<SimTime> probes = grid_for(d);
+    for (SimTime g : d.sorted_gaps) probes.push_back(g - 1);
+    std::sort(probes.begin(), probes.end());
+    for (std::size_t i = 1; i < probes.size(); ++i) {
+      EXPECT_LE(d.usable_idle(probes[i]), d.usable_idle(probes[i - 1]))
+          << "seed=" << seed;
+      EXPECT_LE(d.captured_intervals(probes[i]),
+                d.captured_intervals(probes[i - 1]))
+          << "seed=" << seed;
+    }
+  }
+}
+
+TEST(IdleDecompositionProperty, SliceAndAppendEqualsWholeTrace) {
+  for (std::uint64_t seed = 300; seed < 310; ++seed) {
+    const FuzzCase fc = make_case(seed);
+    const IdleDecomposition whole =
+        IdleDecomposition::from_trace(fc.trace, fc.services);
+
+    std::mt19937_64 rng(seed ^ 0xDECADEu);
+    const std::size_t cut = 1 + rng() % (fc.trace.records.size() - 1);
+    trace::Trace head;
+    head.records.assign(fc.trace.records.begin(),
+                        fc.trace.records.begin() +
+                            static_cast<std::ptrdiff_t>(cut));
+    head.duration = 0;  // interior slice: no trailing window of its own
+    std::vector<SimTime> head_services(fc.services.begin(),
+                                       fc.services.begin() +
+                                           static_cast<std::ptrdiff_t>(cut));
+    IdleDecomposition merged =
+        IdleDecomposition::from_trace(head, head_services);
+
+    trace::IdleAccumulator::Options options;
+    options.capture_gaps = true;
+    options.busy_until = merged.end_of_activity;
+    std::size_t next = cut;
+    trace::IdleAccumulator acc(
+        [&fc, &next](const trace::TraceRecord&) {
+          return fc.services[next++];
+        },
+        options);
+    for (std::size_t i = cut; i < fc.trace.records.size(); ++i) {
+      acc.add(fc.trace.records[i]);
+    }
+    acc.finish();
+    const IdleDecomposition tail = IdleDecomposition::from_gap_stream(
+        acc.take_gap_stream(), fc.trace.duration);
+    merged.append(tail);
+
+    EXPECT_EQ(merged.gaps, whole.gaps) << "seed=" << seed << " cut=" << cut;
+    EXPECT_EQ(merged.segment_records, whole.segment_records)
+        << "seed=" << seed << " cut=" << cut;
+    EXPECT_EQ(merged.leading_records, whole.leading_records);
+    EXPECT_EQ(merged.total_records, whole.total_records);
+    EXPECT_EQ(merged.end_of_activity, whole.end_of_activity);
+    EXPECT_EQ(merged.duration, whole.duration);
+    EXPECT_EQ(merged.sorted_gaps, whole.sorted_gaps);
+    EXPECT_EQ(merged.prefix_gap_sum, whole.prefix_gap_sum);
+    EXPECT_EQ(merged.sorted_pos, whole.sorted_pos);
+  }
+}
+
+TEST(IdleDecompositionProperty, GapStreamMatchesIdleExtraction) {
+  // The captured gap stream must agree with the classic extraction's
+  // aggregate totals (one implementation of the sweep, two views).
+  for (std::uint64_t seed = 400; seed < 405; ++seed) {
+    const FuzzCase fc = make_case(seed);
+    std::size_t next = 0;
+    const trace::ServiceModel model =
+        [&fc, &next](const trace::TraceRecord&) { return fc.services[next++]; };
+    const trace::IdleExtraction x =
+        trace::extract_idle_intervals(fc.trace, model);
+    next = 0;
+    const IdleDecomposition d =
+        IdleDecomposition::from_trace(fc.trace, fc.services);
+    EXPECT_EQ(d.total_gap_idle(), x.total_idle);
+    EXPECT_EQ(d.end_of_activity, x.end_of_activity);
+    EXPECT_EQ(d.gaps.size(), x.idle_seconds.size());
+    std::int64_t segment_total = d.leading_records;
+    for (std::int64_t s : d.segment_records) segment_total += s;
+    EXPECT_EQ(segment_total, d.total_records);
+    EXPECT_EQ(d.total_records,
+              static_cast<std::int64_t>(fc.trace.records.size()));
+  }
+}
+
+}  // namespace
+}  // namespace pscrub::core
