@@ -48,7 +48,9 @@ std::vector<Mode> modes() {
   std::vector<Mode> m = {{"CFQ", true, 0}};
   static char labels[7][16];
   int i = 0;
-  for (SimTime delay_ms : {0, 8, 16, 32, 64, 128, 256}) {
+  // A plain scalar, not a SimTime: the value is a millisecond *count*
+  // until the kMillisecond multiply below converts it.
+  for (const long long delay_ms : {0, 8, 16, 32, 64, 128, 256}) {
     std::snprintf(labels[i], sizeof(labels[i]), "%lldms",
                   static_cast<long long>(delay_ms));
     m.push_back({labels[i], false, delay_ms * kMillisecond});

@@ -17,6 +17,9 @@
 
 namespace pscrub::bench {
 
+// Thin wrapper: fetches the variable and hands it straight to the strict
+// parser below; nothing is interpreted here.
+// pscrub-lint: env-shim
 inline double bench_scale() {
   // The shared strict parser rejects trailing garbage ("0.5x"),
   // non-numeric input, overflowed exponents, and scales outside (0, 1]

@@ -1,0 +1,40 @@
+// Strict command-line number parsing shared by the examples.
+//
+// The examples used to lean on atoll/atof, which silently turn a typo'd
+// argument ("1e5x", "ten") into 0 and let the run proceed with a
+// nonsense configuration. These helpers consume the whole token or exit
+// with a usage-style message, mirroring the obs::parse_positive_env
+// contract for environment values.
+#pragma once
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pscrub::examples {
+
+// pscrub-lint: env-shim -- this is the examples' strict argv parsing layer.
+inline long long parse_ll(const char* text, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (text[0] == '\0' || end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "%s: expected an integer, got '%s'\n", what, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+// pscrub-lint: env-shim -- this is the examples' strict argv parsing layer.
+inline double parse_double(const char* text, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (text[0] == '\0' || end == text || *end != '\0' || !std::isfinite(v)) {
+    std::fprintf(stderr, "%s: expected a number, got '%s'\n", what, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace pscrub::examples

@@ -17,14 +17,17 @@
 #include <string>
 #include <vector>
 
+#include "arg_parse.h"
 #include "pscrub.h"
 
 using namespace pscrub;
 
 int main(int argc, char** argv) {
   obs::EnvSession obs_session;
-  const std::int64_t disks = argc > 1 ? std::atoll(argv[1]) : 20'000;
-  const int shards = argc > 2 ? std::atoi(argv[2]) : 0;
+  const std::int64_t disks =
+      argc > 1 ? examples::parse_ll(argv[1], "disks") : 20'000;
+  const int shards =
+      argc > 2 ? static_cast<int>(examples::parse_ll(argv[2], "shards")) : 0;
   if (disks <= 0) {
     std::fprintf(stderr, "usage: %s [disks] [shards]\n", argv[0]);
     return 1;

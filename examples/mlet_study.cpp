@@ -9,15 +9,20 @@
 #include <cstdlib>
 #include <vector>
 
+#include "arg_parse.h"
 #include "pscrub.h"
 
 using namespace pscrub;
 
 int main(int argc, char** argv) {
   obs::EnvSession obs_session;
-  const double pass_hours = argc > 1 ? std::atof(argv[1]) : 24.0;
+  const double pass_hours =
+      argc > 1 ? examples::parse_double(argv[1], "pass_hours") : 24.0;
   std::vector<int> region_counts;
-  for (int i = 2; i < argc; ++i) region_counts.push_back(std::atoi(argv[i]));
+  for (int i = 2; i < argc; ++i) {
+    region_counts.push_back(
+        static_cast<int>(examples::parse_ll(argv[i], "regions")));
+  }
   if (region_counts.empty()) region_counts = {4, 16, 64, 128};
 
   // ~32 GB device: at R = 128 a region is 256 MB, matching the error

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "arg_parse.h"
 #include "pscrub.h"
 
 using namespace pscrub;
@@ -16,8 +17,10 @@ using namespace pscrub;
 int main(int argc, char** argv) {
   obs::EnvSession obs_session;
   const std::string name = argc > 1 ? argv[1] : "HPc6t8d0";
-  const double goal_ms = argc > 2 ? std::atof(argv[2]) : 1.0;
-  const double max_ms = argc > 3 ? std::atof(argv[3]) : 50.4;
+  const double goal_ms =
+      argc > 2 ? examples::parse_double(argv[2], "mean_slowdown_ms") : 1.0;
+  const double max_ms =
+      argc > 3 ? examples::parse_double(argv[3], "max_slowdown_ms") : 50.4;
 
   auto spec = trace::spec_by_name(name);
   if (!spec) {

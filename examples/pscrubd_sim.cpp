@@ -22,6 +22,7 @@
 #include <cstring>
 #include <string>
 
+#include "arg_parse.h"
 #include "pscrub.h"
 
 using namespace pscrub;
@@ -63,23 +64,23 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--devices") {
-      devices = std::atoll(value());
+      devices = examples::parse_ll(value(), "--devices");
     } else if (arg == "--hours") {
-      hours = std::atof(value());
+      hours = examples::parse_double(value(), "--hours");
     } else if (arg == "--rate") {
-      rate = std::atoll(value());
+      rate = examples::parse_ll(value(), "--rate");
     } else if (arg == "--commands") {
-      commands = std::atoll(value());
+      commands = examples::parse_ll(value(), "--commands");
     } else if (arg == "--checkpoint") {
       checkpoint_path = value();
     } else if (arg == "--checkpoint-mins") {
-      checkpoint_mins = std::atof(value());
+      checkpoint_mins = examples::parse_double(value(), "--checkpoint-mins");
     } else if (arg == "--kill-at-extents") {
-      kill_at = std::atoll(value());
+      kill_at = examples::parse_ll(value(), "--kill-at-extents");
     } else if (arg == "--resume") {
       resume_path = value();
     } else if (arg == "--crash-at-hours") {
-      crash_hours = std::atof(value());
+      crash_hours = examples::parse_double(value(), "--crash-at-hours");
     } else {
       return usage(argv[0]);
     }

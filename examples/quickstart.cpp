@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "arg_parse.h"
 #include "pscrub.h"
 
 using namespace pscrub;
@@ -22,9 +23,10 @@ using namespace pscrub;
 int main(int argc, char** argv) {
   obs::EnvSession obs_session;
   const SimTime wait_threshold =
-      (argc > 1 ? std::atoll(argv[1]) : 50) * kMillisecond;
+      (argc > 1 ? examples::parse_ll(argv[1], "wait_threshold_ms") : 50) *
+      kMillisecond;
   const std::int64_t request_bytes =
-      (argc > 2 ? std::atoll(argv[2]) : 512) * 1024;
+      (argc > 2 ? examples::parse_ll(argv[2], "request_kb") : 512) * 1024;
 
   // The whole stack as one value: a 300 GB 15k SAS drive behind the
   // CFQ-like scheduler, an 8 MB sequential-chunk foreground workload, and

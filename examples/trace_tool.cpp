@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "arg_parse.h"
 #include "pscrub.h"
 
 using namespace pscrub;
@@ -94,7 +95,8 @@ int main(int argc, char** argv) {
   obs::EnvSession obs_session;
   if (argc >= 2 && std::strcmp(argv[1], "list") == 0) return cmd_list();
   if (argc >= 4 && std::strcmp(argv[1], "export") == 0) {
-    const double scale = argc >= 5 ? std::atof(argv[4]) : 0.01;
+    const double scale =
+        argc >= 5 ? examples::parse_double(argv[4], "scale") : 0.01;
     return cmd_export(argv[2], argv[3], scale);
   }
   if (argc >= 3 && std::strcmp(argv[1], "summarize") == 0) {

@@ -99,7 +99,15 @@ Checkpoint parse_checkpoint(const std::string& text) {
     if (!(in >> ver) || ver.size() < 2 || ver[0] != 'v') {
       fail("missing version tag");
     }
-    ck.version = std::atoi(ver.c_str() + 1);
+    // Strict manual digit parse: atoi would accept "v1junk" (and return 0
+    // for garbage), and a crash-safety codec must reject, never coerce.
+    ck.version = 0;
+    for (std::size_t i = 1; i < ver.size(); ++i) {
+      if (ver[i] < '0' || ver[i] > '9' || ck.version > 9999) {
+        fail("malformed version tag '" + ver + "'");
+      }
+      ck.version = ck.version * 10 + (ver[i] - '0');
+    }
     if (ck.version != kCheckpointVersion) {
       fail("unsupported version " + ver + " (this build reads v" +
            std::to_string(kCheckpointVersion) + ")");

@@ -41,6 +41,9 @@ int resolve_workers(int requested) {
 
 namespace detail {
 
+// Everything reachable from here runs concurrently on the worker pool;
+// the annotation seeds pscrub-lint's mutable-global-in-sweep closure.
+// pscrub-lint: sweep-worker
 void run_tasks(std::size_t count, const std::function<void(std::size_t)>& task,
                int workers) {
   if (count == 0) return;

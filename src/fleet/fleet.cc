@@ -179,6 +179,7 @@ void ShardRun::fire(std::uint32_t local_disk) {
 /// Runs one shard's disks [first_disk, first_disk + disks): derives the
 /// per-disk state, walks every burst through the event queue, and leaves
 /// the shard's FleetState slice in `run.out`.
+// pscrub-lint: sweep-worker
 FleetState run_shard(const exp::ScenarioConfig& config,
                      std::int64_t first_disk, std::int64_t shard_disks,
                      exp::TaskContext& ctx) {

@@ -11,6 +11,7 @@
 
 namespace pscrub::obs {
 
+// pscrub-lint: env-shim -- this function IS the strict integer layer.
 std::optional<long long> parse_positive_env(const char* name,
                                             const char* text, long long max) {
   if (text == nullptr || *text == '\0') return std::nullopt;
@@ -33,6 +34,7 @@ std::optional<long long> parse_positive_env(const char* name,
   return parsed;
 }
 
+// pscrub-lint: env-shim -- this function IS the strict double layer.
 std::optional<double> parse_positive_double_env(const char* name,
                                                 const char* text, double max) {
   if (text == nullptr || *text == '\0') return std::nullopt;
@@ -57,6 +59,9 @@ std::optional<double> parse_positive_double_env(const char* name,
   return parsed;
 }
 
+// Fetches the variable and routes it straight through parse_positive_env;
+// no other parsing happens here.
+// pscrub-lint: env-shim
 std::optional<int> sweep_workers_env() {
   const std::optional<long long> parsed =
       parse_positive_env("PSCRUB_SWEEP_WORKERS",
@@ -66,6 +71,9 @@ std::optional<int> sweep_workers_env() {
   return static_cast<int>(*parsed);
 }
 
+// The session reads presence/path variables verbatim and routes every
+// numeric value through parse_positive_env.
+// pscrub-lint: env-shim
 EnvSession::EnvSession() {
   if (const char* path = std::getenv("PSCRUB_TRACE"); path && *path) {
     if (Tracer::global().open(path)) {

@@ -212,6 +212,10 @@ class JsonParser {
     return fail("unterminated string");
   }
 
+  // The JSONL loader's own strict number parser: it pre-scans the token,
+  // requires strtod/strtoll to consume it whole, and rejects non-finite
+  // coercions -- the same reject-never-coerce contract as the env layer.
+  // pscrub-lint: env-shim
   bool number(JsonValue& out) {
     const std::size_t start = pos_;
     if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;

@@ -71,6 +71,7 @@ void Tracer::prelude(char phase, Track track, const char* category,
                "\"name\": \"%s\", \"ts\": %lld.%03d",
                phase, kPid, static_cast<int>(track), category, name,
                static_cast<long long>(ts / 1000),
+               // pscrub-lint: allow(sim-time-overflow) -- % 1000 bounds it
                static_cast<int>(ts % 1000));
 }
 
@@ -106,6 +107,7 @@ void Tracer::span(Track track, const char* category, const char* name,
   const SimTime dur = end - begin;
   std::fprintf(out_, ", \"dur\": %lld.%03d",
                static_cast<long long>(dur / 1000),
+               // pscrub-lint: allow(sim-time-overflow) -- % 1000 bounds it
                static_cast<int>(dur % 1000));
   write_args(args);
   std::fputc('}', out_);

@@ -1,0 +1,16 @@
+// Lint fixture: exactly ONE checkpoint-integer-only diagnostic. The
+// annotated codec entry point is integer-only itself; the float leak is
+// in a helper it calls, so the whole-program closure must walk the call
+// edge to find it.
+namespace fixture {
+
+double drift_factor(long long ticks) {
+  return static_cast<double>(ticks) * 1.5;
+}
+
+// pscrub-lint: checkpoint-path
+long long serialize_state(long long ticks) {
+  return ticks + static_cast<long long>(drift_factor(ticks));
+}
+
+}  // namespace fixture

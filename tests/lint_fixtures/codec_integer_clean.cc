@@ -1,0 +1,16 @@
+// Lint fixture near-miss: stays clean. The annotated codec path is
+// integer-only; the double-using helper sitting right next to it is not
+// reachable from the codec, so checkpoint-integer-only must not leak
+// onto unreachable neighbors.
+namespace fixture {
+
+// pscrub-lint: checkpoint-path
+long long encode_cursor(long long sector, long long pass) {
+  return sector * 10000 + pass;
+}
+
+double render_progress(long long done, long long total) {
+  return 100.0 * static_cast<double>(done) / static_cast<double>(total);
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Lint fixture: exactly ONE env-hygiene diagnostic (a strtoll call in a
+// function that is not a designated env shim).
+#include <cstdlib>
+
+namespace fixture {
+
+long long parse_knob(const char* text) {
+  char* end = nullptr;
+  return strtoll(text, &end, 10);
+}
+
+}  // namespace fixture

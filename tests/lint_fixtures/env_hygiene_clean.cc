@@ -1,0 +1,15 @@
+// Lint fixture near-miss: the same strtoll call, but inside a function
+// marked as the designated strict-parsing shim -- clean by design.
+#include <cstdlib>
+
+namespace fixture {
+
+// The fixture's one blessed parsing chokepoint: rejects trailing junk.
+// pscrub-lint: env-shim
+long long parse_knob_strict(const char* text) {
+  char* end = nullptr;
+  const long long v = strtoll(text, &end, 10);
+  return (end != text && *end == '\0') ? v : -1;
+}
+
+}  // namespace fixture

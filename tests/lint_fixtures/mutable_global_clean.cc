@@ -1,0 +1,18 @@
+// Lint fixture near-miss: stays clean. Constants are fine inside sweep
+// workers, and mutable namespace-scope state is fine while only
+// non-sweep code touches it.
+namespace fixture {
+
+const long long kBatch = 64;
+long long g_sequential_total = 0;
+
+// pscrub-lint: sweep-worker
+long long shard_size(long long items) {
+  return (items + kBatch - 1) / kBatch;
+}
+
+void accumulate_sequential(long long v) {
+  g_sequential_total += v;
+}
+
+}  // namespace fixture

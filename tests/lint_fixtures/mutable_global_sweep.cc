@@ -1,0 +1,13 @@
+// Lint fixture: exactly ONE mutable-global-in-sweep diagnostic. The
+// worker is annotated as a sweep entry point and bumps namespace-scope
+// mutable state, which breaks bit-identity across worker counts.
+namespace fixture {
+
+long long g_tasks_done = 0;
+
+// pscrub-lint: sweep-worker
+void run_task(long long index) {
+  g_tasks_done += index;
+}
+
+}  // namespace fixture

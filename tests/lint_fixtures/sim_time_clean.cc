@@ -1,0 +1,27 @@
+// Lint fixture near-miss: every shape here skirts the sim-time-overflow
+// heuristics and must stay clean -- literal chains that never exceed int
+// rank or lead with a suffixed/unit operand, the divide-down-then-scale
+// idiom, and casts that keep sim-time values wide.
+#include <cstdint>
+
+namespace fixture {
+
+using SimTime = long long;
+
+constexpr SimTime kSecond = 1000 * 1000 * 1000;       // peaks at 1e9: fits int
+constexpr SimTime kMinute = 60 * kSecond;             // unit operand widens
+constexpr SimTime kHour = 3600LL * 1000 * 1000 * 1000;  // LL suffix leads
+
+SimTime round_to_minutes(SimTime t) {
+  return t / kMinute * kMinute;  // divided down to a scalar count first
+}
+
+std::int64_t widen_ok(SimTime t) {
+  return static_cast<std::int64_t>(t);  // wide cast: no narrowing
+}
+
+int narrow_scalar(int flags) {
+  return static_cast<int>(flags);  // narrow cast, but not on sim time
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Lint fixture: exactly ONE sim-time-overflow diagnostic (an ns * ns
+// product). These files are linted, never compiled, and the directory is
+// excluded from tree-wide walks -- they violate on purpose.
+namespace fixture {
+
+using SimTime = long long;
+
+SimTime overlap_area(SimTime window, SimTime slack) {
+  return window * slack;
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Lint fixture: a suppression naming a rule that does not exist must
+// surface as unknown-suppression instead of silently disarming itself.
+namespace fixture {
+
+// pscrub-lint: allow(no-such-rule) -- a typo'd marker must not vanish
+long long identity(long long v) { return v; }
+
+}  // namespace fixture

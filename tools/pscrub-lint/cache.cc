@@ -1,0 +1,99 @@
+// The incremental diagnostics cache: a small line-oriented text file
+// mapping each analyzed path to the pass-2 diagnostics produced for it,
+// keyed on (content hash, ruleset hash, context digest) plus the tool
+// version in the header. Any mismatch -- file edited, rule set changed,
+// any cross-file closure/global change, tool upgraded -- misses and the
+// file is re-analyzed; a corrupt or unreadable cache degrades to empty.
+//
+// Cached diagnostics are pre-baseline and pre-output-format, so the same
+// cache serves text, JSON and SARIF runs and baseline edits never force
+// re-analysis.
+#include "lint.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace pscrub::lint {
+namespace {
+
+constexpr const char* kMagic = "pscrub-lint-cache 1";
+
+}  // namespace
+
+void DiagnosticCache::load(const std::string& path) {
+  entries_.clear();
+  std::ifstream in(path);
+  if (!in) return;
+  std::string line;
+  if (!std::getline(in, line) ||
+      line != std::string(kMagic) + " " + kLintVersion) {
+    return;  // other version or garbage: start cold
+  }
+  std::map<std::string, Entry> parsed;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string tag;
+    Entry entry;
+    std::size_t count = 0;
+    std::string file_path;
+    if (!(fields >> tag) || tag != "f") return;
+    if (!(fields >> std::hex >> entry.content_hash >> entry.ruleset_hash >>
+          entry.ctx_digest >> std::dec >> count) ||
+        !(fields >> file_path) || file_path.empty()) {
+      return;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!std::getline(in, line)) return;
+      std::istringstream dfields(line);
+      Diagnostic d;
+      d.path = file_path;
+      if (!(dfields >> tag) || tag != "d") return;
+      if (!(dfields >> d.line >> d.col >> d.rule)) return;
+      dfields.get();  // the single separating space
+      std::getline(dfields, d.message);
+      entry.diags.push_back(std::move(d));
+    }
+    parsed[file_path] = std::move(entry);
+  }
+  entries_ = std::move(parsed);
+}
+
+bool DiagnosticCache::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << kMagic << " " << kLintVersion << "\n";
+  for (const auto& [file_path, entry] : entries_) {
+    out << "f " << std::hex << entry.content_hash << " "
+        << entry.ruleset_hash << " " << entry.ctx_digest << std::dec << " "
+        << entry.diags.size() << " " << file_path << "\n";
+    for (const Diagnostic& d : entry.diags) {
+      out << "d " << d.line << " " << d.col << " " << d.rule << " "
+          << d.message << "\n";
+    }
+  }
+  return out.good();
+}
+
+const std::vector<Diagnostic>* DiagnosticCache::lookup(
+    const std::string& file_path, std::uint64_t content_hash,
+    std::uint64_t ruleset_hash, std::uint64_t ctx_digest) const {
+  auto it = entries_.find(file_path);
+  if (it == entries_.end()) return nullptr;
+  const Entry& e = it->second;
+  if (e.content_hash != content_hash || e.ruleset_hash != ruleset_hash ||
+      e.ctx_digest != ctx_digest) {
+    return nullptr;
+  }
+  return &e.diags;
+}
+
+void DiagnosticCache::store(const std::string& file_path,
+                            std::uint64_t content_hash,
+                            std::uint64_t ruleset_hash,
+                            std::uint64_t ctx_digest,
+                            std::vector<Diagnostic> diags) {
+  entries_[file_path] =
+      Entry{content_hash, ruleset_hash, ctx_digest, std::move(diags)};
+}
+
+}  // namespace pscrub::lint

@@ -1,0 +1,541 @@
+// Pass 1: the whole-program symbol index.
+//
+// extract_summary() walks one file's token stream with a scope-tracking
+// recursive-descent heuristic (namespaces, class bodies, function
+// definitions with brace-matched bodies) and records, per file:
+//
+//   - every function/method DEFINITION: unqualified + qualified name,
+//     the token span of its body, the set of unqualified callee names
+//     inside it, and any function-scope annotations covering it
+//     (checkpoint-path / sweep-worker / env-shim);
+//   - every mutable namespace-scope variable (non-const, non-constexpr,
+//     non-extern) -- including class-static member definitions.
+//
+// build_context() then derives the cross-file state pass-2 rules consume:
+// the checkpoint-path closure (seeded by checkpoint* file names plus
+// annotations, closed over callees), the sweep-worker closure (seeded by
+// annotations), the env-shim set, and the mutable-global table. Callee
+// names resolve same-file-first (mirroring anonymous-namespace shadowing)
+// and otherwise to every definition of that name -- a deliberate
+// over-approximation: a linter closure must not silently lose paths to
+// heuristic precision.
+//
+// This is a token-level heuristic, not a C++ parser. It is deliberately
+// conservative: constructs it cannot classify are skipped, never
+// misattributed, so the failure mode is a missed edge (caught by the
+// fixture suite for the shapes the rules rely on), not a false positive.
+#include "lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pscrub::lint {
+namespace {
+
+const std::set<std::string>& cpp_keywords() {
+  static const std::set<std::string> kKeywords = {
+      "alignas",   "alignof",  "asm",          "auto",     "bool",
+      "break",     "case",     "catch",        "char",     "class",
+      "const",     "constexpr","constinit",    "consteval","continue",
+      "co_await",  "co_return","co_yield",     "decltype", "default",
+      "delete",    "do",       "double",       "else",     "enum",
+      "explicit",  "export",   "extern",       "false",    "float",
+      "for",       "friend",   "goto",         "if",       "inline",
+      "int",       "long",     "mutable",      "namespace","new",
+      "noexcept",  "nullptr",  "operator",     "private",  "protected",
+      "public",    "register", "requires",     "return",   "short",
+      "signed",    "sizeof",   "static",       "static_assert",
+      "static_cast","struct",  "switch",       "template", "this",
+      "thread_local","throw",  "true",         "try",      "typedef",
+      "typeid",    "typename", "union",        "unsigned", "using",
+      "virtual",   "void",     "volatile",     "wchar_t",  "while",
+      "final",     "override", "not",          "and",      "or",
+  };
+  return kKeywords;
+}
+
+struct Extractor {
+  const SourceFile& file;
+  const std::vector<Token>& t;
+  FileSummary out;
+  std::vector<std::string> scopes;
+
+  explicit Extractor(const SourceFile& f) : file(f), t(f.tokens) {
+    out.path = f.path;
+  }
+
+  /// i points at the opening token; returns the index just past the
+  /// matching closer (or end on imbalance).
+  std::size_t skip_pair(std::size_t i, const char* open, const char* close,
+                        std::size_t end) const {
+    int depth = 0;
+    for (; i < end; ++i) {
+      if (t[i].text == open) ++depth;
+      else if (t[i].text == close && --depth == 0) return i + 1;
+    }
+    return end;
+  }
+
+  /// i points at '<'. Returns the index past the matching '>' when the
+  /// span looks like a template argument list, or i + 1 (treat as a
+  /// comparison operator) when a statement boundary intervenes.
+  std::size_t skip_angles(std::size_t i, std::size_t end) const {
+    int depth = 0;
+    const std::size_t limit = std::min(end, i + 256);
+    for (std::size_t j = i; j < limit; ++j) {
+      const std::string& s = t[j].text;
+      if (s == "<") ++depth;
+      else if (s == ">") {
+        if (--depth == 0) return j + 1;
+      } else if (s == "(") {
+        j = skip_pair(j, "(", ")", end) - 1;
+      } else if (s == ";" || s == "{" || s == "}") {
+        break;
+      }
+    }
+    return i + 1;
+  }
+
+  /// Advances past a whole statement: skips balanced (), {}, [] groups
+  /// and stops just past the first top-level ';' (or at `end`).
+  std::size_t skip_statement(std::size_t i, std::size_t end) const {
+    while (i < end) {
+      const std::string& s = t[i].text;
+      if (s == ";") return i + 1;
+      if (s == "(") { i = skip_pair(i, "(", ")", end); continue; }
+      if (s == "{") { i = skip_pair(i, "{", "}", end); continue; }
+      if (s == "[") { i = skip_pair(i, "[", "]", end); continue; }
+      if (s == "}") return i;  // enclosing scope closes: don't run past it
+      ++i;
+    }
+    return end;
+  }
+
+  std::string qualified(const std::string& tail) const {
+    std::string q;
+    for (const std::string& s : scopes) {
+      if (s.empty()) continue;
+      q += s;
+      q += "::";
+    }
+    return q + tail;
+  }
+
+  /// Walks a ctor initializer list starting just past the ':'. Returns
+  /// the index of the body '{' (or end).
+  std::size_t skip_init_list(std::size_t i, std::size_t end) const {
+    while (i < end) {
+      const std::string& s = t[i].text;
+      if (s == "{") {
+        // `member{args}` is brace-init only when an identifier (or
+        // template closer) immediately precedes; otherwise it is the body.
+        if (i > 0 && (t[i - 1].is_ident || t[i - 1].text == ">")) {
+          i = skip_pair(i, "{", "}", end);
+          continue;
+        }
+        return i;
+      }
+      if (s == "(") { i = skip_pair(i, "(", ")", end); continue; }
+      if (s == "<") { i = skip_angles(i, end); continue; }
+      if (s == ";" || s == "}") return end;  // malformed; bail
+      ++i;
+    }
+    return end;
+  }
+
+  /// Collects sorted unique callee names (identifier followed by '(')
+  /// within [begin, end). Names from the std container/algorithm
+  /// vocabulary are dropped: `ck.fields.insert(...)` is almost always a
+  /// std call, and resolving it to every project method that happens to
+  /// be named `insert` braids unrelated files into every closure. A
+  /// project function with such a name can still be pulled onto a path
+  /// with an explicit annotation.
+  std::vector<std::string> collect_callees(std::size_t begin,
+                                           std::size_t end) const {
+    static const std::set<std::string> kStdVocabulary = {
+        "size",    "empty",   "clear",   "begin",   "end",     "rbegin",
+        "rend",    "front",   "back",    "data",    "at",      "find",
+        "count",   "contains","insert",  "erase",   "emplace", "emplace_back",
+        "push_back","pop_back","push",   "pop",     "top",     "resize",
+        "reserve", "append",  "substr",  "compare", "length",  "c_str",
+        "str",     "get",     "reset",   "release", "swap",    "merge",
+        "min",     "max",     "abs",     "move",    "forward", "make_pair",
+        "make_unique","make_shared","to_string",    "sort",    "stable_sort",
+        "lower_bound","upper_bound","accumulate",   "assign",  "value",
+        "value_or","has_value","emplace_hint","first","second", "tie",
+    };
+    std::set<std::string> names;
+    for (std::size_t i = begin; i + 1 < end; ++i) {
+      if (!t[i].is_ident || t[i + 1].text != "(") continue;
+      if (cpp_keywords().count(t[i].text) != 0) continue;
+      if (kStdVocabulary.count(t[i].text) != 0) continue;
+      names.insert(t[i].text);
+    }
+    return std::vector<std::string>(names.begin(), names.end());
+  }
+
+  void record_function(const std::string& name, const std::string& qual_prefix,
+                       std::size_t name_tok, std::size_t body_open,
+                       std::size_t body_end) {
+    FunctionRecord fn;
+    fn.name = name;
+    fn.qname = qualified(qual_prefix + name);
+    fn.name_line = t[name_tok].line;
+    fn.body_end_line = body_end > 0 && body_end <= t.size()
+                           ? t[body_end - 1].line
+                           : fn.name_line;
+    fn.body_begin_tok = body_open;
+    fn.body_end_tok = body_end;
+    fn.callees = collect_callees(body_open, body_end);
+    out.functions.push_back(std::move(fn));
+  }
+
+  /// Parses one declaration-or-definition starting at i in a namespace or
+  /// class scope; returns the index to resume scanning from.
+  std::size_t parse_declaration(std::size_t i, std::size_t end,
+                                bool class_scope) {
+    std::size_t last_ident = t.size();
+    bool is_const = false;
+    bool is_extern = false;
+    bool saw_call_shape = false;  // `name(...)` seen: prototype, not a var
+    std::size_t j = i;
+    while (j < end) {
+      const Token& tok = t[j];
+      const std::string& s = tok.text;
+      if (tok.is_ident) {
+        if (s == "const" || s == "constexpr" || s == "constinit" ||
+            s == "consteval") {
+          is_const = true;
+          ++j;
+          continue;
+        }
+        if (s == "extern") {
+          is_extern = true;
+          ++j;
+          continue;
+        }
+        if (s == "operator") {
+          // Name = "operator" + the symbol/type tokens up to the '('.
+          std::string name = "operator";
+          std::size_t k = j + 1;
+          while (k < end && t[k].text != "(" && k < j + 6) {
+            name += t[k].text;
+            ++k;
+          }
+          if (k < end && t[k].text == "(") {
+            const std::size_t after = finish_function_candidate(
+                name, "", j, k, end, class_scope);
+            if (after != 0) return after;
+          }
+          j = k;
+          continue;
+        }
+        if (j + 1 < end && t[j + 1].text == "(") {
+          if (cpp_keywords().count(s) != 0) {
+            // decltype(...) / noexcept(...) in a declarator: skip the group.
+            j = skip_pair(j + 1, "(", ")", end);
+            continue;
+          }
+          // Qualified-name prefix: `Class::name(` -> prefix "Class::".
+          std::string prefix;
+          std::size_t back = j;
+          while (back >= 2 && t[back - 1].text == "::" &&
+                 t[back - 2].is_ident) {
+            prefix = t[back - 2].text + "::" + prefix;
+            back -= 2;
+          }
+          const std::size_t after =
+              finish_function_candidate(s, prefix, j, j + 1, end, class_scope);
+          if (after != 0) return after;
+          // Not a definition: a prototype (or a paren-init). Either way
+          // the terminator below must not record `last_ident` -- for a
+          // prototype that would register the *return type* as a global.
+          saw_call_shape = true;
+          last_ident = t.size();
+          j = skip_pair(j + 1, "(", ")", end);
+          continue;
+        }
+        last_ident = j;
+        ++j;
+        continue;
+      }
+      if (s == "<" && j > i && t[j - 1].is_ident) {
+        j = skip_angles(j, end);
+        continue;
+      }
+      if (s == "[" && last_ident == t.size()) {
+        // Leading [[attribute]]: not an array declarator.
+        j = skip_pair(j, "[", "]", end);
+        continue;
+      }
+      if (s == "=" || s == "{" || s == "[" || s == ";") {
+        if (!class_scope && !is_const && !is_extern && !saw_call_shape &&
+            last_ident < t.size() &&
+            cpp_keywords().count(t[last_ident].text) == 0) {
+          out.globals.push_back(
+              GlobalRecord{t[last_ident].text, t[last_ident].line});
+        }
+        return skip_statement(j, end);
+      }
+      if (s == "}") return j;  // scope closes mid-declaration: bail out
+      ++j;
+    }
+    return end;
+  }
+
+  /// `name_tok` names a candidate function whose parameter list opens at
+  /// `paren`. If a braced body follows (after cv/ref/noexcept/trailing-
+  /// return/ctor-init-list), records the definition and returns the index
+  /// past the body. Returns 0 when this is not a function definition.
+  std::size_t finish_function_candidate(const std::string& name,
+                                        const std::string& prefix,
+                                        std::size_t name_tok,
+                                        std::size_t paren, std::size_t end,
+                                        bool class_scope) {
+    (void)class_scope;
+    std::size_t k = skip_pair(paren, "(", ")", end);
+    while (k < end) {
+      const std::string& s = t[k].text;
+      if (s == "const" || s == "noexcept" || s == "override" ||
+          s == "final" || s == "mutable" || s == "&" || s == "try") {
+        if (s == "noexcept" && k + 1 < end && t[k + 1].text == "(") {
+          k = skip_pair(k + 1, "(", ")", end);
+        } else {
+          ++k;
+        }
+        continue;
+      }
+      if (s == "->") {
+        // Trailing return type: absorb tokens up to the body/terminator.
+        ++k;
+        while (k < end && t[k].text != "{" && t[k].text != ";" &&
+               t[k].text != "=") {
+          if (t[k].text == "<") k = skip_angles(k, end);
+          else if (t[k].text == "(") k = skip_pair(k, "(", ")", end);
+          else ++k;
+        }
+        continue;
+      }
+      if (s == ":") {
+        k = skip_init_list(k + 1, end);
+        continue;
+      }
+      break;
+    }
+    if (k < end && t[k].text == "{") {
+      const std::size_t body_end = skip_pair(k, "{", "}", end);
+      record_function(name, prefix, name_tok, k, body_end);
+      return body_end;
+    }
+    return 0;
+  }
+
+  void scan_scope(std::size_t i, std::size_t end, bool class_scope) {
+    while (i < end) {
+      const Token& tok = t[i];
+      const std::string& s = tok.text;
+      if (s == ";" || s == "}" || s == ":") {  // ':' after access specifier
+        ++i;
+        continue;
+      }
+      if (tok.is_ident) {
+        if (s == "namespace") {
+          std::size_t j = i + 1;
+          std::string name;
+          while (j < end && (t[j].is_ident || t[j].text == "::")) {
+            name += t[j].text;
+            ++j;
+          }
+          if (j < end && t[j].text == "{") {
+            const std::size_t close = skip_pair(j, "{", "}", end);
+            scopes.push_back(name);
+            scan_scope(j + 1, close - 1, false);
+            scopes.pop_back();
+            i = close;
+            continue;
+          }
+          i = skip_statement(j, end);
+          continue;
+        }
+        if (s == "using" || s == "typedef" || s == "static_assert" ||
+            s == "friend") {
+          i = skip_statement(i, end);
+          continue;
+        }
+        if (s == "template") {
+          i = (i + 1 < end && t[i + 1].text == "<") ? skip_angles(i + 1, end)
+                                                    : i + 1;
+          continue;
+        }
+        if (s == "enum") {
+          // enum [class] [name] [: base] { ... } ; -- enumerators are not
+          // namespace-scope state; skip the whole definition.
+          std::size_t j = i + 1;
+          while (j < end && t[j].text != "{" && t[j].text != ";") ++j;
+          if (j < end && t[j].text == "{") j = skip_pair(j, "{", "}", end);
+          i = skip_statement(j, end);
+          continue;
+        }
+        if (s == "struct" || s == "class" || s == "union") {
+          std::size_t j = i + 1;
+          std::string name;
+          while (j < end && t[j].text != "{" && t[j].text != ";") {
+            if (t[j].is_ident && name.empty() && t[j].text != "alignas" &&
+                t[j].text != "final") {
+              name = t[j].text;
+            }
+            if (t[j].text == "<") { j = skip_angles(j, end); continue; }
+            if (t[j].text == "(") { j = skip_pair(j, "(", ")", end); continue; }
+            ++j;
+          }
+          if (j < end && t[j].text == "{") {
+            const std::size_t close = skip_pair(j, "{", "}", end);
+            scopes.push_back(name);
+            scan_scope(j + 1, close - 1, true);
+            scopes.pop_back();
+            i = skip_statement(close, end);
+            continue;
+          }
+          i = skip_statement(j, end);
+          continue;
+        }
+      }
+      if (s == "{") {  // stray block (e.g. an unrecognized construct)
+        i = skip_pair(i, "{", "}", end);
+        continue;
+      }
+      i = parse_declaration(i, end, class_scope);
+    }
+  }
+
+  void attach_annotations() {
+    // A tag covers the function whose [name_line - 1, body_end_line]
+    // range contains the marker line; the last match wins so a marker on
+    // the line above a definition prefers that definition.
+    for (const auto& [line, tag] : file.annotations) {
+      FunctionRecord* best = nullptr;
+      for (FunctionRecord& fn : out.functions) {
+        if (line >= fn.name_line - 1 && line <= fn.body_end_line) best = &fn;
+      }
+      if (best != nullptr) best->tags.insert(tag);
+    }
+  }
+};
+
+bool path_basename_contains(const std::string& path, const std::string& sub) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  return base.find(sub) != std::string::npos;
+}
+
+}  // namespace
+
+FileSummary extract_summary(const SourceFile& file) {
+  Extractor ex(file);
+  ex.scan_scope(0, file.tokens.size(), false);
+  ex.attach_annotations();
+  return std::move(ex.out);
+}
+
+AnalysisContext build_context(std::vector<FileSummary> summaries) {
+  AnalysisContext ctx;
+  ctx.files = std::move(summaries);
+
+  // name -> every (file, fn) defining it, in deterministic order.
+  std::map<std::string, std::vector<std::pair<int, int>>> by_name;
+  for (int fi = 0; fi < static_cast<int>(ctx.files.size()); ++fi) {
+    const FileSummary& fs = ctx.files[fi];
+    for (int ni = 0; ni < static_cast<int>(fs.functions.size()); ++ni) {
+      by_name[fs.functions[ni].name].emplace_back(fi, ni);
+    }
+  }
+
+  // Same-file definitions shadow cross-file ones (anonymous-namespace
+  // helpers like `fail` recur across TUs; linking them all would braid
+  // unrelated files into every closure).
+  auto resolve = [&](const std::string& callee,
+                     int from_file) -> std::vector<std::pair<int, int>> {
+    auto it = by_name.find(callee);
+    if (it == by_name.end()) return {};
+    std::vector<std::pair<int, int>> same_file;
+    for (const auto& key : it->second) {
+      if (key.first == from_file) same_file.push_back(key);
+    }
+    return same_file.empty() ? it->second : same_file;
+  };
+
+  auto close_over =
+      [&](std::vector<std::pair<int, int>> seeds)
+      -> std::map<std::pair<int, int>, std::string> {
+    std::map<std::pair<int, int>, std::string> via;
+    std::vector<std::pair<int, int>> queue = std::move(seeds);
+    for (const auto& s : queue) via[s];  // seeds: empty via
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const auto [fi, ni] = queue[qi];
+      const FunctionRecord& fn = ctx.files[fi].functions[ni];
+      for (const std::string& callee : fn.callees) {
+        for (const auto& target : resolve(callee, fi)) {
+          if (via.count(target) != 0) continue;
+          via[target] = fn.qname;
+          queue.push_back(target);
+        }
+      }
+    }
+    return via;
+  };
+
+  std::vector<std::pair<int, int>> checkpoint_seeds;
+  std::vector<std::pair<int, int>> sweep_seeds;
+  for (int fi = 0; fi < static_cast<int>(ctx.files.size()); ++fi) {
+    const FileSummary& fs = ctx.files[fi];
+    const bool checkpoint_file = path_basename_contains(fs.path, "checkpoint");
+    for (int ni = 0; ni < static_cast<int>(fs.functions.size()); ++ni) {
+      const FunctionRecord& fn = fs.functions[ni];
+      if (checkpoint_file || fn.tags.count("checkpoint-path") != 0) {
+        checkpoint_seeds.emplace_back(fi, ni);
+      }
+      if (fn.tags.count("sweep-worker") != 0) sweep_seeds.emplace_back(fi, ni);
+      if (fn.tags.count("env-shim") != 0) ctx.env_shims.emplace(fi, ni);
+    }
+  }
+  ctx.checkpoint_via = close_over(std::move(checkpoint_seeds));
+  ctx.sweep_via = close_over(std::move(sweep_seeds));
+
+  for (const FileSummary& fs : ctx.files) {
+    for (const GlobalRecord& g : fs.globals) {
+      const std::string loc = fs.path + ":" + std::to_string(g.line);
+      // First definition wins deterministically (sorted file order).
+      ctx.mutable_globals.emplace(g.name, loc);
+    }
+  }
+
+  // Canonical digest over everything pass-2 rules can observe from the
+  // context; per-file cache entries embed it so any cross-file change in
+  // closures/shims/globals invalidates them.
+  std::ostringstream canon;
+  canon << "pscrub-lint-ctx " << kLintVersion << "\n";
+  auto emit_closure = [&](const char* label,
+                          const std::map<std::pair<int, int>, std::string>& m) {
+    for (const auto& [key, via] : m) {
+      const FunctionRecord& fn = ctx.files[key.first].functions[key.second];
+      canon << label << " " << ctx.files[key.first].path << " " << fn.qname
+            << " " << fn.name_line << " <- " << via << "\n";
+    }
+  };
+  emit_closure("C", ctx.checkpoint_via);
+  emit_closure("S", ctx.sweep_via);
+  for (const auto& key : ctx.env_shims) {
+    const FunctionRecord& fn = ctx.files[key.first].functions[key.second];
+    canon << "E " << ctx.files[key.first].path << " " << fn.qname << " "
+          << fn.name_line << "\n";
+  }
+  for (const auto& [name, loc] : ctx.mutable_globals) {
+    canon << "G " << name << " " << loc << "\n";
+  }
+  ctx.digest = fnv1a(canon.str());
+  return ctx;
+}
+
+}  // namespace pscrub::lint

@@ -1,45 +1,70 @@
-// pscrub-lint: the project's determinism & concurrency static-analysis
+// pscrub-lint: the project's determinism & invariant static-analysis
 // pass (see DESIGN.md section 11).
 //
 // The simulator's value rests on invariants the compiler never checks:
-// output is bit-identical at any PSCRUB_SWEEP_WORKERS count, and sim-time
-// never leaks wall-clock or unseeded randomness. pscrub-lint enforces the
-// textual shape of that contract over src/ bench/ examples/ tests/ with a
-// token-level scan (comments, strings and #include lines are blanked
-// first, so rules see only code):
+// output is bit-identical at any PSCRUB_SWEEP_WORKERS count, sim-time
+// never leaks wall-clock or unseeded randomness, sim-time arithmetic
+// stays inside int64 nanoseconds, checkpoints carry integer state only,
+// and environment values go through one strict parsing layer. pscrub-lint
+// enforces the textual shape of that contract over src/ bench/ examples/
+// tests/ tools/ in two passes:
 //
-//   wall-clock          no std::chrono clocks / time() / clock_gettime()
-//                       outside an allowlisted timing shim
-//   unseeded-rng        no rand()/std::random_device; every RNG engine is
-//                       constructed with an explicit seed expression
-//                       (task_seed()-derived in sweep tasks)
-//   unordered-container no std::unordered_{map,set,...}: iteration order
-//                       depends on hash-table layout and libstdc++
-//                       version, which silently breaks bit-identity when
-//                       such a container feeds output or registry merges
-//   float-accum         no std::atomic<float/double> accumulation and no
-//                       unordered parallel reductions (std::execution::*,
-//                       std::reduce): float addition does not commute
-//   exception-swallow   catch (...) must rethrow, capture
-//                       (std::current_exception) or terminate -- a
-//                       swallowed exception in an event callback lets the
-//                       simulation diverge silently instead of failing
-//                       deterministically (DESIGN.md sections 7 & 10)
+//   pass 1 (index.cc)  a tree-wide symbol index: function definitions
+//                      with body extents and callee names, mutable
+//                      namespace-scope variables, and function-scope
+//                      annotation markers. From it, call-graph closures
+//                      are derived for the checkpoint codec (seeded by
+//                      checkpoint* file paths plus `checkpoint-path`
+//                      annotations), the sweep-worker paths (seeded by
+//                      `sweep-worker` annotations), and the designated
+//                      env shims (`env-shim` annotations).
+//   pass 2 (rules.cc)  per-file token rules, run against the index.
+//
+// Rule families (ids in all_rules(); `--list-rules` prints both):
+//
+//   determinism  wall-clock, unseeded-rng, unordered-container,
+//                float-accum, exception-swallow (the PR-6 originals),
+//                and mutable-global-in-sweep: non-const namespace-scope
+//                state referenced from a sweep-worker call path -- the
+//                cross-TU race TSan can only catch if the schedule
+//                happens to expose it
+//   sim-time     sim-time-overflow: ns*ns products, int-literal chains
+//                that overflow `int` before widening into SimTime, and
+//                narrowing casts on sim-time values (the token-bucket
+//                and checkpoint math are the motivating hazards)
+//   checkpoint   checkpoint-integer-only: float/double reads, writes or
+//                literals anywhere on the checkpoint read/write call
+//                paths -- the PR-9 "resume is exact because no float
+//                crosses the boundary" contract
+//   hygiene      env-hygiene: getenv/strto*/ato*/sto* anywhere outside
+//                the strict obs::parse_positive_{env,double_env} shim
+//                layer (or a function annotated `env-shim`)
 //
 // Suppression is explicit and line-scoped: a comment
-//   // pscrub-lint: allow(rule-id[, rule-id...])
+//   // pscrub-lint: allow(wall-clock[, float-accum...])
 // covers its own line and the next line; a file-level
-//   // pscrub-lint: allow-file(rule-id[, rule-id...])
-// allowlists a whole file (the timing-shim mechanism). Every marker is
+//   // pscrub-lint: allow-file(wall-clock)
+// allowlists a whole file (the timing-shim mechanism). Function-scope
+// annotations use the same prefix:
+//   // pscrub-lint: checkpoint-path   seed the checkpoint closure here
+//   // pscrub-lint: sweep-worker      seed the sweep-worker closure here
+//   // pscrub-lint: env-shim          this function IS the strict parser
+// placed inside the function or on the line above it. Every marker is
 // grep-able, so the set of exemptions stays auditable.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 namespace pscrub::lint {
+
+/// Bumped whenever rule semantics or the index format change; part of the
+/// incremental-cache key so stale caches self-invalidate, and reported as
+/// the tool version in SARIF output.
+inline constexpr const char* kLintVersion = "2.0.0";
 
 struct Token {
   std::string text;
@@ -49,14 +74,22 @@ struct Token {
 };
 
 /// A source file after preprocessing: comments, string/char literals and
-/// #include directives blanked out of `code`, suppression markers parsed
-/// out of the comments, and the remaining code tokenized.
+/// preprocessor directive lines blanked out of `code`, suppression
+/// markers and function-scope annotations parsed out of the comments, and
+/// the remaining code tokenized.
 struct SourceFile {
   std::string path;
   std::string code;  // same byte offsets as the raw file
   std::vector<Token> tokens;
   std::set<std::string> file_allows;
   std::map<std::string, std::set<int>> line_allows;  // rule -> covered lines
+  /// Function-scope annotations: (line, tag), e.g. (42, "env-shim").
+  std::vector<std::pair<int, std::string>> annotations;
+  /// All rule ids named by allow()/allow-file() markers, with the line of
+  /// the marker -- consumed by the suppression self-check.
+  std::vector<std::pair<int, std::string>> allow_ids;
+  /// FNV-1a over the raw bytes; the incremental-cache content key.
+  std::uint64_t content_hash = 0;
 
   /// Reads and preprocesses `file_path`. Returns false (with *error set)
   /// if the file cannot be read.
@@ -73,19 +106,150 @@ struct Diagnostic {
   std::string message;
 };
 
+// ---------------------------------------------------------------------------
+// Pass 1: the whole-program index.
+
+/// One function (or method) definition: where it lives, what it calls,
+/// and which annotations cover it.
+struct FunctionRecord {
+  std::string name;   // unqualified
+  std::string qname;  // namespace/class-qualified, e.g. daemon::TokenBucket::refill
+  int name_line = 0;
+  int body_end_line = 0;
+  /// Token span [body_begin_tok, body_end_tok) of the braced body,
+  /// including the braces themselves.
+  std::size_t body_begin_tok = 0;
+  std::size_t body_end_tok = 0;
+  /// Sorted unique unqualified callee names appearing in the body.
+  std::vector<std::string> callees;
+  std::set<std::string> tags;  // checkpoint-path / sweep-worker / env-shim
+};
+
+/// A mutable (non-const, non-constexpr) namespace-scope variable.
+struct GlobalRecord {
+  std::string name;
+  int line = 0;
+};
+
+/// Everything pass 1 extracts from one file.
+struct FileSummary {
+  std::string path;
+  std::vector<FunctionRecord> functions;
+  std::vector<GlobalRecord> globals;
+};
+
+/// Tokenizer-level extraction of a file's summary (deterministic pure
+/// function of the token stream).
+FileSummary extract_summary(const SourceFile& file);
+
+/// The cross-file analysis state rules consume. (file, fn) pairs index
+/// into files[file].functions[fn].
+struct AnalysisContext {
+  std::vector<FileSummary> files;
+
+  /// Functions on the checkpoint read/write path: value is the qualified
+  /// name of the caller that pulled the function into the closure (empty
+  /// for seeds).
+  std::map<std::pair<int, int>, std::string> checkpoint_via;
+  /// Functions reachable from a sweep-worker seed; same value scheme.
+  std::map<std::pair<int, int>, std::string> sweep_via;
+  /// Designated strict env-parsing shims.
+  std::set<std::pair<int, int>> env_shims;
+  /// Mutable namespace-scope state, name -> "path:line" of the definition.
+  std::map<std::string, std::string> mutable_globals;
+
+  /// FNV-1a over a canonical serialization of every field above; part of
+  /// the incremental-cache key so cross-file changes invalidate cached
+  /// per-file diagnostics.
+  std::uint64_t digest = 0;
+};
+
+/// Builds closures + digest from per-file summaries (order of `summaries`
+/// must be the sorted file order; the result is deterministic).
+AnalysisContext build_context(std::vector<FileSummary> summaries);
+
+// ---------------------------------------------------------------------------
+// Pass 2: rules.
+
+/// What a rule sees: the file's tokens, its pass-1 summary, and the
+/// whole-program context. `file_index` locates this file in
+/// ctx.files/closure keys.
+struct RuleInput {
+  const AnalysisContext& ctx;
+  const SourceFile& file;
+  const FileSummary& summary;
+  int file_index = -1;
+};
+
 struct Rule {
   const char* id;
+  const char* family;  // determinism / sim-time / checkpoint / hygiene
   const char* summary;
-  void (*check)(const SourceFile&, std::vector<Diagnostic>&);
+  void (*check)(const RuleInput&, std::vector<Diagnostic>&);
 };
 
 /// All registered rules, in stable (documentation) order.
 const std::vector<Rule>& all_rules();
 
-/// Runs every rule in `enabled` over `file`, appending diagnostics that
-/// are not suppressed by an allow marker. Diagnostics come out ordered by
+/// Runs every rule in `enabled` over `in`, appending diagnostics that are
+/// not suppressed by an allow marker. Diagnostics come out ordered by
 /// (line, col, rule) so output is deterministic.
-void run_rules(const SourceFile& file, const std::set<std::string>& enabled,
+void run_rules(const RuleInput& in, const std::set<std::string>& enabled,
                std::vector<Diagnostic>* out);
+
+/// FNV-1a, the hash used for content keys and the context digest.
+std::uint64_t fnv1a(const void* data, std::size_t n,
+                    std::uint64_t seed = 1469598103934665603ULL);
+std::uint64_t fnv1a(const std::string& s,
+                    std::uint64_t seed = 1469598103934665603ULL);
+
+// ---------------------------------------------------------------------------
+// Output writers (output.cc). All three render the already-sorted
+// diagnostic list; byte-for-byte identical input produces byte-for-byte
+// identical output, which the CI cold-vs-warm cache check relies on.
+
+/// The classic `path:line:col: [rule] message` lines.
+std::string render_text(const std::vector<Diagnostic>& diags);
+
+/// A small stable JSON object: {"tool", "version", "diagnostics": [...]}.
+std::string render_json(const std::vector<Diagnostic>& diags);
+
+/// SARIF 2.1.0, the shape GitHub code scanning ingests: tool.driver with
+/// the enabled rule metadata, then one result per diagnostic.
+std::string render_sarif(const std::vector<Diagnostic>& diags,
+                         const std::set<std::string>& enabled);
+
+// ---------------------------------------------------------------------------
+// Incremental cache (cache.cc). Pass 1 (tokenize + index) always runs --
+// it is cheap and cross-file -- but per-file pass-2 diagnostics are
+// cached keyed on (content hash, ruleset hash, context digest, tool
+// version). Entries store *pre-baseline* diagnostics so a baseline edit
+// never requires re-analysis.
+
+class DiagnosticCache {
+ public:
+  /// Loads `path`; a missing/stale/corrupt file yields an empty cache
+  /// (never an error -- the cache is an optimization, not state).
+  void load(const std::string& path);
+  bool save(const std::string& path) const;
+
+  /// Returns the cached diagnostics for `file_path`, or nullptr on miss.
+  const std::vector<Diagnostic>* lookup(const std::string& file_path,
+                                        std::uint64_t content_hash,
+                                        std::uint64_t ruleset_hash,
+                                        std::uint64_t ctx_digest) const;
+  void store(const std::string& file_path, std::uint64_t content_hash,
+             std::uint64_t ruleset_hash, std::uint64_t ctx_digest,
+             std::vector<Diagnostic> diags);
+
+ private:
+  struct Entry {
+    std::uint64_t content_hash = 0;
+    std::uint64_t ruleset_hash = 0;
+    std::uint64_t ctx_digest = 0;
+    std::vector<Diagnostic> diags;
+  };
+  std::map<std::string, Entry> entries_;
+};
 
 }  // namespace pscrub::lint

@@ -1,26 +1,44 @@
-// pscrub-lint driver: argument parsing, deterministic file walking, and
-// diagnostic reporting.
+// pscrub-lint driver: argument parsing, deterministic file walking, the
+// two-pass analysis (index, then rules), incremental caching, baseline
+// filtering, and output rendering.
 //
 //   pscrub-lint [options] <file-or-dir>...
-//     --rules=a,b       run only the named rules (default: all)
-//     --list-rules      print rule ids + summaries and exit
-//     --exclude=SUBSTR  skip walked files whose path contains SUBSTR
-//                       (repeatable; "lint_fixtures" is always excluded
-//                       from directory walks -- those files violate on
-//                       purpose. Explicitly named files are never skipped.)
+//     --rules=a,b            run only the named rules, or all-but with a
+//                            leading '-' (--rules=-float-accum); positive
+//                            and negative entries cannot be mixed
+//     --list-rules           print rule id, family and summary, then exit
+//     --exclude=SUBSTR       skip any path containing SUBSTR *before it is
+//                            read* (repeatable; applies to named files and
+//                            walked ones alike). Directory walks also
+//                            always exclude "lint_fixtures" -- those files
+//                            violate on purpose -- but naming a fixture
+//                            explicitly still lints it.
+//     --format=text|json|sarif   output format (default text)
+//     --output=FILE          write the report to FILE instead of stdout
+//     --baseline=FILE        suppress diagnostics matching FILE's entries
+//     --write-baseline=FILE  write the current diagnostics as a baseline
+//                            and exit 0 (the no-flag-day escape hatch)
+//     --cache=FILE           reuse/update the incremental diagnostics
+//                            cache at FILE
 //
 // Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O error.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint.h"
 
 namespace fs = std::filesystem;
+using pscrub::lint::AnalysisContext;
 using pscrub::lint::Diagnostic;
+using pscrub::lint::DiagnosticCache;
+using pscrub::lint::FileSummary;
 using pscrub::lint::SourceFile;
 
 namespace {
@@ -32,11 +50,70 @@ bool lintable_extension(const fs::path& p) {
 }
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--rules=a,b] [--list-rules] [--exclude=SUBSTR]... "
-               "<file-or-dir>...\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--rules=[-]a,b] [--list-rules] [--exclude=SUBSTR]...\n"
+      "       [--format=text|json|sarif] [--output=FILE]\n"
+      "       [--baseline=FILE] [--write-baseline=FILE] [--cache=FILE]\n"
+      "       <file-or-dir>...\n",
+      argv0);
   return 2;
+}
+
+bool known_rule(const std::string& id) {
+  const auto& rules = pscrub::lint::all_rules();
+  return std::any_of(rules.begin(), rules.end(),
+                     [&](const auto& r) { return id == r.id; });
+}
+
+/// Splits a comma list; returns false (usage error) on an unknown id or a
+/// mix of positive and negated entries.
+bool parse_rules_arg(const std::string& spec, std::set<std::string>* enabled) {
+  std::vector<std::string> entries;
+  std::string cur;
+  for (const char c : spec + ",") {
+    if (c == ',') {
+      if (!cur.empty()) entries.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (entries.empty()) return false;
+  const bool negated = entries.front()[0] == '-';
+  enabled->clear();
+  if (negated) {
+    for (const auto& rule : pscrub::lint::all_rules()) {
+      enabled->insert(rule.id);
+    }
+  }
+  for (std::string entry : entries) {
+    if ((entry[0] == '-') != negated) {
+      std::fprintf(stderr,
+                   "pscrub-lint: --rules cannot mix positive and negated "
+                   "entries\n");
+      return false;
+    }
+    if (negated) entry.erase(0, 1);
+    if (!known_rule(entry)) {
+      std::fprintf(stderr, "pscrub-lint: unknown rule '%s'\n", entry.c_str());
+      return false;
+    }
+    if (negated) {
+      enabled->erase(entry);
+    } else {
+      enabled->insert(entry);
+    }
+  }
+  return true;
+}
+
+/// The baseline key: the textual diagnostic line minus the message, which
+/// is stable across message rewording.
+std::string baseline_key(const Diagnostic& d) {
+  std::ostringstream key;
+  key << d.path << ":" << d.line << ":" << d.col << ": [" << d.rule << "]";
+  return key.str();
 }
 
 }  // namespace
@@ -45,44 +122,58 @@ int main(int argc, char** argv) {
   std::set<std::string> enabled;
   for (const auto& rule : pscrub::lint::all_rules()) enabled.insert(rule.id);
 
-  std::vector<std::string> excludes = {"lint_fixtures"};
+  std::vector<std::string> user_excludes;
   std::vector<std::string> roots;
+  std::string format = "text";
+  std::string output_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string cache_path;
+  bool dump_index = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
       for (const auto& rule : pscrub::lint::all_rules()) {
-        std::printf("%-20s %s\n", rule.id, rule.summary);
+        std::printf("%-24s %-12s %s\n", rule.id, rule.family, rule.summary);
       }
       return 0;
     }
     if (arg.rfind("--rules=", 0) == 0) {
-      enabled.clear();
-      std::string id;
-      for (char c : arg.substr(8)) {
-        if (c == ',') {
-          if (!id.empty()) enabled.insert(id);
-          id.clear();
-        } else {
-          id.push_back(c);
-        }
-      }
-      if (!id.empty()) enabled.insert(id);
-      for (const std::string& want : enabled) {
-        const auto& rules = pscrub::lint::all_rules();
-        const bool known =
-            std::any_of(rules.begin(), rules.end(),
-                        [&](const auto& r) { return want == r.id; });
-        if (!known) {
-          std::fprintf(stderr, "pscrub-lint: unknown rule '%s'\n",
-                       want.c_str());
-          return 2;
-        }
-      }
+      if (!parse_rules_arg(arg.substr(8), &enabled)) return 2;
       continue;
     }
     if (arg.rfind("--exclude=", 0) == 0) {
-      excludes.push_back(arg.substr(10));
+      user_excludes.push_back(arg.substr(10));
+      continue;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::fprintf(stderr, "pscrub-lint: unknown format '%s'\n",
+                     format.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--output=", 0) == 0) {
+      output_path = arg.substr(9);
+      continue;
+    }
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+      continue;
+    }
+    if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = arg.substr(17);
+      continue;
+    }
+    if (arg.rfind("--cache=", 0) == 0) {
+      cache_path = arg.substr(8);
+      continue;
+    }
+    if (arg == "--dump-index") {
+      dump_index = true;
       continue;
     }
     if (!arg.empty() && arg[0] == '-') return usage(argv[0]);
@@ -90,22 +181,33 @@ int main(int argc, char** argv) {
   }
   if (roots.empty()) return usage(argv[0]);
 
+  auto user_excluded = [&](const std::string& p) {
+    return std::any_of(
+        user_excludes.begin(), user_excludes.end(),
+        [&](const std::string& e) { return p.find(e) != std::string::npos; });
+  };
+
   // Collect the file set up front and sort it so diagnostics come out in a
-  // stable order regardless of directory-iteration order.
+  // stable order regardless of directory-iteration order. Exclusion is
+  // applied to the *path*, before any stat or read, so excluded files cost
+  // no I/O at all.
   std::set<std::string> files;
   for (const std::string& root : roots) {
+    if (user_excluded(root)) continue;
     std::error_code ec;
     if (fs::is_directory(root, ec)) {
       for (fs::recursive_directory_iterator it(root, ec), end;
            !ec && it != end; it.increment(ec)) {
+        const std::string p = it->path().generic_string();
+        // Path-based skips come first: no extension/stat work for them.
+        if (p.find("lint_fixtures") != std::string::npos ||
+            user_excluded(p)) {
+          continue;
+        }
         if (!it->is_regular_file() || !lintable_extension(it->path())) {
           continue;
         }
-        const std::string p = it->path().generic_string();
-        const bool skip = std::any_of(
-            excludes.begin(), excludes.end(),
-            [&](const std::string& e) { return p.find(e) != std::string::npos; });
-        if (!skip) files.insert(p);
+        files.insert(p);
       }
       if (ec) {
         std::fprintf(stderr, "pscrub-lint: error walking %s: %s\n",
@@ -121,7 +223,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::size_t diag_count = 0;
+  // Load + preprocess every file (pass 0), then index the whole set
+  // (pass 1). The index is always rebuilt -- it is cheap relative to the
+  // rules and any file can change another file's closures.
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
   for (const std::string& path : files) {
     SourceFile file;
     std::string error;
@@ -129,17 +235,165 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "pscrub-lint: %s\n", error.c_str());
       return 2;
     }
-    std::vector<Diagnostic> diags;
-    pscrub::lint::run_rules(file, enabled, &diags);
-    for (const Diagnostic& d : diags) {
-      std::printf("%s:%d:%d: [%s] %s\n", d.path.c_str(), d.line, d.col,
-                  d.rule.c_str(), d.message.c_str());
+    sources.push_back(std::move(file));
+  }
+  std::vector<FileSummary> summaries;
+  summaries.reserve(sources.size());
+  for (const SourceFile& file : sources) {
+    summaries.push_back(pscrub::lint::extract_summary(file));
+  }
+  const AnalysisContext ctx = pscrub::lint::build_context(std::move(summaries));
+
+  if (dump_index) {
+    // Pass-1 debugging view: what the index extracted and which functions
+    // landed on which closure. Not part of the stable output surface.
+    for (int fi = 0; fi < static_cast<int>(ctx.files.size()); ++fi) {
+      const pscrub::lint::FileSummary& fs = ctx.files[fi];
+      std::printf("%s\n", fs.path.c_str());
+      for (int ni = 0; ni < static_cast<int>(fs.functions.size()); ++ni) {
+        const pscrub::lint::FunctionRecord& fn = fs.functions[ni];
+        std::string marks;
+        if (ctx.checkpoint_via.count({fi, ni}) != 0) marks += " [checkpoint]";
+        if (ctx.sweep_via.count({fi, ni}) != 0) marks += " [sweep]";
+        if (ctx.env_shims.count({fi, ni}) != 0) marks += " [env-shim]";
+        std::printf("  fn %s lines %d-%d%s\n", fn.qname.c_str(),
+                    fn.name_line, fn.body_end_line, marks.c_str());
+      }
+      for (const pscrub::lint::GlobalRecord& g : fs.globals) {
+        std::printf("  global %s line %d\n", g.name.c_str(), g.line);
+      }
     }
-    diag_count += diags.size();
+    return 0;
   }
 
-  std::fprintf(stderr, "pscrub-lint: %zu diagnostic%s in %zu file%s\n",
-               diag_count, diag_count == 1 ? "" : "s", files.size(),
-               files.size() == 1 ? "" : "s");
-  return diag_count == 0 ? 0 : 1;
+  std::uint64_t ruleset_hash =
+      pscrub::lint::fnv1a(std::string("ruleset:") + pscrub::lint::kLintVersion);
+  for (const std::string& id : enabled) {
+    ruleset_hash = pscrub::lint::fnv1a(id + "\n", ruleset_hash);
+  }
+
+  DiagnosticCache cache;
+  if (!cache_path.empty()) cache.load(cache_path);
+
+  // Pass 2: per-file rules, served from the cache when nothing the file's
+  // diagnostics depend on has changed.
+  std::vector<Diagnostic> diags;
+  std::size_t cache_hits = 0;
+  for (int fi = 0; fi < static_cast<int>(sources.size()); ++fi) {
+    const SourceFile& file = sources[fi];
+    const std::vector<Diagnostic>* cached =
+        cache_path.empty()
+            ? nullptr
+            : cache.lookup(file.path, file.content_hash, ruleset_hash,
+                           ctx.digest);
+    std::vector<Diagnostic> file_diags;
+    if (cached != nullptr) {
+      ++cache_hits;
+      file_diags = *cached;
+    } else {
+      const pscrub::lint::RuleInput input{ctx, file, ctx.files[fi], fi};
+      pscrub::lint::run_rules(input, enabled, &file_diags);
+      // Suppressions that name no rule suppress nothing: surface them so
+      // a typo'd marker cannot silently disarm itself.
+      for (const auto& [line, id] : file.allow_ids) {
+        if (known_rule(id)) continue;
+        file_diags.push_back(Diagnostic{
+            file.path, line, 1, "unknown-suppression",
+            "allow(" + id +
+                ") names no known rule (see --list-rules); the marker "
+                "suppresses nothing"});
+      }
+      std::stable_sort(file_diags.begin(), file_diags.end(),
+                       [](const Diagnostic& a, const Diagnostic& b) {
+                         if (a.line != b.line) return a.line < b.line;
+                         if (a.col != b.col) return a.col < b.col;
+                         return a.rule < b.rule;
+                       });
+      if (!cache_path.empty()) {
+        cache.store(file.path, file.content_hash, ruleset_hash, ctx.digest,
+                    file_diags);
+      }
+    }
+    diags.insert(diags.end(), file_diags.begin(), file_diags.end());
+  }
+
+  if (!cache_path.empty() && !cache.save(cache_path)) {
+    std::fprintf(stderr, "pscrub-lint: cannot write cache %s\n",
+                 cache_path.c_str());
+    return 2;
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "pscrub-lint: cannot write baseline %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    out << "# pscrub-lint baseline (one `path:line:col: [rule]` per line)\n";
+    for (const Diagnostic& d : diags) out << baseline_key(d) << "\n";
+    std::fprintf(stderr, "pscrub-lint: wrote %zu baseline entr%s to %s\n",
+                 diags.size(), diags.size() == 1 ? "y" : "ies",
+                 write_baseline_path.c_str());
+    return 0;
+  }
+
+  std::size_t suppressed = 0;
+  std::size_t stale_baseline = 0;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "pscrub-lint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::set<std::string> baseline;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] != '#') baseline.insert(line);
+    }
+    std::vector<Diagnostic> kept;
+    std::set<std::string> used;
+    for (Diagnostic& d : diags) {
+      const std::string key = baseline_key(d);
+      if (baseline.count(key) != 0) {
+        ++suppressed;
+        used.insert(key);
+      } else {
+        kept.push_back(std::move(d));
+      }
+    }
+    stale_baseline = baseline.size() - used.size();
+    diags = std::move(kept);
+  }
+
+  std::string report;
+  if (format == "text") {
+    report = pscrub::lint::render_text(diags);
+  } else if (format == "json") {
+    report = pscrub::lint::render_json(diags);
+  } else {
+    report = pscrub::lint::render_sarif(diags, enabled);
+  }
+  if (output_path.empty()) {
+    std::fwrite(report.data(), 1, report.size(), stdout);
+  } else {
+    std::ofstream out(output_path, std::ios::trunc | std::ios::binary);
+    if (!out.write(report.data(),
+                   static_cast<std::streamsize>(report.size()))) {
+      std::fprintf(stderr, "pscrub-lint: cannot write %s\n",
+                   output_path.c_str());
+      return 2;
+    }
+  }
+
+  std::fprintf(stderr,
+               "pscrub-lint: %zu diagnostic%s in %zu file%s"
+               " (%zu baseline-suppressed, %zu stale baseline entr%s,"
+               " %zu cache hit%s)\n",
+               diags.size(), diags.size() == 1 ? "" : "s", files.size(),
+               files.size() == 1 ? "" : "s", suppressed, stale_baseline,
+               stale_baseline == 1 ? "y" : "ies", cache_hits,
+               cache_hits == 1 ? "" : "s");
+  return diags.empty() ? 0 : 1;
 }

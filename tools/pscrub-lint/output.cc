@@ -1,0 +1,137 @@
+// Output writers: text, JSON, and SARIF 2.1.0.
+//
+// Everything here is deterministic by construction: the diagnostic list
+// arrives pre-sorted (path, then line/col/rule), rule metadata is emitted
+// in all_rules() order, and no timestamps or absolute paths are written.
+// The CI lint job diffs a cold run against a cache-warm run byte for
+// byte, so any nondeterminism added here fails the build.
+#include "lint.h"
+
+#include <sstream>
+
+namespace pscrub::lint {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_text(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  for (const Diagnostic& d : diags) {
+    out << d.path << ":" << d.line << ":" << d.col << ": [" << d.rule << "] "
+        << d.message << "\n";
+  }
+  return out.str();
+}
+
+std::string render_json(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"tool\": \"pscrub-lint\",\n"
+      << "  \"version\": \"" << kLintVersion << "\",\n"
+      << "  \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : diags) {
+    out << (first ? "" : ",") << "\n"
+        << "    {\"path\": \"" << json_escape(d.path) << "\", \"line\": "
+        << d.line << ", \"col\": " << d.col << ", \"rule\": \""
+        << json_escape(d.rule) << "\", \"message\": \""
+        << json_escape(d.message) << "\"}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+std::string render_sarif(const std::vector<Diagnostic>& diags,
+                         const std::set<std::string>& enabled) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"pscrub-lint\",\n"
+      << "          \"version\": \"" << kLintVersion << "\",\n"
+      << "          \"informationUri\": "
+         "\"https://github.com/pscrub/pscrub/blob/main/DESIGN.md\",\n"
+      << "          \"rules\": [";
+  // ruleId -> index into the rules array, for result.ruleIndex.
+  std::map<std::string, int> rule_index;
+  bool first = true;
+  for (const Rule& rule : all_rules()) {
+    if (enabled.count(rule.id) == 0) continue;
+    rule_index.emplace(rule.id, static_cast<int>(rule_index.size()));
+    out << (first ? "" : ",") << "\n"
+        << "            {\n"
+        << "              \"id\": \"" << rule.id << "\",\n"
+        << "              \"shortDescription\": {\"text\": \""
+        << json_escape(rule.summary) << "\"},\n"
+        << "              \"properties\": {\"family\": \"" << rule.family
+        << "\"}\n"
+        << "            }";
+    first = false;
+  }
+  out << (first ? "" : "\n          ") << "]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [";
+  first = true;
+  for (const Diagnostic& d : diags) {
+    out << (first ? "" : ",") << "\n"
+        << "        {\n"
+        << "          \"ruleId\": \"" << json_escape(d.rule) << "\",\n";
+    auto it = rule_index.find(d.rule);
+    if (it != rule_index.end()) {
+      out << "          \"ruleIndex\": " << it->second << ",\n";
+    }
+    out << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(d.message)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \""
+        << json_escape(d.path) << "\", \"uriBaseId\": \"SRCROOT\"},\n"
+        << "                \"region\": {\"startLine\": " << d.line
+        << ", \"startColumn\": " << d.col << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }";
+    first = false;
+  }
+  out << (first ? "" : "\n      ") << "]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace pscrub::lint

@@ -1,5 +1,6 @@
-// Rule implementations. Each rule is a pure function over a SourceFile's
-// token stream; see lint.h for what each one guards and why.
+// Rule implementations. Each rule is a pure function of a RuleInput: the
+// file's token stream, its pass-1 summary, and the whole-program
+// AnalysisContext; see lint.h for what each one guards and why.
 #include "lint.h"
 
 #include <algorithm>
@@ -19,17 +20,18 @@ const std::set<std::string>& keywords() {
 }
 
 /// True when token i looks like a *call* of a free function: `name(`,
-/// optionally qualified as `std::name(`. Member calls (`x.name(`,
-/// `p->name(`, `Foo::name(`) and declarations (`SimTime name(`) do not
-/// count.
+/// optionally qualified as `std::name(` or globally as `::name(`. Member
+/// calls (`x.name(`, `p->name(`, `Foo::name(`) and declarations
+/// (`SimTime name(`) do not count.
 bool is_free_call(const std::vector<Token>& t, std::size_t i) {
   if (i + 1 >= t.size() || t[i + 1].text != "(") return false;
   if (i == 0) return true;
   const Token& prev = t[i - 1];
   if (prev.text == "." || prev.text == "->") return false;
   if (prev.text == "::") {
-    // Only the std-qualified form is the banned libc/std function.
-    return i >= 2 && t[i - 2].text == "std";
+    // std-qualified, or the leading-:: global qualifier.
+    if (i >= 2 && t[i - 2].is_ident) return t[i - 2].text == "std";
+    return true;
   }
   if (prev.is_ident && keywords().count(prev.text) == 0) {
     return false;  // `SimTime time(...)`: a declaration, not a call
@@ -42,9 +44,21 @@ void emit(const SourceFile& f, const Token& t, const char* rule,
   out->push_back(Diagnostic{f.path, t.line, t.col, rule, std::move(message)});
 }
 
+/// Index of the innermost function whose body token span contains
+/// `tok_idx`, or -1. (Bodies nest only via local classes, so the last
+/// match is the innermost.)
+int enclosing_function(const FileSummary& s, std::size_t tok_idx) {
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(s.functions.size()); ++i) {
+    const FunctionRecord& fn = s.functions[i];
+    if (tok_idx >= fn.body_begin_tok && tok_idx < fn.body_end_tok) best = i;
+  }
+  return best;
+}
+
 // ---- wall-clock -----------------------------------------------------------
 
-void check_wall_clock(const SourceFile& f, std::vector<Diagnostic>& out) {
+void check_wall_clock(const RuleInput& in, std::vector<Diagnostic>& out) {
   static const std::set<std::string> kClocks = {
       "steady_clock", "system_clock", "high_resolution_clock",
       "file_clock",   "utc_clock",    "tai_clock",
@@ -55,6 +69,7 @@ void check_wall_clock(const SourceFile& f, std::vector<Diagnostic>& out) {
       "gmtime",    "mktime", "ftime",        "timespec_get",  "strftime",
       "nanosleep", "usleep", "sleep",
   };
+  const SourceFile& f = in.file;
   const auto& t = f.tokens;
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (!t[i].is_ident) continue;
@@ -94,13 +109,14 @@ bool seeded_elsewhere(const std::vector<Token>& t, const std::string& name,
   return false;
 }
 
-void check_unseeded_rng(const SourceFile& f, std::vector<Diagnostic>& out) {
+void check_unseeded_rng(const RuleInput& in, std::vector<Diagnostic>& out) {
   static const std::set<std::string> kEngines = {
       "mt19937",      "mt19937_64", "default_random_engine",
       "minstd_rand",  "minstd_rand0",
       "ranlux24",     "ranlux48",   "ranlux24_base",
       "ranlux48_base", "knuth_b",
   };
+  const SourceFile& f = in.file;
   const auto& t = f.tokens;
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (!t[i].is_ident) continue;
@@ -156,15 +172,15 @@ void check_unseeded_rng(const SourceFile& f, std::vector<Diagnostic>& out) {
 
 // ---- unordered-container --------------------------------------------------
 
-void check_unordered(const SourceFile& f, std::vector<Diagnostic>& out) {
+void check_unordered(const RuleInput& in, std::vector<Diagnostic>& out) {
   static const std::set<std::string> kUnordered = {
       "unordered_map",      "unordered_set",     "unordered_multimap",
       "unordered_multiset", "unordered_flat_map", "unordered_flat_set",
       "unordered_node_map", "unordered_node_set",
   };
-  for (const Token& tok : f.tokens) {
+  for (const Token& tok : in.file.tokens) {
     if (!tok.is_ident || kUnordered.count(tok.text) == 0) continue;
-    emit(f, tok, "unordered-container",
+    emit(in.file, tok, "unordered-container",
          "std::" + tok.text +
              " iterates in hash-table-layout order, which varies across "
              "libstdc++ versions and silently breaks bit-identity when it "
@@ -176,7 +192,8 @@ void check_unordered(const SourceFile& f, std::vector<Diagnostic>& out) {
 
 // ---- float-accum ----------------------------------------------------------
 
-void check_float_accum(const SourceFile& f, std::vector<Diagnostic>& out) {
+void check_float_accum(const RuleInput& in, std::vector<Diagnostic>& out) {
+  const SourceFile& f = in.file;
   const auto& t = f.tokens;
   for (std::size_t i = 0; i < t.size(); ++i) {
     if (!t[i].is_ident) continue;
@@ -222,13 +239,14 @@ void check_float_accum(const SourceFile& f, std::vector<Diagnostic>& out) {
 
 // ---- exception-swallow ----------------------------------------------------
 
-void check_exception_swallow(const SourceFile& f,
+void check_exception_swallow(const RuleInput& in,
                              std::vector<Diagnostic>& out) {
   static const std::set<std::string> kHandles = {
       "throw",     "rethrow_exception", "current_exception", "terminate",
       "abort",     "exit",              "quick_exit",        "_Exit",
       "FAIL",      "ADD_FAILURE",       "GTEST_FAIL",
   };
+  const SourceFile& f = in.file;
   const auto& t = f.tokens;
   for (std::size_t i = 0; i + 4 < t.size(); ++i) {
     if (!(t[i].text == "catch" && t[i + 1].text == "(" &&
@@ -257,39 +275,363 @@ void check_exception_swallow(const SourceFile& f,
   }
 }
 
+// ---- sim-time-overflow ----------------------------------------------------
+
+const std::set<std::string>& sim_time_units() {
+  static const std::set<std::string> kUnits = {
+      "kNanosecond", "kMicrosecond", "kMillisecond", "kSecond",
+      "kMinute",     "kHour",        "kDay",         "kWeek",
+  };
+  return kUnits;
+}
+
+struct IntLiteral {
+  bool ok = false;        // parsed as an integer literal
+  bool suffixed = false;  // L/LL/U suffix present (already wide/unsigned)
+  unsigned long long value = 0;
+};
+
+/// Hand-rolled integer-literal parser (decimal/hex/octal/binary). Manual
+/// so the linter passes its own env-hygiene rule, which bans the strto*
+/// family everywhere outside the env shims.
+IntLiteral parse_int_literal(const std::string& s) {
+  IntLiteral lit;
+  if (s.empty() || s[0] < '0' || s[0] > '9') return lit;
+  int base = 10;
+  std::size_t i = 0;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    base = 16;
+    i = 2;
+  } else if (s.size() > 2 && s[0] == '0' && (s[1] == 'b' || s[1] == 'B')) {
+    base = 2;
+    i = 2;
+  } else if (s.size() > 1 && s[0] == '0') {
+    base = 8;
+    i = 1;
+  }
+  bool any_digit = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    int digit = -1;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = 10 + (c - 'a');
+    else if (c >= 'A' && c <= 'F') digit = 10 + (c - 'A');
+    if (digit >= 0 && digit < base) {
+      any_digit = true;
+      if (lit.value > (~0ULL - static_cast<unsigned>(digit)) /
+                          static_cast<unsigned>(base)) {
+        return IntLiteral{};  // would not fit: not a literal rules care about
+      }
+      lit.value = lit.value * static_cast<unsigned>(base) +
+                  static_cast<unsigned>(digit);
+      continue;
+    }
+    break;  // suffix starts here
+  }
+  if (!any_digit) return IntLiteral{};
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == 'l' || c == 'L' || c == 'u' || c == 'U' || c == 'z' ||
+        c == 'Z') {
+      lit.suffixed = true;
+      continue;
+    }
+    return IntLiteral{};  // '.'/'e'/garbage: not an integer literal
+  }
+  lit.ok = true;
+  return lit;
+}
+
+constexpr unsigned long long kInt32Max = 2147483647ULL;
+
+void check_sim_time_overflow(const RuleInput& in,
+                             std::vector<Diagnostic>& out) {
+  const SourceFile& f = in.file;
+  const auto& t = f.tokens;
+
+  // Sim-time-ish identifiers in this file: the unit constants, anything
+  // declared with a `SimTime ident` pattern (parameters, locals, members,
+  // even function names -- all denote ns-typed values), and the `_ns`
+  // naming convention.
+  std::set<std::string> declared;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].text == "SimTime" && t[i + 1].is_ident) {
+      declared.insert(t[i + 1].text);
+    }
+  }
+  auto simish = [&](const std::string& name) {
+    if (sim_time_units().count(name) != 0) return true;
+    if (declared.count(name) != 0) return true;
+    return name.size() > 3 && name.compare(name.size() - 3, 3, "_ns") == 0;
+  };
+
+  // (a) ns * ns products: both multiplicands denote sim-time values.
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].text != "*") continue;
+    if (!t[i - 1].is_ident || !t[i + 1].is_ident) continue;
+    if (!simish(t[i - 1].text) || !simish(t[i + 1].text)) continue;
+    // `x / kSecond * kMinute`: the left operand was already divided down
+    // to a scalar, so the product is ns * scalar -- fine.
+    if (i >= 2 && t[i - 2].text == "/") continue;
+    emit(f, t[i - 1], "sim-time-overflow",
+         "'" + t[i - 1].text + " * " + t[i + 1].text +
+             "' multiplies two sim-time values: the ns*ns product "
+             "overflows int64 within ~9.2 wall-clock seconds squared; "
+             "divide one operand down to a scalar first",
+         &out);
+  }
+
+  // (b) narrowing casts applied to sim-time values.
+  static const std::set<std::string> kNarrow = {
+      "int",     "short",    "unsigned", "char",    "float",
+      "int8_t",  "int16_t",  "int32_t",  "uint8_t", "uint16_t",
+      "uint32_t",
+  };
+  static const std::set<std::string> kWide = {
+      "long",   "int64_t", "uint64_t", "size_t",   "ptrdiff_t",
+      "double", "SimTime", "intmax_t", "uintmax_t", "auto",
+  };
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].text != "static_cast" || t[i + 1].text != "<") continue;
+    bool narrow = false;
+    bool wide = false;
+    std::size_t j = i + 2;
+    int depth = 1;
+    for (; j < t.size() && depth > 0; ++j) {
+      if (t[j].text == "<") ++depth;
+      else if (t[j].text == ">") --depth;
+      else if (t[j].is_ident) {
+        if (kNarrow.count(t[j].text) != 0) narrow = true;
+        if (kWide.count(t[j].text) != 0) wide = true;
+      }
+    }
+    if (!narrow || wide) continue;
+    if (j >= t.size() || t[j].text != "(") continue;
+    int pdepth = 0;
+    for (std::size_t k = j; k < t.size(); ++k) {
+      if (t[k].text == "(") ++pdepth;
+      else if (t[k].text == ")") {
+        if (--pdepth == 0) break;
+      } else if (t[k].is_ident && simish(t[k].text)) {
+        emit(f, t[i], "sim-time-overflow",
+             "narrowing cast on sim-time value '" + t[k].text +
+                 "': ns counts exceed 32 bits after ~2.1 s of sim time; "
+                 "keep sim-time arithmetic in std::int64_t",
+             &out);
+        break;
+      }
+    }
+  }
+
+  // (c) int-literal multiplication chains feeding sim-time: unsuffixed
+  // literals multiply at `int` rank, so `5 * 60 * 1000 * 1000 * 1000`
+  // overflows before it ever widens into the SimTime it initializes.
+  std::size_t i = 0;
+  while (i + 2 < t.size()) {
+    const bool primary = t[i].is_ident || (!t[i].text.empty() &&
+                                           t[i].text[0] >= '0' &&
+                                           t[i].text[0] <= '9');
+    if (!primary || t[i + 1].text != "*") {
+      ++i;
+      continue;
+    }
+    std::vector<std::size_t> elems{i};
+    std::size_t k = i;
+    while (k + 2 < t.size() && t[k + 1].text == "*" &&
+           (t[k + 2].is_ident ||
+            (!t[k + 2].text.empty() && t[k + 2].text[0] >= '0' &&
+             t[k + 2].text[0] <= '9'))) {
+      elems.push_back(k + 2);
+      k += 2;
+    }
+    bool relevant = false;
+    for (std::size_t e : elems) {
+      if (t[e].is_ident && simish(t[e].text)) relevant = true;
+    }
+    // `deadline = 5 * 60 * ...` where deadline was declared SimTime.
+    if (!relevant && i >= 2 && t[i - 1].text == "=" && t[i - 2].is_ident &&
+        simish(t[i - 2].text)) {
+      relevant = true;
+    }
+    if (relevant) {
+      bool wide = false;
+      unsigned long long acc = 1;
+      for (std::size_t e : elems) {
+        if (t[e].is_ident) {
+          wide = true;  // identifiers: assume int64 (units/SimTime are)
+          continue;
+        }
+        const IntLiteral lit = parse_int_literal(t[e].text);
+        if (!lit.ok || lit.suffixed || lit.value > kInt32Max) {
+          wide = true;  // suffixed or already long-rank literal widens
+          continue;
+        }
+        if (wide) continue;
+        acc *= lit.value;
+        if (acc > kInt32Max) {
+          emit(f, t[e], "sim-time-overflow",
+               "integer-literal product reaches " + std::to_string(acc) +
+                   " at `int` rank before widening into SimTime; suffix "
+                   "an earlier literal LL or lead with a SimTime unit "
+                   "constant",
+               &out);
+          break;
+        }
+      }
+    }
+    i = elems.back() + 1;
+  }
+}
+
+// ---- checkpoint-integer-only ----------------------------------------------
+
+void check_checkpoint_integer_only(const RuleInput& in,
+                                   std::vector<Diagnostic>& out) {
+  static const std::set<std::string> kFloatIdents = {
+      "float",  "double", "stof",   "stod",   "stold",
+      "strtof", "strtod", "strtold", "atof",
+  };
+  const auto& t = in.file.tokens;
+  for (const auto& [key, via] : in.ctx.checkpoint_via) {
+    if (key.first != in.file_index) continue;
+    const FunctionRecord& fn = in.summary.functions[key.second];
+    for (std::size_t i = fn.body_begin_tok;
+         i < fn.body_end_tok && i < t.size(); ++i) {
+      const std::string& s = t[i].text;
+      bool floaty = t[i].is_ident && kFloatIdents.count(s) != 0;
+      if (!floaty && !s.empty() && s[0] >= '0' && s[0] <= '9') {
+        const bool hex = s.size() > 1 && s[0] == '0' &&
+                         (s[1] == 'x' || s[1] == 'X');
+        floaty = s.find('.') != std::string::npos ||
+                 (!hex && (s.find('e') != std::string::npos ||
+                           s.find('E') != std::string::npos));
+      }
+      if (!floaty) continue;
+      const std::string how =
+          via.empty() ? "a checkpoint codec seed"
+                      : "reached from '" + via + "'";
+      emit(in.file, t[i], "checkpoint-integer-only",
+           "'" + fn.qname + "' is on the checkpoint read/write path (" +
+               how +
+               ") but touches floating point ('" + s +
+               "'); resume-exactness requires integer-only checkpoint "
+               "state (DESIGN.md section 10)",
+           &out);
+      break;  // one diagnostic per function keeps the sweep reviewable
+    }
+  }
+}
+
+// ---- env-hygiene ----------------------------------------------------------
+
+void check_env_hygiene(const RuleInput& in, std::vector<Diagnostic>& out) {
+  static const std::set<std::string> kBanned = {
+      "getenv",  "secure_getenv", "setenv",   "unsetenv", "putenv",
+      "strtol",  "strtoll",       "strtoul",  "strtoull", "strtoimax",
+      "strtoumax", "strtof",      "strtod",   "strtold",
+      "atoi",    "atol",          "atoll",    "atof",
+      "stoi",    "stol",          "stoll",    "stoul",    "stoull",
+      "stof",    "stod",          "stold",
+  };
+  const auto& t = in.file.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].is_ident || kBanned.count(t[i].text) == 0) continue;
+    if (!is_free_call(t, i)) continue;
+    const int fn = enclosing_function(in.summary, i);
+    if (fn >= 0 &&
+        in.ctx.env_shims.count({in.file_index, fn}) != 0) {
+      continue;  // inside a designated strict-parsing shim
+    }
+    emit(in.file, t[i], "env-hygiene",
+         t[i].text +
+             "() bypasses the strict parsing layer; route the value "
+             "through obs::parse_positive_env / parse_positive_double_env "
+             "(or mark the enclosing function `pscrub-lint: env-shim` "
+             "with a justification)",
+         &out);
+  }
+}
+
+// ---- mutable-global-in-sweep ----------------------------------------------
+
+void check_mutable_global_in_sweep(const RuleInput& in,
+                                   std::vector<Diagnostic>& out) {
+  if (in.ctx.mutable_globals.empty()) return;
+  const auto& t = in.file.tokens;
+  for (const auto& [key, via] : in.ctx.sweep_via) {
+    if (key.first != in.file_index) continue;
+    const FunctionRecord& fn = in.summary.functions[key.second];
+    std::set<std::string> reported;
+    for (std::size_t i = fn.body_begin_tok;
+         i < fn.body_end_tok && i < t.size(); ++i) {
+      if (!t[i].is_ident) continue;
+      auto g = in.ctx.mutable_globals.find(t[i].text);
+      if (g == in.ctx.mutable_globals.end()) continue;
+      if (!reported.insert(t[i].text).second) continue;
+      const std::string how =
+          via.empty() ? "a sweep-worker seed"
+                      : "reached from '" + via + "'";
+      emit(in.file, t[i], "mutable-global-in-sweep",
+           "'" + fn.qname + "' (" + how +
+               ") references mutable namespace-scope state '" + t[i].text +
+               "' (defined at " + g->second +
+               "); sweep workers run concurrently, so shared mutable "
+               "state breaks the bit-identical-at-any-worker-count "
+               "contract",
+           &out);
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<Rule>& all_rules() {
   static const std::vector<Rule> kRules = {
-      {"wall-clock",
+      {"wall-clock", "determinism",
        "bans wall-clock reads (std::chrono clocks, time(), sleeps) outside "
        "an allowlisted timing shim",
        check_wall_clock},
-      {"unseeded-rng",
+      {"unseeded-rng", "determinism",
        "bans rand()/std::random_device and RNG engines constructed without "
        "an explicit seed",
        check_unseeded_rng},
-      {"unordered-container",
+      {"unordered-container", "determinism",
        "bans std::unordered_* containers whose iteration order depends on "
        "hash-table layout",
        check_unordered},
-      {"float-accum",
+      {"float-accum", "determinism",
        "bans scheduling-ordered float accumulation (atomic floats, "
        "std::execution policies, std::reduce)",
        check_float_accum},
-      {"exception-swallow",
+      {"exception-swallow", "determinism",
        "requires catch (...) to rethrow, capture or terminate",
        check_exception_swallow},
+      {"sim-time-overflow", "sim-time",
+       "flags ns*ns products, int-literal chains that overflow before "
+       "widening into SimTime, and narrowing casts on sim-time values",
+       check_sim_time_overflow},
+      {"checkpoint-integer-only", "checkpoint",
+       "bans floating point anywhere on the checkpoint read/write call "
+       "paths (the PR-9 resume-exactness contract)",
+       check_checkpoint_integer_only},
+      {"env-hygiene", "hygiene",
+       "bans getenv/strto*/ato*/sto* outside the strict "
+       "obs::parse_positive_env shim layer",
+       check_env_hygiene},
+      {"mutable-global-in-sweep", "determinism",
+       "flags mutable namespace-scope state referenced from sweep-worker "
+       "call paths",
+       check_mutable_global_in_sweep},
   };
   return kRules;
 }
 
-void run_rules(const SourceFile& file, const std::set<std::string>& enabled,
+void run_rules(const RuleInput& in, const std::set<std::string>& enabled,
                std::vector<Diagnostic>* out) {
   std::vector<Diagnostic> raw;
   for (const Rule& rule : all_rules()) {
     if (enabled.count(rule.id) == 0) continue;
-    rule.check(file, raw);
+    rule.check(in, raw);
   }
   std::stable_sort(raw.begin(), raw.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
@@ -298,7 +640,7 @@ void run_rules(const SourceFile& file, const std::set<std::string>& enabled,
                      return a.rule < b.rule;
                    });
   for (Diagnostic& d : raw) {
-    if (!file.allowed(d.rule, d.line)) out->push_back(std::move(d));
+    if (!in.file.allowed(d.rule, d.line)) out->push_back(std::move(d));
   }
 }
 

@@ -1,5 +1,5 @@
-// SourceFile loading: comment/string stripping, suppression-marker
-// parsing, #include blanking, and tokenization.
+// SourceFile loading: comment/string stripping, suppression-marker and
+// annotation parsing, preprocessor-line blanking, and tokenization.
 //
 // The stripper is a single-pass state machine that preserves byte offsets
 // (every stripped character becomes a space; newlines survive), so token
@@ -100,7 +100,16 @@ std::string strip(const std::string& raw, std::vector<Comment>* comments) {
         continue;
       }
     }
-    // String / char literal.
+    // String / char literal. A single-quote right after an identifier or
+    // digit character is a C++14 digit separator (100'000), not a literal
+    // opener: blank just the quote so the number's digits survive.
+    if (c == '\'' && i > 0 &&
+        (std::isalnum(static_cast<unsigned char>(raw[i - 1])) != 0 ||
+         raw[i - 1] == '_')) {
+      blank(i);
+      ++i;
+      continue;
+    }
     if (c == '"' || c == '\'') {
       const char quote = c;
       blank(i);
@@ -125,7 +134,15 @@ std::string strip(const std::string& raw, std::vector<Comment>* comments) {
   return out;
 }
 
-/// Parses "pscrub-lint: allow(...)" / "allow-file(...)" markers out of a
+/// Function-scope annotation tags recognized after "pscrub-lint:".
+const std::set<std::string>& annotation_tags() {
+  static const std::set<std::string> kTags = {"checkpoint-path",
+                                              "sweep-worker", "env-shim"};
+  return kTags;
+}
+
+/// Parses "pscrub-lint: allow(...)" / "allow-file(...)" markers and
+/// function-scope annotations ("pscrub-lint: env-shim" etc.) out of a
 /// comment body. Rule ids are [a-z0-9-]+, comma- or space-separated.
 void parse_markers(const Comment& cm, SourceFile* file) {
   const std::string key = "pscrub-lint:";
@@ -143,7 +160,19 @@ void parse_markers(const Comment& cm, SourceFile* file) {
     } else if (cm.text.compare(p, 5, "allow") == 0) {
       p += 5;
     } else {
-      pos = p;
+      // Not a suppression: try a function-scope annotation tag.
+      std::string word;
+      std::size_t q = p;
+      while (q < cm.text.size() &&
+             (std::isalnum(static_cast<unsigned char>(cm.text[q])) ||
+              cm.text[q] == '-')) {
+        word.push_back(cm.text[q]);
+        ++q;
+      }
+      if (annotation_tags().count(word) != 0) {
+        file->annotations.emplace_back(cm.line, word);
+      }
+      pos = q > p ? q : p + 1;
       continue;
     }
     if (p >= cm.text.size() || cm.text[p] != '(') {
@@ -154,6 +183,7 @@ void parse_markers(const Comment& cm, SourceFile* file) {
     std::string id;
     auto commit = [&] {
       if (id.empty()) return;
+      file->allow_ids.emplace_back(cm.line, id);
       if (file_scope) {
         file->file_allows.insert(id);
       } else {
@@ -179,21 +209,25 @@ void parse_markers(const Comment& cm, SourceFile* file) {
   }
 }
 
-/// Blanks `#include` directive lines: the hazard the rules look for is
-/// *use* of a banned facility, not inclusion of its header.
-void blank_includes(std::string* code) {
+/// Blanks preprocessor directive lines (backslash-continuation aware):
+/// the hazards the rules look for are *uses* of a banned facility in
+/// code, not inclusions of its header or conditional-compilation plumbing
+/// -- and an #if/#else pair with braces in both branches would desync the
+/// index's brace matching.
+void blank_directives(std::string* code) {
   std::size_t bol = 0;
+  bool continued = false;
   while (bol < code->size()) {
     std::size_t eol = code->find('\n', bol);
     if (eol == std::string::npos) eol = code->size();
     std::size_t p = bol;
     while (p < eol && (code->at(p) == ' ' || code->at(p) == '\t')) ++p;
-    if (p < eol && code->at(p) == '#') {
-      ++p;
-      while (p < eol && (code->at(p) == ' ' || code->at(p) == '\t')) ++p;
-      if (code->compare(p, 7, "include") == 0) {
-        for (std::size_t k = bol; k < eol; ++k) (*code)[k] = ' ';
-      }
+    const bool directive = continued || (p < eol && code->at(p) == '#');
+    if (directive) {
+      continued = eol > bol && code->at(eol - 1) == '\\';
+      for (std::size_t k = bol; k < eol; ++k) (*code)[k] = ' ';
+    } else {
+      continued = false;
     }
     bol = eol + 1;
   }
@@ -277,12 +311,27 @@ bool SourceFile::load(const std::string& file_path, std::string* error) {
   buf << in.rdbuf();
   const std::string raw = buf.str();
 
+  content_hash = fnv1a(raw);
   std::vector<Comment> comments;
   code = strip(raw, &comments);
   for (const Comment& cm : comments) parse_markers(cm, this);
-  blank_includes(&code);
+  blank_directives(&code);
   tokens = tokenize(code);
   return true;
+}
+
+std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(const std::string& s, std::uint64_t seed) {
+  return fnv1a(s.data(), s.size(), seed);
 }
 
 bool SourceFile::allowed(const std::string& rule, int line) const {

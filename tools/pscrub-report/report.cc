@@ -269,6 +269,8 @@ void render_daemon(const Timeline& tl, const ReportOptions& opt,
       const double throttled =
           counter_total(tl, dev_base + ".throttle_waits");
       devices.emplace_back(
+          // `digits` is pre-validated as non-empty 0-9 above, so stoll
+          // cannot reject or coerce here. pscrub-lint: allow(env-hygiene)
           std::stoll(digits),
           "    dev" + digits + ": " + num(sectors) + " sectors scrubbed, " +
               num(detections) + " detections, " + num(throttled) +
